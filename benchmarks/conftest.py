@@ -1,0 +1,57 @@
+"""Benchmark plumbing: render every experiment table to stdout and disk.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each bench regenerates
+one table/figure of the paper at laptop scale and records the comparison
+in ``benchmarks/results/`` (EXPERIMENTS.md summarises a reference run).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir, capsys):
+    """Print a rendered table and persist it under benchmarks/results/."""
+
+    def _record(table, filename: str) -> None:
+        text = table.render()
+        with capsys.disabled():
+            print()
+            print(text)
+        (results_dir / filename).write_text(text + "\n")
+
+    return _record
+
+
+@pytest.fixture
+def record_chart(results_dir, capsys):
+    """Print an ASCII chart of a table and append it to a results file.
+
+    Renders the paper's figure *shape* (log-log slopes, crossovers) next
+    to the numbers; methods without data on the chosen axes (e.g.
+    budget-stopped baselines) are skipped by the renderer.
+    """
+    from repro.viz.ascii import render_table_chart
+
+    def _record(table, filename: str, *, x_key: str, y_attr: str, **kwargs):
+        chart = render_table_chart(
+            table, x_key=x_key, y_attr=y_attr, **kwargs
+        )
+        with capsys.disabled():
+            print()
+            print(chart)
+        with (results_dir / filename).open("a") as handle:
+            handle.write("\n" + chart + "\n")
+
+    return _record

@@ -1,0 +1,111 @@
+"""Ablations of ALID's design choices (DESIGN.md §6).
+
+* CIVS multi-query vs a single centre query (paper Fig. 4's argument);
+* logistic ROI growth vs jumping straight to the outer ball;
+* the delta retrieval cap.
+"""
+
+import pytest
+
+from repro.core.alid import ALID
+from repro.core.config import ALIDConfig
+from repro.datasets import make_sift
+from repro.eval.metrics import average_f1
+from repro.experiments.common import ExperimentTable, Row
+
+N_ITEMS = 5000
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_sift(N_ITEMS, n_clusters=25, seed=3)
+
+
+def _fit(dataset, config):
+    result = ALID(config).fit(dataset.data)
+    avg = average_f1(result.member_lists(), dataset.truth_clusters())
+    return result, avg
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_civs_multi_vs_single_query(benchmark, dataset, record_table):
+    def run():
+        table = ExperimentTable(
+            name="Ablation: CIVS multi-query vs single query (Fig. 4)"
+        )
+        multi, multi_f = _fit(dataset, ALIDConfig(delta=400, seed=0))
+        single, single_f = _fit(
+            dataset,
+            ALIDConfig(delta=400, seed=0,
+                       extras={"civs_single_query": True}),
+        )
+        table.add(Row(method="ALID-multiquery", avg_f=multi_f,
+                      runtime_seconds=multi.runtime_seconds,
+                      work_entries=multi.counters.entries_computed))
+        table.add(Row(method="ALID-singlequery", avg_f=single_f,
+                      runtime_seconds=single.runtime_seconds,
+                      work_entries=single.counters.entries_computed))
+        return table, multi_f, single_f
+
+    table, multi_f, single_f = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table, "ablation_civs.txt")
+    # Multi-query must never lose to the single-LSR query.
+    assert multi_f >= single_f - 1e-9
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_roi_growth_schedule(benchmark, dataset, record_table):
+    def run():
+        table = ExperimentTable(
+            name="Ablation: logistic ROI growth vs jump-to-outer-ball"
+        )
+        logistic, logistic_f = _fit(dataset, ALIDConfig(delta=400, seed=0))
+        # offset -50 makes theta(c) ~ 1 from the first iteration: the ROI
+        # jumps straight to the outer ball.
+        jump, jump_f = _fit(
+            dataset,
+            ALIDConfig(delta=400, seed=0, roi_growth_offset=-50.0),
+        )
+        table.add(Row(method="ALID-logistic", avg_f=logistic_f,
+                      runtime_seconds=logistic.runtime_seconds,
+                      work_entries=logistic.counters.entries_computed))
+        table.add(Row(method="ALID-jump", avg_f=jump_f,
+                      runtime_seconds=jump.runtime_seconds,
+                      work_entries=jump.counters.entries_computed))
+        return table, logistic, jump, logistic_f, jump_f
+
+    table, logistic, jump, logistic_f, jump_f = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    record_table(table, "ablation_roi_growth.txt")
+    # Both reach comparable quality; the logistic schedule's benefit is
+    # scanning fewer vertices early (lower or similar work).
+    assert abs(logistic_f - jump_f) < 0.1
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_delta_sweep(benchmark, dataset, record_table):
+    deltas = (100, 400, 800, 1600)
+
+    def run():
+        table = ExperimentTable(name="Ablation: CIVS retrieval cap delta")
+        for delta in deltas:
+            result, avg = _fit(dataset, ALIDConfig(delta=delta, seed=0))
+            table.add(
+                Row(
+                    method="ALID",
+                    params={"delta": delta},
+                    avg_f=avg,
+                    runtime_seconds=result.runtime_seconds,
+                    work_entries=result.counters.entries_computed,
+                    peak_entries=result.counters.entries_stored_peak,
+                )
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table, "ablation_delta.txt")
+    _, f_values = table.series("ALID", "delta", "avg_f")
+    # The paper's delta=800 default: quality saturates with delta.
+    assert f_values[-1] >= f_values[0] - 1e-9
+    assert f_values[2] > 0.85

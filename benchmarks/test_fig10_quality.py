@@ -1,0 +1,43 @@
+"""Fig. 10 — visual-word detection quality (green kept / red filtered).
+
+Paper expectation: every affinity-based method keeps most true
+visual-word SIFTs (green) and filters out most background-noise SIFTs
+(red); PALID's quality matches ALID's.
+"""
+
+import pytest
+
+from repro.experiments.sift_quality import run_sift_quality
+
+N_ITEMS = 4000
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_visual_words(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_sift_quality,
+        args=(N_ITEMS,),
+        kwargs={
+            "methods": ("PALID", "ALID", "IID", "SEA", "AP"),
+            "n_clusters": 20,
+            "delta": 400,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table, "fig10_quality.txt")
+    lines = ["method  kept_recall  noise_filtered  AVG-F"]
+    for row in table.rows:
+        lines.append(
+            f"{row.method:6s}  {row.extras['kept_recall']:11.3f}  "
+            f"{row.extras['noise_filtered']:14.3f}  {row.avg_f:5.3f}"
+        )
+    print("\n" + "\n".join(lines))
+    by_method = {row.method: row for row in table.rows}
+    for method in ("PALID", "ALID", "IID"):
+        assert by_method[method].extras["kept_recall"] > 0.85
+        assert by_method[method].extras["noise_filtered"] > 0.9
+    # PALID consistent with ALID (paper §5.3's last remark).
+    assert (
+        abs(by_method["PALID"].avg_f - by_method["ALID"].avg_f) < 0.05
+    )

@@ -1,0 +1,95 @@
+"""Fig. 11 — noise resistance: affinity vs partitioning methods.
+
+Paper expectation: as the noise degree grows to 6, the AVG-F of the
+partitioning methods (KM, SC-FL, SC-NYS) collapses — they must place
+every noise item somewhere — while the affinity-based methods (AP, IID,
+SEA, ALID) stay high.  Mean shift competes on NART but degrades on the
+more complex Sub-NDI features.
+"""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import pairwise_distances
+from repro.datasets import make_nart, make_sub_ndi
+from repro.experiments.noise_resistance import run_noise_resistance
+
+NOISE_DEGREES = (0.0, 1.0, 2.0, 4.0, 6.0)
+METHODS = ("AP", "IID", "SEA", "ALID", "KM", "SC-FL", "SC-NYS", "MS")
+
+
+def _tuned_ms_bandwidth(dataset) -> float:
+    """Optimal-ish MS bandwidth from the true clusters' geometry.
+
+    The paper tunes every method to its best; mean shift's best
+    bandwidth tracks the intra-cluster scale.
+    """
+    spans = []
+    for members in dataset.truth_clusters():
+        pts = dataset.data[members]
+        center = pts.mean(axis=0)
+        spans.append(np.median(np.linalg.norm(pts - center, axis=1)))
+    return 2.0 * float(np.median(spans))
+
+
+def _check_shape(table):
+    def final_f(method):
+        _, f_values = table.series(method, "noise_degree", "avg_f")
+        return f_values[-1]
+
+    affinity_best = max(final_f(m) for m in ("AP", "IID", "SEA", "ALID"))
+    partitioning_best = max(final_f(m) for m in ("KM", "SC-FL", "SC-NYS"))
+    # At noise degree 6 the affinity family is at least as good as the
+    # best partitioning method, k-means has collapsed (it must place
+    # every noise item somewhere), and ALID stays accurate.  Note: our
+    # Sub-NDI stand-in is cleaner than the real crawl, so spectral
+    # methods fall more gracefully here than in the paper's Fig. 11(b);
+    # the k-means collapse and the affinity-family robustness are the
+    # shape that transfers (see EXPERIMENTS.md).
+    assert affinity_best >= partitioning_best
+    assert final_f("KM") < 0.5
+    assert final_f("ALID") > 0.8
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_nart(benchmark, record_table):
+    def factory(nd, seed):
+        return make_nart(scale=0.2, noise_degree=nd, seed=seed)
+
+    bandwidth = _tuned_ms_bandwidth(factory(1.0, 0))
+    table = benchmark.pedantic(
+        run_noise_resistance,
+        args=(factory, NOISE_DEGREES),
+        kwargs={
+            "methods": METHODS,
+            "ms_bandwidth": bandwidth,
+            "delta": 400,
+            "name": "Fig11 noise resistance [NART]",
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table, "fig11_nart.txt")
+    _check_shape(table)
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_sub_ndi(benchmark, record_table):
+    def factory(nd, seed):
+        return make_sub_ndi(scale=0.1, noise_degree=nd, seed=seed)
+
+    bandwidth = _tuned_ms_bandwidth(factory(1.0, 0))
+    table = benchmark.pedantic(
+        run_noise_resistance,
+        args=(factory, NOISE_DEGREES),
+        kwargs={
+            "methods": METHODS,
+            "ms_bandwidth": bandwidth,
+            "delta": 400,
+            "name": "Fig11 noise resistance [Sub-NDI]",
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table, "fig11_sub_ndi.txt")
+    _check_shape(table)

@@ -1,0 +1,93 @@
+"""Fig. 7 — runtime / memory / AVG-F vs data size, four columns.
+
+Paper expectation (double-log slopes): the full-matrix baselines grow at
+slope ~2 in both runtime-driving work and memory everywhere; ALID's
+growth order depends on the regime (~2 / ~1.7 / ~1 for omega_n / n_eta /
+bounded) and its absolute memory is orders of magnitude lower.
+"""
+
+import pytest
+
+from repro.datasets import make_ndi, make_synthetic_mixture
+from repro.eval.orders import loglog_slope
+from repro.experiments.scalability import run_scalability
+
+ALID_SIZES = (1000, 2000, 4000, 8000)
+BASELINE_CAP = 2000
+METHODS = ("AP", "IID", "SEA", "ALID")
+
+
+def _factory(regime):
+    def make(n, seed):
+        return make_synthetic_mixture(n, regime=regime, seed=seed)
+
+    return make
+
+
+def _ndi_factory(n, seed):
+    return make_ndi(scale=n / 109_815, seed=seed)
+
+
+def _slopes(table, method):
+    xs, work = table.series(method, "n", "work_entries")
+    _, peak = table.series(method, "n", "peak_entries")
+    work_slope = loglog_slope(xs, [max(1, w) for w in work])
+    peak_slope = loglog_slope(xs, [max(1, p) for p in peak])
+    return work_slope, peak_slope
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("regime", ["omega_n", "n_eta", "bounded"])
+def test_fig7_synthetic(benchmark, record_table, record_chart, regime):
+    table = benchmark.pedantic(
+        run_scalability,
+        args=(_factory(regime), ALID_SIZES),
+        kwargs={
+            "methods": METHODS,
+            "baseline_cap": BASELINE_CAP,
+            "delta": 800,
+            "name": f"Fig7 scalability [{regime}]",
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table, f"fig7_{regime}.txt")
+    for y_attr in ("work_entries", "peak_entries"):
+        record_chart(
+            table, f"fig7_{regime}.txt", x_key="n", y_attr=y_attr,
+            title=f"Fig7 [{regime}] {y_attr} (log-log)",
+        )
+    iid_work_slope, iid_peak_slope = _slopes(table, "IID")
+    alid_work_slope, alid_peak_slope = _slopes(table, "ALID")
+    # Baselines: quadratic work and memory (full matrix).
+    assert iid_work_slope > 1.8
+    assert iid_peak_slope > 1.8
+    # ALID: strictly lower growth than the baselines in the sub-quadratic
+    # regimes, and far lower absolute memory everywhere.
+    if regime == "bounded":
+        assert alid_work_slope < 1.3
+        assert alid_peak_slope < 0.7
+    if regime == "n_eta":
+        assert alid_work_slope < 2.0
+    _, alid_peak = table.series("ALID", "n", "peak_entries")
+    _, iid_peak = table.series("IID", "n", "peak_entries")
+    assert alid_peak[-1] < iid_peak[-1]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_ndi(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_scalability,
+        args=(_ndi_factory, (1000, 2000, 4000)),
+        kwargs={
+            "methods": METHODS,
+            "baseline_cap": 2000,
+            "delta": 800,
+            "name": "Fig7 scalability [NDI]",
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table, "fig7_ndi.txt")
+    xs, alid_work = table.series("ALID", "n", "work_entries")
+    assert alid_work[-1] < 4000 * 4000 * 0.25  # far below the full matrix

@@ -1,0 +1,66 @@
+"""Fig. 9 — single-machine SIFT scalability under a memory budget.
+
+Paper expectation: the full-matrix baselines hit the RAM cap at a tiny
+fraction of the corpus (0.04M of 50M) while ALID keeps going (1.29M on
+12 GB); both runtime and memory growth orders of ALID are far below the
+baselines'.
+"""
+
+import pytest
+
+from repro.experiments.sift_scalability import run_sift_scalability
+
+SIZES = (2000, 4000, 8000, 16000)
+# AP holds 3 matrices (12M entries at n=2000) and IID one (16M at
+# n=4000): both die between the first and second size, like the paper's
+# baselines stalling at 0.04M SIFTs on 12 GB.
+BUDGET = 13_000_000
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_sift_budgeted(benchmark, record_table, record_chart):
+    table = benchmark.pedantic(
+        run_sift_scalability,
+        args=(SIZES,),
+        kwargs={
+            "methods": ("AP", "IID", "SEA", "ALID"),
+            "budget_entries": BUDGET,
+            "n_clusters": 50,
+            "delta": 800,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table, "fig9_sift.txt")
+    record_chart(
+        table, "fig9_sift.txt", x_key="n", y_attr="peak_entries",
+        title="Fig9 memory vs n (log-log; budget-stopped methods vanish)",
+    )
+    # The full-matrix baselines must be stopped by the budget at the
+    # larger sizes (SEA runs on the substituted high-recall sparse graph
+    # and may survive longer — see EXPERIMENTS.md).
+    for method in ("AP", "IID"):
+        capped = [
+            r
+            for r in table.rows
+            if r.method == method and r.extras.get("budget_exceeded")
+        ]
+        assert capped, f"{method} was never stopped by the budget"
+    # ...while ALID completes every size with good quality.  At the
+    # smallest size the 50 tiny clusters overlap enough that even the
+    # exact full-matrix IID tops out at ~0.80, so the bar is parity with
+    # IID wherever IID survives plus an absolute floor above the paper's
+    # 0.75 dominance threshold everywhere.
+    alid_rows = [r for r in table.rows if r.method == "ALID"]
+    assert len(alid_rows) == len(SIZES)
+    assert all(r.avg_f is not None and r.avg_f >= 0.78 for r in alid_rows)
+    assert all(not r.extras.get("budget_exceeded") for r in alid_rows)
+    iid_f = {
+        r.params["n"]: r.avg_f
+        for r in table.rows
+        if r.method == "IID" and r.avg_f is not None
+    }
+    for row in alid_rows:
+        n = row.params["n"]
+        if n in iid_f:
+            assert row.avg_f >= iid_f[n] - 0.02

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the three game-dynamics engines.
+
+Quantifies the paper's §2/§3 cost story at fixed problem size:
+
+* one replicator iteration costs a full matrix-vector product (DS/SEA);
+* one IID iteration is O(n) given the matrix;
+* one LID iteration is O(|beta|), independent of n, plus at most one
+  affinity column — the reason ALID avoids the O(n^2) wall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityOracle
+from repro.datasets.synthetic import make_synthetic_mixture
+from repro.dynamics.iid import iid_dynamics
+from repro.dynamics.lid import LIDState, lid_dynamics
+from repro.dynamics.replicator import replicator_dynamics
+
+N = 2000
+BETA_SIZE = 200
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset = make_synthetic_mixture(
+        N, regime="bounded", bound=1000, seed=0
+    )
+    kernel = LaplacianKernel(k=0.01)
+    oracle = AffinityOracle(dataset.data, kernel)
+    full = kernel.block(dataset.data, zero_diagonal=True)
+    return dataset, oracle, full
+
+
+@pytest.mark.benchmark(group="micro-dynamics")
+def test_replicator_iterations(benchmark, workload):
+    _, _, full = workload
+    x0 = np.full(N, 1.0 / N)
+    result = benchmark(
+        replicator_dynamics, full, x0, max_iter=20, tol=0.0
+    )
+    assert result.iterations == 20
+
+
+@pytest.mark.benchmark(group="micro-dynamics")
+def test_iid_iterations(benchmark, workload):
+    _, _, full = workload
+    x0 = np.full(N, 1.0 / N)
+    result = benchmark(iid_dynamics, full, x0, max_iter=20, tol=0.0)
+    assert result.iterations >= 1
+
+
+@pytest.mark.benchmark(group="micro-dynamics")
+def test_lid_iterations_local_range(benchmark, workload):
+    dataset, oracle, _ = workload
+
+    def run():
+        state = LIDState.from_seed(oracle, 0)
+        state.extend(np.arange(1, BETA_SIZE))
+        lid_dynamics(state, max_iter=20, tol=0.0)
+        state.release()
+        return state
+
+    state = benchmark(run)
+    assert state.size == BETA_SIZE

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the LSH and affinity substrates.
+
+Quantifies the constants behind ALID's complexity terms: hash-table
+construction is the O(n d l mu) preprocessing of §4.3, queries are the
+per-CIVS cost, and oracle columns are the per-LID-iteration cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityOracle
+from repro.datasets.sift import make_sift
+from repro.lsh.index import LSHIndex
+
+N = 20000
+
+
+@pytest.fixture(scope="module")
+def sift_data():
+    return make_sift(N, n_clusters=50, seed=0).data
+
+
+@pytest.fixture(scope="module")
+def built_index(sift_data):
+    return LSHIndex(sift_data, r=2.0, n_projections=40, n_tables=50, seed=0)
+
+
+@pytest.mark.benchmark(group="micro-lsh")
+def test_lsh_index_build(benchmark, sift_data):
+    index = benchmark.pedantic(
+        LSHIndex,
+        args=(sift_data,),
+        kwargs={"r": 2.0, "n_projections": 40, "n_tables": 50, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    assert index.n == N
+
+
+@pytest.mark.benchmark(group="micro-lsh")
+def test_lsh_single_item_query(benchmark, built_index):
+    out = benchmark(built_index.query_item, 0)
+    assert out.size >= 0
+
+
+@pytest.mark.benchmark(group="micro-lsh")
+def test_lsh_multi_item_query(benchmark, built_index):
+    support = np.arange(50, dtype=np.intp)
+    out = benchmark(built_index.query_items, support)
+    assert out.size >= 0
+
+
+@pytest.mark.benchmark(group="micro-affinity")
+def test_oracle_column(benchmark, sift_data):
+    oracle = AffinityOracle(sift_data, LaplacianKernel(k=5.0))
+    rows = np.arange(1000, dtype=np.intp)
+    col = benchmark(oracle.column, 0, rows)
+    assert col.shape == (1000,)
+
+
+@pytest.mark.benchmark(group="micro-affinity")
+def test_oracle_block(benchmark, sift_data):
+    oracle = AffinityOracle(sift_data, LaplacianKernel(k=5.0))
+    rows = np.arange(800, dtype=np.intp)
+    cols = np.arange(800, 1600, dtype=np.intp)
+    block = benchmark(oracle.block, rows, cols)
+    assert block.shape == (800, 800)

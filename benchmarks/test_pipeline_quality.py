@@ -1,0 +1,107 @@
+"""Feature-pipeline quality: raw media -> descriptors -> detection.
+
+The paper's corpora were produced by LDA / GIST / SIFT pipelines before
+any clustering ran (§5).  The geometric stand-in generators cover the
+scalability experiments; this bench closes the loop by running the
+*actual* pipelines (repro.features) and checking ALID's quality on their
+output against the exact full-matrix IID — the pipelines must yield
+dominant clusters that both detectors agree on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import IIDDetector
+from repro.core.alid import ALID
+from repro.core.config import ALIDConfig
+from repro.eval.metrics import average_f1
+from repro.experiments.common import ExperimentTable, Row
+from repro.features import ndi_via_gist, sift_via_patches
+
+# Small clusters pay the zero-diagonal (1 - 1/size) density discount.
+THRESHOLD = 0.7
+
+
+def _run_method(name, dataset):
+    if name == "ALID":
+        # GIST descriptors are unit-norm and extremely tight; the LSH
+        # segment length needs the Fig. 6 plateau setting (~15x the
+        # intra-cluster scale) for CIVS to reach whole clusters here.
+        detector = ALID(
+            ALIDConfig(
+                density_threshold=THRESHOLD, seed=0, lsh_r_scale=15.0
+            )
+        )
+    else:
+        detector = IIDDetector(density_threshold=THRESHOLD)
+    result = detector.fit(dataset.data)
+    avg_f = average_f1(result.member_lists(), dataset.truth_clusters())
+    kept = (
+        np.concatenate(result.member_lists())
+        if result.n_clusters
+        else np.empty(0, dtype=np.intp)
+    )
+    noise_kept = (
+        float((dataset.labels[kept] == -1).mean()) if kept.size else 0.0
+    )
+    return result, avg_f, noise_kept
+
+
+@pytest.mark.benchmark(group="pipelines")
+def test_pipeline_quality(benchmark, record_table):
+    def run():
+        table = ExperimentTable(
+            name="Feature pipelines: GIST (NDI) and SIFT (visual words)",
+            notes=(
+                "noise_kept = fraction of a detector's claimed members "
+                "that are background (Fig. 10's red points leaking in)"
+            ),
+        )
+        datasets = {
+            "gist": ndi_via_gist(
+                n_clusters=5,
+                duplicates_per_cluster=14,
+                n_noise=120,
+                size=32,
+                seed=3,
+            ),
+            "sift": sift_via_patches(
+                n_words=5,
+                patches_per_word=14,
+                n_noise=120,
+                size=16,
+                seed=4,
+            ),
+        }
+        scores = {}
+        for pipeline, dataset in datasets.items():
+            for method in ("ALID", "IID"):
+                result, avg_f, noise_kept = _run_method(method, dataset)
+                scores[(pipeline, method)] = avg_f
+                table.add(Row(
+                    method=method,
+                    params={
+                        "pipeline": pipeline,
+                        "noise_kept": round(noise_kept, 3),
+                    },
+                    avg_f=avg_f,
+                    runtime_seconds=result.runtime_seconds,
+                    work_entries=result.counters.entries_computed,
+                    peak_entries=result.counters.entries_stored_peak,
+                ))
+        return table, scores
+
+    table, scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table(table, "pipeline_quality.txt")
+    for pipeline in ("gist", "sift"):
+        # Both detectors must find the pipeline's clusters...
+        assert scores[(pipeline, "IID")] >= 0.7
+        # ...and ALID must match the exact method's quality.
+        assert scores[(pipeline, "ALID")] >= scores[(pipeline, "IID")] - 0.1
+    # ALID computes a fraction of IID's n^2 entries even at this scale.
+    work = {
+        (row.params["pipeline"], row.method): row.work_entries
+        for row in table.rows
+    }
+    for pipeline in ("gist", "sift"):
+        assert work[(pipeline, "ALID")] < work[(pipeline, "IID")]

@@ -1,0 +1,58 @@
+"""Table 1 — ALID's complexity regimes, verified by log-log slopes.
+
+Paper expectation: runtime growth orders ~2 (a* = omega*n), ~1.7
+(a* = n^0.9) and ~1 (a* <= P) — read off the Fig. 7 slopes.
+"""
+
+import pytest
+
+from repro.experiments.complexity_table import (
+    REGIME_EXPECTED_SLOPES,
+    run_complexity_table,
+)
+
+SIZES = (2000, 4000, 8000, 16000)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_regimes(benchmark, record_table):
+    table = benchmark.pedantic(
+        run_complexity_table,
+        args=(SIZES,),
+        kwargs={"delta": 800},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(table, "table1_complexity.txt")
+    slope_rows = {
+        row.params["regime"]: row
+        for row in table.rows
+        if "slope_runtime" in row.extras
+    }
+    lines = [
+        "regime      expected  runtime-slope  work-slope "
+        "(90% CI)          space-slope"
+    ]
+    for regime, expected in REGIME_EXPECTED_SLOPES.items():
+        row = slope_rows[regime]
+        low, high = row.extras["slope_work_ci"]
+        lines.append(
+            f"{regime:10s}  {expected:8.1f}  "
+            f"{row.extras['slope_runtime']:13.2f}  "
+            f"{row.extras['slope_work']:10.2f} "
+            f"[{low:5.2f}, {high:5.2f}]  "
+            f"{row.extras['slope_space']:11.2f}"
+        )
+    print("\n" + "\n".join(lines))
+    # Ordering property: the three regimes' growth orders are ranked as
+    # the paper's Table 1 predicts (omega_n steepest, bounded flattest).
+    assert (
+        slope_rows["omega_n"].extras["slope_work"]
+        > slope_rows["n_eta"].extras["slope_work"]
+        > slope_rows["bounded"].extras["slope_work"]
+    )
+    # Bounded regime: near-linear runtime, sub-linear work and flat space.
+    assert slope_rows["bounded"].extras["slope_runtime"] < 1.5
+    assert slope_rows["bounded"].extras["slope_space"] < 0.7
+    # omega_n regime: clearly super-linear work (clusters grow with n).
+    assert slope_rows["omega_n"].extras["slope_work"] > 1.4

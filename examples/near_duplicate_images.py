@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Near-duplicate image grouping (the paper's NDI scenario).
+
+Groups of near-duplicate images form dominant clusters in GIST-feature
+space while diverse one-off images are background noise.  This example
+runs the Fig. 6 story at small scale: the full-matrix IID baseline and
+ALID reach similar quality, but ALID computes a tiny fraction of the
+affinity entries — and an *over-sparsified* IID loses the clusters that
+enforced sparsity breaks.
+
+Run:  python examples/near_duplicate_images.py
+"""
+
+from repro import ALID, ALIDConfig, average_f1, make_sub_ndi
+from repro.baselines import IIDDetector
+from repro.baselines.common import KernelParams
+
+
+def main() -> None:
+    images = make_sub_ndi(scale=0.25, seed=3)
+    truth = images.truth_clusters()
+    print(
+        f"image set: {images.n} images as {images.dim}-d GIST features; "
+        f"{images.n_true_clusters} near-duplicate groups "
+        f"({images.n_ground_truth} images), {images.n_noise} diverse "
+        f"noise images"
+    )
+    n_sq = images.n * images.n
+
+    # --- full-matrix IID: best quality, O(n^2) cost ---------------------
+    iid = IIDDetector(kernel=KernelParams(seed=0))
+    iid_result = iid.fit(images.data)
+    print(
+        f"\nIID (full matrix):   AVG-F = "
+        f"{average_f1(iid_result.member_lists(), truth):.3f}, "
+        f"entries computed = {iid_result.counters.entries_computed:,} "
+        f"(100% of n^2)"
+    )
+
+    # --- over-sparsified IID: cheap but cohesiveness breaks -------------
+    sparse_kernel = KernelParams(seed=0, lsh_r_scale=4.0)
+    iid_sparse = IIDDetector(sparsify=True, kernel=sparse_kernel)
+    sparse_result = iid_sparse.fit(images.data)
+    print(
+        f"IID (over-sparse):   AVG-F = "
+        f"{average_f1(sparse_result.member_lists(), truth):.3f}, "
+        f"entries computed = {sparse_result.counters.entries_computed:,} "
+        f"({100 * sparse_result.counters.entries_computed / n_sq:.2f}% "
+        f"of n^2) — enforced sparsity broke cluster cohesiveness"
+    )
+
+    # --- ALID: local matrices only, quality preserved -------------------
+    alid_result = ALID(ALIDConfig(delta=400, seed=0)).fit(images.data)
+    print(
+        f"ALID:                AVG-F = "
+        f"{average_f1(alid_result.member_lists(), truth):.3f}, "
+        f"entries computed = {alid_result.counters.entries_computed:,} "
+        f"({100 * alid_result.counters.entries_computed / n_sq:.2f}% "
+        f"of n^2) — the ROI keeps exactly the entries that matter"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Hot-event detection in a news stream (the paper's NART scenario).
+
+13 real-world "hot events" hide inside a corpus where 86% of articles
+are ordinary daily news (the paper's intro: most news attracts only
+small audiences and never forms a dominant cluster).  ALID pulls the hot
+events out without knowing how many there are, and a comparison with
+k-means shows why forcing every article into a cluster fails under this
+much background noise.
+
+Run:  python examples/news_events.py
+"""
+
+import numpy as np
+
+from repro import ALID, ALIDConfig, average_f1, make_nart
+from repro.baselines import KMeans
+
+
+def main() -> None:
+    corpus = make_nart(scale=0.5, seed=7)
+    truth = corpus.truth_clusters()
+    print(
+        f"news corpus: {corpus.n} articles as {corpus.dim}-d topic "
+        f"vectors; {corpus.n_true_clusters} hot events "
+        f"({corpus.n_ground_truth} labeled articles), "
+        f"{corpus.n_noise} daily-news articles"
+    )
+
+    # --- ALID: no cluster count needed, noise is simply never claimed --
+    result = ALID(ALIDConfig(delta=400, seed=0)).fit(corpus.data)
+    avg_f = average_f1(result.member_lists(), truth)
+    print(f"\nALID found {result.n_clusters} events, AVG-F = {avg_f:.3f}")
+    labels = result.labels()
+    claimed_noise = int(((labels >= 0) & (corpus.labels < 0)).sum())
+    print(
+        f"  noise articles wrongly pulled into an event: {claimed_noise} "
+        f"of {corpus.n_noise}"
+    )
+    print("  events by size:")
+    for cluster in sorted(result.clusters, key=lambda c: -c.size):
+        true_ids, counts = np.unique(
+            corpus.labels[cluster.members], return_counts=True
+        )
+        main_truth = int(true_ids[np.argmax(counts)])
+        print(
+            f"    event {cluster.label:3d}: {cluster.size:4d} articles, "
+            f"density {cluster.density:.3f}, "
+            f"dominant true event id {main_truth}"
+        )
+
+    # --- k-means with the oracle cluster count still struggles ---------
+    km = KMeans(corpus.n_true_clusters + 1, seed=0)
+    km_result = km.fit(corpus.data)
+    km_avg_f = average_f1(km_result.member_lists(), truth)
+    print(
+        f"\nk-means (true K + 1 noise bucket): AVG-F = {km_avg_f:.3f} — "
+        f"every daily-news article is forced into some cluster, diluting "
+        f"the hot events (the paper's Fig. 11 effect)"
+    )
+
+
+if __name__ == "__main__":
+    main()

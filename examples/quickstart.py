@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: detect dominant clusters in noisy synthetic data with ALID.
+
+Generates one of the paper's synthetic workloads (20 Gaussian dominant
+clusters drowned in uniform background noise), runs ALID, and reports
+detection quality plus the work/memory savings over the full affinity
+matrix.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ALID, ALIDConfig, average_f1, make_synthetic_mixture
+
+
+def main() -> None:
+    # The paper's "bounded" regime: cluster sizes capped (Dunbar-style),
+    # so ALID's cost grows only linearly with n (Table 1, row 3).
+    dataset = make_synthetic_mixture(
+        n=3000, regime="bounded", bound=600, seed=42
+    )
+    print(
+        f"dataset: {dataset.n} items, {dataset.n_true_clusters} dominant "
+        f"clusters, {dataset.n_noise} noise items "
+        f"(noise degree {dataset.noise_degree():.2f})"
+    )
+
+    # delta is the CIVS retrieval cap (paper fixes 800); everything else
+    # (kernel scale, LSH segment length, first-iteration ROI radius) is
+    # auto-calibrated from the data.
+    detector = ALID(ALIDConfig(delta=400, seed=0))
+    result = detector.fit(dataset.data)
+
+    print(result.summary())
+    avg_f = average_f1(result.member_lists(), dataset.truth_clusters())
+    print(f"AVG-F against ground truth: {avg_f:.3f}")
+
+    n = dataset.n
+    computed = result.counters.entries_computed
+    print(
+        f"affinity entries computed: {computed:,} "
+        f"({100 * computed / (n * n):.2f}% of the full n^2 matrix)"
+    )
+    print(
+        f"peak entries stored: {result.counters.entries_stored_peak:,} "
+        f"(full matrix would be {n * n:,})"
+    )
+
+    print("\nlargest detected clusters:")
+    for cluster in sorted(result.clusters, key=lambda c: -c.size)[:5]:
+        print(
+            f"  label {cluster.label:3d}: {cluster.size:4d} members, "
+            f"density {cluster.density:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Stable social hubs in communication data (the paper's intro scenario).
+
+"In a large repository of interpersonal communication data (e.g., emails
+and social networks), the dominant clusters may reveal stable social
+hubs" (§1).  Social groups are size-bounded by Dunbar's number (§4.5,
+Table 1 row 3: a* <= P), which is ALID's best case: work grows linearly
+with n and memory stays flat, no matter how much data arrives.
+
+This example builds communication profiles with Dunbar-bounded social
+groups inside a growing sea of one-off contacts, runs ALID at two data
+sizes, and shows the bounded-regime accounting the paper's Table 1
+predicts: doubling n roughly doubles work but leaves peak memory where
+it was, while a full-matrix method would have quadrupled both.
+
+Run:  python examples/social_hubs.py
+"""
+
+from repro import ALID, ALIDConfig, average_f1, make_synthetic_mixture
+
+DUNBAR = 150  # the anthropological bound the paper cites for a*
+
+
+def detect(n: int, seed: int):
+    # Bounded regime: every social group holds <= DUNBAR members, the
+    # rest of the items are background contacts that belong to no group.
+    dataset = make_synthetic_mixture(
+        n=n, regime="bounded", bound=DUNBAR * 20, seed=seed
+    )
+    result = ALID(ALIDConfig(delta=400, seed=0)).fit(dataset.data)
+    avg_f = average_f1(result.member_lists(), dataset.truth_clusters())
+    return dataset, result, avg_f
+
+
+def main() -> None:
+    # At both sizes the Dunbar bound binds (group sizes saturated at
+    # 150), so between them only the noise sea grows — Table 1 row 3.
+    sizes = (4000, 8000)
+    measurements = []
+    for n in sizes:
+        dataset, result, avg_f = detect(n, seed=11)
+        measurements.append((n, result, avg_f))
+        biggest = max(dataset.truth_clusters(), key=lambda c: c.size)
+        print(
+            f"n={n}: {dataset.n_true_clusters} social groups "
+            f"(largest {biggest.size} <= Dunbar-style bound), "
+            f"{dataset.n_noise} one-off contacts"
+        )
+        print(
+            f"  ALID: {result.n_clusters} hubs found, AVG-F {avg_f:.3f}, "
+            f"work {result.counters.entries_computed:,} entries, "
+            f"peak memory {result.counters.peak_memory_mb:.3f} MB"
+        )
+
+    (n1, r1, _), (n2, r2, _) = measurements
+    work_ratio = r2.counters.entries_computed / max(
+        r1.counters.entries_computed, 1
+    )
+    mem_ratio = r2.counters.entries_stored_peak / max(
+        r1.counters.entries_stored_peak, 1
+    )
+    print(
+        f"\nscaling n x{n2 // n1}: work x{work_ratio:.2f} "
+        f"(Table 1 row 3 bounds it by ~linear; noise items that "
+        f"collide with nothing in the LSH index cost no kernel "
+        f"evaluations at all, so measured work can stay flat), "
+        f"peak memory x{mem_ratio:.2f} (predicted ~flat)"
+    )
+    full_matrix_mb = n2 * n2 * 8 / 1e6
+    print(
+        f"a full affinity matrix at n={n2} would need "
+        f"{full_matrix_mb:,.0f} MB — ALID used "
+        f"{r2.counters.peak_memory_mb:.3f} MB"
+    )
+
+
+if __name__ == "__main__":
+    main()

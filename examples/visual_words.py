@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Visual-word generation from SIFT descriptors with PALID (paper §5.3).
+
+SIFT descriptors from near-duplicate image regions form "visual words"
+— highly cohesive dominant clusters on the 128-d unit sphere — buried in
+descriptors from random background regions.  PALID fans ALID out over
+MapReduce: each mapper grows one cluster from one seed, the reducer
+resolves overlaps by density (paper Alg. 3 / Fig. 5).
+
+Run:  python examples/visual_words.py
+"""
+
+from repro import ALIDConfig, average_f1, make_sift
+from repro.parallel import PALID
+
+
+def main() -> None:
+    descriptors = make_sift(12000, n_clusters=40, truth_fraction=0.3, seed=5)
+    truth = descriptors.truth_clusters()
+    print(
+        f"descriptor set: {descriptors.n} SIFT-like vectors, "
+        f"{descriptors.n_true_clusters} visual words, "
+        f"{descriptors.n_noise} background descriptors"
+    )
+
+    config = ALIDConfig(delta=400, seed=0)
+    for n_executors in (1, 4):
+        palid = PALID(config, n_executors=n_executors)
+        result = palid.fit(descriptors.data)
+        avg_f = average_f1(result.member_lists(), truth)
+        detect = result.metadata["mapreduce_seconds"]
+        build = result.metadata["build_seconds"]
+        print(
+            f"\nPALID with {n_executors} executor(s): "
+            f"{result.n_clusters} visual words, AVG-F = {avg_f:.3f}"
+        )
+        print(
+            f"  index build {build:.2f}s (shared, one-time) + "
+            f"detection {detect:.2f}s over "
+            f"{result.metadata['n_seeds']} seeds"
+        )
+
+    # Fig. 10's green/red assessment, quantified:
+    labels = result.labels()
+    truth_mask = descriptors.labels >= 0
+    kept = int(((labels >= 0) & truth_mask).sum())
+    filtered = int(((labels < 0) & ~truth_mask).sum())
+    print(
+        f"\nvisual-word descriptors kept (green): {kept} / "
+        f"{int(truth_mask.sum())}"
+    )
+    print(
+        f"background descriptors filtered (red): {filtered} / "
+        f"{int((~truth_mask).sum())}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — full reproduction of "ALID: Scalable Dominant Cluster Detection".
+
+Chu, Wang, Liu, Huang & Pei, VLDB 2015 (arXiv:1411.0064).
+
+Public API highlights
+---------------------
+* :class:`~repro.core.alid.ALID` — the paper's detector (LID + ROI + CIVS
+  with peeling);
+* :class:`~repro.parallel.palid.PALID` — the MapReduce-parallel variant;
+* baselines: DS, IID, SEA, AP, graph shift, k-means, spectral
+  (full / Nystrom), mean shift — all in :mod:`repro.baselines`;
+* dataset generators matching the paper's workloads in
+  :mod:`repro.datasets`, plus the full feature pipelines behind them
+  (LDA / GIST / SIFT) in :mod:`repro.features`;
+* neighbour search: p-stable LSH with multi-probe queries in
+  :mod:`repro.lsh`, exact k-d tree and spill tree in :mod:`repro.ann`;
+* evaluation (AVG-F, accounting, growth orders, external indices) in
+  :mod:`repro.eval`; Appendix B's convergence model in
+  :mod:`repro.analysis`; ASCII figure rendering in :mod:`repro.viz`.
+
+Quickstart
+----------
+>>> from repro import ALID, ALIDConfig, make_synthetic_mixture, average_f1
+>>> dataset = make_synthetic_mixture(n=500, regime="bounded", seed=1)
+>>> result = ALID(ALIDConfig(delta=200)).fit(dataset.data)
+>>> 0.0 <= average_f1(result.member_lists(), dataset.truth_clusters()) <= 1.0
+True
+"""
+
+from repro.affinity import (
+    AffinityCounters,
+    AffinityOracle,
+    LaplacianKernel,
+    SparseAffinityBuilder,
+    sparse_degree,
+    suggest_scaling_factor,
+)
+from repro.core import (
+    ALID,
+    ALIDConfig,
+    Cluster,
+    DetectionResult,
+    DoubleDeckBall,
+    estimate_roi,
+    roi_radius,
+)
+from repro.datasets import (
+    Dataset,
+    make_nart,
+    make_ndi,
+    make_sift,
+    make_sub_ndi,
+    make_synthetic_mixture,
+)
+from repro.ann import KDTree, SpillTree
+from repro.eval import average_f1, f1_score, loglog_slope
+from repro.lsh import LSHIndex, MultiProbeQuerier
+from repro.streaming import StreamingALID
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALID",
+    "ALIDConfig",
+    "Cluster",
+    "DetectionResult",
+    "DoubleDeckBall",
+    "estimate_roi",
+    "roi_radius",
+    "AffinityCounters",
+    "AffinityOracle",
+    "LaplacianKernel",
+    "SparseAffinityBuilder",
+    "sparse_degree",
+    "suggest_scaling_factor",
+    "Dataset",
+    "make_nart",
+    "make_ndi",
+    "make_sift",
+    "make_sub_ndi",
+    "make_synthetic_mixture",
+    "average_f1",
+    "f1_score",
+    "loglog_slope",
+    "KDTree",
+    "LSHIndex",
+    "MultiProbeQuerier",
+    "SpillTree",
+    "StreamingALID",
+    "__version__",
+]

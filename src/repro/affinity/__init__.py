@@ -1,0 +1,22 @@
+"""Affinity substrate: Laplacian kernel, instrumented oracle, sparsifiers.
+
+The paper's Eq. 1 defines the affinity between data items ``v_i`` and
+``v_j`` as ``exp(-k * ||v_i - v_j||_p)`` with a zero diagonal.  Everything
+in this package routes kernel evaluations through
+:class:`~repro.affinity.oracle.AffinityOracle`, whose counters provide the
+work ("entries computed") and space ("peak entries stored") measurements
+used throughout the paper's evaluation (Figs. 6, 7, 9).
+"""
+
+from repro.affinity.kernel import LaplacianKernel, suggest_scaling_factor
+from repro.affinity.oracle import AffinityCounters, AffinityOracle
+from repro.affinity.sparse import SparseAffinityBuilder, sparse_degree
+
+__all__ = [
+    "LaplacianKernel",
+    "suggest_scaling_factor",
+    "AffinityCounters",
+    "AffinityOracle",
+    "SparseAffinityBuilder",
+    "sparse_degree",
+]

@@ -1,0 +1,216 @@
+"""Laplacian kernel affinity (paper Eq. 1) and scaling-factor selection.
+
+The affinity between two items is ``a_ij = exp(-k * ||v_i - v_j||_p)`` for
+``i != j`` and ``a_ii = 0``.  The positive scaling factor ``k`` controls
+how fast affinity decays with distance; the paper never states the value
+it used, so :func:`suggest_scaling_factor` provides a deterministic
+data-driven default (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_data_matrix, check_positive
+
+__all__ = ["LaplacianKernel", "pairwise_distances", "suggest_scaling_factor"]
+
+
+def pairwise_distances(
+    x: np.ndarray, y: np.ndarray | None = None, *, p: float = 2.0
+) -> np.ndarray:
+    """Pairwise Lp distances between rows of *x* and rows of *y*.
+
+    Parameters
+    ----------
+    x:
+        Array of shape ``(m, d)``.
+    y:
+        Array of shape ``(r, d)``; defaults to *x*.
+    p:
+        Order of the norm, ``p >= 1``.  ``p=2`` (the paper's choice) uses a
+        vectorised squared-expansion path; other orders fall back to a
+        broadcasting implementation.
+
+    Returns
+    -------
+    numpy.ndarray
+        Distance matrix of shape ``(m, r)``.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = x if y is None else np.atleast_2d(np.asarray(y, dtype=np.float64))
+    if x.shape[1] != y.shape[1]:
+        raise ValidationError(
+            f"dimension mismatch: x has d={x.shape[1]}, y has d={y.shape[1]}"
+        )
+    if p < 1:
+        raise ValidationError(f"p must be >= 1, got {p}")
+    if p == 2.0:
+        # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b, clipped for roundoff.
+        xx = np.einsum("ij,ij->i", x, x)[:, None]
+        yy = np.einsum("ij,ij->i", y, y)[None, :]
+        sq = xx + yy - 2.0 * (x @ y.T)
+        np.maximum(sq, 0.0, out=sq)
+        return np.sqrt(sq)
+    if p == 1.0:
+        return np.abs(x[:, None, :] - y[None, :, :]).sum(axis=2)
+    diff = np.abs(x[:, None, :] - y[None, :, :])
+    return np.power(np.power(diff, p).sum(axis=2), 1.0 / p)
+
+
+@dataclass(frozen=True)
+class LaplacianKernel:
+    """The paper's affinity kernel ``a(u, v) = exp(-k * ||u - v||_p)``.
+
+    Attributes
+    ----------
+    k:
+        Positive scaling factor of the Laplacian kernel.
+    p:
+        Norm order used for the distance (paper experiments use ``p=2``).
+    """
+
+    k: float
+    p: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.k, name="k")
+        if self.p < 1:
+            raise ValidationError(f"p must be >= 1, got {self.p}")
+
+    def affinity_from_distance(self, dist: np.ndarray) -> np.ndarray:
+        """Map distances to affinities: ``exp(-k * dist)``."""
+        return np.exp(-self.k * np.asarray(dist, dtype=np.float64))
+
+    def distance_from_affinity(self, affinity: float) -> float:
+        """Invert the kernel: the distance whose affinity equals *affinity*."""
+        a = float(affinity)
+        if not 0.0 < a <= 1.0:
+            raise ValidationError(f"affinity must be in (0, 1], got {a}")
+        return -float(np.log(a)) / self.k
+
+    def block(
+        self, x: np.ndarray, y: np.ndarray | None = None, *, zero_diagonal: bool = False
+    ) -> np.ndarray:
+        """Affinity block between rows of *x* and rows of *y*.
+
+        ``zero_diagonal=True`` zeroes the main diagonal, which is only
+        meaningful when *x* and *y* enumerate the same items in the same
+        order (paper Eq. 1 sets ``a_ii = 0``).
+        """
+        out = self.affinity_from_distance(pairwise_distances(x, y, p=self.p))
+        if zero_diagonal:
+            m = min(out.shape)
+            out[np.arange(m), np.arange(m)] = 0.0
+        return out
+
+
+def intra_cluster_scale(
+    nn_distances: np.ndarray,
+    *,
+    min_log_separation: float = 1.0,
+    min_mode_fraction: float = 0.005,
+) -> float:
+    """Estimate the intra-cluster distance scale from NN distances.
+
+    Nearest-neighbour distances of a clustered-plus-noise dataset are
+    bimodal: a tight mode from cluster members sitting next to close
+    siblings, and a broad mode from scattered noise.  A fixed low
+    quantile fails once clusters are a small minority (e.g. 6% ground
+    truth at n=16k in the bounded regime), and a largest-gap rule fails
+    when stray intermediate distances bridge the two modes (NART-like
+    topic vectors do this).  The split is therefore chosen by Otsu's
+    criterion on the *log distances* — the threshold maximising the
+    between-class variance ``w0 * w1 * (mu1 - mu0)^2`` — which tolerates
+    bridged modes.  The split only counts as a real mode boundary when
+
+    * the class means are at least ``min_log_separation`` apart in log
+      space (a genuine multiplicative scale difference, >= e ~ 2.7x),
+      and
+    * at least ``min_mode_fraction`` of the points (and >= 2) sit below.
+
+    The scale is then the lower mode's median; otherwise the
+    distribution is treated as unimodal and the overall median is used.
+    """
+    nn = np.sort(np.asarray(nn_distances, dtype=np.float64))
+    nn = nn[nn > 0]
+    if nn.size == 0:
+        raise ValidationError("need at least one positive distance")
+    if nn.size == 1:
+        return float(nn[0])
+    log_nn = np.log(nn)
+    n = log_nn.size
+    prefix = np.cumsum(log_nn)
+    total = prefix[-1]
+    counts = np.arange(1, n, dtype=np.float64)  # lower-class sizes 1..n-1
+    mu_lower = prefix[:-1] / counts
+    mu_upper = (total - prefix[:-1]) / (n - counts)
+    between_var = counts * (n - counts) * (mu_upper - mu_lower) ** 2
+    split = int(np.argmax(between_var))
+    lower_count = split + 1
+    separation = float(mu_upper[split] - mu_lower[split])
+    is_bimodal = (
+        separation >= min_log_separation
+        and lower_count >= max(2, int(min_mode_fraction * n))
+        and lower_count < n
+    )
+    if is_bimodal:
+        return float(np.median(nn[:lower_count]))
+    return float(np.median(nn))
+
+
+def suggest_scaling_factor(
+    data: np.ndarray,
+    *,
+    p: float = 2.0,
+    target_affinity: float = 0.9,
+    sample_size: int = 1024,
+    seed=0,
+) -> float:
+    """Pick a scaling factor ``k`` so intra-cluster pairs get high affinity.
+
+    The paper leaves ``k`` unspecified.  We estimate the *intra-cluster
+    distance scale* ``q`` from the sample's nearest-neighbour distances
+    (via :func:`intra_cluster_scale`, which is robust to clusters being
+    a small minority of the data) and solve
+    ``exp(-k * q) = target_affinity`` for ``k``.
+
+    With the defaults, typical intra-cluster affinities land around 0.9,
+    so even small dominant clusters (whose zero diagonal drags density
+    down by a factor (m-1)/m) clear the paper's density threshold of
+    0.75, while background-noise pairs (distances many multiples of
+    ``q``) receive near-zero affinity.
+
+    Returns
+    -------
+    float
+        A strictly positive scaling factor.
+    """
+    data = check_data_matrix(data)
+    check_positive(target_affinity, name="target_affinity")
+    if not 0.0 < target_affinity < 1.0:
+        raise ValidationError(
+            f"target_affinity must be in (0, 1), got {target_affinity}"
+        )
+    rng = as_generator(seed)
+    n = data.shape[0]
+    if n > sample_size:
+        idx = rng.choice(n, size=sample_size, replace=False)
+        sample = data[idx]
+    else:
+        sample = data
+    if sample.shape[0] < 2:
+        return 1.0
+    dists = pairwise_distances(sample, p=p)
+    np.fill_diagonal(dists, np.inf)
+    nn = dists.min(axis=1)
+    nn = nn[np.isfinite(nn) & (nn > 0)]
+    if nn.size == 0:
+        # All points identical: any k works; 1.0 is a harmless default.
+        return 1.0
+    q = intra_cluster_scale(nn)
+    return -float(np.log(target_affinity)) / q

@@ -1,0 +1,20 @@
+"""Analytical models from the paper's appendix, checked against runs.
+
+* :mod:`repro.analysis.convergence` — Proposition 2 (Appendix B): the
+  binomial support-growth model ``a(c+1) = m(c) * (1 - (1-p)^a(c))``
+  driven by the LSH recall lower bound, plus helpers for comparing the
+  model against support-size traces recorded by
+  :meth:`repro.core.alid.ALIDEngine.detect_from_seed`.
+"""
+
+from repro.analysis.convergence import (
+    fixed_point_support,
+    predicted_support_series,
+    support_growth_step,
+)
+
+__all__ = [
+    "fixed_point_support",
+    "predicted_support_series",
+    "support_growth_step",
+]

@@ -1,0 +1,168 @@
+"""Proposition 2's support-growth model (paper Appendix B).
+
+The paper proves ALID converges and that the *expected* number of
+detected cluster vertices grows as (Eq. 32–33)::
+
+    b(c)     ~  Binomial(m(c), 1 - (1 - p)^a(c))
+    a(c+1)   =  E[b(c)]  =  m(c) * (1 - (1 - p)^a(c))
+
+where ``a(c)`` is the expected support size of the local dense subgraph
+after round ``c``, ``m(c) <= M`` the number of true-cluster vertices
+inside the ROI (an increasing series reaching ``M``), and ``p`` the LSH
+recall lower bound of Datar et al. — computable in closed form from the
+index parameters via :func:`repro.lsh.params.retrieval_probability`.
+
+This module evaluates that recursion, finds its fixed point, and scores
+measured support traces (recorded by ``detect_from_seed(trace=...)``)
+against the model — the quantitative check behind the appendix's claim
+that "the series {a(c)} converges to M, and a larger value of p leads to
+a faster convergence rate".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_in_range
+
+__all__ = [
+    "fixed_point_support",
+    "model_vs_trace",
+    "predicted_support_series",
+    "support_growth_step",
+]
+
+
+def support_growth_step(a: float, m: float, p: float) -> float:
+    """One application of Eq. 33: ``a' = m * (1 - (1-p)^a)``.
+
+    ``a`` is the current expected support size, ``m`` the cluster
+    vertices reachable inside the current ROI, ``p`` the per-vertex LSH
+    recall lower bound.
+    """
+    if a < 0 or m < 0:
+        raise ValidationError("a and m must be >= 0")
+    check_in_range(p, 0.0, 1.0, name="p")
+    return m * (1.0 - (1.0 - p) ** a)
+
+
+def predicted_support_series(
+    cluster_size: int,
+    p: float,
+    *,
+    n_rounds: int = 10,
+    a0: float = 1.0,
+    m_schedule=None,
+) -> np.ndarray:
+    """The model's expected support sizes ``a(1..n_rounds)``.
+
+    Parameters
+    ----------
+    cluster_size:
+        ``M``, the true dominant cluster's vertex count.
+    p:
+        LSH recall lower bound (Appendix B's ``p in (0, 1)``).
+    n_rounds:
+        Outer iterations to simulate (the paper's C = 10).
+    a0:
+        Initial support (Alg. 2 starts from a single seed vertex).
+    m_schedule:
+        Optional callable ``round -> m(c)`` for the in-ROI cluster
+        vertex count; defaults to the upper envelope ``m(c) = M`` (the
+        ROI's outer ball contains the full cluster, Prop. 1).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``a(c)`` for ``c = 1..n_rounds``; non-decreasing, bounded by M.
+    """
+    if cluster_size < 1:
+        raise ValidationError(
+            f"cluster_size must be >= 1, got {cluster_size}"
+        )
+    check_in_range(p, 0.0, 1.0, name="p")
+    if n_rounds < 1:
+        raise ValidationError(f"n_rounds must be >= 1, got {n_rounds}")
+    series = np.empty(n_rounds)
+    a = float(a0)
+    for c in range(n_rounds):
+        m = float(cluster_size if m_schedule is None else m_schedule(c + 1))
+        if m > cluster_size:
+            raise ValidationError(
+                f"m_schedule returned {m} > cluster_size {cluster_size}"
+            )
+        a = support_growth_step(a, m, p)
+        series[c] = a
+    return series
+
+
+def fixed_point_support(
+    cluster_size: int, p: float, *, tol: float = 1e-9, max_iter: int = 100_000
+) -> float:
+    """The limit of the recursion ``a = M * (1 - (1-p)^a)``.
+
+    For ``p`` bounded away from 0 and ``M >= 1`` the non-trivial fixed
+    point is close to ``M`` — the appendix's convergence claim.  (The
+    recursion also has the trivial fixed point 0; starting from
+    ``a0 = 1`` escapes it whenever ``M * p > small``.)
+    """
+    if cluster_size < 1:
+        raise ValidationError(
+            f"cluster_size must be >= 1, got {cluster_size}"
+        )
+    check_in_range(p, 0.0, 1.0, name="p")
+    a = 1.0
+    for _ in range(max_iter):
+        nxt = support_growth_step(a, cluster_size, p)
+        if abs(nxt - a) < tol:
+            return nxt
+        a = nxt
+    return a
+
+
+def model_vs_trace(
+    trace: list[dict], cluster_size: int, p: float
+) -> dict[str, float]:
+    """Score a measured support trace against the Prop. 2 model.
+
+    Parameters
+    ----------
+    trace:
+        Records from ``detect_from_seed(..., trace=[])`` — each must
+        carry ``support_size``.
+    cluster_size:
+        ``M`` of the cluster the seed belongs to.
+    p:
+        LSH recall lower bound used for the model.
+
+    Returns
+    -------
+    dict with:
+        ``final_measured`` / ``final_predicted`` — last support sizes;
+        ``capture_measured`` / ``capture_predicted`` — the same as a
+        fraction of M;
+        ``monotone_violations`` — count of measured support *decreases*
+        (the model says the expectation increases; single runs may dip
+        when LID drops weak fringe vertices);
+        ``mean_abs_error`` — mean |measured - predicted| over the rounds
+        both series cover.
+    """
+    if not trace:
+        raise ValidationError("trace is empty — pass trace=[] to detect_from_seed")
+    measured = np.asarray([record["support_size"] for record in trace], float)
+    predicted = predicted_support_series(
+        cluster_size, p, n_rounds=len(measured)
+    )
+    steps = np.diff(measured)
+    overlap = min(measured.size, predicted.size)
+    return {
+        "final_measured": float(measured[-1]),
+        "final_predicted": float(predicted[-1]),
+        "capture_measured": float(measured[-1] / cluster_size),
+        "capture_predicted": float(predicted[-1] / cluster_size),
+        "monotone_violations": int((steps < 0).sum()),
+        "mean_abs_error": float(
+            np.abs(measured[:overlap] - predicted[:overlap]).mean()
+        ),
+    }

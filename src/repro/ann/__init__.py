@@ -1,0 +1,20 @@
+"""Nearest-neighbour substrates beyond LSH.
+
+The paper's §5.1 follows Chen et al. [8], who sparsify affinity matrices
+through either *exact* nearest neighbours (ENN) or *approximate* nearest
+neighbours (ANN) found by LSH or a Spill-Tree [20].  The main reproduction
+uses LSH (the paper's choice, "due to its efficiency"); this package
+supplies the other two search structures so that the ENN/ANN comparison
+can be carried out and the sparsifier ablated:
+
+* :mod:`repro.ann.kdtree` — an exact k-d tree (k-NN and fixed-radius
+  queries with branch-and-bound pruning) backing the ENN sparsifier;
+* :mod:`repro.ann.spilltree` — the hybrid spill tree of Liu, Moore, Gray
+  & Yang (NIPS 2004): overlapping splits searched defeatist-style,
+  non-overlapping splits searched with exact backtracking.
+"""
+
+from repro.ann.kdtree import KDTree
+from repro.ann.spilltree import SpillTree
+
+__all__ = ["KDTree", "SpillTree"]

@@ -1,0 +1,245 @@
+"""Hybrid spill tree for approximate k-NN (Liu, Moore, Gray & Yang).
+
+The paper's §5.1 notes that the ANN sparsifier of Chen et al. [8] "can be
+efficient by employing LSH and Spill-Tree [20]"; this module supplies the
+Spill-Tree half of that sentence.
+
+Construction: each internal node projects its points onto the direction
+between two (approximately) farthest pivots and splits at the median
+projection.  *Overlapping* nodes duplicate the points within a ``tau``
+buffer around the split into both children, so a defeatist
+(no-backtracking) descent still finds near neighbours that sit close to
+the boundary.  When the overlap would duplicate too much (> ``rho`` of
+the node into one child), the node falls back to a *non-overlapping*
+metric-tree split — the "hybrid" rule of the original paper — and the
+query backtracks through it exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_data_matrix
+
+__all__ = ["SpillTree"]
+
+_LEAF = 0
+_OVERLAP = 1
+_METRIC = 2
+
+
+@dataclass
+class _Node:
+    """One spill-tree node."""
+
+    kind: int
+    members: np.ndarray | None  # leaf payload
+    direction: np.ndarray | None  # unit split direction
+    split: float  # median projection
+    left: int
+    right: int
+
+
+class SpillTree:
+    """Approximate nearest-neighbour index with overlapping splits.
+
+    Parameters
+    ----------
+    data:
+        Data matrix ``(n, d)``; queries use the Euclidean metric.
+    leaf_size:
+        Maximum leaf payload.
+    tau:
+        Overlap half-width as a fraction of the node's projection spread
+        (0 disables spilling; the tree degenerates to a metric tree).
+    rho:
+        Hybrid threshold: if either overlapping child would hold more
+        than ``rho * node_size`` points, the node splits without overlap
+        and is searched with backtracking instead of defeatist descent.
+    seed:
+        Seed for the random pivot choice.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(200, 8))
+    >>> tree = SpillTree(data, seed=0)
+    >>> idx, dist = tree.query_knn(data[0], k=3)
+    >>> int(idx[0])
+    0
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        *,
+        leaf_size: int = 16,
+        tau: float = 0.1,
+        rho: float = 0.7,
+        seed=0,
+    ):
+        self._data = check_data_matrix(data, name="data")
+        if leaf_size < 1:
+            raise ValidationError(f"leaf_size must be >= 1, got {leaf_size}")
+        if tau < 0:
+            raise ValidationError(f"tau must be >= 0, got {tau}")
+        if not 0.5 <= rho < 1.0:
+            raise ValidationError(f"rho must lie in [0.5, 1), got {rho}")
+        self.leaf_size = int(leaf_size)
+        self.tau = float(tau)
+        self.rho = float(rho)
+        self._rng = as_generator(seed)
+        self._nodes: list[_Node] = []
+        self._build(np.arange(self._data.shape[0], dtype=np.intp), depth=0)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of indexed items."""
+        return self._data.shape[0]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of tree nodes (diagnostics)."""
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    def _pivot_direction(self, members: np.ndarray) -> np.ndarray | None:
+        """Unit vector between two approximately farthest members.
+
+        The classic two-sweep heuristic: from a random point, walk to
+        its farthest member ``a``, then to ``a``'s farthest member
+        ``b``; use ``b - a``.
+        """
+        points = self._data[members]
+        start = points[int(self._rng.integers(0, members.size))]
+        a = points[int(np.argmax(((points - start) ** 2).sum(axis=1)))]
+        b = points[int(np.argmax(((points - a) ** 2).sum(axis=1)))]
+        direction = b - a
+        norm = np.linalg.norm(direction)
+        if norm <= 1e-12:
+            return None
+        return direction / norm
+
+    def _build(self, members: np.ndarray, depth: int) -> int:
+        node_id = len(self._nodes)
+        # Depth guard: duplicated overlap points could otherwise recurse
+        # past any useful resolution on adversarial data.
+        if members.size <= self.leaf_size or depth > 60:
+            self._nodes.append(
+                _Node(_LEAF, np.sort(members), None, 0.0, -1, -1)
+            )
+            return node_id
+        direction = self._pivot_direction(members)
+        if direction is None:
+            # All duplicates; nothing separates them.
+            self._nodes.append(
+                _Node(_LEAF, np.sort(members), None, 0.0, -1, -1)
+            )
+            return node_id
+        projections = self._data[members] @ direction
+        split = float(np.median(projections))
+        spread = float(projections.max() - projections.min())
+        buffer = self.tau * spread
+        left_mask = projections <= split + buffer
+        right_mask = projections >= split - buffer
+        limit = self.rho * members.size
+        if buffer > 0 and left_mask.sum() <= limit and right_mask.sum() <= limit:
+            kind = _OVERLAP
+        else:
+            # Hybrid fallback: plain median split, searched exactly.
+            kind = _METRIC
+            left_mask = projections <= split
+            right_mask = ~left_mask
+            if not left_mask.any() or not right_mask.any():
+                # Ties collapsed one side (median == max); split evenly.
+                order = np.argsort(projections, kind="stable")
+                half = members.size // 2
+                left_mask = np.zeros(members.size, dtype=bool)
+                left_mask[order[:half]] = True
+                right_mask = ~left_mask
+        self._nodes.append(_Node(kind, None, direction, split, -1, -1))
+        left = self._build(members[left_mask], depth + 1)
+        right = self._build(members[right_mask], depth + 1)
+        self._nodes[node_id].left = left
+        self._nodes[node_id].right = right
+        return node_id
+
+    # ------------------------------------------------------------------
+    def _check_point(self, point: np.ndarray) -> np.ndarray:
+        point = np.asarray(point, dtype=np.float64)
+        if point.ndim != 1 or point.shape[0] != self._data.shape[1]:
+            raise ValidationError(
+                f"point must be 1-D of dim {self._data.shape[1]}, "
+                f"got shape {point.shape}"
+            )
+        return point
+
+    def query_knn(
+        self, point: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximately the *k* nearest items to *point*.
+
+        Overlap nodes are descended defeatist-style (one child, no
+        backtracking); metric nodes backtrack with the projection bound
+        ``|proj(q) - split|`` (valid because the direction has unit
+        norm).  Distances returned are exact; only the candidate set is
+        approximate.
+        """
+        point = self._check_point(point)
+        k = int(k)
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        k = min(k, self.n)
+        best: list[tuple[float, int]] = []  # max-heap via negation
+
+        def visit(node_id: int) -> None:
+            node = self._nodes[node_id]
+            if node.kind == _LEAF:
+                members = node.members
+                dists = np.linalg.norm(self._data[members] - point, axis=1)
+                for idx, dist in zip(members, dists):
+                    entry = (-dist, int(idx))
+                    if len(best) < k:
+                        if entry not in best:
+                            heapq.heappush(best, entry)
+                    elif dist < -best[0][0] and entry not in best:
+                        heapq.heapreplace(best, entry)
+                return
+            plane = float(point @ node.direction) - node.split
+            near, far = (
+                (node.left, node.right) if plane <= 0 else (node.right, node.left)
+            )
+            visit(near)
+            if node.kind == _METRIC:
+                # Exact backtrack: the far half-space is at least
+                # |plane| away in Euclidean distance.
+                if len(best) < k or abs(plane) < -best[0][0]:
+                    visit(far)
+            # Overlap nodes never backtrack — the tau buffer already
+            # put boundary points in both children.
+
+        visit(0)
+        best.sort(key=lambda item: (-item[0], item[1]))
+        indices = np.asarray([idx for _, idx in best], dtype=np.intp)
+        distances = np.asarray([-neg for neg, _ in best])
+        return indices, distances
+
+    def defeatist_leaf(self, point: np.ndarray) -> np.ndarray:
+        """Members of the single leaf a pure defeatist descent reaches.
+
+        The cheapest possible query — what the original paper calls
+        defeatist search — exposed for recall experiments.
+        """
+        point = self._check_point(point)
+        node = self._nodes[0]
+        while node.kind != _LEAF:
+            plane = float(point @ node.direction) - node.split
+            node = self._nodes[node.left if plane <= 0 else node.right]
+        return node.members.copy()

@@ -1,0 +1,43 @@
+"""Baseline methods the paper compares against (all from scratch).
+
+Affinity-based (noise resistant, §5.1–5.2):
+
+* :class:`~repro.baselines.dominant_sets.DominantSets` — DS, replicator
+  dynamics with peeling (Pavan & Pelillo);
+* :class:`~repro.baselines.iid_detector.IIDDetector` — full-matrix
+  Infection Immunization Dynamics (Rota Bulò et al.);
+* :class:`~repro.baselines.sea.SEA` — shrink-and-expansion on a sparse
+  affinity graph (Liu et al.);
+* :class:`~repro.baselines.affinity_propagation.AffinityPropagation` —
+  message passing (Frey & Dueck);
+* :class:`~repro.baselines.graph_shift.GraphShift` — GS, graph-mode
+  seeking (Liu & Yan, reference [19]).
+
+Partitioning-based (Fig. 11 / Appendix C):
+
+* :class:`~repro.baselines.kmeans.KMeans` — k-means++ with Lloyd;
+* :class:`~repro.baselines.spectral.SpectralClustering` — SC-FL (full
+  affinity) and SC-NYS (Nystrom approximation);
+* :class:`~repro.baselines.meanshift.MeanShift` — Gaussian-kernel mode
+  seeking.
+"""
+
+from repro.baselines.affinity_propagation import AffinityPropagation
+from repro.baselines.dominant_sets import DominantSets
+from repro.baselines.graph_shift import GraphShift
+from repro.baselines.iid_detector import IIDDetector
+from repro.baselines.kmeans import KMeans
+from repro.baselines.meanshift import MeanShift
+from repro.baselines.sea import SEA
+from repro.baselines.spectral import SpectralClustering
+
+__all__ = [
+    "AffinityPropagation",
+    "DominantSets",
+    "GraphShift",
+    "IIDDetector",
+    "KMeans",
+    "MeanShift",
+    "SEA",
+    "SpectralClustering",
+]

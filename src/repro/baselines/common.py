@@ -1,0 +1,143 @@
+"""Shared machinery for the baseline detectors.
+
+Every affinity-based baseline materialises its payoff matrix — full
+(``O(n^2)``, the paper's scalability bottleneck) or LSH-sparsified
+(§5.1) — through :func:`prepare_affinity`, so work and simulated memory
+are charged on the same oracle ALID uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.affinity.kernel import LaplacianKernel, suggest_scaling_factor
+from repro.affinity.oracle import AffinityOracle
+from repro.affinity.sparse import ENNAffinityBuilder, SparseAffinityBuilder
+from repro.exceptions import ValidationError
+from repro.lsh.index import LSHIndex
+from repro.utils.validation import check_data_matrix
+
+__all__ = ["AffinitySetup", "KernelParams", "prepare_affinity", "submatrix"]
+
+
+@dataclass(frozen=True)
+class KernelParams:
+    """Kernel/LSH configuration shared by the affinity-based baselines.
+
+    ``kernel_k=None`` auto-selects the Laplacian scaling factor exactly
+    like ALID does, so every method sees the same affinities.
+    """
+
+    kernel_k: float | None = None
+    kernel_p: float = 2.0
+    kernel_target_affinity: float = 0.9
+    lsh_r: float | None = None
+    lsh_r_scale: float = 10.0
+    lsh_projections: int = 40
+    lsh_tables: int = 50
+    seed: int = 0
+
+    def resolve_kernel(self, data: np.ndarray) -> LaplacianKernel:
+        """Build the Laplacian kernel, auto-selecting ``k`` if needed."""
+        k = self.kernel_k
+        if k is None:
+            k = suggest_scaling_factor(
+                data,
+                p=self.kernel_p,
+                target_affinity=self.kernel_target_affinity,
+                seed=self.seed,
+            )
+        return LaplacianKernel(k=k, p=self.kernel_p)
+
+    def resolve_lsh_r(self, kernel: LaplacianKernel) -> float:
+        """Segment length: explicit value or the auto anchor ALID uses."""
+        if self.lsh_r is not None:
+            return float(self.lsh_r)
+        return self.lsh_r_scale * kernel.distance_from_affinity(
+            self.kernel_target_affinity
+        )
+
+
+@dataclass
+class AffinitySetup:
+    """A materialised affinity matrix plus its accounting handles."""
+
+    oracle: AffinityOracle
+    matrix: np.ndarray | sp.csr_matrix
+    stored_entries: int
+    index: LSHIndex | None = None
+
+    @property
+    def n(self) -> int:
+        """Number of data items."""
+        return self.oracle.n
+
+    def release(self) -> None:
+        """Release the matrix storage from the simulated-memory ledger."""
+        if self.stored_entries:
+            self.oracle.release_stored(self.stored_entries)
+            self.stored_entries = 0
+
+
+def prepare_affinity(
+    data: np.ndarray,
+    params: KernelParams,
+    *,
+    sparsify: bool = False,
+    budget_entries: int | None = None,
+    max_neighbors: int | None = None,
+    sparsifier: str = "lsh",
+    enn_k: int = 10,
+) -> AffinitySetup:
+    """Materialise the affinity matrix a baseline method will consume.
+
+    ``sparsify=False`` computes and stores the full ``n x n`` matrix
+    (charging ``n^2`` work and storage — the O(n^2) bottleneck of §2).
+    ``sparsify=True`` builds a sparsified matrix instead, charging only
+    the kept pairs; ``sparsifier`` selects between Chen et al.'s two
+    recipes — ``"lsh"`` (the approximate path of §5.1, the paper's
+    choice) and ``"enn"`` (exact ``enn_k``-nearest neighbours via the
+    k-d tree).
+    """
+    data = check_data_matrix(data)
+    kernel = params.resolve_kernel(data)
+    oracle = AffinityOracle(data, kernel, budget_entries=budget_entries)
+    if not sparsify:
+        n = oracle.n
+        oracle.charge_stored(n * n)
+        matrix = oracle.pairwise()
+        return AffinitySetup(oracle=oracle, matrix=matrix, stored_entries=n * n)
+    if sparsifier == "enn":
+        matrix = ENNAffinityBuilder(oracle, k=enn_k).build(
+            charge_storage=True
+        )
+        return AffinitySetup(
+            oracle=oracle, matrix=matrix, stored_entries=matrix.nnz
+        )
+    if sparsifier != "lsh":
+        raise ValidationError(
+            f"sparsifier must be 'lsh' or 'enn', got {sparsifier!r}"
+        )
+    index = LSHIndex(
+        data,
+        r=params.resolve_lsh_r(kernel),
+        n_projections=params.lsh_projections,
+        n_tables=params.lsh_tables,
+        seed=params.seed,
+    )
+    builder = SparseAffinityBuilder(oracle, index, max_neighbors=max_neighbors)
+    matrix = builder.build(charge_storage=True)
+    return AffinitySetup(
+        oracle=oracle, matrix=matrix, stored_entries=matrix.nnz, index=index
+    )
+
+
+def submatrix(matrix, indices: np.ndarray) -> np.ndarray:
+    """Dense square submatrix over *indices* (dense or sparse input)."""
+    indices = np.asarray(indices, dtype=np.intp)
+    if sp.issparse(matrix):
+        return np.asarray(matrix[np.ix_(indices, indices)].todense())
+    return matrix[np.ix_(indices, indices)]

@@ -1,0 +1,145 @@
+"""Spectral clustering: SC-FL (full affinity) and SC-NYS (Nystrom).
+
+The two spectral baselines of the paper's noise-resistance analysis
+(Appendix C): normalized-cut style spectral clustering on the full
+affinity matrix (Ng, Jordan & Weiss), and the Nystrom-approximated
+variant (Fowlkes et al.) that samples landmark columns to avoid the full
+O(n^2) matrix.  Both force every item into one of K clusters, so, like
+k-means, their AVG-F collapses under heavy noise (Fig. 11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg
+
+from repro.baselines.common import KernelParams
+from repro.baselines.kmeans import KMeans
+from repro.affinity.oracle import AffinityOracle
+from repro.core.results import Cluster, DetectionResult
+from repro.exceptions import EmptyDatasetError, ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.timing import timed
+from repro.utils.validation import check_data_matrix
+
+__all__ = ["SpectralClustering"]
+
+
+class SpectralClustering:
+    """Normalized spectral clustering with exact or Nystrom embeddings.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters K (paper protocol: true count + 1 for noise).
+    mode:
+        ``"full"`` (SC-FL) materialises the whole affinity matrix;
+        ``"nystrom"`` (SC-NYS) samples ``n_landmarks`` columns.
+    n_landmarks:
+        Landmark count for Nystrom mode.
+    kernel:
+        Kernel parameters (shared auto-selection with other methods).
+    seed:
+        RNG seed for landmarks and k-means.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        mode: str = "full",
+        n_landmarks: int = 200,
+        kernel: KernelParams | None = None,
+        seed=0,
+    ):
+        if mode not in ("full", "nystrom"):
+            raise ValidationError(f"mode must be 'full' or 'nystrom', got {mode!r}")
+        if n_clusters < 1:
+            raise ValidationError(f"n_clusters must be >= 1, got {n_clusters}")
+        self.n_clusters = int(n_clusters)
+        self.mode = mode
+        self.n_landmarks = int(n_landmarks)
+        self.kernel = kernel or KernelParams()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _embed_full(self, oracle: AffinityOracle) -> np.ndarray:
+        n = oracle.n
+        oracle.charge_stored(n * n)
+        affinity = oracle.pairwise()
+        degree = affinity.sum(axis=1)
+        degree[degree <= 0] = 1.0
+        d_inv_sqrt = 1.0 / np.sqrt(degree)
+        normalized = affinity * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+        k = min(self.n_clusters, n - 1)
+        eigvals, eigvecs = linalg.eigh(
+            normalized, subset_by_index=(n - k, n - 1)
+        )
+        oracle.release_stored(n * n)
+        return eigvecs
+
+    def _embed_nystrom(self, oracle: AffinityOracle) -> np.ndarray:
+        n = oracle.n
+        m = min(self.n_landmarks, n)
+        rng = as_generator(self.seed)
+        landmarks = rng.choice(n, size=m, replace=False)
+        landmarks.sort()
+        all_rows = np.arange(n, dtype=np.intp)
+        oracle.charge_stored(n * m)
+        c_block = oracle.block(all_rows, landmarks)
+        w_block = c_block[landmarks]
+        # Eigen-decompose the landmark block; clip non-positive modes.
+        eigvals, eigvecs = linalg.eigh(w_block)
+        order = np.argsort(eigvals)[::-1]
+        eigvals = eigvals[order]
+        eigvecs = eigvecs[:, order]
+        keep = eigvals > max(1e-12, 1e-10 * abs(eigvals[0]))
+        eigvals = eigvals[keep]
+        eigvecs = eigvecs[:, keep]
+        k = min(self.n_clusters, eigvals.size)
+        embedding = c_block @ eigvecs[:, :k] / np.sqrt(eigvals[:k])[None, :]
+        oracle.release_stored(n * m)
+        return embedding
+
+    def fit(
+        self, data: np.ndarray, *, budget_entries: int | None = None
+    ) -> DetectionResult:
+        """Partition *data* by spectral clustering."""
+        data = check_data_matrix(data)
+        n = data.shape[0]
+        if n < self.n_clusters:
+            raise EmptyDatasetError(
+                f"need at least n_clusters={self.n_clusters} items, got {n}"
+            )
+        with timed() as clock:
+            kernel = self.kernel.resolve_kernel(data)
+            oracle = AffinityOracle(data, kernel, budget_entries=budget_entries)
+            if self.mode == "full":
+                embedding = self._embed_full(oracle)
+            else:
+                embedding = self._embed_nystrom(oracle)
+            # Row-normalise (Ng-Jordan-Weiss) and k-means the embeddings.
+            norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+            norms[norms == 0.0] = 1.0
+            embedding = embedding / norms
+            km = KMeans(self.n_clusters, seed=self.seed, n_init=4)
+            km_result = km.fit(embedding)
+            clusters = [
+                Cluster(
+                    members=c.members,
+                    weights=c.weights,
+                    density=c.density,
+                    label=c.label,
+                )
+                for c in km_result.clusters
+            ]
+        method = "SC-FL" if self.mode == "full" else "SC-NYS"
+        return DetectionResult(
+            clusters=clusters,
+            all_clusters=list(clusters),
+            n_items=n,
+            runtime_seconds=clock[0],
+            counters=oracle.counters.snapshot(),
+            method=method,
+            metadata={"mode": self.mode, "n_landmarks": self.n_landmarks},
+        )

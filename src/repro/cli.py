@@ -1,0 +1,318 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``
+    Produce one of the paper's workloads and save it as ``.npz``.
+``detect``
+    Run a detection method on a saved (or freshly generated) dataset,
+    print the summary/AVG-F and optionally save the result.
+``compare``
+    Run several methods on one dataset and print a comparison table.
+``info``
+    Describe a saved dataset or detection archive.
+
+Examples
+--------
+::
+
+    python -m repro generate --workload nart --scale 0.3 --out nart.npz
+    python -m repro detect --input nart.npz --method alid --delta 400
+    python -m repro compare --input nart.npz --methods alid iid km
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.baselines import (
+    AffinityPropagation,
+    DominantSets,
+    GraphShift,
+    IIDDetector,
+    KMeans,
+    MeanShift,
+    SEA,
+    SpectralClustering,
+)
+from repro.baselines.common import KernelParams
+from repro.core.alid import ALID
+from repro.core.config import ALIDConfig
+from repro.datasets import (
+    Dataset,
+    make_nart,
+    make_ndi,
+    make_sift,
+    make_sub_ndi,
+    make_synthetic_mixture,
+)
+from repro.eval.metrics import average_f1
+from repro.exceptions import ValidationError
+from repro.io import load_dataset, load_detection, save_dataset, save_detection
+from repro.parallel.palid import PALID
+
+__all__ = ["main", "build_parser"]
+
+WORKLOADS = (
+    "synthetic",
+    "nart",
+    "ndi",
+    "sub_ndi",
+    "sift",
+    # End-to-end feature pipelines (raw media -> descriptors), §2 of
+    # DESIGN.md; laptop-scale by construction.
+    "nart_lda",
+    "ndi_gist",
+    "sift_patches",
+)
+METHODS = (
+    "alid",
+    "palid",
+    "iid",
+    "ds",
+    "gs",
+    "sea",
+    "ap",
+    "km",
+    "sc-fl",
+    "sc-nys",
+    "ms",
+)
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "ALID: Scalable Dominant Cluster Detection (VLDB 2015) — "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a paper workload")
+    gen.add_argument("--workload", choices=WORKLOADS, required=True)
+    gen.add_argument("--out", required=True, help="output .npz path")
+    gen.add_argument("--n", type=int, default=5000,
+                     help="size (synthetic/sift)")
+    gen.add_argument("--scale", type=float, default=0.3,
+                     help="scale factor (nart/ndi/sub_ndi)")
+    gen.add_argument("--regime", default="bounded",
+                     choices=("omega_n", "n_eta", "bounded"))
+    gen.add_argument("--noise-degree", type=float, default=None)
+    gen.add_argument("--seed", type=int, default=0)
+
+    det = sub.add_parser("detect", help="run one detection method")
+    det.add_argument("--input", required=True, help="dataset .npz path")
+    det.add_argument("--method", choices=METHODS, default="alid")
+    det.add_argument("--delta", type=int, default=800)
+    det.add_argument("--density-threshold", type=float, default=0.75)
+    det.add_argument("--executors", type=int, default=1,
+                     help="PALID executors")
+    det.add_argument("--k-clusters", type=int, default=None,
+                     help="cluster count for partitioning methods "
+                          "(default: true count + 1)")
+    det.add_argument("--out", default=None, help="save result .npz here")
+    det.add_argument("--seed", type=int, default=0)
+
+    cmp_cmd = sub.add_parser("compare", help="run several methods")
+    cmp_cmd.add_argument("--input", required=True)
+    cmp_cmd.add_argument("--methods", nargs="+", choices=METHODS,
+                         default=["alid", "iid"])
+    cmp_cmd.add_argument("--delta", type=int, default=800)
+    cmp_cmd.add_argument("--density-threshold", type=float, default=0.75)
+    cmp_cmd.add_argument("--seed", type=int, default=0)
+
+    info = sub.add_parser("info", help="describe a saved archive")
+    info.add_argument("path", help=".npz produced by generate or detect")
+    info.add_argument("--kind", choices=("dataset", "detection"),
+                      default="dataset")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# command implementations
+# ---------------------------------------------------------------------------
+def _cmd_generate(args) -> int:
+    if args.workload == "synthetic":
+        dataset = make_synthetic_mixture(
+            args.n, regime=args.regime, seed=args.seed
+        )
+    elif args.workload == "nart":
+        dataset = make_nart(
+            scale=args.scale, noise_degree=args.noise_degree, seed=args.seed
+        )
+    elif args.workload == "ndi":
+        dataset = make_ndi(
+            scale=args.scale, noise_degree=args.noise_degree, seed=args.seed
+        )
+    elif args.workload == "sub_ndi":
+        dataset = make_sub_ndi(
+            scale=args.scale, noise_degree=args.noise_degree, seed=args.seed
+        )
+    elif args.workload == "sift":
+        dataset = make_sift(args.n, seed=args.seed)
+    elif args.workload == "nart_lda":
+        from repro.features import nart_via_lda
+
+        dataset = nart_via_lda(seed=args.seed)
+    elif args.workload == "ndi_gist":
+        from repro.features import ndi_via_gist
+
+        dataset = ndi_via_gist(seed=args.seed)
+    else:
+        from repro.features import sift_via_patches
+
+        dataset = sift_via_patches(seed=args.seed)
+    path = save_dataset(dataset, args.out)
+    print(
+        f"wrote {path}: {dataset.n} items, dim {dataset.dim}, "
+        f"{dataset.n_true_clusters} true clusters, "
+        f"noise degree {dataset.noise_degree():.2f}"
+    )
+    return 0
+
+
+def _build_method(name: str, dataset: Dataset, args):
+    kernel = KernelParams(seed=args.seed)
+    k_clusters = getattr(args, "k_clusters", None)
+    if k_clusters is None:
+        k_clusters = dataset.n_true_clusters + 1
+    if name == "alid":
+        return ALID(
+            ALIDConfig(
+                delta=args.delta,
+                density_threshold=args.density_threshold,
+                seed=args.seed,
+            )
+        )
+    if name == "palid":
+        return PALID(
+            ALIDConfig(
+                delta=args.delta,
+                density_threshold=args.density_threshold,
+                seed=args.seed,
+            ),
+            n_executors=getattr(args, "executors", 1),
+        )
+    if name == "iid":
+        return IIDDetector(
+            kernel=kernel, density_threshold=args.density_threshold
+        )
+    if name == "ds":
+        return DominantSets(
+            kernel=kernel, density_threshold=args.density_threshold
+        )
+    if name == "gs":
+        return GraphShift(
+            kernel=kernel, density_threshold=args.density_threshold
+        )
+    if name == "sea":
+        return SEA(
+            kernel=KernelParams(seed=args.seed, lsh_r_scale=20.0),
+            density_threshold=args.density_threshold,
+        )
+    if name == "ap":
+        return AffinityPropagation(kernel=kernel)
+    if name == "km":
+        return KMeans(k_clusters, seed=args.seed)
+    if name == "sc-fl":
+        return SpectralClustering(
+            k_clusters, mode="full", kernel=kernel, seed=args.seed
+        )
+    if name == "sc-nys":
+        return SpectralClustering(
+            k_clusters, mode="nystrom", kernel=kernel, seed=args.seed
+        )
+    if name == "ms":
+        return MeanShift(seed=args.seed)
+    raise ValidationError(f"unknown method {name!r}")
+
+
+def _evaluate_line(result, dataset: Dataset) -> str:
+    truth = dataset.truth_clusters()
+    avg = average_f1(result.member_lists(), truth) if truth else float("nan")
+    work = result.counters.entries_computed if result.counters else 0
+    mem = result.counters.peak_memory_mb if result.counters else 0.0
+    return (
+        f"{result.method:8s}  clusters={result.n_clusters:4d}  "
+        f"AVG-F={avg:6.3f}  time={result.runtime_seconds:8.3f}s  "
+        f"work={work:>12,}  peak-mem={mem:8.3f} MB"
+    )
+
+
+def _cmd_detect(args) -> int:
+    dataset = load_dataset(args.input)
+    method = _build_method(args.method, dataset, args)
+    result = method.fit(dataset.data)
+    print(_evaluate_line(result, dataset))
+    if args.out:
+        path = save_detection(result, args.out)
+        print(f"saved detection to {path}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    dataset = load_dataset(args.input)
+    print(
+        f"dataset {dataset.name}: {dataset.n} items, "
+        f"{dataset.n_true_clusters} true clusters, "
+        f"noise degree {dataset.noise_degree():.2f}"
+    )
+    for name in args.methods:
+        method = _build_method(name, dataset, args)
+        result = method.fit(dataset.data)
+        print(_evaluate_line(result, dataset))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    if args.kind == "dataset":
+        dataset = load_dataset(args.path)
+        print(f"dataset {dataset.name}")
+        print(f"  items:        {dataset.n}")
+        print(f"  dim:          {dataset.dim}")
+        print(f"  true clusters:{dataset.n_true_clusters:>6}")
+        print(f"  ground truth: {dataset.n_ground_truth}")
+        print(f"  noise:        {dataset.n_noise}")
+        print(f"  noise degree: {dataset.noise_degree():.3f}")
+        print(f"  a*:           {dataset.largest_cluster_size()}")
+    else:
+        result = load_detection(args.path)
+        print(result.summary())
+        for cluster in sorted(result.clusters, key=lambda c: -c.size)[:10]:
+            print(
+                f"  label {cluster.label:4d}: size {cluster.size:5d}, "
+                f"density {cluster.density:.3f}"
+            )
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "detect": _cmd_detect,
+    "compare": _cmd_compare,
+    "info": _cmd_info,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValidationError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""The paper's primary contribution: the ALID dominant-cluster detector.
+
+* :mod:`~repro.core.config`  — all tunables with the paper's defaults;
+* :mod:`~repro.core.roi`     — the double-deck hyperball ROI (Eq. 15/16);
+* :mod:`~repro.core.civs`    — Candidate Infective Vertex Search (§4.3);
+* :mod:`~repro.core.alid`    — Alg. 2 single-cluster iteration plus the
+  peeling driver of §4.4;
+* :mod:`~repro.core.results` — cluster / detection result types shared by
+  every method in the repository.
+"""
+
+from repro.core.alid import ALID
+from repro.core.civs import civs_retrieve
+from repro.core.config import ALIDConfig
+from repro.core.results import Cluster, DetectionResult
+from repro.core.roi import DoubleDeckBall, estimate_roi, roi_radius
+
+__all__ = [
+    "ALID",
+    "ALIDConfig",
+    "Cluster",
+    "DetectionResult",
+    "DoubleDeckBall",
+    "estimate_roi",
+    "roi_radius",
+    "civs_retrieve",
+]

@@ -1,0 +1,434 @@
+"""ALID: Approximate Localized Infection Immunization Dynamics.
+
+This module assembles the three steps of paper Alg. 2 —
+
+1. **LID** (Step 1): localized infection/immunization on the current
+   local range ``beta`` (:mod:`repro.dynamics.lid`);
+2. **ROI** (Step 2): the double-deck hyperball estimated from the
+   converged local dense subgraph (:mod:`repro.core.roi`);
+3. **CIVS** (Step 3): LSH retrieval of candidate infective vertices
+   inside the ROI (:mod:`repro.core.civs`) which extend ``beta`` for the
+   next round —
+
+into :class:`ALIDEngine.detect_from_seed`, and wraps the peeling driver of
+§4.4 (detect, peel, reiterate until everything is peeled; keep clusters
+whose density clears the threshold) into the user-facing :class:`ALID`
+estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.affinity.kernel import LaplacianKernel, suggest_scaling_factor
+from repro.affinity.oracle import AffinityOracle
+from repro.core.civs import civs_retrieve
+from repro.core.config import ALIDConfig
+from repro.core.results import Cluster, DetectionResult
+from repro.core.roi import estimate_roi, roi_radius
+from repro.dynamics.lid import LIDState, lid_dynamics
+from repro.exceptions import EmptyDatasetError
+from repro.lsh.index import LSHIndex
+from repro.utils.timing import timed
+from repro.utils.validation import check_data_matrix
+
+__all__ = ["ALID", "ALIDEngine", "SeedSchedule"]
+
+
+@dataclass
+class _SingleDetection:
+    """Internal record of one Alg. 2 run."""
+
+    members: np.ndarray
+    weights: np.ndarray
+    density: float
+    outer_iterations: int
+    globally_verified: bool
+
+
+class ALIDEngine:
+    """Shared machinery for one dataset: kernel, oracle, LSH index.
+
+    Both the sequential peeling driver (:class:`ALID`) and the PALID
+    mappers run :meth:`detect_from_seed` against one engine, mirroring the
+    paper's server-stored hash tables and data items (§4.6).
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        config: ALIDConfig | None = None,
+        *,
+        budget_entries: int | None = None,
+    ):
+        self.config = config or ALIDConfig()
+        data = check_data_matrix(data)
+        k = self.config.kernel_k
+        if k is None:
+            k = suggest_scaling_factor(
+                data,
+                p=self.config.kernel_p,
+                target_affinity=self.config.kernel_target_affinity,
+                seed=self.config.seed,
+            )
+        self.kernel = LaplacianKernel(k=k, p=self.config.kernel_p)
+        self.oracle = AffinityOracle(data, self.kernel,
+                                     budget_entries=budget_entries)
+        lsh_r = self.config.lsh_r
+        if lsh_r is None:
+            # Segment length ~10x the intra-cluster distance scale: with
+            # 40 concatenated projections, pairs at the intra-cluster
+            # scale then collide in a given table with probability ~4%,
+            # i.e. ~85% recall over 50 tables, while background-noise
+            # pairs (many multiples of the scale away) almost never do.
+            lsh_r = self.config.lsh_r_scale * self.kernel.distance_from_affinity(
+                self.config.kernel_target_affinity
+            )
+        self.lsh_r = float(lsh_r)
+        self.index = LSHIndex(
+            data,
+            r=self.lsh_r,
+            n_projections=self.config.lsh_projections,
+            n_tables=self.config.lsh_tables,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of data items."""
+        return self.oracle.n
+
+    @property
+    def data(self) -> np.ndarray:
+        """The data matrix (rows are items)."""
+        return self.oracle.data
+
+    # ------------------------------------------------------------------
+    def _initial_radius(self, seed_index: int) -> float:
+        """ROI radius for iterations where pi(x)=0 (paper: R = 0.4 at c=1).
+
+        ``initial_radius='auto'`` uses the median distance from the seed to
+        its LSH-colliding neighbours, which adapts to the data scale.
+        """
+        cfg = self.config
+        if cfg.initial_radius != "auto":
+            return float(cfg.initial_radius)
+        neighbors = self.index.query_item(seed_index)
+        if neighbors.size == 0:
+            # No collisions: fall back to the kernel's half-affinity scale.
+            return self.kernel.distance_from_affinity(0.5)
+        dists = self.oracle.distances_to_point(
+            self.data[seed_index], rows=neighbors
+        )
+        return float(np.median(dists))
+
+    def detect_from_seed(
+        self, seed_index: int, *, trace: list | None = None
+    ) -> _SingleDetection:
+        """Run paper Alg. 2 from one initial vertex.
+
+        Respects the LSH index's active mask, so peeled items are
+        invisible.  Returns the final local dense subgraph; the caller
+        decides whether it is dominant (density threshold) and whether to
+        peel it.
+
+        Pass a list as *trace* to receive one record per outer iteration
+        (support size, local-range size, density, ROI radius) — the raw
+        series the Appendix B convergence analysis compares against
+        Proposition 2's growth model (:mod:`repro.analysis.convergence`).
+        """
+        cfg = self.config
+        state = LIDState.from_seed(self.oracle, seed_index)
+        globally_verified = False
+        outer = 0
+        hard_cap = cfg.max_outer_iterations * 2 if cfg.verify_global else (
+            cfg.max_outer_iterations
+        )
+        c = 0
+        # Immunity cache: candidates CIVS retrieved that turned out to be
+        # immune against the *current* x_hat.  Immunity only depends on
+        # x_hat, so the cache stays valid while the dynamics do not move
+        # and saves re-testing the same fringe on every ROI growth round.
+        immune: set[int] = set()
+        last_density = -1.0
+        while c < hard_cap:
+            c += 1
+            outer = c
+            # --- Step 1: LID on the current local range -----------------
+            lid_dynamics(
+                state, max_iter=cfg.max_lid_iterations, tol=cfg.tol
+            )
+            state.restrict_to_support()
+            density = state.density()
+            if abs(density - last_density) > cfg.tol:
+                immune.clear()
+            last_density = density
+            alpha = state.beta
+            # --- Step 2: estimate the ROI ------------------------------
+            if density > 0.0:
+                ball = estimate_roi(
+                    self.data[alpha], state.x, density, self.kernel
+                )
+                center = ball.center
+                radius = roi_radius(
+                    ball,
+                    c,
+                    offset=cfg.roi_growth_offset,
+                    rate=cfg.roi_growth_rate,
+                )
+                # Prop. 1 only guarantees completeness at the *outer*
+                # ball; with an intermediate radius, an empty or immune
+                # retrieval does not prove global immunity yet.
+                roi_complete = radius >= ball.r_out * (1.0 - 1e-9)
+            else:
+                # Singleton subgraph: Eq. 15 is undefined (pi = 0); use
+                # the fallback radius around the seed item.  No outer
+                # ball exists, so an empty retrieval ends the search.
+                center = self.data[seed_index]
+                radius = self._initial_radius(seed_index)
+                roi_complete = True
+            # --- Step 3: CIVS ------------------------------------------
+            # Ablation hook (paper Fig. 4): with civs_single_query the
+            # index is queried from the heaviest support item only, i.e.
+            # one locality-sensitive region instead of one per support
+            # item — the failure mode CIVS was designed to avoid.
+            if cfg.extras.get("civs_single_query") and alpha.size > 1:
+                heaviest = alpha[int(np.argmax(state.x))]
+                query_support = np.asarray([heaviest], dtype=np.intp)
+            else:
+                query_support = alpha
+            exclude = (
+                np.fromiter(immune, dtype=np.intp, count=len(immune))
+                if immune
+                else None
+            )
+            retrieval = civs_retrieve(
+                self.index,
+                self.oracle,
+                support=query_support,
+                center=center,
+                radius=radius,
+                delta=cfg.delta,
+                exclude=exclude,
+            )
+            psi = retrieval.psi
+            nothing_infective = psi.size == 0
+            if psi.size > 0:
+                prev_size = state.size
+                state.extend(psi)
+                new_pay = state.g[prev_size:] - density
+                added = state.beta[prev_size:]
+                immune.update(
+                    int(j) for j, pay in zip(added, new_pay)
+                    if pay <= cfg.tol
+                )
+                if new_pay.size > 0 and float(new_pay.max()) <= cfg.tol:
+                    # Every retrieved candidate is already immune; drop
+                    # them again (they carry zero weight).
+                    state.restrict_to_support()
+                    nothing_infective = True
+            if trace is not None:
+                trace.append(
+                    {
+                        "c": c,
+                        "support_size": int(
+                            state.support_positions(cfg.support_tol).size
+                        ),
+                        "beta_size": int(state.size),
+                        "density": float(density),
+                        "radius": float(radius),
+                        "retrieved": int(psi.size),
+                    }
+                )
+            # Stop when x_hat is immune against everything the ROI can
+            # ever supply (Theorem 1 via Prop. 1's outer-ball guarantee),
+            # or when the paper's iteration budget C runs out.
+            stop = (nothing_infective and roi_complete) or (
+                c >= cfg.max_outer_iterations
+            )
+            if stop:
+                if cfg.verify_global and c < hard_cap:
+                    # Exact full-range scan (test oracle): resume the
+                    # dynamics if any infective vertex remains anywhere.
+                    added = self._verify_and_extend(state, density)
+                    if added:
+                        continue
+                    globally_verified = True
+                break
+            # Otherwise iterate: the logistic schedule (Eq. 16) grows the
+            # radius toward the outer ball on the next round.
+        members = state.support_global(cfg.support_tol)
+        positions = state.support_positions(cfg.support_tol)
+        weights = state.x[positions].copy()
+        density = state.density()
+        state.release()
+        return _SingleDetection(
+            members=members,
+            weights=weights,
+            density=density,
+            outer_iterations=outer,
+            globally_verified=globally_verified,
+        )
+
+    def _verify_and_extend(self, state: LIDState, density: float) -> bool:
+        """Exact full-range infectivity scan (``verify_global=True`` only).
+
+        Computes ``pi(s_j - x, x)`` for every active vertex outside beta
+        and extends the local range with the infective ones (up to delta).
+        Returns True when something was added, i.e. the dynamics must
+        continue.  This is the test-oracle for Theorem 1; benchmarks never
+        enable it.
+        """
+        cfg = self.config
+        active = self.index.active_mask
+        in_beta = np.zeros(self.n, dtype=bool)
+        in_beta[state.beta] = True
+        outside = np.flatnonzero(active & ~in_beta)
+        if outside.size == 0:
+            return False
+        alpha_pos = state.support_positions()
+        alpha = state.beta[alpha_pos]
+        if alpha.size == 0:
+            return False
+        block = self.oracle.block(outside, alpha)
+        pay = block @ state.x[alpha_pos] - density
+        infective = outside[pay > cfg.tol]
+        if infective.size == 0:
+            return False
+        if infective.size > cfg.delta:
+            order = np.argsort(pay[pay > cfg.tol])[::-1][: cfg.delta]
+            infective = infective[order]
+        state.extend(infective)
+        return True
+
+
+class SeedSchedule:
+    """Order in which the peeling driver picks initial vertices.
+
+    Items in large LSH buckets are likely members of dominant clusters
+    (the observation PALID's sampling is built on, §4.6), so we visit
+    them first; remaining items follow in index order.
+    """
+
+    def __init__(self, index: LSHIndex):
+        n = index.n
+        score = np.zeros(n, dtype=np.int64)
+        for bucket in index.large_buckets(min_size=2, table=0):
+            score[bucket] = bucket.size
+        # Sort by descending bucket size, stable so ties keep index order.
+        self._order = np.argsort(-score, kind="stable").astype(np.intp)
+        self._cursor = 0
+        self._index = index
+
+    def next_active(self) -> int | None:
+        """Next unpeeled seed, or None when everything is peeled."""
+        active = self._index.active_mask
+        while self._cursor < self._order.size:
+            candidate = int(self._order[self._cursor])
+            if active[candidate]:
+                return candidate
+            self._cursor += 1
+        return None
+
+
+class ALID:
+    """Sequential ALID detector with the paper's peeling protocol (§4.4).
+
+    Example
+    -------
+    >>> from repro import ALID, make_synthetic_mixture
+    >>> dataset = make_synthetic_mixture(n=400, regime="bounded", seed=0)
+    >>> result = ALID().fit(dataset.data)
+    >>> result.n_clusters > 0
+    True
+    """
+
+    def __init__(self, config: ALIDConfig | None = None):
+        self.config = config or ALIDConfig()
+        self.engine_: ALIDEngine | None = None
+
+    def fit(
+        self,
+        data: np.ndarray,
+        *,
+        budget_entries: int | None = None,
+        max_clusters: int | None = None,
+    ) -> DetectionResult:
+        """Detect all dominant clusters in *data*.
+
+        Parameters
+        ----------
+        data:
+            Data matrix ``(n, d)``.
+        budget_entries:
+            Optional simulated-memory cap (see
+            :class:`~repro.affinity.oracle.AffinityOracle`).
+        max_clusters:
+            Optional cap on peeling rounds (diagnostics only; the paper
+            peels until every item is gone).
+
+        Returns
+        -------
+        DetectionResult
+            Dominant clusters (density >= ``config.density_threshold`` and
+            size >= ``config.min_cluster_size``), plus every peeled
+            cluster in ``all_clusters``.
+        """
+        data = check_data_matrix(data)
+        if data.shape[0] == 0:
+            raise EmptyDatasetError("cannot fit ALID on an empty dataset")
+        with timed() as clock:
+            engine = ALIDEngine(
+                data, self.config, budget_entries=budget_entries
+            )
+            self.engine_ = engine
+            schedule = SeedSchedule(engine.index)
+            all_clusters: list[Cluster] = []
+            label = 0
+            cap = max_clusters if max_clusters is not None else data.shape[0]
+            while len(all_clusters) < cap:
+                seed = schedule.next_active()
+                if seed is None:
+                    break
+                detection = engine.detect_from_seed(seed)
+                members = detection.members
+                if members.size == 0:
+                    # Degenerate: peel the seed alone so progress is made.
+                    members = np.asarray([seed], dtype=np.intp)
+                    weights = np.asarray([1.0])
+                    density = 0.0
+                else:
+                    weights = detection.weights
+                    density = detection.density
+                cluster = Cluster(
+                    members=members,
+                    weights=weights,
+                    density=density,
+                    label=label,
+                    seed=seed,
+                )
+                all_clusters.append(cluster)
+                label += 1
+                engine.index.deactivate(members)
+        dominant = [
+            c
+            for c in all_clusters
+            if c.density >= self.config.density_threshold
+            and c.size >= self.config.min_cluster_size
+        ]
+        return DetectionResult(
+            clusters=dominant,
+            all_clusters=all_clusters,
+            n_items=data.shape[0],
+            runtime_seconds=clock[0],
+            counters=engine.oracle.counters.snapshot(),
+            method="ALID",
+            metadata={
+                "kernel_k": engine.kernel.k,
+                "lsh_r": engine.lsh_r,
+                "peeling_rounds": len(all_clusters),
+            },
+        )

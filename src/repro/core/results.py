@@ -1,0 +1,139 @@
+"""Result types shared by every detection method in the repository.
+
+All detectors — ALID, PALID and the seven baselines — return a
+:class:`DetectionResult`, so the evaluation harness (AVG-F, accounting,
+report rendering) treats them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.affinity.oracle import AffinityCounters
+from repro.exceptions import ValidationError
+
+__all__ = ["Cluster", "DetectionResult"]
+
+
+@dataclass
+class Cluster:
+    """One detected cluster.
+
+    Attributes
+    ----------
+    members:
+        Global indices of the cluster's data items.
+    weights:
+        Probabilistic memberships aligned with *members* (uniform for
+        partitioning baselines that have no notion of weights).
+    density:
+        The cluster's graph density ``pi(x)`` (internal coherence); the
+        paper selects clusters with ``pi(x) >= 0.75`` as dominant.
+    label:
+        Unique cluster label within one detection run.
+    seed:
+        The initial vertex the cluster was grown from (-1 if not seeded).
+    """
+
+    members: np.ndarray
+    weights: np.ndarray
+    density: float
+    label: int
+    seed: int = -1
+
+    def __post_init__(self) -> None:
+        self.members = np.asarray(self.members, dtype=np.intp)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if self.members.shape != self.weights.shape:
+            raise ValidationError(
+                f"members and weights must align: "
+                f"{self.members.shape} vs {self.weights.shape}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of member items."""
+        return int(self.members.size)
+
+    def member_set(self) -> set[int]:
+        """Members as a Python set (for evaluation convenience)."""
+        return set(int(i) for i in self.members)
+
+
+@dataclass
+class DetectionResult:
+    """Uniform output of every detection method.
+
+    Attributes
+    ----------
+    clusters:
+        The *dominant* clusters (density above the method's threshold when
+        the method filters; all clusters for partitioning baselines).
+    all_clusters:
+        Every cluster found, including sub-threshold ones peeled as noise.
+    n_items:
+        Total number of data items the detector saw.
+    runtime_seconds:
+        Wall-clock detection time (including any affinity computation, as
+        in the paper's measurement protocol).
+    counters:
+        Snapshot of the affinity-oracle counters at completion (work and
+        simulated memory).
+    method:
+        Human-readable method name ("ALID", "IID", ...).
+    metadata:
+        Free-form extras (iteration counts, parallel speedup inputs, ...).
+    """
+
+    clusters: list[Cluster]
+    all_clusters: list[Cluster]
+    n_items: int
+    runtime_seconds: float = 0.0
+    counters: AffinityCounters | None = None
+    method: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of dominant clusters."""
+        return len(self.clusters)
+
+    def labels(self) -> np.ndarray:
+        """Per-item labels: cluster label, or -1 for unclustered noise.
+
+        When clusters overlap (possible for PALID before reduction), the
+        densest cluster wins — mirroring the paper's reducer rule.
+        """
+        labels = np.full(self.n_items, -1, dtype=np.int64)
+        best_density = np.full(self.n_items, -np.inf)
+        for cluster in self.clusters:
+            better = cluster.density > best_density[cluster.members]
+            chosen = cluster.members[better]
+            labels[chosen] = cluster.label
+            best_density[chosen] = cluster.density
+        return labels
+
+    def member_lists(self) -> list[np.ndarray]:
+        """Member index arrays of the dominant clusters (for AVG-F)."""
+        return [c.members for c in self.clusters]
+
+    def coverage(self) -> float:
+        """Fraction of items assigned to some dominant cluster."""
+        if self.n_items == 0:
+            return 0.0
+        return float((self.labels() >= 0).sum()) / self.n_items
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        mem = (
+            f", peak-mem {self.counters.peak_memory_mb:.2f} MB"
+            if self.counters is not None
+            else ""
+        )
+        return (
+            f"{self.method or 'detection'}: {self.n_clusters} dominant "
+            f"cluster(s) over {self.n_items} items in "
+            f"{self.runtime_seconds:.3f}s{mem}"
+        )

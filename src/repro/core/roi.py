@@ -1,0 +1,136 @@
+"""Region of Interest: the double-deck hyperball (paper §4.2, Eq. 15/16).
+
+Given a converged local dense subgraph ``x_hat`` with support ``alpha``,
+the double-deck hyperball ``H(D, R_in, R_out)`` is centred at the weighted
+barycentre ``D = sum_i v_i * x_i`` with
+
+* ``R_in  = ln(lambda_in  / pi(x)) / k``,
+  ``lambda_in  = sum_i x_i * exp(-k ||v_i - D||_p)``;
+* ``R_out = ln(lambda_out / pi(x)) / k``,
+  ``lambda_out = sum_i x_i * exp(+k ||v_i - D||_p)``.
+
+Proposition 1 (proved via the triangle inequality) guarantees that every
+data item strictly inside the inner ball is infective against ``x_hat``
+and every item strictly outside the outer ball is non-infective.  The
+working ROI radius grows from ``R_in`` towards ``R_out`` on the logistic
+schedule ``theta(c) = 1 / (1 + exp(4 - c/2))`` (Eq. 16), so early
+iterations scan few points while convergence is still guaranteed by the
+outer ball.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.affinity.kernel import LaplacianKernel, pairwise_distances
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_probability_vector
+
+__all__ = ["DoubleDeckBall", "estimate_roi", "roi_radius", "logistic_growth"]
+
+
+@dataclass(frozen=True)
+class DoubleDeckBall:
+    """The ROI's geometry: centre and the two guaranteed radii.
+
+    Attributes
+    ----------
+    center:
+        The barycentre ``D`` of the support, weighted by ``x_hat``.
+    r_in:
+        Inner radius: everything strictly inside is infective (clamped at
+        0 when ``lambda_in < pi(x)``, i.e. the guarantee region is empty).
+    r_out:
+        Outer radius: everything strictly outside is non-infective.
+    density:
+        The density ``pi(x_hat)`` the ball was computed from.
+    """
+
+    center: np.ndarray
+    r_in: float
+    r_out: float
+    density: float
+
+    def contains(self, distances: np.ndarray, radius: float) -> np.ndarray:
+        """Boolean mask of points (given their distances to D) within radius."""
+        return np.asarray(distances) <= radius
+
+
+def logistic_growth(c: int, offset: float = 4.0, rate: float = 2.0) -> float:
+    """The shifted logistic ``theta(c) = 1 / (1 + exp(offset - c/rate))``.
+
+    Controls how fast the ROI surface moves from the inner to the outer
+    ball as the ALID iteration count *c* grows (paper Eq. 16).
+    """
+    if c < 0:
+        raise ValidationError(f"iteration count must be >= 0, got {c}")
+    return float(1.0 / (1.0 + np.exp(offset - c / rate)))
+
+
+def estimate_roi(
+    support_data: np.ndarray,
+    weights: np.ndarray,
+    density: float,
+    kernel: LaplacianKernel,
+) -> DoubleDeckBall:
+    """Build the double-deck hyperball from a local dense subgraph.
+
+    Parameters
+    ----------
+    support_data:
+        Rows are the data items of the support ``alpha`` (shape (m, d)).
+    weights:
+        The support weights ``x_hat_alpha`` (must sum to 1).
+    density:
+        ``pi(x_hat)``, strictly positive (a singleton subgraph has
+        density 0 under the zero-diagonal kernel and admits no ROI;
+        callers fall back to the initial radius in that case).
+    kernel:
+        The Laplacian kernel of Eq. 1 (supplies ``k`` and ``p``).
+
+    Notes
+    -----
+    ``lambda_out`` involves ``exp(+k * distance)`` which can overflow for
+    distant support points; both lambdas are therefore evaluated in log
+    space with :func:`scipy.special.logsumexp`.
+    """
+    weights = check_probability_vector(weights, name="weights")
+    support_data = np.asarray(support_data, dtype=np.float64)
+    if support_data.ndim != 2 or support_data.shape[0] != weights.size:
+        raise ValidationError(
+            f"support_data must be (m, d) with m = len(weights); "
+            f"got {support_data.shape} vs {weights.size}"
+        )
+    if density <= 0.0:
+        raise ValidationError(
+            f"density must be > 0 to estimate a ROI, got {density}"
+        )
+    center = weights @ support_data
+    dists = pairwise_distances(support_data, center[None, :], p=kernel.p)[:, 0]
+    with np.errstate(divide="ignore"):
+        log_w = np.where(weights > 0.0, np.log(weights), -np.inf)
+    log_lambda_in = float(logsumexp(log_w - kernel.k * dists))
+    log_lambda_out = float(logsumexp(log_w + kernel.k * dists))
+    log_density = float(np.log(density))
+    r_in = max(0.0, (log_lambda_in - log_density) / kernel.k)
+    r_out = max(r_in, (log_lambda_out - log_density) / kernel.k)
+    return DoubleDeckBall(center=center, r_in=r_in, r_out=r_out, density=density)
+
+
+def roi_radius(
+    ball: DoubleDeckBall,
+    c: int,
+    *,
+    offset: float = 4.0,
+    rate: float = 2.0,
+) -> float:
+    """Working ROI radius at ALID iteration *c* (paper Eq. 16).
+
+    ``R = R_in + theta(c) * (R_out - R_in)`` — starts near the inner ball
+    and approaches the outer ball as *c* grows.
+    """
+    theta = logistic_growth(c, offset=offset, rate=rate)
+    return ball.r_in + theta * (ball.r_out - ball.r_in)

@@ -1,0 +1,23 @@
+"""Dataset substrate: synthetic generators matching the paper's workloads.
+
+The real NART / NDI / SIFT-50M collections are crawled or extracted data
+we cannot access; each generator here reproduces the *geometry* those
+datasets expose to a distance-based method (see DESIGN.md §2 for the
+substitution argument).  The three synthetic regimes of §5.2 are generated
+exactly as described in the paper.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.nart import make_nart
+from repro.datasets.ndi import make_ndi, make_sub_ndi
+from repro.datasets.sift import make_sift
+from repro.datasets.synthetic import make_synthetic_mixture
+
+__all__ = [
+    "Dataset",
+    "make_nart",
+    "make_ndi",
+    "make_sub_ndi",
+    "make_sift",
+    "make_synthetic_mixture",
+]

@@ -1,0 +1,125 @@
+"""The labelled dataset container shared by every generator and experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["Dataset"]
+
+NOISE_LABEL = -1
+
+
+@dataclass
+class Dataset:
+    """A data matrix with dominant-cluster ground truth.
+
+    Attributes
+    ----------
+    data:
+        Data matrix of shape ``(n, d)``.
+    labels:
+        Ground-truth labels of shape ``(n,)``: cluster ids ``>= 0`` for
+        items belonging to a dominant cluster, ``-1`` for background
+        noise (the paper's unlabeled majority).
+    name:
+        Human-readable dataset name.
+    metadata:
+        Generator parameters (for experiment records).
+    """
+
+    data: np.ndarray
+    labels: np.ndarray
+    name: str = "dataset"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.data.ndim != 2:
+            raise ValidationError(f"data must be 2-D, got ndim={self.data.ndim}")
+        if self.labels.shape != (self.data.shape[0],):
+            raise ValidationError(
+                f"labels must have shape ({self.data.shape[0]},), "
+                f"got {self.labels.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of items."""
+        return self.data.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Feature dimensionality."""
+        return self.data.shape[1]
+
+    @property
+    def n_noise(self) -> int:
+        """Number of background-noise items."""
+        return int((self.labels == NOISE_LABEL).sum())
+
+    @property
+    def n_ground_truth(self) -> int:
+        """Number of items belonging to some dominant cluster."""
+        return self.n - self.n_noise
+
+    @property
+    def n_true_clusters(self) -> int:
+        """Number of ground-truth dominant clusters."""
+        positive = self.labels[self.labels >= 0]
+        if positive.size == 0:
+            return 0
+        return int(len(np.unique(positive)))
+
+    def noise_degree(self) -> float:
+        """``#noise / #ground-truth`` (paper Eq. 35)."""
+        gt = self.n_ground_truth
+        if gt == 0:
+            return float("inf") if self.n_noise > 0 else 0.0
+        return self.n_noise / gt
+
+    def truth_clusters(self) -> list[np.ndarray]:
+        """Index arrays of the ground-truth dominant clusters."""
+        out = []
+        for cluster_id in np.unique(self.labels[self.labels >= 0]):
+            out.append(np.flatnonzero(self.labels == cluster_id).astype(np.intp))
+        return out
+
+    def largest_cluster_size(self) -> int:
+        """The paper's ``a*`` — size of the largest dominant cluster."""
+        clusters = self.truth_clusters()
+        if not clusters:
+            return 0
+        return max(c.size for c in clusters)
+
+    def subsample(self, n: int, seed=0) -> "Dataset":
+        """Uniform subsample of *n* items (used by the NDI/SIFT sweeps)."""
+        if n > self.n:
+            raise ValidationError(
+                f"cannot subsample {n} items from {self.n}"
+            )
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(self.n, size=n, replace=False)
+        idx.sort()
+        return Dataset(
+            data=self.data[idx],
+            labels=self.labels[idx],
+            name=f"{self.name}[sub{n}]",
+            metadata=dict(self.metadata, parent=self.name, subsample=n),
+        )
+
+    def shuffled(self, seed=0) -> "Dataset":
+        """Random permutation of the items (defensive test utility)."""
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(self.n)
+        return Dataset(
+            data=self.data[perm],
+            labels=self.labels[perm],
+            name=self.name,
+            metadata=dict(self.metadata),
+        )

@@ -1,0 +1,168 @@
+"""The paper's synthetic workloads (§5.2).
+
+"The synthetic data sets are made up by sampling n 100-dimensional data
+items from 20 different multivariate gaussian distributions as dominant
+clusters and one uniform distribution as the background noise. [...] we
+make some gaussian distributions partially overlapped by setting their
+mean vectors close to each other and variate the shapes of all gaussian
+distributions by different diagonal covariance matrices with elements
+ranged in [0, 10]."
+
+Three regimes control the largest-cluster size ``a*`` (paper Table 1):
+
+* ``"omega_n"`` — ``a* = omega * n / 20`` (clean source, default omega=1:
+  every item belongs to a cluster);
+* ``"n_eta"``   — ``a* = n**eta / 20`` (noisy source, default eta=0.9);
+* ``"bounded"`` — ``a* = P / 20`` (size-limited clusters, default P=1000).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+__all__ = ["make_synthetic_mixture", "cluster_size_for_regime"]
+
+_REGIMES = ("omega_n", "n_eta", "bounded")
+
+
+def cluster_size_for_regime(
+    n: int,
+    regime: str,
+    *,
+    n_clusters: int = 20,
+    omega: float = 1.0,
+    eta: float = 0.9,
+    bound: int = 1000,
+) -> int:
+    """Per-cluster size ``a*`` for the paper's three Table-1 regimes."""
+    if regime not in _REGIMES:
+        raise ValidationError(
+            f"regime must be one of {_REGIMES}, got {regime!r}"
+        )
+    if regime == "omega_n":
+        size = omega * n / n_clusters
+    elif regime == "n_eta":
+        size = (n**eta) / n_clusters
+    else:
+        size = bound / n_clusters
+    size = int(round(size))
+    max_size = n // n_clusters
+    return max(1, min(size, max_size))
+
+
+def make_synthetic_mixture(
+    n: int,
+    regime: str = "omega_n",
+    *,
+    n_clusters: int = 20,
+    dim: int = 100,
+    omega: float = 1.0,
+    eta: float = 0.9,
+    bound: int = 1000,
+    overlap_pairs: int = 3,
+    box_half_width: float = 100.0,
+    var_low: float = 0.5,
+    var_high: float = 10.0,
+    seed=0,
+) -> Dataset:
+    """Generate one of the paper's three synthetic workloads.
+
+    Parameters
+    ----------
+    n:
+        Total number of items (clusters + noise).
+    regime:
+        ``"omega_n"``, ``"n_eta"`` or ``"bounded"`` (paper Table 1).
+    n_clusters:
+        Number of Gaussian dominant clusters (paper: 20).
+    dim:
+        Feature dimensionality (paper: 100).
+    omega / eta / bound:
+        Regime parameters (paper: omega=1.0, eta=0.9, P=1000).
+    overlap_pairs:
+        Number of cluster pairs whose means are moved close together to
+        "partially overlap", as the paper describes.
+    box_half_width:
+        Noise items are uniform on ``[-w, w]^dim``; cluster means are
+        drawn from the inner half of that box so noise surrounds them.
+    var_low / var_high:
+        Range of the diagonal covariance entries (paper: [0, 10]; we use
+        a positive lower bound so no dimension degenerates).
+    seed:
+        RNG seed.
+
+    Returns
+    -------
+    Dataset
+        Items in cluster-major order followed by noise, with ground-truth
+        labels (noise = -1).
+    """
+    if n < n_clusters:
+        raise ValidationError(
+            f"need n >= n_clusters, got n={n}, n_clusters={n_clusters}"
+        )
+    rng = as_generator(seed)
+    per_cluster = cluster_size_for_regime(
+        n,
+        regime,
+        n_clusters=n_clusters,
+        omega=omega,
+        eta=eta,
+        bound=bound,
+    )
+    n_truth = per_cluster * n_clusters
+    n_noise = n - n_truth
+
+    # Cluster means inside the inner half of the noise box; a minimum
+    # separation keeps non-overlapping clusters distinct.
+    means = rng.uniform(
+        -box_half_width / 2.0, box_half_width / 2.0, size=(n_clusters, dim)
+    )
+    # Partially overlap some pairs by pulling mean 2j+1 near mean 2j.
+    for pair in range(min(overlap_pairs, n_clusters // 2)):
+        a, b = 2 * pair, 2 * pair + 1
+        direction = rng.normal(size=dim)
+        direction /= np.linalg.norm(direction)
+        means[b] = means[a] + direction * rng.uniform(2.0, 5.0)
+
+    variances = rng.uniform(var_low, var_high, size=(n_clusters, dim))
+
+    blocks = []
+    labels = []
+    for cluster_id in range(n_clusters):
+        block = rng.normal(
+            loc=means[cluster_id],
+            scale=np.sqrt(variances[cluster_id]),
+            size=(per_cluster, dim),
+        )
+        blocks.append(block)
+        labels.append(np.full(per_cluster, cluster_id, dtype=np.int64))
+    if n_noise > 0:
+        noise = rng.uniform(
+            -box_half_width, box_half_width, size=(n_noise, dim)
+        )
+        blocks.append(noise)
+        labels.append(np.full(n_noise, -1, dtype=np.int64))
+
+    data = np.vstack(blocks)
+    label_arr = np.concatenate(labels)
+    return Dataset(
+        data=data,
+        labels=label_arr,
+        name=f"synthetic[{regime}]",
+        metadata={
+            "regime": regime,
+            "n": n,
+            "n_clusters": n_clusters,
+            "per_cluster": per_cluster,
+            "dim": dim,
+            "omega": omega,
+            "eta": eta,
+            "bound": bound,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,195 @@
+"""Full-matrix Infection Immunization Dynamics (Rota Bulò et al.).
+
+Solves the StQP of paper Eq. 3 by the infection/immunization scheme of
+§3: per iteration, pick the vertex maximising ``|pi(s_i - x, x)|`` over
+the infective set C1 and the weak-in-support set C2 (Eq. 6), invade with
+either the vertex itself (infection) or its co-vertex (immunization,
+Eq. 7) using the optimal share of Eq. 9.  Each iteration needs one column
+of the payoff matrix and is O(n) given the matrix — but materialising the
+matrix costs O(n^2), which is exactly the bottleneck ALID removes.
+
+The implementation supports an *active mask* so the peeling driver can
+restrict the dynamics to unpeeled vertices without copying submatrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.dynamics.simplex import renormalize, simplex_support
+from repro.exceptions import ConvergenceError, ValidationError
+from repro.utils.validation import check_probability_vector
+
+__all__ = ["IIDResult", "iid_dynamics", "infectivity", "invasion_share"]
+
+
+@dataclass
+class IIDResult:
+    """Outcome of an IID run.
+
+    Attributes
+    ----------
+    x:
+        Final simplex point (zeros outside the active mask).
+    density:
+        Final graph density ``pi(x)``.
+    iterations:
+        Iterations performed.
+    converged:
+        True when no vertex in C1 ∪ C2 exceeded the tolerance, i.e. the
+        point is immune against every vertex (Theorem 1) up to *tol*.
+    """
+
+    x: np.ndarray
+    density: float
+    iterations: int
+    converged: bool
+
+    def support(self, tol: float = 0.0) -> np.ndarray:
+        """Vertices with strictly positive weight — the dense subgraph."""
+        return simplex_support(self.x, tol)
+
+
+def infectivity(ax: np.ndarray, density: float) -> np.ndarray:
+    """Per-vertex payoff margin ``pi(s_i - x, x) = (Ax)_i - pi(x)``.
+
+    Positive entries are infective vertices, negative entries in the
+    support are weak vertices (paper Fig. 1).
+    """
+    return np.asarray(ax, dtype=np.float64) - float(density)
+
+
+def invasion_share(pay_diff: float, pay_quad: float) -> float:
+    """Optimal invasion share ``eps_y(x)`` of paper Eq. 9.
+
+    Parameters
+    ----------
+    pay_diff:
+        ``pi(y - x, x)`` — must be positive for an infective *y*.
+    pay_quad:
+        ``pi(y - x) = (y - x)' A (y - x)``.
+
+    Returns
+    -------
+    float
+        ``min(-pay_diff / pay_quad, 1)`` when ``pay_quad < 0``, else 1.
+    """
+    if pay_quad < 0.0:
+        return min(-pay_diff / pay_quad, 1.0)
+    return 1.0
+
+
+def _column(a_matrix, i: int) -> np.ndarray:
+    if sp.issparse(a_matrix):
+        # Affinity matrices are symmetric, so column i equals row i —
+        # and CSR row extraction is far cheaper than column slicing.
+        return a_matrix.getrow(i).toarray().ravel()
+    return np.asarray(a_matrix[:, i], dtype=np.float64)
+
+
+def iid_dynamics(
+    a_matrix,
+    x0: np.ndarray,
+    *,
+    max_iter: int = 5000,
+    tol: float = 1e-7,
+    active: np.ndarray | None = None,
+    strict: bool = False,
+) -> IIDResult:
+    """Run Infection Immunization Dynamics from *x0*.
+
+    Parameters
+    ----------
+    a_matrix:
+        Symmetric non-negative payoff matrix with zero diagonal,
+        dense array or scipy sparse.
+    x0:
+        Starting simplex point; its support must lie inside *active*.
+    max_iter:
+        Iteration cap (the paper notes IID converges quickly).
+    tol:
+        Immunity tolerance: stop when ``max |pi(s_i - x, x)|`` over
+        C1 ∪ C2 is at most *tol*.
+    active:
+        Optional boolean mask restricting the dynamics to a vertex subset
+        (used by the peeling driver).  Inactive vertices can never be
+        selected for infection.
+    strict:
+        Raise :class:`ConvergenceError` on non-convergence instead of
+        returning the last iterate.
+
+    Returns
+    -------
+    IIDResult
+    """
+    n = a_matrix.shape[0]
+    if a_matrix.shape[0] != a_matrix.shape[1]:
+        raise ValidationError(f"a_matrix must be square, got {a_matrix.shape}")
+    x = check_probability_vector(x0, name="x0").copy()
+    if x.size != n:
+        raise ValidationError(f"x0 has size {x.size}, matrix is {n}x{n}")
+    if active is None:
+        active = np.ones(n, dtype=bool)
+    else:
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (n,):
+            raise ValidationError(
+                f"active mask must have shape ({n},), got {active.shape}"
+            )
+        if np.any(x[~active] > 0):
+            raise ValidationError("x0 has weight on inactive vertices")
+
+    ax = np.asarray(a_matrix @ x).ravel().astype(np.float64)
+    density = float(x @ ax)
+
+    converged = False
+    iterations = 0
+    inactive = ~active
+    for iterations in range(1, max_iter + 1):
+        pay = ax - density
+        # C1: infective vertices (among active); C2: weak support vertices.
+        pay_masked = pay.copy()
+        pay_masked[inactive] = 0.0
+        c1_scores = np.where(pay_masked > tol, pay_masked, 0.0)
+        c2_scores = np.where((pay_masked < -tol) & (x > 0.0), -pay_masked, 0.0)
+        scores = np.maximum(c1_scores, c2_scores)
+        i = int(np.argmax(scores))
+        if scores[i] <= tol:
+            converged = True
+            break
+        col = _column(a_matrix, i)
+        pay_i = float(pay[i])
+        # pi(s_i - x) = a_ii - 2 (Ax)_i + pi(x); a_ii = 0 by Eq. 1.
+        quad_i = -2.0 * float(ax[i]) + density
+        if pay_i > 0.0:
+            # Infection with y = s_i (paper Eq. 5 with y the pure vertex).
+            eps = invasion_share(pay_i, quad_i)
+            x *= 1.0 - eps
+            x[i] += eps
+            ax = (1.0 - eps) * ax + eps * col
+        else:
+            # Immunization with the co-vertex y = s_i(x) (paper Eq. 7);
+            # mu = x_i / (x_i - 1) < 0 rescales the pure-vertex payoffs
+            # (paper Eq. 12).
+            xi = float(x[i])
+            mu = xi / (xi - 1.0)
+            pay_diff = mu * pay_i
+            pay_quad = mu * mu * quad_i
+            eps = invasion_share(pay_diff, pay_quad)
+            # z = x + eps * mu * (s_i - x): off-support entries scale by
+            # (1 - eps*mu) and entry i collapses to exactly (1 - eps) * x_i.
+            x *= 1.0 - eps * mu
+            x[i] = (1.0 - eps) * xi
+            ax = ax + eps * mu * (col - ax)
+        np.maximum(x, 0.0, out=x)
+        total = float(x.sum())
+        if abs(total - 1.0) > 1e-9:
+            renormalize(x)
+            ax = np.asarray(a_matrix @ x).ravel().astype(np.float64)
+        density = float(x @ ax)
+    if not converged and strict:
+        raise ConvergenceError(f"IID did not converge in {max_iter} iterations")
+    return IIDResult(x=x, density=density, iterations=iterations, converged=converged)

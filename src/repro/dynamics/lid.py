@@ -1,0 +1,251 @@
+"""Localized Infection Immunization Dynamics — LID (paper Alg. 1, §4.1).
+
+LID runs the infection/immunization scheme *inside a local range* ``beta``
+(an index set of graph vertices) and never touches the full affinity
+matrix: it maintains
+
+* ``x``      — the local mixed strategy, aligned with ``beta``;
+* ``g``      — the payoff vector ``(A x)_beta = A[beta, alpha] @ x_alpha``
+  (the paper's ``A_beta_alpha x_alpha``); and
+* a cache of affinity columns ``A[beta, j]`` (paper Fig. 3's green
+  columns), fetched on demand through the instrumented oracle and charged
+  to the simulated-memory accounting.
+
+Per iteration: O(|beta|) arithmetic plus at most one new column of kernel
+evaluations — exactly the paper's claimed cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.affinity.oracle import AffinityOracle
+from repro.dynamics.iid import invasion_share
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_index_array
+
+__all__ = ["LIDState", "lid_dynamics"]
+
+
+class LIDState:
+    """Mutable state of a localized infection-immunization run.
+
+    The state owns the column cache and its storage accounting; call
+    :meth:`release` when a cluster is peeled so the simulated memory is
+    freed (paper §4.5: "all submatrices are released when the i-th
+    cluster is peeled off").
+    """
+
+    def __init__(
+        self,
+        oracle: AffinityOracle,
+        beta: np.ndarray,
+        x: np.ndarray,
+        g: np.ndarray,
+    ):
+        self.oracle = oracle
+        self.beta = check_index_array(beta, oracle.n, name="beta", allow_empty=False)
+        if len(np.unique(self.beta)) != len(self.beta):
+            raise ValidationError("beta contains duplicate indices")
+        self.x = np.asarray(x, dtype=np.float64).copy()
+        self.g = np.asarray(g, dtype=np.float64).copy()
+        if self.x.shape != self.beta.shape or self.g.shape != self.beta.shape:
+            raise ValidationError(
+                f"x/g must align with beta: beta={self.beta.shape}, "
+                f"x={self.x.shape}, g={self.g.shape}"
+            )
+        self._columns: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_seed(cls, oracle: AffinityOracle, seed_index: int) -> "LIDState":
+        """Paper Alg. 2 line 1: beta = {i}, x = s_i, A_beta_alpha x = a_ii = 0."""
+        beta = np.asarray([seed_index], dtype=np.intp)
+        return cls(oracle, beta, np.asarray([1.0]), np.asarray([0.0]))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current size of the local range |beta|."""
+        return int(self.beta.size)
+
+    def density(self) -> float:
+        """Graph density pi(x) = x' A x = sum_i x_i * g_i (local)."""
+        return float(self.x @ self.g)
+
+    def payoffs(self) -> np.ndarray:
+        """pi(s_i - x, x) for every i in beta (paper Eq. 10)."""
+        return self.g - self.density()
+
+    def support_positions(self, tol: float = 0.0) -> np.ndarray:
+        """Positions (into beta) of vertices with weight > tol."""
+        return np.flatnonzero(self.x > tol).astype(np.intp)
+
+    def support_global(self, tol: float = 0.0) -> np.ndarray:
+        """Global indices of the support (the paper's alpha set)."""
+        return self.beta[self.support_positions(tol)]
+
+    def cached_entries(self) -> int:
+        """Number of affinity entries currently held by the column cache."""
+        return sum(col.size for col in self._columns.values())
+
+    # ------------------------------------------------------------------
+    # column cache (A[beta, j], paper Fig. 3)
+    # ------------------------------------------------------------------
+    def column(self, j_global: int) -> np.ndarray:
+        """Affinity column ``A[beta, j]`` aligned with beta, cached."""
+        col = self._columns.get(int(j_global))
+        if col is None or col.size != self.beta.size:
+            if col is not None:
+                self.oracle.release_stored(col.size)
+            col = self.oracle.column(int(j_global), rows=self.beta)
+            self.oracle.charge_stored(col.size)
+            self._columns[int(j_global)] = col
+        return col
+
+    def _drop_column(self, j_global: int) -> None:
+        col = self._columns.pop(int(j_global), None)
+        if col is not None:
+            self.oracle.release_stored(col.size)
+
+    def release(self) -> None:
+        """Free all cached columns (cluster peeled)."""
+        for j in list(self._columns):
+            self._drop_column(j)
+
+    # ------------------------------------------------------------------
+    # local-range updates (paper Eq. 17 and the beta = alpha ∪ psi step)
+    # ------------------------------------------------------------------
+    def restrict_to_support(self) -> None:
+        """Shrink the local range to the support: beta <- alpha.
+
+        Keeps ``g`` consistent because ``x`` has no weight outside alpha:
+        ``g_alpha = A[alpha, alpha] @ x_alpha`` (paper Eq. 17, top block).
+        Cached columns for vertices remaining in beta are row-subset;
+        all others are released.
+        """
+        pos = self.support_positions()
+        if pos.size == self.beta.size:
+            return
+        new_beta = self.beta[pos]
+        keep = set(int(j) for j in new_beta)
+        for j in list(self._columns):
+            if j in keep:
+                old = self._columns[j]
+                self._columns[j] = old[pos].copy()
+                self.oracle.release_stored(old.size - pos.size)
+            else:
+                self._drop_column(j)
+        self.beta = new_beta
+        self.x = self.x[pos].copy()
+        self.g = self.g[pos].copy()
+
+    def extend(self, psi: np.ndarray) -> None:
+        """Grow the local range with new vertices psi (CIVS output).
+
+        Implements paper Eq. 17: the new vertices join with zero weight and
+        their payoff entries ``g_psi = A[psi, alpha] @ x_alpha`` are
+        computed through the oracle.  Cached columns are extended with
+        their psi rows so previously computed entries are not recomputed.
+        """
+        psi = check_index_array(psi, self.oracle.n, name="psi")
+        if psi.size == 0:
+            return
+        existing = set(int(j) for j in self.beta)
+        psi = np.asarray(
+            [int(j) for j in psi if int(j) not in existing], dtype=np.intp
+        )
+        if psi.size == 0:
+            return
+        alpha_pos = self.support_positions()
+        alpha = self.beta[alpha_pos]
+        if alpha.size > 0:
+            block = self.oracle.block(psi, alpha)
+            g_psi = block @ self.x[alpha_pos]
+        else:
+            g_psi = np.zeros(psi.size, dtype=np.float64)
+        for j, col in self._columns.items():
+            extension = self.oracle.column(j, rows=psi)
+            self.oracle.charge_stored(extension.size)
+            self._columns[j] = np.concatenate([col, extension])
+        self.beta = np.concatenate([self.beta, psi])
+        self.x = np.concatenate([self.x, np.zeros(psi.size)])
+        self.g = np.concatenate([self.g, g_psi])
+
+    # ------------------------------------------------------------------
+    # consistency check (used by tests)
+    # ------------------------------------------------------------------
+    def recompute_g(self) -> np.ndarray:
+        """Recompute ``(A x)_beta`` from scratch (testing/verification)."""
+        alpha_pos = self.support_positions()
+        if alpha_pos.size == 0:
+            return np.zeros(self.beta.size)
+        block = self.oracle.block(self.beta, self.beta[alpha_pos])
+        return block @ self.x[alpha_pos]
+
+
+def lid_dynamics(
+    state: LIDState,
+    *,
+    max_iter: int = 1000,
+    tol: float = 1e-7,
+) -> tuple[int, bool]:
+    """Run LID iterations (paper Alg. 1) on *state* in place.
+
+    Repeats single LID periods until the local point is immune against
+    every vertex of the local range (``gamma_beta(x) = empty``, Theorem 1)
+    up to *tol*, or until *max_iter* — the paper's constant ``T``.
+
+    Returns
+    -------
+    (iterations, converged)
+    """
+    x = state.x
+    g = state.g
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        density = float(x @ g)
+        pay = g - density
+        # Select by Eq. 6/8: strongest infective vertex or weakest support
+        # vertex, whichever has the larger |pi(s_i - x, x)|.
+        c1_scores = np.where(pay > tol, pay, 0.0)
+        c2_scores = np.where((pay < -tol) & (x > 0.0), -pay, 0.0)
+        scores = np.maximum(c1_scores, c2_scores)
+        pos = int(np.argmax(scores))
+        if scores[pos] <= tol:
+            converged = True
+            iterations -= 1
+            break
+        col = state.column(int(state.beta[pos]))
+        pay_i = float(pay[pos])
+        quad_i = -2.0 * float(g[pos]) + density  # pi(s_i - x), Eq. 11
+        if pay_i > 0.0:
+            # Infection with the pure vertex (Eq. 13/14 first case).
+            eps = invasion_share(pay_i, quad_i)
+            x *= 1.0 - eps
+            x[pos] += eps
+            g *= 1.0 - eps
+            g += eps * col
+        else:
+            # Immunization with the co-vertex (Eq. 12, Eq. 13/14 second
+            # case); mu = x_i / (x_i - 1) < 0.
+            xi = float(x[pos])
+            mu = xi / (xi - 1.0)
+            eps = invasion_share(mu * pay_i, mu * mu * quad_i)
+            x *= 1.0 - eps * mu
+            x[pos] = (1.0 - eps) * xi
+            g += eps * mu * (col - g)
+        # Roundoff hygiene: x and g are linear in the same scale factor.
+        np.maximum(x, 0.0, out=x)
+        total = float(x.sum())
+        if abs(total - 1.0) > 1e-9 and total > 0.0:
+            x /= total
+            g /= total
+    state.x = x
+    state.g = g
+    return iterations, converged

@@ -1,0 +1,86 @@
+"""Standard-simplex utilities shared by all game-dynamics solvers.
+
+A subgraph is represented as a point ``x`` of the standard simplex
+(paper §3): ``x_i`` is the probabilistic membership of vertex ``i``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "vertex",
+    "barycenter",
+    "random_simplex_point",
+    "simplex_support",
+    "is_simplex_point",
+    "renormalize",
+]
+
+
+def vertex(i: int, n: int) -> np.ndarray:
+    """The i-th simplex vertex ``s_i`` (paper's index vector)."""
+    if not 0 <= i < n:
+        raise ValidationError(f"vertex index {i} out of range [0, {n})")
+    x = np.zeros(n, dtype=np.float64)
+    x[i] = 1.0
+    return x
+
+
+def barycenter(n: int, support: np.ndarray | None = None) -> np.ndarray:
+    """Uniform point over *support* (default: all n vertices).
+
+    The standard initialisation of replicator-style dynamics: every vertex
+    of the (sub)graph gets equal weight.
+    """
+    if n <= 0:
+        raise ValidationError(f"n must be positive, got {n}")
+    x = np.zeros(n, dtype=np.float64)
+    if support is None:
+        x[:] = 1.0 / n
+    else:
+        support = np.asarray(support, dtype=np.intp)
+        if support.size == 0:
+            raise ValidationError("support must be non-empty")
+        x[support] = 1.0 / support.size
+    return x
+
+
+def random_simplex_point(n: int, seed=None) -> np.ndarray:
+    """Uniform (Dirichlet(1)) random point on the n-simplex."""
+    if n <= 0:
+        raise ValidationError(f"n must be positive, got {n}")
+    rng = as_generator(seed)
+    x = rng.dirichlet(np.ones(n))
+    return np.asarray(x, dtype=np.float64)
+
+
+def simplex_support(x: np.ndarray, tol: float = 0.0) -> np.ndarray:
+    """Indices with weight strictly above *tol* (paper's alpha set)."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.flatnonzero(x > tol).astype(np.intp)
+
+
+def is_simplex_point(x: np.ndarray, atol: float = 1e-8) -> bool:
+    """True if *x* is non-negative and sums to 1 within *atol*."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        return False
+    if not np.all(np.isfinite(x)):
+        return False
+    if np.any(x < -atol):
+        return False
+    return abs(float(x.sum()) - 1.0) <= max(atol, 1e-12 * x.size)
+
+
+def renormalize(x: np.ndarray) -> np.ndarray:
+    """Clip tiny negative roundoff to zero and rescale to sum one, in place."""
+    np.maximum(x, 0.0, out=x)
+    total = x.sum()
+    if total <= 0.0:
+        raise ValidationError("cannot renormalize the zero vector")
+    x /= total
+    return x

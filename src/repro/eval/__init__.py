@@ -1,0 +1,24 @@
+"""Evaluation substrate: detection quality, accounting and growth orders."""
+
+from repro.eval.external import (
+    bcubed_fscore,
+    labels_from_clusters,
+    normalized_mutual_information,
+    pairwise_fscore,
+    purity,
+)
+from repro.eval.metrics import average_f1, f1_score, match_clusters
+from repro.eval.orders import loglog_slope, loglog_slope_ci
+
+__all__ = [
+    "average_f1",
+    "bcubed_fscore",
+    "f1_score",
+    "labels_from_clusters",
+    "loglog_slope",
+    "loglog_slope_ci",
+    "match_clusters",
+    "normalized_mutual_information",
+    "pairwise_fscore",
+    "purity",
+]

@@ -1,0 +1,214 @@
+"""External clustering indices: purity, NMI, B-cubed, pairwise F.
+
+The paper evaluates with AVG-F only, remarking (after Chen & Saad) that
+"since the data items are partially clustered in this task, traditional
+evaluation criteria, such as entropy and normalized mutual information,
+are not appropriate".  This module implements those traditional indices
+anyway — so the remark can be *demonstrated* rather than taken on faith
+(see ``tests/test_eval_external.py``: a detector that dumps all noise
+into one giant cluster scores high NMI but low AVG-F).
+
+Conventions match the rest of :mod:`repro.eval`: detections are index
+arrays; ground truth is either index arrays or a label vector with
+``-1`` marking unclustered noise.  Items absent from every detected
+cluster form an implicit "unclustered" group where an index needs a
+partition (NMI, purity).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "bcubed_fscore",
+    "contingency_table",
+    "labels_from_clusters",
+    "normalized_mutual_information",
+    "pairwise_fscore",
+    "purity",
+]
+
+NOISE_LABEL = -1
+
+IndexSets = Sequence[np.ndarray]
+
+
+def labels_from_clusters(clusters: IndexSets, n_items: int) -> np.ndarray:
+    """Flatten disjoint index sets into a label vector.
+
+    Items in no cluster get ``-1``.  Overlapping memberships are
+    rejected — the sequential peeling protocol produces disjoint
+    clusters, and the label-vector representation cannot express
+    overlap.
+    """
+    if n_items < 0:
+        raise ValidationError(f"n_items must be >= 0, got {n_items}")
+    labels = np.full(n_items, NOISE_LABEL, dtype=np.int64)
+    for label, members in enumerate(clusters):
+        members = np.asarray(members, dtype=np.intp)
+        if members.size == 0:
+            continue
+        if members.min() < 0 or members.max() >= n_items:
+            raise ValidationError(
+                f"cluster {label} has members outside [0, {n_items})"
+            )
+        if np.any(labels[members] != NOISE_LABEL):
+            raise ValidationError(
+                f"cluster {label} overlaps an earlier cluster; label "
+                "vectors cannot express overlapping clusters"
+            )
+        labels[members] = label
+    return labels
+
+
+def contingency_table(
+    predicted: np.ndarray, truth: np.ndarray
+) -> np.ndarray:
+    """Joint count matrix of two label vectors (noise = one extra row/col).
+
+    Rows follow the distinct predicted labels, columns the distinct
+    truth labels, each in sorted order with ``-1`` (noise) first when
+    present.
+    """
+    predicted = np.asarray(predicted, dtype=np.int64)
+    truth = np.asarray(truth, dtype=np.int64)
+    if predicted.shape != truth.shape or predicted.ndim != 1:
+        raise ValidationError(
+            "predicted and truth must be 1-D label vectors of equal "
+            f"length, got {predicted.shape} and {truth.shape}"
+        )
+    if predicted.size == 0:
+        raise ValidationError("label vectors must be non-empty")
+    p_values, p_codes = np.unique(predicted, return_inverse=True)
+    t_values, t_codes = np.unique(truth, return_inverse=True)
+    table = np.zeros((p_values.size, t_values.size), dtype=np.int64)
+    np.add.at(table, (p_codes, t_codes), 1)
+    return table
+
+
+def purity(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """Fraction of items whose cluster's majority truth label they share.
+
+    Computed over the full partition (noise is a class like any other),
+    which is precisely why it misleads under partial clustering: one
+    huge noise cluster is "pure" as long as noise is the majority.
+    """
+    table = contingency_table(predicted, truth)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+def normalized_mutual_information(
+    predicted: np.ndarray, truth: np.ndarray
+) -> float:
+    """NMI with arithmetic-mean normalisation, in ``[0, 1]``.
+
+    ``NMI = 2 I(P; T) / (H(P) + H(T))``; degenerate partitions with a
+    single class on either side yield 0 (no information).
+    """
+    table = contingency_table(predicted, truth).astype(np.float64)
+    n = table.sum()
+    joint = table / n
+    p_marginal = joint.sum(axis=1)
+    t_marginal = joint.sum(axis=0)
+    nonzero = joint > 0
+    outer = np.outer(p_marginal, t_marginal)
+    mutual = float(
+        (joint[nonzero] * np.log(joint[nonzero] / outer[nonzero])).sum()
+    )
+    h_p = float(-(p_marginal[p_marginal > 0]
+                  * np.log(p_marginal[p_marginal > 0])).sum())
+    h_t = float(-(t_marginal[t_marginal > 0]
+                  * np.log(t_marginal[t_marginal > 0])).sum())
+    if h_p + h_t == 0.0:
+        return 0.0
+    return max(0.0, min(1.0, 2.0 * mutual / (h_p + h_t)))
+
+
+def _pair_counts(labels: np.ndarray) -> float:
+    """Number of same-cluster pairs in a label vector (noise excluded)."""
+    values, counts = np.unique(labels[labels != NOISE_LABEL],
+                               return_counts=True)
+    return float((counts * (counts - 1) / 2).sum())
+
+
+def pairwise_fscore(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """F1 over same-cluster item pairs of the ground-truth-labeled subset.
+
+    The partial-clustering protocol: both label vectors are first
+    restricted to the items the *truth* clusters (everything else is
+    unlabeled background whose arrangement must not matter — the
+    property AVG-F has and NMI lacks).  On that subset, pair precision
+    is the fraction of co-clustered pairs that are truly co-clustered
+    and pair recall the fraction of truly co-clustered pairs that were
+    co-clustered.
+    """
+    predicted = np.asarray(predicted, dtype=np.int64)
+    truth = np.asarray(truth, dtype=np.int64)
+    if predicted.shape != truth.shape or predicted.ndim != 1:
+        raise ValidationError(
+            "predicted and truth must be 1-D label vectors of equal length"
+        )
+    labeled = truth != NOISE_LABEL
+    predicted = predicted[labeled]
+    truth = truth[labeled]
+    if truth.size == 0:
+        raise ValidationError("truth has no clustered items")
+    both = predicted != NOISE_LABEL
+    # Agreeing pairs via the contingency table of items clustered on
+    # both sides.
+    if both.any():
+        table = contingency_table(
+            predicted[both], truth[both]
+        ).astype(float)
+        agree = float((table * (table - 1) / 2).sum())
+    else:
+        agree = 0.0
+    predicted_pairs = _pair_counts(predicted)
+    truth_pairs = _pair_counts(truth)
+    if predicted_pairs == 0 or truth_pairs == 0:
+        return 0.0
+    precision = agree / predicted_pairs
+    recall = agree / truth_pairs
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def bcubed_fscore(predicted: np.ndarray, truth: np.ndarray) -> float:
+    """B-cubed F1 over the truly clustered items.
+
+    For each item with a truth cluster, precision is the fraction of its
+    predicted cluster sharing its truth label, recall the fraction of
+    its truth cluster sharing its predicted label; both averaged over
+    items, then combined.  Items the detector left unclustered count as
+    singletons (precision 1, recall 1/|truth cluster|).
+    """
+    predicted = np.asarray(predicted, dtype=np.int64)
+    truth = np.asarray(truth, dtype=np.int64)
+    if predicted.shape != truth.shape or predicted.ndim != 1:
+        raise ValidationError(
+            "predicted and truth must be 1-D label vectors of equal length"
+        )
+    clustered = np.flatnonzero(truth != NOISE_LABEL)
+    if clustered.size == 0:
+        raise ValidationError("truth has no clustered items")
+    precisions = np.empty(clustered.size)
+    recalls = np.empty(clustered.size)
+    for row, i in enumerate(clustered):
+        t_peers = np.flatnonzero(truth == truth[i])
+        if predicted[i] == NOISE_LABEL:
+            p_peers = np.asarray([i])
+        else:
+            p_peers = np.flatnonzero(predicted == predicted[i])
+        same = np.intersect1d(p_peers, t_peers, assume_unique=True).size
+        precisions[row] = same / p_peers.size
+        recalls[row] = same / t_peers.size
+    precision = float(precisions.mean())
+    recall = float(recalls.mean())
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)

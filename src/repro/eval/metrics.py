@@ -1,0 +1,87 @@
+"""Detection-quality metrics: the paper's Average F1 score (AVG-F).
+
+"AVG-F is obtained by averaging the F1 scores on all the true dominant
+clusters" (§5, following Chen & Saad): for each ground-truth cluster, the
+best F1 over all detected clusters is taken, then averaged over
+ground-truth clusters.  Items are partially clustered, so entropy/NMI are
+not appropriate (paper's remark) — only cluster-to-cluster overlap
+matters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["f1_score", "average_f1", "match_clusters", "precision_recall"]
+
+IndexSets = Sequence[np.ndarray]
+
+
+def _as_set(indices) -> set[int]:
+    return set(int(i) for i in np.asarray(indices).ravel())
+
+
+def precision_recall(detected, truth) -> tuple[float, float]:
+    """Precision and recall of one detected cluster against one true one."""
+    det = _as_set(detected)
+    tru = _as_set(truth)
+    if not tru:
+        raise ValidationError("truth cluster must be non-empty")
+    if not det:
+        return 0.0, 0.0
+    overlap = len(det & tru)
+    return overlap / len(det), overlap / len(tru)
+
+
+def f1_score(detected, truth) -> float:
+    """F1 between a detected and a true cluster (sets of item indices)."""
+    precision, recall = precision_recall(detected, truth)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def match_clusters(
+    detected: IndexSets, truth: IndexSets
+) -> list[tuple[int | None, float]]:
+    """Best detected match for every truth cluster.
+
+    Returns one ``(detected_index or None, f1)`` pair per truth cluster;
+    ``None`` with f1=0 when nothing was detected.  Matching allows a
+    detected cluster to serve several truth clusters (max-F1 matching, as
+    in Chen & Saad's protocol).
+    """
+    truth_sets = [_as_set(t) for t in truth]
+    if any(not t for t in truth_sets):
+        raise ValidationError("truth clusters must be non-empty")
+    detected_sets = [_as_set(d) for d in detected]
+    out: list[tuple[int | None, float]] = []
+    for tru in truth_sets:
+        best_idx: int | None = None
+        best_f1 = 0.0
+        for idx, det in enumerate(detected_sets):
+            if not det:
+                continue
+            overlap = len(det & tru)
+            if overlap == 0:
+                continue
+            precision = overlap / len(det)
+            recall = overlap / len(tru)
+            f1 = 2.0 * precision * recall / (precision + recall)
+            if f1 > best_f1:
+                best_f1 = f1
+                best_idx = idx
+        out.append((best_idx, best_f1))
+    return out
+
+
+def average_f1(detected: IndexSets, truth: IndexSets) -> float:
+    """The paper's AVG-F: mean best-F1 over all true dominant clusters."""
+    if len(truth) == 0:
+        raise ValidationError("need at least one truth cluster")
+    matches = match_clusters(detected, truth)
+    return float(np.mean([f1 for _, f1 in matches]))

@@ -1,0 +1,91 @@
+"""Empirical order-of-growth estimation (paper §5.2's log-log slopes).
+
+The paper reads complexity orders off double-logarithmic plots: "the
+slope of performance curves indicate the orders of growth with respect to
+the size of data set".  :func:`loglog_slope` computes that slope by least
+squares, which Table 1's verification bench compares against the
+theoretical orders (≈2 for a*=omega*n, ≈1.7 for a*=n^0.9, ≈1 for a*<=P);
+:func:`loglog_slope_ci` adds a pairs-bootstrap confidence interval so a
+claimed order separation (e.g. "ALID grows strictly slower than IID")
+can be asserted with an uncertainty band rather than a bare point
+estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+__all__ = ["loglog_slope", "loglog_slope_ci"]
+
+
+def loglog_slope(x: np.ndarray, y: np.ndarray) -> float:
+    """Least-squares slope of ``log(y)`` against ``log(x)``.
+
+    Both inputs must be strictly positive and have at least two points.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValidationError(
+            f"x and y must be 1-D of equal length, got {x.shape} vs {y.shape}"
+        )
+    if x.size < 2:
+        raise ValidationError("need at least two points to fit a slope")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValidationError("log-log slope needs strictly positive values")
+    lx = np.log(x)
+    ly = np.log(y)
+    lx_centered = lx - lx.mean()
+    denom = float(lx_centered @ lx_centered)
+    if denom == 0.0:
+        raise ValidationError("x values must not all be equal")
+    return float(lx_centered @ (ly - ly.mean()) / denom)
+
+
+def loglog_slope_ci(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    confidence: float = 0.9,
+    n_boot: int = 2000,
+    seed=0,
+) -> tuple[float, float, float]:
+    """Point estimate and pairs-bootstrap CI of the log-log slope.
+
+    Resamples ``(x, y)`` pairs with replacement and refits; returns
+    ``(slope, low, high)`` with the percentile interval at *confidence*.
+    Degenerate resamples (all x equal) are skipped — with >= 3 distinct
+    x values they are rare.
+
+    Few sweep points make the interval honest but wide: the Fig. 7
+    benches sweep four sizes, so expect bands of a few tenths.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    if n_boot < 10:
+        raise ValidationError(f"n_boot must be >= 10, got {n_boot}")
+    estimate = loglog_slope(x, y)  # validates x, y
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    rng = as_generator(seed)
+    slopes = []
+    attempts = 0
+    while len(slopes) < n_boot and attempts < 10 * n_boot:
+        attempts += 1
+        pick = rng.integers(0, x.size, size=x.size)
+        sample_x = x[pick]
+        if np.unique(sample_x).size < 2:
+            continue
+        slopes.append(loglog_slope(sample_x, y[pick]))
+    if not slopes:
+        raise ValidationError(
+            "bootstrap produced no valid resamples (too few distinct x)"
+        )
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(slopes, [tail, 1.0 - tail])
+    return estimate, float(low), float(high)

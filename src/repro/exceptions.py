@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch the library's failures with a
+single ``except`` clause without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input failed validation (shape, dtype, range or consistency)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget.
+
+    Solvers in this library normally return their best iterate instead of
+    raising; this error is reserved for callers that explicitly request
+    strict convergence via a ``strict=True`` flag.
+    """
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """An accounting budget (affinity entries / simulated memory) was hit.
+
+    Used by the Fig. 9 experiment to emulate the paper's 12 GB RAM cap:
+    baseline methods that try to materialise too much of the affinity
+    matrix are stopped by this error, mirroring the out-of-memory stop
+    in the paper's single-machine SIFT experiment.
+    """
+
+
+class EmptyDatasetError(ReproError, ValueError):
+    """An operation requiring data items received an empty collection."""

@@ -1,0 +1,27 @@
+"""Experiment harness: one runner per table/figure of the paper's §5.
+
+Every runner returns an :class:`~repro.experiments.common.ExperimentTable`
+whose rows mirror the series the paper plots, so benchmarks can print the
+same comparisons the paper reports (see DESIGN.md §4 for the index).
+"""
+
+from repro.experiments.common import ExperimentTable, Row
+from repro.experiments.complexity_table import run_complexity_table
+from repro.experiments.noise_resistance import run_noise_resistance
+from repro.experiments.palid_speedup import run_palid_speedup
+from repro.experiments.scalability import run_scalability
+from repro.experiments.sift_quality import run_sift_quality
+from repro.experiments.sift_scalability import run_sift_scalability
+from repro.experiments.sparsity import run_sparsity_influence
+
+__all__ = [
+    "ExperimentTable",
+    "Row",
+    "run_complexity_table",
+    "run_noise_resistance",
+    "run_palid_speedup",
+    "run_scalability",
+    "run_sift_quality",
+    "run_sift_scalability",
+    "run_sparsity_influence",
+]

@@ -1,0 +1,205 @@
+"""Shared experiment plumbing: result rows, tables and method runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.baselines import (
+    AffinityPropagation,
+    IIDDetector,
+    SEA,
+)
+from repro.baselines.common import KernelParams
+from repro.core.alid import ALID
+from repro.core.config import ALIDConfig
+from repro.core.results import DetectionResult
+from repro.datasets.base import Dataset
+from repro.eval.metrics import average_f1
+from repro.exceptions import BudgetExceededError, ValidationError
+
+__all__ = [
+    "Row",
+    "ExperimentTable",
+    "affinity_method",
+    "evaluate_detection",
+    "AFFINITY_METHODS",
+]
+
+AFFINITY_METHODS = ("AP", "SEA", "IID", "ALID")
+
+
+@dataclass
+class Row:
+    """One measurement: a method at one parameter point."""
+
+    method: str
+    params: dict[str, Any] = field(default_factory=dict)
+    avg_f: float | None = None
+    runtime_seconds: float | None = None
+    work_entries: int | None = None
+    peak_entries: int | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def memory_mb(self) -> float | None:
+        """Simulated memory (8 bytes per stored affinity entry)."""
+        if self.peak_entries is None:
+            return None
+        return self.peak_entries * 8 / 1e6
+
+
+@dataclass
+class ExperimentTable:
+    """A named collection of rows, renderable as an aligned text table."""
+
+    name: str
+    rows: list[Row] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, row: Row) -> None:
+        """Append one measurement."""
+        self.rows.append(row)
+
+    def series(self, method: str, x_key: str, y_attr: str) -> tuple[list, list]:
+        """Extract an (x, y) series for one method.
+
+        ``y_attr`` may be a Row attribute (``avg_f``, ``runtime_seconds``,
+        ``memory_mb``, ...) or a key into ``extras``.
+        """
+        xs, ys = [], []
+        for row in self.rows:
+            if row.method != method or x_key not in row.params:
+                continue
+            y = getattr(row, y_attr, None)
+            if y is None and y_attr in row.extras:
+                y = row.extras[y_attr]
+            if y is None:
+                continue
+            xs.append(row.params[x_key])
+            ys.append(y)
+        return xs, ys
+
+    def render(self, columns: list[str] | None = None) -> str:
+        """Render the table as aligned text (the bench output format)."""
+        if not self.rows:
+            return f"== {self.name} ==\n(no rows)"
+        param_keys: list[str] = []
+        for row in self.rows:
+            for key in row.params:
+                if key not in param_keys:
+                    param_keys.append(key)
+        headers = ["method", *param_keys, "AVG-F", "runtime_s", "mem_MB", "work"]
+        lines = []
+        for row in self.rows:
+            cells = [row.method]
+            for key in param_keys:
+                cells.append(_fmt(row.params.get(key)))
+            cells.append(_fmt(row.avg_f))
+            cells.append(_fmt(row.runtime_seconds))
+            cells.append(_fmt(row.memory_mb))
+            cells.append(_fmt(row.work_entries))
+            lines.append(cells)
+        widths = [
+            max(len(headers[j]), *(len(line[j]) for line in lines))
+            for j in range(len(headers))
+        ]
+        def join(cells):
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        out = [f"== {self.name} ==", join(headers), join(["-" * w for w in widths])]
+        out.extend(join(line) for line in lines)
+        if self.notes:
+            out.append(self.notes)
+        return "\n".join(out)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def affinity_method(
+    name: str,
+    *,
+    sparsify: bool,
+    kernel: KernelParams | None = None,
+    alid_config: ALIDConfig | None = None,
+    density_threshold: float = 0.75,
+):
+    """Build one of the paper's four affinity-based methods by name.
+
+    All four share kernel parameters so Fig. 6 comparisons hold the
+    affinity definition fixed and vary only the sparsification.
+    """
+    kernel = kernel or KernelParams()
+    if name == "ALID":
+        config = alid_config or ALIDConfig(
+            density_threshold=density_threshold,
+            lsh_r=kernel.lsh_r,
+            lsh_projections=kernel.lsh_projections,
+            lsh_tables=kernel.lsh_tables,
+            kernel_k=kernel.kernel_k,
+            kernel_p=kernel.kernel_p,
+            kernel_target_affinity=kernel.kernel_target_affinity,
+            seed=kernel.seed,
+        )
+        return ALID(config)
+    if name == "IID":
+        return IIDDetector(
+            sparsify=sparsify,
+            kernel=kernel,
+            density_threshold=density_threshold,
+        )
+    if name == "SEA":
+        return SEA(
+            sparsify=sparsify,
+            kernel=kernel,
+            density_threshold=density_threshold,
+        )
+    if name == "AP":
+        return AffinityPropagation(sparsify=sparsify, kernel=kernel)
+    raise ValidationError(f"unknown affinity method {name!r}")
+
+
+def evaluate_detection(
+    result: DetectionResult, dataset: Dataset
+) -> tuple[float, Row]:
+    """AVG-F of a detection result plus a pre-filled measurement row."""
+    truth = dataset.truth_clusters()
+    avg = average_f1(result.member_lists(), truth) if truth else float("nan")
+    row = Row(
+        method=result.method,
+        avg_f=avg,
+        runtime_seconds=result.runtime_seconds,
+        work_entries=(
+            result.counters.entries_computed if result.counters else None
+        ),
+        peak_entries=(
+            result.counters.entries_stored_peak if result.counters else None
+        ),
+    )
+    return avg, row
+
+
+def run_method_guarded(method, data: np.ndarray, *, budget_entries=None):
+    """Fit a method, returning None when it exceeds the memory budget.
+
+    Mirrors the paper's protocol of stopping baselines at the RAM limit
+    (Fig. 9): a budget hit is an expected outcome, not an error.
+    """
+    try:
+        if budget_entries is not None:
+            return method.fit(data, budget_entries=budget_entries)
+        return method.fit(data)
+    except BudgetExceededError:
+        return None

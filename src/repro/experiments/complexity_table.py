@@ -1,0 +1,91 @@
+"""Table 1 — empirical verification of ALID's complexity regimes.
+
+Runs ALID alone across sizes for each synthetic regime and fits log-log
+slopes of its *work* (affinity entries computed, the paper's runtime
+driver) and *space* (peak entries stored) against n.  Paper expectations
+(§5.2, Fig. 7 slopes):
+
+=============  ==================  ===============
+regime         theoretical time    observed slope
+=============  ==================  ===============
+a* = omega*n   O(C(omega n^2))     ~2
+a* = n^0.9     O(C n^1.9)          ~1.7 (measured)
+a* <= P        O(C (P+delta) n)    ~1
+=============  ==================  ===============
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.alid import ALID
+from repro.core.config import ALIDConfig
+from repro.datasets.synthetic import make_synthetic_mixture
+from repro.eval.orders import loglog_slope, loglog_slope_ci
+from repro.experiments.common import ExperimentTable, Row, evaluate_detection
+
+__all__ = ["run_complexity_table", "REGIME_EXPECTED_SLOPES"]
+
+REGIME_EXPECTED_SLOPES = {
+    "omega_n": 2.0,
+    "n_eta": 1.7,
+    "bounded": 1.0,
+}
+
+
+def run_complexity_table(
+    sizes: Sequence[int],
+    *,
+    regimes: Sequence[str] = ("omega_n", "n_eta", "bounded"),
+    bound: int = 1000,
+    eta: float = 0.9,
+    delta: int = 800,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Measure ALID work/space growth orders per regime.
+
+    Returns a table whose per-regime ``slope_runtime`` / ``slope_work`` /
+    ``slope_space`` extras (attached to the last row of each regime) are
+    the measured log-log slopes to compare against
+    :data:`REGIME_EXPECTED_SLOPES`.  Runtime is the primary order measure
+    (matching the paper's Fig. 7 reading); the work counter can come in
+    *below* the theoretical bound in the bounded regime because noise
+    items that collide with nothing in the LSH index cost no kernel
+    evaluations at all.
+    """
+    table = ExperimentTable(
+        name="Table1 complexity regimes (ALID work/space growth orders)",
+        notes="expected slopes: omega_n ~2, n_eta ~1.7, bounded ~1",
+    )
+    for regime in regimes:
+        runtime_series: list[tuple[int, float]] = []
+        work_series: list[tuple[int, int]] = []
+        space_series: list[tuple[int, int]] = []
+        for n in sizes:
+            dataset = make_synthetic_mixture(
+                int(n), regime=regime, bound=bound, eta=eta, seed=seed
+            )
+            detector = ALID(ALIDConfig(delta=delta, seed=seed))
+            result = detector.fit(dataset.data)
+            _, row = evaluate_detection(result, dataset)
+            row.params = {"regime": regime, "n": int(n)}
+            row.extras["a_star"] = dataset.largest_cluster_size()
+            table.add(row)
+            runtime_series.append((int(n), result.runtime_seconds))
+            work_series.append((int(n), result.counters.entries_computed))
+            space_series.append((int(n), result.counters.entries_stored_peak))
+        if len(work_series) >= 2:
+            xs = [x for x, _ in work_series]
+            last = table.rows[-1]
+            last.extras["slope_runtime"] = loglog_slope(
+                xs, [max(1e-6, y) for _, y in runtime_series]
+            )
+            work_ys = [max(1, y) for _, y in work_series]
+            slope, low, high = loglog_slope_ci(xs, work_ys, seed=seed)
+            last.extras["slope_work"] = slope
+            last.extras["slope_work_ci"] = (round(low, 3), round(high, 3))
+            last.extras["slope_space"] = loglog_slope(
+                xs, [max(1, y) for _, y in space_series]
+            )
+            last.extras["expected_slope"] = REGIME_EXPECTED_SLOPES[regime]
+    return table

@@ -1,0 +1,298 @@
+"""SIFT-like gradient-orientation descriptors for keypoint patches.
+
+The paper's SIFT-50M set consists of 128-dimensional SIFT descriptors
+(Lowe [22]) extracted from partial-duplicate image regions; descriptors
+from similar regions form the dominant clusters ("visual words", §5.3,
+Fig. 8).  This module implements the descriptor stage of that pipeline:
+
+* :func:`sift_descriptor` — Lowe's histogram-of-gradients descriptor for
+  one keypoint patch: Gaussian-weighted gradient magnitudes binned over
+  a ``4 x 4`` spatial grid and 8 orientations (128 dimensions), with
+  bilinear spatial/orientation interpolation, L2 normalisation, the 0.2
+  clip and renormalisation;
+* :func:`make_keypoint_patches` — visual-word patch sets: one source
+  patch per word plus perturbed copies (the same region seen in several
+  partial-duplicate images) and unrelated random patches as noise;
+* :func:`sift_via_patches` — the end-to-end builder returning a
+  :class:`~repro.datasets.base.Dataset` of L2-normalised descriptors.
+
+Detection (scale-space extrema) is out of scope: the paper consumes
+descriptors, so patches stand in for detected keypoint support regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import ValidationError
+from repro.features.images import perturb_image, random_texture_image
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "PatchCollection",
+    "SiftExtractor",
+    "make_keypoint_patches",
+    "sift_descriptor",
+    "sift_via_patches",
+]
+
+
+@dataclass
+class PatchCollection:
+    """Keypoint patches with visual-word ground truth.
+
+    Attributes
+    ----------
+    patches:
+        Array of shape ``(n, size, size)`` with values in ``[0, 1]``.
+    labels:
+        Visual-word ids ``>= 0``; ``-1`` for noise patches ("SIFTs
+        extracted from the random non-duplicate regions", §5.3).
+    metadata:
+        Generator parameters.
+    """
+
+    patches: np.ndarray
+    labels: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.patches = np.asarray(self.patches, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.patches.ndim != 3:
+            raise ValidationError(
+                f"patches must be 3-D (n, h, w), got ndim={self.patches.ndim}"
+            )
+        if self.labels.shape != (self.patches.shape[0],):
+            raise ValidationError(
+                f"labels must have shape ({self.patches.shape[0]},), "
+                f"got {self.labels.shape}"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of patches."""
+        return self.patches.shape[0]
+
+
+def sift_descriptor(
+    patch: np.ndarray,
+    *,
+    n_spatial: int = 4,
+    n_orientations: int = 8,
+    clip: float = 0.2,
+) -> np.ndarray:
+    """Compute a SIFT descriptor for one square keypoint patch.
+
+    Follows Lowe's construction: image gradients (central differences),
+    gradient magnitudes weighted by a Gaussian window over the patch
+    (sigma = half the patch width), accumulated into an
+    ``n_spatial x n_spatial`` grid of ``n_orientations``-bin orientation
+    histograms with bilinear interpolation across both space and
+    orientation; the concatenated histogram is L2-normalised, clipped at
+    *clip* (illumination robustness) and renormalised.
+
+    Returns a vector of ``n_spatial**2 * n_orientations`` dimensions
+    (128 with the defaults, as in the paper's data).
+    """
+    patch = np.asarray(patch, dtype=np.float64)
+    if patch.ndim != 2 or patch.shape[0] != patch.shape[1]:
+        raise ValidationError(
+            f"patch must be square 2-D, got shape {patch.shape}"
+        )
+    size = patch.shape[0]
+    if size < n_spatial:
+        raise ValidationError(
+            f"patch size {size} is smaller than the spatial grid {n_spatial}"
+        )
+    if n_spatial < 1 or n_orientations < 2:
+        raise ValidationError(
+            "n_spatial must be >= 1 and n_orientations >= 2"
+        )
+    dy, dx = np.gradient(patch)
+    magnitude = np.hypot(dx, dy)
+    orientation = np.arctan2(dy, dx) % (2.0 * np.pi)
+
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float64)
+    center = (size - 1) / 2.0
+    sigma = size / 2.0
+    window = np.exp(
+        -((xx - center) ** 2 + (yy - center) ** 2) / (2.0 * sigma**2)
+    )
+    weight = (magnitude * window).ravel()
+
+    # Continuous cell coordinates in [−0.5, n_spatial − 0.5]; bin centres
+    # sit at integers, so each sample spreads bilinearly over the two
+    # nearest cells per axis and the two nearest orientation bins.
+    cell_y = yy.ravel() / size * n_spatial - 0.5
+    cell_x = xx.ravel() / size * n_spatial - 0.5
+    orient = orientation.ravel() / (2.0 * np.pi) * n_orientations
+
+    histogram = np.zeros((n_spatial, n_spatial, n_orientations))
+    y0 = np.floor(cell_y).astype(np.intp)
+    x0 = np.floor(cell_x).astype(np.intp)
+    o0 = np.floor(orient).astype(np.intp)
+    fy = cell_y - y0
+    fx = cell_x - x0
+    fo = orient - o0
+    for dy_bin, wy in ((0, 1.0 - fy), (1, fy)):
+        y_bin = y0 + dy_bin
+        y_ok = (y_bin >= 0) & (y_bin < n_spatial)
+        for dx_bin, wx in ((0, 1.0 - fx), (1, fx)):
+            x_bin = x0 + dx_bin
+            x_ok = y_ok & (x_bin >= 0) & (x_bin < n_spatial)
+            for do_bin, wo in ((0, 1.0 - fo), (1, fo)):
+                o_bin = (o0 + do_bin) % n_orientations
+                contribution = weight * wy * wx * wo
+                np.add.at(
+                    histogram,
+                    (y_bin[x_ok], x_bin[x_ok], o_bin[x_ok]),
+                    contribution[x_ok],
+                )
+    descriptor = histogram.ravel()
+    norm = np.linalg.norm(descriptor)
+    if norm < 1e-12:
+        # Perfectly flat patch: no gradients anywhere — return zeros
+        # rather than amplifying numerical dust.
+        return descriptor
+    descriptor = descriptor / norm
+    descriptor = np.minimum(descriptor, clip)
+    norm = np.linalg.norm(descriptor)
+    if norm > 1e-12:
+        descriptor = descriptor / norm
+    return descriptor
+
+
+class SiftExtractor:
+    """Reusable SIFT pipeline over patch stacks.
+
+    Example
+    -------
+    >>> from repro.features import make_keypoint_patches
+    >>> patches = make_keypoint_patches(n_words=2, patches_per_word=3,
+    ...                                 n_noise=4, seed=0)
+    >>> SiftExtractor().transform(patches.patches).shape
+    (10, 128)
+    """
+
+    def __init__(self, *, n_spatial: int = 4, n_orientations: int = 8):
+        self.n_spatial = int(n_spatial)
+        self.n_orientations = int(n_orientations)
+
+    @property
+    def dim(self) -> int:
+        """Descriptor dimensionality."""
+        return self.n_spatial**2 * self.n_orientations
+
+    def __call__(self, patch: np.ndarray) -> np.ndarray:
+        """Descriptor of a single patch."""
+        return sift_descriptor(
+            patch,
+            n_spatial=self.n_spatial,
+            n_orientations=self.n_orientations,
+        )
+
+    def transform(self, patches: np.ndarray) -> np.ndarray:
+        """Descriptors for a stack of patches, shape ``(n, dim)``."""
+        patches = np.asarray(patches, dtype=np.float64)
+        if patches.ndim != 3:
+            raise ValidationError(
+                f"patches must be 3-D (n, h, w), got ndim={patches.ndim}"
+            )
+        return np.stack([self(patch) for patch in patches])
+
+
+def make_keypoint_patches(
+    *,
+    n_words: int = 5,
+    patches_per_word: int = 10,
+    n_noise: int = 50,
+    size: int = 16,
+    seed=0,
+    perturbation: dict | None = None,
+) -> PatchCollection:
+    """Generate visual-word keypoint patches plus noise patches.
+
+    Each visual word is a source texture patch re-observed
+    ``patches_per_word - 1`` times through the near-duplicate
+    perturbation model (the same image region appearing in several
+    partial-duplicate images); noise patches are independent random
+    textures, mirroring the paper's Fig. 8 geometry.
+    """
+    if n_words < 0 or n_noise < 0:
+        raise ValidationError("n_words and n_noise must be >= 0")
+    if n_words > 0 and patches_per_word < 1:
+        raise ValidationError(
+            f"patches_per_word must be >= 1, got {patches_per_word}"
+        )
+    if n_words == 0 and n_noise == 0:
+        raise ValidationError("collection must contain at least one patch")
+    rng = as_generator(seed)
+    # Keypoint patches carry fine texture: more gratings, smaller blobs.
+    defaults = {"max_rotation_deg": 4.0, "max_shift": 1.0, "noise_level": 0.02}
+    perturbation = {**defaults, **(perturbation or {})}
+    patches = []
+    labels = []
+    for word in range(n_words):
+        source = random_texture_image(
+            size, n_gratings=6, n_blobs=2, seed=rng
+        )
+        patches.append(source)
+        labels.append(word)
+        for _ in range(patches_per_word - 1):
+            patches.append(perturb_image(source, seed=rng, **perturbation))
+            labels.append(word)
+    for _ in range(n_noise):
+        patches.append(
+            random_texture_image(size, n_gratings=6, n_blobs=2, seed=rng)
+        )
+        labels.append(-1)
+    return PatchCollection(
+        patches=np.stack(patches),
+        labels=np.asarray(labels, dtype=np.int64),
+        metadata={
+            "n_words": n_words,
+            "patches_per_word": patches_per_word,
+            "n_noise": n_noise,
+            "size": size,
+            "perturbation": dict(perturbation),
+        },
+    )
+
+
+def sift_via_patches(
+    *,
+    n_words: int = 5,
+    patches_per_word: int = 10,
+    n_noise: int = 50,
+    size: int = 16,
+    seed=0,
+    collection: PatchCollection | None = None,
+) -> Dataset:
+    """SIFT end-to-end: keypoint patches -> descriptors -> Dataset.
+
+    The full pipeline behind the paper's SIFT-50M set (image regions ->
+    128-d SIFT descriptors) at laptop scale.  Pass a prebuilt
+    *collection* to reuse patches; otherwise one is generated.
+    """
+    if collection is None:
+        collection = make_keypoint_patches(
+            n_words=n_words,
+            patches_per_word=patches_per_word,
+            n_noise=n_noise,
+            size=size,
+            seed=seed,
+        )
+    extractor = SiftExtractor()
+    vectors = extractor.transform(collection.patches)
+    return Dataset(
+        data=vectors,
+        labels=collection.labels,
+        name="sift-patches",
+        metadata=dict(
+            collection.metadata, pipeline="sift", dim=extractor.dim
+        ),
+    )

@@ -1,0 +1,162 @@
+"""Persistence: save/load datasets and detection results.
+
+Datasets round-trip through ``.npz`` (data + labels + metadata);
+detection results through ``.npz`` as well (cluster members, weights,
+densities, counters), so experiment outputs can be archived and
+re-evaluated without re-running detection.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.affinity.oracle import AffinityCounters
+from repro.core.results import Cluster, DetectionResult
+from repro.datasets.base import Dataset
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_detection",
+    "load_detection",
+]
+
+
+def _as_path(path) -> pathlib.Path:
+    out = pathlib.Path(path)
+    if out.suffix != ".npz":
+        out = out.with_suffix(".npz")
+    return out
+
+
+def save_dataset(dataset: Dataset, path) -> pathlib.Path:
+    """Write a dataset to ``<path>.npz`` and return the resolved path."""
+    path = _as_path(path)
+    np.savez_compressed(
+        path,
+        data=dataset.data,
+        labels=dataset.labels,
+        name=np.asarray(dataset.name),
+        metadata=np.asarray(json.dumps(dataset.metadata, default=str)),
+    )
+    return path
+
+
+def load_dataset(path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = _as_path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        return Dataset(
+            data=archive["data"],
+            labels=archive["labels"],
+            name=str(archive["name"]),
+            metadata=json.loads(str(archive["metadata"])),
+        )
+
+
+def save_detection(result: DetectionResult, path) -> pathlib.Path:
+    """Write a detection result to ``<path>.npz``.
+
+    Clusters are stored as flattened member/weight arrays with offsets;
+    the dominant subset is stored as indices into ``all_clusters``.
+    """
+    path = _as_path(path)
+    all_clusters = result.all_clusters
+    members = (
+        np.concatenate([c.members for c in all_clusters])
+        if all_clusters
+        else np.empty(0, dtype=np.intp)
+    )
+    weights = (
+        np.concatenate([c.weights for c in all_clusters])
+        if all_clusters
+        else np.empty(0)
+    )
+    offsets = np.cumsum([0] + [c.size for c in all_clusters])
+    densities = np.asarray([c.density for c in all_clusters])
+    labels = np.asarray([c.label for c in all_clusters], dtype=np.int64)
+    seeds = np.asarray([c.seed for c in all_clusters], dtype=np.int64)
+    dominant_ids = {id(c) for c in result.clusters}
+    dominant_mask = np.asarray(
+        [id(c) in dominant_ids for c in all_clusters], dtype=bool
+    )
+    counters = result.counters or AffinityCounters()
+    np.savez_compressed(
+        path,
+        members=members,
+        weights=weights,
+        offsets=offsets,
+        densities=densities,
+        labels=labels,
+        seeds=seeds,
+        dominant_mask=dominant_mask,
+        n_items=np.asarray(result.n_items),
+        runtime_seconds=np.asarray(result.runtime_seconds),
+        method=np.asarray(result.method),
+        metadata=np.asarray(json.dumps(result.metadata, default=str)),
+        counters=np.asarray(
+            [
+                counters.entries_computed,
+                counters.entries_stored_current,
+                counters.entries_stored_peak,
+                counters.column_requests,
+                counters.block_requests,
+            ],
+            dtype=np.int64,
+        ),
+        has_counters=np.asarray(result.counters is not None),
+    )
+    return path
+
+
+def load_detection(path) -> DetectionResult:
+    """Load a detection result written by :func:`save_detection`."""
+    path = _as_path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        offsets = archive["offsets"]
+        members = archive["members"]
+        weights = archive["weights"]
+        densities = archive["densities"]
+        labels = archive["labels"]
+        seeds = archive["seeds"]
+        dominant_mask = archive["dominant_mask"]
+        if offsets.size < 1:
+            raise ValidationError(f"{path} is not a detection archive")
+        all_clusters = []
+        for i in range(offsets.size - 1):
+            lo, hi = int(offsets[i]), int(offsets[i + 1])
+            all_clusters.append(
+                Cluster(
+                    members=members[lo:hi],
+                    weights=weights[lo:hi],
+                    density=float(densities[i]),
+                    label=int(labels[i]),
+                    seed=int(seeds[i]),
+                )
+            )
+        dominant = [
+            c for c, keep in zip(all_clusters, dominant_mask) if keep
+        ]
+        counters = None
+        if bool(archive["has_counters"]):
+            raw = archive["counters"]
+            counters = AffinityCounters(
+                entries_computed=int(raw[0]),
+                entries_stored_current=int(raw[1]),
+                entries_stored_peak=int(raw[2]),
+                column_requests=int(raw[3]),
+                block_requests=int(raw[4]),
+            )
+        return DetectionResult(
+            clusters=dominant,
+            all_clusters=all_clusters,
+            n_items=int(archive["n_items"]),
+            runtime_seconds=float(archive["runtime_seconds"]),
+            counters=counters,
+            method=str(archive["method"]),
+            metadata=json.loads(str(archive["metadata"])),
+        )

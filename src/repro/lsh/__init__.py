@@ -1,0 +1,24 @@
+"""Locality Sensitive Hashing substrate (Datar et al., SoCG 2004).
+
+The paper indexes all data items with p-stable LSH so CIVS (§4.3) can
+retrieve candidate infective vertices inside the ROI, and so the baseline
+methods can sparsify their affinity matrices (§5.1).  This package
+implements the classic p-stable scheme ``h(v) = floor((a . v + b) / r)``
+with Gaussian projections (2-stable), multiple hash tables, inverted
+lists, and the collision-probability math used in the paper's convergence
+proof (Appendix B).
+"""
+
+from repro.lsh.hashing import PStableHashFamily
+from repro.lsh.index import LSHIndex
+from repro.lsh.multiprobe import MultiProbeQuerier, perturbation_sets
+from repro.lsh.params import collision_probability, retrieval_probability
+
+__all__ = [
+    "PStableHashFamily",
+    "LSHIndex",
+    "MultiProbeQuerier",
+    "collision_probability",
+    "perturbation_sets",
+    "retrieval_probability",
+]

@@ -1,0 +1,297 @@
+"""Multi-table LSH index with inverted lists and peeling support.
+
+This is the index CIVS queries (paper §4.3): ``l`` hash tables, each built
+from ``mu`` concatenated p-stable functions, plus an inverted list mapping
+every item to its bucket in every table.  As in the paper, "all possible
+LSH queries are built into the hash tables", so querying an indexed item
+is a pure inverted-list lookup with no re-hashing.
+
+Implementation notes
+--------------------
+* The ``mu`` concatenated hash integers of one item are compressed into a
+  single 64-bit bucket key through a random linear map (with wraparound).
+  Key collisions of genuinely different hash vectors are ~2^-64 events
+  and at worst add a spurious candidate that the exact distance filter
+  removes — the classic fingerprinting trade.
+* Buckets are grouped vectorised (argsort over keys), so index build is
+  O(n log n) NumPy work per table instead of n Python dict inserts.
+* Peeling (paper §4.4) uses an *active mask*: peeled items stay in the
+  tables but are filtered out of every query — O(1) per peel, no rebuild.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.lsh.hashing import PStableHashFamily
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import check_data_matrix, check_index_array
+
+__all__ = ["LSHIndex"]
+
+
+class _Table:
+    """One hash table: bucket key -> member indices, plus per-item keys."""
+
+    __slots__ = ("family", "mixer", "buckets", "item_keys")
+
+    def __init__(
+        self,
+        family: PStableHashFamily,
+        mixer: np.ndarray,
+        buckets: dict,
+        item_keys: np.ndarray,
+    ):
+        self.family = family
+        self.mixer = mixer
+        self.buckets = buckets
+        self.item_keys = item_keys
+
+    def key_of_point(self, point: np.ndarray) -> int:
+        # Cast to uint64 *before* mixing: int64 * uint64 promotes to
+        # float64, which cannot represent the wraparound keys the index
+        # was built with (negative codes would hash to the wrong bucket).
+        codes = self.family.hash_many(point[None, :])[0].astype(np.uint64)
+        with np.errstate(over="ignore"):
+            return int((codes * self.mixer).sum(dtype=np.uint64))
+
+
+class LSHIndex:
+    """p-stable LSH index over a fixed data matrix.
+
+    Parameters
+    ----------
+    data:
+        Data matrix of shape ``(n, d)``.
+    r:
+        Segment length of the p-stable functions (paper Fig. 6 sweep).
+    n_projections:
+        Concatenated hash functions per table (paper: 40).
+    n_tables:
+        Number of hash tables (paper: 50).
+    seed:
+        Seed for the random projections (each table gets an independent
+        child generator, so indices are reproducible).
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        *,
+        r: float,
+        n_projections: int = 40,
+        n_tables: int = 50,
+        seed=0,
+    ):
+        self._data = check_data_matrix(data, name="data")
+        if n_tables <= 0:
+            raise ValidationError(f"n_tables must be positive, got {n_tables}")
+        self.r = float(r)
+        self.n_projections = int(n_projections)
+        self.n_tables = int(n_tables)
+        n, dim = self._data.shape
+        rngs = spawn_generators(seed, self.n_tables)
+        # Fixed seed: the mixer only fingerprints hash vectors, it carries
+        # no locality information, so it need not vary with `seed`.
+        mixer_rng = as_generator(np.random.SeedSequence(0xA11D))
+        self._tables: list[_Table] = []
+        for rng in rngs:
+            family = PStableHashFamily(dim, self.r, self.n_projections, seed=rng)
+            codes = family.hash_many(self._data).astype(np.uint64)
+            mixer = mixer_rng.integers(
+                1, 2**63 - 1, size=self.n_projections, dtype=np.uint64
+            ) | np.uint64(1)
+            with np.errstate(over="ignore"):
+                keys = (codes * mixer[None, :]).sum(axis=1, dtype=np.uint64)
+            order = np.argsort(keys, kind="stable")
+            sorted_keys = keys[order]
+            boundaries = np.flatnonzero(
+                np.concatenate([[True], sorted_keys[1:] != sorted_keys[:-1]])
+            )
+            buckets: dict = {}
+            for start, end in zip(
+                boundaries, np.concatenate([boundaries[1:], [n]])
+            ):
+                members = np.sort(order[start:end]).astype(np.intp)
+                buckets[int(sorted_keys[start])] = members
+            self._tables.append(_Table(family, mixer, buckets, keys))
+        self._active = np.ones(n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of indexed items (including deactivated ones)."""
+        return self._data.shape[0]
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Read-only view of the active (not peeled) mask."""
+        view = self._active.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_active(self) -> int:
+        """Number of items still active."""
+        return int(self._active.sum())
+
+    # ------------------------------------------------------------------
+    # incremental insertion (streaming extension, paper §6 future work)
+    # ------------------------------------------------------------------
+    def insert(self, new_data: np.ndarray) -> np.ndarray:
+        """Append new items to the index and return their global indices.
+
+        The hash families are fixed at construction, so inserted items
+        land in exactly the buckets a from-scratch rebuild would put
+        them in; queries before/after insertion are consistent.  New
+        items start active.
+        """
+        new_data = check_data_matrix(new_data, name="new_data")
+        if new_data.shape[1] != self._data.shape[1]:
+            raise ValidationError(
+                f"new_data has dim {new_data.shape[1]}, "
+                f"index expects {self._data.shape[1]}"
+            )
+        start = self._data.shape[0]
+        new_indices = np.arange(start, start + new_data.shape[0], dtype=np.intp)
+        self._data = np.vstack([self._data, new_data])
+        for table in self._tables:
+            codes = table.family.hash_many(new_data).astype(np.uint64)
+            with np.errstate(over="ignore"):
+                keys = (codes * table.mixer[None, :]).sum(
+                    axis=1, dtype=np.uint64
+                )
+            table.item_keys = np.concatenate([table.item_keys, keys])
+            for key, idx in zip(keys, new_indices):
+                members = table.buckets.get(int(key))
+                if members is None:
+                    table.buckets[int(key)] = np.asarray([idx], dtype=np.intp)
+                else:
+                    position = int(np.searchsorted(members, idx))
+                    table.buckets[int(key)] = np.insert(
+                        members, position, idx
+                    )
+        self._active = np.concatenate(
+            [self._active, np.ones(new_data.shape[0], dtype=bool)]
+        )
+        return new_indices
+
+    # ------------------------------------------------------------------
+    # peeling support
+    # ------------------------------------------------------------------
+    def deactivate(self, indices: np.ndarray) -> None:
+        """Remove items from all future query results (peeling, §4.4)."""
+        indices = check_index_array(indices, self.n, name="indices")
+        self._active[indices] = False
+
+    def reactivate_all(self) -> None:
+        """Restore every item (used between independent experiments)."""
+        self._active[:] = True
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _collect(self, seen: set) -> np.ndarray:
+        if not seen:
+            return np.empty(0, dtype=np.intp)
+        out = np.fromiter(seen, dtype=np.intp, count=len(seen))
+        out.sort()
+        return out[self._active[out]]
+
+    def query_item(self, i: int) -> np.ndarray:
+        """Active items colliding with indexed item *i* in any table.
+
+        Pure inverted-list lookup — no hashing at query time, as in the
+        paper.  The result excludes *i* itself and is sorted.
+        """
+        if not 0 <= i < self.n:
+            raise IndexError(f"item index {i} out of range [0, {self.n})")
+        seen: set[int] = set()
+        for table in self._tables:
+            members = table.buckets.get(int(table.item_keys[i]))
+            if members is not None and members.size > 1:
+                seen.update(members.tolist())
+        seen.discard(i)
+        return self._collect(seen)
+
+    def query_point(self, point: np.ndarray) -> np.ndarray:
+        """Active items colliding with an arbitrary *point* in any table."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.ndim != 1 or point.shape[0] != self._data.shape[1]:
+            raise ValidationError(
+                f"point must be 1-D of dim {self._data.shape[1]}, "
+                f"got shape {point.shape}"
+            )
+        seen: set[int] = set()
+        for table in self._tables:
+            members = table.buckets.get(table.key_of_point(point))
+            if members is not None:
+                seen.update(members.tolist())
+        return self._collect(seen)
+
+    def query_items(self, indices: np.ndarray) -> np.ndarray:
+        """Union of :meth:`query_item` over several indexed items.
+
+        This is the multi-query pattern of CIVS (paper Fig. 4(b)): every
+        supporting item of the current subgraph issues its own query so
+        the union of locality-sensitive regions covers the ROI.
+        """
+        indices = check_index_array(indices, self.n, name="indices")
+        seen: set[int] = set()
+        for table in self._tables:
+            keys = table.item_keys[indices]
+            for key in np.unique(keys):
+                members = table.buckets.get(int(key))
+                if members is not None and members.size > 1:
+                    seen.update(members.tolist())
+        for i in indices:
+            seen.discard(int(i))
+        return self._collect(seen)
+
+    # ------------------------------------------------------------------
+    # bucket statistics (PALID seed sampling, paper §4.6)
+    # ------------------------------------------------------------------
+    def bucket_sizes(self, table: int = 0) -> dict[int, int]:
+        """Bucket key -> active-member count for one table."""
+        if not 0 <= table < self.n_tables:
+            raise IndexError(f"table {table} out of range [0, {self.n_tables})")
+        return {
+            key: int(self._active[members].sum())
+            for key, members in self._tables[table].buckets.items()
+        }
+
+    def large_buckets(
+        self, min_size: int = 6, table: int | None = 0
+    ) -> list[np.ndarray]:
+        """Active members of buckets with at least *min_size* active items.
+
+        PALID samples its initial vertices from "every LSH hash bucket
+        that contains more than 5 data items" (paper §4.6), i.e.
+        ``min_size=6``.  ``table=None`` scans every table (recommended
+        for seeding: a cluster that never concentrates in one table's
+        buckets may still do so in another's).
+        """
+        tables = self._tables if table is None else [self._tables[table]]
+        out = []
+        for t in tables:
+            for members in t.buckets.values():
+                if members.size < min_size:
+                    continue
+                active = members[self._active[members]]
+                if active.size >= min_size:
+                    out.append(active)
+        return out
+
+    # ------------------------------------------------------------------
+    # memory model
+    # ------------------------------------------------------------------
+    def storage_cost_entries(self) -> int:
+        """Index storage in "slots" for the simulated memory model.
+
+        Matches the paper's accounting (§4.3): O(n*l) for the inverted
+        list plus O(n*l) for the hash tables.
+        """
+        return 2 * self.n * self.n_tables

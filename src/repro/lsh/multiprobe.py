@@ -1,0 +1,197 @@
+"""Multi-probe LSH queries (Lv et al., VLDB 2007) over :class:`LSHIndex`.
+
+Plain LSH needs many hash tables to reach high recall — the paper uses
+50 (Fig. 6), and each table costs O(n) index memory (§4.3).  Multi-probe
+trades probes for tables: besides the query's own bucket, each table is
+probed in the neighbouring buckets obtained by perturbing individual
+hash coordinates by ±1, in increasing order of expected "miss distance".
+
+For the p-stable function ``h_j(v) = floor(f_j)`` with segment coordinate
+``f_j = (a_j . v + b_j) / r`` and fractional part ``x_j``, a near
+neighbour that missed the query's bucket most plausibly fell just across
+a segment boundary, so the score of perturbing coordinate ``j`` by +1 is
+``(1 - x_j)^2`` and by −1 is ``x_j^2`` (squared distance to the
+boundary, Lv et al. §4.2).  The cheapest perturbation *sets* are
+enumerated with the shift/expand heap over the sorted single-coordinate
+scores (§4.4).
+
+The bucket key of a perturbed code vector is computed incrementally:
+:class:`~repro.lsh.index.LSHIndex` fingerprints code vectors with a
+linear map ``key = sum_j code_j * mixer_j (mod 2^64)``, so perturbing
+coordinate ``j`` by ±1 shifts the key by ``±mixer_j`` — no re-hashing.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.lsh.index import LSHIndex
+
+__all__ = ["MultiProbeQuerier", "perturbation_sets"]
+
+Perturbation = tuple[int, int]  # (coordinate, delta in {-1, +1})
+
+
+def perturbation_sets(
+    fractions: np.ndarray, n_probes: int
+) -> list[list[Perturbation]]:
+    """The *n_probes* cheapest perturbation sets for one query.
+
+    Parameters
+    ----------
+    fractions:
+        Fractional parts ``x_j in [0, 1)`` of the query's segment
+        coordinates, one per hash coordinate.
+    n_probes:
+        Number of sets to return.
+
+    Returns
+    -------
+    list of perturbation sets, each a list of ``(coordinate, ±1)``
+    pairs, ordered by ascending total score ``sum of x^2 / (1-x)^2``.
+    A set never perturbs one coordinate both ways (such sets are
+    invalid: the perturbed bucket would not be adjacent).
+
+    Implements the shift/expand heap of Lv et al. §4.4: starting from
+    the singleton holding the cheapest perturbation, the successors of a
+    set whose maximum sorted position is ``m`` are *shift* (replace
+    ``m`` by ``m + 1``) and *expand* (add ``m + 1``); both preserve the
+    heap's cost order, so sets pop in globally ascending cost.
+    """
+    fractions = np.asarray(fractions, dtype=np.float64)
+    if fractions.ndim != 1 or fractions.size == 0:
+        raise ValidationError(
+            f"fractions must be a non-empty 1-D array, got shape "
+            f"{fractions.shape}"
+        )
+    if np.any((fractions < 0.0) | (fractions >= 1.0)):
+        raise ValidationError("fractions must lie in [0, 1)")
+    if n_probes < 0:
+        raise ValidationError(f"n_probes must be >= 0, got {n_probes}")
+    if n_probes == 0:
+        return []
+    mu = fractions.size
+    # All 2*mu single-coordinate perturbations with their scores.
+    scores = np.concatenate([fractions**2, (1.0 - fractions) ** 2])
+    deltas = np.concatenate(
+        [np.full(mu, -1, dtype=np.int64), np.ones(mu, dtype=np.int64)]
+    )
+    coordinates = np.concatenate([np.arange(mu), np.arange(mu)])
+    order = np.argsort(scores, kind="stable")
+    sorted_scores = scores[order]
+    # Sorted position of the opposite perturbation of the same
+    # coordinate, for the validity rule.
+    rank_of = np.empty(2 * mu, dtype=np.intp)
+    rank_of[order] = np.arange(2 * mu)
+    partner = rank_of[(order + mu) % (2 * mu)]
+
+    out: list[list[Perturbation]] = []
+    start = (0,)
+    heap: list[tuple[float, tuple[int, ...]]] = [
+        (float(sorted_scores[0]), start)
+    ]
+    seen = {start}
+    while heap and len(out) < n_probes:
+        cost, positions = heapq.heappop(heap)
+        taken = set(positions)
+        if not any(int(partner[pos]) in taken for pos in positions):
+            out.append(
+                [
+                    (int(coordinates[order[pos]]), int(deltas[order[pos]]))
+                    for pos in positions
+                ]
+            )
+        m = positions[-1]
+        if m + 1 < 2 * mu:
+            for successor in (
+                positions[:-1] + (m + 1,),
+                positions + (m + 1,),
+            ):
+                if successor not in seen:
+                    seen.add(successor)
+                    heapq.heappush(
+                        heap,
+                        (
+                            float(sorted_scores[list(successor)].sum()),
+                            successor,
+                        ),
+                    )
+    return out
+
+
+class MultiProbeQuerier:
+    """Probe an existing :class:`LSHIndex` in multiple buckets per table.
+
+    Parameters
+    ----------
+    index:
+        The index to query (unchanged; this class adds no storage beyond
+        transient probe keys).
+    n_probes:
+        Extra buckets probed per table, beyond the query's own bucket.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> from repro.lsh.index import LSHIndex
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(50, 4))
+    >>> index = LSHIndex(data, r=1.0, n_projections=8, n_tables=2, seed=0)
+    >>> plain = index.query_point(data[0])
+    >>> probed = MultiProbeQuerier(index, n_probes=4).query_point(data[0])
+    >>> set(plain.tolist()) <= set(probed.tolist())
+    True
+    """
+
+    def __init__(self, index: LSHIndex, *, n_probes: int = 8):
+        if n_probes < 0:
+            raise ValidationError(f"n_probes must be >= 0, got {n_probes}")
+        self.index = index
+        self.n_probes = int(n_probes)
+
+    # ------------------------------------------------------------------
+    def _probe_keys(self, table, point: np.ndarray) -> list[int]:
+        """Base bucket key plus the *n_probes* best perturbed keys."""
+        coords = table.family.project(point[None, :])[0]
+        fractions = coords - np.floor(coords)
+        base_key = table.key_of_point(point)
+        keys = [base_key]
+        mixers = table.mixer.astype(np.uint64)
+        with np.errstate(over="ignore"):
+            for perturbations in perturbation_sets(fractions, self.n_probes):
+                key = np.uint64(base_key)
+                for coordinate, delta in perturbations:
+                    if delta > 0:
+                        key = key + mixers[coordinate]
+                    else:
+                        key = key - mixers[coordinate]
+                keys.append(int(key))
+        return keys
+
+    def query_point(self, point: np.ndarray) -> np.ndarray:
+        """Active items found in the probed buckets of every table."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.ndim != 1 or point.shape[0] != self.index._data.shape[1]:
+            raise ValidationError(
+                f"point must be 1-D of dim {self.index._data.shape[1]}, "
+                f"got shape {point.shape}"
+            )
+        seen: set[int] = set()
+        for table in self.index._tables:
+            for key in self._probe_keys(table, point):
+                members = table.buckets.get(key)
+                if members is not None:
+                    seen.update(members.tolist())
+        return self.index._collect(seen)
+
+    def query_item(self, i: int) -> np.ndarray:
+        """Multi-probe lookup for an indexed item (excludes *i* itself)."""
+        if not 0 <= i < self.index.n:
+            raise IndexError(
+                f"item index {i} out of range [0, {self.index.n})"
+            )
+        result = self.query_point(self.index._data[i])
+        return result[result != i]

@@ -1,0 +1,80 @@
+"""Collision-probability math for p-stable LSH (Datar et al., SoCG 2004).
+
+These closed forms back the recall lower bound ``p`` that the paper's
+convergence proof (Appendix B, Proposition 2) relies on: with per-function
+collision probability ``p1(c)``, ``mu`` concatenated functions and ``l``
+tables, a point at distance ``c`` from the query is retrieved with
+probability ``1 - (1 - p1(c)^mu)^l``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_positive
+
+__all__ = ["collision_probability", "retrieval_probability", "suggest_tables"]
+
+
+def _std_normal_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def collision_probability(distance: float, r: float) -> float:
+    """Single-function collision probability for the Gaussian 2-stable family.
+
+    For two points at Euclidean distance *c* and segment length *r*
+    (Datar et al., Eq. for ``p(c)``)::
+
+        p(c) = 1 - 2*Phi(-r/c) - (2 / (sqrt(2*pi) * r/c)) * (1 - exp(-r^2 / (2 c^2)))
+
+    As ``c -> 0`` the probability tends to 1; it decreases monotonically
+    with distance.
+    """
+    check_positive(r, name="r")
+    if distance < 0:
+        raise ValueError(f"distance must be >= 0, got {distance}")
+    if distance == 0.0:
+        return 1.0
+    ratio = r / distance
+    term1 = 1.0 - 2.0 * _std_normal_cdf(-ratio)
+    term2 = (2.0 / (math.sqrt(2.0 * math.pi) * ratio)) * (
+        1.0 - math.exp(-(ratio**2) / 2.0)
+    )
+    p = term1 - term2
+    return min(1.0, max(0.0, p))
+
+
+def retrieval_probability(
+    distance: float, r: float, n_projections: int, n_tables: int
+) -> float:
+    """Probability that multi-table LSH retrieves a point at *distance*.
+
+    ``1 - (1 - p1(c)^mu)^l`` with ``mu = n_projections`` concatenated
+    functions and ``l = n_tables`` tables: the point is found if it
+    collides with the query in at least one table.
+    """
+    if n_projections <= 0 or n_tables <= 0:
+        raise ValueError("n_projections and n_tables must be positive")
+    p1 = collision_probability(distance, r)
+    per_table = p1**n_projections
+    return 1.0 - (1.0 - per_table) ** n_tables
+
+
+def suggest_tables(
+    distance: float, r: float, n_projections: int, target_recall: float = 0.9
+) -> int:
+    """Smallest table count achieving *target_recall* at *distance*.
+
+    Solves ``1 - (1 - p1^mu)^l >= target`` for ``l``.  Returns a large
+    sentinel (10**6) if the per-table probability underflows to zero.
+    """
+    if not 0.0 < target_recall < 1.0:
+        raise ValueError(f"target_recall must be in (0,1), got {target_recall}")
+    per_table = collision_probability(distance, r) ** n_projections
+    if per_table <= 0.0:
+        return 10**6
+    if per_table >= 1.0:
+        return 1
+    needed = math.log(1.0 - target_recall) / math.log(1.0 - per_table)
+    return max(1, int(math.ceil(needed)))

@@ -1,0 +1,15 @@
+"""Parallel substrate: local MapReduce engine and PALID (paper §4.6).
+
+The paper runs PALID on Apache Spark with data and hash tables in a
+MongoDB server.  Here the same map/reduce structure (paper Alg. 3) runs
+on an in-process MapReduce engine with a ``multiprocessing`` executor
+pool; the shared read-only store is the parent process' memory, which
+forked workers see copy-on-write — the same "mappers read a few items
+from a shared store" access pattern, without the network (DESIGN.md §2).
+"""
+
+from repro.parallel.mapreduce import MapReduceJob, run_mapreduce
+from repro.parallel.palid import PALID
+from repro.parallel.storage import SharedDataStore
+
+__all__ = ["MapReduceJob", "run_mapreduce", "PALID", "SharedDataStore"]

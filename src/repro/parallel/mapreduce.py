@@ -1,0 +1,171 @@
+"""A small local MapReduce engine (Dean & Ghemawat's model, paper §4.6).
+
+Jobs implement :class:`MapReduceJob`; :func:`run_mapreduce` executes the
+map phase serially or on a ``multiprocessing`` fork pool, shuffles by
+key, and reduces serially (reducers are cheap for PALID's workload).
+
+Determinism: the shuffle groups values in mapper-emission order and the
+reduce phase visits keys in sorted order, so serial and parallel runs of
+a deterministic job produce identical output lists.
+
+Fault tolerance follows the original MapReduce design: a map task that
+fails on a worker is *re-executed* by the master (here: the driver
+process) rather than failing the job — "the master simply re-executes
+the work".  A task that still fails in the driver raises its original
+error; pass a ``stats`` dict to observe how many chunks were retried.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.exceptions import ValidationError
+
+__all__ = ["MapReduceJob", "run_mapreduce"]
+
+
+class MapReduceJob:
+    """Base class for MapReduce jobs.
+
+    Subclasses override :meth:`map` and :meth:`reduce`.  The job object is
+    shared with forked workers copy-on-write, so it may hold large
+    read-only state (data matrices, indexes) without per-task pickling.
+    """
+
+    def map(self, key, value) -> Iterable[tuple]:
+        """Produce intermediate ``(key, value)`` pairs for one input."""
+        raise NotImplementedError
+
+    def reduce(self, key, values: list) -> Iterable[tuple]:
+        """Combine all intermediate values of one key into output pairs."""
+        raise NotImplementedError
+
+
+# Module-level slot: set before the fork so workers inherit the job via
+# copy-on-write instead of pickling it per task.
+_ACTIVE_JOB: MapReduceJob | None = None
+
+
+def _map_chunk(chunk: list[tuple]) -> list[tuple]:
+    out: list[tuple] = []
+    for key, value in chunk:
+        out.extend(_ACTIVE_JOB.map(key, value))
+    return out
+
+
+def _map_chunk_safe(indexed_chunk: tuple) -> tuple:
+    """Worker wrapper: never raises; reports failures to the driver.
+
+    Returns ``(chunk_index, pairs, None)`` on success and
+    ``(chunk_index, None, message)`` on failure, so one crashed task
+    does not abort the pool and the driver can re-execute it.
+    """
+    index, chunk = indexed_chunk
+    try:
+        return index, _map_chunk(chunk), None
+    except Exception as exc:  # noqa: BLE001 — reported, then re-raised in driver
+        return index, None, f"{type(exc).__name__}: {exc}"
+
+
+def _chunked(items: list, n_chunks: int) -> list[list]:
+    n_chunks = max(1, min(n_chunks, len(items)))
+    size, remainder = divmod(len(items), n_chunks)
+    chunks = []
+    start = 0
+    for i in range(n_chunks):
+        end = start + size + (1 if i < remainder else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def run_mapreduce(
+    job: MapReduceJob,
+    inputs: Iterable[tuple],
+    *,
+    n_workers: int = 1,
+    chunks_per_worker: int = 4,
+    stats: dict | None = None,
+) -> list[tuple]:
+    """Execute *job* over *inputs* and return the reduced output pairs.
+
+    Parameters
+    ----------
+    job:
+        The MapReduce job.
+    inputs:
+        Iterable of ``(key, value)`` input pairs for the map phase.
+    n_workers:
+        1 runs everything in-process; >1 uses a fork-based worker pool
+        (falls back to serial execution on platforms without ``fork``).
+    chunks_per_worker:
+        Input-splitting granularity; more chunks improve load balance for
+        skewed map costs (PALID's per-seed cost varies with cluster size).
+    stats:
+        Optional dict; receives ``retried_chunks`` (map tasks that
+        failed on a worker and were re-executed by the driver) and
+        ``worker_errors`` (their error messages).
+    """
+    global _ACTIVE_JOB
+    if n_workers < 1:
+        raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+    input_list = list(inputs)
+    if stats is not None:
+        stats.setdefault("retried_chunks", 0)
+        stats.setdefault("worker_errors", [])
+    if n_workers == 1 or len(input_list) <= 1:
+        mapped: list[tuple] = []
+        for key, value in input_list:
+            mapped.extend(job.map(key, value))
+    else:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = None
+        if ctx is None:
+            return run_mapreduce(
+                job, input_list, n_workers=1, stats=stats
+            )
+        chunks = _chunked(input_list, n_workers * chunks_per_worker)
+        _ACTIVE_JOB = job
+        try:
+            with ctx.Pool(processes=n_workers) as pool:
+                results = pool.map(
+                    _map_chunk_safe, list(enumerate(chunks))
+                )
+        finally:
+            _ACTIVE_JOB = None
+        # Re-execute failed map tasks in the driver (the MapReduce
+        # master's recovery move); a failure here raises the original
+        # error with full traceback.
+        by_index: dict[int, list[tuple]] = {}
+        for index, pairs, error in results:
+            if error is None:
+                by_index[index] = pairs
+            else:
+                if stats is not None:
+                    stats["retried_chunks"] += 1
+                    stats["worker_errors"].append(error)
+                retried: list[tuple] = []
+                for key, value in chunks[index]:
+                    retried.extend(job.map(key, value))
+                by_index[index] = retried
+        mapped = [
+            pair
+            for index in sorted(by_index)
+            for pair in by_index[index]
+        ]
+
+    groups: dict = defaultdict(list)
+    for key, value in mapped:
+        groups[key].append(value)
+    try:
+        ordered_keys = sorted(groups)
+    except TypeError:
+        ordered_keys = list(groups)
+    output: list[tuple] = []
+    for key in ordered_keys:
+        output.extend(job.reduce(key, groups[key]))
+    return output

@@ -1,0 +1,56 @@
+"""Shared read-only store — the MongoDB stand-in (paper §4.6).
+
+The paper keeps "the hash tables and data items [...] in a server
+database and accessed via the network", observing that communication is
+cheap because each mapper touches only a few items.  Locally, the same
+sharing is achieved by building the store in the parent process before
+the worker pool forks: the data matrix and LSH index are inherited
+copy-on-write, and :meth:`SharedDataStore.fetch` counts item accesses so
+the "mappers only read a few items" claim is measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_data_matrix, check_index_array
+
+__all__ = ["SharedDataStore"]
+
+
+class SharedDataStore:
+    """Read-only data store with access accounting.
+
+    Parameters
+    ----------
+    data:
+        The data matrix ``(n, d)`` all mappers share.
+    """
+
+    def __init__(self, data: np.ndarray):
+        self._data = check_data_matrix(data)
+        self._data.setflags(write=False)
+        self.fetch_calls = 0
+        self.items_fetched = 0
+
+    @property
+    def n(self) -> int:
+        """Number of stored items."""
+        return self._data.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Item dimensionality."""
+        return self._data.shape[1]
+
+    @property
+    def data(self) -> np.ndarray:
+        """The full read-only matrix (for engine construction)."""
+        return self._data
+
+    def fetch(self, indices: np.ndarray) -> np.ndarray:
+        """Fetch items by index, counting the access (network model)."""
+        indices = check_index_array(indices, self.n, name="indices")
+        self.fetch_calls += 1
+        self.items_fetched += int(indices.size)
+        return self._data[indices]

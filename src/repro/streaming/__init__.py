@@ -1,0 +1,14 @@
+"""Streaming extension — the paper's §6 future work, implemented.
+
+"As future work, we will further extend ALID towards the online version
+to efficiently process streaming data sources."  :class:`StreamingALID`
+is that online version: batches of arriving items are absorbed into the
+existing dominant clusters when they are infective against them, and
+genuinely new dominant clusters are grown from the arrivals by the
+ordinary Alg. 2 machinery — all against an incrementally updated LSH
+index, never touching a global affinity matrix.
+"""
+
+from repro.streaming.online import StreamingALID
+
+__all__ = ["StreamingALID"]

@@ -1,0 +1,23 @@
+"""Small shared utilities: validation, random-state handling and timing."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_data_matrix,
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "Stopwatch",
+    "timed",
+    "check_data_matrix",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_probability_vector",
+]

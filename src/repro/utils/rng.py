@@ -1,0 +1,46 @@
+"""Random-state handling.
+
+Every stochastic component of the library accepts a ``seed`` argument that
+may be ``None``, an integer, or a :class:`numpy.random.Generator`, and
+converts it through :func:`as_generator`.  Parallel components derive
+independent child generators with :func:`spawn_generators` so results are
+reproducible regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators"]
+
+SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any seed-like input.
+
+    ``None`` yields a fresh nondeterministic generator; an ``int`` or
+    :class:`~numpy.random.SeedSequence` seeds a new PCG64 generator; an
+    existing generator is returned unchanged (shared state).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, count: int) -> list[np.random.Generator]:
+    """Derive *count* statistically independent child generators.
+
+    Uses :class:`numpy.random.SeedSequence` spawning, so the children are
+    reproducible for integer seeds and independent of each other.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's bit stream deterministically.
+        root = np.random.SeedSequence(seed.integers(0, 2**63 - 1, size=4).tolist())
+    elif isinstance(seed, np.random.SeedSequence):
+        root = seed
+    else:
+        root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]

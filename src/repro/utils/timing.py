@@ -1,0 +1,61 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.lap("build_index"):
+    ...     pass
+    >>> "build_index" in sw.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str):
+        """Context manager accumulating elapsed seconds under *name*."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.laps[name] = self.laps.get(name, 0.0) + elapsed
+
+    @property
+    def total(self) -> float:
+        """Sum of all laps in seconds."""
+        return float(sum(self.laps.values()))
+
+    def reset(self) -> None:
+        """Clear all laps."""
+        self.laps.clear()
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a mutable one-slot list of elapsed seconds.
+
+    >>> with timed() as t:
+    ...     pass
+    >>> t[0] >= 0.0
+    True
+    """
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

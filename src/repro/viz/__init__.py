@@ -1,0 +1,12 @@
+"""Terminal-friendly charts for the benchmark harness.
+
+The paper's evaluation is mostly *figures* (log-log runtime/memory
+curves, AVG-F sweeps).  :mod:`repro.viz.ascii` renders the experiment
+tables as ASCII charts so a bench run reproduces not just the numbers
+but the *shape* the paper shows — slopes, crossovers, plateaus —
+directly in the terminal and in ``benchmarks/results/``.
+"""
+
+from repro.viz.ascii import render_chart, render_table_chart
+
+__all__ = ["render_chart", "render_table_chart"]

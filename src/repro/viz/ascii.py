@@ -1,0 +1,212 @@
+"""ASCII scatter/line charts with optional log axes.
+
+Pure-text rendering of ``(x, y)`` series onto a character grid: each
+series gets a marker, axes get tick labels, and a legend follows the
+plot.  Log axes reproduce the paper's double-logarithmic presentation
+(Fig. 7/9), where growth orders appear as straight-line slopes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["render_chart", "render_table_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(values: np.ndarray, log: bool, axis: str) -> np.ndarray:
+    if not log:
+        return values.astype(np.float64)
+    if np.any(values <= 0):
+        raise ValidationError(
+            f"log {axis}-axis requires strictly positive values "
+            f"(min={values.min()})"
+        )
+    return np.log10(values.astype(np.float64))
+
+
+def _ticks(low: float, high: float, count: int, log: bool) -> list[float]:
+    if count < 2:
+        return [low]
+    return [low + (high - low) * i / (count - 1) for i in range(count)]
+
+
+def _format_tick(value: float, log: bool) -> str:
+    if log:
+        return f"1e{value:.1f}" if value % 1 else f"1e{int(value)}"
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e4 or magnitude < 1e-2:
+        return f"{value:.1e}"
+    if magnitude >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def render_chart(
+    series: dict[str, tuple],
+    *,
+    width: int = 64,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named ``(xs, ys)`` series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name to an ``(xs, ys)`` pair of equal-length
+        sequences.  Empty series are skipped; at least one point must
+        remain overall.
+    width / height:
+        Plot-area size in characters (excluding axes and labels).
+    logx / logy:
+        Use log10 axes (all values on that axis must be positive).
+    title / xlabel / ylabel:
+        Optional labels; ``ylabel`` is printed above the axis.
+
+    Returns
+    -------
+    str
+        The rendered chart, ready to print.
+    """
+    if width < 8 or height < 4:
+        raise ValidationError(
+            f"chart must be at least 8x4 characters, got {width}x{height}"
+        )
+    cleaned: list[tuple[str, np.ndarray, np.ndarray]] = []
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValidationError(
+                f"series {name!r} must hold 1-D xs/ys of equal length"
+            )
+        keep = np.isfinite(xs) & np.isfinite(ys)
+        if keep.any():
+            cleaned.append((name, xs[keep], ys[keep]))
+    if not cleaned:
+        raise ValidationError("no finite data points to plot")
+
+    all_x = np.concatenate([xs for _, xs, _ in cleaned])
+    all_y = np.concatenate([ys for _, _, ys in cleaned])
+    tx = _transform(all_x, logx, "x")
+    ty = _transform(all_y, logy, "y")
+    x_low, x_high = float(tx.min()), float(tx.max())
+    y_low, y_high = float(ty.min()), float(ty.max())
+    if x_high - x_low < 1e-12:
+        x_low, x_high = x_low - 0.5, x_high + 0.5
+    if y_high - y_low < 1e-12:
+        y_low, y_high = y_low - 0.5, y_high + 0.5
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, xs, ys) in enumerate(cleaned):
+        marker = _MARKERS[index % len(_MARKERS)]
+        txs = _transform(xs, logx, "x")
+        tys = _transform(ys, logy, "y")
+        for x, y in zip(txs, tys):
+            col = int(round((x - x_low) / (x_high - x_low) * (width - 1)))
+            row = int(round((y - y_low) / (y_high - y_low) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    margin = max(
+        len(_format_tick(tick, logy))
+        for tick in _ticks(y_low, y_high, 3, logy)
+    )
+    lines: list[str] = []
+    if title:
+        lines.append(" " * (margin + 2) + title)
+    if ylabel:
+        lines.append(" " * (margin + 2) + f"[{ylabel}]")
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        value = y_low + fraction * (y_high - y_low)
+        # Tick labels at top, middle, bottom rows only.
+        if row_index in (0, height // 2, height - 1):
+            label = _format_tick(value, logy).rjust(margin)
+        else:
+            label = " " * margin
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * margin + " +" + "-" * width)
+    left = _format_tick(x_low, logx)
+    mid = _format_tick((x_low + x_high) / 2, logx)
+    right = _format_tick(x_high, logx)
+    axis = (
+        left
+        + mid.center(width - len(left) - len(right))
+        + right
+    )
+    lines.append(" " * (margin + 2) + axis)
+    if xlabel:
+        lines.append(" " * (margin + 2) + f"[{xlabel}]")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, (name, _, _) in enumerate(cleaned)
+    )
+    lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_table_chart(
+    table,
+    *,
+    x_key: str,
+    y_attr: str,
+    methods: list[str] | None = None,
+    logx: bool = True,
+    logy: bool = True,
+    title: str | None = None,
+    **kwargs,
+) -> str:
+    """Chart an :class:`~repro.experiments.common.ExperimentTable`.
+
+    Extracts one ``(x, y)`` series per method via ``table.series`` and
+    renders them together — the shape companion to ``table.render()``.
+    Methods without any finite points on the requested axes are skipped
+    (e.g. budget-stopped baselines in Fig. 9), and with a log axis the
+    non-positive points of a series are dropped rather than fatal (a
+    zero counter at one sweep size must not abort a whole bench chart).
+    """
+    if methods is None:
+        seen: list[str] = []
+        for row in table.rows:
+            if row.method not in seen:
+                seen.append(row.method)
+        methods = seen
+    series = {}
+    for method in methods:
+        xs, ys = table.series(method, x_key, y_attr)
+        if not xs:
+            continue
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        keep = np.ones(xs.size, dtype=bool)
+        if logx:
+            keep &= xs > 0
+        if logy:
+            keep &= ys > 0
+        if keep.any():
+            series[method] = (xs[keep], ys[keep])
+    if not series:
+        raise ValidationError(
+            f"table {table.name!r} has no plottable ({x_key}, {y_attr}) data"
+        )
+    return render_chart(
+        series,
+        logx=logx,
+        logy=logy,
+        title=title if title is not None else f"{table.name}: {y_attr}",
+        xlabel=x_key,
+        ylabel=y_attr,
+        **kwargs,
+    )

@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic datasets and oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityOracle
+from repro.datasets.synthetic import make_synthetic_mixture
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def blob_data(rng):
+    """Three tight, well-separated 2-cluster-friendly blobs + noise.
+
+    60 points, 8-d: clusters of 20 at distance ~0.3 internally, centers
+    far apart, 20 noise points scattered widely.
+    """
+    centers = np.array(
+        [
+            [0.0] * 8,
+            [10.0] * 8,
+        ]
+    )
+    pts = []
+    labels = []
+    for cid, c in enumerate(centers):
+        pts.append(c + rng.normal(scale=0.1, size=(20, 8)))
+        labels.extend([cid] * 20)
+    pts.append(rng.uniform(-30, 30, size=(20, 8)))
+    labels.extend([-1] * 20)
+    return np.vstack(pts), np.asarray(labels)
+
+
+@pytest.fixture
+def small_mixture():
+    """A small instance of the paper's synthetic workload."""
+    return make_synthetic_mixture(
+        n=300, regime="bounded", bound=200, n_clusters=10, dim=20, seed=1
+    )
+
+
+@pytest.fixture
+def oracle(blob_data):
+    data, _ = blob_data
+    # k chosen so intra-cluster affinities (~d=0.5) are ~0.8.
+    return AffinityOracle(data, LaplacianKernel(k=0.45))
+
+
+def tiny_affinity_matrix(n: int = 8, seed: int = 0) -> np.ndarray:
+    """Random symmetric affinity matrix with zero diagonal in (0, 1)."""
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(0.05, 1.0, size=(n, n))
+    sym = (raw + raw.T) / 2.0
+    np.fill_diagonal(sym, 0.0)
+    return sym

@@ -1,0 +1,86 @@
+"""Tests for the exact-k-NN affinity sparsifier (ENNAffinityBuilder)."""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityOracle
+from repro.affinity.sparse import ENNAffinityBuilder, sparse_degree
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture()
+def oracle():
+    rng = np.random.default_rng(0)
+    centers = rng.normal(scale=5.0, size=(3, 4))
+    data = np.concatenate(
+        [center + rng.normal(scale=0.3, size=(15, 4)) for center in centers]
+    )
+    return AffinityOracle(data, LaplacianKernel(k=1.0))
+
+
+class TestENNAffinityBuilder:
+    def test_matrix_is_symmetric_with_zero_diagonal(self, oracle):
+        matrix = ENNAffinityBuilder(oracle, k=5).build()
+        dense = matrix.toarray()
+        np.testing.assert_allclose(dense, dense.T)
+        np.testing.assert_allclose(np.diag(dense), 0.0)
+
+    def test_every_item_keeps_k_neighbors(self, oracle):
+        k = 4
+        matrix = ENNAffinityBuilder(oracle, k=k).build()
+        row_degrees = np.diff(matrix.indptr)
+        # Union symmetrisation only ever adds pairs.
+        assert (row_degrees >= k).all()
+
+    def test_values_match_kernel_exactly(self, oracle):
+        matrix = ENNAffinityBuilder(oracle, k=3).build().tocoo()
+        for i, j, value in zip(matrix.row, matrix.col, matrix.data):
+            expected = float(
+                np.exp(-np.linalg.norm(oracle.data[i] - oracle.data[j]))
+            )
+            assert value == pytest.approx(expected)
+
+    def test_neighbors_are_the_exact_nearest(self, oracle):
+        k = 3
+        matrix = ENNAffinityBuilder(oracle, k=k).build()
+        dense = matrix.toarray()
+        n = oracle.n
+        for i in range(0, n, 11):
+            dists = np.linalg.norm(oracle.data - oracle.data[i], axis=1)
+            dists[i] = np.inf
+            nearest = set(np.argsort(dists)[:k].tolist())
+            kept = set(np.flatnonzero(dense[i]).tolist())
+            # The k exact nearest must all be present (the union
+            # symmetrisation may add more).
+            assert nearest <= kept
+
+    def test_sparse_degree_high(self, oracle):
+        matrix = ENNAffinityBuilder(oracle, k=3).build()
+        assert sparse_degree(matrix) > 0.8
+
+    def test_oracle_charged_for_entries(self, oracle):
+        before = oracle.counters.entries_computed
+        matrix = ENNAffinityBuilder(oracle, k=5).build()
+        computed = oracle.counters.entries_computed - before
+        # One computation per unordered kept pair.
+        assert computed == matrix.nnz // 2
+
+    def test_k_clamped_to_n_minus_1(self):
+        rng = np.random.default_rng(1)
+        small = AffinityOracle(
+            rng.normal(size=(4, 2)), LaplacianKernel(k=1.0)
+        )
+        matrix = ENNAffinityBuilder(small, k=100).build()
+        dense = matrix.toarray()
+        off_diagonal = dense[~np.eye(4, dtype=bool)]
+        assert (off_diagonal > 0).all()
+
+    def test_invalid_inputs_rejected(self, oracle):
+        with pytest.raises(ValidationError):
+            ENNAffinityBuilder(oracle, k=0).build()
+        singleton = AffinityOracle(
+            np.zeros((1, 2)), LaplacianKernel(k=1.0)
+        )
+        with pytest.raises(ValidationError):
+            ENNAffinityBuilder(singleton, k=1).build()

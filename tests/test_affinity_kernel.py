@@ -1,0 +1,209 @@
+"""Unit tests for repro.affinity.kernel (paper Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import (
+    LaplacianKernel,
+    intra_cluster_scale,
+    pairwise_distances,
+    suggest_scaling_factor,
+)
+from repro.exceptions import ValidationError
+
+
+class TestPairwiseDistances:
+    def test_euclidean_matches_manual(self, rng):
+        x = rng.normal(size=(5, 3))
+        y = rng.normal(size=(4, 3))
+        out = pairwise_distances(x, y)
+        for i in range(5):
+            for j in range(4):
+                assert out[i, j] == pytest.approx(
+                    np.linalg.norm(x[i] - y[j]), abs=1e-10
+                )
+
+    def test_self_distances_zero_diagonal(self, rng):
+        x = rng.normal(size=(6, 4))
+        out = pairwise_distances(x)
+        assert np.allclose(np.diag(out), 0.0, atol=1e-7)
+
+    def test_symmetry(self, rng):
+        x = rng.normal(size=(7, 3))
+        out = pairwise_distances(x)
+        assert np.allclose(out, out.T, atol=1e-10)
+
+    def test_l1_norm(self):
+        x = np.asarray([[0.0, 0.0], [1.0, 2.0]])
+        out = pairwise_distances(x, p=1.0)
+        assert out[0, 1] == pytest.approx(3.0)
+
+    def test_l3_norm(self):
+        x = np.asarray([[0.0, 0.0], [1.0, 1.0]])
+        out = pairwise_distances(x, p=3.0)
+        assert out[0, 1] == pytest.approx(2 ** (1.0 / 3.0))
+
+    def test_p_below_one_rejected(self):
+        with pytest.raises(ValidationError, match="p must be >= 1"):
+            pairwise_distances(np.zeros((2, 2)), p=0.5)
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="dimension mismatch"):
+            pairwise_distances(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_no_negative_roundoff(self, rng):
+        # Duplicated rows must not produce NaN from sqrt of tiny negatives.
+        x = np.repeat(rng.normal(size=(1, 16)), 5, axis=0)
+        out = pairwise_distances(x)
+        assert np.all(np.isfinite(out))
+        assert np.all(out >= 0)
+
+
+class TestLaplacianKernel:
+    def test_affinity_decreases_with_distance(self):
+        kernel = LaplacianKernel(k=1.0)
+        a = kernel.affinity_from_distance(np.asarray([0.0, 1.0, 2.0]))
+        assert a[0] == pytest.approx(1.0)
+        assert a[0] > a[1] > a[2] > 0
+
+    def test_roundtrip_distance_affinity(self):
+        kernel = LaplacianKernel(k=0.7)
+        for affinity in (0.9, 0.5, 0.1):
+            d = kernel.distance_from_affinity(affinity)
+            assert kernel.affinity_from_distance(np.asarray(d)) == pytest.approx(
+                affinity
+            )
+
+    def test_distance_from_affinity_validates(self):
+        kernel = LaplacianKernel(k=1.0)
+        with pytest.raises(ValidationError):
+            kernel.distance_from_affinity(0.0)
+        with pytest.raises(ValidationError):
+            kernel.distance_from_affinity(1.5)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValidationError):
+            LaplacianKernel(k=0.0)
+        with pytest.raises(ValidationError):
+            LaplacianKernel(k=-1.0)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValidationError):
+            LaplacianKernel(k=1.0, p=0.5)
+
+    def test_block_zero_diagonal(self, rng):
+        kernel = LaplacianKernel(k=1.0)
+        x = rng.normal(size=(4, 3))
+        block = kernel.block(x, zero_diagonal=True)
+        assert np.allclose(np.diag(block), 0.0)
+        off = block[~np.eye(4, dtype=bool)]
+        assert np.all(off > 0)
+
+    def test_block_without_zero_diagonal(self, rng):
+        kernel = LaplacianKernel(k=1.0)
+        x = rng.normal(size=(3, 2))
+        block = kernel.block(x)
+        assert np.allclose(np.diag(block), 1.0)
+
+    def test_block_symmetric(self, rng):
+        kernel = LaplacianKernel(k=0.5)
+        x = rng.normal(size=(6, 4))
+        block = kernel.block(x, zero_diagonal=True)
+        assert np.allclose(block, block.T, atol=1e-12)
+
+
+class TestSuggestScalingFactor:
+    def test_positive(self, blob_data):
+        data, _ = blob_data
+        assert suggest_scaling_factor(data) > 0
+
+    def test_calibration_hits_target(self, blob_data):
+        # Affinity at the estimated intra-cluster scale equals the target.
+        data, _ = blob_data
+        target = 0.9
+        k = suggest_scaling_factor(data, target_affinity=target)
+        dists = pairwise_distances(data)
+        np.fill_diagonal(dists, np.inf)
+        nn = dists.min(axis=1)
+        q = intra_cluster_scale(nn[nn > 0])
+        assert np.exp(-k * q) == pytest.approx(target, rel=1e-6)
+
+    def test_intra_cluster_affinity_high(self, blob_data):
+        data, labels = blob_data
+        k = suggest_scaling_factor(data)
+        cluster = data[labels == 0]
+        d_intra = pairwise_distances(cluster)
+        med = np.median(d_intra[d_intra > 0])
+        assert np.exp(-k * med) > 0.6
+
+    def test_identical_points_fallback(self):
+        data = np.ones((10, 3))
+        assert suggest_scaling_factor(data) == 1.0
+
+    def test_single_point_fallback(self):
+        assert suggest_scaling_factor(np.ones((1, 3))) == 1.0
+
+    def test_invalid_target_rejected(self, blob_data):
+        data, _ = blob_data
+        with pytest.raises(ValidationError):
+            suggest_scaling_factor(data, target_affinity=1.5)
+        with pytest.raises(ValidationError):
+            suggest_scaling_factor(data, target_affinity=-0.1)
+
+    def test_deterministic_given_seed(self, blob_data):
+        data, _ = blob_data
+        assert suggest_scaling_factor(data, seed=5) == suggest_scaling_factor(
+            data, seed=5
+        )
+
+    def test_subsampling_path(self, rng):
+        data = rng.normal(size=(3000, 4))
+        k = suggest_scaling_factor(data, sample_size=256, seed=1)
+        assert k > 0
+
+    def test_robust_to_minority_clusters(self, rng):
+        """The bounded-regime failure mode: clusters are 5% of the data.
+
+        The scale must come from the tight cluster mode even though the
+        noise mode dominates the NN-distance distribution.
+        """
+        cluster = rng.normal(scale=0.1, size=(50, 10))
+        noise = rng.uniform(-100, 100, size=(950, 10))
+        data = np.vstack([cluster, noise])
+        k = suggest_scaling_factor(data, seed=0)
+        scale = -np.log(0.9) / k
+        # Cluster NN distances ~0.3; noise NN distances are tens.
+        assert scale < 2.0
+
+
+class TestIntraClusterScale:
+    def test_unimodal_uses_median(self, rng):
+        nn = rng.uniform(1.0, 2.0, size=200)
+        scale = intra_cluster_scale(nn)
+        assert scale == pytest.approx(float(np.median(nn)))
+
+    def test_bimodal_uses_lower_mode(self, rng):
+        lower = rng.uniform(0.9, 1.1, size=30)
+        upper = rng.uniform(90.0, 110.0, size=270)
+        scale = intra_cluster_scale(np.concatenate([lower, upper]))
+        assert 0.9 <= scale <= 1.1
+
+    def test_minority_lower_mode_still_found(self, rng):
+        lower = rng.uniform(0.9, 1.1, size=10)
+        upper = rng.uniform(90.0, 110.0, size=490)
+        scale = intra_cluster_scale(np.concatenate([lower, upper]))
+        assert scale < 2.0
+
+    def test_tiny_lower_mode_ignored(self, rng):
+        # A single outlier-small distance must not hijack the scale.
+        upper = rng.uniform(90.0, 110.0, size=500)
+        nn = np.concatenate([[0.001], upper])
+        scale = intra_cluster_scale(nn)
+        assert scale > 50.0
+
+    def test_single_distance(self):
+        assert intra_cluster_scale(np.asarray([3.0])) == 3.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            intra_cluster_scale(np.asarray([0.0]))

@@ -1,0 +1,129 @@
+"""Unit tests for repro.affinity.oracle — the accounting backbone."""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityCounters, AffinityOracle
+from repro.exceptions import BudgetExceededError
+
+
+class TestAffinityCounters:
+    def test_charge_tracks_peak(self):
+        c = AffinityCounters()
+        c.charge(computed=10, stored_delta=5)
+        c.charge(computed=0, stored_delta=-3)
+        c.charge(computed=0, stored_delta=1)
+        assert c.entries_computed == 10
+        assert c.entries_stored_current == 3
+        assert c.entries_stored_peak == 5
+
+    def test_release_floors_at_zero(self):
+        c = AffinityCounters()
+        c.release(100)
+        assert c.entries_stored_current == 0
+
+    def test_memory_bytes(self):
+        c = AffinityCounters()
+        c.charge(computed=0, stored_delta=1000)
+        assert c.peak_memory_bytes == 8000
+        assert c.peak_memory_mb == pytest.approx(0.008)
+
+    def test_snapshot_is_independent(self):
+        c = AffinityCounters()
+        c.charge(computed=5)
+        snap = c.snapshot()
+        c.charge(computed=5)
+        assert snap.entries_computed == 5
+        assert c.entries_computed == 10
+
+    def test_reset(self):
+        c = AffinityCounters()
+        c.charge(computed=5, stored_delta=5)
+        c.reset()
+        assert c.entries_computed == 0
+        assert c.entries_stored_peak == 0
+
+
+class TestAffinityOracle:
+    def test_column_matches_direct_kernel(self, oracle):
+        col = oracle.column(3)
+        kernel = oracle.kernel
+        expected = kernel.block(oracle.data, oracle.data[3][None, :])[:, 0]
+        expected[3] = 0.0
+        assert np.allclose(col, expected)
+
+    def test_column_zero_self_affinity(self, oracle):
+        col = oracle.column(5)
+        assert col[5] == 0.0
+
+    def test_column_subset_rows(self, oracle):
+        rows = np.asarray([1, 5, 9])
+        col = oracle.column(5, rows=rows)
+        assert col.shape == (3,)
+        assert col[1] == 0.0  # position of row 5
+
+    def test_column_counts_work(self, oracle):
+        before = oracle.counters.entries_computed
+        oracle.column(0, rows=np.asarray([1, 2, 3]))
+        assert oracle.counters.entries_computed == before + 3
+
+    def test_column_out_of_range(self, oracle):
+        with pytest.raises(IndexError):
+            oracle.column(oracle.n)
+
+    def test_block_zero_diagonal_rule(self, oracle):
+        rows = np.asarray([0, 1, 2])
+        cols = np.asarray([1, 2, 3])
+        block = oracle.block(rows, cols)
+        # entries where row index == col index must be zero
+        assert block[1, 0] == 0.0  # row 1, col 1
+        assert block[2, 1] == 0.0  # row 2, col 2
+        assert block[0, 0] > 0.0  # row 0, col 1 — different items
+
+    def test_block_counts_work(self, oracle):
+        before = oracle.counters.entries_computed
+        oracle.block(np.arange(4), np.arange(5))
+        assert oracle.counters.entries_computed == before + 20
+
+    def test_pairwise_symmetric(self, oracle):
+        sub = oracle.pairwise(np.arange(10))
+        assert np.allclose(sub, sub.T)
+        assert np.allclose(np.diag(sub), 0.0)
+
+    def test_pairwise_default_full(self, oracle):
+        full = oracle.pairwise()
+        assert full.shape == (oracle.n, oracle.n)
+
+    def test_distances_to_point(self, oracle):
+        point = oracle.data[0] + 1.0
+        dists = oracle.distances_to_point(point, rows=np.asarray([0, 1]))
+        expected0 = np.linalg.norm(oracle.data[0] - point)
+        assert dists[0] == pytest.approx(expected0)
+
+    def test_budget_enforced(self, blob_data):
+        data, _ = blob_data
+        oracle = AffinityOracle(
+            data, LaplacianKernel(k=1.0), budget_entries=100
+        )
+        oracle.charge_stored(90)
+        with pytest.raises(BudgetExceededError):
+            oracle.charge_stored(20)
+
+    def test_budget_peak_reflects_attempt(self, blob_data):
+        data, _ = blob_data
+        oracle = AffinityOracle(
+            data, LaplacianKernel(k=1.0), budget_entries=100
+        )
+        with pytest.raises(BudgetExceededError):
+            oracle.charge_stored(150)
+        assert oracle.counters.entries_stored_peak == 150
+
+    def test_release_stored(self, oracle):
+        oracle.charge_stored(50)
+        oracle.release_stored(50)
+        assert oracle.counters.entries_stored_current == 0
+
+    def test_properties(self, oracle):
+        assert oracle.n == 60
+        assert oracle.dim == 8

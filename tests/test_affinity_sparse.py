@@ -1,0 +1,111 @@
+"""Unit tests for the LSH-sparsified affinity builder (paper §5.1)."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityOracle
+from repro.affinity.sparse import SparseAffinityBuilder, sparse_degree
+from repro.exceptions import ValidationError
+from repro.lsh.index import LSHIndex
+
+
+@pytest.fixture
+def sparse_env(blob_data):
+    data, labels = blob_data
+    oracle = AffinityOracle(data, LaplacianKernel(k=0.45))
+    index = LSHIndex(data, r=5.0, n_projections=16, n_tables=20, seed=0)
+    return data, labels, oracle, index
+
+
+class TestSparseAffinityBuilder:
+    def test_symmetric_zero_diagonal(self, sparse_env):
+        _, _, oracle, index = sparse_env
+        matrix = SparseAffinityBuilder(oracle, index).build()
+        assert abs(matrix - matrix.T).max() < 1e-12
+        assert np.allclose(matrix.diagonal(), 0.0)
+
+    def test_values_match_kernel(self, sparse_env):
+        data, _, oracle, index = sparse_env
+        matrix = SparseAffinityBuilder(oracle, index).build().tocoo()
+        kernel = oracle.kernel
+        for i, j, v in zip(matrix.row[:50], matrix.col[:50], matrix.data[:50]):
+            expected = float(
+                kernel.affinity_from_distance(
+                    np.linalg.norm(data[i] - data[j])
+                )
+            )
+            assert v == pytest.approx(expected, rel=1e-9)
+
+    def test_only_colliding_pairs_present(self, sparse_env):
+        _, _, oracle, index = sparse_env
+        matrix = SparseAffinityBuilder(oracle, index).build().tocsr()
+        for i in range(0, oracle.n, 7):
+            row = matrix.getrow(i)
+            neighbors = set(index.query_item(i).tolist())
+            assert set(row.indices.tolist()) <= neighbors
+
+    def test_intra_cluster_edges_dominate(self, sparse_env):
+        _, labels, oracle, index = sparse_env
+        matrix = SparseAffinityBuilder(oracle, index).build().tocoo()
+        same = labels[matrix.row] == labels[matrix.col]
+        clustered = labels[matrix.row] >= 0
+        assert (same & clustered).sum() > 0.8 * matrix.nnz
+
+    def test_storage_charged(self, sparse_env):
+        _, _, oracle, index = sparse_env
+        matrix = SparseAffinityBuilder(oracle, index).build(
+            charge_storage=True
+        )
+        assert oracle.counters.entries_stored_current == matrix.nnz
+
+    def test_storage_not_charged_when_disabled(self, sparse_env):
+        _, _, oracle, index = sparse_env
+        SparseAffinityBuilder(oracle, index).build(charge_storage=False)
+        assert oracle.counters.entries_stored_current == 0
+
+    def test_max_neighbors_cap(self, sparse_env):
+        _, _, oracle, index = sparse_env
+        capped = SparseAffinityBuilder(
+            oracle, index, max_neighbors=3
+        ).build(charge_storage=False)
+        # Each row gained at most 3 entries from its own pass; after
+        # mirroring, row degree can exceed 3 but nnz must shrink overall.
+        full = SparseAffinityBuilder(oracle, index).build(
+            charge_storage=False
+        )
+        assert capped.nnz <= full.nnz
+
+    def test_sparse_degree_high_for_tight_lsh(self, sparse_env):
+        _, _, oracle, index = sparse_env
+        matrix = SparseAffinityBuilder(oracle, index).build(
+            charge_storage=False
+        )
+        assert sparse_degree(matrix) > 0.5
+
+    def test_mismatched_index_rejected(self, sparse_env, rng):
+        data, _, oracle, _ = sparse_env
+        other_index = LSHIndex(
+            rng.normal(size=(10, data.shape[1])), r=5.0, n_projections=4,
+            n_tables=3, seed=0,
+        )
+        with pytest.raises(ValidationError):
+            SparseAffinityBuilder(oracle, other_index).build()
+
+    def test_empty_collisions_give_empty_matrix(self, rng):
+        # Points far apart with a tiny r: no collisions at all.
+        data = rng.uniform(-1000, 1000, size=(20, 4))
+        oracle = AffinityOracle(data, LaplacianKernel(k=1.0))
+        index = LSHIndex(data, r=0.01, n_projections=16, n_tables=5, seed=0)
+        matrix = SparseAffinityBuilder(oracle, index).build()
+        assert matrix.nnz == 0
+        assert sparse_degree(matrix) == 1.0
+
+    def test_result_is_csr(self, sparse_env):
+        _, _, oracle, index = sparse_env
+        matrix = SparseAffinityBuilder(oracle, index).build(
+            charge_storage=False
+        )
+        assert sp.issparse(matrix)
+        assert matrix.format == "csr"

@@ -1,0 +1,153 @@
+"""Tests for the Appendix B support-growth model (repro.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    fixed_point_support,
+    model_vs_trace,
+    predicted_support_series,
+    support_growth_step,
+)
+from repro.core.alid import ALIDEngine
+from repro.core.config import ALIDConfig
+from repro.datasets import make_synthetic_mixture
+from repro.exceptions import ValidationError
+from repro.lsh.params import retrieval_probability
+
+
+class TestSupportGrowthStep:
+    def test_eq33_value(self):
+        # a' = m * (1 - (1-p)^a): with m=100, p=0.5, a=2 -> 75.
+        assert support_growth_step(2.0, 100.0, 0.5) == pytest.approx(75.0)
+
+    def test_p_one_retrieves_everything(self):
+        assert support_growth_step(1.0, 42.0, 1.0) == pytest.approx(42.0)
+
+    def test_p_zero_retrieves_nothing(self):
+        assert support_growth_step(5.0, 100.0, 0.0) == pytest.approx(0.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            support_growth_step(-1.0, 10.0, 0.5)
+        with pytest.raises(ValidationError):
+            support_growth_step(1.0, -10.0, 0.5)
+        with pytest.raises(ValidationError):
+            support_growth_step(1.0, 10.0, 1.5)
+
+
+class TestPredictedSupportSeries:
+    def test_monotone_and_bounded(self):
+        series = predicted_support_series(200, 0.3, n_rounds=10)
+        assert (np.diff(series) >= -1e-12).all()
+        assert (series <= 200 + 1e-9).all()
+
+    def test_converges_to_m(self):
+        # The appendix's claim: {a(c)} converges to M.
+        series = predicted_support_series(150, 0.4, n_rounds=25)
+        assert series[-1] == pytest.approx(150, rel=0.01)
+
+    def test_larger_p_converges_faster(self):
+        # "a larger value of p leads to a faster convergence rate".
+        slow = predicted_support_series(100, 0.1, n_rounds=6)
+        fast = predicted_support_series(100, 0.6, n_rounds=6)
+        assert (fast >= slow - 1e-12).all()
+        assert fast[2] > slow[2]
+
+    def test_m_schedule_respected(self):
+        # m(c) capped at half the cluster: the series cannot exceed it.
+        series = predicted_support_series(
+            100, 0.9, n_rounds=8, m_schedule=lambda c: 50
+        )
+        assert series[-1] <= 50 + 1e-9
+
+    def test_m_schedule_above_m_rejected(self):
+        with pytest.raises(ValidationError):
+            predicted_support_series(
+                10, 0.5, n_rounds=3, m_schedule=lambda c: 11
+            )
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            predicted_support_series(0, 0.5)
+        with pytest.raises(ValidationError):
+            predicted_support_series(10, 2.0)
+        with pytest.raises(ValidationError):
+            predicted_support_series(10, 0.5, n_rounds=0)
+
+
+class TestFixedPointSupport:
+    def test_close_to_m_for_decent_recall(self):
+        assert fixed_point_support(500, 0.3) == pytest.approx(500, rel=0.01)
+
+    def test_small_p_small_cluster_collapses(self):
+        # With M*p << 1 the only reachable fixed point is ~0 (the
+        # ill-conditioned Case 3 of the appendix).
+        assert fixed_point_support(5, 0.01) < 1.0
+
+    def test_matches_series_limit(self):
+        limit = fixed_point_support(80, 0.25)
+        series = predicted_support_series(80, 0.25, n_rounds=200)
+        assert series[-1] == pytest.approx(limit, abs=1e-6)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValidationError):
+            fixed_point_support(0, 0.5)
+
+
+class TestModelVsTrace:
+    def test_scores_synthetic_trace(self):
+        trace = [
+            {"support_size": 1},
+            {"support_size": 40},
+            {"support_size": 90},
+            {"support_size": 100},
+        ]
+        report = model_vs_trace(trace, cluster_size=100, p=0.5)
+        assert report["final_measured"] == 100.0
+        assert report["capture_measured"] == pytest.approx(1.0)
+        assert report["monotone_violations"] == 0
+        assert report["mean_abs_error"] >= 0.0
+
+    def test_counts_monotone_violations(self):
+        trace = [{"support_size": s} for s in (1, 50, 40, 60)]
+        report = model_vs_trace(trace, cluster_size=60, p=0.5)
+        assert report["monotone_violations"] == 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValidationError):
+            model_vs_trace([], cluster_size=10, p=0.5)
+
+
+class TestTraceAgainstRealRun:
+    def test_detect_from_seed_records_trace(self):
+        dataset = make_synthetic_mixture(n=600, regime="bounded", seed=0)
+        engine = ALIDEngine(dataset.data, ALIDConfig(seed=0))
+        cluster = dataset.truth_clusters()[0]
+        trace: list = []
+        detection = engine.detect_from_seed(int(cluster[0]), trace=trace)
+        assert len(trace) >= 1
+        for record in trace:
+            assert {"c", "support_size", "beta_size", "density",
+                    "radius", "retrieved"} <= set(record)
+        assert trace[-1]["support_size"] == detection.members.size
+
+    def test_measured_capture_matches_model_shape(self):
+        # One well-separated cluster: the measured support must reach
+        # (nearly) all of M, as the model with the LSH recall bound
+        # predicts.
+        dataset = make_synthetic_mixture(n=800, regime="bounded", seed=1)
+        engine = ALIDEngine(dataset.data, ALIDConfig(seed=0))
+        clusters = dataset.truth_clusters()
+        largest = max(clusters, key=lambda c: c.size)
+        trace: list = []
+        engine.detect_from_seed(int(largest[0]), trace=trace)
+        # Recall lower bound at the intra-cluster distance scale.
+        intra = engine.kernel.distance_from_affinity(0.9)
+        p = retrieval_probability(
+            intra, engine.lsh_r,
+            engine.config.lsh_projections, engine.config.lsh_tables,
+        )
+        report = model_vs_trace(trace, cluster_size=largest.size, p=p)
+        assert report["capture_predicted"] > 0.9
+        assert report["capture_measured"] > 0.75

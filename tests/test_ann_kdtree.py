@@ -1,0 +1,204 @@
+"""Tests for the exact k-d tree (repro.ann.kdtree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.ann.kdtree import KDTree
+from repro.exceptions import ValidationError
+
+
+def _brute_knn(data, point, k, p=2.0):
+    if p == 2.0:
+        dists = np.linalg.norm(data - point, axis=1)
+    else:
+        dists = (np.abs(data - point) ** p).sum(axis=1) ** (1.0 / p)
+    order = np.argsort(dists, kind="stable")[:k]
+    return order, dists[order]
+
+
+@pytest.fixture(scope="module")
+def gaussian_data():
+    return np.random.default_rng(0).normal(size=(300, 5))
+
+
+class TestConstruction:
+    def test_basic_properties(self, gaussian_data):
+        tree = KDTree(gaussian_data, leaf_size=8)
+        assert tree.n == 300
+        assert tree.n_nodes > 1
+
+    def test_single_leaf_when_small(self):
+        tree = KDTree(np.zeros((5, 2)) + np.arange(5)[:, None], leaf_size=10)
+        assert tree.n_nodes == 1
+
+    def test_all_duplicates_become_leaf(self):
+        tree = KDTree(np.ones((100, 3)), leaf_size=4)
+        assert tree.n_nodes == 1
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"leaf_size": 0}, {"p": 0.5}]
+    )
+    def test_invalid_parameters_rejected(self, gaussian_data, kwargs):
+        with pytest.raises(ValidationError):
+            KDTree(gaussian_data, **kwargs)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValidationError):
+            KDTree(np.empty((0, 3)))
+
+
+class TestQueryKnn:
+    def test_matches_brute_force(self, gaussian_data):
+        tree = KDTree(gaussian_data, leaf_size=4)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            point = rng.normal(size=5)
+            idx, dist = tree.query_knn(point, k=7)
+            brute_idx, brute_dist = _brute_knn(gaussian_data, point, 7)
+            np.testing.assert_allclose(dist, brute_dist)
+            # Indices may differ only where distances tie.
+            assert set(idx.tolist()) == set(brute_idx.tolist()) or np.allclose(
+                dist, brute_dist
+            )
+
+    def test_distances_sorted(self, gaussian_data):
+        tree = KDTree(gaussian_data)
+        _, dist = tree.query_knn(np.zeros(5), k=20)
+        assert (np.diff(dist) >= 0).all()
+
+    def test_k_clamped_to_n(self, gaussian_data):
+        tree = KDTree(gaussian_data)
+        idx, _ = tree.query_knn(np.zeros(5), k=10_000)
+        assert idx.size == 300
+        assert len(set(idx.tolist())) == 300
+
+    def test_indexed_point_is_own_nearest(self, gaussian_data):
+        tree = KDTree(gaussian_data)
+        idx, dist = tree.query_knn(gaussian_data[42], k=1)
+        assert idx[0] == 42
+        assert dist[0] == 0.0
+
+    def test_manhattan_metric(self, gaussian_data):
+        tree = KDTree(gaussian_data, p=1.0)
+        point = np.full(5, 0.3)
+        idx, dist = tree.query_knn(point, k=5)
+        brute_idx, brute_dist = _brute_knn(gaussian_data, point, 5, p=1.0)
+        np.testing.assert_allclose(dist, brute_dist)
+
+    def test_invalid_queries_rejected(self, gaussian_data):
+        tree = KDTree(gaussian_data)
+        with pytest.raises(ValidationError):
+            tree.query_knn(np.zeros(4), k=1)
+        with pytest.raises(ValidationError):
+            tree.query_knn(np.zeros(5), k=0)
+
+
+class TestQueryRadius:
+    def test_matches_brute_force(self, gaussian_data):
+        tree = KDTree(gaussian_data, leaf_size=4)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            point = rng.normal(size=5)
+            radius = rng.uniform(0.5, 3.0)
+            found = tree.query_radius(point, radius)
+            dists = np.linalg.norm(gaussian_data - point, axis=1)
+            expected = np.flatnonzero(dists <= radius)
+            np.testing.assert_array_equal(found, expected)
+
+    def test_zero_radius_finds_exact_matches(self, gaussian_data):
+        tree = KDTree(gaussian_data)
+        found = tree.query_radius(gaussian_data[7], 0.0)
+        assert 7 in found.tolist()
+
+    def test_negative_radius_rejected(self, gaussian_data):
+        tree = KDTree(gaussian_data)
+        with pytest.raises(ValidationError):
+            tree.query_radius(np.zeros(5), -1.0)
+
+    def test_huge_radius_returns_everything(self, gaussian_data):
+        tree = KDTree(gaussian_data)
+        found = tree.query_radius(np.zeros(5), 1e9)
+        assert found.size == 300
+
+
+class TestKnnGraph:
+    def test_shape_and_self_exclusion(self, gaussian_data):
+        tree = KDTree(gaussian_data)
+        neighbors, distances = tree.knn_graph(k=4)
+        assert neighbors.shape == (300, 4)
+        assert distances.shape == (300, 4)
+        for i in range(0, 300, 37):
+            assert i not in neighbors[i].tolist()
+
+    def test_matches_brute_force(self, gaussian_data):
+        tree = KDTree(gaussian_data, leaf_size=4)
+        neighbors, distances = tree.knn_graph(k=3)
+        for i in (0, 50, 299):
+            dists = np.linalg.norm(gaussian_data - gaussian_data[i], axis=1)
+            dists[i] = np.inf
+            expected = np.sort(dists)[:3]
+            np.testing.assert_allclose(distances[i], expected)
+
+    def test_k_clamped(self):
+        data = np.random.default_rng(3).normal(size=(5, 2))
+        neighbors, _ = KDTree(data).knn_graph(k=100)
+        assert neighbors.shape == (5, 4)
+
+    def test_rejects_singleton(self):
+        with pytest.raises(ValidationError):
+            KDTree(np.ones((1, 2))).knn_graph(k=1)
+
+
+class TestPropertyBased:
+    # Coordinates are rounded to 6 decimals: squared differences of
+    # magnitudes below ~1e-154 underflow to zero, which corrupts the
+    # *brute-force oracle* (it reports distance 0 for distinct points)
+    # while the tree's coordinate bound stays exact.  Real feature
+    # vectors live far from the underflow region.
+    _elements = st.floats(
+        min_value=-100, max_value=100, allow_nan=False
+    ).map(lambda value: round(value, 6))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=npst.arrays(
+            np.float64,
+            st.tuples(
+                st.integers(min_value=2, max_value=60),
+                st.integers(min_value=1, max_value=4),
+            ),
+            elements=_elements,
+        ),
+        k=st.integers(min_value=1, max_value=8),
+        leaf_size=st.integers(min_value=1, max_value=12),
+    )
+    def test_knn_always_matches_brute_force(self, data, k, leaf_size):
+        tree = KDTree(data, leaf_size=leaf_size)
+        point = data[0] + 0.1
+        idx, dist = tree.query_knn(point, k=k)
+        k_eff = min(k, data.shape[0])
+        _, brute_dist = _brute_knn(data, point, k_eff)
+        np.testing.assert_allclose(dist, brute_dist, rtol=1e-10, atol=1e-10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=npst.arrays(
+            np.float64,
+            st.tuples(
+                st.integers(min_value=1, max_value=60),
+                st.integers(min_value=1, max_value=4),
+            ),
+            elements=_elements,
+        ),
+        radius=st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_radius_always_matches_brute_force(self, data, radius):
+        tree = KDTree(data, leaf_size=3)
+        point = np.zeros(data.shape[1])
+        found = tree.query_radius(point, radius)
+        dists = np.linalg.norm(data - point, axis=1)
+        expected = np.flatnonzero(dists <= radius)
+        np.testing.assert_array_equal(found, expected)

@@ -1,0 +1,128 @@
+"""Tests for the hybrid spill tree (repro.ann.spilltree)."""
+
+import numpy as np
+import pytest
+
+from repro.ann.kdtree import KDTree
+from repro.ann.spilltree import SpillTree
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def clustered_data():
+    rng = np.random.default_rng(0)
+    centers = rng.normal(scale=10.0, size=(8, 6))
+    points = np.concatenate(
+        [center + rng.normal(scale=0.5, size=(40, 6)) for center in centers]
+    )
+    return points
+
+
+class TestConstruction:
+    def test_basic_properties(self, clustered_data):
+        tree = SpillTree(clustered_data, leaf_size=10, seed=0)
+        assert tree.n == clustered_data.shape[0]
+        assert tree.n_nodes > 1
+
+    def test_duplicates_collapse_to_leaf(self):
+        tree = SpillTree(np.ones((50, 3)), leaf_size=4, seed=0)
+        assert tree.n_nodes == 1
+
+    def test_zero_tau_is_metric_tree(self, clustered_data):
+        # With no overlap every split is a plain metric split, which is
+        # searched exactly — so k-NN must match the exact kd-tree.
+        spill = SpillTree(clustered_data, tau=0.0, leaf_size=8, seed=0)
+        exact = KDTree(clustered_data, leaf_size=8)
+        point = clustered_data.mean(axis=0)
+        _, spill_dist = spill.query_knn(point, k=5)
+        _, exact_dist = exact.query_knn(point, k=5)
+        np.testing.assert_allclose(spill_dist, exact_dist)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"leaf_size": 0},
+            {"tau": -0.1},
+            {"rho": 0.4},
+            {"rho": 1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, clustered_data, kwargs):
+        with pytest.raises(ValidationError):
+            SpillTree(clustered_data, **kwargs)
+
+
+class TestQueryKnn:
+    def test_indexed_point_found_exactly(self, clustered_data):
+        tree = SpillTree(clustered_data, seed=0)
+        idx, dist = tree.query_knn(clustered_data[17], k=1)
+        assert idx[0] == 17
+        assert dist[0] == 0.0
+
+    def test_distances_sorted_and_exact(self, clustered_data):
+        tree = SpillTree(clustered_data, seed=0)
+        point = clustered_data[3] + 0.05
+        idx, dist = tree.query_knn(point, k=10)
+        assert (np.diff(dist) >= 0).all()
+        np.testing.assert_allclose(
+            dist, np.linalg.norm(clustered_data[idx] - point, axis=1)
+        )
+
+    def test_no_duplicate_results(self, clustered_data):
+        # Overlap buffers route boundary items into both children; the
+        # result list must still be duplicate-free.
+        tree = SpillTree(clustered_data, tau=0.3, leaf_size=8, seed=0)
+        idx, _ = tree.query_knn(clustered_data.mean(axis=0), k=20)
+        assert len(set(idx.tolist())) == idx.size
+
+    def test_high_recall_on_clustered_data(self, clustered_data):
+        tree = SpillTree(clustered_data, tau=0.15, leaf_size=16, seed=0)
+        exact = KDTree(clustered_data)
+        rng = np.random.default_rng(1)
+        hits = total = 0
+        for _ in range(25):
+            point = clustered_data[rng.integers(0, tree.n)] + rng.normal(
+                scale=0.1, size=6
+            )
+            approx_idx, _ = tree.query_knn(point, k=10)
+            exact_idx, _ = exact.query_knn(point, k=10)
+            hits += len(set(approx_idx.tolist()) & set(exact_idx.tolist()))
+            total += 10
+        assert hits / total >= 0.8
+
+    def test_k_clamped(self, clustered_data):
+        tree = SpillTree(clustered_data, seed=0)
+        idx, _ = tree.query_knn(np.zeros(6), k=10_000)
+        assert idx.size <= tree.n
+
+    def test_invalid_queries_rejected(self, clustered_data):
+        tree = SpillTree(clustered_data, seed=0)
+        with pytest.raises(ValidationError):
+            tree.query_knn(np.zeros(5), k=1)
+        with pytest.raises(ValidationError):
+            tree.query_knn(np.zeros(6), k=0)
+
+
+class TestDefeatistLeaf:
+    def test_reaches_a_leaf(self, clustered_data):
+        tree = SpillTree(clustered_data, seed=0)
+        members = tree.defeatist_leaf(clustered_data[0])
+        assert members.size >= 1
+        assert members.size <= clustered_data.shape[0]
+
+    def test_query_near_cluster_lands_in_cluster(self, clustered_data):
+        # A defeatist descent from a cluster member should land in a
+        # leaf dominated by that member's cluster (40 points each).
+        tree = SpillTree(clustered_data, tau=0.2, leaf_size=32, seed=0)
+        members = tree.defeatist_leaf(clustered_data[5])
+        cluster = np.arange(0, 40)  # first cluster's indices
+        overlap = len(set(members.tolist()) & set(cluster.tolist()))
+        assert overlap > 0
+
+    def test_deterministic(self, clustered_data):
+        a = SpillTree(clustered_data, seed=7)
+        b = SpillTree(clustered_data, seed=7)
+        point = clustered_data[11]
+        np.testing.assert_array_equal(
+            a.defeatist_leaf(point), b.defeatist_leaf(point)
+        )

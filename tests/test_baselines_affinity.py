@@ -1,0 +1,195 @@
+"""Tests for the affinity-based baselines: DS, IID, SEA, AP."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AffinityPropagation,
+    DominantSets,
+    IIDDetector,
+    SEA,
+)
+from repro.baselines.common import KernelParams, prepare_affinity, submatrix
+from repro.eval.metrics import average_f1
+from repro.exceptions import BudgetExceededError, ValidationError
+
+
+@pytest.fixture
+def truth(blob_data):
+    _, labels = blob_data
+    return [np.flatnonzero(labels == c) for c in (0, 1)]
+
+
+KP = KernelParams(kernel_k=0.45, lsh_r=5.0, lsh_projections=16, lsh_tables=20)
+
+
+class TestPrepareAffinity:
+    def test_full_charges_n_squared(self, blob_data):
+        data, _ = blob_data
+        setup = prepare_affinity(data, KP, sparsify=False)
+        n = data.shape[0]
+        assert setup.oracle.counters.entries_computed == n * n
+        assert setup.oracle.counters.entries_stored_peak == n * n
+        setup.release()
+        assert setup.oracle.counters.entries_stored_current == 0
+
+    def test_sparse_charges_nnz(self, blob_data):
+        data, _ = blob_data
+        setup = prepare_affinity(data, KP, sparsify=True)
+        assert setup.oracle.counters.entries_stored_peak == setup.matrix.nnz
+        n = data.shape[0]
+        assert setup.matrix.nnz < n * n
+
+    def test_sparse_matrix_symmetric(self, blob_data):
+        data, _ = blob_data
+        setup = prepare_affinity(data, KP, sparsify=True)
+        diff = (setup.matrix - setup.matrix.T)
+        assert abs(diff).max() < 1e-12
+
+    def test_budget_enforced(self, blob_data):
+        data, _ = blob_data
+        with pytest.raises(BudgetExceededError):
+            prepare_affinity(data, KP, sparsify=False, budget_entries=10)
+
+    def test_submatrix_dense_and_sparse(self, blob_data):
+        data, _ = blob_data
+        dense = prepare_affinity(data, KP, sparsify=False).matrix
+        sparse = prepare_affinity(data, KP, sparsify=True).matrix
+        idx = np.asarray([0, 1, 2])
+        assert submatrix(dense, idx).shape == (3, 3)
+        assert submatrix(sparse, idx).shape == (3, 3)
+
+
+class TestDominantSets:
+    def test_finds_blobs(self, blob_data, truth):
+        data, _ = blob_data
+        result = DominantSets(kernel=KP, density_threshold=0.5).fit(data)
+        assert average_f1(result.member_lists(), truth) > 0.9
+        assert result.method == "DS"
+
+    def test_peels_everything(self, blob_data):
+        data, _ = blob_data
+        result = DominantSets(kernel=KP, density_threshold=0.5).fit(data)
+        peeled = np.concatenate([c.members for c in result.all_clusters])
+        assert sorted(peeled.tolist()) == list(range(data.shape[0]))
+
+    def test_clusters_disjoint(self, blob_data):
+        data, _ = blob_data
+        result = DominantSets(kernel=KP, density_threshold=0.5).fit(data)
+        seen = set()
+        for c in result.all_clusters:
+            assert not (set(c.members.tolist()) & seen)
+            seen |= set(c.members.tolist())
+
+    def test_weights_normalised(self, blob_data):
+        data, _ = blob_data
+        result = DominantSets(kernel=KP, density_threshold=0.5).fit(data)
+        for c in result.all_clusters:
+            assert c.weights.sum() == pytest.approx(1.0, abs=1e-8)
+
+
+class TestIIDDetector:
+    def test_finds_blobs(self, blob_data, truth):
+        data, _ = blob_data
+        result = IIDDetector(kernel=KP, density_threshold=0.5).fit(data)
+        assert average_f1(result.member_lists(), truth) > 0.9
+        assert result.method == "IID"
+
+    def test_full_matrix_work_is_n_squared(self, blob_data):
+        data, _ = blob_data
+        result = IIDDetector(kernel=KP, density_threshold=0.5).fit(data)
+        n = data.shape[0]
+        assert result.counters.entries_computed >= n * n
+
+    def test_sparsified_variant(self, blob_data, truth):
+        data, _ = blob_data
+        result = IIDDetector(
+            kernel=KP, density_threshold=0.4, sparsify=True
+        ).fit(data)
+        n = data.shape[0]
+        assert result.counters.entries_computed < n * n
+        assert result.metadata["sparsify"] is True
+
+    def test_budget_hit_raises(self, blob_data):
+        data, _ = blob_data
+        with pytest.raises(BudgetExceededError):
+            IIDDetector(kernel=KP).fit(data, budget_entries=100)
+
+    def test_peels_everything(self, blob_data):
+        data, _ = blob_data
+        result = IIDDetector(kernel=KP, density_threshold=0.5).fit(data)
+        peeled = np.concatenate([c.members for c in result.all_clusters])
+        assert sorted(peeled.tolist()) == list(range(data.shape[0]))
+
+
+class TestSEA:
+    def test_finds_blobs_on_sparse_graph(self, blob_data, truth):
+        data, _ = blob_data
+        result = SEA(kernel=KP, density_threshold=0.5).fit(data)
+        assert average_f1(result.member_lists(), truth) > 0.9
+        assert result.method == "SEA"
+
+    def test_work_below_n_squared_when_sparse(self, blob_data):
+        data, _ = blob_data
+        result = SEA(kernel=KP, density_threshold=0.5).fit(data)
+        n = data.shape[0]
+        assert result.counters.entries_computed < n * n
+        assert result.metadata["sparsify"] is True
+
+    def test_full_graph_mode(self, blob_data, truth):
+        data, _ = blob_data
+        result = SEA(
+            kernel=KP, density_threshold=0.5, sparsify=False
+        ).fit(data)
+        n = data.shape[0]
+        assert result.counters.entries_computed >= n * n
+        assert average_f1(result.member_lists(), truth) > 0.9
+
+    def test_peels_everything(self, blob_data):
+        data, _ = blob_data
+        result = SEA(kernel=KP, density_threshold=0.5).fit(data)
+        peeled = np.concatenate([c.members for c in result.all_clusters])
+        assert sorted(peeled.tolist()) == list(range(data.shape[0]))
+
+
+class TestAffinityPropagation:
+    def test_finds_blobs(self, blob_data, truth):
+        data, _ = blob_data
+        result = AffinityPropagation(kernel=KP).fit(data)
+        assert average_f1(result.member_lists(), truth) > 0.9
+        assert result.method == "AP"
+
+    def test_all_items_assigned(self, blob_data):
+        data, _ = blob_data
+        result = AffinityPropagation(kernel=KP).fit(data)
+        assigned = np.concatenate([c.members for c in result.clusters])
+        assert sorted(assigned.tolist()) == list(range(data.shape[0]))
+
+    def test_exemplar_in_own_cluster(self, blob_data):
+        data, _ = blob_data
+        result = AffinityPropagation(kernel=KP).fit(data)
+        for c in result.clusters:
+            assert c.seed in c.member_set()
+
+    def test_charges_three_matrices(self, blob_data):
+        data, _ = blob_data
+        result = AffinityPropagation(kernel=KP).fit(data)
+        n = data.shape[0]
+        assert result.counters.entries_stored_peak >= 3 * n * n
+
+    def test_rejects_bad_damping(self):
+        with pytest.raises(ValidationError):
+            AffinityPropagation(damping=0.3)
+        with pytest.raises(ValidationError):
+            AffinityPropagation(damping=1.0)
+
+    def test_sparsified_mode_runs(self, blob_data):
+        data, _ = blob_data
+        result = AffinityPropagation(kernel=KP, sparsify=True).fit(data)
+        assert result.n_clusters >= 1
+
+    def test_cluster_density_computed(self, blob_data):
+        data, _ = blob_data
+        result = AffinityPropagation(kernel=KP).fit(data)
+        big = max(result.clusters, key=lambda c: c.size)
+        assert big.density > 0.3

@@ -1,0 +1,74 @@
+"""Tests for the shared baseline machinery (KernelParams resolution)."""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import suggest_scaling_factor
+from repro.baselines.common import KernelParams
+from repro.exceptions import ValidationError
+from repro.experiments.common import affinity_method
+
+
+class TestKernelParams:
+    def test_explicit_k_respected(self, blob_data):
+        data, _ = blob_data
+        kernel = KernelParams(kernel_k=0.123).resolve_kernel(data)
+        assert kernel.k == 0.123
+
+    def test_auto_k_matches_suggestion(self, blob_data):
+        data, _ = blob_data
+        params = KernelParams(seed=7)
+        kernel = params.resolve_kernel(data)
+        expected = suggest_scaling_factor(
+            data, target_affinity=0.9, seed=7
+        )
+        assert kernel.k == pytest.approx(expected)
+
+    def test_explicit_lsh_r(self, blob_data):
+        data, _ = blob_data
+        params = KernelParams(lsh_r=3.3)
+        kernel = params.resolve_kernel(data)
+        assert params.resolve_lsh_r(kernel) == 3.3
+
+    def test_auto_lsh_r_scales_with_anchor(self, blob_data):
+        data, _ = blob_data
+        params = KernelParams(kernel_k=1.0, lsh_r_scale=10.0)
+        kernel = params.resolve_kernel(data)
+        anchor = kernel.distance_from_affinity(0.9)
+        assert params.resolve_lsh_r(kernel) == pytest.approx(10.0 * anchor)
+
+    def test_frozen(self):
+        params = KernelParams()
+        with pytest.raises(AttributeError):
+            params.kernel_k = 2.0
+
+    def test_same_seed_same_kernel_across_methods(self, blob_data):
+        """The Fig. 6 fairness requirement: one affinity for everyone."""
+        data, _ = blob_data
+        k_values = set()
+        for _ in range(3):
+            kernel = KernelParams(seed=0).resolve_kernel(data)
+            k_values.add(kernel.k)
+        assert len(k_values) == 1
+
+
+class TestAffinityMethodFactory:
+    def test_builds_each_method(self):
+        for name in ("ALID", "IID", "SEA", "AP"):
+            method = affinity_method(name, sparsify=False)
+            assert hasattr(method, "fit")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValidationError):
+            affinity_method("DBSCAN", sparsify=False)
+
+    def test_kernel_forwarded(self):
+        params = KernelParams(kernel_k=0.5)
+        method = affinity_method("IID", sparsify=False, kernel=params)
+        assert method.kernel.kernel_k == 0.5
+
+    def test_alid_config_respects_kernel_params(self):
+        params = KernelParams(kernel_k=0.5, lsh_r=2.0)
+        method = affinity_method("ALID", sparsify=False, kernel=params)
+        assert method.config.kernel_k == 0.5
+        assert method.config.lsh_r == 2.0

@@ -1,0 +1,174 @@
+"""Tests for the partitioning baselines: k-means, spectral, mean shift."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KMeans, MeanShift, SpectralClustering
+from repro.baselines.kmeans import kmeans_plus_plus
+from repro.baselines.meanshift import estimate_bandwidth
+from repro.eval.metrics import average_f1
+from repro.exceptions import EmptyDatasetError, ValidationError
+
+
+@pytest.fixture
+def truth(blob_data):
+    _, labels = blob_data
+    return [np.flatnonzero(labels == c) for c in (0, 1)]
+
+
+class TestKMeansPlusPlus:
+    def test_centers_are_data_points(self, blob_data, rng):
+        data, _ = blob_data
+        centers = kmeans_plus_plus(data, 3, rng)
+        for c in centers:
+            assert any(np.allclose(c, row) for row in data)
+
+    def test_spread_centers(self, blob_data, rng):
+        # With two far blobs, 2 centers should land in different blobs.
+        data, labels = blob_data
+        hits = 0
+        for trial in range(5):
+            centers = kmeans_plus_plus(
+                data, 2, np.random.default_rng(trial)
+            )
+            if np.linalg.norm(centers[0] - centers[1]) > 5.0:
+                hits += 1
+        assert hits >= 4
+
+    def test_degenerate_all_identical(self, rng):
+        data = np.ones((10, 3))
+        centers = kmeans_plus_plus(data, 3, rng)
+        assert centers.shape == (3, 3)
+
+
+class TestKMeans:
+    def test_recovers_blobs_with_noise_bucket(self, blob_data, truth):
+        data, _ = blob_data
+        result = KMeans(3, seed=0).fit(data)
+        # Two blobs + noise: with K=3 the blobs are usually recovered.
+        assert average_f1(result.member_lists(), truth) > 0.6
+
+    def test_partition_covers_everything(self, blob_data):
+        data, _ = blob_data
+        result = KMeans(3, seed=0).fit(data)
+        assigned = np.concatenate([c.members for c in result.clusters])
+        assert sorted(assigned.tolist()) == list(range(data.shape[0]))
+
+    def test_inertia_reported(self, blob_data):
+        data, _ = blob_data
+        result = KMeans(2, seed=0).fit(data)
+        assert result.metadata["inertia"] >= 0
+
+    def test_more_clusters_lower_inertia(self, blob_data):
+        data, _ = blob_data
+        i2 = KMeans(2, seed=0, n_init=4).fit(data).metadata["inertia"]
+        i8 = KMeans(8, seed=0, n_init=4).fit(data).metadata["inertia"]
+        assert i8 <= i2 + 1e-9
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValidationError):
+            KMeans(0)
+
+    def test_rejects_too_few_items(self):
+        with pytest.raises(EmptyDatasetError):
+            KMeans(5).fit(np.zeros((3, 2)))
+
+    def test_deterministic(self, blob_data):
+        data, _ = blob_data
+        a = KMeans(3, seed=7).fit(data).labels()
+        b = KMeans(3, seed=7).fit(data).labels()
+        assert np.array_equal(a, b)
+
+
+class TestSpectralClustering:
+    def test_full_mode_recovers_blobs(self, blob_data, truth):
+        data, _ = blob_data
+        result = SpectralClustering(3, mode="full", seed=0).fit(data)
+        assert average_f1(result.member_lists(), truth) > 0.6
+        assert result.method == "SC-FL"
+
+    def test_nystrom_mode_recovers_blobs(self, blob_data, truth):
+        data, _ = blob_data
+        result = SpectralClustering(
+            3, mode="nystrom", n_landmarks=30, seed=0
+        ).fit(data)
+        assert average_f1(result.member_lists(), truth) > 0.6
+        assert result.method == "SC-NYS"
+
+    def test_full_mode_charges_n_squared_work(self, blob_data):
+        data, _ = blob_data
+        result = SpectralClustering(3, mode="full", seed=0).fit(data)
+        n = data.shape[0]
+        assert result.counters.entries_computed >= n * n
+
+    def test_nystrom_cheaper_than_full(self, blob_data):
+        data, _ = blob_data
+        full = SpectralClustering(3, mode="full", seed=0).fit(data)
+        nys = SpectralClustering(
+            3, mode="nystrom", n_landmarks=20, seed=0
+        ).fit(data)
+        assert (
+            nys.counters.entries_computed < full.counters.entries_computed
+        )
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValidationError):
+            SpectralClustering(3, mode="approx")
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValidationError):
+            SpectralClustering(0)
+
+
+class TestMeanShift:
+    def test_recovers_blobs_with_tuned_bandwidth(self, blob_data, truth):
+        data, _ = blob_data
+        result = MeanShift(bandwidth=1.0).fit(data)
+        assert average_f1(result.member_lists(), truth) > 0.9
+        assert result.method == "MS"
+
+    def test_every_point_labelled(self, blob_data):
+        data, _ = blob_data
+        result = MeanShift(bandwidth=1.0).fit(data)
+        assigned = np.concatenate([c.members for c in result.clusters])
+        assert sorted(assigned.tolist()) == list(range(data.shape[0]))
+
+    def test_huge_bandwidth_merges_everything(self, blob_data):
+        data, _ = blob_data
+        result = MeanShift(bandwidth=1e4).fit(data)
+        assert result.n_clusters == 1
+
+    def test_bandwidth_reported(self, blob_data):
+        data, _ = blob_data
+        result = MeanShift(bandwidth=2.0).fit(data)
+        assert result.metadata["bandwidth"] == 2.0
+
+    def test_auto_bandwidth(self, blob_data):
+        data, _ = blob_data
+        result = MeanShift().fit(data)
+        assert result.metadata["bandwidth"] > 0
+
+    def test_rejects_bad_bandwidth(self, blob_data):
+        data, _ = blob_data
+        with pytest.raises(ValidationError):
+            MeanShift(bandwidth=-1.0).fit(data)
+
+
+class TestEstimateBandwidth:
+    def test_positive(self, blob_data):
+        data, _ = blob_data
+        assert estimate_bandwidth(data) > 0
+
+    def test_quantile_monotone(self, blob_data):
+        data, _ = blob_data
+        low = estimate_bandwidth(data, quantile=0.05)
+        high = estimate_bandwidth(data, quantile=0.9)
+        assert low <= high
+
+    def test_identical_points_fallback(self):
+        assert estimate_bandwidth(np.ones((5, 2))) == 1.0
+
+    def test_invalid_quantile(self, blob_data):
+        data, _ = blob_data
+        with pytest.raises(ValidationError):
+            estimate_bandwidth(data, quantile=0.0)

@@ -1,0 +1,191 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import load_dataset, load_detection
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    path = tmp_path / "ds.npz"
+    code = main(
+        [
+            "generate",
+            "--workload", "synthetic",
+            "--n", "300",
+            "--regime", "bounded",
+            "--out", str(path),
+            "--seed", "1",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--workload", "nart", "--out", "x.npz"]
+        )
+        assert args.workload == "nart"
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["detect", "--input", "x", "--method", "dbscan"]
+            )
+
+
+class TestGenerate:
+    def test_writes_dataset(self, dataset_file):
+        dataset = load_dataset(dataset_file)
+        assert dataset.n == 300
+
+    def test_nart_workload(self, tmp_path, capsys):
+        path = tmp_path / "nart.npz"
+        code = main(
+            [
+                "generate",
+                "--workload", "nart",
+                "--scale", "0.05",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        assert "true clusters" in capsys.readouterr().out
+        assert load_dataset(path).dim == 350
+
+    def test_noise_degree_forwarded(self, tmp_path):
+        path = tmp_path / "nd.npz"
+        main(
+            [
+                "generate",
+                "--workload", "sub_ndi",
+                "--scale", "0.05",
+                "--noise-degree", "2.0",
+                "--out", str(path),
+            ]
+        )
+        assert load_dataset(path).noise_degree() == pytest.approx(
+            2.0, abs=0.1
+        )
+
+
+class TestDetect:
+    def test_alid_detection(self, dataset_file, tmp_path, capsys):
+        out = tmp_path / "result.npz"
+        code = main(
+            [
+                "detect",
+                "--input", str(dataset_file),
+                "--method", "alid",
+                "--delta", "100",
+                "--density-threshold", "0.6",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "AVG-F" in stdout
+        result = load_detection(out)
+        assert result.method == "ALID"
+        assert result.n_items == 300
+
+    def test_kmeans_detection(self, dataset_file, capsys):
+        code = main(
+            [
+                "detect",
+                "--input", str(dataset_file),
+                "--method", "km",
+            ]
+        )
+        assert code == 0
+        assert "KM" in capsys.readouterr().out
+
+    def test_missing_input_is_error(self, tmp_path, capsys):
+        code = main(
+            ["detect", "--input", str(tmp_path / "missing.npz")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_two_methods(self, dataset_file, capsys):
+        code = main(
+            [
+                "compare",
+                "--input", str(dataset_file),
+                "--methods", "alid", "km",
+                "--delta", "100",
+                "--density-threshold", "0.6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALID" in out
+        assert "KM" in out
+
+
+class TestInfo:
+    def test_dataset_info(self, dataset_file, capsys):
+        code = main(["info", str(dataset_file), "--kind", "dataset"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "items:" in out
+        assert "noise degree" in out
+
+    def test_detection_info(self, dataset_file, tmp_path, capsys):
+        out_file = tmp_path / "res.npz"
+        main(
+            [
+                "detect",
+                "--input", str(dataset_file),
+                "--method", "alid",
+                "--delta", "100",
+                "--density-threshold", "0.6",
+                "--out", str(out_file),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["info", str(out_file), "--kind", "detection"])
+        assert code == 0
+        assert "ALID" in capsys.readouterr().out
+
+
+class TestNewMethodsAndPipelines:
+    def test_detect_graph_shift(self, tmp_path, capsys):
+        data_path = tmp_path / "d.npz"
+        assert main([
+            "generate", "--workload", "sift", "--n", "300",
+            "--out", str(data_path),
+        ]) == 0
+        assert main([
+            "detect", "--input", str(data_path), "--method", "gs",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "GS" in out
+
+    def test_generate_gist_pipeline(self, tmp_path, capsys):
+        out_path = tmp_path / "gist.npz"
+        assert main([
+            "generate", "--workload", "ndi_gist", "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dim 256" in out
+        assert out_path.exists()
+
+    def test_generate_sift_pipeline(self, tmp_path, capsys):
+        out_path = tmp_path / "sp.npz"
+        assert main([
+            "generate", "--workload", "sift_patches",
+            "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dim 128" in out

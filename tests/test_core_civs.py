@@ -1,0 +1,142 @@
+"""Unit tests for CIVS (paper §4.3, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityOracle
+from repro.core.civs import civs_retrieve
+from repro.lsh.index import LSHIndex
+
+
+@pytest.fixture
+def civs_env(blob_data):
+    data, labels = blob_data
+    oracle = AffinityOracle(data, LaplacianKernel(k=0.45))
+    index = LSHIndex(data, r=5.0, n_projections=16, n_tables=20, seed=0)
+    return data, labels, oracle, index
+
+
+class TestCIVSRetrieve:
+    def test_finds_cluster_members_in_roi(self, civs_env):
+        data, labels, oracle, index = civs_env
+        cluster = np.flatnonzero(labels == 0)
+        support = cluster[:3]
+        center = data[cluster].mean(axis=0)
+        result = civs_retrieve(
+            index, oracle, support, center, radius=1.0, delta=100
+        )
+        # The remaining cluster members sit within ~1.0 of the center.
+        expected = set(cluster) - set(support)
+        found = set(result.psi)
+        assert len(found & expected) >= 0.8 * len(expected)
+
+    def test_excludes_support(self, civs_env):
+        data, labels, oracle, index = civs_env
+        cluster = np.flatnonzero(labels == 0)
+        support = cluster[:5]
+        center = data[cluster].mean(axis=0)
+        result = civs_retrieve(
+            index, oracle, support, center, radius=10.0, delta=100
+        )
+        assert not (set(support) & set(result.psi))
+
+    def test_respects_exclude(self, civs_env):
+        data, labels, oracle, index = civs_env
+        cluster = np.flatnonzero(labels == 0)
+        support = cluster[:3]
+        center = data[cluster].mean(axis=0)
+        exclude = cluster[3:10]
+        result = civs_retrieve(
+            index, oracle, support, center, radius=10.0, delta=100,
+            exclude=exclude,
+        )
+        assert not (set(exclude) & set(result.psi))
+
+    def test_radius_filter_exact(self, civs_env):
+        data, labels, oracle, index = civs_env
+        cluster = np.flatnonzero(labels == 0)
+        support = cluster[:3]
+        center = data[cluster].mean(axis=0)
+        result = civs_retrieve(
+            index, oracle, support, center, radius=0.5, delta=100
+        )
+        for i in result.psi:
+            assert np.linalg.norm(data[i] - center) <= 0.5 + 1e-12
+
+    def test_delta_cap_keeps_nearest(self, civs_env):
+        data, labels, oracle, index = civs_env
+        cluster = np.flatnonzero(labels == 0)
+        support = cluster[:3]
+        center = data[cluster].mean(axis=0)
+        capped = civs_retrieve(
+            index, oracle, support, center, radius=5.0, delta=4
+        )
+        uncapped = civs_retrieve(
+            index, oracle, support, center, radius=5.0, delta=1000
+        )
+        assert capped.psi.size <= 4
+        if uncapped.psi.size >= 4:
+            # The capped result must be the 4 nearest of the full set.
+            dists_all = {
+                int(i): np.linalg.norm(data[i] - center) for i in uncapped.psi
+            }
+            nearest4 = sorted(dists_all, key=dists_all.get)[:4]
+            assert set(capped.psi) == set(nearest4)
+
+    def test_sorted_by_distance(self, civs_env):
+        data, labels, oracle, index = civs_env
+        cluster = np.flatnonzero(labels == 0)
+        support = cluster[:3]
+        center = data[cluster].mean(axis=0)
+        result = civs_retrieve(
+            index, oracle, support, center, radius=5.0, delta=100
+        )
+        dists = [np.linalg.norm(data[i] - center) for i in result.psi]
+        assert all(a <= b + 1e-12 for a, b in zip(dists, dists[1:]))
+
+    def test_empty_when_radius_zero(self, civs_env):
+        data, labels, oracle, index = civs_env
+        cluster = np.flatnonzero(labels == 0)
+        result = civs_retrieve(
+            index, oracle, cluster[:3], data[cluster].mean(axis=0),
+            radius=0.0, delta=10,
+        )
+        assert result.psi.size == 0
+
+    def test_peeled_items_never_returned(self, civs_env):
+        data, labels, oracle, index = civs_env
+        cluster0 = np.flatnonzero(labels == 0)
+        cluster1 = np.flatnonzero(labels == 1)
+        index.deactivate(cluster1)
+        support = cluster0[:3]
+        result = civs_retrieve(
+            index, oracle, support, data[cluster0].mean(axis=0),
+            radius=100.0, delta=1000,
+        )
+        assert not (set(cluster1) & set(result.psi))
+
+    def test_raw_candidate_count_reported(self, civs_env):
+        data, labels, oracle, index = civs_env
+        cluster = np.flatnonzero(labels == 0)
+        result = civs_retrieve(
+            index, oracle, cluster[:3], data[cluster].mean(axis=0),
+            radius=1.0, delta=100,
+        )
+        assert result.n_candidates >= result.psi.size
+
+    def test_multi_query_covers_more_than_single(self, civs_env):
+        """Fig. 4's motivation: multiple LSRs cover more of the ROI."""
+        data, labels, oracle, index = civs_env
+        cluster = np.flatnonzero(labels == 0)
+        center = data[cluster].mean(axis=0)
+        single = civs_retrieve(
+            index, oracle, cluster[:1], center, radius=2.0, delta=1000
+        )
+        multi = civs_retrieve(
+            index, oracle, cluster[:8], center, radius=2.0, delta=1000
+        )
+        # Account for the different support exclusions when comparing.
+        single_total = set(single.psi) | set(cluster[:8])
+        multi_total = set(multi.psi) | set(cluster[:8])
+        assert multi_total >= single_total - set(cluster[:1])

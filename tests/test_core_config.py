@@ -1,0 +1,59 @@
+"""Unit tests for ALIDConfig validation."""
+
+import pytest
+
+from repro.core.config import ALIDConfig
+from repro.exceptions import ValidationError
+
+
+class TestALIDConfig:
+    def test_defaults_match_paper(self):
+        cfg = ALIDConfig()
+        assert cfg.delta == 800  # paper §5
+        assert cfg.max_outer_iterations == 10  # paper C = 10
+        assert cfg.density_threshold == 0.75  # paper §4.4
+        assert cfg.lsh_projections == 40  # paper Fig. 6
+        assert cfg.lsh_tables == 50  # paper Fig. 6
+
+    def test_frozen(self):
+        cfg = ALIDConfig()
+        with pytest.raises(AttributeError):
+            cfg.delta = 5
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValidationError):
+            ALIDConfig(delta=0)
+
+    def test_rejects_bad_outer_iterations(self):
+        with pytest.raises(ValidationError):
+            ALIDConfig(max_outer_iterations=0)
+
+    def test_rejects_bad_lid_iterations(self):
+        with pytest.raises(ValidationError):
+            ALIDConfig(max_lid_iterations=-1)
+
+    def test_rejects_negative_tol(self):
+        with pytest.raises(ValidationError):
+            ALIDConfig(tol=-1e-9)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValidationError):
+            ALIDConfig(density_threshold=1.5)
+
+    def test_initial_radius_auto(self):
+        assert ALIDConfig(initial_radius="auto").initial_radius == "auto"
+
+    def test_initial_radius_paper_value(self):
+        assert ALIDConfig(initial_radius=0.4).initial_radius == 0.4
+
+    def test_rejects_bad_initial_radius_string(self):
+        with pytest.raises(ValidationError):
+            ALIDConfig(initial_radius="big")
+
+    def test_rejects_nonpositive_initial_radius(self):
+        with pytest.raises(ValidationError):
+            ALIDConfig(initial_radius=0.0)
+
+    def test_rejects_bad_min_cluster_size(self):
+        with pytest.raises(ValidationError):
+            ALIDConfig(min_cluster_size=0)

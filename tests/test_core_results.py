@@ -1,0 +1,99 @@
+"""Unit tests for Cluster / DetectionResult."""
+
+import numpy as np
+import pytest
+
+from repro.affinity.oracle import AffinityCounters
+from repro.core.results import Cluster, DetectionResult
+from repro.exceptions import ValidationError
+
+
+def make_cluster(members, density, label):
+    members = np.asarray(members, dtype=np.intp)
+    return Cluster(
+        members=members,
+        weights=np.full(members.size, 1.0 / members.size),
+        density=density,
+        label=label,
+    )
+
+
+class TestCluster:
+    def test_size(self):
+        assert make_cluster([1, 2, 3], 0.9, 0).size == 3
+
+    def test_member_set(self):
+        assert make_cluster([4, 2], 0.5, 0).member_set() == {2, 4}
+
+    def test_rejects_misaligned_weights(self):
+        with pytest.raises(ValidationError):
+            Cluster(
+                members=np.asarray([1, 2]),
+                weights=np.asarray([1.0]),
+                density=0.5,
+                label=0,
+            )
+
+
+class TestDetectionResult:
+    def test_labels_basic(self):
+        clusters = [make_cluster([0, 1], 0.9, 0), make_cluster([3], 0.8, 1)]
+        result = DetectionResult(
+            clusters=clusters, all_clusters=clusters, n_items=5
+        )
+        labels = result.labels()
+        assert list(labels) == [0, 0, -1, 1, -1]
+
+    def test_labels_overlap_resolved_by_density(self):
+        # Paper Alg. 3's reducer rule: densest cluster wins the overlap.
+        clusters = [
+            make_cluster([0, 1, 2], 0.6, 0),
+            make_cluster([2, 3], 0.9, 1),
+        ]
+        result = DetectionResult(
+            clusters=clusters, all_clusters=clusters, n_items=4
+        )
+        labels = result.labels()
+        assert labels[2] == 1
+
+    def test_coverage(self):
+        clusters = [make_cluster([0, 1], 0.9, 0)]
+        result = DetectionResult(
+            clusters=clusters, all_clusters=clusters, n_items=4
+        )
+        assert result.coverage() == pytest.approx(0.5)
+
+    def test_coverage_empty(self):
+        result = DetectionResult(clusters=[], all_clusters=[], n_items=0)
+        assert result.coverage() == 0.0
+
+    def test_member_lists(self):
+        clusters = [make_cluster([0, 1], 0.9, 0), make_cluster([2], 0.8, 1)]
+        result = DetectionResult(
+            clusters=clusters, all_clusters=clusters, n_items=3
+        )
+        lists = result.member_lists()
+        assert len(lists) == 2
+        assert list(lists[0]) == [0, 1]
+
+    def test_summary_contains_method_and_memory(self):
+        counters = AffinityCounters()
+        counters.charge(computed=10, stored_delta=1000)
+        result = DetectionResult(
+            clusters=[],
+            all_clusters=[],
+            n_items=10,
+            runtime_seconds=1.5,
+            counters=counters,
+            method="TEST",
+        )
+        summary = result.summary()
+        assert "TEST" in summary
+        assert "MB" in summary
+
+    def test_n_clusters(self):
+        clusters = [make_cluster([0], 0.9, 0)]
+        result = DetectionResult(
+            clusters=clusters, all_clusters=clusters, n_items=1
+        )
+        assert result.n_clusters == 1

@@ -1,0 +1,152 @@
+"""Unit tests for the ROI double-deck hyperball (paper Eq. 15/16, Prop. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.core.roi import (
+    DoubleDeckBall,
+    estimate_roi,
+    logistic_growth,
+    roi_radius,
+)
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def cluster_subgraph(rng):
+    """A tight cluster with a converged-ish uniform subgraph over it."""
+    data = rng.normal(scale=0.2, size=(12, 6))
+    kernel = LaplacianKernel(k=1.0)
+    weights = np.full(12, 1.0 / 12)
+    affinity = kernel.block(data, zero_diagonal=True)
+    density = float(weights @ affinity @ weights)
+    return data, weights, density, kernel
+
+
+class TestLogisticGrowth:
+    def test_paper_values(self):
+        # theta(c) = 1 / (1 + exp(4 - c/2))
+        assert logistic_growth(0) == pytest.approx(1 / (1 + np.exp(4.0)))
+        assert logistic_growth(8) == pytest.approx(0.5)
+        assert logistic_growth(10) == pytest.approx(1 / (1 + np.exp(-1.0)))
+
+    def test_monotone_increasing(self):
+        values = [logistic_growth(c) for c in range(0, 30)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_approaches_one(self):
+        assert logistic_growth(100) == pytest.approx(1.0, abs=1e-10)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            logistic_growth(-1)
+
+
+class TestEstimateROI:
+    def test_center_is_weighted_barycenter(self, cluster_subgraph):
+        data, weights, density, kernel = cluster_subgraph
+        ball = estimate_roi(data, weights, density, kernel)
+        assert np.allclose(ball.center, weights @ data)
+
+    def test_radii_ordered(self, cluster_subgraph):
+        data, weights, density, kernel = cluster_subgraph
+        ball = estimate_roi(data, weights, density, kernel)
+        assert 0.0 <= ball.r_in <= ball.r_out
+
+    def test_matches_eq15_directly(self, cluster_subgraph):
+        """Cross-check log-space evaluation against the naive formula."""
+        data, weights, density, kernel = cluster_subgraph
+        ball = estimate_roi(data, weights, density, kernel)
+        center = weights @ data
+        dists = np.linalg.norm(data - center, axis=1)
+        lambda_in = float((weights * np.exp(-kernel.k * dists)).sum())
+        lambda_out = float((weights * np.exp(kernel.k * dists)).sum())
+        r_in = max(0.0, np.log(lambda_in / density) / kernel.k)
+        r_out = max(r_in, np.log(lambda_out / density) / kernel.k)
+        assert ball.r_in == pytest.approx(r_in, abs=1e-9)
+        assert ball.r_out == pytest.approx(r_out, abs=1e-9)
+
+    def test_proposition1_inner(self, rng, cluster_subgraph):
+        """Points strictly inside the inner ball are infective (Prop. 1.1)."""
+        data, weights, density, kernel = cluster_subgraph
+        ball = estimate_roi(data, weights, density, kernel)
+        if ball.r_in <= 0:
+            pytest.skip("inner guarantee region empty for this subgraph")
+        # Sample random points inside the inner ball.
+        for _ in range(50):
+            direction = rng.normal(size=data.shape[1])
+            direction /= np.linalg.norm(direction)
+            radius = rng.uniform(0.0, ball.r_in * 0.999)
+            point = ball.center + direction * radius
+            affinities = kernel.affinity_from_distance(
+                np.linalg.norm(data - point, axis=1)
+            )
+            pay = float(weights @ affinities) - density
+            assert pay > 0.0
+
+    def test_proposition1_outer(self, rng, cluster_subgraph):
+        """Points strictly outside the outer ball are non-infective."""
+        data, weights, density, kernel = cluster_subgraph
+        ball = estimate_roi(data, weights, density, kernel)
+        for scale in (1.001, 1.5, 3.0, 10.0):
+            direction = rng.normal(size=data.shape[1])
+            direction /= np.linalg.norm(direction)
+            point = ball.center + direction * ball.r_out * scale
+            affinities = kernel.affinity_from_distance(
+                np.linalg.norm(data - point, axis=1)
+            )
+            pay = float(weights @ affinities) - density
+            assert pay < 1e-12
+
+    def test_overflow_safe_for_large_k(self, rng):
+        """lambda_out involves exp(+k d); log-space must not overflow."""
+        data = rng.normal(scale=5.0, size=(6, 4))
+        kernel = LaplacianKernel(k=200.0)
+        weights = np.full(6, 1.0 / 6)
+        density = 1e-30  # tiny density: naive formula would overflow
+        ball = estimate_roi(data, weights, density, kernel)
+        assert np.isfinite(ball.r_out)
+
+    def test_rejects_zero_density(self, cluster_subgraph):
+        data, weights, _, kernel = cluster_subgraph
+        with pytest.raises(ValidationError, match="density"):
+            estimate_roi(data, weights, 0.0, kernel)
+
+    def test_rejects_misaligned_weights(self, cluster_subgraph):
+        data, weights, density, kernel = cluster_subgraph
+        with pytest.raises(ValidationError):
+            estimate_roi(data[:5], weights, density, kernel)
+
+    def test_zero_weight_members_ignored(self, cluster_subgraph):
+        """Members with zero weight must not influence the ball."""
+        data, weights, density, kernel = cluster_subgraph
+        padded_data = np.vstack([data, data[:1] + 100.0])
+        padded_weights = np.concatenate([weights, [0.0]])
+        ball_a = estimate_roi(data, weights, density, kernel)
+        ball_b = estimate_roi(padded_data, padded_weights, density, kernel)
+        assert np.allclose(ball_a.center, ball_b.center)
+        assert ball_a.r_out == pytest.approx(ball_b.r_out)
+
+
+class TestRoiRadius:
+    def test_interpolates_between_radii(self, cluster_subgraph):
+        data, weights, density, kernel = cluster_subgraph
+        ball = estimate_roi(data, weights, density, kernel)
+        for c in (1, 5, 10, 50):
+            radius = roi_radius(ball, c)
+            assert ball.r_in <= radius <= ball.r_out + 1e-12
+
+    def test_grows_with_iterations(self, cluster_subgraph):
+        data, weights, density, kernel = cluster_subgraph
+        ball = estimate_roi(data, weights, density, kernel)
+        radii = [roi_radius(ball, c) for c in range(1, 20)]
+        if ball.r_out > ball.r_in:
+            assert all(a < b for a, b in zip(radii, radii[1:]))
+
+    def test_contains_helper(self):
+        ball = DoubleDeckBall(
+            center=np.zeros(2), r_in=1.0, r_out=2.0, density=0.5
+        )
+        mask = ball.contains(np.asarray([0.5, 1.5, 2.5]), radius=1.5)
+        assert list(mask) == [True, True, False]

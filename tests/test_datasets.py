@@ -1,0 +1,221 @@
+"""Tests for the dataset substrate (base container + all generators)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    make_nart,
+    make_ndi,
+    make_sift,
+    make_sub_ndi,
+    make_synthetic_mixture,
+)
+from repro.datasets.synthetic import cluster_size_for_regime
+from repro.exceptions import ValidationError
+
+
+class TestDataset:
+    def test_counts(self):
+        ds = Dataset(
+            data=np.zeros((5, 2)),
+            labels=np.asarray([0, 0, 1, -1, -1]),
+        )
+        assert ds.n == 5
+        assert ds.n_noise == 2
+        assert ds.n_ground_truth == 3
+        assert ds.n_true_clusters == 2
+
+    def test_noise_degree(self):
+        ds = Dataset(
+            data=np.zeros((4, 2)), labels=np.asarray([0, 0, -1, -1])
+        )
+        assert ds.noise_degree() == pytest.approx(1.0)
+
+    def test_noise_degree_all_noise(self):
+        ds = Dataset(data=np.zeros((2, 2)), labels=np.asarray([-1, -1]))
+        assert ds.noise_degree() == float("inf")
+
+    def test_truth_clusters(self):
+        ds = Dataset(
+            data=np.zeros((5, 2)), labels=np.asarray([1, 0, 1, -1, 0])
+        )
+        clusters = ds.truth_clusters()
+        assert len(clusters) == 2
+        assert sorted(clusters[0].tolist()) == [1, 4]
+        assert sorted(clusters[1].tolist()) == [0, 2]
+
+    def test_largest_cluster_size(self):
+        ds = Dataset(
+            data=np.zeros((5, 2)), labels=np.asarray([0, 0, 0, 1, -1])
+        )
+        assert ds.largest_cluster_size() == 3
+
+    def test_subsample(self):
+        ds = Dataset(data=np.arange(20).reshape(10, 2).astype(float),
+                     labels=np.arange(10) % 3)
+        sub = ds.subsample(4, seed=0)
+        assert sub.n == 4
+        # Rows must be original rows.
+        for row in sub.data:
+            assert any(np.allclose(row, orig) for orig in ds.data)
+
+    def test_subsample_too_large(self):
+        ds = Dataset(data=np.zeros((3, 2)), labels=np.zeros(3, dtype=int))
+        with pytest.raises(ValidationError):
+            ds.subsample(10)
+
+    def test_shuffled_preserves_pairs(self):
+        data = np.arange(12).reshape(6, 2).astype(float)
+        labels = np.asarray([0, 0, 1, 1, -1, -1])
+        ds = Dataset(data=data, labels=labels)
+        shuffled = ds.shuffled(seed=1)
+        for i in range(6):
+            j = np.flatnonzero(
+                (shuffled.data == data[i]).all(axis=1)
+            )[0]
+            assert shuffled.labels[j] == labels[i]
+
+    def test_rejects_misaligned_labels(self):
+        with pytest.raises(ValidationError):
+            Dataset(data=np.zeros((3, 2)), labels=np.zeros(2, dtype=int))
+
+
+class TestClusterSizeForRegime:
+    def test_omega_n(self):
+        assert cluster_size_for_regime(2000, "omega_n", omega=1.0) == 100
+
+    def test_n_eta(self):
+        expected = round(2000**0.9 / 20)
+        assert cluster_size_for_regime(2000, "n_eta", eta=0.9) == expected
+
+    def test_bounded(self):
+        assert cluster_size_for_regime(10**6, "bounded", bound=1000) == 50
+
+    def test_bounded_capped_by_n(self):
+        # Cannot exceed n / n_clusters.
+        assert cluster_size_for_regime(100, "bounded", bound=10**6) == 5
+
+    def test_unknown_regime(self):
+        with pytest.raises(ValidationError):
+            cluster_size_for_regime(100, "linear")
+
+
+class TestMakeSyntheticMixture:
+    def test_paper_shape(self):
+        ds = make_synthetic_mixture(1000, regime="omega_n", seed=0)
+        assert ds.n == 1000
+        assert ds.dim == 100
+        assert ds.n_true_clusters == 20
+
+    def test_omega_regime_no_noise(self):
+        ds = make_synthetic_mixture(1000, regime="omega_n", omega=1.0, seed=0)
+        assert ds.n_noise == 0
+
+    def test_bounded_regime_mostly_noise(self):
+        ds = make_synthetic_mixture(5000, regime="bounded", bound=1000, seed=0)
+        assert ds.largest_cluster_size() == 50
+        assert ds.n_noise == 5000 - 1000
+
+    def test_n_eta_regime(self):
+        ds = make_synthetic_mixture(3000, regime="n_eta", eta=0.9, seed=0)
+        expected = round(3000**0.9 / 20)
+        assert ds.largest_cluster_size() == expected
+
+    def test_deterministic(self):
+        a = make_synthetic_mixture(500, seed=3)
+        b = make_synthetic_mixture(500, seed=3)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValidationError):
+            make_synthetic_mixture(5, n_clusters=20)
+
+    def test_clusters_tighter_than_noise(self):
+        ds = make_synthetic_mixture(2000, regime="bounded", bound=400, seed=1)
+        cluster = ds.data[ds.labels == 0]
+        noise = ds.data[ds.labels == -1]
+        intra = np.linalg.norm(cluster - cluster.mean(axis=0), axis=1).mean()
+        spread = np.linalg.norm(noise - noise.mean(axis=0), axis=1).mean()
+        assert intra < spread / 5
+
+
+class TestMakeNart:
+    def test_paper_proportions_at_scale_one(self):
+        ds = make_nart(scale=1.0, seed=0)
+        assert ds.n_true_clusters == 13
+        assert ds.n_ground_truth == 734
+        assert ds.n_noise == 4567
+        assert ds.dim == 350
+
+    def test_rows_are_topic_distributions(self):
+        ds = make_nart(scale=0.1, seed=0)
+        sums = ds.data.sum(axis=1)
+        assert np.allclose(sums, 1.0, atol=1e-9)
+        assert ds.data.min() >= 0
+
+    def test_noise_degree_override(self):
+        ds = make_nart(scale=0.2, noise_degree=2.0, seed=0)
+        assert ds.noise_degree() == pytest.approx(2.0, abs=0.05)
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            make_nart(scale=0.0)
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            make_nart(scale=0.1, seed=5).data, make_nart(scale=0.1, seed=5).data
+        )
+
+
+class TestMakeNdi:
+    def test_paper_proportions(self):
+        ds = make_ndi(scale=0.05, seed=0)
+        assert ds.dim == 256
+        assert ds.n_noise > ds.n_ground_truth
+
+    def test_sub_ndi_proportions(self):
+        ds = make_sub_ndi(scale=1.0, seed=0)
+        assert ds.n_true_clusters == 6
+        assert ds.n_ground_truth == 1420
+        assert ds.n_noise == 8520
+
+    def test_values_in_unit_cube(self):
+        ds = make_sub_ndi(scale=0.1, seed=0)
+        assert ds.data.min() >= 0.0
+        assert ds.data.max() <= 1.0
+
+    def test_noise_degree_override(self):
+        ds = make_sub_ndi(scale=0.2, noise_degree=3.0, seed=0)
+        assert ds.noise_degree() == pytest.approx(3.0, abs=0.05)
+
+
+class TestMakeSift:
+    def test_unit_norm(self):
+        ds = make_sift(500, seed=0)
+        norms = np.linalg.norm(ds.data, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_dim_128(self):
+        assert make_sift(100, seed=0).dim == 128
+
+    def test_truth_fraction(self):
+        ds = make_sift(1000, truth_fraction=0.3, seed=0)
+        assert ds.n_ground_truth == 300
+
+    def test_clusters_are_tight_caps(self):
+        ds = make_sift(1000, n_clusters=10, seed=0)
+        cluster = ds.data[ds.labels == 0]
+        center = cluster.mean(axis=0)
+        center /= np.linalg.norm(center)
+        cosines = cluster @ center
+        assert cosines.min() > 0.9
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            make_sift(100, truth_fraction=0.0)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValidationError):
+            make_sift(0)

@@ -1,0 +1,141 @@
+"""Unit tests for full-matrix Infection Immunization Dynamics.
+
+Covers the paper's §3 machinery: infectivity (Eq. 4/6), the invasion
+share (Eq. 9, Theorem 2's guarantees) and the equilibrium condition of
+Theorem 1.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.dynamics.iid import iid_dynamics, infectivity, invasion_share
+from repro.dynamics.simplex import barycenter, is_simplex_point, vertex
+from repro.exceptions import ConvergenceError, ValidationError
+from tests.conftest import tiny_affinity_matrix
+
+
+def two_clique_matrix():
+    a = np.zeros((5, 5))
+    for i in (0, 1, 2):
+        for j in (0, 1, 2):
+            if i != j:
+                a[i, j] = 0.9
+    a[3, 4] = a[4, 3] = 0.4
+    return a
+
+
+class TestInfectivity:
+    def test_matches_definition(self):
+        a = tiny_affinity_matrix(6)
+        x = barycenter(6)
+        ax = a @ x
+        pay = infectivity(ax, float(x @ ax))
+        for i in range(6):
+            s_i = vertex(i, 6)
+            expected = float((s_i - x) @ a @ x)
+            assert pay[i] == pytest.approx(expected, abs=1e-12)
+
+
+class TestInvasionShare:
+    def test_caps_at_one(self):
+        assert invasion_share(0.5, -0.1) == 1.0
+
+    def test_interior_share(self):
+        assert invasion_share(0.2, -0.8) == pytest.approx(0.25)
+
+    def test_nonnegative_quad_gives_one(self):
+        assert invasion_share(0.3, 0.5) == 1.0
+        assert invasion_share(0.3, 0.0) == 1.0
+
+
+class TestIIDDynamics:
+    def test_stays_on_simplex(self):
+        a = tiny_affinity_matrix(10, seed=1)
+        res = iid_dynamics(a, barycenter(10))
+        assert is_simplex_point(res.x)
+
+    def test_density_monotone_increasing(self):
+        # Theorem 2: each infection/immunization strictly raises pi(x).
+        a = tiny_affinity_matrix(12, seed=4)
+        x = barycenter(12)
+        prev = float(x @ a @ x)
+        for _ in range(60):
+            res = iid_dynamics(a, x, max_iter=1)
+            now = float(res.x @ a @ res.x)
+            assert now >= prev - 1e-10
+            if res.converged:
+                break
+            prev = now
+            x = res.x
+
+    def test_converged_point_is_immune(self):
+        # Theorem 1: at convergence no vertex is infective and no support
+        # vertex is weak.
+        a = tiny_affinity_matrix(15, seed=7)
+        res = iid_dynamics(a, barycenter(15), tol=1e-10)
+        assert res.converged
+        ax = a @ res.x
+        pay = ax - res.density
+        assert pay.max() <= 1e-7
+        support_pay = pay[res.x > 0]
+        assert support_pay.min() >= -1e-7
+
+    def test_finds_strong_clique(self):
+        res = iid_dynamics(two_clique_matrix(), barycenter(5))
+        assert set(res.support()) == {0, 1, 2}
+        assert res.density == pytest.approx(0.6, abs=1e-6)
+
+    def test_from_single_vertex(self):
+        a = two_clique_matrix()
+        res = iid_dynamics(a, vertex(0, 5))
+        assert set(res.support()) == {0, 1, 2}
+
+    def test_immunization_gives_exact_zeros(self):
+        a = two_clique_matrix()
+        res = iid_dynamics(a, barycenter(5))
+        assert res.x[3] == 0.0
+        assert res.x[4] == 0.0
+
+    def test_active_mask_restricts(self):
+        a = two_clique_matrix()
+        active = np.asarray([False, False, False, True, True])
+        x0 = barycenter(5, support=np.asarray([3, 4]))
+        res = iid_dynamics(a, x0, active=active)
+        assert set(res.support()) == {3, 4}
+        # Uniform weights on a 2-clique of affinity 0.4: 2 * 0.25 * 0.4.
+        assert res.density == pytest.approx(0.2, abs=1e-6)
+
+    def test_active_mask_validates_x0(self):
+        a = two_clique_matrix()
+        active = np.asarray([True, True, True, False, False])
+        with pytest.raises(ValidationError, match="inactive"):
+            iid_dynamics(a, barycenter(5), active=active)
+
+    def test_sparse_matrix(self):
+        a = sp.csr_matrix(two_clique_matrix())
+        res = iid_dynamics(a, barycenter(5))
+        assert set(res.support()) == {0, 1, 2}
+
+    def test_strict_raises(self):
+        a = tiny_affinity_matrix(30, seed=5)
+        with pytest.raises(ConvergenceError):
+            iid_dynamics(a, barycenter(30), max_iter=1, tol=0.0, strict=True)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValidationError):
+            iid_dynamics(np.zeros((2, 3)), barycenter(2))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            iid_dynamics(tiny_affinity_matrix(4), barycenter(3))
+
+    def test_matches_replicator_fixed_point_density(self):
+        # IID and RD optimise the same StQP; from the barycentre of a
+        # generic matrix they reach the same local maximum here.
+        from repro.dynamics.replicator import replicator_dynamics
+
+        a = two_clique_matrix()
+        iid_res = iid_dynamics(a, barycenter(5))
+        rd_res = replicator_dynamics(a, barycenter(5))
+        assert iid_res.density == pytest.approx(rd_res.density, abs=1e-4)

@@ -1,0 +1,88 @@
+"""Unit tests for replicator dynamics (the DS/SEA engine)."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.dynamics.replicator import replicator_dynamics
+from repro.dynamics.simplex import barycenter, is_simplex_point
+from repro.exceptions import ConvergenceError, ValidationError
+from tests.conftest import tiny_affinity_matrix
+
+
+def two_clique_matrix():
+    """Two disjoint cliques: {0,1,2} strong (0.9), {3,4} weak (0.4)."""
+    a = np.zeros((5, 5))
+    for i in (0, 1, 2):
+        for j in (0, 1, 2):
+            if i != j:
+                a[i, j] = 0.9
+    a[3, 4] = a[4, 3] = 0.4
+    return a
+
+
+class TestReplicatorDynamics:
+    def test_stays_on_simplex(self):
+        a = tiny_affinity_matrix(8)
+        res = replicator_dynamics(a, barycenter(8))
+        assert is_simplex_point(res.x)
+
+    def test_density_never_decreases(self):
+        # RD is a strict local maximiser of x'Ax for symmetric A.
+        a = tiny_affinity_matrix(10, seed=2)
+        x = barycenter(10)
+        prev = float(x @ a @ x)
+        for _ in range(50):
+            res = replicator_dynamics(a, x, max_iter=1)
+            now = float(res.x @ a @ res.x)
+            assert now >= prev - 1e-12
+            prev = now
+            x = res.x
+
+    def test_finds_strong_clique(self):
+        res = replicator_dynamics(two_clique_matrix(), barycenter(5))
+        support = res.support(tol=1e-4)
+        assert set(support) == {0, 1, 2}
+        # Density of a uniform 3-clique with affinity 0.9: 0.9 * 2/3.
+        assert res.density == pytest.approx(0.6, abs=1e-3)
+
+    def test_restricted_start_stays_restricted(self):
+        # Multiplicative dynamics: zero weights stay zero.
+        a = two_clique_matrix()
+        x0 = barycenter(5, support=np.asarray([3, 4]))
+        res = replicator_dynamics(a, x0)
+        assert res.x[0] == res.x[1] == res.x[2] == 0.0
+        assert set(res.support(tol=1e-6)) == {3, 4}
+
+    def test_converged_flag(self):
+        res = replicator_dynamics(two_clique_matrix(), barycenter(5))
+        assert res.converged
+
+    def test_strict_raises_when_budget_tiny(self):
+        a = tiny_affinity_matrix(20, seed=3)
+        with pytest.raises(ConvergenceError):
+            replicator_dynamics(a, barycenter(20), max_iter=1, tol=0.0,
+                                strict=True)
+
+    def test_isolated_vertex_fixed_point(self):
+        a = np.zeros((3, 3))
+        res = replicator_dynamics(a, barycenter(3))
+        assert res.converged
+        assert res.density == 0.0
+
+    def test_sparse_matrix_supported(self):
+        a = sp.csr_matrix(two_clique_matrix())
+        res = replicator_dynamics(a, barycenter(5))
+        assert set(res.support(tol=1e-4)) == {0, 1, 2}
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValidationError):
+            replicator_dynamics(np.zeros((3, 4)), barycenter(3))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            replicator_dynamics(tiny_affinity_matrix(4), barycenter(5))
+
+    def test_iterations_reported(self):
+        res = replicator_dynamics(two_clique_matrix(), barycenter(5))
+        assert res.iterations >= 1

@@ -1,0 +1,103 @@
+"""Unit tests for repro.dynamics.simplex."""
+
+import numpy as np
+import pytest
+
+from repro.dynamics.simplex import (
+    barycenter,
+    is_simplex_point,
+    random_simplex_point,
+    renormalize,
+    simplex_support,
+    vertex,
+)
+from repro.exceptions import ValidationError
+
+
+class TestVertex:
+    def test_one_hot(self):
+        v = vertex(2, 5)
+        assert v[2] == 1.0
+        assert v.sum() == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            vertex(5, 5)
+        with pytest.raises(ValidationError):
+            vertex(-1, 5)
+
+
+class TestBarycenter:
+    def test_uniform(self):
+        x = barycenter(4)
+        assert np.allclose(x, 0.25)
+
+    def test_support_restricted(self):
+        x = barycenter(5, support=np.asarray([1, 3]))
+        assert x[1] == x[3] == 0.5
+        assert x[0] == x[2] == x[4] == 0.0
+
+    def test_rejects_empty_support(self):
+        with pytest.raises(ValidationError):
+            barycenter(5, support=np.asarray([], dtype=int))
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValidationError):
+            barycenter(0)
+
+
+class TestRandomSimplexPoint:
+    def test_on_simplex(self):
+        x = random_simplex_point(10, seed=0)
+        assert is_simplex_point(x)
+
+    def test_deterministic(self):
+        assert np.allclose(
+            random_simplex_point(5, seed=1), random_simplex_point(5, seed=1)
+        )
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValidationError):
+            random_simplex_point(0)
+
+
+class TestSimplexSupport:
+    def test_strict_positive(self):
+        x = np.asarray([0.0, 0.5, 0.5, 0.0])
+        assert list(simplex_support(x)) == [1, 2]
+
+    def test_tolerance(self):
+        x = np.asarray([1e-9, 1.0 - 1e-9])
+        assert list(simplex_support(x, tol=1e-6)) == [1]
+
+
+class TestIsSimplexPoint:
+    def test_valid(self):
+        assert is_simplex_point(np.asarray([0.3, 0.7]))
+
+    def test_negative(self):
+        assert not is_simplex_point(np.asarray([-0.1, 1.1]))
+
+    def test_bad_sum(self):
+        assert not is_simplex_point(np.asarray([0.3, 0.3]))
+
+    def test_nan(self):
+        assert not is_simplex_point(np.asarray([np.nan, 1.0]))
+
+    def test_2d_rejected(self):
+        assert not is_simplex_point(np.ones((2, 2)))
+
+    def test_empty_rejected(self):
+        assert not is_simplex_point(np.asarray([]))
+
+
+class TestRenormalize:
+    def test_clips_and_rescales(self):
+        x = np.asarray([-1e-12, 0.5, 0.6])
+        renormalize(x)
+        assert is_simplex_point(x)
+        assert x[0] == 0.0
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValidationError):
+            renormalize(np.zeros(3))

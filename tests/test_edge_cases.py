@@ -1,0 +1,208 @@
+"""Edge-case and failure-injection tests across the library.
+
+Degenerate geometries (duplicates, collinear points, single cluster,
+all-noise), malformed inputs, and invariance properties (permutation
+equivariance, translation invariance) that normal-path tests miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityOracle
+from repro.core.alid import ALID, ALIDEngine
+from repro.core.config import ALIDConfig
+from repro.baselines import IIDDetector, KMeans
+from repro.baselines.common import KernelParams
+from repro.dynamics.iid import iid_dynamics
+from repro.dynamics.lid import LIDState, lid_dynamics
+from repro.eval.metrics import average_f1
+from repro.exceptions import ValidationError
+
+
+def small_config(**overrides):
+    defaults = dict(
+        delta=50,
+        lsh_projections=16,
+        lsh_tables=20,
+        density_threshold=0.5,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return ALIDConfig(**defaults)
+
+
+class TestDegenerateGeometry:
+    def test_exact_duplicates_cluster_together(self, rng):
+        """Duplicated points have affinity 1 and must form one cluster."""
+        point = rng.normal(size=6)
+        dupes = np.tile(point, (15, 1))
+        noise = rng.uniform(-50, 50, size=(20, 6))
+        data = np.vstack([dupes, noise])
+        result = ALID(small_config(kernel_k=1.0)).fit(data)
+        assert result.n_clusters == 1
+        assert set(result.clusters[0].members) == set(range(15))
+        # A clique of duplicates has off-diagonal affinity exactly 1.
+        assert result.clusters[0].density == pytest.approx(14 / 15, abs=1e-6)
+
+    def test_single_point_dataset(self):
+        result = ALID(small_config(kernel_k=1.0)).fit(np.zeros((1, 3)))
+        assert result.n_clusters == 0
+        assert len(result.all_clusters) == 1
+        assert result.all_clusters[0].size == 1
+
+    def test_two_point_dataset(self):
+        data = np.asarray([[0.0, 0.0], [0.1, 0.0]])
+        result = ALID(small_config(kernel_k=1.0)).fit(data)
+        peeled = sorted(
+            int(i) for c in result.all_clusters for i in c.members
+        )
+        assert peeled == [0, 1]
+
+    def test_all_noise_no_dominant_clusters(self, rng):
+        data = rng.uniform(-100, 100, size=(50, 10))
+        result = ALID(small_config(kernel_k=1.0)).fit(data)
+        assert result.n_clusters == 0
+        assert result.coverage() == 0.0
+
+    def test_one_giant_cluster(self, rng):
+        """A single Gaussian blob: dominant sets may split it into a few
+        maximal dense subgraphs, but everything must stay inside it."""
+        data = rng.normal(scale=0.05, size=(80, 5))
+        result = ALID(small_config(kernel_k=1.0)).fit(data)
+        assert result.n_clusters >= 1
+        covered = {int(i) for c in result.clusters for i in c.members}
+        assert len(covered) >= 70
+
+    def test_collinear_points(self):
+        # Points on a line: geometry is 1-D embedded in 4-D.
+        t = np.linspace(0, 1, 12)[:, None]
+        cluster = np.hstack([t * 0.01, np.zeros((12, 3))])
+        far = np.full((5, 4), 100.0) + np.eye(5, 4) * 50
+        data = np.vstack([cluster, far])
+        result = ALID(small_config(kernel_k=5.0)).fit(data)
+        assert result.n_clusters >= 1
+        assert set(result.clusters[0].members) <= set(range(12))
+
+    def test_constant_feature_column(self, blob_data):
+        data, labels = blob_data
+        data = np.hstack([data, np.ones((data.shape[0], 1))])
+        result = ALID(small_config()).fit(data)
+        truth = [np.flatnonzero(labels == c) for c in (0, 1)]
+        assert average_f1(result.member_lists(), truth) > 0.9
+
+
+class TestInvariances:
+    def test_permutation_equivariance(self, blob_data):
+        """Detected clusters map through the permutation."""
+        data, _ = blob_data
+        result_a = ALID(small_config()).fit(data)
+        rng = np.random.default_rng(5)
+        perm = rng.permutation(data.shape[0])
+        result_b = ALID(small_config()).fit(data[perm])
+        # Compare cluster member sets mapped back to original ids.
+        sets_a = sorted(
+            tuple(sorted(c.members.tolist())) for c in result_a.clusters
+        )
+        sets_b = sorted(
+            tuple(sorted(int(perm[i]) for i in c.members))
+            for c in result_b.clusters
+        )
+        assert sets_a == sets_b
+
+    def test_translation_invariance(self, blob_data):
+        data, _ = blob_data
+        shifted = data + 1234.5
+        result_a = ALID(small_config()).fit(data)
+        result_b = ALID(small_config()).fit(shifted)
+        sets_a = sorted(
+            tuple(sorted(c.members.tolist())) for c in result_a.clusters
+        )
+        sets_b = sorted(
+            tuple(sorted(c.members.tolist())) for c in result_b.clusters
+        )
+        assert sets_a == sets_b
+
+    def test_scale_invariance_with_auto_kernel(self, blob_data):
+        """Auto-calibration makes detection scale-free."""
+        data, _ = blob_data
+        result_a = ALID(small_config()).fit(data)
+        result_b = ALID(small_config()).fit(data * 1000.0)
+        assert result_a.n_clusters == result_b.n_clusters
+
+
+class TestMalformedInputs:
+    def test_nan_rejected_by_alid(self):
+        data = np.zeros((10, 3))
+        data[0, 0] = np.nan
+        with pytest.raises(ValidationError):
+            ALID(small_config(kernel_k=1.0)).fit(data)
+
+    def test_inf_rejected_by_iid_detector(self):
+        data = np.zeros((10, 3))
+        data[2, 1] = np.inf
+        with pytest.raises(ValidationError):
+            IIDDetector(kernel=KernelParams(kernel_k=1.0)).fit(data)
+
+    def test_1d_rejected_by_kmeans(self):
+        with pytest.raises(ValidationError):
+            KMeans(2).fit(np.zeros(10))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ALID(small_config(kernel_k=1.0)).fit(np.zeros((0, 3)))
+
+
+class TestDynamicsDegenerate:
+    def test_iid_on_zero_matrix(self):
+        """No edges: the barycentre is already immune everywhere."""
+        a = np.zeros((6, 6))
+        res = iid_dynamics(a, np.full(6, 1 / 6))
+        assert res.converged
+        assert res.density == 0.0
+
+    def test_iid_two_vertices(self):
+        a = np.asarray([[0.0, 0.7], [0.7, 0.0]])
+        res = iid_dynamics(a, np.asarray([1.0, 0.0]))
+        assert res.converged
+        assert res.density == pytest.approx(0.35, abs=1e-9)
+        assert np.allclose(res.x, 0.5, atol=1e-6)
+
+    def test_lid_seed_with_identical_duplicate(self, rng):
+        point = rng.normal(size=4)
+        data = np.vstack([point, point, point + 50.0])
+        oracle = AffinityOracle(data, LaplacianKernel(k=1.0))
+        state = LIDState.from_seed(oracle, 0)
+        state.extend(np.asarray([1]))
+        lid_dynamics(state, tol=1e-10)
+        # Two identical points: optimal strategy is 50/50, density 1·1/2.
+        assert state.density() == pytest.approx(0.5, abs=1e-6)
+        assert np.allclose(np.sort(state.x), [0.5, 0.5], atol=1e-6)
+
+    def test_engine_seed_out_of_range(self, blob_data):
+        data, _ = blob_data
+        engine = ALIDEngine(data, small_config())
+        with pytest.raises((IndexError, ValidationError)):
+            engine.detect_from_seed(10**6)
+
+
+class TestHighNoiseStress:
+    def test_tiny_cluster_in_ocean_of_noise(self, rng):
+        """1.5% ground truth: the bounded-regime stress case."""
+        cluster = rng.normal(scale=0.05, size=(15, 12))
+        noise = rng.uniform(-80, 80, size=(985, 12))
+        data = np.vstack([cluster, noise])
+        result = ALID(small_config(delta=100)).fit(data)
+        assert result.n_clusters == 1
+        found = set(result.clusters[0].members)
+        assert len(found & set(range(15))) >= 14
+        # Noise must not leak into the cluster.
+        assert len(found - set(range(15))) <= 1
+
+    def test_work_stays_local_under_noise(self, rng):
+        cluster = rng.normal(scale=0.05, size=(15, 12))
+        noise = rng.uniform(-80, 80, size=(985, 12))
+        data = np.vstack([cluster, noise])
+        result = ALID(small_config(delta=100)).fit(data)
+        n = data.shape[0]
+        assert result.counters.entries_computed < 0.05 * n * n

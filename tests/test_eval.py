@@ -1,0 +1,189 @@
+"""Tests for the evaluation substrate (AVG-F, growth orders, sparsity)."""
+
+import numpy as np
+import pytest
+
+from repro.affinity.sparse import sparse_degree
+from repro.eval.metrics import (
+    average_f1,
+    f1_score,
+    match_clusters,
+    precision_recall,
+)
+from repro.eval.orders import loglog_slope, loglog_slope_ci
+from repro.exceptions import ValidationError
+from scipy import sparse as sp
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        p, r = precision_recall([1, 2, 3], [1, 2, 3])
+        assert p == r == 1.0
+
+    def test_partial(self):
+        p, r = precision_recall([1, 2, 3, 4], [1, 2])
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(1.0)
+
+    def test_empty_detected(self):
+        assert precision_recall([], [1]) == (0.0, 0.0)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValidationError):
+            precision_recall([1], [])
+
+
+class TestF1Score:
+    def test_perfect(self):
+        assert f1_score([1, 2], [1, 2]) == 1.0
+
+    def test_disjoint(self):
+        assert f1_score([1], [2]) == 0.0
+
+    def test_harmonic_mean(self):
+        # precision 0.5, recall 1.0 -> F1 = 2/3.
+        assert f1_score([1, 2], [1]) == pytest.approx(2 / 3)
+
+    def test_symmetric_under_swap_when_sizes_equal(self):
+        assert f1_score([1, 2], [2, 3]) == f1_score([2, 3], [1, 2])
+
+
+class TestMatchClusters:
+    def test_best_match_selected(self):
+        detected = [[1, 2, 3], [4, 5]]
+        truth = [[4, 5, 6]]
+        matches = match_clusters(detected, truth)
+        assert matches[0][0] == 1
+        assert matches[0][1] == pytest.approx(f1_score([4, 5], [4, 5, 6]))
+
+    def test_no_match(self):
+        matches = match_clusters([[1]], [[2]])
+        assert matches[0] == (None, 0.0)
+
+    def test_no_detected(self):
+        matches = match_clusters([], [[1, 2]])
+        assert matches[0] == (None, 0.0)
+
+    def test_one_detected_serves_multiple_truths(self):
+        detected = [[1, 2, 3, 4]]
+        matches = match_clusters(detected, [[1, 2], [3, 4]])
+        assert matches[0][0] == 0
+        assert matches[1][0] == 0
+
+
+class TestAverageF1:
+    def test_perfect_detection(self):
+        truth = [[0, 1], [2, 3, 4]]
+        assert average_f1(truth, truth) == 1.0
+
+    def test_empty_detection(self):
+        assert average_f1([], [[1, 2]]) == 0.0
+
+    def test_mean_over_truth(self):
+        detected = [[0, 1]]
+        truth = [[0, 1], [5, 6]]
+        assert average_f1(detected, truth) == pytest.approx(0.5)
+
+    def test_extra_detected_clusters_dont_hurt(self):
+        truth = [[0, 1, 2]]
+        base = average_f1([[0, 1, 2]], truth)
+        noisy = average_f1([[0, 1, 2], [9, 10], [11]], truth)
+        assert noisy == base
+
+    def test_accepts_numpy_arrays(self):
+        truth = [np.asarray([0, 1])]
+        detected = [np.asarray([0, 1])]
+        assert average_f1(detected, truth) == 1.0
+
+    def test_rejects_empty_truth_list(self):
+        with pytest.raises(ValidationError):
+            average_f1([[1]], [])
+
+
+class TestLogLogSlope:
+    def test_quadratic(self):
+        x = np.asarray([10.0, 100.0, 1000.0])
+        assert loglog_slope(x, x**2) == pytest.approx(2.0)
+
+    def test_linear(self):
+        x = np.asarray([10.0, 100.0, 1000.0])
+        assert loglog_slope(x, 3 * x) == pytest.approx(1.0)
+
+    def test_fractional_power(self):
+        x = np.asarray([10.0, 100.0, 1000.0, 10000.0])
+        assert loglog_slope(x, x**1.7) == pytest.approx(1.7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            loglog_slope(np.asarray([1.0, 2.0]), np.asarray([0.0, 1.0]))
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValidationError):
+            loglog_slope(np.asarray([1.0]), np.asarray([1.0]))
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValidationError):
+            loglog_slope(np.asarray([2.0, 2.0]), np.asarray([1.0, 2.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            loglog_slope(np.asarray([1.0, 2.0]), np.asarray([1.0]))
+
+
+class TestSparseDegree:
+    def test_dense_zeros(self):
+        assert sparse_degree(np.zeros((4, 4))) == 1.0
+
+    def test_dense_full(self):
+        assert sparse_degree(np.ones((4, 4))) == 0.0
+
+    def test_sparse_matrix(self):
+        m = sp.lil_matrix((4, 4))
+        m[0, 1] = 0.5
+        assert sparse_degree(m.tocsr()) == pytest.approx(1.0 - 1 / 16)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            sparse_degree(np.zeros((0, 0)))
+
+
+class TestLoglogSlopeCI:
+    def test_point_estimate_matches_loglog_slope(self):
+        x = np.asarray([1e3, 2e3, 4e3, 8e3])
+        y = x**2 * 3.0
+        estimate, low, high = loglog_slope_ci(x, y, seed=0)
+        assert estimate == pytest.approx(loglog_slope(x, y))
+        assert low <= estimate <= high
+
+    def test_exact_power_law_gives_tight_interval(self):
+        x = np.asarray([1e3, 2e3, 4e3, 8e3, 1.6e4])
+        y = 0.5 * x**1.7
+        estimate, low, high = loglog_slope_ci(x, y, seed=1)
+        assert estimate == pytest.approx(1.7)
+        assert high - low < 1e-9  # noiseless: every resample agrees
+
+    def test_noisy_data_gives_wider_interval(self):
+        rng = np.random.default_rng(2)
+        x = np.geomspace(1e3, 1e5, 8)
+        y = x**2 * np.exp(rng.normal(scale=0.3, size=8))
+        _, low, high = loglog_slope_ci(x, y, seed=2)
+        assert high - low > 0.05
+        assert low < 2.0 < high  # the true order sits inside the band
+
+    def test_higher_confidence_widens_interval(self):
+        rng = np.random.default_rng(3)
+        x = np.geomspace(1e3, 1e5, 8)
+        y = x**1.5 * np.exp(rng.normal(scale=0.2, size=8))
+        _, low90, high90 = loglog_slope_ci(x, y, confidence=0.9, seed=0)
+        _, low99, high99 = loglog_slope_ci(x, y, confidence=0.99, seed=0)
+        assert high99 - low99 >= high90 - low90
+
+    def test_invalid_inputs_rejected(self):
+        x = np.asarray([1.0, 2.0, 4.0])
+        y = x**2
+        with pytest.raises(ValidationError):
+            loglog_slope_ci(x, y, confidence=1.5)
+        with pytest.raises(ValidationError):
+            loglog_slope_ci(x, y, n_boot=5)
+        with pytest.raises(ValidationError):
+            loglog_slope_ci(np.asarray([1.0, 1.0]), np.asarray([1.0, 2.0]))

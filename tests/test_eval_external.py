@@ -1,0 +1,198 @@
+"""Tests for the external clustering indices (repro.eval.external)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.external import (
+    bcubed_fscore,
+    contingency_table,
+    labels_from_clusters,
+    normalized_mutual_information,
+    pairwise_fscore,
+    purity,
+)
+from repro.eval.metrics import average_f1
+from repro.exceptions import ValidationError
+
+
+class TestLabelsFromClusters:
+    def test_basic_mapping(self):
+        labels = labels_from_clusters(
+            [np.asarray([0, 1]), np.asarray([3])], n_items=5
+        )
+        np.testing.assert_array_equal(labels, [0, 0, -1, 1, -1])
+
+    def test_empty_clusters_skipped(self):
+        labels = labels_from_clusters(
+            [np.asarray([], dtype=int), np.asarray([2])], n_items=3
+        )
+        np.testing.assert_array_equal(labels, [-1, -1, 1])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValidationError):
+            labels_from_clusters(
+                [np.asarray([0, 1]), np.asarray([1, 2])], n_items=3
+            )
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            labels_from_clusters([np.asarray([5])], n_items=3)
+
+
+class TestContingencyTable:
+    def test_counts(self):
+        predicted = np.asarray([0, 0, 1, 1, -1])
+        truth = np.asarray([0, 0, 0, 1, 1])
+        table = contingency_table(predicted, truth)
+        # Rows: predicted -1, 0, 1; columns: truth 0, 1.
+        np.testing.assert_array_equal(table, [[0, 1], [2, 0], [1, 1]])
+
+    def test_total_preserved(self):
+        rng = np.random.default_rng(0)
+        predicted = rng.integers(-1, 4, size=100)
+        truth = rng.integers(-1, 3, size=100)
+        assert contingency_table(predicted, truth).sum() == 100
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            contingency_table(np.asarray([0, 1]), np.asarray([0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            contingency_table(np.asarray([]), np.asarray([]))
+
+
+class TestPurityAndNmi:
+    def test_perfect_clustering(self):
+        truth = np.asarray([0, 0, 1, 1, 2, 2])
+        assert purity(truth, truth) == 1.0
+        assert normalized_mutual_information(truth, truth) == pytest.approx(
+            1.0
+        )
+
+    def test_label_permutation_invariant(self):
+        truth = np.asarray([0, 0, 1, 1, 2, 2])
+        relabeled = np.asarray([2, 2, 0, 0, 1, 1])
+        assert normalized_mutual_information(
+            relabeled, truth
+        ) == pytest.approx(1.0)
+        assert purity(relabeled, truth) == 1.0
+
+    def test_single_class_gives_zero_nmi(self):
+        predicted = np.zeros(10, dtype=int)
+        truth = np.zeros(10, dtype=int)
+        assert normalized_mutual_information(predicted, truth) == 0.0
+
+    def test_independent_labels_give_low_nmi(self):
+        rng = np.random.default_rng(1)
+        predicted = rng.integers(0, 4, size=2000)
+        truth = rng.integers(0, 4, size=2000)
+        assert normalized_mutual_information(predicted, truth) < 0.05
+
+
+class TestPairwiseFscore:
+    def test_perfect(self):
+        truth = np.asarray([0, 0, 1, 1, -1, -1])
+        assert pairwise_fscore(truth, truth) == pytest.approx(1.0)
+
+    def test_noise_pairs_ignored(self):
+        # Grouping all noise into one blob changes nothing: noise never
+        # forms pairs.
+        truth = np.asarray([0, 0, 1, 1, -1, -1, -1])
+        grouped_noise = np.asarray([0, 0, 1, 1, 7, 7, 7])
+        split = pairwise_fscore(truth, truth)
+        blob = pairwise_fscore(grouped_noise, truth)
+        assert blob == pytest.approx(split)
+
+    def test_half_split_cluster(self):
+        truth = np.asarray([0, 0, 0, 0])
+        predicted = np.asarray([0, 0, 1, 1])
+        # 2 agreeing pairs of 2 predicted / 6 truth pairs.
+        precision, recall = 1.0, 2 / 6
+        expected = 2 * precision * recall / (precision + recall)
+        assert pairwise_fscore(predicted, truth) == pytest.approx(expected)
+
+    def test_nothing_detected(self):
+        truth = np.asarray([0, 0, 1, 1])
+        predicted = np.full(4, -1)
+        assert pairwise_fscore(predicted, truth) == 0.0
+
+
+class TestBcubed:
+    def test_perfect(self):
+        truth = np.asarray([0, 0, 1, 1, -1])
+        assert bcubed_fscore(truth, truth) == pytest.approx(1.0)
+
+    def test_unclustered_items_count_as_singletons(self):
+        truth = np.asarray([0, 0, 0, 0])
+        predicted = np.asarray([0, 0, 0, -1])
+        # Items 0-2: precision 1, recall 3/4; item 3: precision 1,
+        # recall 1/4.
+        precision = 1.0
+        recall = (3 * 0.75 + 0.25) / 4
+        expected = 2 * precision * recall / (precision + recall)
+        assert bcubed_fscore(predicted, truth) == pytest.approx(expected)
+
+    def test_no_truth_rejected(self):
+        with pytest.raises(ValidationError):
+            bcubed_fscore(np.asarray([0, 1]), np.asarray([-1, -1]))
+
+
+class TestWhyNmiIsInappropriate:
+    """The paper's §5 remark, demonstrated.
+
+    Under partial clustering (most items are noise), a detector that
+    recovers the dominant clusters AND dumps all noise into one big
+    cluster looks *excellent* to NMI and purity — the noise blob is
+    informative about the noise class — while a detector honestly
+    leaving noise unclustered gains nothing.  AVG-F and the pairwise F
+    ignore how noise is arranged, which is the property the task needs.
+    """
+
+    @pytest.fixture()
+    def partial_truth(self):
+        rng = np.random.default_rng(0)
+        truth = np.full(1000, -1, dtype=int)
+        truth[:40] = 0
+        truth[40:80] = 1
+        return truth, rng
+
+    def test_noise_blob_inflates_nmi(self, partial_truth):
+        truth, _ = partial_truth
+        # Detector A: perfect clusters, noise honestly unclustered.
+        honest = truth.copy()
+        # Detector B: perfect clusters, noise lumped into cluster 99.
+        blob = truth.copy()
+        blob[blob == -1] = 99
+        # NMI scores both near 1 — it cannot tell that detector B
+        # hallucinated a 920-item "dominant cluster".
+        assert normalized_mutual_information(blob, truth) > 0.95
+        # AVG-F, computed on the *detected dominant clusters*, punishes
+        # B's blob hard: its best F1 against either truth cluster is
+        # tiny, and if the blob is reported as a cluster the detection
+        # list is polluted.
+        truth_clusters = [np.flatnonzero(truth == c) for c in (0, 1)]
+        blob_clusters = [
+            np.flatnonzero(blob == c) for c in (0, 1, 99)
+        ]
+        blob_f = average_f1(
+            [blob_clusters[2]], truth_clusters
+        )  # the blob alone
+        assert blob_f < 0.1
+        # ...while the honest detector's AVG-F is perfect.
+        honest_f = average_f1(truth_clusters, truth_clusters)
+        assert honest_f == pytest.approx(1.0)
+
+    def test_purity_blind_to_noise_blob(self, partial_truth):
+        truth, _ = partial_truth
+        blob = truth.copy()
+        blob[blob == -1] = 99
+        assert purity(blob, truth) == pytest.approx(1.0)
+
+    def test_pairwise_f_unaffected_by_noise_arrangement(self, partial_truth):
+        truth, _ = partial_truth
+        blob = truth.copy()
+        blob[blob == -1] = 99
+        assert pairwise_fscore(blob, truth) == pytest.approx(
+            pairwise_fscore(truth, truth)
+        )

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro.exceptions import (
+    BudgetExceededError,
+    ConvergenceError,
+    EmptyDatasetError,
+    ReproError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            ValidationError,
+            ConvergenceError,
+            BudgetExceededError,
+            EmptyDatasetError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_is_value_error(self):
+        # Callers using plain ValueError handling still catch it.
+        assert issubclass(ValidationError, ValueError)
+
+    def test_convergence_is_runtime_error(self):
+        assert issubclass(ConvergenceError, RuntimeError)
+
+    def test_budget_is_runtime_error(self):
+        assert issubclass(BudgetExceededError, RuntimeError)
+
+    def test_empty_dataset_is_value_error(self):
+        assert issubclass(EmptyDatasetError, ValueError)
+
+    def test_single_except_catches_library_errors(self):
+        with pytest.raises(ReproError):
+            raise BudgetExceededError("cap hit")

@@ -1,0 +1,193 @@
+"""Tests for the experiment harness (small-scale versions of each runner)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_nart, make_sub_ndi, make_synthetic_mixture
+from repro.experiments.common import ExperimentTable, Row
+from repro.experiments.complexity_table import run_complexity_table
+from repro.experiments.noise_resistance import run_noise_resistance
+from repro.experiments.palid_speedup import run_palid_speedup
+from repro.experiments.scalability import run_scalability
+from repro.experiments.sift_quality import run_sift_quality
+from repro.experiments.sift_scalability import run_sift_scalability
+from repro.experiments.sparsity import default_r_sweep, run_sparsity_influence
+
+
+class TestExperimentTable:
+    def test_render_contains_headers_and_rows(self):
+        table = ExperimentTable(name="demo")
+        table.add(Row(method="X", params={"n": 10}, avg_f=0.5))
+        text = table.render()
+        assert "demo" in text
+        assert "X" in text
+        assert "AVG-F" in text
+
+    def test_render_empty(self):
+        assert "(no rows)" in ExperimentTable(name="empty").render()
+
+    def test_series_extraction(self):
+        table = ExperimentTable(name="t")
+        table.add(Row(method="A", params={"n": 1}, avg_f=0.1))
+        table.add(Row(method="A", params={"n": 2}, avg_f=0.2))
+        table.add(Row(method="B", params={"n": 1}, avg_f=0.9))
+        xs, ys = table.series("A", "n", "avg_f")
+        assert xs == [1, 2]
+        assert ys == [0.1, 0.2]
+
+    def test_series_from_extras(self):
+        table = ExperimentTable(name="t")
+        table.add(Row(method="A", params={"n": 1}, extras={"speedup": 2.0}))
+        xs, ys = table.series("A", "n", "speedup")
+        assert ys == [2.0]
+
+    def test_memory_mb(self):
+        row = Row(method="A", peak_entries=1_000_000)
+        assert row.memory_mb == pytest.approx(8.0)
+        assert Row(method="A").memory_mb is None
+
+
+class TestDefaultRSweep:
+    def test_returns_increasing_positive_values(self):
+        ds = make_nart(scale=0.1, seed=0)
+        r_values, k = default_r_sweep(ds)
+        assert k > 0
+        assert all(r > 0 for r in r_values)
+        assert all(a < b for a, b in zip(r_values, r_values[1:]))
+
+
+class TestRunSparsity:
+    def test_rows_per_method_and_r(self):
+        ds = make_nart(scale=0.15, seed=0)
+        r_values, k = default_r_sweep(ds)
+        table = run_sparsity_influence(
+            ds, r_values=[r_values[2], r_values[-1]],
+            methods=("IID", "ALID"), kernel_k=k,
+        )
+        assert len(table.rows) == 4
+        for row in table.rows:
+            assert "sparse_degree" in row.extras
+            assert 0.0 <= row.extras["sparse_degree"] <= 1.0
+
+    def test_alid_sparse_degree_high(self):
+        """The headline Fig. 6 claim: ALID computes a tiny entry fraction."""
+        ds = make_nart(scale=0.15, seed=0)
+        r_values, k = default_r_sweep(ds)
+        table = run_sparsity_influence(
+            ds, r_values=[r_values[-1]], methods=("ALID",), kernel_k=k
+        )
+        assert table.rows[0].extras["sparse_degree"] > 0.97
+
+
+class TestRunScalability:
+    def test_runs_and_records(self):
+        def factory(n, seed):
+            return make_synthetic_mixture(
+                n, regime="bounded", bound=150, n_clusters=5, dim=20,
+                seed=seed,
+            )
+
+        table = run_scalability(
+            factory, sizes=[200, 400], methods=("IID", "ALID"), delta=100
+        )
+        assert len(table.rows) == 4
+        iid_x, iid_work = table.series("IID", "n", "work_entries")
+        assert iid_work[0] == pytest.approx(200 * 200, rel=0.01)
+
+    def test_baseline_cap_skips(self):
+        def factory(n, seed):
+            return make_synthetic_mixture(
+                n, regime="bounded", bound=150, n_clusters=5, dim=20,
+                seed=seed,
+            )
+
+        table = run_scalability(
+            factory,
+            sizes=[200, 400],
+            methods=("IID", "ALID"),
+            baseline_cap=200,
+            delta=100,
+        )
+        iid_rows = [r for r in table.rows if r.method == "IID"]
+        assert len(iid_rows) == 1
+
+    def test_budget_records_capped_row(self):
+        def factory(n, seed):
+            return make_synthetic_mixture(
+                n, regime="bounded", bound=150, n_clusters=5, dim=20,
+                seed=seed,
+            )
+
+        table = run_scalability(
+            factory,
+            sizes=[300],
+            methods=("IID",),
+            budget_entries=10_000,  # 300^2 = 90k > budget
+            delta=100,
+        )
+        assert table.rows[0].extras.get("budget_exceeded") is True
+
+
+class TestRunComplexityTable:
+    def test_slopes_recorded(self):
+        table = run_complexity_table(
+            [300, 900], regimes=("bounded",), bound=200, delta=100
+        )
+        last = table.rows[-1]
+        assert "slope_runtime" in last.extras
+        assert "slope_work" in last.extras
+        assert last.extras["expected_slope"] == 1.0
+
+
+class TestRunNoiseResistance:
+    def test_partitioning_vs_affinity_shape(self):
+        def factory(nd, seed):
+            return make_sub_ndi(scale=0.04, noise_degree=nd, seed=seed)
+
+        table = run_noise_resistance(
+            factory, noise_degrees=[0.0, 4.0], methods=("IID", "KM"),
+            delta=100,
+        )
+        _, iid_f = table.series("IID", "noise_degree", "avg_f")
+        _, km_f = table.series("KM", "noise_degree", "avg_f")
+        # Fig. 11 shape: affinity method degrades less than partitioning.
+        assert iid_f[1] >= km_f[1] - 0.05
+
+
+class TestRunPalidSpeedup:
+    def test_speedup_recorded(self):
+        table = run_palid_speedup(
+            600, executor_counts=(1, 2), n_clusters=6, delta=100
+        )
+        assert len(table.rows) == 2
+        assert table.rows[0].extras["speedup"] == pytest.approx(1.0)
+        assert table.rows[1].extras["speedup"] > 0
+
+
+class TestRunSiftScalability:
+    def test_budget_stops_baselines(self):
+        table = run_sift_scalability(
+            sizes=[300, 900],
+            methods=("IID", "ALID"),
+            budget_entries=200_000,  # 900^2 = 810k exceeds this
+            n_clusters=6,
+            delta=100,
+        )
+        iid_rows = [r for r in table.rows if r.method == "IID"]
+        assert iid_rows[0].avg_f is not None  # 300^2 = 90k fits
+        assert iid_rows[1].extras.get("budget_exceeded") is True
+        alid_rows = [r for r in table.rows if r.method == "ALID"]
+        assert all(r.avg_f is not None for r in alid_rows)
+
+
+class TestRunSiftQuality:
+    def test_green_red_metrics(self):
+        table = run_sift_quality(
+            500, methods=("ALID",), n_clusters=5, delta=100
+        )
+        row = table.rows[0]
+        assert 0.0 <= row.extras["kept_recall"] <= 1.0
+        assert 0.0 <= row.extras["noise_filtered"] <= 1.0
+        # ALID should both keep visual words and filter noise well.
+        assert row.extras["kept_recall"] > 0.8
+        assert row.extras["noise_filtered"] > 0.8

@@ -1,0 +1,177 @@
+"""Tests for the GIST substrate (repro.features.gist) — the NDI pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features.gist import (
+    GistExtractor,
+    gabor_filter_bank,
+    gist_descriptor,
+    ndi_via_gist,
+)
+from repro.features.images import (
+    make_near_duplicate_images,
+    perturb_image,
+    random_texture_image,
+)
+
+
+class TestGaborFilterBank:
+    def test_shape(self):
+        bank = gabor_filter_bank(32, n_scales=4, n_orientations=4)
+        assert bank.shape == (16, 32, 32)
+
+    def test_non_negative(self):
+        bank = gabor_filter_bank(16)
+        assert (bank >= 0).all()
+
+    def test_dc_component_suppressed(self):
+        # The radial band is centred away from zero frequency, so the
+        # DC gain must be negligible for every filter.
+        bank = gabor_filter_bank(32)
+        assert bank[:, 0, 0].max() < 1e-6
+
+    def test_scales_select_different_frequencies(self):
+        bank = gabor_filter_bank(64, n_scales=2, n_orientations=1)
+        freqs = np.hypot(
+            np.fft.fftfreq(64)[:, None], np.fft.fftfreq(64)[None, :]
+        )
+        peak0 = freqs.flat[np.argmax(bank[0])]
+        peak1 = freqs.flat[np.argmax(bank[1])]
+        assert peak0 > peak1  # scale 0 is the highest frequency band
+
+    def test_orientations_differ(self):
+        bank = gabor_filter_bank(32, n_scales=1, n_orientations=4)
+        assert not np.allclose(bank[0], bank[1])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_scales": 0},
+            {"n_orientations": 0},
+            {"bandwidth": 0.0},
+            {"angular_width": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            gabor_filter_bank(16, **kwargs)
+
+    def test_size_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            gabor_filter_bank(2)
+
+
+class TestGistDescriptor:
+    @pytest.fixture(scope="class")
+    def bank(self):
+        return gabor_filter_bank(32)
+
+    def test_dimension_is_256(self, bank):
+        image = random_texture_image(32, seed=0)
+        descriptor = gist_descriptor(image, bank)
+        assert descriptor.shape == (256,)
+
+    def test_unit_norm(self, bank):
+        image = random_texture_image(32, seed=0)
+        descriptor = gist_descriptor(image, bank)
+        assert np.linalg.norm(descriptor) == pytest.approx(1.0)
+
+    def test_non_negative(self, bank):
+        descriptor = gist_descriptor(random_texture_image(32, seed=1), bank)
+        assert (descriptor >= 0).all()
+
+    def test_unnormalised_option(self, bank):
+        image = random_texture_image(32, seed=0)
+        raw = gist_descriptor(image, bank, normalize=False)
+        assert np.linalg.norm(raw) != pytest.approx(1.0)
+
+    def test_contrast_invariance_via_normalisation(self, bank):
+        image = random_texture_image(32, seed=2)
+        scaled = 0.5 * image
+        a = gist_descriptor(image, bank)
+        b = gist_descriptor(scaled, bank)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_near_duplicates_closer_than_unrelated(self, bank):
+        source = random_texture_image(32, seed=0)
+        duplicate = perturb_image(source, seed=1)
+        unrelated = random_texture_image(32, seed=50)
+        d_source = gist_descriptor(source, bank)
+        d_dup = gist_descriptor(duplicate, bank)
+        d_other = gist_descriptor(unrelated, bank)
+        assert np.linalg.norm(d_dup - d_source) < np.linalg.norm(
+            d_other - d_source
+        )
+
+    def test_rejects_non_square_image(self, bank):
+        with pytest.raises(ValidationError):
+            gist_descriptor(np.zeros((16, 32)), bank)
+
+    def test_rejects_bank_size_mismatch(self, bank):
+        with pytest.raises(ValidationError):
+            gist_descriptor(np.zeros((16, 16)), bank)
+
+    def test_rejects_grid_not_dividing_size(self, bank):
+        with pytest.raises(ValidationError):
+            gist_descriptor(random_texture_image(32, seed=0), bank, grid=5)
+
+
+class TestGistExtractor:
+    def test_default_dim_matches_paper(self):
+        assert GistExtractor(size=32).dim == 256
+
+    def test_transform_stack(self):
+        extractor = GistExtractor(size=16)
+        images = np.stack(
+            [random_texture_image(16, seed=s) for s in range(3)]
+        )
+        matrix = extractor.transform(images)
+        assert matrix.shape == (3, extractor.dim)
+
+    def test_transform_rejects_single_image(self):
+        extractor = GistExtractor(size=16)
+        with pytest.raises(ValidationError):
+            extractor.transform(random_texture_image(16, seed=0))
+
+    def test_rejects_incompatible_grid(self):
+        with pytest.raises(ValidationError):
+            GistExtractor(size=30, grid=4)
+
+
+class TestNdiViaGist:
+    def test_builds_dataset(self):
+        dataset = ndi_via_gist(
+            n_clusters=2,
+            duplicates_per_cluster=4,
+            n_noise=8,
+            size=16,
+            seed=0,
+        )
+        assert dataset.n == 2 * 4 + 8
+        assert dataset.dim == 256
+        assert dataset.n_true_clusters == 2
+        assert dataset.metadata["pipeline"] == "gist"
+
+    def test_accepts_prebuilt_collection(self):
+        collection = make_near_duplicate_images(
+            n_clusters=1, duplicates_per_cluster=3, n_noise=2, size=16, seed=0
+        )
+        dataset = ndi_via_gist(collection=collection)
+        assert dataset.n == collection.n
+        np.testing.assert_array_equal(dataset.labels, collection.labels)
+
+    def test_clusters_are_tight_in_descriptor_space(self):
+        dataset = ndi_via_gist(
+            n_clusters=2,
+            duplicates_per_cluster=5,
+            n_noise=10,
+            size=32,
+            seed=1,
+        )
+        members = dataset.data[dataset.labels == 0]
+        noise = dataset.data[dataset.labels == -1]
+        intra = np.linalg.norm(members - members[0], axis=1)[1:].mean()
+        inter = np.linalg.norm(noise - members[0], axis=1).mean()
+        assert intra < 0.5 * inter

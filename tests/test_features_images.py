@@ -1,0 +1,178 @@
+"""Tests for the synthetic image substrate (repro.features.images)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features.images import (
+    ImageCollection,
+    make_near_duplicate_images,
+    perturb_image,
+    random_texture_image,
+)
+
+
+class TestRandomTextureImage:
+    def test_shape_and_range(self):
+        image = random_texture_image(32, seed=0)
+        assert image.shape == (32, 32)
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+
+    def test_uses_full_intensity_range(self):
+        image = random_texture_image(32, seed=0)
+        assert image.min() == pytest.approx(0.0)
+        assert image.max() == pytest.approx(1.0)
+
+    def test_deterministic_for_seed(self):
+        a = random_texture_image(16, seed=42)
+        b = random_texture_image(16, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = random_texture_image(16, seed=1)
+        b = random_texture_image(16, seed=2)
+        assert not np.allclose(a, b)
+
+    def test_has_texture_not_flat(self):
+        image = random_texture_image(32, seed=3)
+        assert image.std() > 0.05
+
+    def test_size_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            random_texture_image(3)
+
+    def test_degenerate_structure_returns_flat_gray(self):
+        image = random_texture_image(
+            8, n_gratings=0, n_blobs=0, noise_level=0.0, seed=0
+        )
+        np.testing.assert_allclose(image, 0.5)
+
+
+class TestPerturbImage:
+    def test_shape_and_range_preserved(self):
+        source = random_texture_image(32, seed=0)
+        out = perturb_image(source, seed=1)
+        assert out.shape == source.shape
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    def test_identity_when_all_bounds_zero(self):
+        source = random_texture_image(16, seed=0)
+        out = perturb_image(
+            source,
+            brightness=0.0,
+            contrast=0.0,
+            noise_level=0.0,
+            max_shift=0.0,
+            max_rotation_deg=0.0,
+            seed=5,
+        )
+        np.testing.assert_allclose(out, source)
+
+    def test_deterministic_for_seed(self):
+        source = random_texture_image(16, seed=0)
+        a = perturb_image(source, seed=7)
+        b = perturb_image(source, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_duplicate_closer_than_unrelated(self):
+        source = random_texture_image(32, seed=0)
+        duplicate = perturb_image(source, seed=1)
+        unrelated = random_texture_image(32, seed=99)
+        assert np.linalg.norm(duplicate - source) < np.linalg.norm(
+            unrelated - source
+        )
+
+    def test_rejects_non_2d_input(self):
+        with pytest.raises(ValidationError):
+            perturb_image(np.zeros((4, 4, 3)))
+
+
+class TestImageCollection:
+    def test_properties(self):
+        collection = make_near_duplicate_images(
+            n_clusters=2, duplicates_per_cluster=3, n_noise=4, size=16, seed=0
+        )
+        assert collection.n == 2 * 3 + 4
+        assert collection.size == (16, 16)
+
+    def test_rejects_wrong_label_shape(self):
+        with pytest.raises(ValidationError):
+            ImageCollection(
+                images=np.zeros((3, 8, 8)), labels=np.zeros(2, dtype=int)
+            )
+
+    def test_rejects_non_3d_images(self):
+        with pytest.raises(ValidationError):
+            ImageCollection(
+                images=np.zeros((8, 8)), labels=np.zeros(8, dtype=int)
+            )
+
+
+class TestMakeNearDuplicateImages:
+    def test_label_structure(self):
+        collection = make_near_duplicate_images(
+            n_clusters=3, duplicates_per_cluster=5, n_noise=7, size=16, seed=0
+        )
+        for cluster in range(3):
+            assert (collection.labels == cluster).sum() == 5
+        assert (collection.labels == -1).sum() == 7
+
+    def test_deterministic_for_seed(self):
+        a = make_near_duplicate_images(
+            n_clusters=2, duplicates_per_cluster=3, n_noise=2, size=8, seed=3
+        )
+        b = make_near_duplicate_images(
+            n_clusters=2, duplicates_per_cluster=3, n_noise=2, size=8, seed=3
+        )
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_cluster_members_mutually_close(self):
+        collection = make_near_duplicate_images(
+            n_clusters=2, duplicates_per_cluster=4, n_noise=4, size=16, seed=0
+        )
+        members0 = collection.images[collection.labels == 0]
+        members1 = collection.images[collection.labels == 1]
+        intra = np.linalg.norm(members0[0] - members0[1])
+        inter = np.linalg.norm(members0[0] - members1[0])
+        assert intra < inter
+
+    def test_perturbation_override_forwarded(self):
+        collection = make_near_duplicate_images(
+            n_clusters=1,
+            duplicates_per_cluster=2,
+            n_noise=0,
+            size=8,
+            seed=0,
+            perturbation={
+                "brightness": 0.0,
+                "contrast": 0.0,
+                "noise_level": 0.0,
+                "max_shift": 0.0,
+                "max_rotation_deg": 0.0,
+            },
+        )
+        np.testing.assert_allclose(
+            collection.images[0], collection.images[1]
+        )
+
+    def test_noise_only_collection(self):
+        collection = make_near_duplicate_images(
+            n_clusters=0, duplicates_per_cluster=1, n_noise=5, size=8, seed=0
+        )
+        assert collection.n == 5
+        assert (collection.labels == -1).all()
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ValidationError):
+            make_near_duplicate_images(
+                n_clusters=0, duplicates_per_cluster=1, n_noise=0
+            )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            make_near_duplicate_images(n_clusters=-1)
+        with pytest.raises(ValidationError):
+            make_near_duplicate_images(n_clusters=1, duplicates_per_cluster=0)

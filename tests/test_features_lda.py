@@ -1,0 +1,226 @@
+"""Tests for the LDA substrate (repro.features.lda) — the NART pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features.lda import (
+    Corpus,
+    LatentDirichletAllocation,
+    make_news_corpus,
+    nart_via_lda,
+)
+
+SMALL_CORPUS_KW = dict(
+    n_events=3,
+    articles_per_event=6,
+    n_background=30,
+    vocab_size=300,
+    n_true_topics=12,
+    doc_length=60,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return make_news_corpus(**SMALL_CORPUS_KW)
+
+
+@pytest.fixture(scope="module")
+def fitted_lda(small_corpus):
+    lda = LatentDirichletAllocation(n_topics=12, n_sweeps=20, seed=0)
+    lda.fit(small_corpus)
+    return lda
+
+
+class TestCorpus:
+    def test_counts_and_labels(self, small_corpus):
+        assert small_corpus.n_docs == 3 * 6 + 30
+        assert small_corpus.vocab_size == 300
+        for event in range(3):
+            assert (small_corpus.labels == event).sum() == 6
+        assert (small_corpus.labels == -1).sum() == 30
+
+    def test_token_stream_matches_counts(self, small_corpus):
+        docs, words = small_corpus.token_stream()
+        assert docs.size == small_corpus.n_tokens
+        rebuilt = np.zeros_like(small_corpus.counts)
+        np.add.at(rebuilt, (docs, words), 1)
+        np.testing.assert_array_equal(rebuilt, small_corpus.counts)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValidationError):
+            Corpus(
+                counts=np.array([[-1, 2]]),
+                labels=np.array([0]),
+                vocab_size=2,
+            )
+
+    def test_rejects_label_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            Corpus(
+                counts=np.ones((3, 4), dtype=int),
+                labels=np.zeros(2, dtype=int),
+                vocab_size=4,
+            )
+
+    def test_rejects_vocab_mismatch(self):
+        with pytest.raises(ValidationError):
+            Corpus(
+                counts=np.ones((3, 4), dtype=int),
+                labels=np.zeros(3, dtype=int),
+                vocab_size=5,
+            )
+
+
+class TestMakeNewsCorpus:
+    def test_deterministic_for_seed(self):
+        a = make_news_corpus(**SMALL_CORPUS_KW)
+        b = make_news_corpus(**SMALL_CORPUS_KW)
+        np.testing.assert_array_equal(a.counts, b.counts)
+
+    def test_event_articles_share_vocabulary(self, small_corpus):
+        # Cosine similarity of raw counts: same-event pairs must exceed
+        # event-to-background pairs on average (hot events reuse the
+        # same few topics; daily news scatters).
+        counts = small_corpus.counts.astype(float)
+        norms = np.linalg.norm(counts, axis=1, keepdims=True)
+        unit = counts / np.maximum(norms, 1e-12)
+        similarity = unit @ unit.T
+        event0 = np.flatnonzero(small_corpus.labels == 0)
+        noise = np.flatnonzero(small_corpus.labels == -1)
+        intra = similarity[np.ix_(event0, event0)]
+        intra_mean = intra[np.triu_indices(event0.size, 1)].mean()
+        inter_mean = similarity[np.ix_(event0, noise)].mean()
+        assert intra_mean > inter_mean + 0.1
+
+    def test_zero_background(self):
+        corpus = make_news_corpus(
+            n_events=2,
+            articles_per_event=3,
+            n_background=0,
+            vocab_size=100,
+            n_true_topics=5,
+            doc_length=30,
+            seed=0,
+        )
+        assert corpus.n_docs == 6
+        assert (corpus.labels >= 0).all()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_events": 0},
+            {"articles_per_event": 0},
+            {"n_background": -1},
+            {"n_true_topics": 1},
+            {"n_true_topics": 5000},
+            {"event_concentration": 0.0},
+            {"background_concentration": -1.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            make_news_corpus(**{**SMALL_CORPUS_KW, **kwargs})
+
+
+class TestLatentDirichletAllocation:
+    def test_doc_topic_shape_and_simplex(self, fitted_lda, small_corpus):
+        doc_topic = fitted_lda.doc_topic_
+        assert doc_topic.shape == (small_corpus.n_docs, 12)
+        assert (doc_topic >= 0).all()
+        np.testing.assert_allclose(doc_topic.sum(axis=1), 1.0)
+
+    def test_topic_word_rows_are_distributions(self, fitted_lda):
+        topic_word = fitted_lda.topic_word_
+        assert topic_word.shape == (12, 300)
+        assert (topic_word >= 0).all()
+        np.testing.assert_allclose(topic_word.sum(axis=1), 1.0)
+
+    def test_deterministic_for_seed(self, small_corpus):
+        a = LatentDirichletAllocation(n_topics=8, n_sweeps=5, seed=3)
+        b = LatentDirichletAllocation(n_topics=8, n_sweeps=5, seed=3)
+        np.testing.assert_allclose(
+            a.fit_transform(small_corpus), b.fit_transform(small_corpus)
+        )
+
+    def test_recovers_event_structure(self, fitted_lda, small_corpus):
+        # Same-event articles must end up with more similar topic
+        # mixtures than event-to-background pairs.
+        vectors = fitted_lda.doc_topic_
+        event0 = np.flatnonzero(small_corpus.labels == 0)
+        noise = np.flatnonzero(small_corpus.labels == -1)
+        diff_intra = np.linalg.norm(
+            vectors[event0[0]] - vectors[event0[1:]], axis=1
+        ).mean()
+        diff_inter = np.linalg.norm(
+            vectors[event0[0]] - vectors[noise], axis=1
+        ).mean()
+        assert diff_intra < diff_inter
+
+    def test_perplexity_beats_uniform(self, fitted_lda, small_corpus):
+        # The uniform model assigns every token probability 1/V, i.e.
+        # perplexity V; a fitted topic model must do much better.
+        assert fitted_lda.perplexity(small_corpus) < 300 * 0.8
+
+    def test_perplexity_requires_fit(self, small_corpus):
+        lda = LatentDirichletAllocation(n_topics=5)
+        with pytest.raises(ValidationError):
+            lda.perplexity(small_corpus)
+
+    def test_perplexity_rejects_other_corpus(self, fitted_lda):
+        other = make_news_corpus(
+            n_events=1,
+            articles_per_event=2,
+            n_background=1,
+            vocab_size=300,
+            n_true_topics=5,
+            doc_length=20,
+            seed=1,
+        )
+        with pytest.raises(ValidationError):
+            fitted_lda.perplexity(other)
+
+    def test_empty_corpus_rejected(self):
+        corpus = Corpus(
+            counts=np.zeros((2, 5), dtype=int),
+            labels=np.array([-1, -1]),
+            vocab_size=5,
+        )
+        lda = LatentDirichletAllocation(n_topics=3)
+        with pytest.raises(ValidationError):
+            lda.fit(corpus)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_topics": 1},
+            {"n_topics": 5, "alpha": 0.0},
+            {"n_topics": 5, "eta": -1.0},
+            {"n_topics": 5, "n_sweeps": 0},
+            {"n_topics": 5, "n_sweeps": 5, "burn_in": 5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValidationError):
+            LatentDirichletAllocation(**kwargs)
+
+
+class TestNartViaLda:
+    def test_builds_normalised_dataset(self):
+        dataset = nart_via_lda(
+            n_events=2,
+            articles_per_event=4,
+            n_background=16,
+            n_topics=8,
+            vocab_size=200,
+            doc_length=40,
+            n_sweeps=10,
+            seed=0,
+        )
+        assert dataset.n == 2 * 4 + 16
+        assert dataset.dim == 8
+        assert dataset.n_true_clusters == 2
+        np.testing.assert_allclose(dataset.data.sum(axis=1), 1.0)
+        assert dataset.metadata["pipeline"] == "lda"

@@ -1,0 +1,178 @@
+"""Tests for the SIFT substrate (repro.features.sift) — SIFT-50M pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.features.images import perturb_image, random_texture_image
+from repro.features.sift import (
+    PatchCollection,
+    SiftExtractor,
+    make_keypoint_patches,
+    sift_descriptor,
+    sift_via_patches,
+)
+
+
+class TestSiftDescriptor:
+    def test_dimension_is_128(self):
+        patch = random_texture_image(16, seed=0)
+        assert sift_descriptor(patch).shape == (128,)
+
+    def test_unit_norm(self):
+        patch = random_texture_image(16, seed=0)
+        assert np.linalg.norm(sift_descriptor(patch)) == pytest.approx(1.0)
+
+    def test_non_negative_and_finite(self):
+        descriptor = sift_descriptor(random_texture_image(16, seed=1))
+        assert (descriptor >= 0).all()
+        assert np.isfinite(descriptor).all()
+
+    def test_flat_patch_gives_zero_descriptor(self):
+        descriptor = sift_descriptor(np.full((16, 16), 0.37))
+        np.testing.assert_allclose(descriptor, 0.0)
+
+    def test_photometric_invariance(self):
+        # Affine intensity change scales all gradients uniformly, which
+        # the L2 normalisation removes.
+        patch = random_texture_image(16, seed=2)
+        adjusted = 0.8 * patch + 0.1
+        np.testing.assert_allclose(
+            sift_descriptor(patch), sift_descriptor(adjusted), atol=1e-8
+        )
+
+    def test_near_duplicates_closer_than_unrelated(self):
+        source = random_texture_image(16, n_gratings=6, seed=0)
+        duplicate = perturb_image(
+            source, max_rotation_deg=3.0, max_shift=0.5, seed=1
+        )
+        unrelated = random_texture_image(16, n_gratings=6, seed=77)
+        d_source = sift_descriptor(source)
+        d_dup = sift_descriptor(duplicate)
+        d_other = sift_descriptor(unrelated)
+        assert np.linalg.norm(d_dup - d_source) < np.linalg.norm(
+            d_other - d_source
+        )
+
+    def test_custom_geometry(self):
+        patch = random_texture_image(16, seed=0)
+        descriptor = sift_descriptor(patch, n_spatial=2, n_orientations=4)
+        assert descriptor.shape == (2 * 2 * 4,)
+
+    def test_clip_limits_peak_bins(self):
+        # A strong single edge would dominate the unclipped histogram;
+        # after the 0.2 clip and renormalisation the largest coordinate
+        # stays well below 1.
+        edge = np.zeros((16, 16))
+        edge[:, 8:] = 1.0
+        descriptor = sift_descriptor(edge)
+        assert descriptor.max() < 0.5
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            sift_descriptor(np.zeros((8, 16)))
+
+    def test_rejects_patch_smaller_than_grid(self):
+        with pytest.raises(ValidationError):
+            sift_descriptor(np.zeros((2, 2)), n_spatial=4)
+
+    def test_rejects_bad_bins(self):
+        patch = random_texture_image(16, seed=0)
+        with pytest.raises(ValidationError):
+            sift_descriptor(patch, n_orientations=1)
+        with pytest.raises(ValidationError):
+            sift_descriptor(patch, n_spatial=0)
+
+
+class TestSiftExtractor:
+    def test_default_dim(self):
+        assert SiftExtractor().dim == 128
+
+    def test_transform_stack(self):
+        patches = np.stack(
+            [random_texture_image(16, seed=s) for s in range(4)]
+        )
+        matrix = SiftExtractor().transform(patches)
+        assert matrix.shape == (4, 128)
+
+    def test_transform_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            SiftExtractor().transform(np.zeros((16, 16)))
+
+
+class TestMakeKeypointPatches:
+    def test_label_structure(self):
+        collection = make_keypoint_patches(
+            n_words=3, patches_per_word=4, n_noise=5, size=16, seed=0
+        )
+        assert collection.n == 3 * 4 + 5
+        for word in range(3):
+            assert (collection.labels == word).sum() == 4
+        assert (collection.labels == -1).sum() == 5
+
+    def test_deterministic_for_seed(self):
+        a = make_keypoint_patches(
+            n_words=2, patches_per_word=3, n_noise=2, size=8, seed=9
+        )
+        b = make_keypoint_patches(
+            n_words=2, patches_per_word=3, n_noise=2, size=8, seed=9
+        )
+        np.testing.assert_array_equal(a.patches, b.patches)
+
+    def test_perturbation_override(self):
+        collection = make_keypoint_patches(
+            n_words=1,
+            patches_per_word=2,
+            n_noise=0,
+            size=8,
+            seed=0,
+            perturbation={
+                "brightness": 0.0,
+                "contrast": 0.0,
+                "noise_level": 0.0,
+                "max_shift": 0.0,
+                "max_rotation_deg": 0.0,
+            },
+        )
+        np.testing.assert_allclose(
+            collection.patches[0], collection.patches[1]
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            make_keypoint_patches(n_words=0, n_noise=0)
+
+    def test_label_shape_validation(self):
+        with pytest.raises(ValidationError):
+            PatchCollection(
+                patches=np.zeros((3, 8, 8)), labels=np.zeros(4, dtype=int)
+            )
+
+
+class TestSiftViaPatches:
+    def test_builds_dataset(self):
+        dataset = sift_via_patches(
+            n_words=2, patches_per_word=4, n_noise=6, size=16, seed=0
+        )
+        assert dataset.n == 2 * 4 + 6
+        assert dataset.dim == 128
+        assert dataset.n_true_clusters == 2
+        assert dataset.metadata["pipeline"] == "sift"
+
+    def test_accepts_prebuilt_collection(self):
+        collection = make_keypoint_patches(
+            n_words=1, patches_per_word=3, n_noise=2, size=16, seed=0
+        )
+        dataset = sift_via_patches(collection=collection)
+        assert dataset.n == collection.n
+        np.testing.assert_array_equal(dataset.labels, collection.labels)
+
+    def test_visual_words_tight_in_descriptor_space(self):
+        dataset = sift_via_patches(
+            n_words=2, patches_per_word=6, n_noise=12, size=16, seed=3
+        )
+        members = dataset.data[dataset.labels == 0]
+        noise = dataset.data[dataset.labels == -1]
+        intra = np.linalg.norm(members - members[0], axis=1)[1:].mean()
+        inter = np.linalg.norm(noise - members[0], axis=1).mean()
+        assert intra < 0.7 * inter

@@ -1,0 +1,142 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full pipelines a user of the library runs: generate a
+paper workload, detect with several methods, evaluate, and check the
+cross-method relationships the paper reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ALID,
+    ALIDConfig,
+    average_f1,
+    make_nart,
+    make_sift,
+    make_sub_ndi,
+    make_synthetic_mixture,
+)
+from repro.baselines import IIDDetector, KMeans, SEA
+from repro.baselines.common import KernelParams
+from repro.parallel import PALID
+
+
+class TestEndToEndNART:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return make_nart(scale=0.25, seed=11)
+
+    def test_alid_detects_hot_events(self, corpus):
+        result = ALID(ALIDConfig(delta=200, seed=0)).fit(corpus.data)
+        avg = average_f1(result.member_lists(), corpus.truth_clusters())
+        assert avg > 0.85
+        # Cluster count close to the 13 true events.
+        assert 10 <= result.n_clusters <= 18
+
+    def test_alid_work_far_below_n_squared(self, corpus):
+        result = ALID(ALIDConfig(delta=200, seed=0)).fit(corpus.data)
+        n = corpus.n
+        assert result.counters.entries_computed < 0.10 * n * n
+        assert result.counters.entries_stored_peak < 0.05 * n * n
+
+    def test_alid_matches_full_matrix_iid_quality(self, corpus):
+        """Paper Fig. 6/7: ALID's AVG-F is comparable to full IID."""
+        alid = ALID(ALIDConfig(delta=200, seed=0)).fit(corpus.data)
+        iid = IIDDetector(kernel=KernelParams(seed=0)).fit(corpus.data)
+        truth = corpus.truth_clusters()
+        alid_f = average_f1(alid.member_lists(), truth)
+        iid_f = average_f1(iid.member_lists(), truth)
+        assert alid_f >= iid_f - 0.1
+
+    def test_alid_beats_kmeans_under_noise(self, corpus):
+        """Appendix C: affinity methods beat partitioning under noise."""
+        alid = ALID(ALIDConfig(delta=200, seed=0)).fit(corpus.data)
+        km = KMeans(corpus.n_true_clusters + 1, seed=0).fit(corpus.data)
+        truth = corpus.truth_clusters()
+        assert average_f1(alid.member_lists(), truth) > average_f1(
+            km.member_lists(), truth
+        )
+
+
+class TestEndToEndSubNDI:
+    @pytest.fixture(scope="class")
+    def images(self):
+        return make_sub_ndi(scale=0.12, seed=5)
+
+    def test_alid_quality(self, images):
+        result = ALID(ALIDConfig(delta=200, seed=0)).fit(images.data)
+        avg = average_f1(result.member_lists(), images.truth_clusters())
+        assert avg > 0.85
+
+    def test_sea_on_reasonable_sparse_graph(self, images):
+        result = SEA(kernel=KernelParams(seed=0, lsh_r_scale=20.0)).fit(
+            images.data
+        )
+        avg = average_f1(result.member_lists(), images.truth_clusters())
+        assert avg > 0.7
+
+
+class TestEndToEndSIFT:
+    @pytest.fixture(scope="class")
+    def descriptors(self):
+        return make_sift(3000, n_clusters=15, seed=2)
+
+    def test_alid_finds_visual_words(self, descriptors):
+        result = ALID(ALIDConfig(delta=200, seed=0)).fit(descriptors.data)
+        avg = average_f1(
+            result.member_lists(), descriptors.truth_clusters()
+        )
+        assert avg > 0.9
+
+    def test_palid_matches_alid_quality(self, descriptors):
+        """Paper §5.3: PALID's AVG-F is consistent with ALID's."""
+        truth = descriptors.truth_clusters()
+        alid = ALID(ALIDConfig(delta=200, seed=0)).fit(descriptors.data)
+        palid = PALID(
+            ALIDConfig(delta=200, seed=0), n_executors=2
+        ).fit(descriptors.data)
+        alid_f = average_f1(alid.member_lists(), truth)
+        palid_f = average_f1(palid.member_lists(), truth)
+        assert abs(alid_f - palid_f) < 0.1
+
+    def test_noise_filtered(self, descriptors):
+        """Fig. 10: background SIFTs are filtered out."""
+        result = ALID(ALIDConfig(delta=200, seed=0)).fit(descriptors.data)
+        labels = result.labels()
+        noise_mask = descriptors.labels == -1
+        filtered = (labels[noise_mask] == -1).mean()
+        assert filtered > 0.95
+
+
+class TestScalabilityRelationships:
+    def test_alid_work_grows_slower_than_iid(self):
+        """The core scalability claim at two sizes (Fig. 7's slopes)."""
+        sizes = (400, 1200)
+        alid_work = []
+        iid_work = []
+        for n in sizes:
+            ds = make_synthetic_mixture(
+                n, regime="bounded", bound=200, n_clusters=5, dim=20, seed=3
+            )
+            alid_res = ALID(ALIDConfig(delta=100, seed=0)).fit(ds.data)
+            iid_res = IIDDetector(kernel=KernelParams(seed=0)).fit(ds.data)
+            alid_work.append(alid_res.counters.entries_computed)
+            iid_work.append(iid_res.counters.entries_computed)
+        alid_growth = alid_work[1] / alid_work[0]
+        iid_growth = iid_work[1] / iid_work[0]
+        # IID grows ~9x (quadratic in 3x size); ALID must grow much less.
+        assert iid_growth > 8.0
+        assert alid_growth < iid_growth / 2
+
+    def test_alid_memory_constant_in_bounded_regime(self):
+        """Table 1 row 3: space O(a*(a*+delta)) independent of n."""
+        peaks = []
+        for n in (500, 1500):
+            ds = make_synthetic_mixture(
+                n, regime="bounded", bound=200, n_clusters=5, dim=20, seed=3
+            )
+            res = ALID(ALIDConfig(delta=100, seed=0)).fit(ds.data)
+            peaks.append(res.counters.entries_stored_peak)
+        # Peak storage must not scale with n (allow 2x slack for noise).
+        assert peaks[1] < peaks[0] * 2

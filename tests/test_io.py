@@ -1,0 +1,102 @@
+"""Tests for dataset / detection-result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.alid import ALID
+from repro.core.config import ALIDConfig
+from repro.datasets import make_synthetic_mixture
+from repro.io import (
+    load_dataset,
+    load_detection,
+    save_dataset,
+    save_detection,
+)
+
+
+@pytest.fixture
+def dataset():
+    return make_synthetic_mixture(
+        200, regime="bounded", bound=100, n_clusters=4, dim=10, seed=2
+    )
+
+
+class TestDatasetRoundTrip:
+    def test_roundtrip_exact(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(path)
+        assert np.array_equal(loaded.data, dataset.data)
+        assert np.array_equal(loaded.labels, dataset.labels)
+        assert loaded.name == dataset.name
+
+    def test_metadata_preserved(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(path)
+        assert loaded.metadata["regime"] == "bounded"
+        assert loaded.metadata["n"] == 200
+
+    def test_suffix_added(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_derived_properties_survive(self, dataset, tmp_path):
+        loaded = load_dataset(save_dataset(dataset, tmp_path / "ds"))
+        assert loaded.n_true_clusters == dataset.n_true_clusters
+        assert loaded.noise_degree() == pytest.approx(dataset.noise_degree())
+
+
+class TestDetectionRoundTrip:
+    @pytest.fixture
+    def result(self, dataset):
+        config = ALIDConfig(
+            delta=50, density_threshold=0.6, seed=0,
+            lsh_projections=16, lsh_tables=20,
+        )
+        return ALID(config).fit(dataset.data)
+
+    def test_roundtrip_clusters(self, result, tmp_path):
+        loaded = load_detection(save_detection(result, tmp_path / "res"))
+        assert loaded.n_clusters == result.n_clusters
+        assert len(loaded.all_clusters) == len(result.all_clusters)
+        for a, b in zip(loaded.all_clusters, result.all_clusters):
+            assert np.array_equal(a.members, b.members)
+            assert np.allclose(a.weights, b.weights)
+            assert a.density == pytest.approx(b.density)
+            assert a.label == b.label
+
+    def test_roundtrip_labels_identical(self, result, tmp_path):
+        loaded = load_detection(save_detection(result, tmp_path / "res"))
+        assert np.array_equal(loaded.labels(), result.labels())
+
+    def test_counters_preserved(self, result, tmp_path):
+        loaded = load_detection(save_detection(result, tmp_path / "res"))
+        assert (
+            loaded.counters.entries_computed
+            == result.counters.entries_computed
+        )
+        assert (
+            loaded.counters.entries_stored_peak
+            == result.counters.entries_stored_peak
+        )
+
+    def test_scalars_preserved(self, result, tmp_path):
+        loaded = load_detection(save_detection(result, tmp_path / "res"))
+        assert loaded.method == "ALID"
+        assert loaded.n_items == result.n_items
+        assert loaded.runtime_seconds == pytest.approx(
+            result.runtime_seconds
+        )
+        assert loaded.metadata["kernel_k"] == pytest.approx(
+            result.metadata["kernel_k"]
+        )
+
+    def test_empty_result(self, tmp_path):
+        from repro.core.results import DetectionResult
+
+        empty = DetectionResult(
+            clusters=[], all_clusters=[], n_items=0, method="X"
+        )
+        loaded = load_detection(save_detection(empty, tmp_path / "empty"))
+        assert loaded.n_clusters == 0
+        assert loaded.n_items == 0

@@ -1,0 +1,243 @@
+"""Unit tests for the LSH substrate (hashing, params, index)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.lsh.hashing import PStableHashFamily
+from repro.lsh.index import LSHIndex
+from repro.lsh.params import (
+    collision_probability,
+    retrieval_probability,
+    suggest_tables,
+)
+
+
+class TestPStableHashFamily:
+    def test_deterministic_given_seed(self, rng):
+        data = rng.normal(size=(10, 6))
+        f1 = PStableHashFamily(6, r=1.0, n_projections=8, seed=3)
+        f2 = PStableHashFamily(6, r=1.0, n_projections=8, seed=3)
+        assert np.array_equal(f1.hash_many(data), f2.hash_many(data))
+
+    def test_shape(self, rng):
+        data = rng.normal(size=(10, 6))
+        family = PStableHashFamily(6, r=1.0, n_projections=8, seed=0)
+        assert family.hash_many(data).shape == (10, 8)
+
+    def test_identical_points_same_hash(self, rng):
+        family = PStableHashFamily(4, r=1.0, seed=0)
+        point = rng.normal(size=4)
+        data = np.vstack([point, point])
+        codes = family.hash_many(data)
+        assert np.array_equal(codes[0], codes[1])
+
+    def test_hash_one_matches_hash_many(self, rng):
+        family = PStableHashFamily(4, r=1.0, seed=0)
+        point = rng.normal(size=4)
+        assert family.hash_one(point) == tuple(
+            family.hash_many(point[None, :])[0].tolist()
+        )
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValidationError):
+            PStableHashFamily(0, r=1.0)
+
+    def test_rejects_bad_r(self):
+        with pytest.raises(ValidationError):
+            PStableHashFamily(4, r=0.0)
+
+    def test_rejects_wrong_data_dim(self, rng):
+        family = PStableHashFamily(4, r=1.0, seed=0)
+        with pytest.raises(ValidationError):
+            family.hash_many(rng.normal(size=(3, 5)))
+
+    def test_larger_r_coarser_buckets(self, rng):
+        data = rng.normal(size=(200, 8))
+        fine = PStableHashFamily(8, r=0.1, n_projections=1, seed=0)
+        coarse = PStableHashFamily(8, r=100.0, n_projections=1, seed=0)
+        n_fine = len(set(fine.hash_many(data)[:, 0].tolist()))
+        n_coarse = len(set(coarse.hash_many(data)[:, 0].tolist()))
+        assert n_coarse < n_fine
+
+
+class TestCollisionProbability:
+    def test_zero_distance(self):
+        assert collision_probability(0.0, r=1.0) == 1.0
+
+    def test_monotone_decreasing_in_distance(self):
+        probs = [collision_probability(c, r=1.0) for c in (0.1, 0.5, 1.0, 5.0)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+
+    def test_monotone_increasing_in_r(self):
+        probs = [collision_probability(1.0, r=r) for r in (0.5, 1.0, 2.0, 8.0)]
+        assert all(a < b for a, b in zip(probs, probs[1:]))
+
+    def test_bounds(self):
+        for c in (0.01, 1.0, 100.0):
+            p = collision_probability(c, r=1.0)
+            assert 0.0 <= p <= 1.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            collision_probability(-1.0, r=1.0)
+
+
+class TestRetrievalProbability:
+    def test_more_tables_higher_recall(self):
+        p1 = retrieval_probability(1.0, r=5.0, n_projections=10, n_tables=1)
+        p50 = retrieval_probability(1.0, r=5.0, n_projections=10, n_tables=50)
+        assert p50 > p1
+
+    def test_more_projections_lower_recall(self):
+        few = retrieval_probability(1.0, r=5.0, n_projections=5, n_tables=10)
+        many = retrieval_probability(1.0, r=5.0, n_projections=40, n_tables=10)
+        assert many < few
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            retrieval_probability(1.0, r=1.0, n_projections=0, n_tables=1)
+
+
+class TestSuggestTables:
+    def test_achieves_target(self):
+        tables = suggest_tables(1.0, r=10.0, n_projections=10, target_recall=0.9)
+        achieved = retrieval_probability(1.0, r=10.0, n_projections=10,
+                                         n_tables=tables)
+        assert achieved >= 0.9
+
+    def test_sentinel_on_underflow(self):
+        assert suggest_tables(100.0, r=0.001, n_projections=64) == 10**6
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            suggest_tables(1.0, r=1.0, n_projections=4, target_recall=1.5)
+
+
+@pytest.fixture
+def small_index(blob_data):
+    data, _ = blob_data
+    # r ~ 10x the intra-cluster scale (~0.5) for high intra recall.
+    return LSHIndex(data, r=5.0, n_projections=16, n_tables=20, seed=0)
+
+
+class TestLSHIndex:
+    def test_query_item_finds_cluster_siblings(self, small_index, blob_data):
+        _, labels = blob_data
+        neighbors = small_index.query_item(0)
+        siblings = np.flatnonzero(labels == labels[0])
+        recall = np.isin(siblings[siblings != 0], neighbors).mean()
+        assert recall > 0.8
+
+    def test_query_item_excludes_self(self, small_index):
+        assert 0 not in small_index.query_item(0)
+
+    def test_query_item_sorted(self, small_index):
+        out = small_index.query_item(0)
+        assert np.all(np.diff(out) > 0)
+
+    def test_query_point_matches_query_item(self, small_index, blob_data):
+        data, _ = blob_data
+        by_point = small_index.query_point(data[3])
+        by_item = small_index.query_item(3)
+        # query_point includes the item itself; otherwise identical.
+        assert set(by_item) <= set(by_point)
+
+    def test_query_items_union(self, small_index):
+        a = set(small_index.query_item(0)) | {0}
+        b = set(small_index.query_item(1)) | {1}
+        union = set(small_index.query_items(np.asarray([0, 1])))
+        assert union <= (a | b)
+        assert (set(small_index.query_item(0)) - {1}) <= (union | {0, 1})
+
+    def test_query_items_excludes_queries(self, small_index):
+        out = small_index.query_items(np.asarray([0, 1, 2]))
+        assert not ({0, 1, 2} & set(out))
+
+    def test_deactivate_hides_items(self, small_index):
+        neighbors = small_index.query_item(0)
+        assert neighbors.size > 0
+        small_index.deactivate(neighbors)
+        assert small_index.query_item(0).size == 0
+
+    def test_reactivate_all(self, small_index):
+        before = small_index.query_item(0)
+        small_index.deactivate(np.arange(small_index.n))
+        small_index.reactivate_all()
+        after = small_index.query_item(0)
+        assert np.array_equal(before, after)
+
+    def test_n_active(self, small_index):
+        assert small_index.n_active == small_index.n
+        small_index.deactivate(np.asarray([0, 1]))
+        assert small_index.n_active == small_index.n - 2
+
+    def test_active_mask_readonly(self, small_index):
+        with pytest.raises(ValueError):
+            small_index.active_mask[0] = False
+
+    def test_determinism_across_instances(self, blob_data):
+        data, _ = blob_data
+        a = LSHIndex(data, r=5.0, n_projections=8, n_tables=5, seed=9)
+        b = LSHIndex(data, r=5.0, n_projections=8, n_tables=5, seed=9)
+        for i in (0, 10, 40):
+            assert np.array_equal(a.query_item(i), b.query_item(i))
+
+    def test_noise_rarely_collides(self, small_index, blob_data):
+        _, labels = blob_data
+        noise_indices = np.flatnonzero(labels == -1)
+        # Noise points are far from everything; most find few neighbors.
+        counts = [small_index.query_item(int(i)).size for i in noise_indices]
+        assert np.median(counts) <= 2
+
+    def test_bucket_sizes(self, small_index):
+        sizes = small_index.bucket_sizes(table=0)
+        assert sum(sizes.values()) == small_index.n
+
+    def test_large_buckets_single_table(self, small_index):
+        buckets = small_index.large_buckets(min_size=5, table=0)
+        assert all(b.size >= 5 for b in buckets)
+
+    def test_large_buckets_all_tables(self, small_index):
+        all_tables = small_index.large_buckets(min_size=5, table=None)
+        one_table = small_index.large_buckets(min_size=5, table=0)
+        assert len(all_tables) >= len(one_table)
+
+    def test_large_buckets_respect_peeling(self, small_index, blob_data):
+        _, labels = blob_data
+        small_index.deactivate(np.flatnonzero(labels == 0))
+        for bucket in small_index.large_buckets(min_size=3):
+            assert np.all(labels[bucket] != 0)
+
+    def test_storage_cost(self, small_index):
+        assert small_index.storage_cost_entries() == 2 * 60 * 20
+
+    def test_invalid_point_dim(self, small_index):
+        with pytest.raises(ValidationError):
+            small_index.query_point(np.zeros(3))
+
+    def test_out_of_range_item(self, small_index):
+        with pytest.raises(IndexError):
+            small_index.query_item(10_000)
+
+
+class TestKeyOfPointConsistency:
+    """Regression: point queries must hash into build-time buckets.
+
+    ``key_of_point`` once multiplied int64 codes by the uint64 mixer,
+    which NumPy promotes to float64 — wrong keys whenever any hash code
+    was negative (i.e. for roughly half of all real-valued data).
+    """
+
+    def test_query_point_matches_query_item_bucket(self):
+        rng = np.random.default_rng(7)
+        # Centre the data at a large negative offset so that hash codes
+        # are overwhelmingly negative.
+        data = rng.normal(loc=-50.0, scale=0.5, size=(40, 6))
+        index = LSHIndex(data, r=1.0, n_projections=12, n_tables=4, seed=0)
+        for i in range(0, 40, 7):
+            by_point = set(index.query_point(data[i]).tolist()) - {i}
+            by_item = set(index.query_item(i).tolist())
+            # The item lookup walks the inverted list; the point lookup
+            # re-hashes.  Both must reach the identical buckets.
+            assert by_point == by_item

@@ -1,0 +1,274 @@
+"""Tests for the parallel substrate: MapReduce engine, store, PALID."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core.config import ALIDConfig
+from repro.eval.metrics import average_f1
+from repro.exceptions import ValidationError
+from repro.parallel.mapreduce import MapReduceJob, run_mapreduce
+from repro.parallel.palid import PALID, sample_seeds
+from repro.parallel.storage import SharedDataStore
+
+
+class WordCount(MapReduceJob):
+    """The canonical MapReduce example, used to validate the engine."""
+
+    def map(self, key, value):
+        for word in value.split():
+            yield word, 1
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+
+class TestMapReduceEngine:
+    DOCS = [
+        (0, "the quick brown fox"),
+        (1, "the lazy dog"),
+        (2, "the quick dog"),
+    ]
+
+    def test_word_count_serial(self):
+        out = dict(run_mapreduce(WordCount(), self.DOCS, n_workers=1))
+        assert out["the"] == 3
+        assert out["quick"] == 2
+        assert out["fox"] == 1
+
+    def test_word_count_parallel_matches_serial(self):
+        serial = run_mapreduce(WordCount(), self.DOCS, n_workers=1)
+        parallel = run_mapreduce(WordCount(), self.DOCS, n_workers=3)
+        assert serial == parallel
+
+    def test_keys_sorted(self):
+        out = run_mapreduce(WordCount(), self.DOCS, n_workers=1)
+        keys = [k for k, _ in out]
+        assert keys == sorted(keys)
+
+    def test_empty_inputs(self):
+        assert run_mapreduce(WordCount(), [], n_workers=2) == []
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValidationError):
+            run_mapreduce(WordCount(), self.DOCS, n_workers=0)
+
+    def test_unsortable_keys_fall_back(self):
+        class MixedKeys(MapReduceJob):
+            def map(self, key, value):
+                yield (key, 1) if key % 2 else ((key,), 1)
+
+            def reduce(self, key, values):
+                yield key, sum(values)
+
+        out = run_mapreduce(MixedKeys(), [(0, None), (1, None)], n_workers=1)
+        assert len(out) == 2
+
+
+class TestSharedDataStore:
+    def test_fetch_counts(self, blob_data):
+        data, _ = blob_data
+        store = SharedDataStore(data)
+        store.fetch(np.asarray([0, 1, 2]))
+        store.fetch(np.asarray([3]))
+        assert store.fetch_calls == 2
+        assert store.items_fetched == 4
+
+    def test_fetch_returns_rows(self, blob_data):
+        data, _ = blob_data
+        store = SharedDataStore(data)
+        out = store.fetch(np.asarray([5]))
+        assert np.allclose(out[0], data[5])
+
+    def test_data_readonly(self, blob_data):
+        data, _ = blob_data
+        store = SharedDataStore(data)
+        with pytest.raises(ValueError):
+            store.data[0, 0] = 99.0
+
+    def test_out_of_range_rejected(self, blob_data):
+        data, _ = blob_data
+        store = SharedDataStore(data)
+        with pytest.raises(ValidationError):
+            store.fetch(np.asarray([10**6]))
+
+    def test_properties(self, blob_data):
+        data, _ = blob_data
+        store = SharedDataStore(data)
+        assert store.n == data.shape[0]
+        assert store.dim == data.shape[1]
+
+
+@pytest.fixture
+def palid_config():
+    return ALIDConfig(
+        delta=50,
+        lsh_projections=16,
+        lsh_tables=20,
+        density_threshold=0.5,
+        seed=0,
+    )
+
+
+class TestSampleSeeds:
+    def test_seeds_prefer_cluster_items(self, blob_data, palid_config):
+        from repro.core.alid import ALIDEngine
+
+        data, labels = blob_data
+        engine = ALIDEngine(data, palid_config)
+        seeds = sample_seeds(engine.index, seed=0)
+        # Large buckets hold cluster members; noise is scattered.
+        assert (labels[seeds] >= 0).mean() > 0.8
+
+    def test_sample_rate_controls_count(self, blob_data, palid_config):
+        from repro.core.alid import ALIDEngine
+
+        data, _ = blob_data
+        engine = ALIDEngine(data, palid_config)
+        few = sample_seeds(engine.index, sample_rate=0.1, seed=0)
+        many = sample_seeds(engine.index, sample_rate=0.9, seed=0)
+        assert few.size < many.size
+
+    def test_fallback_when_no_large_buckets(self, rng, palid_config):
+        from repro.core.alid import ALIDEngine
+
+        # Pure scattered noise: no bucket reaches the min size.
+        data = rng.uniform(-100, 100, size=(30, 8))
+        engine = ALIDEngine(data, palid_config)
+        seeds = sample_seeds(engine.index, bucket_min_size=25, seed=0)
+        assert seeds.size == 30  # everyone becomes a seed
+
+    def test_invalid_rate(self, blob_data, palid_config):
+        from repro.core.alid import ALIDEngine
+
+        data, _ = blob_data
+        engine = ALIDEngine(data, palid_config)
+        with pytest.raises(ValidationError):
+            sample_seeds(engine.index, sample_rate=0.0)
+
+    def test_deterministic(self, blob_data, palid_config):
+        from repro.core.alid import ALIDEngine
+
+        data, _ = blob_data
+        engine = ALIDEngine(data, palid_config)
+        a = sample_seeds(engine.index, seed=3)
+        b = sample_seeds(engine.index, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestPALID:
+    def test_finds_blobs_serial(self, blob_data, palid_config):
+        data, labels = blob_data
+        truth = [np.flatnonzero(labels == c) for c in (0, 1)]
+        result = PALID(palid_config, n_executors=1).fit(data)
+        assert average_f1(result.member_lists(), truth) > 0.9
+        assert result.method == "PALID"
+
+    def test_parallel_matches_serial(self, blob_data, palid_config):
+        data, _ = blob_data
+        serial = PALID(palid_config, n_executors=1).fit(data)
+        parallel = PALID(palid_config, n_executors=3).fit(data)
+        assert len(serial.clusters) == len(parallel.clusters)
+        s_members = sorted(tuple(c.members) for c in serial.clusters)
+        p_members = sorted(tuple(c.members) for c in parallel.clusters)
+        assert s_members == p_members
+
+    def test_clusters_disjoint_after_reduce(self, blob_data, palid_config):
+        """The reducer assigns each item to exactly one cluster."""
+        data, _ = blob_data
+        result = PALID(palid_config, n_executors=1).fit(data)
+        seen = set()
+        for c in result.all_clusters:
+            members = set(c.members.tolist())
+            assert not (members & seen)
+            seen |= members
+
+    def test_metadata_phases(self, blob_data, palid_config):
+        data, _ = blob_data
+        result = PALID(palid_config, n_executors=1).fit(data)
+        assert result.metadata["build_seconds"] >= 0
+        assert result.metadata["mapreduce_seconds"] >= 0
+        assert result.metadata["n_seeds"] >= 1
+
+    def test_rejects_bad_executors(self):
+        with pytest.raises(ValidationError):
+            PALID(n_executors=0)
+
+    def test_density_threshold_filters(self, blob_data):
+        data, _ = blob_data
+        config = ALIDConfig(
+            delta=50,
+            lsh_projections=16,
+            lsh_tables=20,
+            density_threshold=0.999,
+            seed=0,
+        )
+        result = PALID(config, n_executors=1).fit(data)
+        assert result.n_clusters == 0
+        assert len(result.all_clusters) >= 1
+
+
+class _WorkerOnlyFailJob(MapReduceJob):
+    """Fails on designated keys — but only inside forked workers.
+
+    Models a machine-local fault (OOM, preemption): the driver's
+    re-execution of the same task succeeds, which is exactly the
+    MapReduce master's recovery story.
+    """
+
+    def __init__(self, fail_keys):
+        self.fail_keys = set(fail_keys)
+
+    def map(self, key, value):
+        if (
+            key in self.fail_keys
+            and multiprocessing.parent_process() is not None
+        ):
+            raise RuntimeError(f"worker crashed on key {key}")
+        return [(key % 2, value * 10)]
+
+    def reduce(self, key, values):
+        return [(key, sorted(values))]
+
+
+class _AlwaysFailJob(MapReduceJob):
+    def map(self, key, value):
+        raise ValueError("task is deterministically broken")
+
+    def reduce(self, key, values):  # pragma: no cover
+        return []
+
+
+class TestMapFaultTolerance:
+    def test_worker_failure_is_reexecuted_by_driver(self):
+        job = _WorkerOnlyFailJob(fail_keys={1, 3})
+        inputs = [(i, i) for i in range(8)]
+        stats = {}
+        parallel = run_mapreduce(job, inputs, n_workers=2,
+                                 chunks_per_worker=4, stats=stats)
+        serial = run_mapreduce(_WorkerOnlyFailJob(set()), inputs,
+                               n_workers=1)
+        assert parallel == serial
+        assert stats["retried_chunks"] >= 1
+        assert any("worker crashed" in e for e in stats["worker_errors"])
+
+    def test_deterministic_failure_raises_original_error(self):
+        inputs = [(i, i) for i in range(4)]
+        with pytest.raises(ValueError, match="deterministically broken"):
+            run_mapreduce(_AlwaysFailJob(), inputs, n_workers=2,
+                          chunks_per_worker=2)
+
+    def test_stats_zero_when_nothing_fails(self):
+        job = _WorkerOnlyFailJob(set())
+        stats = {}
+        run_mapreduce(job, [(i, i) for i in range(6)], n_workers=2,
+                      stats=stats)
+        assert stats["retried_chunks"] == 0
+        assert stats["worker_errors"] == []
+
+    def test_serial_path_populates_stats(self):
+        stats = {}
+        run_mapreduce(_WorkerOnlyFailJob(set()), [(0, 1)], n_workers=1,
+                      stats=stats)
+        assert stats == {"retried_chunks": 0, "worker_errors": []}

@@ -1,0 +1,308 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the paper's theorems as machine-checked properties:
+
+* Theorem 2 — every infection/immunization step strictly increases the
+  density and keeps the point on the simplex;
+* Theorem 1 — converged points are immune against every vertex;
+* Proposition 1 — the double-deck hyperball's inner/outer guarantees;
+* metric axioms of AVG-F, kernel monotonicity, LSH recall monotonicity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.affinity.kernel import LaplacianKernel, pairwise_distances
+from repro.core.roi import estimate_roi, logistic_growth
+from repro.dynamics.iid import iid_dynamics, invasion_share
+from repro.dynamics.lid import LIDState, lid_dynamics
+from repro.dynamics.replicator import replicator_dynamics
+from repro.dynamics.simplex import is_simplex_point
+from repro.eval.metrics import average_f1, f1_score
+from repro.lsh.params import collision_probability, retrieval_probability
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def affinity_matrices(draw, min_n=3, max_n=12):
+    """Symmetric matrices with zero diagonal and entries in (0, 1]."""
+    n = draw(st.integers(min_n, max_n))
+    raw = draw(
+        hnp.arrays(
+            np.float64,
+            (n, n),
+            elements=st.floats(0.01, 1.0, allow_nan=False),
+        )
+    )
+    sym = (raw + raw.T) / 2.0
+    np.fill_diagonal(sym, 0.0)
+    return sym
+
+
+@st.composite
+def simplex_points(draw, n):
+    weights = draw(
+        hnp.arrays(
+            np.float64, (n,), elements=st.floats(0.0, 1.0, allow_nan=False)
+        )
+    )
+    total = weights.sum()
+    if total <= 0:
+        weights = np.full(n, 1.0 / n)
+    else:
+        weights = weights / total
+    return weights
+
+
+@st.composite
+def matrix_with_point(draw):
+    a = draw(affinity_matrices())
+    x = draw(simplex_points(a.shape[0]))
+    return a, x
+
+
+# ---------------------------------------------------------------------------
+# game-dynamics invariants
+# ---------------------------------------------------------------------------
+class TestDynamicsProperties:
+    @COMMON_SETTINGS
+    @given(matrix_with_point())
+    def test_iid_step_monotone_density(self, case):
+        """Theorem 2: one IID step never decreases pi(x)."""
+        a, x = case
+        before = float(x @ a @ x)
+        res = iid_dynamics(a, x, max_iter=1)
+        after = float(res.x @ a @ res.x)
+        assert after >= before - 1e-9
+
+    @COMMON_SETTINGS
+    @given(matrix_with_point())
+    def test_iid_preserves_simplex(self, case):
+        a, x = case
+        res = iid_dynamics(a, x, max_iter=25)
+        assert is_simplex_point(res.x, atol=1e-7)
+
+    @COMMON_SETTINGS
+    @given(matrix_with_point())
+    def test_iid_converged_is_immune(self, case):
+        """Theorem 1: at convergence, no infective vertex remains."""
+        a, x = case
+        res = iid_dynamics(a, x, max_iter=5000, tol=1e-9)
+        if not res.converged:
+            pytest.skip("did not converge within budget")
+        pay = a @ res.x - res.density
+        assert pay.max() <= 1e-6
+        if (res.x > 0).any():
+            assert pay[res.x > 0].min() >= -1e-6
+
+    @COMMON_SETTINGS
+    @given(matrix_with_point())
+    def test_replicator_monotone_density(self, case):
+        a, x = case
+        before = float(x @ a @ x)
+        res = replicator_dynamics(a, x, max_iter=1)
+        after = float(res.x @ a @ res.x)
+        assert after >= before - 1e-9
+
+    @COMMON_SETTINGS
+    @given(
+        st.floats(1e-6, 10.0, allow_nan=False),
+        st.floats(-10.0, 10.0, allow_nan=False),
+    )
+    def test_invasion_share_in_unit_interval(self, pay_diff, pay_quad):
+        eps = invasion_share(pay_diff, pay_quad)
+        assert 0.0 <= eps <= 1.0
+
+    @COMMON_SETTINGS
+    @given(matrix_with_point())
+    def test_iid_density_bounded_by_max_affinity(self, case):
+        a, x = case
+        res = iid_dynamics(a, x, max_iter=200)
+        assert res.density <= a.max() + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# ROI invariants (Prop. 1)
+# ---------------------------------------------------------------------------
+class TestROIProperties:
+    @COMMON_SETTINGS
+    @given(
+        st.integers(0, 10**6),
+        st.floats(0.1, 5.0, allow_nan=False),
+        st.integers(3, 10),
+    )
+    def test_double_deck_guarantees(self, seed, k, m):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(scale=0.5, size=(m, 4))
+        kernel = LaplacianKernel(k=k)
+        weights = rng.dirichlet(np.ones(m))
+        affinity = kernel.block(data, zero_diagonal=True)
+        density = float(weights @ affinity @ weights)
+        if density <= 1e-12:
+            pytest.skip("degenerate zero-density subgraph")
+        ball = estimate_roi(data, weights, density, kernel)
+        assert 0.0 <= ball.r_in <= ball.r_out
+        # Prop 1.2: random points beyond the outer ball are non-infective.
+        direction = rng.normal(size=4)
+        direction /= np.linalg.norm(direction)
+        point = ball.center + direction * (ball.r_out * 1.01 + 1e-9)
+        aff = kernel.affinity_from_distance(
+            np.linalg.norm(data - point, axis=1)
+        )
+        assert float(weights @ aff) - density <= 1e-9
+        # Prop 1.1: points inside the inner ball are infective.
+        if ball.r_in > 1e-9:
+            point_in = ball.center + direction * (ball.r_in * 0.99)
+            aff_in = kernel.affinity_from_distance(
+                np.linalg.norm(data - point_in, axis=1)
+            )
+            assert float(weights @ aff_in) - density > -1e-12
+
+    @COMMON_SETTINGS
+    @given(st.integers(0, 200))
+    def test_logistic_growth_in_unit_interval(self, c):
+        theta = logistic_growth(c)
+        assert 0.0 < theta < 1.0 or theta == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# kernel / LSH invariants
+# ---------------------------------------------------------------------------
+class TestKernelProperties:
+    @COMMON_SETTINGS
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 8), st.integers(1, 6)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+        st.floats(0.01, 10.0, allow_nan=False),
+    )
+    def test_affinity_block_symmetric_zero_diag(self, data, k):
+        kernel = LaplacianKernel(k=k)
+        block = kernel.block(data, zero_diagonal=True)
+        assert np.allclose(block, block.T, atol=1e-12)
+        assert np.allclose(np.diag(block), 0.0)
+        assert block.min() >= 0.0
+        assert block.max() <= 1.0
+
+    @COMMON_SETTINGS
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 8), st.integers(1, 6)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    def test_triangle_inequality(self, data):
+        """The guarantee Prop. 1 rests on: Lp distances are metrics."""
+        d = pairwise_distances(data)
+        n = data.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for l in range(n):
+                    assert d[i, j] <= d[i, l] + d[l, j] + 1e-7
+
+    @COMMON_SETTINGS
+    @given(
+        st.floats(0.01, 50.0, allow_nan=False),
+        st.floats(0.01, 50.0, allow_nan=False),
+        st.floats(0.1, 20.0, allow_nan=False),
+    )
+    def test_collision_probability_monotone(self, c1, c2, r):
+        lo, hi = sorted((c1, c2))
+        assert collision_probability(hi, r) <= collision_probability(lo, r) + 1e-12
+
+    @COMMON_SETTINGS
+    @given(
+        st.floats(0.1, 10.0, allow_nan=False),
+        st.floats(0.1, 20.0, allow_nan=False),
+        st.integers(1, 40),
+        st.integers(1, 49),
+    )
+    def test_retrieval_monotone_in_tables(self, c, r, mu, tables):
+        p_fewer = retrieval_probability(c, r, mu, tables)
+        p_more = retrieval_probability(c, r, mu, tables + 1)
+        assert p_more >= p_fewer - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# metric axioms
+# ---------------------------------------------------------------------------
+class TestMetricProperties:
+    @COMMON_SETTINGS
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 30), min_size=1, max_size=8),
+            min_size=1,
+            max_size=4,
+        ),
+        st.lists(
+            st.sets(st.integers(0, 30), min_size=1, max_size=8),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_avg_f_in_unit_interval(self, detected, truth):
+        detected = [np.asarray(sorted(s)) for s in detected]
+        truth = [np.asarray(sorted(s)) for s in truth]
+        value = average_f1(detected, truth)
+        assert 0.0 <= value <= 1.0
+
+    @COMMON_SETTINGS
+    @given(
+        st.lists(
+            st.sets(st.integers(0, 30), min_size=1, max_size=8),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_avg_f_identity(self, truth):
+        truth = [np.asarray(sorted(s)) for s in truth]
+        assert average_f1(truth, truth) == pytest.approx(1.0)
+
+    @COMMON_SETTINGS
+    @given(
+        st.sets(st.integers(0, 20), min_size=1, max_size=10),
+        st.sets(st.integers(0, 20), min_size=1, max_size=10),
+    )
+    def test_f1_bounded_and_zero_iff_disjoint(self, a, b):
+        value = f1_score(np.asarray(sorted(a)), np.asarray(sorted(b)))
+        assert 0.0 <= value <= 1.0
+        if not (a & b):
+            assert value == 0.0
+        else:
+            assert value > 0.0
+
+
+# ---------------------------------------------------------------------------
+# LID / full-IID equivalence at random instances
+# ---------------------------------------------------------------------------
+class TestLIDEquivalence:
+    @COMMON_SETTINGS
+    @given(st.integers(0, 10**6), st.integers(5, 20))
+    def test_lid_on_full_range_matches_iid(self, seed, n):
+        from repro.affinity.oracle import AffinityOracle
+
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, 3))
+        kernel = LaplacianKernel(k=1.0)
+        oracle = AffinityOracle(data, kernel)
+        full = kernel.block(data, zero_diagonal=True)
+        x0 = np.full(n, 1.0 / n)
+
+        iid_res = iid_dynamics(full, x0, max_iter=5000, tol=1e-10)
+        state = LIDState(oracle, np.arange(n), x0, full @ x0)
+        lid_dynamics(state, max_iter=5000, tol=1e-10)
+        assert state.density() == pytest.approx(iid_res.density, abs=1e-6)

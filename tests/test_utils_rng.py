@@ -1,0 +1,60 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=10)
+        b = as_generator(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9)
+        b = as_generator(2).integers(0, 10**9)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        out = as_generator(seq)
+        assert isinstance(out, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_deterministic(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(3, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(3, 4)]
+        assert a == b
+
+    def test_children_independent(self):
+        values = [g.integers(0, 10**9) for g in spawn_generators(3, 8)]
+        assert len(set(values)) == 8
+
+    def test_spawn_from_generator(self):
+        gens = spawn_generators(np.random.default_rng(0), 3)
+        assert len(gens) == 3
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+    def test_spawn_from_seed_sequence(self):
+        gens = spawn_generators(np.random.SeedSequence(1), 2)
+        assert len(gens) == 2

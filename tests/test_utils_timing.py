@@ -1,0 +1,59 @@
+"""Unit tests for repro.utils.timing."""
+
+import time
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_lap_records(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        assert "a" in sw.laps
+        assert sw.laps["a"] >= 0.0
+
+    def test_laps_accumulate(self):
+        sw = Stopwatch()
+        with sw.lap("x"):
+            time.sleep(0.001)
+        first = sw.laps["x"]
+        with sw.lap("x"):
+            time.sleep(0.001)
+        assert sw.laps["x"] > first
+
+    def test_total(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        with sw.lap("b"):
+            pass
+        assert sw.total == sw.laps["a"] + sw.laps["b"]
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            pass
+        sw.reset()
+        assert sw.laps == {}
+
+    def test_records_on_exception(self):
+        sw = Stopwatch()
+        try:
+            with sw.lap("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        assert "boom" in sw.laps
+
+
+class TestTimed:
+    def test_elapsed_nonnegative(self):
+        with timed() as box:
+            pass
+        assert box[0] >= 0.0
+
+    def test_measures_sleep(self):
+        with timed() as box:
+            time.sleep(0.01)
+        assert box[0] >= 0.005

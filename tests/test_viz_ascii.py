@@ -1,0 +1,134 @@
+"""Tests for the ASCII chart renderer (repro.viz.ascii)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments.common import ExperimentTable, Row
+from repro.viz.ascii import render_chart, render_table_chart
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self):
+        chart = render_chart(
+            {"alid": ([1, 2, 3], [1, 2, 3]), "iid": ([1, 2, 3], [3, 2, 1])}
+        )
+        assert "o = alid" in chart
+        assert "x = iid" in chart
+        assert "o" in chart.split("\n")[0] or any(
+            "o" in line for line in chart.split("\n")
+        )
+
+    def test_title_and_labels_rendered(self):
+        chart = render_chart(
+            {"s": ([1, 2], [1, 2])},
+            title="Fig. 7",
+            xlabel="n",
+            ylabel="runtime",
+        )
+        assert "Fig. 7" in chart
+        assert "[n]" in chart
+        assert "[runtime]" in chart
+
+    def test_log_axes_show_scientific_ticks(self):
+        chart = render_chart(
+            {"s": ([10, 100, 1000], [1, 10, 100])}, logx=True, logy=True
+        )
+        assert "1e" in chart
+
+    def test_log_axis_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            render_chart({"s": ([0, 1], [1, 2])}, logx=True)
+        with pytest.raises(ValidationError):
+            render_chart({"s": ([1, 2], [-1, 2])}, logy=True)
+
+    def test_constant_series_handled(self):
+        chart = render_chart({"s": ([1, 2, 3], [5, 5, 5])})
+        assert "o" in chart
+
+    def test_single_point(self):
+        chart = render_chart({"s": ([1], [1])})
+        assert "o" in chart
+
+    def test_non_finite_points_dropped(self):
+        chart = render_chart(
+            {"s": ([1, 2, np.nan], [1, np.inf, 3])}
+        )
+        assert "o" in chart
+
+    def test_all_non_finite_rejected(self):
+        with pytest.raises(ValidationError):
+            render_chart({"s": ([np.nan], [np.nan])})
+
+    def test_empty_series_skipped(self):
+        chart = render_chart({"empty": ([], []), "s": ([1, 2], [1, 2])})
+        assert "s" in chart
+        assert "empty" not in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            render_chart({"s": ([1, 2], [1])})
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            render_chart({"s": ([1], [1])}, width=4, height=2)
+
+    def test_dimensions_respected(self):
+        chart = render_chart({"s": ([1, 2], [1, 2])}, width=30, height=8)
+        plot_lines = [line for line in chart.split("\n") if "|" in line]
+        assert len(plot_lines) == 8
+        assert all(
+            len(line.split("|", 1)[1]) <= 30 for line in plot_lines
+        )
+
+    def test_slope_direction_visible(self):
+        # A rising series must put its marker higher (earlier line) at
+        # larger x: crude shape check.
+        chart = render_chart({"s": ([1, 10], [1, 10])}, width=20, height=10)
+        lines = [line.split("|", 1)[1] for line in chart.split("\n") if "|" in line]
+        top_marker_col = next(
+            line.index("o") for line in lines if "o" in line
+        )
+        bottom_marker_col = next(
+            line.index("o") for line in reversed(lines) if "o" in line
+        )
+        assert top_marker_col > bottom_marker_col
+
+
+class TestRenderTableChart:
+    @pytest.fixture()
+    def table(self):
+        table = ExperimentTable(name="fig7-like")
+        for n in (1000, 2000, 4000):
+            table.add(Row(method="ALID", params={"n": n},
+                          runtime_seconds=n / 1000.0))
+            table.add(Row(method="IID", params={"n": n},
+                          runtime_seconds=(n / 1000.0) ** 2))
+        table.add(Row(method="AP", params={"n": 1000}))  # no runtime
+        return table
+
+    def test_renders_all_methods_with_data(self, table):
+        chart = render_table_chart(
+            table, x_key="n", y_attr="runtime_seconds"
+        )
+        assert "ALID" in chart
+        assert "IID" in chart
+        # AP has no runtime values anywhere: skipped, not crashed.
+        assert "= AP" not in chart
+
+    def test_method_subset(self, table):
+        chart = render_table_chart(
+            table, x_key="n", y_attr="runtime_seconds", methods=["ALID"]
+        )
+        assert "ALID" in chart
+        assert "IID" not in chart
+
+    def test_no_data_rejected(self, table):
+        with pytest.raises(ValidationError):
+            render_table_chart(table, x_key="missing", y_attr="avg_f")
+
+    def test_title_defaults_to_table_name(self, table):
+        chart = render_table_chart(
+            table, x_key="n", y_attr="runtime_seconds"
+        )
+        assert "fig7-like" in chart

@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Hot-path benchmark: wall-clock and work accounting for fixed workloads.
+
+Runs the ALID end-to-end pipeline plus two micro-workloads (batched LSH
+retrieval and LID dynamics) on deterministic synthetic mixtures and
+writes a machine-readable ``BENCH_hotpath.json``:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "workloads": {
+        "alid_tiny": {
+          "wall_seconds": 0.41,
+          "entries_computed": 123456,
+          "entries_stored_peak": 2345,
+          ...
+        }
+      }
+    }
+
+``wall_seconds`` tracks the perf trajectory across PRs (informational —
+machine-dependent).  ``entries_computed`` / ``entries_stored_peak`` are
+deterministic given the code and are gated in CI by
+``benchmarks/check_hotpath_regression.py`` against the committed
+baseline ``benchmarks/results/BENCH_hotpath_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --workloads tiny --output BENCH_hotpath.json
+
+``--workloads full`` adds the n=5000 workload used for speedup
+acceptance; default is ``tiny small``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.alid import ALID, ALIDEngine  # noqa: E402
+from repro.core.config import ALIDConfig  # noqa: E402
+from repro.datasets.synthetic import make_synthetic_mixture  # noqa: E402
+from repro.dynamics.lid import LIDState, lid_dynamics  # noqa: E402
+
+# Fixed synthetic workloads.  Sizes/seeds must never change silently:
+# the CI regression gate compares `entries_computed` against the
+# committed baseline, which is only meaningful for identical inputs.
+WORKLOAD_SIZES = {
+    "tiny": dict(n=600, dim=16, n_clusters=6),
+    "small": dict(n=2000, dim=32, n_clusters=10),
+    "full": dict(n=5000, dim=32, n_clusters=10),
+}
+_SEED = 7
+
+
+def _make_data(size_key: str) -> np.ndarray:
+    spec = WORKLOAD_SIZES[size_key]
+    dataset = make_synthetic_mixture(
+        n=spec["n"],
+        regime="bounded",
+        bound=spec["n"] // 2,
+        n_clusters=spec["n_clusters"],
+        dim=spec["dim"],
+        seed=_SEED,
+    )
+    return dataset.data
+
+
+def bench_alid(size_key: str) -> dict:
+    """End-to-end ALID fit (LID + ROI + CIVS + peeling)."""
+    data = _make_data(size_key)
+    config = ALIDConfig(seed=_SEED)
+    start = time.perf_counter()
+    result = ALID(config).fit(data)
+    wall = time.perf_counter() - start
+    counters = result.counters
+    return {
+        "n": int(data.shape[0]),
+        "dim": int(data.shape[1]),
+        "wall_seconds": round(wall, 4),
+        "entries_computed": int(counters.entries_computed),
+        "entries_stored_peak": int(counters.entries_stored_peak),
+        "column_requests": int(counters.column_requests),
+        "block_requests": int(counters.block_requests),
+        "n_clusters": int(result.n_clusters),
+        "peeling_rounds": int(result.metadata["peeling_rounds"]),
+    }
+
+
+def bench_lsh_batch(size_key: str) -> dict:
+    """Batched multi-item LSH retrieval (the CIVS query pattern).
+
+    Uses the production index configuration (auto-tuned segment length
+    from :class:`~repro.core.alid.ALIDEngine`) so collisions actually
+    occur at the data's scale and the candidate counts are meaningful.
+    """
+    data = _make_data(size_key)
+    n = data.shape[0]
+    index = ALIDEngine(data, ALIDConfig(seed=_SEED)).index
+    rng = np.random.default_rng(_SEED)
+    supports = [
+        np.sort(rng.choice(n, size=min(32, n), replace=False))
+        for _ in range(50)
+    ]
+    start = time.perf_counter()
+    total_candidates = 0
+    for support in supports:
+        total_candidates += int(index.query_items(support).size)
+    wall = time.perf_counter() - start
+    return {
+        "n": int(n),
+        "wall_seconds": round(wall, 4),
+        "queries": len(supports),
+        "candidates_returned": total_candidates,
+    }
+
+
+def bench_lid_dynamics(size_key: str) -> dict:
+    """LID dynamics on one large local range (the Step-1 inner loop)."""
+    data = _make_data(size_key)
+    n = data.shape[0]
+    config = ALIDConfig(seed=_SEED)
+    engine = ALIDEngine(data, config)
+    beta = np.arange(min(n, 1500), dtype=np.intp)
+    start = time.perf_counter()
+    state = LIDState(
+        engine.oracle,
+        beta,
+        np.full(beta.size, 1.0 / beta.size),
+        np.zeros(beta.size),
+    )
+    state.g = state.recompute_g()
+    iterations, converged = lid_dynamics(state, max_iter=400, tol=1e-7)
+    wall = time.perf_counter() - start
+    counters = engine.oracle.counters
+    out = {
+        "n": int(n),
+        "beta": int(beta.size),
+        "wall_seconds": round(wall, 4),
+        "iterations": int(iterations),
+        "converged": bool(converged),
+        "entries_computed": int(counters.entries_computed),
+        "entries_stored_peak": int(counters.entries_stored_peak),
+        "density": round(state.density(), 6),
+    }
+    state.release()
+    return out
+
+
+def run(workload_keys: list[str]) -> dict:
+    workloads: dict[str, dict] = {}
+    for key in workload_keys:
+        print(f"[bench_hotpath] alid_{key} ...", flush=True)
+        workloads[f"alid_{key}"] = bench_alid(key)
+        print(f"[bench_hotpath] lsh_batch_{key} ...", flush=True)
+        workloads[f"lsh_batch_{key}"] = bench_lsh_batch(key)
+        print(f"[bench_hotpath] lid_dynamics_{key} ...", flush=True)
+        workloads[f"lid_dynamics_{key}"] = bench_lid_dynamics(key)
+    return {
+        "schema_version": 1,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": workloads,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(WORKLOAD_SIZES),
+        default=["tiny", "small"],
+        help="workload sizes to run (default: tiny small)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_hotpath.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    report = run(args.workloads)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"[bench_hotpath] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Gate `entries_computed` against the committed hot-path baseline.
+
+Compares a freshly produced ``BENCH_hotpath.json`` (see
+``benchmarks/bench_hotpath.py``) with the committed baseline
+``benchmarks/results/BENCH_hotpath_baseline.json`` and fails when the
+work accounting regresses:
+
+* ``entries_computed`` of any shared workload may grow by at most
+  ``--tolerance`` (default 10%) — kernel evaluations are deterministic
+  for fixed seeds, so any growth is a real algorithmic regression, not
+  machine noise;
+* a workload present in the baseline but missing from the current
+  report fails (the gate must not silently narrow).
+
+Wall-clock numbers are reported for context but never gated — CI
+machines are too noisy for that.  When a deliberate change shifts the
+accounting (e.g. a better pruning rule computes *fewer* entries),
+regenerate the baseline with ``bench_hotpath.py`` and commit it with
+the change.
+
+Exit codes: 0 ok, 1 regression, 2 usage/schema error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+GATED_KEYS = ("entries_computed",)
+INFO_KEYS = ("entries_stored_peak", "candidates_returned", "wall_seconds")
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"[check_hotpath] cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    if "workloads" not in report:
+        print(f"[check_hotpath] {path} has no 'workloads'", file=sys.stderr)
+        raise SystemExit(2)
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--current", type=pathlib.Path, required=True)
+    parser.add_argument(
+        "--baseline",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).parent
+        / "results"
+        / "BENCH_hotpath_baseline.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional growth of gated counters (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+    current = load(args.current)["workloads"]
+    baseline = load(args.baseline)["workloads"]
+
+    failures: list[str] = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        gated = {k: base[k] for k in GATED_KEYS if k in base}
+        if not gated:
+            continue
+        if name not in current:
+            failures.append(
+                f"{name}: present in baseline but missing from current run"
+            )
+            continue
+        cur = current[name]
+        for key, base_value in gated.items():
+            cur_value = cur.get(key)
+            if cur_value is None:
+                failures.append(f"{name}.{key}: missing from current run")
+                continue
+            limit = base_value * (1.0 + args.tolerance)
+            delta = (
+                (cur_value - base_value) / base_value
+                if base_value
+                else float(cur_value > 0)
+            )
+            status = "FAIL" if cur_value > limit else "ok"
+            print(
+                f"[check_hotpath] {status:4s} {name}.{key}: "
+                f"{cur_value} vs baseline {base_value} ({delta:+.1%})"
+            )
+            if cur_value > limit:
+                failures.append(
+                    f"{name}.{key}: {cur_value} exceeds baseline "
+                    f"{base_value} by more than {args.tolerance:.0%}"
+                )
+        for key in INFO_KEYS:
+            if key in base and key in cur:
+                print(
+                    f"[check_hotpath] info {name}.{key}: "
+                    f"{cur[key]} (baseline {base[key]})"
+                )
+    if failures:
+        print("[check_hotpath] REGRESSION DETECTED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("[check_hotpath] all gated counters within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

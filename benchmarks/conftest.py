@@ -12,6 +12,22 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_BENCH_DIR = pathlib.Path(__file__).parent.resolve()
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark as `bench` and `slow`.
+
+    The suites under benchmarks/ regenerate paper tables at laptop scale
+    and take minutes to hours; the fast CI lane (`-m "not slow"`) must
+    never pick them up, even when someone runs pytest with an explicit
+    path that includes this directory.
+    """
+    for item in items:
+        path = pathlib.Path(str(item.fspath)).resolve()
+        if _BENCH_DIR in path.parents:
+            item.add_marker(pytest.mark.bench)
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,6 @@ more complex Sub-NDI features.
 import numpy as np
 import pytest
 
-from repro.affinity.kernel import pairwise_distances
 from repro.datasets import make_nart, make_sub_ndi
 from repro.experiments.noise_resistance import run_noise_resistance
 

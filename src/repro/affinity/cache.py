@@ -1,0 +1,305 @@
+"""Matrix-backed LRU cache of affinity columns for the LID hot path.
+
+The LID dynamics repeatedly need affinity columns ``A[beta, j]`` (paper
+Fig. 3's green columns).  The original implementation kept them in a
+``dict[int, ndarray]``, which costs one oracle round-trip per column and
+one Python-level concatenate per local-range change.  This cache keeps
+every cached column as one row of a single 2-D buffer, so
+
+* a batch of missing columns is fetched with **one** BLAS-backed block
+  evaluation (:meth:`~repro.affinity.oracle.AffinityOracle.columns`),
+* a local-range restriction is **one** fancy-index over the buffer, and
+* a local-range extension fetches the new rows of *every* cached column
+  with one block call instead of one oracle call per column.
+
+Storage is charged to the owning oracle's simulated-memory accounting
+exactly as before.  When the oracle has a ``budget_entries`` cap, the
+cache **evicts least-recently-used columns** instead of dying: columns
+are dropped (and their storage released) until the new charge fits.
+Only when nothing evictable remains does the oracle's
+:class:`~repro.exceptions.BudgetExceededError` surface — the same
+bounded-memory contract as the paper's §4.5 release discipline, but
+enforced continuously rather than only at cluster peeling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.affinity.oracle import AffinityOracle
+
+__all__ = ["ColumnBlockCache"]
+
+
+class ColumnBlockCache:
+    """LRU cache of affinity columns ``A[rows, j]`` over a row set.
+
+    Parameters
+    ----------
+    oracle:
+        The instrumented affinity oracle; all kernel work and storage
+        accounting flows through it.
+    rows:
+        Global indices of the current row set (the LID local range
+        ``beta``).  Must already be validated by the caller; the cache
+        trusts it on every fetch (hot path).
+    max_columns:
+        Optional hard cap on simultaneously cached columns, independent
+        of the oracle budget.  ``None`` means only the oracle budget
+        limits the cache.
+    """
+
+    def __init__(
+        self,
+        oracle: AffinityOracle,
+        rows: np.ndarray,
+        *,
+        max_columns: int | None = None,
+    ):
+        self.oracle = oracle
+        self.rows = np.asarray(rows, dtype=np.intp)
+        if max_columns is not None and max_columns < 1:
+            raise ValueError(
+                f"max_columns must be >= 1 or None, got {max_columns}"
+            )
+        self.max_columns = max_columns
+        # Buffer rows are cache slots; _buf[slot] is column j over `rows`.
+        self._buf = np.empty((0, self.rows.size), dtype=np.float64)
+        self._slot_of: dict[int, int] = {}
+        self._free: list[int] = []
+        # Insertion order tracks recency: first key = least recently used.
+        self._use: dict[int, None] = {}
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Length of every cached column (the local-range size)."""
+        return int(self.rows.size)
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns currently cached."""
+        return len(self._slot_of)
+
+    def cached_entries(self) -> int:
+        """Affinity entries currently held (rows x columns)."""
+        return self.n_rows * self.n_columns
+
+    def column_ids(self) -> np.ndarray:
+        """Cached global column indices, least recently used first."""
+        return np.fromiter(self._use, dtype=np.intp, count=len(self._use))
+
+    def __contains__(self, j: int) -> bool:
+        return int(j) in self._slot_of
+
+    # ------------------------------------------------------------------
+    # lookup / fetch
+    # ------------------------------------------------------------------
+    def peek(self, j: int) -> np.ndarray | None:
+        """Cached column *j* without fetching or touching recency.
+
+        Returns an owned copy (safe to hold); inspection is off the hot
+        path, so the allocation is irrelevant.
+        """
+        slot = self._slot_of.get(int(j))
+        if slot is None:
+            return None
+        return self._buf[slot, : self.n_rows].copy()
+
+    def get(self, j: int) -> np.ndarray:
+        """Column ``A[rows, j]``, fetching through the oracle on a miss.
+
+        Returns a **view into the slot buffer** — valid only until the
+        next cache operation (a later fetch may evict this column and
+        reuse its slot, silently rewriting the view's contents).  The
+        hot path consumes the column immediately, which is why this is
+        allocation-free; callers holding a column across cache activity
+        must copy it.
+        """
+        j = int(j)
+        slot = self._slot_of.get(j)
+        if slot is None:
+            self.ensure(np.asarray([j], dtype=np.intp))
+            slot = self._slot_of[j]
+        else:
+            self._touch(j)
+        return self._buf[slot, : self.n_rows]
+
+    def ensure(self, js: np.ndarray) -> None:
+        """Make every column in *js* resident, batching the misses.
+
+        All missing columns are computed with a single oracle block
+        call, charged to storage in one transaction (after any LRU
+        eviction needed to make room).  With a ``max_columns`` cap, a
+        miss batch larger than the cap only admits its trailing
+        ``max_columns`` columns (a prefetch hint cannot overrun the
+        cap); single-column fetches are always resident afterwards.
+        """
+        js = np.asarray(js, dtype=np.intp)
+        missing = [int(j) for j in js if int(j) not in self._slot_of]
+        if missing:
+            # dict.fromkeys: dedup while preserving order.
+            missing = list(dict.fromkeys(missing))
+            if self.max_columns is not None and len(missing) > self.max_columns:
+                # A miss batch larger than the cap can never be fully
+                # resident: keep only the trailing max_columns (most
+                # recently requested) and never compute the rest — the
+                # cap bounds work-per-batch as well as storage.
+                missing = missing[-self.max_columns :]
+            block = self.oracle.columns(
+                np.asarray(missing, dtype=np.intp),
+                self.rows,
+                assume_valid=True,
+            )
+            self._admit(missing, block.T)
+        for j in js:
+            # Only resident columns enter the recency order (a capped
+            # admit may have dropped part of an oversized batch).
+            if int(j) in self._slot_of:
+                self._touch(int(j))
+
+    # ------------------------------------------------------------------
+    # row-set maintenance (the beta <- alpha / beta <- alpha U psi steps)
+    # ------------------------------------------------------------------
+    def restrict_rows(self, positions: np.ndarray) -> None:
+        """Shrink the row set to ``rows[positions]`` (one fancy-index).
+
+        Cached columns survive with their surviving rows; the freed
+        entries are released from the storage accounting.
+        """
+        positions = np.asarray(positions, dtype=np.intp)
+        old_rows = self.n_rows
+        freed = (old_rows - positions.size) * self.n_columns
+        if self.n_columns:
+            # Compact used slots while slicing, so the buffer does not
+            # drag free slots along.
+            js = list(self._slot_of)
+            slots = np.asarray([self._slot_of[j] for j in js], dtype=np.intp)
+            self._buf = self._buf[slots][:, positions]
+            self._slot_of = {j: pos for pos, j in enumerate(js)}
+            self._free = []
+        else:
+            # Keep the slot capacity: stale slot indices in _free must
+            # stay addressable or the next admit writes out of bounds.
+            self._buf = np.empty(
+                (self._buf.shape[0], positions.size), dtype=np.float64
+            )
+            self._free = list(range(self._buf.shape[0]))
+        self.rows = self.rows[positions]
+        if freed:
+            self.oracle.release_stored(freed)
+
+    def extend_rows(self, new_rows: np.ndarray) -> None:
+        """Append *new_rows* to the row set, extending cached columns.
+
+        The new entries of every cached column come from one oracle
+        block call.  Under a storage budget, least-recently-used columns
+        are evicted outright (cheaper than extending them) until the
+        extension fits.
+        """
+        new_rows = np.asarray(new_rows, dtype=np.intp)
+        if new_rows.size == 0:
+            return
+        budget = self.oracle.headroom()
+        if budget is not None:
+            # Evict whole LRU columns until the per-column extension fits.
+            while self.n_columns and (
+                self.n_columns * new_rows.size > self.oracle.headroom()
+            ):
+                self.evict(next(iter(self._use)))
+        if self.n_columns:
+            js = list(self._slot_of)
+            extension = self.oracle.columns(
+                np.asarray(js, dtype=np.intp), new_rows, assume_valid=True
+            )
+            self.oracle.charge_stored(extension.size)
+            old_n = self.n_rows
+            slots = np.asarray([self._slot_of[j] for j in js], dtype=np.intp)
+            new_buf = np.empty(
+                (self._buf.shape[0], old_n + new_rows.size), dtype=np.float64
+            )
+            new_buf[:, :old_n] = self._buf
+            new_buf[slots, old_n:] = extension.T
+            self._buf = new_buf
+        else:
+            self._buf = np.empty(
+                (self._buf.shape[0], self.n_rows + new_rows.size),
+                dtype=np.float64,
+            )
+        self.rows = np.concatenate([self.rows, new_rows])
+
+    # ------------------------------------------------------------------
+    # eviction / release
+    # ------------------------------------------------------------------
+    def evict(self, j: int) -> None:
+        """Drop one cached column and release its storage."""
+        j = int(j)
+        slot = self._slot_of.pop(j)
+        self._use.pop(j, None)
+        self._free.append(slot)
+        self.oracle.release_stored(self.n_rows)
+
+    def release_all(self) -> None:
+        """Drop every cached column (cluster peeled, paper §4.5)."""
+        entries = self.cached_entries()
+        self._slot_of.clear()
+        self._use.clear()
+        self._free = list(range(self._buf.shape[0]))
+        if entries:
+            self.oracle.release_stored(entries)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _touch(self, j: int) -> None:
+        self._use.pop(j, None)
+        self._use[j] = None
+
+    def _admit(self, js: list[int], columns: np.ndarray) -> None:
+        """Insert freshly computed columns (rows of *columns*) as a batch."""
+        needed = len(js) * self.n_rows
+        protected = set(js)
+        self._make_room(needed, protected)
+        self.oracle.charge_stored(needed)
+        for j, column in zip(js, columns):
+            slot = self._take_slot()
+            self._buf[slot, : self.n_rows] = column
+            self._slot_of[j] = slot
+            self._touch(j)
+
+    def _make_room(self, needed: int, protected: set[int]) -> None:
+        """Evict LRU columns until *needed* new entries fit the limits."""
+        headroom = self.oracle.headroom()
+        if headroom is not None:
+            while needed > self.oracle.headroom() and self.n_columns:
+                victim = next(
+                    (j for j in self._use if j not in protected), None
+                )
+                if victim is None:
+                    break
+                self.evict(victim)
+        if self.max_columns is not None:
+            while (
+                self.n_columns + len(protected) > self.max_columns
+                and self.n_columns
+            ):
+                victim = next(
+                    (j for j in self._use if j not in protected), None
+                )
+                if victim is None:
+                    break
+                self.evict(victim)
+
+    def _take_slot(self) -> int:
+        if self._free:
+            return self._free.pop()
+        # Grow the slot buffer geometrically.
+        old_capacity = self._buf.shape[0]
+        new_capacity = max(4, 2 * old_capacity)
+        grown = np.empty((new_capacity, self._buf.shape[1]), dtype=np.float64)
+        grown[:old_capacity] = self._buf
+        self._buf = grown
+        self._free.extend(range(old_capacity + 1, new_capacity))
+        return old_capacity

@@ -82,9 +82,20 @@ class LaplacianKernel:
         if self.p < 1:
             raise ValidationError(f"p must be >= 1, got {self.p}")
 
-    def affinity_from_distance(self, dist: np.ndarray) -> np.ndarray:
-        """Map distances to affinities: ``exp(-k * dist)``."""
-        return np.exp(-self.k * np.asarray(dist, dtype=np.float64))
+    def affinity_from_distance(
+        self, dist: np.ndarray, *, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Map distances to affinities: ``exp(-k * dist)``.
+
+        Pass ``out`` (usually the distance array itself, when it is
+        transient) to evaluate in place — the oracle's block path does
+        this to avoid one full-block allocation per kernel evaluation.
+        """
+        dist = np.asarray(dist, dtype=np.float64)
+        if out is None:
+            return np.exp(-self.k * dist)
+        np.multiply(dist, -self.k, out=out)
+        return np.exp(out, out=out)
 
     def distance_from_affinity(self, affinity: float) -> float:
         """Invert the kernel: the distance whose affinity equals *affinity*."""

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.affinity.kernel import LaplacianKernel, pairwise_distances
-from repro.exceptions import BudgetExceededError
+from repro.exceptions import AccountingError, BudgetExceededError
 from repro.utils.validation import check_data_matrix, check_index_array
 
 __all__ = ["AffinityCounters", "AffinityOracle"]
@@ -51,10 +51,22 @@ class AffinityCounters:
             self.entries_stored_peak = self.entries_stored_current
 
     def release(self, n_entries: int) -> None:
-        """Record that *n_entries* stored entries were freed."""
-        self.entries_stored_current -= int(n_entries)
-        if self.entries_stored_current < 0:
-            self.entries_stored_current = 0
+        """Record that *n_entries* stored entries were freed.
+
+        Raises
+        ------
+        AccountingError
+            If the release would drive the stored count negative — more
+            entries released than were ever charged, which means a
+            double-release or cache-eviction bug somewhere upstream.
+        """
+        n_entries = int(n_entries)
+        if n_entries > self.entries_stored_current:
+            raise AccountingError(
+                f"release({n_entries}) underflows the storage accounting: "
+                f"only {self.entries_stored_current} entries are held"
+            )
+        self.entries_stored_current -= n_entries
 
     @property
     def peak_memory_bytes(self) -> int:
@@ -146,7 +158,7 @@ class AffinityOracle:
         dists = pairwise_distances(
             self.data[rows], self.data[j][None, :], p=self.kernel.p
         )[:, 0]
-        col = self.kernel.affinity_from_distance(dists)
+        col = self.kernel.affinity_from_distance(dists, out=dists)
         col[rows == j] = 0.0
         self.counters.column_requests += 1
         self.counters.charge(computed=len(rows))
@@ -157,10 +169,40 @@ class AffinityOracle:
         rows = check_index_array(rows, self.n, name="rows")
         cols = check_index_array(cols, self.n, name="cols")
         dists = pairwise_distances(self.data[rows], self.data[cols], p=self.kernel.p)
-        out = self.kernel.affinity_from_distance(dists)
+        out = self.kernel.affinity_from_distance(dists, out=dists)
         same = rows[:, None] == cols[None, :]
         out[same] = 0.0
         self.counters.block_requests += 1
+        self.counters.charge(computed=out.size)
+        return out
+
+    def columns(
+        self,
+        js: np.ndarray,
+        rows: np.ndarray,
+        *,
+        assume_valid: bool = False,
+    ) -> np.ndarray:
+        """Batched affinity columns ``A[rows, js]`` in one kernel block.
+
+        The BLAS-backed batch form of :meth:`column`: one
+        ``(len(rows), len(js))`` evaluation replaces ``len(js)``
+        separate column calls, with identical work accounting (each
+        entry is charged exactly once, and every requested column still
+        counts as a column request).
+
+        ``assume_valid=True`` skips index validation for trusted callers
+        on the hot path (the LID column cache validates its row set once
+        at construction).
+        """
+        if not assume_valid:
+            js = check_index_array(js, self.n, name="js")
+            rows = check_index_array(rows, self.n, name="rows")
+        dists = pairwise_distances(self.data[rows], self.data[js], p=self.kernel.p)
+        out = self.kernel.affinity_from_distance(dists, out=dists)
+        same = rows[:, None] == js[None, :]
+        out[same] = 0.0
+        self.counters.column_requests += len(js)
         self.counters.charge(computed=out.size)
         return out
 
@@ -194,6 +236,16 @@ class AffinityOracle:
     # ------------------------------------------------------------------
     # storage accounting
     # ------------------------------------------------------------------
+    def headroom(self) -> int | None:
+        """Remaining storage budget in entries (None when unbudgeted).
+
+        Can be negative when the budget is already exceeded (a caller
+        charged past the cap and survived the error).
+        """
+        if self.budget_entries is None:
+            return None
+        return self.budget_entries - self.counters.entries_stored_current
+
     def charge_stored(self, n_entries: int) -> None:
         """Declare that the caller now holds *n_entries* matrix entries.
 

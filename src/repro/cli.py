@@ -26,7 +26,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
 
 from repro.baselines import (
     AffinityPropagation,

@@ -314,10 +314,12 @@ class SeedSchedule:
     """
 
     def __init__(self, index: LSHIndex):
-        n = index.n
-        score = np.zeros(n, dtype=np.int64)
-        for bucket in index.large_buckets(min_size=2, table=0):
-            score[bucket] = bucket.size
+        # Score = ACTIVE size of the item's table-0 bucket (< 2 active
+        # collisions scores zero): one vectorised lookup over the fused
+        # CSR.  Active counts matter when the schedule is built over a
+        # partially peeled index (streaming re-discovery).
+        sizes = index.item_bucket_sizes(table=0, active_only=True)
+        score = np.where(sizes >= 2, sizes, 0).astype(np.int64)
         # Sort by descending bucket size, stable so ties keep index order.
         self._order = np.argsort(-score, kind="stable").astype(np.intp)
         self._cursor = 0

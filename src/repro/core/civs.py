@@ -81,16 +81,14 @@ def civs_retrieve(
     n_raw = int(candidates.size)
     if candidates.size == 0:
         return CIVSResult(psi=np.empty(0, dtype=np.intp), n_candidates=0)
-    drop: set[int] = set(int(i) for i in support)
+    # query_items already excludes the support; only the caller's extra
+    # exclusions (e.g. the immunity cache) remain to be filtered.
     if exclude is not None:
-        drop.update(int(i) for i in np.asarray(exclude).ravel())
-    if drop:
-        keep_mask = np.fromiter(
-            (int(i) not in drop for i in candidates),
-            dtype=bool,
-            count=candidates.size,
-        )
-        candidates = candidates[keep_mask]
+        exclude = np.asarray(exclude, dtype=np.intp).ravel()
+        if exclude.size:
+            candidates = candidates[
+                np.isin(candidates, exclude, invert=True)
+            ]
     if candidates.size == 0:
         return CIVSResult(psi=np.empty(0, dtype=np.intp), n_candidates=n_raw)
     # Exact fixed-radius filter against the ROI ball.

@@ -9,7 +9,11 @@ matrix: it maintains
   (the paper's ``A_beta_alpha x_alpha``); and
 * a cache of affinity columns ``A[beta, j]`` (paper Fig. 3's green
   columns), fetched on demand through the instrumented oracle and charged
-  to the simulated-memory accounting.
+  to the simulated-memory accounting.  The cache is the matrix-backed LRU
+  :class:`~repro.affinity.cache.ColumnBlockCache`: misses are fetched as
+  one BLAS block, local-range changes are single fancy-index operations,
+  and under a storage budget the least-recently-used columns are evicted
+  instead of aborting the run.
 
 Per iteration: O(|beta|) arithmetic plus at most one new column of kernel
 evaluations — exactly the paper's claimed cost.
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.affinity.cache import ColumnBlockCache
 from repro.affinity.oracle import AffinityOracle
 from repro.dynamics.iid import invasion_share
 from repro.exceptions import ValidationError
@@ -42,6 +47,8 @@ class LIDState:
         beta: np.ndarray,
         x: np.ndarray,
         g: np.ndarray,
+        *,
+        max_cached_columns: int | None = None,
     ):
         self.oracle = oracle
         self.beta = check_index_array(beta, oracle.n, name="beta", allow_empty=False)
@@ -54,7 +61,9 @@ class LIDState:
                 f"x/g must align with beta: beta={self.beta.shape}, "
                 f"x={self.x.shape}, g={self.g.shape}"
             )
-        self._columns: dict[int, np.ndarray] = {}
+        self._cache = ColumnBlockCache(
+            oracle, self.beta, max_columns=max_cached_columns
+        )
 
     # ------------------------------------------------------------------
     # constructors
@@ -91,31 +100,34 @@ class LIDState:
 
     def cached_entries(self) -> int:
         """Number of affinity entries currently held by the column cache."""
-        return sum(col.size for col in self._columns.values())
+        return self._cache.cached_entries()
+
+    def has_cached(self, j_global: int) -> bool:
+        """True when column *j_global* is resident in the cache."""
+        return int(j_global) in self._cache
+
+    def cached_column(self, j_global: int) -> np.ndarray | None:
+        """An owned copy of the cached column, or None (never fetches)."""
+        return self._cache.peek(int(j_global))
 
     # ------------------------------------------------------------------
     # column cache (A[beta, j], paper Fig. 3)
     # ------------------------------------------------------------------
     def column(self, j_global: int) -> np.ndarray:
-        """Affinity column ``A[beta, j]`` aligned with beta, cached."""
-        col = self._columns.get(int(j_global))
-        if col is None or col.size != self.beta.size:
-            if col is not None:
-                self.oracle.release_stored(col.size)
-            col = self.oracle.column(int(j_global), rows=self.beta)
-            self.oracle.charge_stored(col.size)
-            self._columns[int(j_global)] = col
-        return col
+        """Affinity column ``A[beta, j]`` aligned with beta, cached.
 
-    def _drop_column(self, j_global: int) -> None:
-        col = self._columns.pop(int(j_global), None)
-        if col is not None:
-            self.oracle.release_stored(col.size)
+        Returns a view valid only until the next cache operation (see
+        :meth:`ColumnBlockCache.get`); copy it if held across fetches.
+        """
+        return self._cache.get(int(j_global))
+
+    def prefetch_columns(self, js_global: np.ndarray) -> None:
+        """Batch-fetch several columns with one oracle block call."""
+        self._cache.ensure(np.asarray(js_global, dtype=np.intp))
 
     def release(self) -> None:
         """Free all cached columns (cluster peeled)."""
-        for j in list(self._columns):
-            self._drop_column(j)
+        self._cache.release_all()
 
     # ------------------------------------------------------------------
     # local-range updates (paper Eq. 17 and the beta = alpha ∪ psi step)
@@ -125,21 +137,17 @@ class LIDState:
 
         Keeps ``g`` consistent because ``x`` has no weight outside alpha:
         ``g_alpha = A[alpha, alpha] @ x_alpha`` (paper Eq. 17, top block).
-        Cached columns for vertices remaining in beta are row-subset;
-        all others are released.
+        Cached columns for vertices remaining in beta are row-subset with
+        one fancy-index; all others are released.
         """
         pos = self.support_positions()
         if pos.size == self.beta.size:
             return
         new_beta = self.beta[pos]
-        keep = set(int(j) for j in new_beta)
-        for j in list(self._columns):
-            if j in keep:
-                old = self._columns[j]
-                self._columns[j] = old[pos].copy()
-                self.oracle.release_stored(old.size - pos.size)
-            else:
-                self._drop_column(j)
+        keep = np.isin(self._cache.column_ids(), new_beta)
+        for j in self._cache.column_ids()[~keep]:
+            self._cache.evict(int(j))
+        self._cache.restrict_rows(pos)
         self.beta = new_beta
         self.x = self.x[pos].copy()
         self.g = self.g[pos].copy()
@@ -150,15 +158,13 @@ class LIDState:
         Implements paper Eq. 17: the new vertices join with zero weight and
         their payoff entries ``g_psi = A[psi, alpha] @ x_alpha`` are
         computed through the oracle.  Cached columns are extended with
-        their psi rows so previously computed entries are not recomputed.
+        their psi rows in one batched block call, so previously computed
+        entries are not recomputed.
         """
         psi = check_index_array(psi, self.oracle.n, name="psi")
         if psi.size == 0:
             return
-        existing = set(int(j) for j in self.beta)
-        psi = np.asarray(
-            [int(j) for j in psi if int(j) not in existing], dtype=np.intp
-        )
+        psi = psi[np.isin(psi, self.beta, invert=True)]
         if psi.size == 0:
             return
         alpha_pos = self.support_positions()
@@ -168,10 +174,7 @@ class LIDState:
             g_psi = block @ self.x[alpha_pos]
         else:
             g_psi = np.zeros(psi.size, dtype=np.float64)
-        for j, col in self._columns.items():
-            extension = self.oracle.column(j, rows=psi)
-            self.oracle.charge_stored(extension.size)
-            self._columns[j] = np.concatenate([col, extension])
+        self._cache.extend_rows(psi)
         self.beta = np.concatenate([self.beta, psi])
         self.x = np.concatenate([self.x, np.zeros(psi.size)])
         self.g = np.concatenate([self.g, g_psi])
@@ -200,6 +203,10 @@ def lid_dynamics(
     every vertex of the local range (``gamma_beta(x) = empty``, Theorem 1)
     up to *tol*, or until *max_iter* — the paper's constant ``T``.
 
+    The inner update is pure vector arithmetic on preallocated buffers;
+    the only kernel work per iteration is (at most) one column fetch
+    through the LRU cache.
+
     Returns
     -------
     (iterations, converged)
@@ -208,21 +215,24 @@ def lid_dynamics(
     g = state.g
     converged = False
     iterations = 0
+    scores = np.empty_like(g)
+    neg = np.empty_like(g)
     for iterations in range(1, max_iter + 1):
         density = float(x @ g)
-        pay = g - density
         # Select by Eq. 6/8: strongest infective vertex or weakest support
-        # vertex, whichever has the larger |pi(s_i - x, x)|.
-        c1_scores = np.where(pay > tol, pay, 0.0)
-        c2_scores = np.where((pay < -tol) & (x > 0.0), -pay, 0.0)
-        scores = np.maximum(c1_scores, c2_scores)
+        # vertex, whichever has the larger |pi(s_i - x, x)|; the payoff
+        # margin is pay_i = g_i - density.
+        np.subtract(g, density, out=scores)
+        np.negative(scores, out=neg)
+        neg[x <= 0.0] = 0.0
+        np.maximum(scores, neg, out=scores)
         pos = int(np.argmax(scores))
         if scores[pos] <= tol:
             converged = True
             iterations -= 1
             break
         col = state.column(int(state.beta[pos]))
-        pay_i = float(pay[pos])
+        pay_i = float(g[pos]) - density
         quad_i = -2.0 * float(g[pos]) + density  # pi(s_i - x), Eq. 11
         if pay_i > 0.0:
             # Infection with the pure vertex (Eq. 13/14 first case).

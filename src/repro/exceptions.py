@@ -35,5 +35,15 @@ class BudgetExceededError(ReproError, RuntimeError):
     """
 
 
+class AccountingError(ReproError, RuntimeError):
+    """The simulated work/space accounting was driven inconsistent.
+
+    Raised when more stored affinity entries are released than were ever
+    charged — the signature of a double-release or a cache-eviction bug.
+    Silently clamping at zero would let such bugs skew the paper's
+    memory accounting unnoticed, so the counters fail loudly instead.
+    """
+
+
 class EmptyDatasetError(ReproError, ValueError):
     """An operation requiring data items received an empty collection."""

@@ -22,7 +22,7 @@ from repro.core.alid import ALID
 from repro.core.config import ALIDConfig
 from repro.datasets.synthetic import make_synthetic_mixture
 from repro.eval.orders import loglog_slope, loglog_slope_ci
-from repro.experiments.common import ExperimentTable, Row, evaluate_detection
+from repro.experiments.common import ExperimentTable, evaluate_detection
 
 __all__ = ["run_complexity_table", "REGIME_EXPECTED_SLOPES"]
 

@@ -18,7 +18,6 @@ from collections.abc import Sequence
 
 from repro.baselines.common import KernelParams
 from repro.core.config import ALIDConfig
-from repro.datasets.base import Dataset
 from repro.experiments.common import (
     ExperimentTable,
     affinity_method,

@@ -20,7 +20,6 @@ from collections.abc import Sequence
 
 from repro.affinity.sparse import sparse_degree
 from repro.baselines.common import KernelParams
-from repro.core.config import ALIDConfig
 from repro.datasets.base import Dataset
 from repro.experiments.common import (
     AFFINITY_METHODS,

@@ -13,8 +13,15 @@ Implementation notes
   Key collisions of genuinely different hash vectors are ~2^-64 events
   and at worst add a spurious candidate that the exact distance filter
   removes — the classic fingerprinting trade.
-* Buckets are grouped vectorised (argsort over keys), so index build is
-  O(n log n) NumPy work per table instead of n Python dict inserts.
+* Each table stores its inverted list in CSR form: a sorted array of
+  unique bucket keys, an offsets array, and one flat member array
+  grouped by bucket.  Lookups are ``searchsorted`` binary searches and
+  multi-bucket queries gather all member ranges with a single
+  repeat/cumsum fancy-index — no Python dict traffic on the hot path.
+* Batched queries (:meth:`LSHIndex.query_items`) deduplicate the
+  candidate union with one ``np.unique`` over the concatenated
+  per-table gathers, which is what makes CIVS's multi-query pattern
+  (one query per supporting item, paper Fig. 4(b)) cheap.
 * Peeling (paper §4.4) uses an *active mask*: peeled items stay in the
   tables but are filtered out of every query — O(1) per peel, no rebuild.
 """
@@ -31,31 +38,107 @@ from repro.utils.validation import check_data_matrix, check_index_array
 __all__ = ["LSHIndex"]
 
 
-class _Table:
-    """One hash table: bucket key -> member indices, plus per-item keys."""
+def _csr_gather(
+    members: np.ndarray, starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``members[s:s+l]`` for every (start, length) range.
 
-    __slots__ = ("family", "mixer", "buckets", "item_keys")
+    The standard vectorised multi-range gather: positions inside each
+    range are recovered from a cumsum so no Python loop over ranges is
+    needed.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=members.dtype)
+    range_ends = np.cumsum(lengths)
+    within = np.arange(total, dtype=np.intp)
+    within -= np.repeat(range_ends - lengths, lengths)
+    return members[np.repeat(starts, lengths) + within]
+
+
+class _Table:
+    """One hash table as a CSR inverted list over 64-bit bucket keys."""
+
+    __slots__ = (
+        "family",
+        "mixer",
+        "item_keys",
+        "unique_keys",
+        "offsets",
+        "members",
+    )
 
     def __init__(
         self,
         family: PStableHashFamily,
         mixer: np.ndarray,
-        buckets: dict,
         item_keys: np.ndarray,
     ):
         self.family = family
         self.mixer = mixer
-        self.buckets = buckets
-        self.item_keys = item_keys
+        self.item_keys = item_keys.astype(np.uint64, copy=False)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """(Re)build the CSR bucket structure from ``item_keys``.
+
+        A stable argsort keeps equal-key items in ascending index order,
+        so every bucket's member list comes out sorted for free.
+        """
+        keys = self.item_keys
+        n = keys.size
+        order = np.argsort(keys, kind="stable").astype(np.intp)
+        sorted_keys = keys[order]
+        if n == 0:
+            self.unique_keys = np.empty(0, dtype=np.uint64)
+            self.offsets = np.zeros(1, dtype=np.intp)
+            self.members = order
+            return
+        boundaries = np.flatnonzero(
+            np.concatenate([[True], sorted_keys[1:] != sorted_keys[:-1]])
+        ).astype(np.intp)
+        self.unique_keys = sorted_keys[boundaries]
+        self.offsets = np.concatenate([boundaries, [n]]).astype(np.intp)
+        self.members = order
+
+    # ------------------------------------------------------------------
+    def keys_of_points(self, points: np.ndarray) -> np.ndarray:
+        """Bucket keys of arbitrary points (batched; one hashing pass).
+
+        Cast to uint64 *before* mixing: int64 * uint64 promotes to
+        float64, which cannot represent the wraparound keys the index
+        was built with (negative codes would hash to the wrong bucket).
+        """
+        codes = self.family.hash_many(points).astype(np.uint64)
+        with np.errstate(over="ignore"):
+            return (codes * self.mixer[None, :]).sum(axis=1, dtype=np.uint64)
 
     def key_of_point(self, point: np.ndarray) -> int:
-        # Cast to uint64 *before* mixing: int64 * uint64 promotes to
-        # float64, which cannot represent the wraparound keys the index
-        # was built with (negative codes would hash to the wrong bucket).
-        codes = self.family.hash_many(point[None, :])[0].astype(np.uint64)
-        with np.errstate(over="ignore"):
-            return int((codes * self.mixer).sum(dtype=np.uint64))
+        return int(self.keys_of_points(point[None, :])[0])
 
+    def bucket_ranges(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(starts, lengths) of the buckets keyed by *keys*.
+
+        Keys absent from the table are dropped (not errors): a perturbed
+        multi-probe key or a foreign point's key may simply hit no
+        bucket.
+        """
+        if self.unique_keys.size == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, empty
+        keys = np.asarray(keys, dtype=np.uint64)
+        pos = np.searchsorted(self.unique_keys, keys)
+        pos = np.minimum(pos, self.unique_keys.size - 1)
+        valid = self.unique_keys[pos] == keys
+        pos = pos[valid]
+        return self.offsets[pos], self.offsets[pos + 1] - self.offsets[pos]
+
+    def gather(self, keys: np.ndarray) -> np.ndarray:
+        """Concatenated members of every bucket keyed by *keys*."""
+        starts, lengths = self.bucket_ranges(keys)
+        return _csr_gather(self.members, starts, lengths)
 
 class LSHIndex:
     """p-stable LSH index over a fixed data matrix.
@@ -98,25 +181,48 @@ class LSHIndex:
         self._tables: list[_Table] = []
         for rng in rngs:
             family = PStableHashFamily(dim, self.r, self.n_projections, seed=rng)
-            codes = family.hash_many(self._data).astype(np.uint64)
             mixer = mixer_rng.integers(
                 1, 2**63 - 1, size=self.n_projections, dtype=np.uint64
             ) | np.uint64(1)
+            codes = family.hash_many(self._data).astype(np.uint64)
             with np.errstate(over="ignore"):
                 keys = (codes * mixer[None, :]).sum(axis=1, dtype=np.uint64)
-            order = np.argsort(keys, kind="stable")
-            sorted_keys = keys[order]
-            boundaries = np.flatnonzero(
-                np.concatenate([[True], sorted_keys[1:] != sorted_keys[:-1]])
-            )
-            buckets: dict = {}
-            for start, end in zip(
-                boundaries, np.concatenate([boundaries[1:], [n]])
-            ):
-                members = np.sort(order[start:end]).astype(np.intp)
-                buckets[int(sorted_keys[start])] = members
-            self._tables.append(_Table(family, mixer, buckets, keys))
+            self._tables.append(_Table(family, mixer, keys))
         self._active = np.ones(n, dtype=bool)
+        self._rebuild_combined()
+
+    def _rebuild_combined(self) -> None:
+        """Fuse every table's inverted list into one index-level CSR.
+
+        This is the paper's O(n*l) inverted list made literal: one flat
+        member array over all tables, per-bucket (start, length) ranges,
+        and an ``(l, n)`` map from item to its bucket id in every table.
+        Item queries then touch no per-table Python at all — a batched
+        query is one fancy-index over the map, one ``np.unique``, and
+        one multi-range gather, regardless of ``n_tables``.
+        """
+        members_parts = []
+        starts_parts = []
+        lengths_parts = []
+        item_bucket_rows = []
+        bucket_base = 0
+        member_base = 0
+        for table in self._tables:
+            starts_parts.append(table.offsets[:-1] + member_base)
+            lengths_parts.append(np.diff(table.offsets))
+            members_parts.append(table.members)
+            pos = np.searchsorted(table.unique_keys, table.item_keys)
+            item_bucket_rows.append(pos + bucket_base)
+            bucket_base += table.unique_keys.size
+            member_base += table.members.size
+        self._g_members = np.concatenate(members_parts)
+        self._g_starts = np.concatenate(starts_parts).astype(np.intp)
+        self._g_lengths = np.concatenate(lengths_parts).astype(np.intp)
+        self._item_buckets = np.vstack(item_bucket_rows)
+        # First global bucket id of each table (for per-table lookups).
+        self._table_bucket_base = np.concatenate(
+            [[0], np.cumsum([t.unique_keys.size for t in self._tables])]
+        ).astype(np.intp)
 
     # ------------------------------------------------------------------
     # basic properties
@@ -148,6 +254,12 @@ class LSHIndex:
         land in exactly the buckets a from-scratch rebuild would put
         them in; queries before/after insertion are consistent.  New
         items start active.
+
+        Cost note: each call re-sorts every table and refreshes the
+        fused CSR — O(l * n log n) per batch.  The fused item->bucket
+        map shifts globally whenever a new bucket appears, so a truly
+        incremental update would still be O(l * n); batch arrivals
+        rather than inserting point-by-point.
         """
         new_data = check_data_matrix(new_data, name="new_data")
         if new_data.shape[1] != self._data.shape[1]:
@@ -159,24 +271,13 @@ class LSHIndex:
         new_indices = np.arange(start, start + new_data.shape[0], dtype=np.intp)
         self._data = np.vstack([self._data, new_data])
         for table in self._tables:
-            codes = table.family.hash_many(new_data).astype(np.uint64)
-            with np.errstate(over="ignore"):
-                keys = (codes * table.mixer[None, :]).sum(
-                    axis=1, dtype=np.uint64
-                )
+            keys = table.keys_of_points(new_data)
             table.item_keys = np.concatenate([table.item_keys, keys])
-            for key, idx in zip(keys, new_indices):
-                members = table.buckets.get(int(key))
-                if members is None:
-                    table.buckets[int(key)] = np.asarray([idx], dtype=np.intp)
-                else:
-                    position = int(np.searchsorted(members, idx))
-                    table.buckets[int(key)] = np.insert(
-                        members, position, idx
-                    )
+            table._rebuild()
         self._active = np.concatenate(
             [self._active, np.ones(new_data.shape[0], dtype=bool)]
         )
+        self._rebuild_combined()
         return new_indices
 
     # ------------------------------------------------------------------
@@ -194,12 +295,20 @@ class LSHIndex:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def _collect(self, seen: set) -> np.ndarray:
-        if not seen:
+    def _finalize(self, candidates: np.ndarray) -> np.ndarray:
+        """Deduplicate, sort and active-filter a raw candidate gather."""
+        if candidates.size == 0:
             return np.empty(0, dtype=np.intp)
-        out = np.fromiter(seen, dtype=np.intp, count=len(seen))
-        out.sort()
+        out = np.unique(candidates)
         return out[self._active[out]]
+
+    def _gather_buckets(self, bucket_ids: np.ndarray) -> np.ndarray:
+        """Concatenated members of index-level buckets (all tables)."""
+        return _csr_gather(
+            self._g_members,
+            self._g_starts[bucket_ids],
+            self._g_lengths[bucket_ids],
+        )
 
     def query_item(self, i: int) -> np.ndarray:
         """Active items colliding with indexed item *i* in any table.
@@ -209,13 +318,8 @@ class LSHIndex:
         """
         if not 0 <= i < self.n:
             raise IndexError(f"item index {i} out of range [0, {self.n})")
-        seen: set[int] = set()
-        for table in self._tables:
-            members = table.buckets.get(int(table.item_keys[i]))
-            if members is not None and members.size > 1:
-                seen.update(members.tolist())
-        seen.discard(i)
-        return self._collect(seen)
+        out = self._finalize(self._gather_buckets(self._item_buckets[:, i]))
+        return out[out != i]
 
     def query_point(self, point: np.ndarray) -> np.ndarray:
         """Active items colliding with an arbitrary *point* in any table."""
@@ -225,42 +329,92 @@ class LSHIndex:
                 f"point must be 1-D of dim {self._data.shape[1]}, "
                 f"got shape {point.shape}"
             )
-        seen: set[int] = set()
-        for table in self._tables:
-            members = table.buckets.get(table.key_of_point(point))
-            if members is not None:
-                seen.update(members.tolist())
-        return self._collect(seen)
+        gathered = np.concatenate(
+            [
+                t.gather(t.keys_of_points(point[None, :]))
+                for t in self._tables
+            ]
+        )
+        return self._finalize(gathered)
 
     def query_items(self, indices: np.ndarray) -> np.ndarray:
-        """Union of :meth:`query_item` over several indexed items.
+        """Deduplicated union of :meth:`query_item` over indexed items.
 
         This is the multi-query pattern of CIVS (paper Fig. 4(b)): every
         supporting item of the current subgraph issues its own query so
-        the union of locality-sensitive regions covers the ROI.
+        the union of locality-sensitive regions covers the ROI.  The
+        whole batch is one vectorised gather per table; the union is
+        deduplicated once, and *all* query items are excluded from the
+        result (psi must contain new vertices only).
         """
         indices = check_index_array(indices, self.n, name="indices")
-        seen: set[int] = set()
+        if indices.size == 0:
+            return np.empty(0, dtype=np.intp)
+        bucket_ids = np.unique(self._item_buckets[:, indices])
+        out = self._finalize(self._gather_buckets(bucket_ids))
+        if out.size:
+            out = out[np.isin(out, indices, invert=True)]
+        return out
+
+    def query_points(self, points: np.ndarray) -> np.ndarray:
+        """Deduplicated union of :meth:`query_point` over several points.
+
+        One hashing pass per table for the whole batch — the cheap way
+        to probe many foreign points (e.g. streaming arrivals) at once.
+        An empty batch returns an empty result.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] == 0:
+            return np.empty(0, dtype=np.intp)
+        points = check_data_matrix(points, name="points")
+        if points.shape[1] != self._data.shape[1]:
+            raise ValidationError(
+                f"points have dim {points.shape[1]}, "
+                f"index expects {self._data.shape[1]}"
+            )
+        parts = []
         for table in self._tables:
-            keys = table.item_keys[indices]
-            for key in np.unique(keys):
-                members = table.buckets.get(int(key))
-                if members is not None and members.size > 1:
-                    seen.update(members.tolist())
-        for i in indices:
-            seen.discard(int(i))
-        return self._collect(seen)
+            keys = np.unique(table.keys_of_points(points))
+            parts.append(table.gather(keys))
+        return self._finalize(np.concatenate(parts))
 
     # ------------------------------------------------------------------
     # bucket statistics (PALID seed sampling, paper §4.6)
     # ------------------------------------------------------------------
+    def _active_bucket_counts(self, table: _Table) -> np.ndarray:
+        """Active-member count of every bucket of one table."""
+        if table.members.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        flags = self._active[table.members].astype(np.int64)
+        return np.add.reduceat(flags, table.offsets[:-1])
+
+    def item_bucket_sizes(
+        self, table: int = 0, *, active_only: bool = False
+    ) -> np.ndarray:
+        """Per-item size of the bucket it occupies in *table*.
+
+        One fancy-index over the fused CSR, used by the seed schedule to
+        rank likely dominant-cluster members without touching bucket
+        lists.  ``active_only=True`` counts only unpeeled members, which
+        is what seeding over a partially peeled index must use.
+        """
+        if not 0 <= table < self.n_tables:
+            raise IndexError(f"table {table} out of range [0, {self.n_tables})")
+        if not active_only:
+            return self._g_lengths[self._item_buckets[table]]
+        counts = self._active_bucket_counts(self._tables[table])
+        local_ids = self._item_buckets[table] - self._table_bucket_base[table]
+        return counts[local_ids]
+
     def bucket_sizes(self, table: int = 0) -> dict[int, int]:
         """Bucket key -> active-member count for one table."""
         if not 0 <= table < self.n_tables:
             raise IndexError(f"table {table} out of range [0, {self.n_tables})")
+        t = self._tables[table]
+        counts = self._active_bucket_counts(t)
         return {
-            key: int(self._active[members].sum())
-            for key, members in self._tables[table].buckets.items()
+            int(key): int(count)
+            for key, count in zip(t.unique_keys.tolist(), counts.tolist())
         }
 
     def large_buckets(
@@ -277,12 +431,10 @@ class LSHIndex:
         tables = self._tables if table is None else [self._tables[table]]
         out = []
         for t in tables:
-            for members in t.buckets.values():
-                if members.size < min_size:
-                    continue
-                active = members[self._active[members]]
-                if active.size >= min_size:
-                    out.append(active)
+            counts = self._active_bucket_counts(t)
+            for pos in np.flatnonzero(counts >= min_size):
+                members = t.members[t.offsets[pos] : t.offsets[pos + 1]]
+                out.append(members[self._active[members]])
         return out
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.lsh.index import LSHIndex
+from repro.utils.validation import check_index_array
 
 __all__ = ["MultiProbeQuerier", "perturbation_sets"]
 
@@ -153,23 +154,58 @@ class MultiProbeQuerier:
         self.n_probes = int(n_probes)
 
     # ------------------------------------------------------------------
-    def _probe_keys(self, table, point: np.ndarray) -> list[int]:
-        """Base bucket key plus the *n_probes* best perturbed keys."""
-        coords = table.family.project(point[None, :])[0]
-        fractions = coords - np.floor(coords)
-        base_key = table.key_of_point(point)
-        keys = [base_key]
-        mixers = table.mixer.astype(np.uint64)
+    def _probe_keys_batch(self, table, points: np.ndarray) -> np.ndarray:
+        """Probe keys for a batch of points against one table.
+
+        One projection pass hashes the whole batch; the perturbed keys
+        of every point are derived incrementally from its base key
+        (``key ± mixer_j`` per perturbed coordinate).  Returns the flat
+        uint64 key array of all probes of all points.
+        """
+        coords = table.family.project(points)
+        codes = np.floor(coords)
+        fractions = coords - codes
         with np.errstate(over="ignore"):
-            for perturbations in perturbation_sets(fractions, self.n_probes):
-                key = np.uint64(base_key)
-                for coordinate, delta in perturbations:
-                    if delta > 0:
-                        key = key + mixers[coordinate]
-                    else:
-                        key = key - mixers[coordinate]
-                keys.append(int(key))
-        return keys
+            base_keys = (codes.astype(np.int64).astype(np.uint64)
+                         * table.mixer[None, :]).sum(axis=1, dtype=np.uint64)
+        mixers = table.mixer.astype(np.uint64)
+        keys: list[int] = []
+        with np.errstate(over="ignore"):
+            for row in range(points.shape[0]):
+                base = base_keys[row]
+                keys.append(int(base))
+                for perturbations in perturbation_sets(
+                    fractions[row], self.n_probes
+                ):
+                    key = base
+                    for coordinate, delta in perturbations:
+                        if delta > 0:
+                            key = key + mixers[coordinate]
+                        else:
+                            key = key - mixers[coordinate]
+                    keys.append(int(key))
+        return np.asarray(keys, dtype=np.uint64)
+
+    def query_points(self, points: np.ndarray) -> np.ndarray:
+        """Active items found in the probed buckets over a point batch.
+
+        The batched counterpart of :meth:`query_point`: one hashing pass
+        per table covers every point, and the per-table bucket gathers
+        are deduplicated once at the end.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.ndim != 2 or points.shape[1] != self.index._data.shape[1]:
+            raise ValidationError(
+                f"points must be 2-D of dim {self.index._data.shape[1]}, "
+                f"got shape {points.shape}"
+            )
+        if points.shape[0] == 0:
+            return np.empty(0, dtype=np.intp)
+        parts = []
+        for table in self.index._tables:
+            keys = np.unique(self._probe_keys_batch(table, points))
+            parts.append(table.gather(keys))
+        return self.index._finalize(np.concatenate(parts))
 
     def query_point(self, point: np.ndarray) -> np.ndarray:
         """Active items found in the probed buckets of every table."""
@@ -179,13 +215,7 @@ class MultiProbeQuerier:
                 f"point must be 1-D of dim {self.index._data.shape[1]}, "
                 f"got shape {point.shape}"
             )
-        seen: set[int] = set()
-        for table in self.index._tables:
-            for key in self._probe_keys(table, point):
-                members = table.buckets.get(key)
-                if members is not None:
-                    seen.update(members.tolist())
-        return self.index._collect(seen)
+        return self.query_points(point[None, :])
 
     def query_item(self, i: int) -> np.ndarray:
         """Multi-probe lookup for an indexed item (excludes *i* itself)."""
@@ -195,3 +225,18 @@ class MultiProbeQuerier:
             )
         result = self.query_point(self.index._data[i])
         return result[result != i]
+
+    def query_items(self, indices: np.ndarray) -> np.ndarray:
+        """Multi-probe union over several indexed items.
+
+        Mirrors :meth:`LSHIndex.query_items`: the result is the
+        deduplicated union of every item's probed collisions, with all
+        query items excluded.
+        """
+        indices = check_index_array(indices, self.index.n, name="indices")
+        if indices.size == 0:
+            return np.empty(0, dtype=np.intp)
+        out = self.query_points(self.index._data[indices])
+        if out.size:
+            out = out[np.isin(out, indices, invert=True)]
+        return out

@@ -52,15 +52,14 @@ def sample_seeds(
     if not 0.0 < sample_rate <= 1.0:
         raise ValidationError(f"sample_rate must be in (0, 1], got {sample_rate}")
     rng = as_generator(seed)
-    eligible: set[int] = set()
-    for members in index.large_buckets(min_size=bucket_min_size, table=table):
-        eligible.update(int(i) for i in members)
-    if not eligible:
+    buckets = index.large_buckets(min_size=bucket_min_size, table=table)
+    if not buckets:
         # Degenerate fallback: no bucket is large enough (tiny data or
         # very fine hashes) — seed from every active item instead.
         return np.flatnonzero(index.active_mask).astype(np.intp)
-    pool = np.fromiter(eligible, dtype=np.intp, count=len(eligible))
-    pool.sort()
+    # One dedup pass over the concatenated buckets (sorted by np.unique),
+    # instead of a Python set over every member of every bucket.
+    pool = np.unique(np.concatenate(buckets)).astype(np.intp)
     count = max(1, int(np.ceil(sample_rate * pool.size)))
     picks = rng.choice(pool, size=count, replace=False)
     picks.sort()

@@ -8,7 +8,6 @@ plot.  Log axes reproduce the paper's double-logarithmic presentation
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

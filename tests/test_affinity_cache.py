@@ -1,0 +1,201 @@
+"""Unit tests for the matrix-backed LRU column cache (LID hot path)."""
+
+import numpy as np
+import pytest
+
+from repro.affinity.cache import ColumnBlockCache
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityOracle
+from repro.exceptions import BudgetExceededError
+
+
+def make_oracle(blob_data, budget=None):
+    data, _ = blob_data
+    return AffinityOracle(data, LaplacianKernel(k=0.45), budget_entries=budget)
+
+
+@pytest.fixture
+def rows():
+    return np.arange(10, dtype=np.intp)
+
+
+class TestBasics:
+    def test_get_matches_oracle_column(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        reference = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        for j in (3, 7, 3):
+            assert np.allclose(cache.get(j), reference.column(j, rows=rows))
+
+    def test_get_caches(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.get(3)
+        computed = oracle.counters.entries_computed
+        cache.get(3)
+        assert oracle.counters.entries_computed == computed
+        assert 3 in cache
+        assert cache.n_columns == 1
+
+    def test_ensure_batches_misses(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.get(0)
+        before = oracle.counters.block_requests + oracle.counters.column_requests
+        cache.ensure(np.asarray([0, 1, 2, 3]))
+        # One batched fetch for the three misses: 3 column requests, all
+        # in a single kernel block evaluation.
+        assert oracle.counters.column_requests - before + 1 == 4
+        assert oracle.counters.entries_computed == 4 * rows.size
+        assert cache.n_columns == 4
+
+    def test_storage_charged_and_released(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.ensure(np.asarray([1, 2, 3]))
+        assert oracle.counters.entries_stored_current == 3 * rows.size
+        cache.release_all()
+        assert oracle.counters.entries_stored_current == 0
+        assert cache.n_columns == 0
+
+    def test_peek_never_fetches(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        assert cache.peek(5) is None
+        assert oracle.counters.entries_computed == 0
+        cache.get(5)
+        assert np.allclose(cache.peek(5), cache.get(5))
+
+
+class TestRowMaintenance:
+    def test_restrict_rows_keeps_values(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        reference = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.ensure(np.asarray([2, 4]))
+        keep = np.asarray([0, 3, 8], dtype=np.intp)
+        cache.restrict_rows(keep)
+        assert cache.n_rows == 3
+        for j in (2, 4):
+            assert np.allclose(
+                cache.peek(j), reference.column(j, rows=rows[keep])
+            )
+        assert oracle.counters.entries_stored_current == 2 * 3
+
+    def test_extend_rows_fetches_only_new_entries(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        reference = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.ensure(np.asarray([2, 4]))
+        computed = oracle.counters.entries_computed
+        new_rows = np.asarray([20, 25], dtype=np.intp)
+        cache.extend_rows(new_rows)
+        assert oracle.counters.entries_computed - computed == 2 * 2
+        full_rows = np.concatenate([rows, new_rows])
+        for j in (2, 4):
+            assert np.allclose(
+                cache.peek(j), reference.column(j, rows=full_rows)
+            )
+        assert oracle.counters.entries_stored_current == 2 * full_rows.size
+
+
+class TestEviction:
+    def test_lru_evicted_under_budget(self, blob_data, rows):
+        # Budget fits exactly two 10-entry columns.
+        oracle = make_oracle(blob_data, budget=20)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.get(1)
+        cache.get(2)
+        cache.get(1)  # touch 1: column 2 becomes the LRU victim
+        cache.get(3)
+        assert 2 not in cache
+        assert 1 in cache and 3 in cache
+        assert oracle.counters.entries_stored_current <= 20
+
+    def test_eviction_releases_storage(self, blob_data, rows):
+        oracle = make_oracle(blob_data, budget=20)
+        cache = ColumnBlockCache(oracle, rows)
+        for j in range(6):
+            cache.get(j)
+        assert cache.n_columns == 2
+        assert oracle.counters.entries_stored_current == 20
+
+    def test_evicted_column_recomputed_on_demand(self, blob_data, rows):
+        oracle = make_oracle(blob_data, budget=20)
+        reference = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.get(1)
+        cache.get(2)
+        cache.get(3)  # evicts 1
+        assert 1 not in cache
+        assert np.allclose(cache.get(1), reference.column(1, rows=rows))
+
+    def test_budget_error_when_nothing_evictable(self, blob_data, rows):
+        oracle = make_oracle(blob_data, budget=5)  # one column needs 10
+        cache = ColumnBlockCache(oracle, rows)
+        with pytest.raises(BudgetExceededError):
+            cache.get(1)
+
+    def test_external_storage_not_evictable(self, blob_data, rows):
+        oracle = make_oracle(blob_data, budget=25)
+        oracle.charge_stored(18)  # someone else holds most of the budget
+        cache = ColumnBlockCache(oracle, rows)
+        with pytest.raises(BudgetExceededError):
+            cache.get(1)
+        assert oracle.counters.entries_stored_current >= 18
+
+    def test_max_columns_cap(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows, max_columns=2)
+        cache.get(1)
+        cache.get(2)
+        cache.get(3)
+        assert cache.n_columns == 2
+        assert 1 not in cache
+
+    def test_restrict_after_evicting_every_column_then_refetch(
+        self, blob_data, rows
+    ):
+        """Regression: evict-all then restrict left stale free slots
+        pointing past a 0-row buffer, crashing the next fetch."""
+        oracle = make_oracle(blob_data)
+        reference = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.ensure(np.asarray([1, 2]))
+        cache.evict(1)
+        cache.evict(2)
+        keep = np.asarray([0, 4], dtype=np.intp)
+        cache.restrict_rows(keep)
+        col = cache.get(3)
+        assert np.allclose(col, reference.column(3, rows=rows[keep]))
+
+    def test_oversized_miss_batch_respects_max_columns(self, blob_data, rows):
+        """Regression: a miss batch larger than max_columns blew
+        through the cap (all candidates were eviction-protected)."""
+        oracle = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows, max_columns=2)
+        cache.ensure(np.asarray([1, 2, 3, 4]))
+        assert cache.n_columns == 2
+        # The trailing (most recently requested) columns won.
+        assert 3 in cache and 4 in cache
+        # Work was bounded too: only the admitted columns were computed.
+        assert oracle.counters.entries_computed == 2 * rows.size
+        # Single-column fetches are always resident afterwards.
+        assert np.allclose(cache.get(1), cache.peek(1))
+
+    def test_max_columns_must_be_positive(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        with pytest.raises(ValueError, match="max_columns"):
+            ColumnBlockCache(oracle, rows, max_columns=0)
+
+    def test_extend_rows_evicts_lru_rather_than_overflow(self, blob_data, rows):
+        # 3 columns x 10 rows = 30 held; extending by 5 rows each would
+        # need 45 total, over the 40 budget -> the LRU column is dropped.
+        oracle = make_oracle(blob_data, budget=40)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.ensure(np.asarray([1, 2, 3]))
+        cache.get(1)  # column 2 is now the LRU
+        cache.extend_rows(np.asarray([30, 35, 40, 45, 50], dtype=np.intp))
+        assert 2 not in cache
+        assert cache.n_columns == 2
+        assert oracle.counters.entries_stored_current <= 40

@@ -5,7 +5,7 @@ import pytest
 
 from repro.affinity.kernel import LaplacianKernel
 from repro.affinity.oracle import AffinityCounters, AffinityOracle
-from repro.exceptions import BudgetExceededError
+from repro.exceptions import AccountingError, BudgetExceededError
 
 
 class TestAffinityCounters:
@@ -18,9 +18,16 @@ class TestAffinityCounters:
         assert c.entries_stored_current == 3
         assert c.entries_stored_peak == 5
 
-    def test_release_floors_at_zero(self):
+    def test_release_underflow_raises(self):
         c = AffinityCounters()
-        c.release(100)
+        with pytest.raises(AccountingError, match="underflow"):
+            c.release(100)
+
+    def test_release_exact_balance_ok(self):
+        c = AffinityCounters()
+        c.charge(computed=0, stored_delta=100)
+        c.release(60)
+        c.release(40)
         assert c.entries_stored_current == 0
 
     def test_memory_bytes(self):
@@ -85,6 +92,43 @@ class TestAffinityOracle:
         before = oracle.counters.entries_computed
         oracle.block(np.arange(4), np.arange(5))
         assert oracle.counters.entries_computed == before + 20
+
+    def test_columns_matches_column_loop(self, oracle):
+        rows = np.asarray([0, 4, 9, 30])
+        js = np.asarray([4, 7, 21])
+        block = oracle.columns(js, rows)
+        assert block.shape == (4, 3)
+        for pos, j in enumerate(js):
+            assert np.allclose(block[:, pos], oracle.column(int(j), rows=rows))
+
+    def test_columns_accounting_matches_column_loop(self, blob_data):
+        data, _ = blob_data
+        batched = AffinityOracle(data, LaplacianKernel(k=0.45))
+        looped = AffinityOracle(data, LaplacianKernel(k=0.45))
+        rows = np.asarray([1, 2, 3, 4, 5])
+        js = np.asarray([0, 9, 17])
+        batched.columns(js, rows)
+        for j in js:
+            looped.column(int(j), rows=rows)
+        assert (
+            batched.counters.entries_computed
+            == looped.counters.entries_computed
+        )
+        assert (
+            batched.counters.column_requests
+            == looped.counters.column_requests
+        )
+
+    def test_headroom(self, blob_data):
+        data, _ = blob_data
+        unbudgeted = AffinityOracle(data, LaplacianKernel(k=1.0))
+        assert unbudgeted.headroom() is None
+        budgeted = AffinityOracle(
+            data, LaplacianKernel(k=1.0), budget_entries=100
+        )
+        assert budgeted.headroom() == 100
+        budgeted.charge_stored(30)
+        assert budgeted.headroom() == 70
 
     def test_pairwise_symmetric(self, oracle):
         sub = oracle.pairwise(np.arange(10))

@@ -1,6 +1,5 @@
 """Tests for the shared baseline machinery (KernelParams resolution)."""
 
-import numpy as np
 import pytest
 
 from repro.affinity.kernel import suggest_scaling_factor

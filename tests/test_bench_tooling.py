@@ -1,0 +1,106 @@
+"""Tests for the hot-path benchmark regression gate.
+
+The gate script lives in benchmarks/ (not the package), so it is
+exercised end-to-end through a subprocess, exactly as CI runs it.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+_SCRIPT = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_hotpath_regression.py"
+)
+
+
+def _write_report(path: pathlib.Path, workloads: dict) -> pathlib.Path:
+    path.write_text(json.dumps({"schema_version": 1, "workloads": workloads}))
+    return path
+
+
+def _run_gate(current: pathlib.Path, baseline: pathlib.Path, *extra: str):
+    return subprocess.run(
+        [sys.executable, str(_SCRIPT), "--current", str(current),
+         "--baseline", str(baseline), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+BASE = {"alid_tiny": {"entries_computed": 1000, "wall_seconds": 1.0}}
+
+
+class TestCheckHotpathRegression:
+    def test_identical_passes(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(tmp_path / "cur.json", BASE)
+        result = _run_gate(current, baseline)
+        assert result.returncode == 0, result.stderr
+
+    def test_within_tolerance_passes(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(
+            tmp_path / "cur.json",
+            {"alid_tiny": {"entries_computed": 1099, "wall_seconds": 9.0}},
+        )
+        assert _run_gate(current, baseline).returncode == 0
+
+    def test_regression_fails(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(
+            tmp_path / "cur.json", {"alid_tiny": {"entries_computed": 1101}}
+        )
+        result = _run_gate(current, baseline)
+        assert result.returncode == 1
+        assert "exceeds baseline" in result.stderr
+
+    def test_improvement_passes(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(
+            tmp_path / "cur.json", {"alid_tiny": {"entries_computed": 10}}
+        )
+        assert _run_gate(current, baseline).returncode == 0
+
+    def test_missing_workload_fails(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(tmp_path / "cur.json", {})
+        result = _run_gate(current, baseline)
+        assert result.returncode == 1
+        assert "missing" in result.stderr
+
+    def test_wall_clock_never_gated(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(
+            tmp_path / "cur.json",
+            {"alid_tiny": {"entries_computed": 1000, "wall_seconds": 99.0}},
+        )
+        assert _run_gate(current, baseline).returncode == 0
+
+    def test_custom_tolerance(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(
+            tmp_path / "cur.json", {"alid_tiny": {"entries_computed": 1400}}
+        )
+        assert _run_gate(current, baseline, "--tolerance", "0.5").returncode == 0
+        assert _run_gate(current, baseline, "--tolerance", "0.1").returncode == 1
+
+    def test_garbage_input_is_usage_error(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        broken = tmp_path / "cur.json"
+        broken.write_text("not json")
+        assert _run_gate(broken, baseline).returncode == 2
+
+    def test_committed_baseline_exists_and_has_gated_counters(self):
+        committed = (
+            _SCRIPT.parent / "results" / "BENCH_hotpath_baseline.json"
+        )
+        report = json.loads(committed.read_text())
+        gated = [
+            name
+            for name, payload in report["workloads"].items()
+            if "entries_computed" in payload
+        ]
+        assert gated, "baseline must gate at least one workload"

@@ -120,6 +120,22 @@ class TestSeedSchedule:
         first = schedule.next_active()
         assert labels[first] >= 0
 
+    def test_scores_by_active_bucket_size(self, blob_data, blob_config):
+        """Regression: seeding over a partially peeled index must rank
+        by ACTIVE bucket members, not raw bucket sizes.
+
+        With cluster 0 peeled except one survivor, that survivor's
+        bucket holds only 1 active item and must not outrank cluster 1
+        (fully active) — even though its raw bucket is just as large.
+        """
+        data, labels = blob_data
+        engine = ALIDEngine(data, blob_config)
+        cluster0 = np.flatnonzero(labels == 0)
+        engine.index.deactivate(cluster0[1:])  # keep one survivor
+        schedule = SeedSchedule(engine.index)
+        first = schedule.next_active()
+        assert labels[first] == 1
+
 
 class TestALIDFit:
     def test_finds_both_blobs(self, blob_data, blob_config):

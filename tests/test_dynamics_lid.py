@@ -82,9 +82,9 @@ class TestLIDState:
     def test_extend_extends_cached_columns(self, lid_oracle):
         state = LIDState.from_seed(lid_oracle, 0)
         state.extend(np.asarray([1, 2]))
-        col_before = state.column(1)
+        col_before = state.column(1).copy()
         state.extend(np.asarray([3]))
-        col_after = state._columns[1]
+        col_after = state.cached_column(1)
         assert col_after.size == state.size
         assert np.allclose(col_after[:3], col_before)
         assert col_after[3] == lid_oracle.column(1, rows=np.asarray([3]))[0]
@@ -108,7 +108,7 @@ class TestLIDState:
         state.g = state.recompute_g()
         stored_before = lid_oracle.counters.entries_stored_current
         state.restrict_to_support()
-        assert 1 not in state._columns
+        assert not state.has_cached(1)
         assert lid_oracle.counters.entries_stored_current < stored_before
 
     def test_release_frees_storage(self, lid_oracle):
@@ -125,6 +125,37 @@ class TestLIDState:
         state.extend(np.asarray([7]))
         assert list(state.support_global()) == [4]
         assert list(state.support_positions()) == [0]
+
+
+class TestLIDUnderBudget:
+    def test_dynamics_survive_tight_budget_via_eviction(self, blob_data):
+        """A storage budget forces LRU eviction, not failure, and the
+        dynamics land on the same dense subgraph as the unbudgeted run."""
+        data, _ = blob_data
+        free = AffinityOracle(data, LaplacianKernel(k=0.45))
+        # Room for only ~3 full-range columns at |beta| = 30.
+        tight = AffinityOracle(
+            data, LaplacianKernel(k=0.45), budget_entries=100
+        )
+        results = []
+        for oracle in (free, tight):
+            state = LIDState.from_seed(oracle, 0)
+            state.extend(np.arange(1, 30))
+            lid_dynamics(state, max_iter=500)
+            results.append(
+                (set(state.support_global().tolist()), state.density())
+            )
+            state.release()
+            assert oracle.counters.entries_stored_current == 0
+        assert results[0][0] == results[1][0]
+        assert results[0][1] == pytest.approx(results[1][1])
+        # The budget was respected throughout...
+        assert tight.counters.entries_stored_peak <= 100
+        # ...at the price of recomputing evicted columns.
+        assert (
+            tight.counters.entries_computed
+            >= free.counters.entries_computed
+        )
 
 
 class TestLIDDynamics:

@@ -1,6 +1,5 @@
 """Tests for the experiment harness (small-scale versions of each runner)."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import make_nart, make_sub_ndi, make_synthetic_mixture

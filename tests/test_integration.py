@@ -5,7 +5,6 @@ paper workload, detect with several methods, evaluate, and check the
 cross-method relationships the paper reports.
 """
 
-import numpy as np
 import pytest
 
 from repro import (

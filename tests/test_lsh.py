@@ -150,6 +150,34 @@ class TestLSHIndex:
         assert union <= (a | b)
         assert (set(small_index.query_item(0)) - {1}) <= (union | {0, 1})
 
+    def test_query_items_matches_query_item_loop(self, small_index):
+        """Batch == union of single-item queries minus the query set."""
+        for indices in ([0], [0, 1, 5], list(range(12)), [7, 41, 55]):
+            indices = np.asarray(indices, dtype=np.intp)
+            looped: set[int] = set()
+            for i in indices:
+                looped.update(small_index.query_item(int(i)).tolist())
+            looped -= set(indices.tolist())
+            batched = small_index.query_items(indices)
+            assert sorted(looped) == batched.tolist()
+
+    def test_query_items_loop_equivalence_after_peeling(self, small_index):
+        small_index.deactivate(np.asarray([2, 3, 21, 22, 23]))
+        indices = np.asarray([0, 1, 20, 40], dtype=np.intp)
+        looped: set[int] = set()
+        for i in indices:
+            looped.update(small_index.query_item(int(i)).tolist())
+        looped -= set(indices.tolist())
+        assert sorted(looped) == small_index.query_items(indices).tolist()
+
+    def test_query_points_matches_query_point_loop(self, small_index, blob_data):
+        data, _ = blob_data
+        points = data[[0, 25, 45]] + 0.05
+        looped: set[int] = set()
+        for point in points:
+            looped.update(small_index.query_point(point).tolist())
+        assert sorted(looped) == small_index.query_points(points).tolist()
+
     def test_query_items_excludes_queries(self, small_index):
         out = small_index.query_items(np.asarray([0, 1, 2]))
         assert not ({0, 1, 2} & set(out))

@@ -8,16 +8,21 @@ writes a machine-readable ``BENCH_hotpath.json``:
 .. code-block:: json
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "workloads": {
         "alid_tiny": {
           "wall_seconds": 0.41,
           "entries_computed": 123456,
           "entries_stored_peak": 2345,
+          "seed_rounds": 10,
+          "noise_prefiltered": 310,
+          "noise_lid_reduction": 104.3,
           ...
         }
       }
     }
+
+See ``docs/benchmarks.md`` for the full field reference.
 
 ``wall_seconds`` tracks the perf trajectory across PRs (informational —
 machine-dependent).  ``entries_computed`` / ``entries_stored_peak`` are
@@ -79,13 +84,26 @@ def _make_data(size_key: str) -> np.ndarray:
 
 
 def bench_alid(size_key: str) -> dict:
-    """End-to-end ALID fit (LID + ROI + CIVS + peeling)."""
+    """End-to-end ALID fit (LID + ROI + CIVS + batched peeling).
+
+    Beyond the work accounting, the report carries the batched driver's
+    per-round statistics: ``seed_rounds`` (batched peeling rounds),
+    ``noise_prefiltered`` (seeds killed by the vectorized noise
+    pre-filter before any LID iteration), ``lid_runs`` (full Alg. 2
+    runs), ``noise_lid_runs`` (full runs that still produced a
+    sub-dominant peel), and ``noise_lid_reduction`` — how many times
+    fewer full LID runs are spent on noise seeds than the sequential
+    driver's one-run-per-peel protocol (``noise_peels``).
+    """
     data = _make_data(size_key)
     config = ALIDConfig(seed=_SEED)
     start = time.perf_counter()
     result = ALID(config).fit(data)
     wall = time.perf_counter() - start
     counters = result.counters
+    meta = result.metadata
+    noise_peels = len(result.all_clusters) - result.n_clusters
+    noise_lid_runs = int(meta["noise_lid_runs"])
     return {
         "n": int(data.shape[0]),
         "dim": int(data.shape[1]),
@@ -95,7 +113,16 @@ def bench_alid(size_key: str) -> dict:
         "column_requests": int(counters.column_requests),
         "block_requests": int(counters.block_requests),
         "n_clusters": int(result.n_clusters),
-        "peeling_rounds": int(result.metadata["peeling_rounds"]),
+        "peeling_rounds": int(meta["peeling_rounds"]),
+        "seed_rounds": int(meta["seed_rounds"]),
+        "noise_prefiltered": int(meta["noise_prefiltered"]),
+        "lid_runs": int(meta["lid_runs"]),
+        "noise_lid_runs": noise_lid_runs,
+        "noise_peels": int(noise_peels),
+        "max_cohort": int(meta["max_cohort"]),
+        "noise_lid_reduction": round(
+            noise_peels / max(1, noise_lid_runs), 2
+        ),
     }
 
 
@@ -169,7 +196,7 @@ def run(workload_keys: list[str]) -> dict:
         print(f"[bench_hotpath] lid_dynamics_{key} ...", flush=True)
         workloads[f"lid_dynamics_{key}"] = bench_lid_dynamics(key)
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "workloads": workloads,

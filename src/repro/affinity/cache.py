@@ -20,6 +20,13 @@ Only when nothing evictable remains does the oracle's
 :class:`~repro.exceptions.BudgetExceededError` surface — the same
 bounded-memory contract as the paper's §4.5 release discipline, but
 enforced continuously rather than only at cluster peeling.
+
+Row extension is *fused*: :meth:`ColumnBlockCache.extend_rows` can
+evaluate caller-requested columns (the Eq. 17 payoff block over the new
+rows) inside the same oracle block call that extends the cached
+columns, so overlapping entries are charged exactly once.  This is the
+cache's accounting-neutral prefetch policy: only entries with a proven
+immediate use are ever computed.
 """
 
 from __future__ import annotations
@@ -191,17 +198,51 @@ class ColumnBlockCache:
         if freed:
             self.oracle.release_stored(freed)
 
-    def extend_rows(self, new_rows: np.ndarray) -> None:
+    def extend_rows(
+        self,
+        new_rows: np.ndarray,
+        fetch_cols: np.ndarray | None = None,
+    ) -> np.ndarray | None:
         """Append *new_rows* to the row set, extending cached columns.
 
         The new entries of every cached column come from one oracle
         block call.  Under a storage budget, least-recently-used columns
         are evicted outright (cheaper than extending them) until the
         extension fits.
+
+        Parameters
+        ----------
+        new_rows:
+            Global indices joining the row set (the CIVS psi set).
+        fetch_cols:
+            Optional global column indices the caller needs evaluated
+            over *new_rows* — for the LID extend step (paper Eq. 17)
+            these are the support columns ``alpha`` whose block
+            ``A[new_rows, alpha]`` yields the new payoff entries
+            ``g_psi``.  They are fused into the **same** oracle block
+            call that extends the cached columns, so entries of columns
+            that are both cached and requested are computed (and
+            charged) exactly once instead of twice.  This is the
+            accounting-neutral prefetch policy: no speculative entry is
+            ever computed — the fused fetch covers only entries with a
+            proven immediate use — and ``entries_computed`` can only
+            shrink relative to issuing the two fetches separately.
+
+        Returns
+        -------
+        numpy.ndarray or None
+            ``A[new_rows, fetch_cols]`` (an owned array) when
+            *fetch_cols* is given, else None.  Requested columns are
+            *not* admitted to the cache; only their *new_rows* entries
+            are evaluated, as transient work.
         """
         new_rows = np.asarray(new_rows, dtype=np.intp)
+        if fetch_cols is not None:
+            fetch_cols = np.asarray(fetch_cols, dtype=np.intp)
         if new_rows.size == 0:
-            return
+            if fetch_cols is not None:
+                return np.empty((0, fetch_cols.size), dtype=np.float64)
+            return None
         budget = self.oracle.headroom()
         if budget is not None:
             # Evict whole LRU columns until the per-column extension fits.
@@ -209,26 +250,53 @@ class ColumnBlockCache:
                 self.n_columns * new_rows.size > self.oracle.headroom()
             ):
                 self.evict(next(iter(self._use)))
-        if self.n_columns:
-            js = list(self._slot_of)
-            extension = self.oracle.columns(
-                np.asarray(js, dtype=np.intp), new_rows, assume_valid=True
+        cached_js = list(self._slot_of)
+        all_js = np.asarray(cached_js, dtype=np.intp)
+        if fetch_cols is not None and fetch_cols.size:
+            extra = (
+                fetch_cols[np.isin(fetch_cols, all_js, invert=True)]
+                if all_js.size
+                else fetch_cols
             )
-            self.oracle.charge_stored(extension.size)
-            old_n = self.n_rows
-            slots = np.asarray([self._slot_of[j] for j in js], dtype=np.intp)
-            new_buf = np.empty(
-                (self._buf.shape[0], old_n + new_rows.size), dtype=np.float64
-            )
-            new_buf[:, :old_n] = self._buf
-            new_buf[slots, old_n:] = extension.T
-            self._buf = new_buf
+            all_js = np.concatenate([all_js, extra])
+        fetched: np.ndarray | None = None
+        if all_js.size:
+            block = self.oracle.columns(all_js, new_rows, assume_valid=True)
+            if cached_js:
+                extension = block[:, : len(cached_js)]
+                self.oracle.charge_stored(extension.size)
+                old_n = self.n_rows
+                slots = np.asarray(
+                    [self._slot_of[j] for j in cached_js], dtype=np.intp
+                )
+                new_buf = np.empty(
+                    (self._buf.shape[0], old_n + new_rows.size),
+                    dtype=np.float64,
+                )
+                new_buf[:, :old_n] = self._buf
+                new_buf[slots, old_n:] = extension.T
+                self._buf = new_buf
+            else:
+                self._buf = np.empty(
+                    (self._buf.shape[0], self.n_rows + new_rows.size),
+                    dtype=np.float64,
+                )
+            if fetch_cols is not None:
+                position = {int(j): p for p, j in enumerate(all_js)}
+                fetched = block[
+                    :, [position[int(j)] for j in fetch_cols]
+                ].copy()
         else:
             self._buf = np.empty(
                 (self._buf.shape[0], self.n_rows + new_rows.size),
                 dtype=np.float64,
             )
+            if fetch_cols is not None:
+                fetched = np.empty(
+                    (new_rows.size, 0), dtype=np.float64
+                )
         self.rows = np.concatenate([self.rows, new_rows])
+        return fetched
 
     # ------------------------------------------------------------------
     # eviction / release

@@ -10,10 +10,25 @@ This module assembles the three steps of paper Alg. 2 —
    inside the ROI (:mod:`repro.core.civs`) which extend ``beta`` for the
    next round —
 
-into :class:`ALIDEngine.detect_from_seed`, and wraps the peeling driver of
-§4.4 (detect, peel, reiterate until everything is peeled; keep clusters
-whose density clears the threshold) into the user-facing :class:`ALID`
+into a lockstep-executable seed run (:class:`_SeedRun`), exposed through
+:meth:`ALIDEngine.detect_from_seed` (one seed) and
+:meth:`ALIDEngine.detect_cohort` (a block of seeds driven as a cohort
+against batched LSH retrievals), and wraps the peeling driver of §4.4
+(detect, peel, reiterate until everything is peeled; keep clusters whose
+density clears the threshold) into the user-facing :class:`ALID`
 estimator.
+
+The peeling driver runs **batched seed rounds** by default: each round
+pulls a rank-ordered block of surviving seeds from
+:class:`SeedSchedule`, kills noise-isolated seeds with a vectorized
+pre-filter (one fused-CSR bucket-population pass — no LID iteration is
+ever spent on a seed that provably peels as a zero-work singleton), and
+drives the surviving seeds of *distinct LSH collision components* as one
+cohort.  Because a seeded Alg. 2 run can only reach items inside its
+seed's collision component, cohort members peel independently and the
+round's detections are identical — same clusters, same order, same
+``entries_computed`` — to the paper-literal sequential peel
+(``ALIDConfig(peel_driver="sequential")``).
 """
 
 from __future__ import annotations
@@ -48,12 +63,239 @@ class _SingleDetection:
     globally_verified: bool
 
 
+class _SeedRun:
+    """One Alg. 2 run, sliced so a cohort can drive many in lockstep.
+
+    The sequential loop of Alg. 2 alternates Step 1+2 (LID + ROI, pure
+    per-seed state) with Step 3 (CIVS, whose LSH retrieval batches
+    across seeds).  :meth:`step_local` runs Steps 1-2 and returns the
+    CIVS query support; :meth:`absorb` consumes the (possibly batched)
+    retrieval, applies the stop rules of Theorem 1, and reports whether
+    the run is finished.  Driving a single run to completion through
+    these two methods reproduces the historical ``detect_from_seed``
+    loop exactly — the cohort driver is equivalence-by-construction.
+    """
+
+    __slots__ = (
+        "engine",
+        "seed",
+        "state",
+        "immune",
+        "last_density",
+        "c",
+        "outer",
+        "globally_verified",
+        "trace",
+        "hard_cap",
+        "detection",
+        "_center",
+        "_radius",
+        "_roi_complete",
+        "_density",
+        "_query_support",
+    )
+
+    def __init__(
+        self, engine: "ALIDEngine", seed_index: int, trace: list | None = None
+    ):
+        cfg = engine.config
+        self.engine = engine
+        self.seed = int(seed_index)
+        self.state = LIDState.from_seed(engine.oracle, self.seed)
+        self.trace = trace
+        self.hard_cap = (
+            cfg.max_outer_iterations * 2
+            if cfg.verify_global
+            else cfg.max_outer_iterations
+        )
+        # Immunity cache: candidates CIVS retrieved that turned out to be
+        # immune against the *current* x_hat.  Immunity only depends on
+        # x_hat, so the cache stays valid while the dynamics do not move
+        # and saves re-testing the same fringe on every ROI growth round.
+        self.immune: set[int] = set()
+        self.last_density = -1.0
+        self.c = 0
+        self.outer = 0
+        self.globally_verified = False
+        self.detection: _SingleDetection | None = None
+
+    def step_local(self) -> np.ndarray:
+        """Run Steps 1-2 of one outer iteration; return the CIVS support.
+
+        Advances the iteration counter, runs the LID dynamics to local
+        immunity, restricts to the support, and estimates the ROI
+        (Eq. 15/16).  The returned index array is the support the CIVS
+        retrieval must query from (Fig. 4(b)); the exact-filter
+        geometry is kept on the run for :meth:`absorb`.
+        """
+        engine = self.engine
+        cfg = engine.config
+        state = self.state
+        self.c += 1
+        self.outer = self.c
+        # --- Step 1: LID on the current local range -----------------
+        lid_dynamics(state, max_iter=cfg.max_lid_iterations, tol=cfg.tol)
+        state.restrict_to_support()
+        density = state.density()
+        if abs(density - self.last_density) > cfg.tol:
+            self.immune.clear()
+        self.last_density = density
+        self._density = density
+        alpha = state.beta
+        # --- Step 2: estimate the ROI ------------------------------
+        if density > 0.0:
+            ball = estimate_roi(
+                engine.data[alpha], state.x, density, engine.kernel
+            )
+            self._center = ball.center
+            self._radius = roi_radius(
+                ball,
+                self.c,
+                offset=cfg.roi_growth_offset,
+                rate=cfg.roi_growth_rate,
+            )
+            # Prop. 1 only guarantees completeness at the *outer*
+            # ball; with an intermediate radius, an empty or immune
+            # retrieval does not prove global immunity yet.
+            self._roi_complete = self._radius >= ball.r_out * (1.0 - 1e-9)
+        else:
+            # Singleton subgraph: Eq. 15 is undefined (pi = 0); use
+            # the fallback radius around the seed item.  No outer
+            # ball exists, so an empty retrieval ends the search.
+            self._center = engine.data[self.seed]
+            self._radius = engine._initial_radius(self.seed)
+            self._roi_complete = True
+        # Ablation hook (paper Fig. 4): with civs_single_query the
+        # index is queried from the heaviest support item only, i.e.
+        # one locality-sensitive region instead of one per support
+        # item — the failure mode CIVS was designed to avoid.
+        if cfg.extras.get("civs_single_query") and alpha.size > 1:
+            heaviest = alpha[int(np.argmax(state.x))]
+            query_support = np.asarray([heaviest], dtype=np.intp)
+        else:
+            query_support = alpha
+        self._query_support = query_support
+        return query_support
+
+    def absorb(self, candidates: np.ndarray | None = None) -> bool:
+        """Run Step 3 (CIVS) and the stop rules; return True when done.
+
+        Parameters
+        ----------
+        candidates:
+            Precomputed LSH collision union for the support returned by
+            the matching :meth:`step_local` call (one slice of a
+            grouped cohort retrieval), or None to query the index here.
+        """
+        engine = self.engine
+        cfg = engine.config
+        state = self.state
+        # --- Step 3: CIVS ------------------------------------------
+        exclude = (
+            np.fromiter(self.immune, dtype=np.intp, count=len(self.immune))
+            if self.immune
+            else None
+        )
+        retrieval = civs_retrieve(
+            engine.index,
+            engine.oracle,
+            support=self._query_support,
+            center=self._center,
+            radius=self._radius,
+            delta=cfg.delta,
+            exclude=exclude,
+            candidates=candidates,
+        )
+        psi = retrieval.psi
+        nothing_infective = psi.size == 0
+        if psi.size > 0:
+            prev_size = state.size
+            state.extend(psi)
+            new_pay = state.g[prev_size:] - self._density
+            added = state.beta[prev_size:]
+            self.immune.update(
+                int(j) for j, pay in zip(added, new_pay) if pay <= cfg.tol
+            )
+            if new_pay.size > 0 and float(new_pay.max()) <= cfg.tol:
+                # Every retrieved candidate is already immune; drop
+                # them again (they carry zero weight).
+                state.restrict_to_support()
+                nothing_infective = True
+        if self.trace is not None:
+            self.trace.append(
+                {
+                    "c": self.c,
+                    "support_size": int(
+                        state.support_positions(cfg.support_tol).size
+                    ),
+                    "beta_size": int(state.size),
+                    "density": float(self._density),
+                    "radius": float(self._radius),
+                    "retrieved": int(psi.size),
+                }
+            )
+        # Stop when x_hat is immune against everything the ROI can
+        # ever supply (Theorem 1 via Prop. 1's outer-ball guarantee),
+        # or when the paper's iteration budget C runs out.
+        stop = (nothing_infective and self._roi_complete) or (
+            self.c >= cfg.max_outer_iterations
+        )
+        if stop:
+            if cfg.verify_global and self.c < self.hard_cap:
+                # Exact full-range scan (test oracle): resume the
+                # dynamics if any infective vertex remains anywhere.
+                if engine._verify_and_extend(state, self._density):
+                    return self._finish_if_capped()
+                self.globally_verified = True
+            self._finish()
+            return True
+        # Otherwise iterate: the logistic schedule (Eq. 16) grows the
+        # radius toward the outer ball on the next round.
+        return self._finish_if_capped()
+
+    def _finish_if_capped(self) -> bool:
+        """Finish when the hard iteration cap is exhausted."""
+        if self.c >= self.hard_cap:
+            self._finish()
+            return True
+        return False
+
+    def _finish(self) -> None:
+        """Extract the final detection and release the cached columns."""
+        cfg = self.engine.config
+        state = self.state
+        members = state.support_global(cfg.support_tol)
+        positions = state.support_positions(cfg.support_tol)
+        weights = state.x[positions].copy()
+        density = state.density()
+        state.release()
+        self.detection = _SingleDetection(
+            members=members,
+            weights=weights,
+            density=density,
+            outer_iterations=self.outer,
+            globally_verified=self.globally_verified,
+        )
+
+
 class ALIDEngine:
     """Shared machinery for one dataset: kernel, oracle, LSH index.
 
-    Both the sequential peeling driver (:class:`ALID`) and the PALID
-    mappers run :meth:`detect_from_seed` against one engine, mirroring the
-    paper's server-stored hash tables and data items (§4.6).
+    Both the peeling drivers (:class:`ALID`) and the PALID mappers run
+    :meth:`detect_from_seed` / :meth:`detect_cohort` against one engine,
+    mirroring the paper's server-stored hash tables and data items
+    (§4.6).
+
+    Parameters
+    ----------
+    data:
+        Data matrix ``(n, d)``; rows are items (the paper's ``V``).
+    config:
+        Detection configuration; None uses the paper defaults.
+    budget_entries:
+        Optional simulated-memory cap forwarded to the
+        :class:`~repro.affinity.oracle.AffinityOracle` (emulates the
+        paper's 12 GB RAM limit in Fig. 9).
     """
 
     def __init__(
@@ -135,143 +377,82 @@ class ALIDEngine:
         decides whether it is dominant (density threshold) and whether to
         peel it.
 
-        Pass a list as *trace* to receive one record per outer iteration
-        (support size, local-range size, density, ROI radius) — the raw
-        series the Appendix B convergence analysis compares against
-        Proposition 2's growth model (:mod:`repro.analysis.convergence`).
+        Parameters
+        ----------
+        seed_index:
+            Global index of the initial vertex (Alg. 2 line 1:
+            ``beta = {i}``, ``x = s_i``).
+        trace:
+            Pass a list to receive one record per outer iteration
+            (support size, local-range size, density, ROI radius) — the
+            raw series the Appendix B convergence analysis compares
+            against Proposition 2's growth model
+            (:mod:`repro.analysis.convergence`).
+
+        Returns
+        -------
+        _SingleDetection
+            Final support, weights, density, and convergence flags.
         """
-        cfg = self.config
-        state = LIDState.from_seed(self.oracle, seed_index)
-        globally_verified = False
-        outer = 0
-        hard_cap = cfg.max_outer_iterations * 2 if cfg.verify_global else (
-            cfg.max_outer_iterations
-        )
-        c = 0
-        # Immunity cache: candidates CIVS retrieved that turned out to be
-        # immune against the *current* x_hat.  Immunity only depends on
-        # x_hat, so the cache stays valid while the dynamics do not move
-        # and saves re-testing the same fringe on every ROI growth round.
-        immune: set[int] = set()
-        last_density = -1.0
-        while c < hard_cap:
-            c += 1
-            outer = c
-            # --- Step 1: LID on the current local range -----------------
-            lid_dynamics(
-                state, max_iter=cfg.max_lid_iterations, tol=cfg.tol
-            )
-            state.restrict_to_support()
-            density = state.density()
-            if abs(density - last_density) > cfg.tol:
-                immune.clear()
-            last_density = density
-            alpha = state.beta
-            # --- Step 2: estimate the ROI ------------------------------
-            if density > 0.0:
-                ball = estimate_roi(
-                    self.data[alpha], state.x, density, self.kernel
-                )
-                center = ball.center
-                radius = roi_radius(
-                    ball,
-                    c,
-                    offset=cfg.roi_growth_offset,
-                    rate=cfg.roi_growth_rate,
-                )
-                # Prop. 1 only guarantees completeness at the *outer*
-                # ball; with an intermediate radius, an empty or immune
-                # retrieval does not prove global immunity yet.
-                roi_complete = radius >= ball.r_out * (1.0 - 1e-9)
-            else:
-                # Singleton subgraph: Eq. 15 is undefined (pi = 0); use
-                # the fallback radius around the seed item.  No outer
-                # ball exists, so an empty retrieval ends the search.
-                center = self.data[seed_index]
-                radius = self._initial_radius(seed_index)
-                roi_complete = True
-            # --- Step 3: CIVS ------------------------------------------
-            # Ablation hook (paper Fig. 4): with civs_single_query the
-            # index is queried from the heaviest support item only, i.e.
-            # one locality-sensitive region instead of one per support
-            # item — the failure mode CIVS was designed to avoid.
-            if cfg.extras.get("civs_single_query") and alpha.size > 1:
-                heaviest = alpha[int(np.argmax(state.x))]
-                query_support = np.asarray([heaviest], dtype=np.intp)
-            else:
-                query_support = alpha
-            exclude = (
-                np.fromiter(immune, dtype=np.intp, count=len(immune))
-                if immune
-                else None
-            )
-            retrieval = civs_retrieve(
-                self.index,
-                self.oracle,
-                support=query_support,
-                center=center,
-                radius=radius,
-                delta=cfg.delta,
-                exclude=exclude,
-            )
-            psi = retrieval.psi
-            nothing_infective = psi.size == 0
-            if psi.size > 0:
-                prev_size = state.size
-                state.extend(psi)
-                new_pay = state.g[prev_size:] - density
-                added = state.beta[prev_size:]
-                immune.update(
-                    int(j) for j, pay in zip(added, new_pay)
-                    if pay <= cfg.tol
-                )
-                if new_pay.size > 0 and float(new_pay.max()) <= cfg.tol:
-                    # Every retrieved candidate is already immune; drop
-                    # them again (they carry zero weight).
-                    state.restrict_to_support()
-                    nothing_infective = True
-            if trace is not None:
-                trace.append(
-                    {
-                        "c": c,
-                        "support_size": int(
-                            state.support_positions(cfg.support_tol).size
-                        ),
-                        "beta_size": int(state.size),
-                        "density": float(density),
-                        "radius": float(radius),
-                        "retrieved": int(psi.size),
-                    }
-                )
-            # Stop when x_hat is immune against everything the ROI can
-            # ever supply (Theorem 1 via Prop. 1's outer-ball guarantee),
-            # or when the paper's iteration budget C runs out.
-            stop = (nothing_infective and roi_complete) or (
-                c >= cfg.max_outer_iterations
-            )
-            if stop:
-                if cfg.verify_global and c < hard_cap:
-                    # Exact full-range scan (test oracle): resume the
-                    # dynamics if any infective vertex remains anywhere.
-                    added = self._verify_and_extend(state, density)
-                    if added:
-                        continue
-                    globally_verified = True
+        run = _SeedRun(self, seed_index, trace=trace)
+        while True:
+            run.step_local()
+            if run.absorb():
                 break
-            # Otherwise iterate: the logistic schedule (Eq. 16) grows the
-            # radius toward the outer ball on the next round.
-        members = state.support_global(cfg.support_tol)
-        positions = state.support_positions(cfg.support_tol)
-        weights = state.x[positions].copy()
-        density = state.density()
-        state.release()
-        return _SingleDetection(
-            members=members,
-            weights=weights,
-            density=density,
-            outer_iterations=outer,
-            globally_verified=globally_verified,
-        )
+        return run.detection
+
+    def detect_cohort(
+        self,
+        seeds: np.ndarray | list[int],
+        *,
+        traces: list[list] | None = None,
+    ) -> list[_SingleDetection]:
+        """Run paper Alg. 2 from several seeds, driven in lockstep.
+
+        Every outer iteration advances all still-running seeds through
+        Steps 1-2 (per-seed LID + ROI), then serves **all** their CIVS
+        retrievals with one grouped LSH gather
+        (:meth:`~repro.lsh.index.LSHIndex.query_items_grouped`) before
+        Step 3 absorbs the per-seed slices.  Each seed's trajectory —
+        and therefore its detection *and* its oracle work accounting —
+        is identical to a standalone :meth:`detect_from_seed` call over
+        the same active mask; only the uncharged LSH traffic is fused.
+
+        The peeling driver additionally guarantees cohort seeds live in
+        distinct LSH collision components so their detections commute
+        with peeling; PALID's mappers, which never peel between seeds,
+        may pass arbitrary seed blocks.
+
+        Parameters
+        ----------
+        seeds:
+            Global indices of the initial vertices (one lane each).
+        traces:
+            Optional per-seed trace lists, aligned with *seeds*.
+
+        Returns
+        -------
+        list of _SingleDetection
+            One detection per seed, in input order.
+        """
+        runs = [
+            _SeedRun(
+                self,
+                int(seed),
+                trace=traces[i] if traces is not None else None,
+            )
+            for i, seed in enumerate(seeds)
+        ]
+        live = list(runs)
+        while live:
+            supports = [run.step_local() for run in live]
+            candidate_lists = self.index.query_items_grouped(supports)
+            live = [
+                run
+                for run, candidates in zip(live, candidate_lists)
+                if not run.absorb(candidates)
+            ]
+        return [run.detection for run in runs]
 
     def _verify_and_extend(self, state: LIDState, density: float) -> bool:
         """Exact full-range infectivity scan (``verify_global=True`` only).
@@ -335,9 +516,54 @@ class SeedSchedule:
             self._cursor += 1
         return None
 
+    def next_block(self, limit: int) -> np.ndarray:
+        """Up to *limit* distinct surviving seeds, in rank order.
+
+        The batched peeling driver's round intake: one vectorized scan
+        over the remaining schedule (the cursor permanently skips the
+        peeled prefix, so repeated rounds do not rescan dead seeds).
+        Seeds are *peeked*, not consumed — a seed stays eligible until
+        something deactivates it, exactly like :meth:`next_active`.
+
+        Parameters
+        ----------
+        limit:
+            Maximum number of seeds to return (>= 1).
+
+        Returns
+        -------
+        numpy.ndarray
+            Active seed indices in schedule order; empty when
+            everything is peeled.
+        """
+        active = self._index.active_mask
+        remaining = self._order[self._cursor :]
+        alive = np.flatnonzero(active[remaining])
+        if alive.size == 0:
+            self._cursor = self._order.size
+            return np.empty(0, dtype=np.intp)
+        self._cursor += int(alive[0])
+        return remaining[alive[: max(1, int(limit))]]
+
 
 class ALID:
-    """Sequential ALID detector with the paper's peeling protocol (§4.4).
+    """Dominant-cluster detector with the paper's peeling protocol (§4.4).
+
+    Detection peels one dominant cluster after another until every item
+    is gone; the default driver batches the peel into seed rounds (see
+    :class:`~repro.core.config.ALIDConfig.peel_driver`) with results
+    equivalent to the paper-literal sequential loop.
+
+    Parameters
+    ----------
+    config:
+        Detection configuration; None uses the paper defaults.
+
+    Attributes
+    ----------
+    engine_:
+        The :class:`ALIDEngine` built by the last :meth:`fit` call
+        (kernel, oracle, LSH index), or None before fitting.
 
     Example
     -------
@@ -367,21 +593,36 @@ class ALID:
             Data matrix ``(n, d)``.
         budget_entries:
             Optional simulated-memory cap (see
-            :class:`~repro.affinity.oracle.AffinityOracle`).
+            :class:`~repro.affinity.oracle.AffinityOracle`).  A budget
+            caps the detection cohort at one seed per round so the
+            eviction behaviour matches the sequential peel; the noise
+            pre-filter (which stores nothing) stays on.
         max_clusters:
             Optional cap on peeling rounds (diagnostics only; the paper
-            peels until every item is gone).
+            peels until every item is gone).  A capped run uses the
+            sequential driver so no cohort detection is ever computed
+            past the cap and the work accounting stays cap-exact.
 
         Returns
         -------
         DetectionResult
             Dominant clusters (density >= ``config.density_threshold`` and
             size >= ``config.min_cluster_size``), plus every peeled
-            cluster in ``all_clusters``.
+            cluster in ``all_clusters``.  ``metadata`` carries the
+            per-round driver statistics (``seed_rounds``,
+            ``noise_prefiltered``, ``lid_runs``, ``noise_lid_runs``,
+            ``max_cohort``).
         """
         data = check_data_matrix(data)
         if data.shape[0] == 0:
             raise EmptyDatasetError("cannot fit ALID on an empty dataset")
+        stats = {
+            "seed_rounds": 0,
+            "noise_prefiltered": 0,
+            "lid_runs": 0,
+            "noise_lid_runs": 0,
+            "max_cohort": 0,
+        }
         with timed() as clock:
             engine = ALIDEngine(
                 data, self.config, budget_entries=budget_entries
@@ -389,32 +630,31 @@ class ALID:
             self.engine_ = engine
             schedule = SeedSchedule(engine.index)
             all_clusters: list[Cluster] = []
-            label = 0
             cap = max_clusters if max_clusters is not None else data.shape[0]
-            while len(all_clusters) < cap:
-                seed = schedule.next_active()
-                if seed is None:
-                    break
-                detection = engine.detect_from_seed(seed)
-                members = detection.members
-                if members.size == 0:
-                    # Degenerate: peel the seed alone so progress is made.
-                    members = np.asarray([seed], dtype=np.intp)
-                    weights = np.asarray([1.0])
-                    density = 0.0
-                else:
-                    weights = detection.weights
-                    density = detection.density
-                cluster = Cluster(
-                    members=members,
-                    weights=weights,
-                    density=density,
-                    label=label,
-                    seed=seed,
+            # verify_global's exact full-range scan can resurrect items
+            # with no LSH collisions, which voids both the pre-filter
+            # proof and the component-independence invariant; a
+            # max_clusters cap can truncate a round mid-plan, wasting
+            # cohort detections the sequential driver would never have
+            # started.  Both (diagnostics-only) modes fall back to the
+            # paper-literal loop so the work accounting stays exact.
+            if (
+                self.config.peel_driver == "batched"
+                and not self.config.verify_global
+                and max_clusters is None
+            ):
+                cohort_cap = (
+                    1
+                    if budget_entries is not None
+                    else self.config.seed_block_size
                 )
-                all_clusters.append(cluster)
-                label += 1
-                engine.index.deactivate(members)
+                self._peel_batched(
+                    engine, schedule, all_clusters, cap, cohort_cap, stats
+                )
+            else:
+                self._peel_sequential(
+                    engine, schedule, all_clusters, cap, stats
+                )
         dominant = [
             c
             for c in all_clusters
@@ -432,5 +672,176 @@ class ALID:
                 "kernel_k": engine.kernel.k,
                 "lsh_r": engine.lsh_r,
                 "peeling_rounds": len(all_clusters),
+                **stats,
             },
         )
+
+    # ------------------------------------------------------------------
+    # peeling drivers
+    # ------------------------------------------------------------------
+    def _emit(
+        self,
+        engine: ALIDEngine,
+        all_clusters: list[Cluster],
+        seed: int,
+        members: np.ndarray,
+        weights: np.ndarray,
+        density: float,
+    ) -> None:
+        """Record one peeled cluster and deactivate its members."""
+        cluster = Cluster(
+            members=members,
+            weights=weights,
+            density=density,
+            label=len(all_clusters),
+            seed=seed,
+        )
+        all_clusters.append(cluster)
+        engine.index.deactivate(members)
+
+    def _is_noise(self, members: np.ndarray, density: float) -> bool:
+        """True when a detection falls below the dominance thresholds."""
+        return (
+            density < self.config.density_threshold
+            or members.size < self.config.min_cluster_size
+        )
+
+    def _emit_detection(
+        self,
+        engine: ALIDEngine,
+        all_clusters: list[Cluster],
+        seed: int,
+        detection: _SingleDetection,
+        stats: dict,
+    ) -> None:
+        """Emit one Alg. 2 detection, with the degenerate fallback.
+
+        Shared by both drivers so the batch-vs-sequential equivalence
+        contract cannot silently desynchronize: an empty detection
+        peels the seed alone (progress guarantee), and sub-dominant
+        results are counted as noise LID runs.
+        """
+        members = detection.members
+        if members.size == 0:
+            # Degenerate: peel the seed alone so progress is made.
+            members = np.asarray([seed], dtype=np.intp)
+            weights = np.asarray([1.0])
+            density = 0.0
+        else:
+            weights = detection.weights
+            density = detection.density
+        if self._is_noise(members, density):
+            stats["noise_lid_runs"] += 1
+        self._emit(engine, all_clusters, seed, members, weights, density)
+
+    def _peel_sequential(
+        self,
+        engine: ALIDEngine,
+        schedule: SeedSchedule,
+        all_clusters: list[Cluster],
+        cap: int,
+        stats: dict,
+    ) -> None:
+        """The paper-literal §4.4 loop: one seed, one peel, repeat."""
+        while len(all_clusters) < cap:
+            seed = schedule.next_active()
+            if seed is None:
+                break
+            stats["seed_rounds"] += 1
+            stats["lid_runs"] += 1
+            stats["max_cohort"] = max(stats["max_cohort"], 1)
+            detection = engine.detect_from_seed(seed)
+            self._emit_detection(engine, all_clusters, seed, detection, stats)
+
+    def _peel_batched(
+        self,
+        engine: ALIDEngine,
+        schedule: SeedSchedule,
+        all_clusters: list[Cluster],
+        cap: int,
+        cohort_cap: int,
+        stats: dict,
+    ) -> None:
+        """Batched seed rounds with the vectorized noise pre-filter.
+
+        Per round: (1) pull a rank-ordered block of surviving seeds,
+        (2) classify them against one fused-CSR bucket-population pass —
+        noise-isolated seeds (no active LSH collision) peel as
+        zero-work singletons without ever touching LID, (3) run the
+        longest prefix of colliding seeds whose collision components
+        are pairwise distinct as one detection cohort.  The prefix rule
+        stops at the first seed whose component was already claimed
+        this round (its detection would depend on an earlier peel), so
+        emissions follow schedule order exactly and every detection is
+        computed against the same active state the sequential driver
+        would have shown it.
+        """
+        index = engine.index
+        while len(all_clusters) < cap:
+            block = schedule.next_block(self.config.seed_block_size)
+            if block.size == 0:
+                break
+            stats["seed_rounds"] += 1
+            colliding = index.colliding_mask()
+            components: np.ndarray | None = None
+            claimed: set[int] = set()
+            cohort: list[int] = []
+            plan: list[tuple[int, bool]] = []  # (seed, prefiltered)
+            budget = cap - len(all_clusters)
+            for seed in block:
+                if len(plan) >= budget:
+                    break
+                seed = int(seed)
+                if not colliding[seed]:
+                    plan.append((seed, True))
+                    continue
+                if components is None:
+                    # Lazy: all-noise tail rounds never pay for this.
+                    components = index.collision_components()
+                component = int(components[seed])
+                if component in claimed or len(cohort) >= cohort_cap:
+                    break
+                claimed.add(component)
+                cohort.append(seed)
+                plan.append((seed, False))
+            detections = dict(
+                zip(cohort, engine.detect_cohort(cohort))
+            ) if cohort else {}
+            stats["lid_runs"] += len(cohort)
+            stats["max_cohort"] = max(stats["max_cohort"], len(cohort))
+            for seed, prefiltered in plan:
+                if len(all_clusters) >= cap:
+                    break
+                if prefiltered:
+                    # Noise-isolated: Alg. 2 from here provably returns
+                    # the bare seed at density 0 without any kernel
+                    # work, so emit that result directly.
+                    stats["noise_prefiltered"] += 1
+                    self._emit(
+                        engine,
+                        all_clusters,
+                        seed,
+                        np.asarray([seed], dtype=np.intp),
+                        np.asarray([1.0]),
+                        0.0,
+                    )
+                    continue
+                detection = detections[seed]
+                while True:
+                    self._emit_detection(
+                        engine, all_clusters, seed, detection, stats
+                    )
+                    # A detection's support can drift away from its
+                    # seed; the sequential driver then re-picks the
+                    # same (still-active) seed before advancing.
+                    # Re-running it here keeps the emission order
+                    # paper-exact — the re-run stays inside the
+                    # component this seed claimed, so no other planned
+                    # seed is affected.
+                    if (
+                        not engine.index.active_mask[seed]
+                        or len(all_clusters) >= cap
+                    ):
+                        break
+                    stats["lid_runs"] += 1
+                    detection = engine.detect_from_seed(seed)

@@ -48,6 +48,7 @@ def civs_retrieve(
     delta: int,
     *,
     exclude: np.ndarray | None = None,
+    candidates: np.ndarray | None = None,
 ) -> CIVSResult:
     """Retrieve candidate infective vertices inside the ROI.
 
@@ -70,6 +71,13 @@ def civs_retrieve(
     exclude:
         Additional global indices to drop from the result (the support
         itself is always dropped — psi must contain *new* vertices only).
+    candidates:
+        Precomputed LSH collision union for *support* — must equal
+        ``index.query_items(support)``.  The batched peeling driver
+        passes the per-seed slice of one
+        :meth:`~repro.lsh.index.LSHIndex.query_items_grouped` call here
+        so a whole seed cohort shares a single fused gather; ``None``
+        queries the index directly (the sequential path).
 
     Returns
     -------
@@ -77,7 +85,8 @@ def civs_retrieve(
         Candidates sorted by distance to the centre, nearest first.
     """
     support = check_index_array(support, index.n, name="support")
-    candidates = index.query_items(support)
+    if candidates is None:
+        candidates = index.query_items(support)
     n_raw = int(candidates.size)
     if candidates.size == 0:
         return CIVSResult(psi=np.empty(0, dtype=np.intp), n_candidates=0)

@@ -61,6 +61,18 @@ class ALIDConfig:
         c / rate))`` (paper Eq. 16 uses offset 4 and rate 2).
     min_cluster_size:
         Dominant clusters smaller than this are reported as noise.
+    peel_driver:
+        Which §4.4 peeling driver :meth:`repro.core.alid.ALID.fit`
+        uses.  ``"batched"`` (default) runs seed-block rounds with the
+        vectorized noise pre-filter and cohort detection — detections
+        are equivalent to the sequential peel (same clusters, in the
+        same order, with identical work accounting) but the per-seed
+        Python overhead is amortised.  ``"sequential"`` forces the
+        paper-literal one-seed-at-a-time loop (reference / debugging).
+    seed_block_size:
+        Maximum number of surviving seeds pulled from the schedule per
+        batched peeling round (upper bound on both the pre-filtered
+        block and the detection cohort).
     verify_global:
         If True, after ROI/CIVS convergence the detector performs an exact
         full scan for remaining infective vertices (only sensible for
@@ -86,6 +98,8 @@ class ALIDConfig:
     roi_growth_offset: float = 4.0
     roi_growth_rate: float = 2.0
     min_cluster_size: int = 2
+    peel_driver: str = "batched"
+    seed_block_size: int = 256
     verify_global: bool = False
     seed: int = 0
     extras: dict = field(default_factory=dict, compare=False)
@@ -121,4 +135,13 @@ class ALIDConfig:
         if self.min_cluster_size < 1:
             raise ValidationError(
                 f"min_cluster_size must be >= 1, got {self.min_cluster_size}"
+            )
+        if self.peel_driver not in ("batched", "sequential"):
+            raise ValidationError(
+                f"peel_driver must be 'batched' or 'sequential', "
+                f"got {self.peel_driver!r}"
+            )
+        if self.seed_block_size < 1:
+            raise ValidationError(
+                f"seed_block_size must be >= 1, got {self.seed_block_size}"
             )

@@ -155,11 +155,16 @@ class LIDState:
     def extend(self, psi: np.ndarray) -> None:
         """Grow the local range with new vertices psi (CIVS output).
 
-        Implements paper Eq. 17: the new vertices join with zero weight and
-        their payoff entries ``g_psi = A[psi, alpha] @ x_alpha`` are
-        computed through the oracle.  Cached columns are extended with
-        their psi rows in one batched block call, so previously computed
-        entries are not recomputed.
+        Implements paper Eq. 17: the new vertices join with zero weight
+        and their payoff entries ``g_psi = A[psi, alpha] @ x_alpha`` are
+        computed through the oracle.  The payoff block ``A[psi, alpha]``
+        and the psi-row extension of every cached column come from
+        **one** fused block fetch
+        (:meth:`~repro.affinity.cache.ColumnBlockCache.extend_rows`
+        with ``fetch_cols=alpha``): support columns that are already
+        cached — the common case after a converged LID period — are
+        charged once instead of twice, and nothing speculative is ever
+        computed.
         """
         psi = check_index_array(psi, self.oracle.n, name="psi")
         if psi.size == 0:
@@ -170,11 +175,11 @@ class LIDState:
         alpha_pos = self.support_positions()
         alpha = self.beta[alpha_pos]
         if alpha.size > 0:
-            block = self.oracle.block(psi, alpha)
+            block = self._cache.extend_rows(psi, fetch_cols=alpha)
             g_psi = block @ self.x[alpha_pos]
         else:
+            self._cache.extend_rows(psi)
             g_psi = np.zeros(psi.size, dtype=np.float64)
-        self._cache.extend_rows(psi)
         self.beta = np.concatenate([self.beta, psi])
         self.x = np.concatenate([self.x, np.zeros(psi.size)])
         self.g = np.concatenate([self.g, g_psi])

@@ -24,11 +24,19 @@ Implementation notes
   (one query per supporting item, paper Fig. 4(b)) cheap.
 * Peeling (paper §4.4) uses an *active mask*: peeled items stay in the
   tables but are filtered out of every query — O(1) per peel, no rebuild.
+* The batched peeling driver reads the collision *structure* directly:
+  :meth:`LSHIndex.active_bucket_populations` (one ``reduceat`` over the
+  fused CSR), :meth:`LSHIndex.colliding_mask` (noise pre-filter),
+  :meth:`LSHIndex.collision_components` (independent-seed cohorts) and
+  :meth:`LSHIndex.query_items_grouped` (one gather serving a whole seed
+  cohort's CIVS queries).
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components
 
 from repro.exceptions import ValidationError
 from repro.lsh.hashing import PStableHashFamily
@@ -114,6 +122,7 @@ class _Table:
             return (codes * self.mixer[None, :]).sum(axis=1, dtype=np.uint64)
 
     def key_of_point(self, point: np.ndarray) -> int:
+        """Bucket key of a single point (see :meth:`keys_of_points`)."""
         return int(self.keys_of_points(point[None, :])[0])
 
     def bucket_ranges(
@@ -378,6 +387,80 @@ class LSHIndex:
             parts.append(table.gather(keys))
         return self._finalize(np.concatenate(parts))
 
+    def query_items_grouped(
+        self, groups: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Run :meth:`query_items` for several index sets in one fused pass.
+
+        This is the seed-block form of the CIVS multi-query pattern: a
+        cohort of concurrently peeled seeds issues one grouped retrieval
+        instead of one :meth:`query_items` call per seed.  Buckets of
+        every group are gathered together, then candidates are
+        deduplicated *per group* with a single ``np.unique`` over
+        ``group_id * n + item`` keys — no Python loop over tables or
+        candidates.
+
+        Parameters
+        ----------
+        groups:
+            Sequence of index arrays; each array plays the role of the
+            ``indices`` argument of :meth:`query_items`.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            ``out[i]`` is exactly ``self.query_items(groups[i])``:
+            sorted, deduplicated, active-only, and excluding the
+            group's own items (but *not* other groups' items).
+        """
+        results: list[np.ndarray] = [
+            np.empty(0, dtype=np.intp) for _ in groups
+        ]
+        n = self.n
+        n_buckets = int(self._g_lengths.size)
+        pair_parts: list[np.ndarray] = []
+        query_key_parts: list[np.ndarray] = []
+        for gid, group in enumerate(groups):
+            group = check_index_array(group, n, name="groups")
+            if group.size == 0:
+                continue
+            buckets = self._item_buckets[:, group].ravel()
+            pair_parts.append(
+                np.int64(gid) * n_buckets + buckets.astype(np.int64)
+            )
+            query_key_parts.append(
+                np.int64(gid) * n + group.astype(np.int64)
+            )
+        if not pair_parts:
+            return results
+        # Unique (group, bucket) pairs -> one multi-range member gather.
+        pair_keys = np.unique(np.concatenate(pair_parts))
+        bucket_ids = (pair_keys % n_buckets).astype(np.intp)
+        pair_gids = pair_keys // n_buckets
+        lengths = self._g_lengths[bucket_ids]
+        members = _csr_gather(
+            self._g_members, self._g_starts[bucket_ids], lengths
+        )
+        # Unique (group, item) pairs: dedup within each group only.
+        member_keys = np.repeat(pair_gids, lengths) * n + members
+        member_keys = np.unique(member_keys)
+        items = (member_keys % n).astype(np.intp)
+        gids = member_keys // n
+        keep = self._active[items]
+        if query_key_parts:
+            own = np.unique(np.concatenate(query_key_parts))
+            keep &= np.isin(member_keys, own, invert=True)
+        items = items[keep]
+        gids = gids[keep]
+        # Split the flat result at group boundaries; keys are sorted by
+        # (group, item), so every slice comes out sorted.
+        bounds = np.searchsorted(gids, np.arange(len(groups) + 1))
+        for gid in range(len(groups)):
+            lo, hi = int(bounds[gid]), int(bounds[gid + 1])
+            if hi > lo:
+                results[gid] = items[lo:hi]
+        return results
+
     # ------------------------------------------------------------------
     # bucket statistics (PALID seed sampling, paper §4.6)
     # ------------------------------------------------------------------
@@ -387,6 +470,83 @@ class LSHIndex:
             return np.zeros(0, dtype=np.int64)
         flags = self._active[table.members].astype(np.int64)
         return np.add.reduceat(flags, table.offsets[:-1])
+
+    def active_bucket_populations(self) -> np.ndarray:
+        """Active-member count of every fused-CSR bucket, in one pass.
+
+        Buckets are laid out contiguously in the index-level member
+        array (table 0's buckets first, then table 1's, ...), so a
+        single ``np.add.reduceat`` over the active flags yields the
+        population of **every bucket of every table** without touching
+        per-table Python.  This is the bucket-population primitive the
+        batched peeling driver's noise pre-filter is built on (§4.4 /
+        §4.6: items in small buckets are unlikely dominant-cluster
+        members).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` array of length ``total buckets`` (all tables),
+            aligned with the fused bucket ids used by
+            ``_item_buckets``.
+        """
+        if self._g_members.size == 0:
+            return np.zeros(self._g_lengths.size, dtype=np.int64)
+        flags = self._active[self._g_members].astype(np.int64)
+        return np.add.reduceat(flags, self._g_starts)
+
+    def colliding_mask(self) -> np.ndarray:
+        """Boolean mask of active items with >= 1 active LSH collision.
+
+        ``colliding_mask()[i]`` is True exactly when
+        ``query_item(i).size > 0``: the item is active and shares a
+        bucket with another active item in at least one table.  Items
+        where it is False are *noise-isolated*: an Alg. 2 run seeded
+        there can never retrieve anything (CIVS candidates come from
+        LSH collisions only) and provably peels as a zero-work
+        singleton.  One fused bucket-population pass, no queries.
+        """
+        populations = self.active_bucket_populations()
+        if populations.size == 0:
+            return np.zeros(self.n, dtype=bool)
+        has_companion = (populations[self._item_buckets] >= 2).any(axis=0)
+        return self._active & has_companion
+
+    def collision_components(self) -> np.ndarray:
+        """Connected components of the active collision graph.
+
+        Two active items are connected when they share a bucket in any
+        table; components are the transitive closure.  A seeded Alg. 2
+        run can only ever reach items inside its seed's component
+        (CIVS retrieval is LSH-collision-bound), so seeds in distinct
+        components peel independently — the invariant the batched
+        driver uses to build conflict-free seed cohorts.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` labels of length ``n``; inactive items get -1.
+            Label values are arbitrary but consistent within one call.
+        """
+        n = self.n
+        labels = np.full(n, -1, dtype=np.int64)
+        active_items = np.flatnonzero(self._active)
+        if active_items.size == 0:
+            return labels
+        populations = self.active_bucket_populations()
+        item_buckets = self._item_buckets[:, active_items]  # (l, m)
+        # Only buckets holding >= 2 active members can connect items.
+        useful = populations[item_buckets] >= 2
+        rows = np.broadcast_to(active_items, item_buckets.shape)[useful]
+        cols = item_buckets[useful] + n
+        n_nodes = n + int(self._g_lengths.size)
+        bipartite = csr_matrix(
+            (np.ones(rows.size, dtype=np.int8), (rows, cols)),
+            shape=(n_nodes, n_nodes),
+        )
+        _, component = connected_components(bipartite, directed=False)
+        labels[active_items] = component[active_items]
+        return labels
 
     def item_bucket_sizes(
         self, table: int = 0, *, active_only: bool = False

@@ -199,3 +199,75 @@ class TestEviction:
         assert 2 not in cache
         assert cache.n_columns == 2
         assert oracle.counters.entries_stored_current <= 40
+
+
+class TestFusedExtend:
+    """extend_rows(fetch_cols=...) — the accounting-neutral fused fetch."""
+
+    def test_returns_requested_block(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        reference = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.ensure(np.asarray([2, 4]))
+        new_rows = np.asarray([20, 25, 30], dtype=np.intp)
+        fetch_cols = np.asarray([4, 7], dtype=np.intp)
+        block = cache.extend_rows(new_rows, fetch_cols=fetch_cols)
+        assert block.shape == (3, 2)
+        expected = reference.block(new_rows, fetch_cols)
+        assert np.allclose(block, expected)
+
+    def test_overlapping_columns_charged_once(self, blob_data, rows):
+        """A requested column that is already cached must not be
+        computed twice over the new rows."""
+        oracle = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.ensure(np.asarray([2, 4]))
+        computed = oracle.counters.entries_computed
+        new_rows = np.asarray([20, 25], dtype=np.intp)
+        # fetch col 4 (cached) and col 7 (not cached): the union is
+        # {2, 4, 7} -> 3 columns x 2 new rows, not (2 + 2) x 2.
+        cache.extend_rows(new_rows, fetch_cols=np.asarray([4, 7]))
+        assert oracle.counters.entries_computed - computed == 3 * 2
+        # Only the cached columns' extension counts as stored.
+        assert oracle.counters.entries_stored_current == 2 * (rows.size + 2)
+
+    def test_fetch_cols_not_admitted(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.ensure(np.asarray([2]))
+        cache.extend_rows(np.asarray([20]), fetch_cols=np.asarray([7]))
+        assert 7 not in cache
+        assert 2 in cache
+
+    def test_cached_columns_extended_correctly(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        reference = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        cache.ensure(np.asarray([2, 4]))
+        new_rows = np.asarray([20, 25], dtype=np.intp)
+        cache.extend_rows(new_rows, fetch_cols=np.asarray([2, 9]))
+        full_rows = np.concatenate([rows, new_rows])
+        for j in (2, 4):
+            assert np.allclose(
+                cache.peek(j), reference.column(j, rows=full_rows)
+            )
+
+    def test_empty_cache_fetch_only(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        reference = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        block = cache.extend_rows(
+            np.asarray([20, 25]), fetch_cols=np.asarray([3])
+        )
+        assert np.allclose(block, reference.block(np.asarray([20, 25]),
+                                                  np.asarray([3])))
+        assert oracle.counters.entries_stored_current == 0
+
+    def test_empty_new_rows(self, blob_data, rows):
+        oracle = make_oracle(blob_data)
+        cache = ColumnBlockCache(oracle, rows)
+        block = cache.extend_rows(
+            np.asarray([], dtype=np.intp), fetch_cols=np.asarray([3])
+        )
+        assert block.shape == (0, 1)
+        assert cache.extend_rows(np.asarray([], dtype=np.intp)) is None

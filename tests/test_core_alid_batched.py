@@ -1,0 +1,263 @@
+"""Batched peeling driver: equivalence with the sequential peel + edges.
+
+The batched driver (default ``peel_driver="batched"``) must be a pure
+performance transformation of §4.4: identical clusters, in identical
+order, with identical work accounting.  These tests pin that contract on
+seeded synthetic workloads and exercise the noise pre-filter's edge
+cases (all-noise, one giant cluster, tiny/empty datasets).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alid import ALID, ALIDEngine
+from repro.core.config import ALIDConfig
+from repro.datasets.synthetic import make_synthetic_mixture
+from repro.exceptions import EmptyDatasetError, ValidationError
+
+
+def _fit_both(data, **config_kwargs):
+    """Fit with both drivers on fresh engines; return (sequential, batched)."""
+    sequential = ALID(
+        ALIDConfig(peel_driver="sequential", **config_kwargs)
+    ).fit(data)
+    batched = ALID(
+        ALIDConfig(peel_driver="batched", **config_kwargs)
+    ).fit(data)
+    return sequential, batched
+
+
+def assert_equivalent(sequential, batched):
+    """Same detections — same order, members, weights, density, seeds —
+    and the same ``entries_computed``."""
+    assert len(sequential.all_clusters) == len(batched.all_clusters)
+    for cs, cb in zip(sequential.all_clusters, batched.all_clusters):
+        assert cs.label == cb.label
+        assert cs.seed == cb.seed
+        assert np.array_equal(cs.members, cb.members)
+        assert np.array_equal(cs.weights, cb.weights)
+        assert cs.density == cb.density
+    assert (
+        sequential.counters.entries_computed
+        == batched.counters.entries_computed
+    )
+
+
+class TestBatchSequentialEquivalence:
+    def test_blob_workload(self, blob_data):
+        data, _ = blob_data
+        sequential, batched = _fit_both(
+            data,
+            delta=50,
+            lsh_projections=16,
+            lsh_tables=20,
+            density_threshold=0.5,
+            seed=0,
+        )
+        assert_equivalent(sequential, batched)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_synthetic_mixture(self, seed):
+        dataset = make_synthetic_mixture(
+            n=400, regime="bounded", bound=200, n_clusters=8, dim=16,
+            seed=seed,
+        )
+        sequential, batched = _fit_both(dataset.data, seed=seed)
+        assert_equivalent(sequential, batched)
+
+    def test_small_block_size_still_equivalent(self, small_mixture):
+        """A tiny seed block forces many rounds; results must not change."""
+        sequential, batched = _fit_both(
+            small_mixture.data, seed=1, seed_block_size=3
+        )
+        assert_equivalent(sequential, batched)
+        assert batched.metadata["seed_rounds"] >= sequential.n_clusters
+
+    def test_budget_entries_equivalent(self, small_mixture):
+        """Under a storage budget the cohort degrades to one seed per
+        round, so eviction behaviour matches the sequential peel."""
+        budget = 60_000
+        sequential = ALID(
+            ALIDConfig(peel_driver="sequential", seed=1)
+        ).fit(small_mixture.data, budget_entries=budget)
+        batched = ALID(
+            ALIDConfig(peel_driver="batched", seed=1)
+        ).fit(small_mixture.data, budget_entries=budget)
+        assert_equivalent(sequential, batched)
+        assert batched.metadata["max_cohort"] <= 1
+
+    def test_verify_global_falls_back_to_sequential(self, blob_data):
+        """verify_global's exact scan can resurrect LSH-isolated items:
+        the batched driver must not pre-filter them away."""
+        data, _ = blob_data
+        config = ALIDConfig(
+            delta=50,
+            lsh_projections=16,
+            lsh_tables=20,
+            verify_global=True,
+            seed=0,
+        )
+        result = ALID(config).fit(data)
+        assert result.metadata["noise_prefiltered"] == 0
+        sequential = ALID(
+            ALIDConfig(
+                delta=50,
+                lsh_projections=16,
+                lsh_tables=20,
+                verify_global=True,
+                seed=0,
+                peel_driver="sequential",
+            )
+        ).fit(data)
+        assert_equivalent(sequential, result)
+
+
+class TestNoisePrefilter:
+    def test_all_noise_dataset(self, rng):
+        """Widely scattered points: everything peels as singletons and
+        the pre-filter should kill (nearly) every seed without LID.
+
+        The kernel scale is pinned so the auto-calibration cannot zoom
+        into the noise and manufacture collisions.
+        """
+        data = rng.uniform(-500, 500, size=(80, 6))
+        sequential, batched = _fit_both(data, seed=0, kernel_k=1.0)
+        assert_equivalent(sequential, batched)
+        assert batched.n_clusters == 0
+        meta = batched.metadata
+        assert meta["noise_prefiltered"] == 80
+        assert meta["lid_runs"] == 0
+        assert meta["seed_rounds"] == 1
+
+    def test_single_giant_cluster(self, rng):
+        """One dense cluster covering the whole dataset: the first peel
+        takes (almost) everything, still equivalent."""
+        data = rng.normal(scale=0.05, size=(60, 8))
+        sequential, batched = _fit_both(data, seed=0)
+        assert_equivalent(sequential, batched)
+        assert batched.n_clusters >= 1
+        assert batched.clusters[0].size >= 30
+        # Round 1 sees one component: its cohort is a single seed.
+        assert batched.metadata["max_cohort"] <= 2
+
+    def test_prefiltered_seeds_do_zero_kernel_work(self, rng):
+        """An all-isolated dataset must be peeled with no oracle work
+        beyond the kernel auto-calibration (which charges nothing)."""
+        data = rng.uniform(-1000, 1000, size=(40, 4))
+        result = ALID(ALIDConfig(seed=0, kernel_k=1.0)).fit(data)
+        if result.metadata["lid_runs"] == 0:
+            assert result.counters.entries_computed == 0
+        assert len(result.all_clusters) == 40
+
+    def test_round_stats_in_metadata(self, small_mixture):
+        result = ALID(ALIDConfig(seed=1)).fit(small_mixture.data)
+        meta = result.metadata
+        for key in (
+            "seed_rounds",
+            "noise_prefiltered",
+            "lid_runs",
+            "noise_lid_runs",
+            "max_cohort",
+        ):
+            assert meta[key] >= 0
+        assert meta["seed_rounds"] <= meta["peeling_rounds"]
+        assert meta["noise_lid_runs"] <= meta["lid_runs"]
+        # The pre-filter is what makes rounds << peels on noisy data.
+        assert meta["noise_prefiltered"] > 0
+        assert meta["seed_rounds"] < meta["peeling_rounds"]
+
+
+class TestEdgeCases:
+    def test_empty_dataset_raises(self):
+        # check_data_matrix rejects the empty matrix first; both errors
+        # are ReproError/ValueError family members.
+        with pytest.raises((EmptyDatasetError, ValidationError)):
+            ALID(ALIDConfig(seed=0)).fit(np.empty((0, 5)))
+
+    def test_single_item(self):
+        result = ALID(ALIDConfig(seed=0)).fit(np.zeros((1, 3)))
+        assert len(result.all_clusters) == 1
+        assert result.all_clusters[0].members.tolist() == [0]
+        assert result.n_clusters == 0
+
+    def test_two_identical_items(self):
+        data = np.zeros((2, 3))
+        sequential, batched = _fit_both(data, seed=0)
+        assert_equivalent(sequential, batched)
+
+    def test_max_clusters_cap(self, small_mixture):
+        result = ALID(ALIDConfig(seed=1)).fit(
+            small_mixture.data, max_clusters=3
+        )
+        assert len(result.all_clusters) == 3
+
+    def test_max_clusters_cap_below_block(self, rng):
+        """Cap smaller than one pre-filter block must still be exact."""
+        data = rng.uniform(-500, 500, size=(50, 4))
+        result = ALID(ALIDConfig(seed=0)).fit(data, max_clusters=5)
+        assert len(result.all_clusters) == 5
+
+    def test_invalid_driver_rejected(self):
+        with pytest.raises(ValidationError):
+            ALIDConfig(peel_driver="warp")
+
+    def test_invalid_block_size_rejected(self):
+        with pytest.raises(ValidationError):
+            ALIDConfig(seed_block_size=0)
+
+
+class TestDetectCohort:
+    def test_matches_detect_from_seed_fixed_mask(self, blob_data):
+        """PALID-style cohorts (no peeling between seeds, overlapping
+        components allowed) must match per-seed detection exactly."""
+        data, labels = blob_data
+        config = ALIDConfig(
+            delta=50, lsh_projections=16, lsh_tables=20, seed=0
+        )
+        seeds = [0, 1, 20, 21, 40]
+        cohort_engine = ALIDEngine(data, config)
+        cohort = cohort_engine.detect_cohort(seeds)
+        solo_engine = ALIDEngine(data, config)
+        for seed, detection in zip(seeds, cohort):
+            solo = solo_engine.detect_from_seed(seed)
+            assert np.array_equal(solo.members, detection.members)
+            assert np.array_equal(solo.weights, detection.weights)
+            assert solo.density == detection.density
+            assert solo.outer_iterations == detection.outer_iterations
+
+    def test_cohort_work_accounting_matches(self, blob_data):
+        data, _ = blob_data
+        config = ALIDConfig(
+            delta=50, lsh_projections=16, lsh_tables=20, seed=0
+        )
+        seeds = [0, 20, 41, 47]
+        cohort_engine = ALIDEngine(data, config)
+        cohort_engine.detect_cohort(seeds)
+        solo_engine = ALIDEngine(data, config)
+        for seed in seeds:
+            solo_engine.detect_from_seed(seed)
+        assert (
+            cohort_engine.oracle.counters.entries_computed
+            == solo_engine.oracle.counters.entries_computed
+        )
+
+    def test_empty_cohort(self, blob_data):
+        data, _ = blob_data
+        engine = ALIDEngine(
+            data, ALIDConfig(lsh_projections=16, lsh_tables=20, seed=0)
+        )
+        assert engine.detect_cohort([]) == []
+
+    def test_traces_align(self, blob_data):
+        data, _ = blob_data
+        config = ALIDConfig(
+            delta=50, lsh_projections=16, lsh_tables=20, seed=0
+        )
+        engine = ALIDEngine(data, config)
+        traces = [[], []]
+        engine.detect_cohort([0, 20], traces=traces)
+        solo_engine = ALIDEngine(data, config)
+        solo_trace: list = []
+        solo_engine.detect_from_seed(0, trace=solo_trace)
+        assert traces[0] == solo_trace
+        assert len(traces[1]) > 0

@@ -1,0 +1,130 @@
+"""The docs gate (tools/check_docs.py) and the gate's own behaviour.
+
+Running the real checks in tier-1 keeps the CI docs lane honest: a
+broken docs link or a stripped public docstring fails locally before it
+fails in CI.
+"""
+
+import pathlib
+import sys
+import textwrap
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+class TestRepositoryIsClean:
+    def test_public_api_docstrings(self):
+        assert check_docs.check_docstrings() == []
+
+    def test_markdown_links_and_anchors(self):
+        assert check_docs.check_links() == []
+
+    def test_paper_map_covers_every_public_module(self):
+        assert check_docs.check_paper_map_coverage() == []
+
+    def test_main_exits_zero(self, capsys):
+        assert check_docs.main() == 0
+        assert "OK" in capsys.readouterr().out
+
+
+class TestDocstringChecker:
+    def _check(self, tmp_path, source):
+        module = tmp_path / "mod.py"
+        module.write_text(textwrap.dedent(source))
+        # The checker reports paths relative to the repo root; a temp
+        # module lives outside it, so relativize against tmp_path.
+        original = check_docs.REPO_ROOT
+        check_docs.REPO_ROOT = tmp_path
+        try:
+            return check_docs.check_docstrings([module])
+        finally:
+            check_docs.REPO_ROOT = original
+
+    def test_flags_missing_module_docstring(self, tmp_path):
+        problems = self._check(tmp_path, "x = 1\n")
+        assert any("module docstring" in p for p in problems)
+
+    def test_flags_public_function_and_method(self, tmp_path):
+        problems = self._check(
+            tmp_path,
+            '''
+            """Module."""
+            def f():
+                pass
+
+            class C:
+                """Class."""
+                def m(self):
+                    pass
+            ''',
+        )
+        assert any("'f'" in p for p in problems)
+        assert any("'C.m'" in p for p in problems)
+
+    def test_private_names_exempt(self, tmp_path):
+        problems = self._check(
+            tmp_path,
+            '''
+            """Module."""
+            def _helper():
+                pass
+
+            class _Hidden:
+                def also_fine(self):
+                    pass
+            ''',
+        )
+        assert problems == []
+
+    def test_empty_docstring_is_missing(self, tmp_path):
+        problems = self._check(
+            tmp_path,
+            '''
+            """Module."""
+            def f():
+                """   """
+            ''',
+        )
+        assert any("'f'" in p for p in problems)
+
+
+class TestLinkChecker:
+    def test_broken_file_link(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [other](missing.md)")
+        problems = check_docs.check_links([doc])
+        assert any("missing.md" in p for p in problems)
+
+    def test_broken_anchor(self, tmp_path):
+        target = tmp_path / "target.md"
+        target.write_text("# Real Heading\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [t](target.md#no-such-heading)")
+        problems = check_docs.check_links([doc])
+        assert any("no-such-heading" in p for p in problems)
+
+    def test_good_anchor_and_http_skipped(self, tmp_path):
+        target = tmp_path / "target.md"
+        target.write_text("## The Hot-Path Benchmark (`BENCH.json`)\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[a](target.md#the-hot-path-benchmark-benchjson) "
+            "[b](https://example.com/nowhere)"
+        )
+        assert check_docs.check_links([doc]) == []
+
+    @pytest.mark.parametrize(
+        "heading, slug",
+        [
+            ("Plain Words", "plain-words"),
+            ("With `code` and *stars*", "with-code-and-stars"),
+            ("Dots. And, punct!", "dots-and-punct"),
+        ],
+    )
+    def test_github_slug(self, heading, slug):
+        assert check_docs.github_slug(heading) == slug

@@ -269,3 +269,98 @@ class TestKeyOfPointConsistency:
             # The item lookup walks the inverted list; the point lookup
             # re-hashes.  Both must reach the identical buckets.
             assert by_point == by_item
+
+
+class TestGroupedQueries:
+    """query_items_grouped must match per-group query_items exactly."""
+
+    def test_matches_per_group(self, small_index):
+        groups = [
+            np.asarray([0, 1, 2], dtype=np.intp),
+            np.asarray([], dtype=np.intp),
+            np.asarray([30, 41, 55], dtype=np.intp),
+            np.arange(20, 33, dtype=np.intp),
+        ]
+        grouped = small_index.query_items_grouped(groups)
+        assert len(grouped) == len(groups)
+        for group, got in zip(groups, grouped):
+            assert np.array_equal(got, small_index.query_items(group))
+
+    def test_respects_active_mask(self, small_index):
+        small_index.deactivate(np.arange(0, 15))
+        groups = [np.asarray([20, 21]), np.asarray([45, 50])]
+        grouped = small_index.query_items_grouped(groups)
+        for group, got in zip(groups, grouped):
+            assert np.array_equal(got, small_index.query_items(group))
+            assert not np.isin(got, np.arange(0, 15)).any()
+
+    def test_groups_do_not_exclude_each_other(self, small_index):
+        """Only a group's OWN items are dropped from its result."""
+        grouped = small_index.query_items_grouped(
+            [np.asarray([0]), np.asarray([1])]
+        )
+        # Items 0 and 1 are in the same blob; each should retrieve the
+        # other even though both are query items of *some* group.
+        assert 1 in grouped[0]
+        assert 0 in grouped[1]
+
+    def test_all_empty(self, small_index):
+        out = small_index.query_items_grouped([np.asarray([], dtype=np.intp)])
+        assert out[0].size == 0
+
+    def test_out_of_range_rejected(self, small_index):
+        with pytest.raises(ValidationError):
+            small_index.query_items_grouped([np.asarray([10_000])])
+
+
+class TestCollisionStructure:
+    """colliding_mask / collision_components over the fused CSR."""
+
+    def test_colliding_mask_matches_query_item(self, small_index):
+        mask = small_index.colliding_mask()
+        for i in range(small_index.n):
+            assert mask[i] == (small_index.query_item(i).size > 0)
+
+    def test_colliding_mask_after_peeling(self, small_index):
+        # Peel one blob except a lone survivor: the survivor keeps its
+        # buckets but loses all active companions.
+        small_index.deactivate(np.arange(1, 20))
+        mask = small_index.colliding_mask()
+        for i in range(small_index.n):
+            expected = bool(
+                small_index.active_mask[i]
+                and small_index.query_item(i).size > 0
+            )
+            assert mask[i] == expected
+
+    def test_components_closed_under_collision(self, small_index):
+        comp = small_index.collision_components()
+        assert (comp[small_index.active_mask] >= 0).all()
+        for i in range(small_index.n):
+            for j in small_index.query_item(i):
+                assert comp[i] == comp[int(j)]
+
+    def test_isolated_items_are_singleton_components(self, small_index):
+        comp = small_index.collision_components()
+        mask = small_index.colliding_mask()
+        isolated = np.flatnonzero(small_index.active_mask & ~mask)
+        for i in isolated:
+            assert (comp == comp[i]).sum() == 1
+
+    def test_inactive_items_unlabelled(self, small_index):
+        small_index.deactivate(np.arange(0, 10))
+        comp = small_index.collision_components()
+        assert (comp[:10] == -1).all()
+
+    def test_bucket_populations_sum(self, small_index):
+        populations = small_index.active_bucket_populations()
+        # Every item appears once per table, so active populations sum
+        # to n_active * n_tables.
+        assert populations.sum() == (
+            small_index.n_active * small_index.n_tables
+        )
+        small_index.deactivate(np.arange(0, 30))
+        populations = small_index.active_bucket_populations()
+        assert populations.sum() == (
+            small_index.n_active * small_index.n_tables
+        )

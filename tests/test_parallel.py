@@ -272,3 +272,30 @@ class TestMapFaultTolerance:
         run_mapreduce(_WorkerOnlyFailJob(set()), [(0, 1)], n_workers=1,
                       stats=stats)
         assert stats == {"retried_chunks": 0, "worker_errors": []}
+
+
+class TestPALIDMapBlocks:
+    """Batched mappers (detect_cohort blocks) vs one-seed-per-task."""
+
+    def test_block_size_does_not_change_clusters(self, blob_data, palid_config):
+        data, _ = blob_data
+        per_seed = PALID(palid_config, map_block_size=1).fit(data)
+        blocked = PALID(palid_config, map_block_size=8).fit(data)
+        assert len(per_seed.all_clusters) == len(blocked.all_clusters)
+        for ca, cb in zip(per_seed.all_clusters, blocked.all_clusters):
+            assert ca.label == cb.label
+            assert np.array_equal(ca.members, cb.members)
+            assert ca.density == cb.density
+
+    def test_block_work_accounting_matches(self, blob_data, palid_config):
+        data, _ = blob_data
+        per_seed = PALID(palid_config, map_block_size=1).fit(data)
+        blocked = PALID(palid_config, map_block_size=8).fit(data)
+        assert (
+            per_seed.counters.entries_computed
+            == blocked.counters.entries_computed
+        )
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValidationError):
+            PALID(map_block_size=0)

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Documentation gate: docstrings, Markdown links, paper-map coverage.
+
+Three checks, all deterministic and dependency-free, run by the CI docs
+lane (and by ``tests/test_docs.py`` so the gate itself stays tested):
+
+1. **Docstring presence** on the public API: every module under the
+   public packages (``src/repro/{core,dynamics,lsh,affinity,parallel}``)
+   must carry a module docstring, and every public class, function, and
+   method in them a non-empty docstring.  This mirrors ruff's
+   D100/D101/D102/D103/D419 selection (which the CI lane also runs);
+   keeping a stdlib implementation here means contributors can run the
+   whole gate with no tools installed.
+2. **Markdown link/anchor integrity**: every relative link in
+   ``docs/*.md`` and ``README.md`` must point at an existing file, and
+   every ``#anchor`` must match a heading of the target document
+   (GitHub slug rules).
+3. **Paper-map coverage**: ``docs/paper_map.md`` must mention every
+   module file of the public packages — the acceptance bar for the
+   paper-to-code map staying complete as the codebase grows.
+
+Exit codes: 0 ok, 1 violations (listed on stderr).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+PUBLIC_PACKAGES = ("core", "dynamics", "lsh", "affinity", "parallel")
+DOC_FILES = ("README.md", "docs")
+PAPER_MAP = REPO_ROOT / "docs" / "paper_map.md"
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+# ----------------------------------------------------------------------
+# 1. docstrings
+# ----------------------------------------------------------------------
+def _public_module_paths() -> list[pathlib.Path]:
+    """Every .py file of the public packages (including __init__.py)."""
+    out: list[pathlib.Path] = []
+    for package in PUBLIC_PACKAGES:
+        package_dir = REPO_ROOT / "src" / "repro" / package
+        out.extend(sorted(package_dir.glob("*.py")))
+    return out
+
+
+def _missing_docstring(node: ast.AST) -> bool:
+    doc = ast.get_docstring(node, clean=False)
+    return doc is None or not doc.strip()
+
+
+def check_docstrings(paths: list[pathlib.Path] | None = None) -> list[str]:
+    """Return one violation string per missing public docstring."""
+    problems: list[str] = []
+    for path in paths if paths is not None else _public_module_paths():
+        rel = path.relative_to(REPO_ROOT)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        if _missing_docstring(tree):
+            problems.append(f"{rel}: missing module docstring")
+        for node in tree.body:
+            problems.extend(_check_def(node, rel, parent=None))
+    return problems
+
+
+def _check_def(node: ast.AST, rel: pathlib.Path, parent: str | None) -> list[str]:
+    problems: list[str] = []
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        name = node.name
+        qualified = f"{parent}.{name}" if parent else name
+        is_public = not name.startswith("_")
+        if is_public and _missing_docstring(node):
+            kind = "class" if isinstance(node, ast.ClassDef) else "function"
+            problems.append(
+                f"{rel}:{node.lineno}: public {kind} "
+                f"'{qualified}' has no docstring"
+            )
+        if isinstance(node, ast.ClassDef) and is_public:
+            for child in node.body:
+                problems.extend(_check_def(child, rel, parent=qualified))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# 2. markdown links + anchors
+# ----------------------------------------------------------------------
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    slug = heading.strip().lower()
+    # Drop inline code/emphasis markers, then everything that is not a
+    # word character, space, or hyphen.
+    slug = slug.replace("`", "").replace("*", "")
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _doc_paths() -> list[pathlib.Path]:
+    out: list[pathlib.Path] = []
+    for entry in DOC_FILES:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            out.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            out.append(path)
+    return out
+
+
+def _anchors_of(path: pathlib.Path) -> set[str]:
+    return {
+        github_slug(m.group(1)) for m in _HEADING_RE.finditer(path.read_text())
+    }
+
+
+def check_links(paths: list[pathlib.Path] | None = None) -> list[str]:
+    """Return one violation string per broken relative link or anchor."""
+    problems: list[str] = []
+    for path in paths if paths is not None else _doc_paths():
+        rel = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+        for match in _LINK_RE.finditer(path.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target, _, anchor = target.partition("#")
+            resolved = (
+                path if not target else (path.parent / target).resolve()
+            )
+            if not resolved.exists():
+                problems.append(f"{rel}: broken link -> {target}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if github_slug(anchor) not in _anchors_of(resolved):
+                    problems.append(
+                        f"{rel}: broken anchor -> {target}#{anchor}"
+                    )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# 3. paper-map coverage
+# ----------------------------------------------------------------------
+def check_paper_map_coverage(
+    paper_map: pathlib.Path = PAPER_MAP,
+) -> list[str]:
+    """Every public-package module must be mentioned in the paper map."""
+    if not paper_map.exists():
+        return [f"{paper_map.relative_to(REPO_ROOT)}: file is missing"]
+    text = paper_map.read_text()
+    problems: list[str] = []
+    for path in _public_module_paths():
+        mention = f"{path.parent.name}/{path.name}"
+        if mention not in text:
+            problems.append(
+                f"docs/paper_map.md: module {mention} is not mentioned"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """Run all three checks; print violations; return an exit code."""
+    problems = (
+        check_docstrings() + check_links() + check_paper_map_coverage()
+    )
+    if problems:
+        print(f"[check_docs] {len(problems)} violation(s):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("[check_docs] docstrings, links, and paper-map coverage OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

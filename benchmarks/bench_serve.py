@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Serve-path benchmark: snapshot round-trip + batch assignment throughput.
+
+Fits ALID on a deterministic synthetic mixture, persists the fitted
+state as a :class:`~repro.serve.snapshot.DetectionSnapshot`, reloads it,
+and assigns the whole dataset back in fixed-size batches through
+:class:`~repro.serve.service.ClusterService` — the serve-time workload
+the ROADMAP's heavy-traffic north star cares about.  Writes a
+machine-readable ``BENCH_serve.json``:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "workloads": {
+        "serve_full": {
+          "queries_per_second": 123456.0,
+          "entries_computed": 987654,
+          "entries_per_query": 197.5,
+          ...
+        }
+      }
+    }
+
+See ``docs/benchmarks.md`` for the full field reference.
+
+``queries_per_second`` and the wall fields track the perf trajectory
+(informational — machine-dependent).  ``entries_computed`` — the
+serve-side affinity work per full query sweep — is deterministic given
+the code and is gated in CI by ``check_hotpath_regression.py`` (the
+gate is generic over reports) against the committed baseline
+``benchmarks/results/BENCH_serve_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --workloads tiny full --output BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.alid import ALID  # noqa: E402
+from repro.core.config import ALIDConfig  # noqa: E402
+from repro.datasets.synthetic import make_synthetic_mixture  # noqa: E402
+from repro.serve import ClusterService, DetectionSnapshot  # noqa: E402
+
+# Fixed workloads; sizes/seeds must never change silently (the CI gate
+# compares `entries_computed` against the committed baseline, which is
+# only meaningful for identical inputs).  `full` (n=5000) is the
+# acceptance workload for serve throughput.
+WORKLOAD_SIZES = {
+    "tiny": dict(n=600, dim=16, n_clusters=6),
+    "full": dict(n=5000, dim=32, n_clusters=10),
+}
+_SEED = 7
+_BATCH = 1024
+
+
+def _make_data(size_key: str) -> np.ndarray:
+    spec = WORKLOAD_SIZES[size_key]
+    dataset = make_synthetic_mixture(
+        n=spec["n"],
+        regime="bounded",
+        bound=spec["n"] // 2,
+        n_clusters=spec["n_clusters"],
+        dim=spec["dim"],
+        seed=_SEED,
+    )
+    return dataset.data
+
+
+def bench_serve(size_key: str, scratch: pathlib.Path) -> dict:
+    """Fit, snapshot, reload (eager), assign every item back in batches."""
+    data = _make_data(size_key)
+    detector = ALID(ALIDConfig(seed=_SEED))
+    fit_start = time.perf_counter()
+    result = detector.fit(data)
+    fit_wall = time.perf_counter() - fit_start
+
+    snapshot_dir = scratch / f"snapshot_{size_key}"
+    save_start = time.perf_counter()
+    DetectionSnapshot.from_result(detector, result).save(snapshot_dir)
+    save_wall = time.perf_counter() - save_start
+    snapshot_bytes = sum(
+        p.stat().st_size for p in snapshot_dir.rglob("*") if p.is_file()
+    )
+
+    load_start = time.perf_counter()
+    service = ClusterService(snapshot_dir)
+    load_wall = time.perf_counter() - load_start
+
+    n = data.shape[0]
+    assigned = 0
+    assign_start = time.perf_counter()
+    for lo in range(0, n, _BATCH):
+        batch = service.assign(data[lo : lo + _BATCH])
+        assigned += int(batch.assigned_mask.sum())
+    assign_wall = max(time.perf_counter() - assign_start, 1e-9)
+    stats = service.stats()
+    return {
+        "n": int(n),
+        "dim": int(data.shape[1]),
+        "n_clusters": int(stats["n_clusters"]),
+        "n_queries": int(stats["queries"]),
+        "batch_size": _BATCH,
+        "fit_wall_seconds": round(fit_wall, 4),
+        "snapshot_save_seconds": round(save_wall, 4),
+        "snapshot_load_seconds": round(load_wall, 4),
+        "snapshot_mb": round(snapshot_bytes / 1e6, 3),
+        "wall_seconds": round(assign_wall, 4),
+        "queries_per_second": round(n / assign_wall, 1),
+        "entries_computed": int(stats["entries_computed"]),
+        "entries_per_query": round(stats["entries_computed"] / n, 2),
+        "assigned": assigned,
+        "coverage": round(assigned / n, 4),
+    }
+
+
+def run(workload_keys: list[str], scratch: pathlib.Path) -> dict:
+    workloads: dict[str, dict] = {}
+    for key in workload_keys:
+        print(f"[bench_serve] serve_{key} ...", flush=True)
+        workloads[f"serve_{key}"] = bench_serve(key, scratch)
+    return {
+        "schema_version": 1,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": workloads,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(WORKLOAD_SIZES),
+        default=["tiny", "full"],
+        help="workload sizes to run (default: tiny full)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_serve.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench_serve_") as scratch:
+        report = run(args.workloads, pathlib.Path(scratch))
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"[bench_serve] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

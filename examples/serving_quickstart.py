@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Serving quickstart: fit -> snapshot -> reload -> assign arriving queries.
+
+The serve-time story in four steps:
+
+1. fit ALID on a synthetic workload (the usual batch detection);
+2. persist the fitted state as a versioned snapshot directory
+   (data matrix, LSH hash state, kernel, every cluster's converged
+   strategy — with checksums, so corrupt artifacts never load);
+3. reload the snapshot as a *fresh process* would — nothing from the
+   fitting objects is reused, only the bytes on disk;
+4. answer "which dominant cluster does this item belong to?" for a
+   query batch through :class:`~repro.serve.service.ClusterService`,
+   using the same Theorem 1 infectivity test streaming absorb applies.
+
+Run:  python examples/serving_quickstart.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro import ALID, ALIDConfig, make_synthetic_mixture
+from repro.serve import ClusterService, DetectionSnapshot
+
+
+def main() -> None:
+    # --- 1. fit ------------------------------------------------------
+    dataset = make_synthetic_mixture(
+        n=1200, regime="bounded", bound=400, n_clusters=8, dim=24, seed=3
+    )
+    detector = ALID(ALIDConfig(delta=400, seed=0))
+    result = detector.fit(dataset.data)
+    print(f"fit: {result.summary()}")
+
+    with tempfile.TemporaryDirectory(prefix="alid_snapshot_") as scratch:
+        # --- 2. snapshot ---------------------------------------------
+        path = DetectionSnapshot.from_result(detector, result).save(
+            f"{scratch}/snapshot"
+        )
+        print(f"snapshot written to {path}")
+
+        # --- 3. reload as a fresh process would ----------------------
+        del detector, result  # nothing below touches the fitting objects
+        service = ClusterService(path, mmap=True)
+        stats = service.stats()
+        print(
+            f"reloaded: {stats['n_clusters']} clusters over "
+            f"{stats['n_items']} items (memory-mapped)"
+        )
+
+        # --- 4. assign a query batch ---------------------------------
+        rng = np.random.default_rng(7)
+        near = dataset.data[:60] + rng.normal(
+            scale=0.01, size=(60, dataset.dim)
+        )
+        far = rng.uniform(-100.0, 100.0, size=(20, dataset.dim))
+        assignment = service.assign(np.vstack([near, far]))
+        print(
+            f"assigned {int(assignment.assigned_mask.sum())}/"
+            f"{assignment.n_queries} queries "
+            f"({100 * assignment.coverage:.0f}% coverage, "
+            f"{assignment.entries_computed:,} affinity entries)"
+        )
+        noise = int((assignment.labels[60:] == -1).sum())
+        print(f"far-away queries rejected as noise: {noise}/20")
+        labels, counts = np.unique(
+            assignment.labels[assignment.labels >= 0], return_counts=True
+        )
+        busiest = labels[np.argmax(counts)]
+        print(
+            f"busiest cluster: label {busiest} "
+            f"({int(counts.max())} queries)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,10 @@ Public API highlights
   :mod:`repro.lsh`, exact k-d tree and spill tree in :mod:`repro.ann`;
 * evaluation (AVG-F, accounting, growth orders, external indices) in
   :mod:`repro.eval`; Appendix B's convergence model in
-  :mod:`repro.analysis`; ASCII figure rendering in :mod:`repro.viz`.
+  :mod:`repro.analysis`; ASCII figure rendering in :mod:`repro.viz`;
+* serving: persistent detection snapshots and batch cluster assignment
+  (:class:`~repro.serve.snapshot.DetectionSnapshot`,
+  :class:`~repro.serve.service.ClusterService`) in :mod:`repro.serve`.
 
 Quickstart
 ----------
@@ -55,6 +58,7 @@ from repro.datasets import (
 from repro.ann import KDTree, SpillTree
 from repro.eval import average_f1, f1_score, loglog_slope
 from repro.lsh import LSHIndex, MultiProbeQuerier
+from repro.serve import ClusterService, DetectionSnapshot
 from repro.streaming import StreamingALID
 
 __version__ = "1.0.0"
@@ -82,6 +86,8 @@ __all__ = [
     "average_f1",
     "f1_score",
     "loglog_slope",
+    "ClusterService",
+    "DetectionSnapshot",
     "KDTree",
     "LSHIndex",
     "MultiProbeQuerier",

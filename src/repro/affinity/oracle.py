@@ -25,7 +25,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.affinity.kernel import LaplacianKernel, pairwise_distances
-from repro.exceptions import AccountingError, BudgetExceededError
+from repro.exceptions import (
+    AccountingError,
+    BudgetExceededError,
+    ValidationError,
+)
 from repro.utils.validation import check_data_matrix, check_index_array
 
 __all__ = ["AffinityCounters", "AffinityOracle"]
@@ -203,6 +207,30 @@ class AffinityOracle:
         same = rows[:, None] == js[None, :]
         out[same] = 0.0
         self.counters.column_requests += len(js)
+        self.counters.charge(computed=out.size)
+        return out
+
+    def point_block(
+        self, points: np.ndarray, cols: np.ndarray
+    ) -> np.ndarray:
+        """Affinity block between foreign *points* and indexed items *cols*.
+
+        The serve-time counterpart of :meth:`block`: rows are arbitrary
+        query points (not rows of the data matrix), so no zero-diagonal
+        rule applies and every entry is a plain kernel evaluation.  Work
+        is charged exactly like :meth:`block` — ``len(points) *
+        len(cols)`` entries and one block request — so serving queries
+        are accounted the same way fit-time detection is.
+        """
+        cols = check_index_array(cols, self.n, name="cols")
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dim:
+            raise ValidationError(
+                f"points have dim {points.shape[1]}, oracle expects {self.dim}"
+            )
+        dists = pairwise_distances(points, self.data[cols], p=self.kernel.p)
+        out = self.kernel.affinity_from_distance(dists, out=dists)
+        self.counters.block_requests += 1
         self.counters.charge(computed=out.size)
         return out
 

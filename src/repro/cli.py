@@ -11,6 +11,12 @@ Commands
     Run several methods on one dataset and print a comparison table.
 ``info``
     Describe a saved dataset or detection archive.
+``snapshot``
+    Fit ALID on a dataset and persist the fitted state as a versioned
+    serve-time snapshot directory (see :mod:`repro.serve`).
+``assign``
+    Load a snapshot and assign a batch of query points to its dominant
+    clusters (the serve-time workload).
 
 Examples
 --------
@@ -19,6 +25,8 @@ Examples
     python -m repro generate --workload nart --scale 0.3 --out nart.npz
     python -m repro detect --input nart.npz --method alid --delta 400
     python -m repro compare --input nart.npz --methods alid iid km
+    python -m repro snapshot --input nart.npz --out nart_snapshot
+    python -m repro assign --snapshot nart_snapshot --queries nart.npz
 """
 
 from __future__ import annotations
@@ -133,6 +141,28 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("path", help=".npz produced by generate or detect")
     info.add_argument("--kind", choices=("dataset", "detection"),
                       default="dataset")
+
+    snap = sub.add_parser(
+        "snapshot", help="fit ALID and persist a serve-time snapshot"
+    )
+    snap.add_argument("--input", required=True, help="dataset .npz path")
+    snap.add_argument("--out", required=True,
+                      help="snapshot directory to write")
+    snap.add_argument("--delta", type=int, default=800)
+    snap.add_argument("--density-threshold", type=float, default=0.75)
+    snap.add_argument("--seed", type=int, default=0)
+
+    assign = sub.add_parser(
+        "assign", help="assign query points against a saved snapshot"
+    )
+    assign.add_argument("--snapshot", required=True,
+                        help="snapshot directory written by `repro snapshot`")
+    assign.add_argument("--queries", required=True,
+                        help="dataset .npz whose items are the queries")
+    assign.add_argument("--mmap", action="store_true",
+                        help="memory-map the snapshot arrays (read-only)")
+    assign.add_argument("--out", default=None,
+                        help="save per-query labels/scores .npz here")
     return parser
 
 
@@ -294,11 +324,72 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_snapshot(args) -> int:
+    from repro.serve import DetectionSnapshot
+
+    dataset = load_dataset(args.input)
+    detector = ALID(
+        ALIDConfig(
+            delta=args.delta,
+            density_threshold=args.density_threshold,
+            seed=args.seed,
+        )
+    )
+    result = detector.fit(dataset.data)
+    print(_evaluate_line(result, dataset))
+    snapshot = DetectionSnapshot.from_result(detector, result)
+    path = snapshot.save(args.out)
+    print(
+        f"wrote snapshot {path}: {snapshot.n_clusters} cluster(s), "
+        f"{snapshot.n_items} items, dim {snapshot.dim}"
+    )
+    return 0
+
+
+def _cmd_assign(args) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.serve import ClusterService
+
+    service = ClusterService(args.snapshot, mmap=args.mmap)
+    queries = load_dataset(args.queries).data
+    start = time.perf_counter()
+    assignment = service.assign(queries)
+    wall = max(time.perf_counter() - start, 1e-9)
+    print(
+        f"assigned {int(assignment.assigned_mask.sum())}/"
+        f"{assignment.n_queries} queries "
+        f"({100 * assignment.coverage:.1f}%) across "
+        f"{service.n_clusters} cluster(s) in {wall:.3f}s "
+        f"({assignment.n_queries / wall:,.0f} queries/s, "
+        f"{assignment.entries_computed:,} affinity entries)"
+    )
+    labels, counts = np.unique(
+        assignment.labels[assignment.assigned_mask], return_counts=True
+    )
+    for label, count in zip(labels.tolist(), counts.tolist()):
+        print(f"  cluster {label:4d}: {count:6d} queries")
+    if args.out:
+        path = args.out if str(args.out).endswith(".npz") else f"{args.out}.npz"
+        np.savez_compressed(
+            path,
+            labels=assignment.labels,
+            scores=assignment.scores,
+            n_candidates=assignment.n_candidates,
+        )
+        print(f"saved assignment to {path}")
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "detect": _cmd_detect,
     "compare": _cmd_compare,
     "info": _cmd_info,
+    "snapshot": _cmd_snapshot,
+    "assign": _cmd_assign,
 }
 
 

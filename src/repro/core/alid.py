@@ -41,6 +41,7 @@ from repro.affinity.kernel import LaplacianKernel, suggest_scaling_factor
 from repro.affinity.oracle import AffinityOracle
 from repro.core.civs import civs_retrieve
 from repro.core.config import ALIDConfig
+from repro.core.infectivity import infective_mask, item_payoffs
 from repro.core.results import Cluster, DetectionResult
 from repro.core.roi import estimate_roi, roi_radius
 from repro.dynamics.lid import LIDState, lid_dynamics
@@ -474,9 +475,10 @@ class ALIDEngine:
         alpha = state.beta[alpha_pos]
         if alpha.size == 0:
             return False
-        block = self.oracle.block(outside, alpha)
-        pay = block @ state.x[alpha_pos] - density
-        infective = outside[pay > cfg.tol]
+        pay = item_payoffs(
+            self.oracle, outside, alpha, state.x[alpha_pos], density
+        )
+        infective = outside[infective_mask(pay, cfg.tol)]
         if infective.size == 0:
             return False
         if infective.size > cfg.delta:

@@ -14,7 +14,7 @@ import numpy as np
 from repro.affinity.oracle import AffinityCounters
 from repro.exceptions import ValidationError
 
-__all__ = ["Cluster", "DetectionResult"]
+__all__ = ["Cluster", "DetectionResult", "pack_clusters", "unpack_clusters"]
 
 
 @dataclass
@@ -125,6 +125,20 @@ class DetectionResult:
             return 0.0
         return float((self.labels() >= 0).sum()) / self.n_items
 
+    def dominant_rows(self) -> np.ndarray:
+        """Indices into ``all_clusters`` of the dominant clusters.
+
+        Identity-based (a cluster may appear in both lists as the same
+        object), which is how the persistence layers mark dominance
+        without duplicating member arrays.
+        """
+        dominant_ids = {id(c) for c in self.clusters}
+        return np.flatnonzero(
+            np.asarray(
+                [id(c) in dominant_ids for c in self.all_clusters], dtype=bool
+            )
+        )
+
     def summary(self) -> str:
         """One-line human-readable summary."""
         mem = (
@@ -137,3 +151,106 @@ class DetectionResult:
             f"cluster(s) over {self.n_items} items in "
             f"{self.runtime_seconds:.3f}s{mem}"
         )
+
+
+# ---------------------------------------------------------------------------
+# flat array packing (shared by repro.io and repro.serve.snapshot)
+# ---------------------------------------------------------------------------
+def pack_clusters(clusters: list[Cluster]) -> dict[str, np.ndarray]:
+    """Flatten a cluster list into parallel arrays for persistence.
+
+    Members and weights are concatenated with a CSR-style ``offsets``
+    array (``offsets[i]:offsets[i+1]`` slices cluster *i*); densities,
+    labels and seeds are one scalar per cluster.  This is the single
+    serialisation both the detection archive (:mod:`repro.io`) and the
+    serve-time snapshot (:mod:`repro.serve.snapshot`) write, so the two
+    formats cannot drift.
+    """
+    members = (
+        np.concatenate([c.members for c in clusters])
+        if clusters
+        else np.empty(0, dtype=np.intp)
+    )
+    weights = (
+        np.concatenate([c.weights for c in clusters])
+        if clusters
+        else np.empty(0)
+    )
+    return {
+        "members": members,
+        "weights": weights,
+        "offsets": np.cumsum([0] + [c.size for c in clusters]),
+        "densities": np.asarray([c.density for c in clusters]),
+        "labels": np.asarray([c.label for c in clusters], dtype=np.int64),
+        "seeds": np.asarray([c.seed for c in clusters], dtype=np.int64),
+    }
+
+
+def unpack_clusters(arrays, *, n_items: int | None = None) -> list[Cluster]:
+    """Rebuild the cluster list written by :func:`pack_clusters`.
+
+    *arrays* is any mapping holding the six packed arrays (an ``.npz``
+    archive, a snapshot's array dict, ...).  Round-trips bit-identically:
+    member indices, weights, densities, labels and seeds all survive.
+
+    Parameters
+    ----------
+    arrays:
+        Mapping with the six :func:`pack_clusters` keys.
+    n_items:
+        When given, every member index must lie in ``[0, n_items)`` —
+        pass it so a corrupt archive fails loudly instead of yielding
+        clusters pointing outside the data matrix.
+
+    Raises
+    ------
+    ValidationError
+        If the offsets are inconsistent with the flat arrays
+        (non-monotonic, wrong total) or members are out of range.
+    """
+    offsets = np.asarray(arrays["offsets"], dtype=np.int64)
+    members = np.asarray(arrays["members"])
+    weights = np.asarray(arrays["weights"])
+    densities = np.asarray(arrays["densities"])
+    labels = np.asarray(arrays["labels"])
+    seeds = np.asarray(arrays["seeds"])
+    if offsets.size < 1:
+        raise ValidationError("cluster offsets must hold at least [0]")
+    if int(offsets[0]) != 0 or (np.diff(offsets) < 0).any():
+        raise ValidationError(
+            "cluster offsets must start at 0 and be non-decreasing"
+        )
+    if members.size and n_items is not None:
+        if int(members.min()) < 0 or int(members.max()) >= n_items:
+            raise ValidationError(
+                f"cluster members out of range for {n_items} items: "
+                f"min={int(members.min())}, max={int(members.max())}"
+            )
+    n_clusters = offsets.size - 1
+    if not (
+        densities.size == n_clusters
+        and labels.size == n_clusters
+        and seeds.size == n_clusters
+    ):
+        raise ValidationError(
+            f"cluster scalar arrays disagree with offsets: "
+            f"{n_clusters} clusters expected"
+        )
+    if int(offsets[-1]) != members.size or members.size != weights.size:
+        raise ValidationError(
+            f"cluster member/weight arrays ({members.size}/{weights.size}) "
+            f"disagree with offsets (total {int(offsets[-1])})"
+        )
+    clusters = []
+    for i in range(n_clusters):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        clusters.append(
+            Cluster(
+                members=members[lo:hi],
+                weights=weights[lo:hi],
+                density=float(densities[i]),
+                label=int(labels[i]),
+                seed=int(seeds[i]),
+            )
+        )
+    return clusters

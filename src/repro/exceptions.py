@@ -47,3 +47,14 @@ class AccountingError(ReproError, RuntimeError):
 
 class EmptyDatasetError(ReproError, ValueError):
     """An operation requiring data items received an empty collection."""
+
+
+class SnapshotError(ValidationError):
+    """A persisted detection snapshot failed validation on load.
+
+    Raised by :mod:`repro.serve.snapshot` whenever an on-disk artifact
+    cannot be trusted: a missing or truncated array file, a checksum
+    mismatch, a malformed manifest, or a schema version newer than this
+    library understands.  Loading never returns partially-restored
+    state — it either round-trips bit-identically or raises this error.
+    """

@@ -14,7 +14,7 @@ import pathlib
 import numpy as np
 
 from repro.affinity.oracle import AffinityCounters
-from repro.core.results import Cluster, DetectionResult
+from repro.core.results import DetectionResult, pack_clusters, unpack_clusters
 from repro.datasets.base import Dataset
 from repro.exceptions import ValidationError
 
@@ -66,33 +66,12 @@ def save_detection(result: DetectionResult, path) -> pathlib.Path:
     """
     path = _as_path(path)
     all_clusters = result.all_clusters
-    members = (
-        np.concatenate([c.members for c in all_clusters])
-        if all_clusters
-        else np.empty(0, dtype=np.intp)
-    )
-    weights = (
-        np.concatenate([c.weights for c in all_clusters])
-        if all_clusters
-        else np.empty(0)
-    )
-    offsets = np.cumsum([0] + [c.size for c in all_clusters])
-    densities = np.asarray([c.density for c in all_clusters])
-    labels = np.asarray([c.label for c in all_clusters], dtype=np.int64)
-    seeds = np.asarray([c.seed for c in all_clusters], dtype=np.int64)
-    dominant_ids = {id(c) for c in result.clusters}
-    dominant_mask = np.asarray(
-        [id(c) in dominant_ids for c in all_clusters], dtype=bool
-    )
+    dominant_mask = np.zeros(len(all_clusters), dtype=bool)
+    dominant_mask[result.dominant_rows()] = True
     counters = result.counters or AffinityCounters()
     np.savez_compressed(
         path,
-        members=members,
-        weights=weights,
-        offsets=offsets,
-        densities=densities,
-        labels=labels,
-        seeds=seeds,
+        **pack_clusters(all_clusters),
         dominant_mask=dominant_mask,
         n_items=np.asarray(result.n_items),
         runtime_seconds=np.asarray(result.runtime_seconds),
@@ -117,27 +96,15 @@ def load_detection(path) -> DetectionResult:
     """Load a detection result written by :func:`save_detection`."""
     path = _as_path(path)
     with np.load(path, allow_pickle=False) as archive:
-        offsets = archive["offsets"]
-        members = archive["members"]
-        weights = archive["weights"]
-        densities = archive["densities"]
-        labels = archive["labels"]
-        seeds = archive["seeds"]
-        dominant_mask = archive["dominant_mask"]
-        if offsets.size < 1:
-            raise ValidationError(f"{path} is not a detection archive")
-        all_clusters = []
-        for i in range(offsets.size - 1):
-            lo, hi = int(offsets[i]), int(offsets[i + 1])
-            all_clusters.append(
-                Cluster(
-                    members=members[lo:hi],
-                    weights=weights[lo:hi],
-                    density=float(densities[i]),
-                    label=int(labels[i]),
-                    seed=int(seeds[i]),
-                )
+        try:
+            all_clusters = unpack_clusters(
+                archive, n_items=int(archive["n_items"])
             )
+        except (KeyError, ValidationError) as exc:
+            raise ValidationError(
+                f"{path} is not a detection archive: {exc}"
+            ) from exc
+        dominant_mask = archive["dominant_mask"]
         dominant = [
             c for c, keep in zip(all_clusters, dominant_mask) if keep
         ]

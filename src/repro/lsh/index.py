@@ -109,6 +109,45 @@ class _Table:
         self.offsets = np.concatenate([boundaries, [n]]).astype(np.intp)
         self.members = order
 
+    def merge_insert(self, new_keys: np.ndarray) -> None:
+        """Merge a batch of appended items into the CSR without a re-sort.
+
+        The existing member array is already key-sorted, and the batch
+        only needs an O(m log m) sort of its own; a two-way merge (two
+        ``searchsorted`` passes + one scatter) then produces the same
+        member order a full stable re-sort would — old items keep their
+        ascending-index order inside each bucket, and new items (whose
+        global indices are larger) follow them.  O(n + m log m) per
+        batch instead of the historical O(n log n) full re-sort.
+        """
+        new_keys = np.asarray(new_keys).astype(np.uint64, copy=False)
+        old_n = self.item_keys.size
+        m = new_keys.size
+        if m == 0:
+            return
+        order_new = np.argsort(new_keys, kind="stable").astype(np.intp)
+        sorted_new = new_keys[order_new]
+        new_members = order_new + old_n
+        old_sorted = self.item_keys[self.members]
+        # Merged positions: each old item is shifted right by the number
+        # of strictly-smaller new keys; each new item by the number of
+        # old keys that are smaller *or equal* (ties put old first).
+        shift_old = np.searchsorted(sorted_new, old_sorted, side="left")
+        shift_new = np.searchsorted(old_sorted, sorted_new, side="right")
+        merged = np.empty(old_n + m, dtype=np.intp)
+        merged[np.arange(old_n, dtype=np.intp) + shift_old] = self.members
+        merged[np.arange(m, dtype=np.intp) + shift_new] = new_members
+        self.item_keys = np.concatenate([self.item_keys, new_keys])
+        merged_keys = self.item_keys[merged]
+        boundaries = np.flatnonzero(
+            np.concatenate([[True], merged_keys[1:] != merged_keys[:-1]])
+        ).astype(np.intp)
+        self.unique_keys = merged_keys[boundaries]
+        self.offsets = np.concatenate([boundaries, [old_n + m]]).astype(
+            np.intp
+        )
+        self.members = merged
+
     # ------------------------------------------------------------------
     def keys_of_points(self, points: np.ndarray) -> np.ndarray:
         """Bucket keys of arbitrary points (batched; one hashing pass).
@@ -264,11 +303,12 @@ class LSHIndex:
         them in; queries before/after insertion are consistent.  New
         items start active.
 
-        Cost note: each call re-sorts every table and refreshes the
-        fused CSR — O(l * n log n) per batch.  The fused item->bucket
-        map shifts globally whenever a new bucket appears, so a truly
-        incremental update would still be O(l * n); batch arrivals
-        rather than inserting point-by-point.
+        Cost note: each table absorbs the batch through a merge-based
+        CSR update (:meth:`_Table.merge_insert`) — O(n + m log m) per
+        table for a batch of m, not the historical O(n log n) full
+        re-sort.  The fused item->bucket map still shifts globally
+        whenever a new bucket appears, so refreshing it stays O(l * n);
+        batch arrivals rather than inserting point-by-point.
         """
         new_data = check_data_matrix(new_data, name="new_data")
         if new_data.shape[1] != self._data.shape[1]:
@@ -280,9 +320,7 @@ class LSHIndex:
         new_indices = np.arange(start, start + new_data.shape[0], dtype=np.intp)
         self._data = np.vstack([self._data, new_data])
         for table in self._tables:
-            keys = table.keys_of_points(new_data)
-            table.item_keys = np.concatenate([table.item_keys, keys])
-            table._rebuild()
+            table.merge_insert(table.keys_of_points(new_data))
         self._active = np.concatenate(
             [self._active, np.ones(new_data.shape[0], dtype=bool)]
         )
@@ -435,6 +473,38 @@ class LSHIndex:
             return results
         # Unique (group, bucket) pairs -> one multi-range member gather.
         pair_keys = np.unique(np.concatenate(pair_parts))
+        exclude_keys = (
+            np.unique(np.concatenate(query_key_parts))
+            if query_key_parts
+            else None
+        )
+        return self._resolve_grouped_pairs(
+            pair_keys, len(groups), exclude_keys=exclude_keys
+        )
+
+    def _resolve_grouped_pairs(
+        self,
+        pair_keys: np.ndarray,
+        n_groups: int,
+        *,
+        exclude_keys: np.ndarray | None = None,
+    ) -> list[np.ndarray]:
+        """Resolve sorted ``group * n_buckets + bucket`` keys to candidates.
+
+        The shared tail of the grouped query paths: one multi-range
+        member gather over the fused CSR, per-group dedup via a single
+        ``np.unique`` over ``group * n + item`` keys, active-mask
+        filtering, optional exclusion of ``group * n + item`` keys (a
+        group's own query items), and the sorted split into per-group
+        arrays.
+        """
+        results: list[np.ndarray] = [
+            np.empty(0, dtype=np.intp) for _ in range(n_groups)
+        ]
+        if pair_keys.size == 0:
+            return results
+        n = self.n
+        n_buckets = int(self._g_lengths.size)
         bucket_ids = (pair_keys % n_buckets).astype(np.intp)
         pair_gids = pair_keys // n_buckets
         lengths = self._g_lengths[bucket_ids]
@@ -447,19 +517,176 @@ class LSHIndex:
         items = (member_keys % n).astype(np.intp)
         gids = member_keys // n
         keep = self._active[items]
-        if query_key_parts:
-            own = np.unique(np.concatenate(query_key_parts))
-            keep &= np.isin(member_keys, own, invert=True)
+        if exclude_keys is not None and exclude_keys.size:
+            keep &= np.isin(member_keys, exclude_keys, invert=True)
         items = items[keep]
         gids = gids[keep]
         # Split the flat result at group boundaries; keys are sorted by
         # (group, item), so every slice comes out sorted.
-        bounds = np.searchsorted(gids, np.arange(len(groups) + 1))
-        for gid in range(len(groups)):
+        bounds = np.searchsorted(gids, np.arange(n_groups + 1))
+        for gid in range(n_groups):
             lo, hi = int(bounds[gid]), int(bounds[gid + 1])
             if hi > lo:
                 results[gid] = items[lo:hi]
         return results
+
+    def query_points_grouped(self, points: np.ndarray) -> list[np.ndarray]:
+        """Run :meth:`query_point` for a batch of points in one fused pass.
+
+        The serve-time retrieval pattern: a block of arriving queries is
+        hashed once per table, every hit bucket of every query is
+        gathered together from the fused CSR, and candidates are
+        deduplicated *per query* with a single ``np.unique`` over
+        ``query_id * n + item`` keys — the foreign-point twin of
+        :meth:`query_items_grouped`.
+
+        Parameters
+        ----------
+        points:
+            Query block of shape ``(q, d)``.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            ``out[i]`` is exactly ``self.query_point(points[i])``:
+            sorted, deduplicated, active-only.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[0] == 0:
+            return []
+        points = check_data_matrix(points, name="points")
+        if points.shape[1] != self._data.shape[1]:
+            raise ValidationError(
+                f"points have dim {points.shape[1]}, "
+                f"index expects {self._data.shape[1]}"
+            )
+        q = points.shape[0]
+        results: list[np.ndarray] = [
+            np.empty(0, dtype=np.intp) for _ in range(q)
+        ]
+        n_buckets = int(self._g_lengths.size)
+        if n_buckets == 0:
+            return results
+        pair_parts: list[np.ndarray] = []
+        for t_id, table in enumerate(self._tables):
+            if table.unique_keys.size == 0:
+                continue
+            keys = table.keys_of_points(points)
+            pos = np.searchsorted(table.unique_keys, keys)
+            pos = np.minimum(pos, table.unique_keys.size - 1)
+            valid = table.unique_keys[pos] == keys
+            qids = np.flatnonzero(valid).astype(np.int64)
+            bucket_ids = pos[valid] + self._table_bucket_base[t_id]
+            pair_parts.append(qids * n_buckets + bucket_ids.astype(np.int64))
+        if not pair_parts:
+            return results
+        # Global bucket ids are unique across tables, so (query, bucket)
+        # pairs need no dedup — but sorting them keys the final split.
+        pair_keys = np.sort(np.concatenate(pair_parts))
+        return self._resolve_grouped_pairs(pair_keys, q)
+
+    # ------------------------------------------------------------------
+    # persistence (detection snapshots, repro.serve)
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Arrays that, together with the data matrix, rebuild this index.
+
+        Used by :mod:`repro.serve.snapshot` to persist a fitted index:
+        the per-table hash state (Gaussian projections, segment offsets,
+        key mixers, per-item bucket keys) and the active mask.  The CSR
+        bucket structure is *derived* state — it is rebuilt
+        deterministically from ``item_keys`` on restore, so snapshots
+        stay small and independent of the CSR layout.
+
+        Returns
+        -------
+        dict of numpy.ndarray
+            ``projections`` ``(l, mu, d)``, ``hash_offsets`` ``(l,
+            mu)``, ``mixers`` ``(l, mu)``, ``item_keys`` ``(l, n)``,
+            ``active`` ``(n,)`` — all copies, safe to persist.
+        """
+        family_arrays = [t.family.export_arrays() for t in self._tables]
+        return {
+            "projections": np.stack([p for p, _ in family_arrays]),
+            "hash_offsets": np.stack([o for _, o in family_arrays]),
+            "mixers": np.stack([t.mixer.copy() for t in self._tables]),
+            "item_keys": np.stack([t.item_keys.copy() for t in self._tables]),
+            "active": self._active.copy(),
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        data: np.ndarray,
+        *,
+        r: float,
+        projections: np.ndarray,
+        hash_offsets: np.ndarray,
+        mixers: np.ndarray,
+        item_keys: np.ndarray,
+        active: np.ndarray,
+    ) -> "LSHIndex":
+        """Rebuild an index from :meth:`export_state` arrays, re-hashing nothing.
+
+        The restored index hashes queries and serves lookups
+        bit-identically to the exporting one: hash families are restored
+        from their stored random state, per-item bucket keys are taken
+        verbatim, and the CSR structure is rebuilt with the same stable
+        sort construction uses.  *data* may be a read-only memory map —
+        it is validated but never copied, which is what lets a multi-GB
+        snapshot serve without materialising the matrix.
+        """
+        data = check_data_matrix(data, name="data")
+        projections = np.asarray(projections, dtype=np.float64)
+        if projections.ndim != 3:
+            raise ValidationError(
+                f"projections must be 3-D (tables, mu, dim), "
+                f"got ndim={projections.ndim}"
+            )
+        l, mu, dim = projections.shape
+        if dim != data.shape[1]:
+            raise ValidationError(
+                f"projections have dim {dim}, data has dim {data.shape[1]}"
+            )
+        n = data.shape[0]
+        hash_offsets = np.asarray(hash_offsets, dtype=np.float64)
+        mixers = np.asarray(mixers)
+        item_keys = np.asarray(item_keys)
+        active = np.asarray(active)
+        if hash_offsets.shape != (l, mu):
+            raise ValidationError(
+                f"hash_offsets shape {hash_offsets.shape} != ({l}, {mu})"
+            )
+        if mixers.shape != (l, mu):
+            raise ValidationError(f"mixers shape {mixers.shape} != ({l}, {mu})")
+        if item_keys.shape != (l, n):
+            raise ValidationError(
+                f"item_keys shape {item_keys.shape} != ({l}, {n})"
+            )
+        if active.shape != (n,):
+            raise ValidationError(f"active shape {active.shape} != ({n},)")
+        self = cls.__new__(cls)
+        self._data = data
+        self.r = float(r)
+        self.n_projections = int(mu)
+        self.n_tables = int(l)
+        self._tables = []
+        for t in range(l):
+            family = PStableHashFamily.from_arrays(
+                r=self.r,
+                projections=projections[t],
+                offsets=hash_offsets[t],
+            )
+            self._tables.append(
+                _Table(
+                    family,
+                    np.ascontiguousarray(mixers[t], dtype=np.uint64),
+                    np.ascontiguousarray(item_keys[t]),
+                )
+            )
+        self._active = np.array(active, dtype=bool)
+        self._rebuild_combined()
+        return self
 
     # ------------------------------------------------------------------
     # bucket statistics (PALID seed sampling, paper §4.6)

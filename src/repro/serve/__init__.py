@@ -1,0 +1,44 @@
+"""Serve-time subsystem: persist a fitted detection, assign new queries.
+
+The paper separates fit-time from serve-time state (§4.6 keeps hash
+tables and data items in a server database that workers read); this
+package is that separation made concrete for the reproduction:
+
+* :mod:`repro.serve.snapshot` — :class:`DetectionSnapshot`, a versioned
+  on-disk artifact (``.npy`` arrays + JSON manifest with schema version
+  and SHA-256 checksums) capturing a fitted run: data matrix, LSH hash
+  state, calibrated kernel, config, and every dominant cluster's
+  support + converged strategy.  Round-trips bit-identically; loads are
+  all-or-nothing (:class:`~repro.exceptions.SnapshotError` on any
+  corruption); ``mmap=True`` serves multi-GB artifacts without a full
+  copy.
+* :mod:`repro.serve.assigner` — :class:`ClusterAssigner`, vectorized
+  batch assignment: hash a query block into the restored LSH tables
+  with one grouped gather, shortlist candidate clusters by collision
+  ownership, score with the shared Theorem 1 infectivity criterion
+  (:mod:`repro.core.infectivity`), all through the instrumented oracle.
+* :mod:`repro.serve.service` — :class:`ClusterService`, the long-lived
+  front: owns a snapshot, hot-reloads newer artifacts atomically, and
+  keeps cumulative serving statistics.  Exposed on the command line as
+  ``repro snapshot`` / ``repro assign``.
+
+See ``docs/serving.md`` for the snapshot format and assignment
+semantics.
+"""
+
+from repro.serve.assigner import Assignment, ClusterAssigner
+from repro.serve.service import ClusterService
+from repro.serve.snapshot import (
+    SCHEMA_VERSION,
+    SNAPSHOT_FORMAT,
+    DetectionSnapshot,
+)
+
+__all__ = [
+    "Assignment",
+    "ClusterAssigner",
+    "ClusterService",
+    "DetectionSnapshot",
+    "SCHEMA_VERSION",
+    "SNAPSHOT_FORMAT",
+]

@@ -1,0 +1,154 @@
+"""ClusterService: a long-lived assignment front over snapshot artifacts.
+
+The service owns one loaded snapshot + assigner pair and exposes the
+operations a serving process needs:
+
+* :meth:`ClusterService.assign` — batch assignment, delegated to the
+  current :class:`~repro.serve.assigner.ClusterAssigner`;
+* :meth:`ClusterService.reload` — **atomic hot-reload**: a newer
+  snapshot is loaded and validated completely off to the side, then
+  swapped in with one reference assignment.  In-flight batches finish
+  against the snapshot they started with, and a failed load (corrupt
+  artifact, future schema) leaves the old snapshot serving — the
+  service never degrades to partial state;
+* :meth:`ClusterService.stats` — cumulative serving counters (queries,
+  batches, coverage, affinity work, reloads) across the service's whole
+  lifetime, spanning reloads.  Work is accumulated under the service
+  lock from each batch's race-free
+  :attr:`~repro.serve.assigner.Assignment.entries_computed`, so the
+  totals stay exact even when batches run concurrently.
+
+This mirrors the paper's §4.6 deployment shape: fitted state (hash
+tables + items) lives in a server database; query-time workers read it
+and answer membership questions without ever refitting.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+
+import numpy as np
+
+from repro.serve.assigner import Assignment, ClusterAssigner
+from repro.serve.snapshot import DetectionSnapshot
+
+__all__ = ["ClusterService"]
+
+
+class ClusterService:
+    """Serve cluster assignments from a snapshot, with hot reload.
+
+    Parameters
+    ----------
+    source:
+        A snapshot directory path, or an in-memory
+        :class:`~repro.serve.snapshot.DetectionSnapshot`.
+    mmap:
+        When *source* is a path, map the array files read-only instead
+        of copying them into memory (identical results, smaller
+        residency).
+
+    Example
+    -------
+    >>> from repro import ALID, ALIDConfig, make_synthetic_mixture
+    >>> from repro.serve import ClusterService, DetectionSnapshot
+    >>> ds = make_synthetic_mixture(n=300, regime="bounded", seed=0)
+    >>> detector = ALID(ALIDConfig(delta=200, seed=0))
+    >>> snap = DetectionSnapshot.from_result(detector, detector.fit(ds.data))
+    >>> service = ClusterService(snap)
+    >>> service.assign(ds.data[:8]).n_queries
+    8
+    """
+
+    def __init__(self, source, *, mmap: bool = False):
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._batches = 0
+        self._assigned = 0
+        self._entries = 0
+        self._reloads = 0
+        self._source = None
+        self._snapshot: DetectionSnapshot | None = None
+        self._assigner: ClusterAssigner | None = None
+        self._install(source, mmap)
+
+    # ------------------------------------------------------------------
+    def _install(self, source, mmap: bool) -> None:
+        """Load + validate a snapshot fully, then swap it in atomically."""
+        if isinstance(source, DetectionSnapshot):
+            snapshot = source
+            described = "<in-memory>"
+        else:
+            snapshot = DetectionSnapshot.load(source, mmap=mmap)
+            described = str(pathlib.Path(source))
+        # Everything heavy (checksums, CSR rebuild, ownership map)
+        # happens above; the swap below is one tuple of reference
+        # assignments under the lock.
+        assigner = ClusterAssigner(snapshot)
+        with self._lock:
+            self._snapshot = snapshot
+            self._assigner = assigner
+            self._source = described
+
+    # ------------------------------------------------------------------
+    @property
+    def snapshot(self) -> DetectionSnapshot:
+        """The currently served snapshot."""
+        return self._snapshot
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of assignable clusters in the current snapshot."""
+        return self._assigner.n_clusters
+
+    def assign(
+        self, queries: np.ndarray, *, shortlist: str = "lsh"
+    ) -> Assignment:
+        """Assign a query batch against the current snapshot.
+
+        The assigner reference is captured once, so a concurrent
+        :meth:`reload` never switches snapshots mid-batch.
+        """
+        assigner = self._assigner
+        result = assigner.assign(queries, shortlist=shortlist)
+        with self._lock:
+            self._batches += 1
+            self._queries += result.n_queries
+            self._assigned += int(result.assigned_mask.sum())
+            self._entries += int(result.entries_computed)
+        return result
+
+    def reload(self, source, *, mmap: bool = False) -> None:
+        """Hot-swap to a newer snapshot.
+
+        The new artifact is loaded and checksum-validated completely
+        before the swap; any
+        :class:`~repro.exceptions.SnapshotError` propagates and the
+        previous snapshot keeps serving untouched.
+        """
+        self._install(source, mmap)
+        with self._lock:
+            self._reloads += 1
+
+    def stats(self) -> dict:
+        """Cumulative serving statistics (spanning hot reloads).
+
+        Every number is accumulated under the service lock from
+        per-batch results, so the totals stay exact under concurrent
+        :meth:`assign` calls.
+        """
+        with self._lock:
+            return {
+                "source": self._source,
+                "n_items": self._snapshot.n_items,
+                "n_clusters": len(self._snapshot.clusters),
+                "batches": self._batches,
+                "queries": self._queries,
+                "assigned": self._assigned,
+                "coverage": (
+                    self._assigned / self._queries if self._queries else 0.0
+                ),
+                "reloads": self._reloads,
+                "entries_computed": self._entries,
+            }

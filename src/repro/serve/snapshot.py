@@ -1,0 +1,435 @@
+"""Versioned on-disk snapshots of a fitted detection.
+
+A snapshot is a directory holding plain ``.npy`` arrays plus a JSON
+manifest (``manifest.json``) with a schema version and a SHA-256
+checksum per array file.  It captures everything a serve-time process
+needs to answer "which dominant cluster does this query belong to?"
+without refitting:
+
+* the data matrix (the paper's ``V``, the items the clusters live over);
+* the fitted LSH state — Gaussian projections, segment offsets, key
+  mixers and per-item bucket keys of every table
+  (:meth:`repro.lsh.index.LSHIndex.export_state`), from which the CSR
+  tables are rebuilt deterministically;
+* the calibrated kernel (scaling factor ``k``, norm order ``p``) and
+  the full :class:`~repro.core.config.ALIDConfig`;
+* every dominant cluster's support and converged strategy
+  (:func:`repro.core.results.pack_clusters` — the same packing the
+  detection archive of :mod:`repro.io` uses).
+
+Design rules:
+
+* **Loads are all-or-nothing.**  A missing or truncated array file, a
+  checksum mismatch, a malformed manifest, or a schema version newer
+  than this library raises
+  :class:`~repro.exceptions.SnapshotError`; corrupt state is never
+  returned.
+* **Round-trips are bit-identical.** ``load(save(state))`` restores hash
+  keys, CSR tables, kernel and strategies exactly, so a reloaded
+  snapshot assigns every query the same cluster and score the original
+  process would.
+* **Arrays are plain ``.npy`` files** so ``mmap=True`` can map the big
+  payloads (data matrix, bucket keys) read-only instead of copying them
+  — a multi-GB snapshot serves without materialising its matrix.
+* **The manifest is written last**, so a directory with a readable
+  manifest is a complete snapshot; interrupted saves are detected as
+  missing-manifest errors, never as silent partial state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+
+import numpy as np
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityCounters, AffinityOracle
+from repro.core.config import ALIDConfig
+from repro.core.results import Cluster, pack_clusters, unpack_clusters
+from repro.exceptions import SnapshotError, ValidationError
+from repro.lsh.index import LSHIndex
+
+__all__ = ["DetectionSnapshot", "SCHEMA_VERSION", "SNAPSHOT_FORMAT"]
+
+SCHEMA_VERSION = 1
+SNAPSHOT_FORMAT = "repro-alid-detection-snapshot"
+MANIFEST_NAME = "manifest.json"
+ARRAY_DIR = "arrays"
+
+# Every array a complete snapshot must carry.  The cluster_* entries are
+# the pack_clusters() keys with a "cluster_" prefix.
+_INDEX_ARRAYS = (
+    "projections",
+    "hash_offsets",
+    "mixers",
+    "item_keys",
+    "active",
+)
+_CLUSTER_ARRAYS = (
+    "cluster_members",
+    "cluster_weights",
+    "cluster_offsets",
+    "cluster_densities",
+    "cluster_labels",
+    "cluster_seeds",
+)
+_REQUIRED_ARRAYS = ("data",) + _INDEX_ARRAYS + _CLUSTER_ARRAYS
+
+_HASH_CHUNK = 1 << 20
+
+
+def _json_default(value):
+    """Coerce numpy scalars for the manifest; reject anything else.
+
+    ``default=str`` would silently stringify unknown values (e.g. a
+    ``delta`` passed as ``np.int32``), writing a manifest whose config
+    section can never be loaded back — a snapshot bricked at save time.
+    Coercing the common numpy cases keeps such configs round-tripping;
+    genuinely unserialisable values fail the *save*, loudly.
+    """
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(
+        f"manifest value {value!r} ({type(value).__name__}) is not "
+        f"JSON-serializable"
+    )
+
+
+def _sha256_of(path: pathlib.Path) -> str:
+    """Streamed SHA-256 of a file (constant memory, works on huge arrays)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_HASH_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclasses.dataclass
+class DetectionSnapshot:
+    """A fitted detection, ready to persist or serve.
+
+    Attributes
+    ----------
+    data:
+        Data matrix ``(n, d)`` the detection ran over (may be a
+        read-only memory map after an ``mmap=True`` load).
+    config:
+        The :class:`~repro.core.config.ALIDConfig` of the fit; serving
+        reuses its ``tol`` as the Theorem 1 immunity tolerance.
+    kernel:
+        The calibrated Laplacian kernel (frozen scaling factor).
+    lsh_r:
+        Segment length the LSH tables were built with.
+    index_arrays:
+        The :meth:`repro.lsh.index.LSHIndex.export_state` dict.
+    clusters:
+        Dominant clusters with converged strategies (members, weights,
+        density, label, seed).
+    meta:
+        Free-form provenance (method name, fit counters, ...).
+    """
+
+    data: np.ndarray
+    config: ALIDConfig
+    kernel: LaplacianKernel
+    lsh_r: float
+    index_arrays: dict[str, np.ndarray]
+    clusters: list[Cluster]
+    meta: dict = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_engine(
+        cls,
+        engine,
+        clusters: list[Cluster],
+        *,
+        meta: dict | None = None,
+    ) -> "DetectionSnapshot":
+        """Capture a fitted :class:`~repro.core.alid.ALIDEngine`.
+
+        Works for any engine-shaped object exposing ``oracle``,
+        ``kernel``, ``config``, ``lsh_r`` and ``index`` — the batch
+        engine and the streaming engine both qualify (the paper's §4.6
+        server database holds exactly this state).
+        """
+        return cls(
+            data=engine.oracle.data,
+            config=engine.config,
+            kernel=engine.kernel,
+            lsh_r=float(engine.lsh_r),
+            index_arrays=engine.index.export_state(),
+            clusters=list(clusters),
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
+    def from_result(cls, detector, result) -> "DetectionSnapshot":
+        """Capture an :class:`~repro.core.alid.ALID` fit and its result.
+
+        Persists the *dominant* clusters of ``result`` — the serve-time
+        assignment targets — plus fit provenance in ``meta``.
+        """
+        if getattr(detector, "engine_", None) is None:
+            raise SnapshotError(
+                "detector has no fitted engine_; call fit() before "
+                "snapshotting"
+            )
+        meta = {
+            "method": result.method,
+            "n_items": int(result.n_items),
+            "fit_entries_computed": (
+                int(result.counters.entries_computed)
+                if result.counters is not None
+                else None
+            ),
+        }
+        return cls.from_engine(detector.engine_, result.clusters, meta=meta)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_items(self) -> int:
+        """Number of indexed items."""
+        return int(self.data.shape[0])
+
+    @property
+    def dim(self) -> int:
+        """Feature dimensionality."""
+        return int(self.data.shape[1])
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of persisted dominant clusters."""
+        return len(self.clusters)
+
+    # ------------------------------------------------------------------
+    # runtime reconstruction
+    # ------------------------------------------------------------------
+    def restore_index(self) -> LSHIndex:
+        """Rebuild the LSH index (bit-identical buckets, no re-hashing)."""
+        return LSHIndex.from_state(
+            self.data, r=self.lsh_r, **self.index_arrays
+        )
+
+    def make_oracle(
+        self, counters: AffinityCounters | None = None
+    ) -> AffinityOracle:
+        """An instrumented oracle over the snapshot's data and kernel."""
+        return AffinityOracle(
+            self.data,
+            self.kernel,
+            counters=counters if counters is not None else AffinityCounters(),
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> pathlib.Path:
+        """Write the snapshot directory and return its resolved path.
+
+        Arrays are written first, the manifest last — a readable
+        manifest therefore certifies a complete snapshot.  When saving
+        into an existing snapshot directory, any previous manifest is
+        removed *before* the arrays are touched, so an interrupted
+        overwrite is detected as a missing manifest (never as a stale
+        manifest over mixed old/new arrays).  Serving processes should
+        :meth:`load` a snapshot fully and swap atomically in memory
+        rather than read a directory being rewritten.
+        """
+        path = pathlib.Path(path)
+        array_dir = path / ARRAY_DIR
+        array_dir.mkdir(parents=True, exist_ok=True)
+        (path / MANIFEST_NAME).unlink(missing_ok=True)
+        arrays: dict[str, np.ndarray] = {
+            "data": np.ascontiguousarray(self.data, dtype=np.float64)
+        }
+        arrays.update(self.index_arrays)
+        packed = pack_clusters(self.clusters)
+        arrays.update({f"cluster_{k}": v for k, v in packed.items()})
+        manifest_arrays: dict[str, dict] = {}
+        for name in _REQUIRED_ARRAYS:
+            file_path = array_dir / f"{name}.npy"
+            # Write-to-temp + rename: never truncate an existing .npy in
+            # place.  A snapshot loaded with mmap=True from this very
+            # directory keeps reading its (now anonymous) old inode, so
+            # re-saving an artifact over itself is safe, and a crash
+            # mid-write leaves the previous array files intact (with
+            # the manifest already removed above, the directory reads
+            # as a clean missing-manifest state).
+            tmp_path = array_dir / f"{name}.tmp.npy"  # np.save keeps .npy
+            np.save(tmp_path, arrays[name])
+            tmp_path.replace(file_path)
+            manifest_arrays[name] = {
+                "file": f"{ARRAY_DIR}/{name}.npy",
+                "sha256": _sha256_of(file_path),
+                "bytes": file_path.stat().st_size,
+                "shape": list(np.asarray(arrays[name]).shape),
+                "dtype": str(np.asarray(arrays[name]).dtype),
+            }
+        manifest = {
+            "format": SNAPSHOT_FORMAT,
+            "schema_version": SCHEMA_VERSION,
+            "config": dataclasses.asdict(self.config),
+            "kernel": {"k": self.kernel.k, "p": self.kernel.p},
+            "lsh": {"r": float(self.lsh_r)},
+            "counts": {
+                "n_items": self.n_items,
+                "dim": self.dim,
+                "n_clusters": self.n_clusters,
+            },
+            "meta": self.meta,
+            "arrays": manifest_arrays,
+        }
+        try:
+            payload = json.dumps(
+                manifest, indent=2, sort_keys=True, default=_json_default
+            )
+        except TypeError as exc:
+            raise SnapshotError(
+                f"snapshot config/meta cannot be persisted: {exc}"
+            ) from exc
+        tmp = path / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(payload + "\n")
+        tmp.replace(path / MANIFEST_NAME)
+        return path
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = False) -> "DetectionSnapshot":
+        """Load and validate a snapshot directory.
+
+        Every array file is existence-, size- and checksum-verified
+        before anything is constructed (verification streams the file,
+        so even ``mmap=True`` loads never hold a full copy in memory).
+
+        Parameters
+        ----------
+        path:
+            Snapshot directory written by :meth:`save`.
+        mmap:
+            Map array files read-only (``numpy.load(mmap_mode="r")``)
+            instead of reading them into memory.  Results are pinned
+            identical to an eager load; only residency differs.
+
+        Raises
+        ------
+        SnapshotError
+            Missing/unreadable manifest, wrong format, schema version
+            newer than :data:`SCHEMA_VERSION`, missing array entry or
+            file, truncated file, or checksum mismatch.
+        """
+        path = pathlib.Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise SnapshotError(
+                f"{path} is not a snapshot directory: no {MANIFEST_NAME} "
+                f"(an interrupted save never writes one)"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SnapshotError(
+                f"{manifest_path} is not readable JSON: {exc}"
+            ) from exc
+        if manifest.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"{path}: manifest format {manifest.get('format')!r} is not "
+                f"{SNAPSHOT_FORMAT!r}"
+            )
+        version = manifest.get("schema_version")
+        if not isinstance(version, int) or version < 1:
+            raise SnapshotError(
+                f"{path}: invalid schema_version {version!r}"
+            )
+        if version > SCHEMA_VERSION:
+            raise SnapshotError(
+                f"{path}: snapshot schema_version {version} is newer than "
+                f"this library understands (max {SCHEMA_VERSION}); upgrade "
+                f"the library instead of serving corrupt state"
+            )
+        entries = manifest.get("arrays", {})
+        arrays: dict[str, np.ndarray] = {}
+        for name in _REQUIRED_ARRAYS:
+            entry = entries.get(name)
+            if not isinstance(entry, dict) or "file" not in entry:
+                raise SnapshotError(
+                    f"{path}: manifest has no array entry for {name!r}"
+                )
+            file_path = path / entry["file"]
+            if not file_path.is_file():
+                raise SnapshotError(
+                    f"{path}: array file {entry['file']} is missing"
+                )
+            expected_bytes = entry.get("bytes")
+            actual_bytes = file_path.stat().st_size
+            if expected_bytes is not None and actual_bytes != expected_bytes:
+                raise SnapshotError(
+                    f"{path}: array file {entry['file']} is truncated or "
+                    f"padded ({actual_bytes} bytes, manifest says "
+                    f"{expected_bytes})"
+                )
+            digest = _sha256_of(file_path)
+            if digest != entry.get("sha256"):
+                raise SnapshotError(
+                    f"{path}: checksum mismatch for {entry['file']} "
+                    f"(file {digest[:12]}..., manifest "
+                    f"{str(entry.get('sha256'))[:12]}...)"
+                )
+            try:
+                arrays[name] = np.load(
+                    file_path,
+                    mmap_mode="r" if mmap else None,
+                    allow_pickle=False,
+                )
+            except ValueError as exc:
+                raise SnapshotError(
+                    f"{path}: array file {entry['file']} is not a valid "
+                    f".npy payload: {exc}"
+                ) from exc
+        try:
+            config = ALIDConfig(**manifest["config"])
+            kernel = LaplacianKernel(
+                k=float(manifest["kernel"]["k"]),
+                p=float(manifest["kernel"]["p"]),
+            )
+            lsh_r = float(manifest["lsh"]["r"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"{path}: manifest config/kernel section is invalid: {exc}"
+            ) from exc
+        try:
+            clusters = unpack_clusters(
+                {
+                    key[len("cluster_"):]: arrays[key]
+                    for key in _CLUSTER_ARRAYS
+                },
+                n_items=int(arrays["data"].shape[0]),
+            )
+        except ValidationError as exc:
+            raise SnapshotError(
+                f"{path}: cluster arrays are inconsistent: {exc}"
+            ) from exc
+        return cls(
+            data=arrays["data"],
+            config=config,
+            kernel=kernel,
+            lsh_r=lsh_r,
+            index_arrays={name: arrays[name] for name in _INDEX_ARRAYS},
+            clusters=clusters,
+            meta=dict(manifest.get("meta", {})),
+        )

@@ -36,6 +36,7 @@ from repro.affinity.kernel import LaplacianKernel, suggest_scaling_factor
 from repro.affinity.oracle import AffinityCounters, AffinityOracle
 from repro.core.alid import ALIDEngine, SeedSchedule
 from repro.core.config import ALIDConfig
+from repro.core.infectivity import infective_mask, item_payoffs
 from repro.core.results import Cluster, DetectionResult
 from repro.exceptions import ValidationError
 from repro.lsh.index import LSHIndex
@@ -284,11 +285,14 @@ class StreamingALID:
             if fresh.size == 0:
                 updated.append(cluster)
                 continue
-            pay = (
-                oracle.block(fresh, cluster.members) @ cluster.weights
-                - cluster.density
+            pay = item_payoffs(
+                oracle,
+                fresh,
+                cluster.members,
+                cluster.weights,
+                cluster.density,
             )
-            joiners = fresh[pay > cfg.tol]
+            joiners = fresh[infective_mask(pay, cfg.tol)]
             if joiners.size == 0:
                 updated.append(cluster)
                 continue

@@ -104,3 +104,69 @@ class TestCheckHotpathRegression:
             if "entries_computed" in payload
         ]
         assert gated, "baseline must gate at least one workload"
+
+    def test_committed_serve_baseline_exists_and_is_gated(self):
+        committed = _SCRIPT.parent / "results" / "BENCH_serve_baseline.json"
+        report = json.loads(committed.read_text())
+        gated = [
+            name
+            for name, payload in report["workloads"].items()
+            if "entries_computed" in payload
+        ]
+        assert gated, "serve baseline must gate at least one workload"
+        # The acceptance workload is present and records throughput.
+        # (The throughput *value* is machine-dependent and deliberately
+        # not asserted — wall-clock numbers are never gated.)
+        full = report["workloads"]["serve_full"]
+        assert full["n"] == 5000
+        assert "queries_per_second" in full
+
+
+class TestBenchServeScript:
+    def test_tiny_workload_runs_and_reports(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(_SCRIPT.parent / "bench_serve.py"),
+                "--workloads", "tiny",
+                "--output", str(out),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(out.read_text())
+        payload = report["workloads"]["serve_tiny"]
+        for key in (
+            "entries_computed",
+            "queries_per_second",
+            "coverage",
+            "snapshot_mb",
+            "wall_seconds",
+        ):
+            assert key in payload, key
+        assert payload["entries_computed"] > 0
+        assert payload["n_queries"] == payload["n"] == 600
+
+    def test_tiny_entries_match_committed_baseline(self, tmp_path):
+        """The serve-side work accounting is deterministic and pinned."""
+        out = tmp_path / "BENCH_serve.json"
+        subprocess.run(
+            [
+                sys.executable,
+                str(_SCRIPT.parent / "bench_serve.py"),
+                "--workloads", "tiny",
+                "--output", str(out),
+            ],
+            check=True,
+            capture_output=True,
+        )
+        current = json.loads(out.read_text())["workloads"]["serve_tiny"]
+        committed = json.loads(
+            (_SCRIPT.parent / "results" / "BENCH_serve_baseline.json")
+            .read_text()
+        )["workloads"]["serve_tiny"]
+        assert (
+            current["entries_computed"] == committed["entries_computed"]
+        )

@@ -1,0 +1,176 @@
+"""Tests for the shared Theorem 1 infectivity helper.
+
+Pins two contracts: the vectorised helpers compute exactly the payoff
+margin the call sites used to compute inline, and the streaming absorb
+path (now routed through the helper) behaves identically to the
+historical inline formula.
+"""
+
+import numpy as np
+import pytest
+
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityCounters, AffinityOracle
+from repro.core.config import ALIDConfig
+from repro.core.infectivity import (
+    cluster_payoffs,
+    infective_mask,
+    item_payoffs,
+    point_payoffs,
+)
+from repro.exceptions import ValidationError
+from repro.streaming.online import StreamingALID
+
+
+@pytest.fixture
+def tiny_oracle(rng):
+    data = np.vstack(
+        [
+            rng.normal(scale=0.1, size=(10, 6)),
+            rng.normal(loc=8.0, scale=0.1, size=(10, 6)),
+        ]
+    )
+    return AffinityOracle(data, LaplacianKernel(k=0.6))
+
+
+class TestClusterPayoffs:
+    def test_matches_manual_formula(self, rng):
+        block = rng.uniform(size=(5, 3))
+        weights = np.asarray([0.5, 0.3, 0.2])
+        expected = block @ weights - 0.8
+        assert np.allclose(cluster_payoffs(block, weights, 0.8), expected)
+
+    def test_item_payoffs_matches_inline_block(self, tiny_oracle):
+        members = np.asarray([0, 1, 2, 3])
+        weights = np.full(4, 0.25)
+        density = 0.9
+        items = np.asarray([5, 6, 15])
+        expected = (
+            tiny_oracle.block(items, members) @ weights - density
+        )
+        got = item_payoffs(tiny_oracle, items, members, weights, density)
+        assert np.array_equal(got, expected)
+
+    def test_point_payoffs_matches_kernel_math(self, tiny_oracle):
+        members = np.asarray([0, 1, 2])
+        weights = np.asarray([0.5, 0.25, 0.25])
+        density = 0.85
+        points = tiny_oracle.data[:2] + 0.01
+        kernel = tiny_oracle.kernel
+        expected = np.empty(2)
+        for i, point in enumerate(points):
+            affin = kernel.affinity_from_distance(
+                np.linalg.norm(tiny_oracle.data[members] - point, axis=1)
+            )
+            expected[i] = affin @ weights - density
+        got = point_payoffs(tiny_oracle, points, members, weights, density)
+        assert np.allclose(got, expected)
+
+    def test_member_item_honours_zero_diagonal(self, tiny_oracle):
+        # An indexed item scored against a cluster containing it gets
+        # a_ii = 0 (the item oracle's diagonal rule); the same vector as
+        # a *foreign point* gets affinity 1 to itself.  The helper must
+        # preserve this asymmetry — it is what distinguishes absorb
+        # (items) from serving (queries).
+        members = np.asarray([0, 1])
+        weights = np.asarray([0.5, 0.5])
+        via_item = item_payoffs(
+            tiny_oracle, np.asarray([0]), members, weights, 0.0
+        )
+        via_point = point_payoffs(
+            tiny_oracle, tiny_oracle.data[:1], members, weights, 0.0
+        )
+        assert via_point[0] > via_item[0]
+        assert np.isclose(via_point[0] - via_item[0], 0.5)
+
+
+class TestInfectiveMask:
+    def test_strict_inequality(self):
+        payoffs = np.asarray([-1.0, 0.0, 1e-7, 1e-7 + 1e-12, 0.5])
+        mask = infective_mask(payoffs, 1e-7)
+        assert mask.tolist() == [False, False, False, True, True]
+
+
+class TestPointBlockOracle:
+    def test_counts_work_like_block(self, tiny_oracle):
+        before = tiny_oracle.counters.entries_computed
+        out = tiny_oracle.point_block(
+            tiny_oracle.data[:3] + 0.5, np.arange(7)
+        )
+        assert out.shape == (3, 7)
+        assert tiny_oracle.counters.entries_computed == before + 21
+
+    def test_dim_mismatch_raises(self, tiny_oracle):
+        with pytest.raises(ValidationError):
+            tiny_oracle.point_block(np.zeros((2, 3)), np.arange(4))
+
+
+class TestStreamingAbsorbUnchanged:
+    """Streaming absorb must behave exactly as the inline formula did."""
+
+    def _make_stream(self, rng):
+        centers = np.asarray([[0.0] * 12, [9.0] * 12, [-9.0] * 12])
+        first = np.vstack(
+            [c + rng.normal(scale=0.1, size=(25, 12)) for c in centers]
+        )
+        stream = StreamingALID(ALIDConfig(delta=100, seed=0))
+        stream.partial_fit(first)
+        arriving = np.vstack(
+            [
+                centers[0] + rng.normal(scale=0.1, size=(10, 12)),
+                rng.uniform(60, 90, size=(5, 12)),
+            ]
+        )
+        return stream, first, arriving
+
+    def test_absorb_payoffs_equal_inline_formula(self, rng, monkeypatch):
+        """Spy on every absorb evaluation; compare to the old inline math."""
+        import repro.streaming.online as online
+
+        stream, _, arriving = self._make_stream(rng)
+        assert stream.n_clusters >= 2
+        recorded = []
+        real = online.item_payoffs
+
+        def spy(oracle, items, members, weights, density):
+            pay = real(oracle, items, members, weights, density)
+            recorded.append(
+                (
+                    np.asarray(items).copy(),
+                    np.asarray(members).copy(),
+                    np.asarray(weights).copy(),
+                    float(density),
+                    np.asarray(pay).copy(),
+                )
+            )
+            return pay
+
+        monkeypatch.setattr(online, "item_payoffs", spy)
+        stream.partial_fit(arriving)
+        assert recorded, "absorb never evaluated the criterion"
+        reference_oracle = AffinityOracle(
+            stream._data, stream._kernel, counters=AffinityCounters()
+        )
+        for items, members, weights, density, pay in recorded:
+            inline = (
+                reference_oracle.block(items, members) @ weights - density
+            )
+            assert np.array_equal(pay, inline)
+
+    def test_noise_is_never_absorbed(self, rng):
+        stream, first, arriving = self._make_stream(rng)
+        result = stream.partial_fit(arriving)
+        noise_ids = set(
+            range(first.shape[0] + 10, first.shape[0] + arriving.shape[0])
+        )
+        for cluster in result.clusters:
+            assert not noise_ids & set(cluster.members.tolist())
+
+    def test_near_cluster_arrivals_are_absorbed(self, rng):
+        stream, first, arriving = self._make_stream(rng)
+        result = stream.partial_fit(arriving)
+        near_ids = set(range(first.shape[0], first.shape[0] + 10))
+        absorbed = set()
+        for cluster in result.clusters:
+            absorbed |= near_ids & set(cluster.members.tolist())
+        assert len(absorbed) == 10

@@ -97,3 +97,74 @@ class TestDetectionResult:
             clusters=clusters, all_clusters=clusters, n_items=1
         )
         assert result.n_clusters == 1
+
+
+class TestClusterPacking:
+    def _clusters(self):
+        return [
+            Cluster(
+                members=np.asarray([0, 3, 5]),
+                weights=np.asarray([0.5, 0.3, 0.2]),
+                density=0.9,
+                label=0,
+                seed=3,
+            ),
+            Cluster(
+                members=np.asarray([1, 2]),
+                weights=np.asarray([0.6, 0.4]),
+                density=0.8,
+                label=1,
+                seed=-1,
+            ),
+        ]
+
+    def test_round_trip(self):
+        from repro.core.results import pack_clusters, unpack_clusters
+
+        clusters = self._clusters()
+        rebuilt = unpack_clusters(pack_clusters(clusters), n_items=6)
+        assert len(rebuilt) == 2
+        for got, want in zip(rebuilt, clusters):
+            assert np.array_equal(got.members, want.members)
+            assert np.array_equal(got.weights, want.weights)
+            assert got.density == want.density
+            assert got.label == want.label
+            assert got.seed == want.seed
+
+    def test_empty_list_round_trip(self):
+        from repro.core.results import pack_clusters, unpack_clusters
+
+        assert unpack_clusters(pack_clusters([])) == []
+
+    def test_non_monotonic_offsets_rejected(self):
+        from repro.core.results import pack_clusters, unpack_clusters
+
+        packed = pack_clusters(self._clusters())
+        packed["offsets"] = np.asarray([0, 5, 3])
+        packed["densities"] = packed["densities"][:2]
+        with pytest.raises(ValidationError, match="non-decreasing"):
+            unpack_clusters(packed)
+
+    def test_offsets_must_start_at_zero(self):
+        from repro.core.results import pack_clusters, unpack_clusters
+
+        packed = pack_clusters(self._clusters())
+        packed["offsets"] = packed["offsets"] + 1
+        with pytest.raises(ValidationError):
+            unpack_clusters(packed)
+
+    def test_out_of_range_members_rejected(self):
+        from repro.core.results import pack_clusters, unpack_clusters
+
+        packed = pack_clusters(self._clusters())
+        with pytest.raises(ValidationError, match="out of range"):
+            unpack_clusters(packed, n_items=4)
+
+    def test_total_mismatch_rejected(self):
+        from repro.core.results import pack_clusters, unpack_clusters
+
+        packed = pack_clusters(self._clusters())
+        packed["members"] = packed["members"][:-1]
+        packed["weights"] = packed["weights"][:-1]
+        with pytest.raises(ValidationError, match="disagree"):
+            unpack_clusters(packed)

@@ -35,6 +35,7 @@ class TestExamplesImportable:
             "streaming_events",
             "social_hubs",
             "image_pipeline",
+            "serving_quickstart",
         ],
     )
     def test_has_main(self, name):
@@ -77,6 +78,16 @@ class TestSocialHubsRuns:
         assert "social groups" in out
         assert "peak memory" in out
         assert "full affinity matrix" in out
+
+
+class TestServingQuickstartRuns:
+    def test_full_run(self, capsys):
+        module = _load_module("serving_quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "snapshot written to" in out
+        assert "reloaded:" in out
+        assert "far-away queries rejected as noise: 20/20" in out
 
 
 class TestImagePipelineRuns:

@@ -364,3 +364,145 @@ class TestCollisionStructure:
         assert populations.sum() == (
             small_index.n_active * small_index.n_tables
         )
+
+
+class TestMergeInsert:
+    """The merge-based CSR update must equal a rebuild from scratch."""
+
+    def _rebuilt_reference(self, data, extra, **kwargs):
+        """Index over data+extra built the expensive way: full re-sort."""
+        reference = LSHIndex(data, **kwargs)
+        for table in reference._tables:
+            table.item_keys = np.concatenate(
+                [table.item_keys, table.keys_of_points(extra)]
+            )
+            table._rebuild()
+        reference._active = np.ones(
+            data.shape[0] + extra.shape[0], dtype=bool
+        )
+        reference._rebuild_combined()
+        return reference
+
+    def test_insert_equals_rebuild(self, blob_data, rng):
+        data, _ = blob_data
+        extra = rng.normal(scale=5.0, size=(25, data.shape[1]))
+        kwargs = dict(r=5.0, n_projections=16, n_tables=20, seed=0)
+        merged = LSHIndex(data, **kwargs)
+        merged.insert(extra[:11])
+        merged.insert(extra[11:])
+        reference = self._rebuilt_reference(data, extra, **kwargs)
+        for got, want in zip(merged._tables, reference._tables):
+            assert np.array_equal(got.item_keys, want.item_keys)
+            assert np.array_equal(got.unique_keys, want.unique_keys)
+            assert np.array_equal(got.offsets, want.offsets)
+            assert np.array_equal(got.members, want.members)
+        assert np.array_equal(merged._g_members, reference._g_members)
+        assert np.array_equal(merged._item_buckets, reference._item_buckets)
+
+    def test_insert_queries_match_fresh_index(self, blob_data, rng):
+        data, _ = blob_data
+        extra = data[:15] + rng.normal(scale=0.05, size=(15, data.shape[1]))
+        merged = LSHIndex(data, r=5.0, n_projections=16, n_tables=20, seed=0)
+        merged.insert(extra)
+        fresh = LSHIndex(
+            np.vstack([data, extra]),
+            r=5.0,
+            n_projections=16,
+            n_tables=20,
+            seed=0,
+        )
+        for i in range(merged.n):
+            assert np.array_equal(merged.query_item(i), fresh.query_item(i))
+
+    def test_insert_into_duplicate_key_buckets(self):
+        # Identical rows share every bucket; merged members must stay in
+        # ascending index order inside each bucket (the stable invariant
+        # bucket slicing relies on).
+        data = np.tile(np.arange(4.0)[None, :], (6, 1))
+        index = LSHIndex(data, r=1.0, n_projections=4, n_tables=3, seed=0)
+        index.insert(data[:3])
+        for table in index._tables:
+            for pos in range(table.unique_keys.size):
+                bucket = table.members[
+                    table.offsets[pos] : table.offsets[pos + 1]
+                ]
+                assert np.array_equal(bucket, np.sort(bucket))
+
+
+class TestQueryPointsGrouped:
+    def test_matches_query_point_loop(self, small_index, blob_data, rng):
+        data, _ = blob_data
+        points = np.vstack(
+            [
+                data[:8] + rng.normal(scale=0.05, size=(8, data.shape[1])),
+                rng.uniform(-40, 40, size=(6, data.shape[1])),
+            ]
+        )
+        grouped = small_index.query_points_grouped(points)
+        assert len(grouped) == points.shape[0]
+        for i, point in enumerate(points):
+            assert np.array_equal(grouped[i], small_index.query_point(point))
+
+    def test_respects_active_mask(self, small_index, blob_data):
+        data, _ = blob_data
+        small_index.deactivate(np.arange(0, small_index.n, 2))
+        grouped = small_index.query_points_grouped(data[:5])
+        for i in range(5):
+            assert np.array_equal(
+                grouped[i], small_index.query_point(data[i])
+            )
+            assert not np.isin(
+                grouped[i], np.arange(0, small_index.n, 2)
+            ).any()
+
+    def test_empty_batch(self, small_index):
+        assert small_index.query_points_grouped(
+            np.empty((0, 8))
+        ) == []
+
+    def test_dim_mismatch_raises(self, small_index):
+        with pytest.raises(ValidationError):
+            small_index.query_points_grouped(np.zeros((3, 5)))
+
+
+class TestExportRestoreState:
+    def test_round_trip_is_bit_identical(self, small_index, blob_data):
+        data, _ = blob_data
+        state = small_index.export_state()
+        restored = LSHIndex.from_state(data, r=small_index.r, **state)
+        for got, want in zip(restored._tables, small_index._tables):
+            assert np.array_equal(got.item_keys, want.item_keys)
+            assert np.array_equal(got.unique_keys, want.unique_keys)
+            assert np.array_equal(got.offsets, want.offsets)
+            assert np.array_equal(got.members, want.members)
+            assert np.array_equal(got.mixer, want.mixer)
+        for i in range(restored.n):
+            assert np.array_equal(
+                restored.query_item(i), small_index.query_item(i)
+            )
+        assert np.array_equal(
+            restored.query_point(data[0] + 0.01),
+            small_index.query_point(data[0] + 0.01),
+        )
+
+    def test_round_trip_preserves_active_mask(self, small_index, blob_data):
+        data, _ = blob_data
+        small_index.deactivate(np.asarray([1, 3, 5]))
+        state = small_index.export_state()
+        restored = LSHIndex.from_state(data, r=small_index.r, **state)
+        assert np.array_equal(restored.active_mask, small_index.active_mask)
+        # The restored mask is an independent, writable copy.
+        restored.reactivate_all()
+        assert not small_index.active_mask[1]
+
+    def test_bad_shapes_raise(self, small_index, blob_data):
+        data, _ = blob_data
+        state = small_index.export_state()
+        bad = dict(state)
+        bad["item_keys"] = state["item_keys"][:, :-1]
+        with pytest.raises(ValidationError):
+            LSHIndex.from_state(data, r=small_index.r, **bad)
+        bad = dict(state)
+        bad["mixers"] = state["mixers"][:-1]
+        with pytest.raises(ValidationError):
+            LSHIndex.from_state(data, r=small_index.r, **bad)

@@ -1,0 +1,158 @@
+"""Tests for serve-time batch assignment (repro.serve.assigner).
+
+The acceptance contract: batch assignment agrees with the engine — a
+query is assigned to cluster k exactly when it passes the streaming
+absorb infectivity test against k (and, with several candidates, joins
+the one with the largest payoff margin).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.alid import ALID
+from repro.core.config import ALIDConfig
+from repro.core.infectivity import point_payoffs
+from repro.exceptions import ValidationError
+from repro.serve.assigner import ClusterAssigner
+from repro.serve.snapshot import DetectionSnapshot
+
+
+@pytest.fixture(scope="module")
+def separated_fit():
+    """Well-separated blobs: LSH shortlisting is lossless here."""
+    rng = np.random.default_rng(5)
+    centers = np.asarray(
+        [[0.0] * 10, [12.0] * 10, [-12.0] * 10, [24.0] * 10]
+    )
+    data = np.vstack(
+        [c + rng.normal(scale=0.1, size=(30, 10)) for c in centers]
+    )
+    noise = rng.uniform(-60, 60, size=(25, 10))
+    data = np.vstack([data, noise])
+    detector = ALID(ALIDConfig(delta=200, seed=5))
+    result = detector.fit(data)
+    assert result.n_clusters == 4
+    snapshot = DetectionSnapshot.from_result(detector, result)
+    queries = np.vstack(
+        [
+            centers.repeat(10, axis=0)
+            + rng.normal(scale=0.05, size=(40, 10)),
+            rng.uniform(-60, 60, size=(12, 10)),
+        ]
+    )
+    return snapshot, queries
+
+
+class TestAgreementWithEngine:
+    def test_assignment_equals_infectivity_test(self, separated_fit):
+        """Assigned to k <=> infective against k (Theorem 1, per cluster)."""
+        snapshot, queries = separated_fit
+        assigner = ClusterAssigner(snapshot)
+        assignment = assigner.assign(queries, shortlist="all")
+        tol = snapshot.config.tol
+        oracle = snapshot.make_oracle()
+        # Exhaustive reference: payoff of every query against every
+        # cluster, exactly the streaming-absorb criterion.
+        payoffs = np.stack(
+            [
+                point_payoffs(
+                    oracle, queries, c.members, c.weights, c.density
+                )
+                for c in snapshot.clusters
+            ]
+        )  # (k, q)
+        infective_any = (payoffs > tol).any(axis=0)
+        assert np.array_equal(assignment.assigned_mask, infective_any)
+        labels = np.asarray([c.label for c in snapshot.clusters])
+        for qi in np.flatnonzero(infective_any):
+            best = int(np.argmax(payoffs[:, qi]))
+            assert assignment.labels[qi] == labels[best]
+            assert assignment.scores[qi] == payoffs[best, qi]
+
+    def test_lsh_shortlist_equals_exhaustive(self, separated_fit):
+        snapshot, queries = separated_fit
+        assigner = ClusterAssigner(snapshot)
+        via_lsh = assigner.assign(queries, shortlist="lsh")
+        exhaustive = assigner.assign(queries, shortlist="all")
+        assert np.array_equal(via_lsh.labels, exhaustive.labels)
+        # Scores may differ by BLAS-batching roundoff (the two modes
+        # evaluate different query-row batches), never more.
+        assigned = via_lsh.assigned_mask
+        assert np.allclose(
+            via_lsh.scores[assigned], exhaustive.scores[assigned],
+            rtol=0.0, atol=1e-12,
+        )
+        # Shortlisting must do strictly less affinity work.
+        assert via_lsh.entries_computed < exhaustive.entries_computed
+
+    def test_noise_queries_rejected(self, separated_fit):
+        snapshot, queries = separated_fit
+        assignment = ClusterAssigner(snapshot).assign(queries)
+        # The last 12 queries are uniform noise far from every center.
+        assert (assignment.labels[40:] == -1).all()
+        assert (assignment.labels[:40] >= 0).all()
+
+    def test_assignments_deterministic(self, separated_fit):
+        snapshot, queries = separated_fit
+        a = ClusterAssigner(snapshot).assign(queries)
+        b = ClusterAssigner(snapshot).assign(queries)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.scores, b.scores)
+        assert a.entries_computed == b.entries_computed
+
+
+class TestAssignmentMechanics:
+    def test_single_vector_is_one_query(self, separated_fit):
+        snapshot, queries = separated_fit
+        assignment = ClusterAssigner(snapshot).assign(queries[0])
+        assert assignment.n_queries == 1
+        assert assignment.labels.shape == (1,)
+
+    def test_dim_mismatch_raises(self, separated_fit):
+        snapshot, _ = separated_fit
+        with pytest.raises(ValidationError):
+            ClusterAssigner(snapshot).assign(np.zeros((3, 4)))
+
+    def test_bad_shortlist_mode_raises(self, separated_fit):
+        snapshot, queries = separated_fit
+        with pytest.raises(ValidationError):
+            ClusterAssigner(snapshot).assign(queries, shortlist="maybe")
+
+    def test_non_finite_queries_raise_in_both_modes(self, separated_fit):
+        """NaN queries must error identically, never read as noise."""
+        snapshot, _ = separated_fit
+        assigner = ClusterAssigner(snapshot)
+        bad = np.full((2, snapshot.dim), np.nan)
+        for mode in ("lsh", "all"):
+            with pytest.raises(ValidationError, match="NaN"):
+                assigner.assign(bad, shortlist=mode)
+
+    def test_scores_minus_inf_without_candidates(self, separated_fit):
+        snapshot, _ = separated_fit
+        far = np.full((2, snapshot.dim), 1e6)
+        assignment = ClusterAssigner(snapshot).assign(far)
+        assert (assignment.labels == -1).all()
+        assert (assignment.n_candidates == 0).all()
+        assert np.isneginf(assignment.scores).all()
+
+    def test_work_is_accounted(self, separated_fit):
+        snapshot, queries = separated_fit
+        assigner = ClusterAssigner(snapshot)
+        before = assigner.oracle.counters.entries_computed
+        assignment = assigner.assign(queries)
+        delta = assigner.oracle.counters.entries_computed - before
+        assert assignment.entries_computed == delta > 0
+
+    def test_coverage_property(self, separated_fit):
+        snapshot, queries = separated_fit
+        assignment = ClusterAssigner(snapshot).assign(queries)
+        assert assignment.coverage == pytest.approx(40 / 52)
+
+    def test_member_queries_join_their_own_cluster(self, separated_fit):
+        """Cluster members re-submitted as queries come back home."""
+        snapshot, _ = separated_fit
+        assigner = ClusterAssigner(snapshot)
+        for cluster in snapshot.clusters:
+            probes = snapshot.data[cluster.members[:5]]
+            assignment = assigner.assign(probes)
+            assert (assignment.labels == cluster.label).all()

@@ -30,7 +30,7 @@ import re
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-PUBLIC_PACKAGES = ("core", "dynamics", "lsh", "affinity", "parallel")
+PUBLIC_PACKAGES = ("core", "dynamics", "lsh", "affinity", "parallel", "serve")
 DOC_FILES = ("README.md", "docs")
 PAPER_MAP = REPO_ROOT / "docs" / "paper_map.md"
 

@@ -5,7 +5,13 @@ Fits ALID on a deterministic synthetic mixture, persists the fitted
 state as a :class:`~repro.serve.snapshot.DetectionSnapshot`, reloads it,
 and assigns the whole dataset back in fixed-size batches through
 :class:`~repro.serve.service.ClusterService` — the serve-time workload
-the ROADMAP's heavy-traffic north star cares about.  Writes a
+the ROADMAP's heavy-traffic north star cares about.  The ``full``
+workload additionally runs a **sharded lane**: the same snapshot is
+split into 2 shards (:class:`~repro.serve.plan.ShardPlanner`) and the
+same query sweep is served by a 2-process
+:class:`~repro.serve.sharded.ShardedClusterService`; its summed
+serve-side ``entries_computed`` is provably equal to the single-process
+number, so the same 10% CI gate pins the sharded path too.  Writes a
 machine-readable ``BENCH_serve.json``:
 
 .. code-block:: json
@@ -55,7 +61,12 @@ import numpy as np  # noqa: E402
 from repro.core.alid import ALID  # noqa: E402
 from repro.core.config import ALIDConfig  # noqa: E402
 from repro.datasets.synthetic import make_synthetic_mixture  # noqa: E402
-from repro.serve import ClusterService, DetectionSnapshot  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ClusterService,
+    DetectionSnapshot,
+    ShardPlanner,
+    ShardedClusterService,
+)
 
 # Fixed workloads; sizes/seeds must never change silently (the CI gate
 # compares `entries_computed` against the committed baseline, which is
@@ -67,6 +78,10 @@ WORKLOAD_SIZES = {
 }
 _SEED = 7
 _BATCH = 1024
+# Sharded lane: workloads served a second time through a planned shard
+# set and this many worker processes (the acceptance lane is `full`).
+SHARDED_WORKLOADS = ("full",)
+_SHARD_WORKERS = 2
 
 
 def _make_data(size_key: str) -> np.ndarray:
@@ -82,8 +97,14 @@ def _make_data(size_key: str) -> np.ndarray:
     return dataset.data
 
 
-def bench_serve(size_key: str, scratch: pathlib.Path) -> dict:
-    """Fit, snapshot, reload (eager), assign every item back in batches."""
+def bench_serve(
+    size_key: str, scratch: pathlib.Path
+) -> tuple[dict, pathlib.Path, np.ndarray]:
+    """Fit, snapshot, reload (eager), assign every item back in batches.
+
+    Returns the report entry plus the snapshot directory and data so
+    the sharded lane can reuse the same fitted artifact.
+    """
     data = _make_data(size_key)
     detector = ALID(ALIDConfig(seed=_SEED))
     fit_start = time.perf_counter()
@@ -110,7 +131,7 @@ def bench_serve(size_key: str, scratch: pathlib.Path) -> dict:
         assigned += int(batch.assigned_mask.sum())
     assign_wall = max(time.perf_counter() - assign_start, 1e-9)
     stats = service.stats()
-    return {
+    entry = {
         "n": int(n),
         "dim": int(data.shape[1]),
         "n_clusters": int(stats["n_clusters"]),
@@ -127,15 +148,80 @@ def bench_serve(size_key: str, scratch: pathlib.Path) -> dict:
         "assigned": assigned,
         "coverage": round(assigned / n, 4),
     }
+    return entry, snapshot_dir, data
+
+
+def bench_serve_sharded(
+    size_key: str,
+    snapshot_dir: pathlib.Path,
+    data: np.ndarray,
+    scratch: pathlib.Path,
+) -> dict:
+    """Shard the fitted snapshot and serve the same sweep via workers.
+
+    Summed serve-side ``entries_computed`` is equal to the
+    single-process lane by construction (each (query, cluster) pair is
+    scored in exactly one shard), so the same baseline gate applies.
+    """
+    shard_root = scratch / f"shards_{size_key}"
+    plan_start = time.perf_counter()
+    plan = ShardPlanner(n_shards=_SHARD_WORKERS).plan(
+        snapshot_dir, shard_root
+    )
+    plan_wall = time.perf_counter() - plan_start
+
+    spawn_start = time.perf_counter()
+    service = ShardedClusterService(shard_root)
+    spawn_wall = time.perf_counter() - spawn_start
+    try:
+        n = data.shape[0]
+        assigned = 0
+        assign_start = time.perf_counter()
+        for lo in range(0, n, _BATCH):
+            batch = service.assign(data[lo : lo + _BATCH])
+            assigned += int(batch.assigned_mask.sum())
+        assign_wall = max(time.perf_counter() - assign_start, 1e-9)
+        stats = service.stats()
+    finally:
+        service.close()
+    return {
+        "n": int(n),
+        "dim": int(data.shape[1]),
+        "n_clusters": int(stats["n_clusters"]),
+        "n_queries": int(stats["queries"]),
+        "batch_size": _BATCH,
+        "workers": _SHARD_WORKERS,
+        "n_shards": plan.n_shards,
+        "shard_items": [int(s.n_items) for s in plan.shards],
+        "plan_seconds": round(plan_wall, 4),
+        "pool_spawn_seconds": round(spawn_wall, 4),
+        "wall_seconds": round(assign_wall, 4),
+        "queries_per_second": round(n / assign_wall, 1),
+        "entries_computed": int(stats["entries_computed"]),
+        "entries_per_query": round(stats["entries_computed"] / n, 2),
+        "assigned": assigned,
+        "coverage": round(assigned / n, 4),
+        "degraded_batches": int(stats["degraded_batches"]),
+    }
 
 
 def run(workload_keys: list[str], scratch: pathlib.Path) -> dict:
     workloads: dict[str, dict] = {}
     for key in workload_keys:
         print(f"[bench_serve] serve_{key} ...", flush=True)
-        workloads[f"serve_{key}"] = bench_serve(key, scratch)
+        entry, snapshot_dir, data = bench_serve(key, scratch)
+        workloads[f"serve_{key}"] = entry
+        if key in SHARDED_WORKLOADS:
+            print(
+                f"[bench_serve] serve_{key}_sharded "
+                f"(workers={_SHARD_WORKERS}) ...",
+                flush=True,
+            )
+            workloads[f"serve_{key}_sharded"] = bench_serve_sharded(
+                key, snapshot_dir, data, scratch
+            )
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "workloads": workloads,

@@ -11,7 +11,10 @@ The serve-time story in four steps:
    fitting objects is reused, only the bytes on disk;
 4. answer "which dominant cluster does this item belong to?" for a
    query batch through :class:`~repro.serve.service.ClusterService`,
-   using the same Theorem 1 infectivity test streaming absorb applies.
+   using the same Theorem 1 infectivity test streaming absorb applies;
+5. shard the same snapshot across two worker processes
+   (:class:`~repro.serve.sharded.ShardedClusterService`) and check the
+   answers are byte-identical to the single-process service.
 
 Run:  python examples/serving_quickstart.py
 """
@@ -21,7 +24,11 @@ import tempfile
 import numpy as np
 
 from repro import ALID, ALIDConfig, make_synthetic_mixture
-from repro.serve import ClusterService, DetectionSnapshot
+from repro.serve import (
+    ClusterService,
+    DetectionSnapshot,
+    ShardedClusterService,
+)
 
 
 def main() -> None:
@@ -72,6 +79,22 @@ def main() -> None:
             f"busiest cluster: label {busiest} "
             f"({int(counts.max())} queries)"
         )
+
+        # --- 5. shard across worker processes ------------------------
+        queries = np.vstack([near, far])
+        with ShardedClusterService.from_snapshot(
+            path, f"{scratch}/shards", n_shards=2
+        ) as sharded:
+            shard_answer = sharded.assign(queries)
+            stats = sharded.stats()
+            print(
+                f"sharded: {stats['n_shards']} workers "
+                f"(pids differ from this process), "
+                f"byte-identical labels: "
+                f"{np.array_equal(shard_answer.labels, assignment.labels)}, "
+                f"identical work: "
+                f"{shard_answer.entries_computed == assignment.entries_computed}"
+            )
 
 
 if __name__ == "__main__":

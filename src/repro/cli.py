@@ -14,9 +14,14 @@ Commands
 ``snapshot``
     Fit ALID on a dataset and persist the fitted state as a versioned
     serve-time snapshot directory (see :mod:`repro.serve`).
+``shard``
+    Split a saved snapshot into per-worker serving shards (a shard plan
+    directory; see :mod:`repro.serve.plan`).
 ``assign``
     Load a snapshot and assign a batch of query points to its dominant
-    clusters (the serve-time workload).
+    clusters (the serve-time workload).  With ``--workers N`` the
+    snapshot is sharded on the fly and served by N worker processes
+    (identical assignments, see :mod:`repro.serve.sharded`).
 
 Examples
 --------
@@ -26,7 +31,8 @@ Examples
     python -m repro detect --input nart.npz --method alid --delta 400
     python -m repro compare --input nart.npz --methods alid iid km
     python -m repro snapshot --input nart.npz --out nart_snapshot
-    python -m repro assign --snapshot nart_snapshot --queries nart.npz
+    python -m repro shard --snapshot nart_snapshot --out nart_shards --shards 4
+    python -m repro assign --snapshot nart_snapshot --queries nart.npz --workers 2
 """
 
 from __future__ import annotations
@@ -152,15 +158,36 @@ def build_parser() -> argparse.ArgumentParser:
     snap.add_argument("--density-threshold", type=float, default=0.75)
     snap.add_argument("--seed", type=int, default=0)
 
+    shard = sub.add_parser(
+        "shard", help="split a snapshot into per-worker serving shards"
+    )
+    shard.add_argument("--snapshot", required=True,
+                       help="snapshot directory written by `repro snapshot`")
+    shard.add_argument("--out", required=True,
+                       help="shard plan directory to write")
+    shard.add_argument("--shards", type=int, default=2,
+                       help="number of shards (default 2)")
+    shard.add_argument("--strategy", choices=("balanced", "contiguous"),
+                       default="balanced",
+                       help="cluster-to-shard assignment rule")
+
     assign = sub.add_parser(
         "assign", help="assign query points against a saved snapshot"
     )
     assign.add_argument("--snapshot", required=True,
-                        help="snapshot directory written by `repro snapshot`")
+                        help="snapshot directory written by `repro snapshot`"
+                             " (or a shard plan directory when it holds a"
+                             " plan.json)")
     assign.add_argument("--queries", required=True,
                         help="dataset .npz whose items are the queries")
     assign.add_argument("--mmap", action="store_true",
                         help="memory-map the snapshot arrays (read-only)")
+    assign.add_argument("--workers", type=int, default=1,
+                        help="serve through N shard worker processes "
+                             "(default 1: single-process service)")
+    assign.add_argument("--shortlist", choices=("lsh", "multiprobe", "all"),
+                        default="lsh",
+                        help="candidate-cluster shortlist mode")
     assign.add_argument("--out", default=None,
                         help="save per-query labels/scores .npz here")
     return parser
@@ -346,25 +373,77 @@ def _cmd_snapshot(args) -> int:
     return 0
 
 
+def _cmd_shard(args) -> int:
+    from repro.serve import ShardPlanner
+
+    plan = ShardPlanner(n_shards=args.shards, strategy=args.strategy).plan(
+        args.snapshot, args.out
+    )
+    print(
+        f"wrote shard plan {plan.root}: {plan.n_shards} shard(s), "
+        f"strategy {plan.strategy}, parent {plan.parent_n_items} items / "
+        f"{plan.parent_n_clusters} cluster(s)"
+    )
+    for spec in plan.shards:
+        print(
+            f"  {spec.dir_name}: {spec.n_items:6d} items, "
+            f"{spec.n_clusters:3d} cluster(s) "
+            f"(labels {', '.join(str(label) for label in spec.labels)})"
+        )
+    return 0
+
+
 def _cmd_assign(args) -> int:
+    import contextlib
+    import pathlib
+    import tempfile
     import time
 
     import numpy as np
 
-    from repro.serve import ClusterService
+    from repro.serve import ClusterService, ShardedClusterService
 
-    service = ClusterService(args.snapshot, mmap=args.mmap)
     queries = load_dataset(args.queries).data
-    start = time.perf_counter()
-    assignment = service.assign(queries)
-    wall = max(time.perf_counter() - start, 1e-9)
+    with contextlib.ExitStack() as stack:
+        if (pathlib.Path(args.snapshot) / "plan.json").is_file():
+            # A shard plan directory: serve it with its own worker pool
+            # (its shard count is baked in at planning time; workers
+            # always mmap their shards).
+            if args.workers > 1:
+                print(
+                    f"note: {args.snapshot} is a shard plan; serving with "
+                    f"its planned shard count, --workers ignored"
+                )
+            service = stack.enter_context(
+                ShardedClusterService(args.snapshot, mmap=True)
+            )
+            served_by = f"{service.n_shards} shard worker(s)"
+        elif args.workers > 1:
+            # Shard the snapshot on the fly into a scratch plan.
+            scratch = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro_shards_")
+            )
+            service = stack.enter_context(
+                ShardedClusterService.from_snapshot(
+                    args.snapshot, scratch, n_shards=args.workers
+                )
+            )
+            served_by = f"{service.n_shards} shard worker(s)"
+        else:
+            service = ClusterService(args.snapshot, mmap=args.mmap)
+            served_by = "1 process"
+        start = time.perf_counter()
+        assignment = service.assign(queries, shortlist=args.shortlist)
+        wall = max(time.perf_counter() - start, 1e-9)
+        n_clusters = service.n_clusters
     print(
         f"assigned {int(assignment.assigned_mask.sum())}/"
         f"{assignment.n_queries} queries "
         f"({100 * assignment.coverage:.1f}%) across "
-        f"{service.n_clusters} cluster(s) in {wall:.3f}s "
+        f"{n_clusters} cluster(s) in {wall:.3f}s "
         f"({assignment.n_queries / wall:,.0f} queries/s, "
-        f"{assignment.entries_computed:,} affinity entries)"
+        f"{assignment.entries_computed:,} affinity entries, "
+        f"served by {served_by})"
     )
     labels, counts = np.unique(
         assignment.labels[assignment.assigned_mask], return_counts=True
@@ -389,6 +468,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "info": _cmd_info,
     "snapshot": _cmd_snapshot,
+    "shard": _cmd_shard,
     "assign": _cmd_assign,
 }
 

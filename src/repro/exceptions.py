@@ -49,6 +49,18 @@ class EmptyDatasetError(ReproError, ValueError):
     """An operation requiring data items received an empty collection."""
 
 
+class WorkerError(ReproError, RuntimeError):
+    """A shard worker process died, timed out, or reported a failure.
+
+    Raised by :mod:`repro.serve.sharded` when a worker of the sharded
+    serving pool cannot be started, stops answering, or returns an
+    error for a request.  The router's degraded-mode policy decides
+    whether this propagates to callers (``on_worker_error="raise"``) or
+    is absorbed by serving from the surviving shards
+    (``on_worker_error="skip"``).
+    """
+
+
 class SnapshotError(ValidationError):
     """A persisted detection snapshot failed validation on load.
 

@@ -154,13 +154,17 @@ class MultiProbeQuerier:
         self.n_probes = int(n_probes)
 
     # ------------------------------------------------------------------
-    def _probe_keys_batch(self, table, points: np.ndarray) -> np.ndarray:
-        """Probe keys for a batch of points against one table.
+    def _probe_keys_with_ids(
+        self, table, points: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Probe keys for a batch of points against one table, with owners.
 
         One projection pass hashes the whole batch; the perturbed keys
         of every point are derived incrementally from its base key
         (``key ± mixer_j`` per perturbed coordinate).  Returns the flat
-        uint64 key array of all probes of all points.
+        uint64 key array of all probes of all points plus the aligned
+        point-row index of every probe (which query each key belongs
+        to — what the grouped serve-time shortlist needs).
         """
         coords = table.family.project(points)
         codes = np.floor(coords)
@@ -170,10 +174,12 @@ class MultiProbeQuerier:
                          * table.mixer[None, :]).sum(axis=1, dtype=np.uint64)
         mixers = table.mixer.astype(np.uint64)
         keys: list[int] = []
+        owners: list[int] = []
         with np.errstate(over="ignore"):
             for row in range(points.shape[0]):
                 base = base_keys[row]
                 keys.append(int(base))
+                owners.append(row)
                 for perturbations in perturbation_sets(
                     fractions[row], self.n_probes
                 ):
@@ -184,7 +190,15 @@ class MultiProbeQuerier:
                         else:
                             key = key - mixers[coordinate]
                     keys.append(int(key))
-        return np.asarray(keys, dtype=np.uint64)
+                    owners.append(row)
+        return (
+            np.asarray(keys, dtype=np.uint64),
+            np.asarray(owners, dtype=np.int64),
+        )
+
+    def _probe_keys_batch(self, table, points: np.ndarray) -> np.ndarray:
+        """Flat probe keys of all points (see :meth:`_probe_keys_with_ids`)."""
+        return self._probe_keys_with_ids(table, points)[0]
 
     def query_points(self, points: np.ndarray) -> np.ndarray:
         """Active items found in the probed buckets over a point batch.
@@ -206,6 +220,65 @@ class MultiProbeQuerier:
             keys = np.unique(self._probe_keys_batch(table, points))
             parts.append(table.gather(keys))
         return self.index._finalize(np.concatenate(parts))
+
+    def query_points_grouped(self, points: np.ndarray) -> list[np.ndarray]:
+        """Run :meth:`query_point` for a batch of points in one fused pass.
+
+        The multi-probe twin of
+        :meth:`repro.lsh.index.LSHIndex.query_points_grouped`: every
+        point's own bucket *and* its ``n_probes`` perturbed buckets are
+        gathered per table, then candidates are deduplicated *per point*
+        with a single ``np.unique`` over ``point_id * n + item`` keys.
+        This is the retrieval behind the serve-time
+        ``shortlist="multiprobe"`` mode — the extra probes recover
+        borderline queries whose near neighbours fell just across a
+        segment boundary and therefore miss the plain LSH shortlist.
+
+        Parameters
+        ----------
+        points:
+            Query block of shape ``(q, d)``.
+
+        Returns
+        -------
+        list of numpy.ndarray
+            ``out[i]`` is exactly ``self.query_point(points[i])``:
+            sorted, deduplicated, active-only.
+        """
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.ndim != 2 or points.shape[1] != self.index._data.shape[1]:
+            raise ValidationError(
+                f"points must be 2-D of dim {self.index._data.shape[1]}, "
+                f"got shape {points.shape}"
+            )
+        q = points.shape[0]
+        results: list[np.ndarray] = [
+            np.empty(0, dtype=np.intp) for _ in range(q)
+        ]
+        if q == 0:
+            return results
+        n_buckets = int(self.index._g_lengths.size)
+        if n_buckets == 0:
+            return results
+        pair_parts: list[np.ndarray] = []
+        for t_id, table in enumerate(self.index._tables):
+            if table.unique_keys.size == 0:
+                continue
+            keys, owners = self._probe_keys_with_ids(table, points)
+            pos = np.searchsorted(table.unique_keys, keys)
+            pos = np.minimum(pos, table.unique_keys.size - 1)
+            valid = table.unique_keys[pos] == keys
+            bucket_ids = pos[valid] + self.index._table_bucket_base[t_id]
+            pair_parts.append(
+                owners[valid] * n_buckets + bucket_ids.astype(np.int64)
+            )
+        if not pair_parts:
+            return results
+        # Distinct perturbations can land in the same bucket (mixer sums
+        # may coincide), so (point, bucket) pairs are deduplicated here —
+        # unlike the plain grouped query, where they are unique for free.
+        pair_keys = np.unique(np.concatenate(pair_parts))
+        return self.index._resolve_grouped_pairs(pair_keys, q)
 
     def query_point(self, point: np.ndarray) -> np.ndarray:
         """Active items found in the probed buckets of every table."""

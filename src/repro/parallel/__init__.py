@@ -8,8 +8,14 @@ forked workers see copy-on-write — the same "mappers read a few items
 from a shared store" access pattern, without the network (DESIGN.md §2).
 """
 
-from repro.parallel.mapreduce import MapReduceJob, run_mapreduce
+from repro.parallel.mapreduce import MapReduceJob, chunk_evenly, run_mapreduce
 from repro.parallel.palid import PALID
 from repro.parallel.storage import SharedDataStore
 
-__all__ = ["MapReduceJob", "run_mapreduce", "PALID", "SharedDataStore"]
+__all__ = [
+    "MapReduceJob",
+    "chunk_evenly",
+    "run_mapreduce",
+    "PALID",
+    "SharedDataStore",
+]

@@ -23,7 +23,7 @@ from collections.abc import Iterable
 
 from repro.exceptions import ValidationError
 
-__all__ = ["MapReduceJob", "run_mapreduce"]
+__all__ = ["MapReduceJob", "chunk_evenly", "run_mapreduce"]
 
 
 class MapReduceJob:
@@ -69,7 +69,15 @@ def _map_chunk_safe(indexed_chunk: tuple) -> tuple:
         return index, None, f"{type(exc).__name__}: {exc}"
 
 
-def _chunked(items: list, n_chunks: int) -> list[list]:
+def chunk_evenly(items: list, n_chunks: int) -> list[list]:
+    """Split *items* into at most *n_chunks* contiguous, near-equal runs.
+
+    The partitioning rule shared by the MapReduce engine (map-task
+    chunking) and the shard planner's contiguous strategy
+    (:mod:`repro.serve.plan`): sizes differ by at most one, order is
+    preserved, and fewer chunks are returned when there are fewer items
+    than requested chunks (never an empty chunk).
+    """
     n_chunks = max(1, min(n_chunks, len(items)))
     size, remainder = divmod(len(items), n_chunks)
     chunks = []
@@ -128,7 +136,7 @@ def run_mapreduce(
             return run_mapreduce(
                 job, input_list, n_workers=1, stats=stats
             )
-        chunks = _chunked(input_list, n_workers * chunks_per_worker)
+        chunks = chunk_evenly(input_list, n_workers * chunks_per_worker)
         _ACTIVE_JOB = job
         try:
             with ctx.Pool(processes=n_workers) as pool:

@@ -14,20 +14,40 @@ package is that separation made concrete for the reproduction:
   copy.
 * :mod:`repro.serve.assigner` — :class:`ClusterAssigner`, vectorized
   batch assignment: hash a query block into the restored LSH tables
-  with one grouped gather, shortlist candidate clusters by collision
-  ownership, score with the shared Theorem 1 infectivity criterion
-  (:mod:`repro.core.infectivity`), all through the instrumented oracle.
-* :mod:`repro.serve.service` — :class:`ClusterService`, the long-lived
-  front: owns a snapshot, hot-reloads newer artifacts atomically, and
-  keeps cumulative serving statistics.  Exposed on the command line as
-  ``repro snapshot`` / ``repro assign``.
+  with one grouped gather (optionally multi-probed,
+  ``shortlist="multiprobe"``), shortlist candidate clusters by
+  collision ownership, score with the shared Theorem 1 infectivity
+  criterion (:mod:`repro.core.infectivity`), all through the
+  instrumented oracle.
+* :mod:`repro.serve.service` — :class:`ClusterService`, the
+  single-process front: owns a snapshot, hot-reloads newer artifacts
+  atomically, and keeps lifetime + per-snapshot serving statistics.
+* :mod:`repro.serve.plan` — :class:`ShardPlanner` /
+  :class:`ShardPlan`, the PALID-style decomposition of one snapshot
+  into checksummed per-shard artifacts (whole clusters per shard, each
+  shard a self-contained snapshot).
+* :mod:`repro.serve.sharded` — :class:`ShardWorker` (one process per
+  shard, mmap-loading only its shard) and
+  :class:`ShardedClusterService`, the multi-process front with atomic
+  shard-set hot reload and degraded-mode serving.
+* :mod:`repro.serve.router` — :class:`BatchingRouter`, micro-batching
+  scatter/gather with the densest-wins merge that makes sharded
+  assignments byte-identical to the single-process path.
 
-See ``docs/serving.md`` for the snapshot format and assignment
-semantics.
+Exposed on the command line as ``repro snapshot`` / ``repro shard`` /
+``repro assign [--workers N]``.  See ``docs/serving.md`` for the
+artifact formats and semantics.
 """
 
-from repro.serve.assigner import Assignment, ClusterAssigner
+from repro.serve.assigner import (
+    SHORTLIST_MODES,
+    Assignment,
+    ClusterAssigner,
+)
+from repro.serve.plan import ShardPlan, ShardPlanner, ShardSpec
+from repro.serve.router import BatchingRouter, merge_partials
 from repro.serve.service import ClusterService
+from repro.serve.sharded import ShardedClusterService, ShardWorker
 from repro.serve.snapshot import (
     SCHEMA_VERSION,
     SNAPSHOT_FORMAT,
@@ -36,9 +56,17 @@ from repro.serve.snapshot import (
 
 __all__ = [
     "Assignment",
+    "BatchingRouter",
     "ClusterAssigner",
     "ClusterService",
     "DetectionSnapshot",
+    "merge_partials",
     "SCHEMA_VERSION",
+    "SHORTLIST_MODES",
     "SNAPSHOT_FORMAT",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardSpec",
+    "ShardWorker",
+    "ShardedClusterService",
 ]

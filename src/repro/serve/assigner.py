@@ -37,9 +37,12 @@ import numpy as np
 
 from repro.core.infectivity import infective_mask, point_payoffs
 from repro.exceptions import ValidationError
+from repro.lsh.multiprobe import MultiProbeQuerier
 from repro.serve.snapshot import DetectionSnapshot
 
-__all__ = ["Assignment", "ClusterAssigner"]
+__all__ = ["Assignment", "ClusterAssigner", "SHORTLIST_MODES"]
+
+SHORTLIST_MODES = ("lsh", "multiprobe", "all")
 
 
 @dataclass
@@ -95,6 +98,9 @@ class ClusterAssigner:
     snapshot:
         A :class:`~repro.serve.snapshot.DetectionSnapshot` (eager or
         mmap-loaded).
+    n_probes:
+        Extra buckets probed per table by the ``shortlist="multiprobe"``
+        mode (ignored by the other modes).
 
     Notes
     -----
@@ -106,12 +112,13 @@ class ClusterAssigner:
     accumulates those into its lifetime totals.
     """
 
-    def __init__(self, snapshot: DetectionSnapshot):
+    def __init__(self, snapshot: DetectionSnapshot, *, n_probes: int = 8):
         self.snapshot = snapshot
         self.config = snapshot.config
         self.oracle = snapshot.make_oracle()
         self.index = snapshot.restore_index()
         self.index.reactivate_all()
+        self.multiprobe = MultiProbeQuerier(self.index, n_probes=n_probes)
         self.clusters = list(snapshot.clusters)
         n = snapshot.n_items
         # Densest-first scoring order gives deterministic tie-breaks;
@@ -132,11 +139,14 @@ class ClusterAssigner:
 
     # ------------------------------------------------------------------
     def _shortlist_pairs(
-        self, queries: np.ndarray
+        self, queries: np.ndarray, shortlist: str
     ) -> tuple[np.ndarray, np.ndarray]:
         """(query_ids, cluster_rows) pairs worth scoring, deduplicated."""
         k = len(self.clusters)
-        candidate_lists = self.index.query_points_grouped(queries)
+        if shortlist == "multiprobe":
+            candidate_lists = self.multiprobe.query_points_grouped(queries)
+        else:
+            candidate_lists = self.index.query_points_grouped(queries)
         lengths = np.asarray([c.size for c in candidate_lists], dtype=np.intp)
         if lengths.sum() == 0:
             empty = np.empty(0, dtype=np.int64)
@@ -163,9 +173,15 @@ class ClusterAssigner:
             query.
         shortlist:
             ``"lsh"`` (default) scores only LSH-shortlisted candidate
-            clusters; ``"all"`` scores every query against every cluster
-            — the exact reference mode (O(q * n) work) the equivalence
-            tests compare against.
+            clusters; ``"multiprobe"`` additionally probes the
+            ``n_probes`` cheapest neighbouring buckets per table
+            (Lv et al. 2007), recovering borderline-infective queries
+            whose collisions all miss the plain shortlist (little
+            extra scoring work, but probe enumeration is per-query
+            Python — a recall mode, not a hot path, at paper-scale
+            table counts); ``"all"`` scores every query against
+            every cluster — the exact reference mode (O(q * n) work)
+            the equivalence tests compare against.
 
         Returns
         -------
@@ -173,9 +189,10 @@ class ClusterAssigner:
             Per-query labels, scores, shortlist sizes, and the batch's
             serve-side work accounting.
         """
-        if shortlist not in ("lsh", "all"):
+        if shortlist not in SHORTLIST_MODES:
             raise ValidationError(
-                f"shortlist must be 'lsh' or 'all', got {shortlist!r}"
+                f"shortlist must be one of {SHORTLIST_MODES}, "
+                f"got {shortlist!r}"
             )
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if queries.ndim != 2 or queries.shape[1] != self.snapshot.dim:
@@ -201,7 +218,9 @@ class ClusterAssigner:
                 pair_qids = np.tile(np.arange(q, dtype=np.int64), k)
                 pair_rows = np.repeat(np.arange(k, dtype=np.int64), q)
             else:
-                pair_qids, pair_rows = self._shortlist_pairs(queries)
+                pair_qids, pair_rows = self._shortlist_pairs(
+                    queries, shortlist
+                )
             # Group pairs by cluster row once (sort + boundary split)
             # instead of one full boolean scan per cluster.
             order = np.argsort(pair_rows, kind="stable")

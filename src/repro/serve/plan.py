@@ -1,0 +1,504 @@
+"""Shard planning: split one detection snapshot into serving shards.
+
+PALID (paper §4.6, Alg. 3) scales *fitting* by partitioning the work,
+running the local criterion per partition, and merging with a cheap
+global rule (densest-wins).  The shard planner applies the same
+map-reduce decomposition to *serving*: one fitted
+:class:`~repro.serve.snapshot.DetectionSnapshot` is split into
+``n_shards`` self-contained shard artifacts, each of which a
+:class:`~repro.serve.sharded.ShardWorker` process can mmap-load and
+serve with the unmodified
+:class:`~repro.serve.assigner.ClusterAssigner`.
+
+Why sharding by **clusters** is exact
+-------------------------------------
+The serve-time criterion decomposes over disjoint point shards:
+
+* LSH collisions are per-item — whether a query's bucket key matches
+  item ``i``'s key depends only on the shared hash families and item
+  ``i``, never on other items.  Restricting a shard's rebuilt index to
+  its own items therefore yields exactly the parent index's collisions
+  with those items.
+* The Theorem 1 payoff margin of a (query, cluster) pair reads only the
+  cluster's own support, weights and density — fully local to the shard
+  that owns the cluster.
+* The global decision (densest-wins over the best margins) is an
+  associative merge, performed by :mod:`repro.serve.router`.
+
+So a shard holds *whole clusters*: every cluster lives in exactly one
+shard together with the data rows and per-table hash keys of its
+members.  Items in no dominant cluster (fit-time noise) are dropped —
+collisions with them never shortlist anything, so the sharded shortlist,
+scores and summed ``entries_computed`` all match the single-process
+assigner exactly (pinned by ``tests/test_serve_sharded.py``).  Clusters
+must be support-disjoint (always true for ALID's peeling fits); an
+overlapping cluster pair cannot be split without double-counting and is
+rejected at planning time.
+
+Artifact layout
+---------------
+::
+
+    shard_root/
+      plan.json            shard-set manifest: parent snapshot checksum,
+                           strategy, per-shard manifest + items checksums
+      shard_000/           a full DetectionSnapshot directory
+        manifest.json      (embeds the parent checksum in its meta)
+        items.npy          global item ids of the shard's rows
+        arrays/*.npy
+      shard_001/
+        ...
+
+``plan.json`` is written last (write-to-temp + rename), mirroring the
+snapshot rule: a readable plan certifies a complete shard set, and
+loading re-verifies every shard manifest and items file against the
+recorded checksums — a truncated or edited shard manifest fails the
+whole plan load, never one worker at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import shutil
+
+import numpy as np
+
+from repro.core.results import Cluster
+from repro.exceptions import SnapshotError, ValidationError
+from repro.parallel.mapreduce import chunk_evenly
+from repro.serve.snapshot import (
+    MANIFEST_NAME,
+    DetectionSnapshot,
+    _sha256_of,
+)
+
+__all__ = [
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardSpec",
+    "PLAN_NAME",
+    "PLAN_SCHEMA_VERSION",
+    "SHARD_PLAN_FORMAT",
+    "STRATEGIES",
+]
+
+SHARD_PLAN_FORMAT = "repro-alid-shard-plan"
+PLAN_SCHEMA_VERSION = 1
+PLAN_NAME = "plan.json"
+ITEMS_NAME = "items.npy"
+STRATEGIES = ("balanced", "contiguous")
+
+
+@dataclasses.dataclass
+class ShardSpec:
+    """Manifest entry of one shard inside a :class:`ShardPlan`.
+
+    Attributes
+    ----------
+    shard_id:
+        Position of the shard in the plan (0-based, contiguous).
+    dir_name:
+        Directory name of the shard snapshot under the plan root.
+    n_items:
+        Number of data rows the shard carries (union of its clusters'
+        members).
+    n_clusters:
+        Number of dominant clusters the shard owns.
+    labels:
+        Global cluster labels owned by this shard (disjoint across
+        shards).
+    manifest_sha256:
+        Checksum of the shard snapshot's ``manifest.json`` — ties the
+        plan to the exact shard artifacts it was written with.
+    items_sha256:
+        Checksum of the shard's ``items.npy`` (global item ids).
+    """
+
+    shard_id: int
+    dir_name: str
+    n_items: int
+    n_clusters: int
+    labels: list[int]
+    manifest_sha256: str
+    items_sha256: str
+
+
+@dataclasses.dataclass
+class ShardPlan:
+    """A validated shard set: parent provenance plus per-shard specs.
+
+    Attributes
+    ----------
+    root:
+        Directory holding ``plan.json`` and the shard subdirectories.
+    parent_manifest_sha256:
+        Checksum of the parent snapshot's manifest (``None`` when the
+        plan was built from an in-memory snapshot).
+    parent_n_items / parent_n_clusters / parent_dim:
+        Shape of the parent detection, for quick sanity checks.
+    strategy:
+        The planner strategy that produced the split.
+    shards:
+        One :class:`ShardSpec` per shard, ordered by ``shard_id``.
+    """
+
+    root: pathlib.Path
+    parent_manifest_sha256: str | None
+    parent_n_items: int
+    parent_n_clusters: int
+    parent_dim: int
+    strategy: str
+    shards: list[ShardSpec]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.shards)
+
+    def shard_dir(self, shard_id: int) -> pathlib.Path:
+        """Directory of one shard's snapshot artifact."""
+        return self.root / self.shards[shard_id].dir_name
+
+    def save(self) -> pathlib.Path:
+        """Write ``plan.json`` (write-to-temp + rename) and return it."""
+        payload = {
+            "format": SHARD_PLAN_FORMAT,
+            "schema_version": PLAN_SCHEMA_VERSION,
+            "strategy": self.strategy,
+            "parent": {
+                "manifest_sha256": self.parent_manifest_sha256,
+                "n_items": int(self.parent_n_items),
+                "n_clusters": int(self.parent_n_clusters),
+                "dim": int(self.parent_dim),
+            },
+            "shards": [
+                {
+                    "shard_id": s.shard_id,
+                    "dir": s.dir_name,
+                    "n_items": s.n_items,
+                    "n_clusters": s.n_clusters,
+                    "labels": [int(label) for label in s.labels],
+                    "manifest_sha256": s.manifest_sha256,
+                    "items_sha256": s.items_sha256,
+                }
+                for s in self.shards
+            ],
+        }
+        plan_path = self.root / PLAN_NAME
+        tmp = self.root / (PLAN_NAME + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        tmp.replace(plan_path)
+        return plan_path
+
+    @classmethod
+    def load(cls, root) -> "ShardPlan":
+        """Load and validate a shard plan directory.
+
+        Every shard's ``manifest.json`` and ``items.npy`` is existence-
+        and checksum-verified against the plan before anything serves —
+        a truncated shard manifest or swapped items file fails the whole
+        plan, so a worker pool never starts on a half-written shard set.
+        (The array payloads inside each shard are verified again by the
+        worker's own :meth:`DetectionSnapshot.load`.)
+
+        Raises
+        ------
+        SnapshotError
+            Missing/unreadable ``plan.json``, wrong format, schema newer
+            than :data:`PLAN_SCHEMA_VERSION`, missing shard directory or
+            file, or a checksum mismatch.
+        """
+        root = pathlib.Path(root)
+        plan_path = root / PLAN_NAME
+        if not plan_path.is_file():
+            raise SnapshotError(
+                f"{root} is not a shard plan directory: no {PLAN_NAME}"
+            )
+        try:
+            payload = json.loads(plan_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SnapshotError(
+                f"{plan_path} is not readable JSON: {exc}"
+            ) from exc
+        if payload.get("format") != SHARD_PLAN_FORMAT:
+            raise SnapshotError(
+                f"{root}: plan format {payload.get('format')!r} is not "
+                f"{SHARD_PLAN_FORMAT!r}"
+            )
+        version = payload.get("schema_version")
+        if not isinstance(version, int) or version < 1:
+            raise SnapshotError(f"{root}: invalid schema_version {version!r}")
+        if version > PLAN_SCHEMA_VERSION:
+            raise SnapshotError(
+                f"{root}: plan schema_version {version} is newer than this "
+                f"library understands (max {PLAN_SCHEMA_VERSION})"
+            )
+        parent = payload.get("parent", {})
+        entries = payload.get("shards")
+        if not isinstance(entries, list) or not entries:
+            raise SnapshotError(f"{root}: plan lists no shards")
+        shards: list[ShardSpec] = []
+        for position, entry in enumerate(entries):
+            if not isinstance(entry, dict) or "dir" not in entry:
+                raise SnapshotError(
+                    f"{root}: malformed shard entry at position {position}"
+                )
+            if entry.get("shard_id") != position:
+                raise SnapshotError(
+                    f"{root}: shard ids must be contiguous from 0, got "
+                    f"{entry.get('shard_id')!r} at position {position}"
+                )
+            shard_dir = root / entry["dir"]
+            manifest_path = shard_dir / MANIFEST_NAME
+            if not manifest_path.is_file():
+                raise SnapshotError(
+                    f"{root}: shard {entry['dir']} has no {MANIFEST_NAME}"
+                )
+            digest = _sha256_of(manifest_path)
+            if digest != entry.get("manifest_sha256"):
+                raise SnapshotError(
+                    f"{root}: shard {entry['dir']} manifest checksum "
+                    f"mismatch (file {digest[:12]}..., plan "
+                    f"{str(entry.get('manifest_sha256'))[:12]}...) — the "
+                    f"shard was truncated or rewritten after planning"
+                )
+            items_path = shard_dir / ITEMS_NAME
+            if not items_path.is_file():
+                raise SnapshotError(
+                    f"{root}: shard {entry['dir']} has no {ITEMS_NAME}"
+                )
+            items_digest = _sha256_of(items_path)
+            if items_digest != entry.get("items_sha256"):
+                raise SnapshotError(
+                    f"{root}: shard {entry['dir']} items checksum mismatch"
+                )
+            shards.append(
+                ShardSpec(
+                    shard_id=position,
+                    dir_name=str(entry["dir"]),
+                    n_items=int(entry.get("n_items", 0)),
+                    n_clusters=int(entry.get("n_clusters", 0)),
+                    labels=[int(label) for label in entry.get("labels", [])],
+                    manifest_sha256=str(entry["manifest_sha256"]),
+                    items_sha256=str(entry["items_sha256"]),
+                )
+            )
+        return cls(
+            root=root,
+            parent_manifest_sha256=parent.get("manifest_sha256"),
+            parent_n_items=int(parent.get("n_items", 0)),
+            parent_n_clusters=int(parent.get("n_clusters", 0)),
+            parent_dim=int(parent.get("dim", 0)),
+            strategy=str(payload.get("strategy", "")),
+            shards=shards,
+        )
+
+
+class ShardPlanner:
+    """Split one detection snapshot into per-shard serving artifacts.
+
+    Parameters
+    ----------
+    n_shards:
+        Requested number of shards.  When the snapshot has fewer
+        clusters than shards, the plan shrinks to one shard per cluster
+        (never an empty shard).
+    strategy:
+        ``"balanced"`` (default) assigns clusters greedily, largest
+        first, to the currently lightest shard — near-equal data rows
+        per shard regardless of cluster-size skew.  ``"contiguous"``
+        keeps clusters in data order (by smallest member index) and
+        cuts the sequence into contiguous runs
+        (:func:`repro.parallel.mapreduce.chunk_evenly`, the PALID
+        chunking rule) — shard *i* serves a contiguous region of the
+        corpus, which matters when the corpus itself is range-partitioned.
+
+    Example
+    -------
+    >>> from repro.serve import ShardPlanner           # doctest: +SKIP
+    >>> plan = ShardPlanner(n_shards=4).plan("snap_dir", "shards_dir")
+    ... # doctest: +SKIP
+    """
+
+    def __init__(self, n_shards: int = 2, *, strategy: str = "balanced"):
+        if n_shards < 1:
+            raise ValidationError(
+                f"n_shards must be >= 1, got {n_shards}"
+            )
+        if strategy not in STRATEGIES:
+            raise ValidationError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
+        self.n_shards = int(n_shards)
+        self.strategy = strategy
+
+    # ------------------------------------------------------------------
+    def plan(self, source, out_root) -> ShardPlan:
+        """Split *source* into shard artifacts under *out_root*.
+
+        Parameters
+        ----------
+        source:
+            A snapshot directory path (loaded ``mmap=True``, so planning
+            a multi-GB snapshot never materialises its matrix) or an
+            in-memory :class:`DetectionSnapshot`.
+        out_root:
+            Directory to create the shard set in.
+
+        Returns
+        -------
+        ShardPlan
+            The saved plan (``out_root/plan.json`` exists on return).
+
+        Raises
+        ------
+        ValidationError
+            Snapshot with no dominant clusters (nothing to serve), or
+            clusters whose supports overlap (not shardable without
+            double-counting; never produced by ALID's peeling fits).
+        """
+        if isinstance(source, DetectionSnapshot):
+            snapshot = source
+            parent_sha: str | None = None
+        else:
+            snapshot = DetectionSnapshot.load(source, mmap=True)
+            parent_sha = _sha256_of(pathlib.Path(source) / MANIFEST_NAME)
+        if snapshot.n_clusters == 0:
+            raise ValidationError(
+                "snapshot holds no dominant clusters; there is nothing "
+                "to shard"
+            )
+        member_total = sum(c.size for c in snapshot.clusters)
+        member_union = np.unique(
+            np.concatenate([c.members for c in snapshot.clusters])
+        )
+        if member_union.size != member_total:
+            raise ValidationError(
+                "cluster supports overlap; cluster sharding requires "
+                "support-disjoint clusters (ALID peeling fits always "
+                "are — reduce PALID overlaps before sharding)"
+            )
+        groups = self._assign_clusters(snapshot.clusters)
+        root = pathlib.Path(out_root)
+        root.mkdir(parents=True, exist_ok=True)
+        # Plan removed first (an interrupted re-plan reads as a clean
+        # missing-plan state), then any shard directories of a previous
+        # plan: a smaller new plan must not leave checksum-valid stale
+        # shards of an older fit lying around as loadable snapshots.
+        (root / PLAN_NAME).unlink(missing_ok=True)
+        for stale in sorted(root.glob("shard_[0-9][0-9][0-9]")):
+            if stale.is_dir():
+                shutil.rmtree(stale)
+        specs: list[ShardSpec] = []
+        for shard_id, rows in enumerate(groups):
+            specs.append(
+                self._write_shard(
+                    snapshot, parent_sha, root, shard_id, rows, len(groups)
+                )
+            )
+        plan = ShardPlan(
+            root=root,
+            parent_manifest_sha256=parent_sha,
+            parent_n_items=snapshot.n_items,
+            parent_n_clusters=snapshot.n_clusters,
+            parent_dim=snapshot.dim,
+            strategy=self.strategy,
+            shards=specs,
+        )
+        plan.save()
+        return plan
+
+    # ------------------------------------------------------------------
+    def _assign_clusters(self, clusters: list[Cluster]) -> list[list[int]]:
+        """Partition cluster rows into per-shard lists (no empty shards)."""
+        k = len(clusters)
+        n_shards = min(self.n_shards, k)
+        if self.strategy == "contiguous":
+            order = sorted(
+                range(k), key=lambda row: int(clusters[row].members.min())
+            )
+            return chunk_evenly(order, n_shards)
+        # balanced: largest clusters first onto the lightest shard.
+        order = sorted(
+            range(k),
+            key=lambda row: (-clusters[row].size, clusters[row].label),
+        )
+        loads = [0] * n_shards
+        groups: list[list[int]] = [[] for _ in range(n_shards)]
+        for row in order:
+            target = min(range(n_shards), key=lambda s: (loads[s], s))
+            groups[target].append(row)
+            loads[target] += clusters[row].size
+        return groups
+
+    def _write_shard(
+        self,
+        snapshot: DetectionSnapshot,
+        parent_sha: str | None,
+        root: pathlib.Path,
+        shard_id: int,
+        rows: list[int],
+        n_shards: int,
+    ) -> ShardSpec:
+        """Materialise one shard as a DetectionSnapshot + items file."""
+        clusters = [snapshot.clusters[row] for row in rows]
+        items = np.unique(
+            np.concatenate([c.members for c in clusters])
+        ).astype(np.intp)
+        # Remap each cluster's members to shard-local row positions;
+        # member order inside a cluster is preserved, so payoff blocks
+        # (and their BLAS batching) match the single-process assigner
+        # bit for bit.
+        local_clusters = [
+            Cluster(
+                members=np.searchsorted(items, c.members),
+                weights=c.weights.copy(),
+                density=c.density,
+                label=c.label,
+                seed=c.seed,
+            )
+            for c in clusters
+        ]
+        arrays = snapshot.index_arrays
+        shard = DetectionSnapshot(
+            data=np.ascontiguousarray(np.asarray(snapshot.data)[items]),
+            config=snapshot.config,
+            kernel=snapshot.kernel,
+            lsh_r=snapshot.lsh_r,
+            index_arrays={
+                "projections": np.asarray(arrays["projections"]),
+                "hash_offsets": np.asarray(arrays["hash_offsets"]),
+                "mixers": np.asarray(arrays["mixers"]),
+                "item_keys": np.ascontiguousarray(
+                    np.asarray(arrays["item_keys"])[:, items]
+                ),
+                "active": np.ones(items.size, dtype=bool),
+            },
+            clusters=local_clusters,
+            meta={
+                "shard_id": shard_id,
+                "n_shards": n_shards,
+                "strategy": self.strategy,
+                "parent_manifest_sha256": parent_sha,
+                "parent_n_items": snapshot.n_items,
+                "cluster_labels": [int(c.label) for c in clusters],
+            },
+        )
+        dir_name = f"shard_{shard_id:03d}"
+        shard_dir = root / dir_name
+        shard.save(shard_dir)
+        items_path = shard_dir / ITEMS_NAME
+        tmp_path = shard_dir / (ITEMS_NAME + ".tmp.npy")
+        np.save(tmp_path, items.astype(np.int64))
+        tmp_path.replace(items_path)
+        return ShardSpec(
+            shard_id=shard_id,
+            dir_name=dir_name,
+            n_items=int(items.size),
+            n_clusters=len(clusters),
+            labels=[int(c.label) for c in clusters],
+            manifest_sha256=_sha256_of(shard_dir / MANIFEST_NAME),
+            items_sha256=_sha256_of(items_path),
+        )

@@ -11,10 +11,15 @@ operations a serving process needs:
   against the snapshot they started with, and a failed load (corrupt
   artifact, future schema) leaves the old snapshot serving — the
   service never degrades to partial state;
-* :meth:`ClusterService.stats` — cumulative serving counters (queries,
-  batches, coverage, affinity work, reloads) across the service's whole
-  lifetime, spanning reloads.  Work is accumulated under the service
-  lock from each batch's race-free
+* :meth:`ClusterService.stats` — serving counters at two scopes.  The
+  top-level counters (queries, batches, coverage, affinity work,
+  reloads) are **lifetime** totals: they span the service's whole life
+  and survive every hot reload.  The nested ``"snapshot"`` block holds
+  the same counters scoped to the **currently served snapshot**: a
+  successful :meth:`ClusterService.reload` resets them to zero (a
+  failed reload, which keeps the old snapshot serving, resets
+  nothing).  Work is accumulated under the service lock from each
+  batch's race-free
   :attr:`~repro.serve.assigner.Assignment.entries_computed`, so the
   totals stay exact even when batches run concurrently.
 
@@ -34,6 +39,101 @@ from repro.serve.assigner import Assignment, ClusterAssigner
 from repro.serve.snapshot import DetectionSnapshot
 
 __all__ = ["ClusterService"]
+
+
+class _ServingCounters:
+    """Two-scope serving counters shared by both service fronts.
+
+    Lifetime counters span the service's whole life; the snapshot scope
+    resets on every successful hot reload.  Instances are not
+    thread-safe on their own — both services mutate them under their
+    service lock — which is exactly why the bookkeeping lives in one
+    place: :class:`ClusterService` and
+    :class:`~repro.serve.sharded.ShardedClusterService` must never
+    drift on the documented stats semantics.
+    """
+
+    __slots__ = (
+        "batches",
+        "queries",
+        "assigned",
+        "entries",
+        "degraded",
+        "reloads",
+        "snap_batches",
+        "snap_queries",
+        "snap_assigned",
+        "snap_entries",
+        "snap_degraded",
+    )
+
+    def __init__(self) -> None:
+        self.reloads = 0
+        self.batches = self.queries = self.assigned = self.entries = 0
+        self.degraded = 0
+        self._reset_snapshot_scope()
+
+    def _reset_snapshot_scope(self) -> None:
+        self.snap_batches = self.snap_queries = 0
+        self.snap_assigned = self.snap_entries = 0
+        self.snap_degraded = 0
+
+    def record_batch(
+        self,
+        n_queries: int,
+        assigned: int,
+        entries: int,
+        *,
+        degraded: bool = False,
+    ) -> None:
+        """Account one served batch at both scopes."""
+        self.batches += 1
+        self.queries += int(n_queries)
+        self.assigned += int(assigned)
+        self.entries += int(entries)
+        self.snap_batches += 1
+        self.snap_queries += int(n_queries)
+        self.snap_assigned += int(assigned)
+        self.snap_entries += int(entries)
+        if degraded:
+            self.degraded += 1
+            self.snap_degraded += 1
+
+    def record_reload(self) -> None:
+        """Account a successful hot reload: snapshot scope starts over."""
+        self.reloads += 1
+        self._reset_snapshot_scope()
+
+    def lifetime_dict(self, *, with_degraded: bool = False) -> dict:
+        """The top-level (lifetime) stats fields."""
+        out = {
+            "batches": self.batches,
+            "queries": self.queries,
+            "assigned": self.assigned,
+            "coverage": self.assigned / self.queries if self.queries else 0.0,
+            "reloads": self.reloads,
+            "entries_computed": self.entries,
+        }
+        if with_degraded:
+            out["degraded_batches"] = self.degraded
+        return out
+
+    def snapshot_dict(self, *, with_degraded: bool = False) -> dict:
+        """The nested per-snapshot stats block."""
+        out = {
+            "batches": self.snap_batches,
+            "queries": self.snap_queries,
+            "assigned": self.snap_assigned,
+            "coverage": (
+                self.snap_assigned / self.snap_queries
+                if self.snap_queries
+                else 0.0
+            ),
+            "entries_computed": self.snap_entries,
+        }
+        if with_degraded:
+            out["degraded_batches"] = self.snap_degraded
+        return out
 
 
 class ClusterService:
@@ -63,11 +163,7 @@ class ClusterService:
 
     def __init__(self, source, *, mmap: bool = False):
         self._lock = threading.Lock()
-        self._queries = 0
-        self._batches = 0
-        self._assigned = 0
-        self._entries = 0
-        self._reloads = 0
+        self._counters = _ServingCounters()
         self._source = None
         self._snapshot: DetectionSnapshot | None = None
         self._assigner: ClusterAssigner | None = None
@@ -113,10 +209,11 @@ class ClusterService:
         assigner = self._assigner
         result = assigner.assign(queries, shortlist=shortlist)
         with self._lock:
-            self._batches += 1
-            self._queries += result.n_queries
-            self._assigned += int(result.assigned_mask.sum())
-            self._entries += int(result.entries_computed)
+            self._counters.record_batch(
+                result.n_queries,
+                int(result.assigned_mask.sum()),
+                int(result.entries_computed),
+            )
         return result
 
     def reload(self, source, *, mmap: bool = False) -> None:
@@ -125,30 +222,30 @@ class ClusterService:
         The new artifact is loaded and checksum-validated completely
         before the swap; any
         :class:`~repro.exceptions.SnapshotError` propagates and the
-        previous snapshot keeps serving untouched.
+        previous snapshot keeps serving untouched (including its
+        per-snapshot counters).  On success the lifetime counters carry
+        on unchanged while the per-snapshot counters of :meth:`stats`
+        restart at zero for the new artifact.
         """
         self._install(source, mmap)
         with self._lock:
-            self._reloads += 1
+            self._counters.record_reload()
 
     def stats(self) -> dict:
-        """Cumulative serving statistics (spanning hot reloads).
+        """Serving statistics at lifetime and per-snapshot scope.
 
-        Every number is accumulated under the service lock from
-        per-batch results, so the totals stay exact under concurrent
-        :meth:`assign` calls.
+        The top-level counters are **lifetime** totals spanning every
+        hot reload; the nested ``"snapshot"`` dict carries the same
+        counters for the currently served snapshot only (zeroed by each
+        successful :meth:`reload`).  Every number is accumulated under
+        the service lock from per-batch results, so the totals stay
+        exact under concurrent :meth:`assign` calls.
         """
         with self._lock:
             return {
                 "source": self._source,
                 "n_items": self._snapshot.n_items,
                 "n_clusters": len(self._snapshot.clusters),
-                "batches": self._batches,
-                "queries": self._queries,
-                "assigned": self._assigned,
-                "coverage": (
-                    self._assigned / self._queries if self._queries else 0.0
-                ),
-                "reloads": self._reloads,
-                "entries_computed": self._entries,
+                **self._counters.lifetime_dict(),
+                "snapshot": self._counters.snapshot_dict(),
             }

@@ -1,0 +1,577 @@
+"""Multi-worker sharded serving over a planned shard set.
+
+The process architecture behind the ROADMAP's serving-scale lever:
+
+::
+
+    ShardPlanner.plan(snapshot, root)                     (offline)
+            |
+        shard_root/  (plan.json + one DetectionSnapshot per shard)
+            |
+    ShardedClusterService(shard_root)                     (serve time)
+        |-- ShardWorker 0  (process, mmap-loads shard_000 only)
+        |-- ShardWorker 1  (process, mmap-loads shard_001 only)
+        |        ...each runs the unmodified ClusterAssigner locally
+        '-- BatchingRouter: micro-batch -> scatter -> densest-wins merge
+
+Each worker is a separate OS process that loads **only its shard**, with
+``mmap=True`` — the shard's data matrix stays a file-backed buffer, so
+neither the router process nor any worker ever holds a full-matrix copy
+(the router holds no arrays at all; it reads ``plan.json`` and worker
+handshakes).  Requests and partial verdicts travel over
+``multiprocessing`` pipes.
+
+Guarantees, pinned by ``tests/test_serve_sharded.py``:
+
+* **Exactness** — with every worker alive, assignments are
+  byte-identical to the single-process
+  :class:`~repro.serve.service.ClusterService` on the same snapshot and
+  queries, and the summed serve-side ``entries_computed`` matches
+  exactly (each (query, cluster) pair is scored in exactly one shard;
+  see :mod:`repro.serve.plan` for why the decomposition is exact).
+* **Atomic hot reload** — :meth:`ShardedClusterService.reload` builds
+  and handshakes a complete new worker pool off to the side (plan
+  checksums verified, every worker loaded) before swapping; a failure
+  at any point leaves the old pool serving untouched.
+* **Degraded serving** — with ``on_worker_error="skip"``, a dead worker
+  removes only its shard's clusters from consideration; surviving
+  shards keep answering and the degradation is surfaced in
+  :meth:`ShardedClusterService.stats`.  The default policy raises
+  :class:`~repro.exceptions.WorkerError` instead.
+
+Stats follow the same two-scope semantics as the single-process
+service: top-level counters are lifetime, the ``"snapshot"`` block
+resets on each successful reload.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pathlib
+import threading
+
+import numpy as np
+
+from repro.exceptions import ValidationError, WorkerError
+from repro.serve.assigner import Assignment, ClusterAssigner
+from repro.serve.plan import ShardPlan
+from repro.serve.router import BatchingRouter
+from repro.serve.service import _ServingCounters
+from repro.serve.snapshot import DetectionSnapshot
+
+__all__ = ["ShardWorker", "ShardedClusterService"]
+
+
+def _mp_context():
+    """Fork when the platform has it (cheap), spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _describe_payload(shard_dir: str, snapshot: DetectionSnapshot) -> dict:
+    """The worker's handshake/describe payload (shape + residency facts)."""
+    data = snapshot.data
+    filename = getattr(data, "filename", None)
+    return {
+        "shard_dir": str(shard_dir),
+        "pid": os.getpid(),
+        "n_items": snapshot.n_items,
+        "dim": snapshot.dim,
+        "n_clusters": snapshot.n_clusters,
+        "labels": [int(c.label) for c in snapshot.clusters],
+        "shard_id": snapshot.meta.get("shard_id"),
+        "data_type": type(data).__name__,
+        "data_filename": None if filename is None else str(filename),
+    }
+
+
+def _worker_main(shard_dir: str, conn, mmap: bool) -> None:
+    """Entry point of one shard worker process.
+
+    Loads the shard snapshot (checksum-verified, ``mmap`` by default so
+    the data matrix stays file-backed), builds the ordinary
+    :class:`ClusterAssigner` over it, then answers requests until the
+    pipe closes or a ``stop`` arrives.  Every failure is reported over
+    the pipe — the worker never dies silently while the pipe is open.
+    """
+    try:
+        snapshot = DetectionSnapshot.load(shard_dir, mmap=mmap)
+        assigner = ClusterAssigner(snapshot)
+        labels = np.asarray(
+            [c.label for c in snapshot.clusters], dtype=np.int64
+        )
+        densities = np.asarray(
+            [c.density for c in snapshot.clusters], dtype=np.float64
+        )
+        label_order = np.argsort(labels, kind="stable")
+        sorted_labels = labels[label_order]
+        sorted_densities = densities[label_order]
+    except BaseException as exc:  # noqa: BLE001 - reported over the pipe
+        try:
+            conn.send(("failed", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", _describe_payload(shard_dir, snapshot)))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        if command == "stop":
+            break
+        seq = message[1]
+        try:
+            if command == "assign":
+                queries, shortlist = message[2], message[3]
+                result = assigner.assign(queries, shortlist=shortlist)
+                density = np.full(result.labels.size, -np.inf)
+                hit = result.labels >= 0
+                if hit.any():
+                    positions = np.searchsorted(
+                        sorted_labels, result.labels[hit]
+                    )
+                    density[hit] = sorted_densities[positions]
+                conn.send(
+                    (
+                        "ok",
+                        seq,
+                        {
+                            "labels": result.labels,
+                            "scores": result.scores,
+                            "density": density,
+                            "n_candidates": result.n_candidates,
+                            "entries": result.entries_computed,
+                        },
+                    )
+                )
+            elif command == "describe":
+                conn.send(("ok", seq, _describe_payload(shard_dir, snapshot)))
+            else:
+                conn.send(("error", seq, f"unknown command {command!r}"))
+        except Exception as exc:  # noqa: BLE001 - reported, worker stays up
+            conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class ShardWorker:
+    """Parent-side handle of one shard worker process.
+
+    Parameters
+    ----------
+    shard_dir:
+        Directory of the shard's :class:`DetectionSnapshot`.
+    shard_id:
+        Position of the shard in its plan (used by router bookkeeping).
+    mmap:
+        Load the shard memory-mapped (default; the point of sharding is
+        that no process materialises matrices it does not own).
+    start_timeout:
+        Seconds to wait for the worker's ready handshake before the
+        start is abandoned (:class:`WorkerError`).
+    request_timeout:
+        Seconds to wait for any single response (:class:`WorkerError`
+        on expiry; the worker is considered dead afterwards).
+    """
+
+    def __init__(
+        self,
+        shard_dir,
+        shard_id: int,
+        *,
+        mmap: bool = True,
+        start_timeout: float = 120.0,
+        request_timeout: float = 300.0,
+    ):
+        self.shard_id = int(shard_id)
+        self.shard_dir = pathlib.Path(shard_dir)
+        self.request_timeout = float(request_timeout)
+        self._dead = False
+        self._seq = 0
+        ctx = _mp_context()
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(str(self.shard_dir), child_conn, bool(mmap)),
+            daemon=True,
+            name=f"repro-shard-{shard_id}",
+        )
+        self.process.start()
+        child_conn.close()
+        try:
+            if not self._conn.poll(start_timeout):
+                raise WorkerError(
+                    f"shard worker {shard_id} did not come up within "
+                    f"{start_timeout:.0f}s"
+                )
+            status, payload = self._conn.recv()
+        except WorkerError:
+            self._terminate()
+            raise
+        except (EOFError, OSError) as exc:
+            self._terminate()
+            raise WorkerError(
+                f"shard worker {shard_id} died during startup: {exc}"
+            ) from exc
+        if status != "ready":
+            self._terminate()
+            raise WorkerError(
+                f"shard worker {shard_id} failed to load "
+                f"{self.shard_dir}: {payload}"
+            )
+        self.info = payload
+
+    # ------------------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is up and answering."""
+        return not self._dead and self.process.is_alive()
+
+    def submit(self, command: str, *payload) -> int:
+        """Send one request; returns the sequence id to collect on."""
+        if not self.alive:
+            raise WorkerError(
+                f"shard worker {self.shard_id} is not alive"
+            )
+        self._seq += 1
+        try:
+            self._conn.send((command, self._seq) + payload)
+        except (BrokenPipeError, OSError) as exc:
+            self._dead = True
+            raise WorkerError(
+                f"shard worker {self.shard_id} pipe is broken: {exc}"
+            ) from exc
+        return self._seq
+
+    def collect(self, seq: int, timeout: float | None = None):
+        """Wait for the response to *seq* and return its payload."""
+        timeout = self.request_timeout if timeout is None else timeout
+        try:
+            if not self._conn.poll(timeout):
+                self._dead = True
+                raise WorkerError(
+                    f"shard worker {self.shard_id} timed out after "
+                    f"{timeout:.0f}s"
+                )
+            status, got_seq, payload = self._conn.recv()
+        except WorkerError:
+            raise
+        except (EOFError, OSError) as exc:
+            self._dead = True
+            raise WorkerError(
+                f"shard worker {self.shard_id} died mid-request: {exc}"
+            ) from exc
+        if got_seq != seq:
+            self._dead = True
+            raise WorkerError(
+                f"shard worker {self.shard_id} answered request "
+                f"{got_seq}, expected {seq} (protocol desync)"
+            )
+        if status != "ok":
+            raise WorkerError(
+                f"shard worker {self.shard_id} request failed: {payload}"
+            )
+        return payload
+
+    def request(self, command: str, *payload, timeout: float | None = None):
+        """Synchronous submit + collect convenience."""
+        return self.collect(self.submit(command, *payload), timeout=timeout)
+
+    def describe(self) -> dict:
+        """Fresh shard facts from the worker (pid, residency, shapes)."""
+        return self.request("describe")
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Ask the worker to exit; escalate to terminate if it will not.
+
+        The polite ``stop`` is attempted whenever the *process* is
+        alive — even for handles already marked dead (a timed-out or
+        desynced worker may still be looping on its pipe), so shutdown
+        does not burn the whole join timeout on a process that would
+        have exited on request.
+        """
+        if self.process.is_alive():
+            try:
+                self._conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            self.process.join(timeout)
+        self._terminate()
+
+    def _terminate(self) -> None:
+        self._dead = True
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(5.0)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class ShardedClusterService:
+    """Serve cluster assignments from a shard set, one worker per shard.
+
+    Parameters
+    ----------
+    root:
+        A shard plan directory written by
+        :class:`~repro.serve.plan.ShardPlanner` (``plan.json`` + shard
+        snapshot subdirectories).
+    mmap:
+        Workers load their shards memory-mapped (default True).
+    max_batch:
+        Router micro-batch size (see
+        :class:`~repro.serve.router.BatchingRouter`).
+    on_worker_error:
+        ``"raise"`` (default) or ``"skip"`` — the degraded-mode policy.
+
+    Example
+    -------
+    >>> from repro.serve import ShardPlanner, ShardedClusterService
+    ... # doctest: +SKIP
+    >>> ShardPlanner(n_shards=4).plan("snap", "shards")  # doctest: +SKIP
+    >>> service = ShardedClusterService("shards")        # doctest: +SKIP
+    >>> service.assign(queries).labels                   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        root,
+        *,
+        mmap: bool = True,
+        max_batch: int = 1024,
+        on_worker_error: str = "raise",
+        start_timeout: float = 120.0,
+    ):
+        # Reject bad knobs before any worker is forked (the router would
+        # only catch them after the whole pool came up).
+        if on_worker_error not in ("raise", "skip"):
+            raise ValidationError(
+                f"on_worker_error must be 'raise' or 'skip', "
+                f"got {on_worker_error!r}"
+            )
+        if max_batch < 1:
+            raise ValidationError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
+        self._lock = threading.Lock()
+        self._mmap = bool(mmap)
+        self._max_batch = int(max_batch)
+        self._on_worker_error = on_worker_error
+        self._start_timeout = float(start_timeout)
+        self._counters = _ServingCounters()
+        self._plan: ShardPlan | None = None
+        self._workers: list[ShardWorker] = []
+        self._router: BatchingRouter | None = None
+        plan, workers, router = self._spawn(root)
+        self._plan, self._workers, self._router = plan, workers, router
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot_source,
+        shard_root,
+        *,
+        n_shards: int = 2,
+        strategy: str = "balanced",
+        **kwargs,
+    ) -> "ShardedClusterService":
+        """Plan *snapshot_source* into *shard_root*, then serve it.
+
+        Convenience for the CLI's ``repro assign --workers N`` path:
+        one call takes a fitted snapshot (directory or in-memory) to a
+        running worker pool.
+        """
+        from repro.serve.plan import ShardPlanner
+
+        ShardPlanner(n_shards=n_shards, strategy=strategy).plan(
+            snapshot_source, shard_root
+        )
+        return cls(shard_root, **kwargs)
+
+    def _spawn(
+        self, root
+    ) -> tuple[ShardPlan, list[ShardWorker], BatchingRouter]:
+        """Validate a plan and bring up its full worker pool, or nothing."""
+        plan = ShardPlan.load(root)
+        workers: list[ShardWorker] = []
+        try:
+            for spec in plan.shards:
+                workers.append(
+                    ShardWorker(
+                        plan.shard_dir(spec.shard_id),
+                        spec.shard_id,
+                        mmap=self._mmap,
+                        start_timeout=self._start_timeout,
+                    )
+                )
+        except Exception:
+            for worker in workers:
+                worker.stop()
+            raise
+        router = BatchingRouter(
+            workers,
+            max_batch=self._max_batch,
+            on_worker_error=self._on_worker_error,
+        )
+        return plan, workers, router
+
+    # ------------------------------------------------------------------
+    @property
+    def plan(self) -> ShardPlan:
+        """The currently served shard plan."""
+        return self._plan
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (== workers) in the current pool."""
+        return len(self._workers)
+
+    @property
+    def n_clusters(self) -> int:
+        """Total assignable clusters across all shards."""
+        return sum(spec.n_clusters for spec in self._plan.shards)
+
+    def assign(
+        self, queries: np.ndarray, *, shortlist: str = "lsh"
+    ) -> Assignment:
+        """Assign a query block across the shard pool (merged verdicts).
+
+        The router reference is captured once, so a concurrent
+        :meth:`reload` never switches shard sets mid-batch.  Raises
+        :class:`~repro.exceptions.WorkerError` under the ``"raise"``
+        policy when any shard fails (or, under ``"skip"``, when *every*
+        shard is gone — a service with no shards must not silently
+        answer "all noise").
+        """
+        # Capture + retain under the same lock reload() swaps under, so
+        # the old pool can never read as idle between this batch
+        # grabbing its router and actually routing.
+        with self._lock:
+            if self._router is None:
+                raise WorkerError(
+                    "service is closed; no shard workers are running"
+                )
+            router = self._router.retain()
+        try:
+            result, info = router.route(queries, shortlist=shortlist)
+        finally:
+            router.release()
+        with self._lock:
+            self._counters.record_batch(
+                result.n_queries,
+                int(result.assigned_mask.sum()),
+                int(result.entries_computed),
+                degraded=info["degraded"],
+            )
+        return result
+
+    def reload(self, root) -> None:
+        """Hot-swap to a new shard set, atomically.
+
+        The new plan is checksum-validated and its **entire** worker
+        pool is spawned and handshaken off to the side; only then is it
+        swapped in (one reference assignment under the lock) and the old
+        pool shut down — after waiting for in-flight batches on the old
+        router to drain, so a batch that started before the swap
+        finishes against the pool it captured.  Any failure — corrupt
+        plan, truncated shard, worker that cannot load — propagates and
+        leaves the old pool serving untouched.  On success the lifetime counters carry on
+        while the per-snapshot counters reset, exactly like
+        :meth:`repro.serve.service.ClusterService.reload`.
+        """
+        plan, workers, router = self._spawn(root)
+        with self._lock:
+            old_workers = self._workers
+            old_router = self._router
+            self._plan, self._workers, self._router = plan, workers, router
+            self._counters.record_reload()
+        # In-flight batches retained the old router; let them drain
+        # before their workers are stopped (a batch mid-collect must
+        # not see its worker die under it).  Each request is bounded by
+        # the workers' request timeout, so this wait terminates.
+        if old_router is not None:
+            old_router.wait_idle()
+        for worker in old_workers:
+            worker.stop()
+
+    def describe_shards(self) -> list[dict]:
+        """Live facts from every worker that still answers.
+
+        Serialized with routing on the worker pipes (monitoring must
+        never steal an in-flight batch's replies), and retained like a
+        batch so a concurrent reload cannot stop the pool mid-describe.
+        """
+        with self._lock:
+            if self._router is None:
+                raise WorkerError(
+                    "service is closed; no shard workers are running"
+                )
+            router = self._router.retain()
+        try:
+            return router.describe_workers()
+        finally:
+            router.release()
+
+    def stats(self) -> dict:
+        """Serving statistics at lifetime and per-snapshot scope.
+
+        Same two-scope semantics as the single-process service, plus the
+        sharding extras: shard counts, live/dead shard ids, and how many
+        batches were served degraded (some shard missing).
+        """
+        with self._lock:
+            alive = [w.shard_id for w in self._workers if w.alive]
+            dead = [w.shard_id for w in self._workers if not w.alive]
+            return {
+                "source": str(self._plan.root),
+                "n_shards": len(self._workers),
+                "alive_shards": alive,
+                "dead_shards": dead,
+                # Parent-scope item count, matching what ClusterService
+                # reports for the same logical snapshot (the shards
+                # themselves drop fit-time noise rows; their sum is
+                # exposed separately).
+                "n_items": self._plan.parent_n_items,
+                "sharded_items": sum(
+                    s.n_items for s in self._plan.shards
+                ),
+                "n_clusters": sum(
+                    s.n_clusters for s in self._plan.shards
+                ),
+                **self._counters.lifetime_dict(with_degraded=True),
+                "snapshot": self._counters.snapshot_dict(
+                    with_degraded=True
+                ),
+            }
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop every worker process (idempotent).
+
+        The pool is detached under the service lock (a racing
+        :meth:`assign` either retained the router first — and is
+        drained like a reload — or sees a closed service and fails
+        cleanly), then stopped.
+        """
+        with self._lock:
+            workers, self._workers = self._workers, []
+            router, self._router = self._router, None
+        if router is not None:
+            router.wait_idle()
+        for worker in workers:
+            worker.stop()
+
+    def __enter__(self) -> "ShardedClusterService":
+        """Context-manager entry (the service is already running)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: shut the worker pool down."""
+        self.close()

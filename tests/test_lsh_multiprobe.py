@@ -156,3 +156,55 @@ class TestMultiProbeQuerier:
             querier.query_point(np.zeros(3))
         with pytest.raises(IndexError):
             querier.query_item(10_000)
+
+
+class TestQueryPointsGrouped:
+    """The fused per-query form behind serve-time shortlist="multiprobe"."""
+
+    def test_matches_per_point_loop(self, small_index):
+        data, index = small_index
+        rng = np.random.default_rng(3)
+        querier = MultiProbeQuerier(index, n_probes=5)
+        points = data[rng.choice(data.shape[0], size=12, replace=False)]
+        points = points + rng.normal(scale=0.3, size=points.shape)
+        grouped = querier.query_points_grouped(points)
+        assert len(grouped) == 12
+        for i in range(12):
+            np.testing.assert_array_equal(
+                grouped[i], querier.query_point(points[i])
+            )
+
+    def test_respects_active_mask(self, small_index):
+        data, index = small_index
+        index.deactivate(np.arange(0, 25))
+        try:
+            querier = MultiProbeQuerier(index, n_probes=4)
+            grouped = querier.query_points_grouped(data[:6])
+            for candidates in grouped:
+                assert candidates.size == 0 or candidates.min() >= 25
+                np.testing.assert_array_equal(
+                    candidates, np.unique(candidates)
+                )
+        finally:
+            index.reactivate_all()
+
+    def test_zero_probes_equals_plain_grouped(self, small_index):
+        data, index = small_index
+        points = data[::40] + 0.1
+        plain = index.query_points_grouped(points)
+        probed = MultiProbeQuerier(index, n_probes=0).query_points_grouped(
+            points
+        )
+        for a, b in zip(plain, probed):
+            np.testing.assert_array_equal(a, b)
+
+    def test_empty_batch(self, small_index):
+        _, index = small_index
+        assert MultiProbeQuerier(index).query_points_grouped(
+            np.empty((0, 6))
+        ) == []
+
+    def test_dim_mismatch_raises(self, small_index):
+        _, index = small_index
+        with pytest.raises(ValidationError):
+            MultiProbeQuerier(index).query_points_grouped(np.zeros((2, 3)))

@@ -9,10 +9,14 @@ the one with the largest payoff margin).
 import numpy as np
 import pytest
 
+from repro.affinity.kernel import LaplacianKernel
+from repro.affinity.oracle import AffinityOracle
 from repro.core.alid import ALID
 from repro.core.config import ALIDConfig
 from repro.core.infectivity import point_payoffs
+from repro.core.results import Cluster
 from repro.exceptions import ValidationError
+from repro.lsh.index import LSHIndex
 from repro.serve.assigner import ClusterAssigner
 from repro.serve.snapshot import DetectionSnapshot
 
@@ -156,3 +160,106 @@ class TestAssignmentMechanics:
             probes = snapshot.data[cluster.members[:5]]
             assignment = assigner.assign(probes)
             assert (assignment.labels == cluster.label).all()
+
+
+@pytest.fixture(scope="module")
+def recall_gap_fit():
+    """A snapshot whose plain LSH shortlist provably has a recall gap.
+
+    One tight dominant cluster, a single coarse hash table, a wide
+    kernel: plenty of borderline queries are infective (Theorem 1 says
+    assign) yet hash into a neighbouring bucket and so miss the plain
+    shortlist entirely.  Multi-probe's ±1 perturbations reach exactly
+    those neighbouring buckets.
+    """
+    rng = np.random.default_rng(1)
+    cluster_pts = rng.normal(scale=0.05, size=(40, 6))
+    noise = rng.uniform(5, 9, size=(20, 6))
+    data = np.vstack([cluster_pts, noise])
+    index = LSHIndex(data, r=0.25, n_projections=10, n_tables=1, seed=1)
+    kernel = LaplacianKernel(k=0.5, p=2.0)
+    oracle = AffinityOracle(data, kernel)
+    members = np.arange(40)
+    block = oracle.block(members, members)
+    weights = np.full(40, 1 / 40)
+    for _ in range(300):
+        weights = weights * (block @ weights)
+        weights = weights / weights.sum()
+    density = float(weights @ block @ weights)
+    snapshot = DetectionSnapshot(
+        data=data,
+        config=ALIDConfig(delta=200, seed=0),
+        kernel=kernel,
+        lsh_r=0.25,
+        index_arrays=index.export_state(),
+        clusters=[
+            Cluster(
+                members=members, weights=weights, density=density, label=0
+            )
+        ],
+    )
+    queries = rng.normal(scale=0.1, size=(300, 6))
+    return snapshot, queries
+
+
+class TestMultiprobeShortlist:
+    """The ROADMAP multi-probe open item: close the LSH recall gap."""
+
+    def test_recovers_queries_plain_lsh_misses(self, recall_gap_fit):
+        snapshot, queries = recall_gap_fit
+        assigner = ClusterAssigner(snapshot, n_probes=8)
+        exact = assigner.assign(queries, shortlist="all")
+        plain = assigner.assign(queries, shortlist="lsh")
+        multi = assigner.assign(queries, shortlist="multiprobe")
+        infective = exact.labels >= 0
+        missed_plain = infective & (plain.labels < 0)
+        missed_multi = infective & (multi.labels < 0)
+        # The scenario is meaningful: plain LSH really misses
+        # borderline-infective queries here ...
+        assert missed_plain.sum() > 0
+        # ... and multi-probe recovers a strict subset of those misses.
+        assert missed_multi.sum() < missed_plain.sum()
+        recovered = missed_plain & ~missed_multi
+        assert recovered.sum() > 0
+        # Every recovered query gets the reference-mode label.
+        assert np.array_equal(
+            multi.labels[recovered], exact.labels[recovered]
+        )
+
+    def test_multiprobe_shortlist_is_superset_of_plain(
+        self, recall_gap_fit
+    ):
+        snapshot, queries = recall_gap_fit
+        assigner = ClusterAssigner(snapshot, n_probes=8)
+        plain = assigner.assign(queries, shortlist="lsh")
+        multi = assigner.assign(queries, shortlist="multiprobe")
+        # Probing extra buckets can only add candidates.
+        assert (multi.n_candidates >= plain.n_candidates).all()
+        assigned_plain = plain.labels >= 0
+        assert np.array_equal(
+            multi.labels[assigned_plain], plain.labels[assigned_plain]
+        )
+
+    def test_multiprobe_cheaper_than_exhaustive(self, recall_gap_fit):
+        snapshot, queries = recall_gap_fit
+        assigner = ClusterAssigner(snapshot, n_probes=8)
+        exact = assigner.assign(queries, shortlist="all")
+        multi = assigner.assign(queries, shortlist="multiprobe")
+        assert multi.entries_computed < exact.entries_computed
+
+    def test_zero_probes_equals_plain(self, separated_fit):
+        snapshot, queries = separated_fit
+        assigner = ClusterAssigner(snapshot, n_probes=0)
+        plain = assigner.assign(queries, shortlist="lsh")
+        multi = assigner.assign(queries, shortlist="multiprobe")
+        assert np.array_equal(plain.labels, multi.labels)
+        assert plain.entries_computed == multi.entries_computed
+
+    def test_multiprobe_on_standard_workload_matches_exact(
+        self, separated_fit
+    ):
+        snapshot, queries = separated_fit
+        assigner = ClusterAssigner(snapshot)
+        exact = assigner.assign(queries, shortlist="all")
+        multi = assigner.assign(queries, shortlist="multiprobe")
+        assert np.array_equal(multi.labels, exact.labels)

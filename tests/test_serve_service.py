@@ -103,6 +103,70 @@ class TestClusterService:
         assert service.snapshot.n_items == 350
         assert service.n_clusters == len(service.snapshot.clusters)
 
+    def test_stats_scopes_across_reload(self, fitted, snapshot_dir, tmp_path):
+        """Lifetime counters span reloads; per-snapshot counters reset.
+
+        This pins the stats contract: the top-level counters are
+        lifetime totals, the nested "snapshot" block restarts at zero on
+        every successful reload and both scopes agree before the first
+        reload.
+        """
+        dataset, detector, result = fitted
+        service = ClusterService(snapshot_dir)
+        first = service.assign(dataset.data[:10])
+        second = service.assign(dataset.data[10:30])
+        before = service.stats()
+        # Before any reload the two scopes are the same numbers.
+        assert before["snapshot"]["batches"] == before["batches"] == 2
+        assert before["snapshot"]["queries"] == before["queries"] == 30
+        assert (
+            before["snapshot"]["entries_computed"]
+            == before["entries_computed"]
+            == first.entries_computed + second.entries_computed
+        )
+        other = DetectionSnapshot.from_result(detector, result).save(
+            tmp_path / "snap_b"
+        )
+        service.reload(other)
+        after = service.stats()
+        # Lifetime survives the swap untouched ...
+        assert after["batches"] == 2
+        assert after["queries"] == 30
+        assert after["entries_computed"] == before["entries_computed"]
+        # ... while the per-snapshot scope starts from zero.
+        assert after["snapshot"]["batches"] == 0
+        assert after["snapshot"]["queries"] == 0
+        assert after["snapshot"]["entries_computed"] == 0
+        assert after["snapshot"]["coverage"] == 0.0
+        third = service.assign(dataset.data[:15])
+        final = service.stats()
+        assert final["batches"] == 3
+        assert final["snapshot"]["batches"] == 1
+        assert final["snapshot"]["queries"] == 15
+        assert (
+            final["snapshot"]["entries_computed"] == third.entries_computed
+        )
+        assert (
+            final["entries_computed"]
+            == before["entries_computed"] + third.entries_computed
+        )
+
+    def test_failed_reload_keeps_snapshot_counters(
+        self, fitted, snapshot_dir, tmp_path
+    ):
+        dataset, _, _ = fitted
+        service = ClusterService(snapshot_dir)
+        service.assign(dataset.data[:10])
+        corrupt = tmp_path / "corrupt"
+        corrupt.mkdir()
+        (corrupt / MANIFEST_NAME).write_text("{broken")
+        with pytest.raises(SnapshotError):
+            service.reload(corrupt)
+        stats = service.stats()
+        # The old snapshot kept serving, so its counters survive too.
+        assert stats["snapshot"]["batches"] == 1
+        assert stats["snapshot"]["queries"] == 10
+
 
 class TestServeCLI:
     @pytest.fixture

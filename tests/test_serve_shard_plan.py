@@ -1,0 +1,207 @@
+"""Tests for shard planning (repro.serve.plan).
+
+The contract: a plan splits one snapshot into whole-cluster shards that
+are themselves valid DetectionSnapshots, every byte is checksummed back
+to the parent, and any corruption of the shard set fails the *plan*
+load before a single worker starts.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.alid import ALID
+from repro.core.config import ALIDConfig
+from repro.core.results import Cluster
+from repro.datasets.synthetic import make_synthetic_mixture
+from repro.exceptions import SnapshotError, ValidationError
+from repro.serve import DetectionSnapshot, ShardPlan, ShardPlanner
+from repro.serve.plan import ITEMS_NAME, PLAN_NAME
+from repro.serve.snapshot import MANIFEST_NAME
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    dataset = make_synthetic_mixture(
+        n=350, regime="bounded", bound=200, n_clusters=5, dim=16, seed=2
+    )
+    detector = ALID(ALIDConfig(delta=200, seed=2))
+    result = detector.fit(dataset.data)
+    assert result.n_clusters >= 3
+    return dataset, detector, result
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(fitted, tmp_path_factory):
+    _, detector, result = fitted
+    return DetectionSnapshot.from_result(detector, result).save(
+        tmp_path_factory.mktemp("plan") / "snap"
+    )
+
+
+class TestPlanner:
+    def test_whole_clusters_per_shard(self, fitted, snapshot_dir, tmp_path):
+        _, _, result = fitted
+        plan = ShardPlanner(n_shards=2).plan(snapshot_dir, tmp_path / "s")
+        all_labels = sorted(
+            label for spec in plan.shards for label in spec.labels
+        )
+        assert all_labels == sorted(c.label for c in result.clusters)
+        # Shards partition the clusters: no label appears twice.
+        assert len(all_labels) == len(set(all_labels))
+        assert all(spec.n_clusters >= 1 for spec in plan.shards)
+
+    def test_shard_is_a_valid_snapshot(self, fitted, snapshot_dir, tmp_path):
+        _, _, result = fitted
+        plan = ShardPlanner(n_shards=2).plan(snapshot_dir, tmp_path / "s")
+        parent = DetectionSnapshot.load(snapshot_dir)
+        shard = DetectionSnapshot.load(plan.shard_dir(0))
+        spec = plan.shards[0]
+        assert shard.n_items == spec.n_items
+        assert shard.n_clusters == spec.n_clusters
+        assert shard.meta["shard_id"] == 0
+        assert shard.meta["n_shards"] == plan.n_shards
+        assert (
+            shard.meta["parent_manifest_sha256"]
+            == plan.parent_manifest_sha256
+        )
+        # Shard rows are the parent rows of its global item ids, and
+        # the remapped members point back at the right vectors.
+        items = np.load(plan.shard_dir(0) / ITEMS_NAME)
+        assert np.array_equal(shard.data, parent.data[items])
+        by_label = {c.label: c for c in result.clusters}
+        for cluster in shard.clusters:
+            original = by_label[cluster.label]
+            assert np.array_equal(items[cluster.members], original.members)
+            assert np.array_equal(cluster.weights, original.weights)
+            assert cluster.density == original.density
+
+    def test_balanced_spreads_points(self, snapshot_dir, tmp_path):
+        plan = ShardPlanner(n_shards=2, strategy="balanced").plan(
+            snapshot_dir, tmp_path / "s"
+        )
+        sizes = [spec.n_items for spec in plan.shards]
+        # Greedy largest-first keeps the spread within the largest
+        # cluster's size; for this workload that means same ballpark.
+        assert max(sizes) - min(sizes) <= max(sizes) // 2 + 1
+
+    def test_contiguous_strategy_orders_by_position(
+        self, snapshot_dir, tmp_path
+    ):
+        plan = ShardPlanner(n_shards=2, strategy="contiguous").plan(
+            snapshot_dir, tmp_path / "s"
+        )
+        firsts = [
+            int(np.load(plan.shard_dir(i) / ITEMS_NAME).min())
+            for i in range(plan.n_shards)
+        ]
+        assert firsts == sorted(firsts)
+
+    def test_replan_removes_stale_shards(self, snapshot_dir, tmp_path):
+        """A smaller re-plan must not leave older shard dirs behind."""
+        root = tmp_path / "s"
+        ShardPlanner(n_shards=3).plan(snapshot_dir, root)
+        assert (root / "shard_002").is_dir()
+        plan = ShardPlanner(n_shards=2).plan(snapshot_dir, root)
+        assert plan.n_shards == 2
+        assert not (root / "shard_002").exists()
+        ShardPlan.load(root)  # still a fully valid plan
+
+    def test_more_shards_than_clusters_shrinks(self, snapshot_dir, tmp_path):
+        parent = DetectionSnapshot.load(snapshot_dir)
+        plan = ShardPlanner(n_shards=64).plan(snapshot_dir, tmp_path / "s")
+        assert plan.n_shards == parent.n_clusters
+        assert all(spec.n_clusters == 1 for spec in plan.shards)
+
+    def test_overlapping_clusters_rejected(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(30, 4))
+        detector = ALID(ALIDConfig(delta=100, seed=0))
+        detector.fit(data)
+        shared = np.arange(6)
+        overlapping = [
+            Cluster(members=shared, weights=np.full(6, 1 / 6),
+                    density=0.9, label=0),
+            Cluster(members=shared + 2, weights=np.full(6, 1 / 6),
+                    density=0.8, label=1),
+        ]
+        snap = DetectionSnapshot.from_engine(detector.engine_, overlapping)
+        with pytest.raises(ValidationError, match="overlap"):
+            ShardPlanner(n_shards=2).plan(snap, tmp_path / "s")
+
+    def test_no_clusters_rejected(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(30, 4))
+        detector = ALID(ALIDConfig(delta=100, seed=0))
+        detector.fit(data)
+        snap = DetectionSnapshot.from_engine(detector.engine_, [])
+        with pytest.raises(ValidationError, match="nothing"):
+            ShardPlanner(n_shards=2).plan(snap, tmp_path / "s")
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValidationError):
+            ShardPlanner(n_shards=0)
+        with pytest.raises(ValidationError):
+            ShardPlanner(strategy="random")
+
+
+class TestPlanLoad:
+    @pytest.fixture
+    def plan_root(self, snapshot_dir, tmp_path):
+        ShardPlanner(n_shards=2).plan(snapshot_dir, tmp_path / "s")
+        return tmp_path / "s"
+
+    def test_round_trip(self, snapshot_dir, plan_root):
+        loaded = ShardPlan.load(plan_root)
+        assert loaded.n_shards == 2
+        assert loaded.strategy == "balanced"
+        assert loaded.parent_n_items == 350
+        assert loaded.parent_manifest_sha256 is not None
+        for spec in loaded.shards:
+            assert (loaded.shard_dir(spec.shard_id) / MANIFEST_NAME).is_file()
+
+    def test_missing_plan_file(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no plan.json"):
+            ShardPlan.load(tmp_path)
+
+    def test_truncated_plan_json(self, plan_root):
+        plan_path = plan_root / PLAN_NAME
+        plan_path.write_text(plan_path.read_text()[:40])
+        with pytest.raises(SnapshotError, match="JSON"):
+            ShardPlan.load(plan_root)
+
+    def test_truncated_shard_manifest(self, plan_root):
+        """A truncated shard manifest fails the whole plan load."""
+        manifest = plan_root / "shard_001" / MANIFEST_NAME
+        manifest.write_text(manifest.read_text()[:120])
+        with pytest.raises(SnapshotError, match="truncated or rewritten"):
+            ShardPlan.load(plan_root)
+
+    def test_missing_items_file(self, plan_root):
+        (plan_root / "shard_000" / ITEMS_NAME).unlink()
+        with pytest.raises(SnapshotError, match="items.npy"):
+            ShardPlan.load(plan_root)
+
+    def test_tampered_items_file(self, plan_root):
+        items_path = plan_root / "shard_000" / ITEMS_NAME
+        items = np.load(items_path)
+        np.save(items_path, items[::-1].copy())
+        with pytest.raises(SnapshotError, match="items checksum"):
+            ShardPlan.load(plan_root)
+
+    def test_future_schema_rejected(self, plan_root):
+        plan_path = plan_root / PLAN_NAME
+        payload = json.loads(plan_path.read_text())
+        payload["schema_version"] = 99
+        plan_path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="newer"):
+            ShardPlan.load(plan_root)
+
+    def test_wrong_format_rejected(self, plan_root):
+        plan_path = plan_root / PLAN_NAME
+        payload = json.loads(plan_path.read_text())
+        payload["format"] = "something-else"
+        plan_path.write_text(json.dumps(payload))
+        with pytest.raises(SnapshotError, match="format"):
+            ShardPlan.load(plan_root)

@@ -266,3 +266,70 @@ class TestSnapshotShape:
         a = DetectionSnapshot.load(str(snapshot_dir))
         b = DetectionSnapshot.load(pathlib.Path(snapshot_dir))
         assert a.n_items == b.n_items
+
+
+def _mmap_residency_probe(snapshot_path: str, queue) -> None:
+    """Child-process probe: load mmap, report the buffer's backing facts."""
+    snap = DetectionSnapshot.load(snapshot_path, mmap=True)
+    data = snap.data
+    queue.put(
+        {
+            "data_type": type(data).__name__,
+            "filename": str(getattr(data, "filename", "")),
+            "writeable": bool(data.flags.writeable)
+            if hasattr(data, "flags")
+            else None,
+            "first_row": np.asarray(data[0]).tolist(),
+        }
+    )
+
+
+class TestCrossProcessMmapSharing:
+    """mmap loads must share one file-backed buffer, never copy.
+
+    Two processes that mmap-load the same snapshot both get
+    ``numpy.memmap`` views of the *same* ``arrays/data.npy`` inode —
+    the OS page cache holds the matrix once, which is the whole point
+    of serving multi-GB artifacts (and of sharded workers) without
+    duplicating data per process.
+    """
+
+    def test_two_processes_map_the_same_npy_file(self, snapshot_dir):
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        processes = [
+            ctx.Process(
+                target=_mmap_residency_probe,
+                args=(str(snapshot_dir), queue),
+            )
+            for _ in range(2)
+        ]
+        for process in processes:
+            process.start()
+        reports = [queue.get(timeout=60) for _ in processes]
+        for process in processes:
+            process.join(30)
+        expected_file = str(
+            (snapshot_dir / "arrays" / "data.npy").resolve()
+        )
+        eager = DetectionSnapshot.load(snapshot_dir)
+        for report in reports:
+            # File-backed buffer, not an in-memory copy ...
+            assert report["data_type"] == "memmap"
+            # ... of exactly the snapshot's .npy payload, read-only.
+            assert report["filename"] == expected_file
+            assert report["writeable"] is False
+            # And the mapped bytes are the snapshot's bytes.
+            assert np.allclose(report["first_row"], eager.data[0])
+
+    def test_parent_mmap_load_is_file_backed_too(self, snapshot_dir):
+        snap = DetectionSnapshot.load(snapshot_dir, mmap=True)
+        assert isinstance(snap.data, np.memmap)
+        assert str(snap.data.filename) == str(
+            (snapshot_dir / "arrays" / "data.npy").resolve()
+        )

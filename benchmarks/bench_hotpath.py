@@ -1,14 +1,15 @@
 #!/usr/bin/env python
 """Hot-path benchmark: wall-clock and work accounting for fixed workloads.
 
-Runs the ALID end-to-end pipeline plus two micro-workloads (batched LSH
-retrieval and LID dynamics) on deterministic synthetic mixtures and
-writes a machine-readable ``BENCH_hotpath.json``:
+Runs the ALID end-to-end pipeline plus three micro-workloads (batched
+LSH retrieval, LID dynamics, and the per-backend LID kernel lane) on
+deterministic synthetic mixtures and writes a machine-readable
+``BENCH_hotpath.json``:
 
 .. code-block:: json
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "workloads": {
         "alid_tiny": {
           "wall_seconds": 0.41,
@@ -58,6 +59,7 @@ from repro.core.alid import ALID, ALIDEngine  # noqa: E402
 from repro.core.config import ALIDConfig  # noqa: E402
 from repro.datasets.synthetic import make_synthetic_mixture  # noqa: E402
 from repro.dynamics.lid import LIDState, lid_dynamics  # noqa: E402
+from repro.dynamics.lid_kernel import LID_KERNELS, kernel_info  # noqa: E402
 
 # Fixed synthetic workloads.  Sizes/seeds must never change silently:
 # the CI regression gate compares `entries_computed` against the
@@ -186,6 +188,102 @@ def bench_lid_dynamics(size_key: str) -> dict:
     return out
 
 
+def _lid_workload(engine: ALIDEngine, beta_size: int) -> LIDState:
+    """A fresh LID state over the first *beta_size* items, uniform x."""
+    beta = np.arange(beta_size, dtype=np.intp)
+    state = LIDState(
+        engine.oracle,
+        beta,
+        np.full(beta.size, 1.0 / beta.size),
+        np.zeros(beta.size),
+    )
+    state.g = state.recompute_g()
+    return state
+
+
+def bench_lid_kernel(size_key: str) -> dict:
+    """Per-backend LID kernel lane: identical work, per-backend wall.
+
+    Each backend of :mod:`repro.dynamics.lid_kernel` runs the same two
+    sub-workloads over one shared engine — the oracle memoizes nothing,
+    so per-backend work is read as counter deltas and every backend
+    starts from its own empty :class:`LIDState` column cache:
+
+    * a **cold** run (empty column cache) whose ``entries_computed``
+      exercises the run-until-miss path, the LRU recency replay and the
+      fetch accounting — gated in CI to be *identical* across backends
+      (``entries_identical``) and within the 10% rule vs the committed
+      baseline (top-level ``entries_computed``);
+    * a **resident** run (all columns prefetched) isolating the
+      per-period loop the tentpole optimises — ``wall_seconds`` /
+      ``iterations_per_sec`` per backend, with ``fused_speedup`` (the
+      reference/fused wall ratio, best of two trials) gated in CI
+      against a 10% regression floor.
+
+    ``resolved`` records what the ``numba`` backend actually ran —
+    ``"fused"`` wherever numba is not installed (it is an optional
+    extra), so the lane stays green without it.
+    """
+    data = _make_data(size_key)
+    n = data.shape[0]
+    config = ALIDConfig(seed=_SEED)
+    engine = ALIDEngine(data, config)
+    # delta = 800 caps how far one CIVS extension can grow the local
+    # range, so this is the representative upper end of the hot path.
+    beta_size = min(n, 800)
+    backends: dict[str, dict] = {}
+    for name in LID_KERNELS:
+        # Cold run: entries_computed is the equivalence fingerprint.
+        counters = engine.oracle.counters
+        before = counters.entries_computed
+        state = _lid_workload(engine, beta_size)
+        cold_iters, _ = lid_dynamics(
+            state, max_iter=400, tol=1e-7, kernel=name
+        )
+        cold_entries = counters.entries_computed - before
+        state.release()
+        # Resident run: cache-warm wall clock, best of two trials.
+        best_wall = None
+        for _trial in range(2):
+            state = _lid_workload(engine, beta_size)
+            state.prefetch_columns(state.beta)
+            start = time.perf_counter()
+            iterations, converged = lid_dynamics(
+                state, max_iter=1000, tol=1e-9, kernel=name
+            )
+            wall = time.perf_counter() - start
+            state.release()
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        backends[name] = {
+            "wall_seconds": round(best_wall, 4),
+            "iterations": int(iterations),
+            "iterations_per_sec": round(iterations / best_wall, 1),
+            "cold_iterations": int(cold_iters),
+            "entries_computed": int(cold_entries),
+            "converged": bool(converged),
+            "resolved": kernel_info(name)["resolved"],
+        }
+    reference = backends["reference"]
+    entries_identical = all(
+        b["entries_computed"] == reference["entries_computed"]
+        and b["iterations"] == reference["iterations"]
+        and b["cold_iterations"] == reference["cold_iterations"]
+        for b in backends.values()
+    )
+    return {
+        "n": int(n),
+        "beta": int(beta_size),
+        "backends": backends,
+        "entries_computed": int(reference["entries_computed"]),
+        "entries_identical": bool(entries_identical),
+        "fused_speedup": round(
+            reference["wall_seconds"] / backends["fused"]["wall_seconds"], 3
+        ),
+        "wall_seconds": backends["fused"]["wall_seconds"],
+    }
+
+
 def run(workload_keys: list[str]) -> dict:
     workloads: dict[str, dict] = {}
     for key in workload_keys:
@@ -195,8 +293,10 @@ def run(workload_keys: list[str]) -> dict:
         workloads[f"lsh_batch_{key}"] = bench_lsh_batch(key)
         print(f"[bench_hotpath] lid_dynamics_{key} ...", flush=True)
         workloads[f"lid_dynamics_{key}"] = bench_lid_dynamics(key)
+        print(f"[bench_hotpath] lid_kernel_{key} ...", flush=True)
+        workloads[f"lid_kernel_{key}"] = bench_lid_kernel(key)
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "workloads": workloads,

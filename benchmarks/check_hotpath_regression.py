@@ -11,7 +11,16 @@ work accounting regresses:
   for fixed seeds, so any growth is a real algorithmic regression, not
   machine noise;
 * a workload present in the baseline but missing from the current
-  report fails (the gate must not silently narrow).
+  report fails (the gate must not silently narrow);
+* a workload reporting ``entries_identical: false`` fails outright —
+  the LID kernel backends must agree on the work accounting bit for
+  bit, with zero tolerance;
+* a workload reporting ``fused_speedup`` (the reference/fused wall
+  ratio measured on the same machine in the same run) fails below
+  ``--min-speedup`` (default 0.9, i.e. the fused backend may not be
+  more than 10% slower than the reference it replaces; wall clock is
+  same-machine relative here, so the usual noise argument does not
+  apply).
 
 Wall-clock numbers are reported for context but never gated — CI
 machines are too noisy for that.  When a deliberate change shifts the
@@ -61,11 +70,36 @@ def main(argv: list[str] | None = None) -> int:
         default=0.10,
         help="allowed fractional growth of gated counters (default 0.10)",
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.9,
+        help="floor for reported fused_speedup ratios (default 0.9)",
+    )
     args = parser.parse_args(argv)
     current = load(args.current)["workloads"]
     baseline = load(args.baseline)["workloads"]
 
     failures: list[str] = []
+    for name in sorted(current):
+        cur = current[name]
+        if cur.get("entries_identical") is False:
+            failures.append(
+                f"{name}: entries_computed differ across kernel backends "
+                "(must be identical)"
+            )
+        speedup = cur.get("fused_speedup")
+        if speedup is not None:
+            status = "FAIL" if speedup < args.min_speedup else "ok"
+            print(
+                f"[check_hotpath] {status:4s} {name}.fused_speedup: "
+                f"{speedup} (floor {args.min_speedup})"
+            )
+            if speedup < args.min_speedup:
+                failures.append(
+                    f"{name}: fused_speedup {speedup} below "
+                    f"{args.min_speedup}"
+                )
     for name in sorted(baseline):
         base = baseline[name]
         gated = {k: base[k] for k in GATED_KEYS if k in base}

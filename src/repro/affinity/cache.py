@@ -101,6 +101,62 @@ class ColumnBlockCache:
     def __contains__(self, j: int) -> bool:
         return int(j) in self._slot_of
 
+    def slot_index(self, j: int) -> int:
+        """Buffer slot of cached column *j* (KeyError when not resident)."""
+        return self._slot_of[int(j)]
+
+    def resident_view(self) -> tuple[np.ndarray, np.ndarray]:
+        """The backing matrix plus a row-position → slot map.
+
+        The contract behind the run-until-miss LID kernels
+        (:mod:`repro.dynamics.lid_kernel`): returns ``(buf, slots)``
+        where ``buf[slots[p]]`` is the cached column ``A[rows,
+        rows[p]]`` and ``slots[p] < 0`` marks a non-resident column.
+        Cached columns whose id is not a member of ``rows`` (possible
+        for generic callers) simply do not appear in the map.
+
+        The view is **invalidated by any cache mutation**: an admit may
+        grow (reallocate) the buffer, an eviction frees a slot for
+        reuse, and row-set changes reshape everything.  Callers must
+        re-request the view afterwards; as a fast path, an admit that
+        neither evicted nor reallocated (buffer identity unchanged and
+        ``n_columns`` grew by exactly one) only adds the new column's
+        ``slot_index`` entry.
+        """
+        m = self.n_rows
+        buf = self._buf if self._buf.shape[1] == m else self._buf[:, :m]
+        slots = np.full(m, -1, dtype=np.int64)
+        if self._slot_of:
+            count = len(self._slot_of)
+            js = np.fromiter(self._slot_of.keys(), np.intp, count)
+            taken = np.fromiter(self._slot_of.values(), np.intp, count)
+            sorter = np.argsort(self.rows, kind="stable")
+            idx = np.searchsorted(self.rows, js, sorter=sorter)
+            idx[idx >= m] = 0
+            positions = sorter[idx]
+            member = self.rows[positions] == js
+            slots[positions[member]] = taken[member]
+        return buf, slots
+
+    def touch_sequence(self, js) -> None:
+        """Replay accesses: mark each column in *js* most recently used.
+
+        The batched form of the per-:meth:`get` recency update, used by
+        the run-until-miss LID kernels to restore the exact LRU order
+        the reference loop would have produced before anything (an
+        eviction decision, a later run) reads it.  Non-resident ids are
+        ignored — a recorded hit can refer to a column that a later
+        miss already evicted, and touching it must not resurrect a
+        phantom entry.
+        """
+        use = self._use
+        slot_of = self._slot_of
+        for j in js:
+            j = int(j)
+            if j in slot_of:
+                use.pop(j, None)
+                use[j] = None
+
     # ------------------------------------------------------------------
     # lookup / fetch
     # ------------------------------------------------------------------

@@ -134,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: true count + 1)")
     det.add_argument("--out", default=None, help="save result .npz here")
     det.add_argument("--seed", type=int, default=0)
+    det.add_argument("--lid-kernel", default="fused",
+                     choices=("reference", "fused", "numba"),
+                     help="LID inner-loop backend (bit-identical; "
+                          "'numba' falls back to 'fused' without numba)")
 
     cmp_cmd = sub.add_parser("compare", help="run several methods")
     cmp_cmd.add_argument("--input", required=True)
@@ -157,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
     snap.add_argument("--delta", type=int, default=800)
     snap.add_argument("--density-threshold", type=float, default=0.75)
     snap.add_argument("--seed", type=int, default=0)
+    snap.add_argument("--lid-kernel", default="fused",
+                      choices=("reference", "fused", "numba"),
+                      help="LID inner-loop backend (bit-identical)")
 
     shard = sub.add_parser(
         "shard", help="split a snapshot into per-worker serving shards"
@@ -247,6 +254,7 @@ def _build_method(name: str, dataset: Dataset, args):
                 delta=args.delta,
                 density_threshold=args.density_threshold,
                 seed=args.seed,
+                lid_kernel=getattr(args, "lid_kernel", "fused"),
             )
         )
     if name == "palid":
@@ -255,6 +263,7 @@ def _build_method(name: str, dataset: Dataset, args):
                 delta=args.delta,
                 density_threshold=args.density_threshold,
                 seed=args.seed,
+                lid_kernel=getattr(args, "lid_kernel", "fused"),
             ),
             n_executors=getattr(args, "executors", 1),
         )
@@ -360,6 +369,7 @@ def _cmd_snapshot(args) -> int:
             delta=args.delta,
             density_threshold=args.density_threshold,
             seed=args.seed,
+            lid_kernel=getattr(args, "lid_kernel", "fused"),
         )
     )
     result = detector.fit(dataset.data)

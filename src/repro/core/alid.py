@@ -135,7 +135,12 @@ class _SeedRun:
         self.c += 1
         self.outer = self.c
         # --- Step 1: LID on the current local range -----------------
-        lid_dynamics(state, max_iter=cfg.max_lid_iterations, tol=cfg.tol)
+        lid_dynamics(
+            state,
+            max_iter=cfg.max_lid_iterations,
+            tol=cfg.tol,
+            kernel=cfg.lid_kernel,
+        )
         state.restrict_to_support()
         density = state.density()
         if abs(density - self.last_density) > cfg.tol:

@@ -73,6 +73,16 @@ class ALIDConfig:
         Maximum number of surviving seeds pulled from the schedule per
         batched peeling round (upper bound on both the pre-filtered
         block and the detection cohort).
+    lid_kernel:
+        Which inner-loop backend :func:`repro.dynamics.lid.lid_dynamics`
+        runs (see :mod:`repro.dynamics.lid_kernel`).  ``"fused"``
+        (default) executes consecutive LID periods in one run-until-miss
+        pass over the column cache's resident block; ``"reference"``
+        forces the historical per-period loop (the equivalence oracle);
+        ``"numba"`` compiles the per-period step when numba is
+        installed, auto-falling back to ``"fused"`` otherwise.  All
+        backends produce bit-identical iterates, detections, and work
+        accounting.
     verify_global:
         If True, after ROI/CIVS convergence the detector performs an exact
         full scan for remaining infective vertices (only sensible for
@@ -100,6 +110,7 @@ class ALIDConfig:
     min_cluster_size: int = 2
     peel_driver: str = "batched"
     seed_block_size: int = 256
+    lid_kernel: str = "fused"
     verify_global: bool = False
     seed: int = 0
     extras: dict = field(default_factory=dict, compare=False)
@@ -144,4 +155,9 @@ class ALIDConfig:
         if self.seed_block_size < 1:
             raise ValidationError(
                 f"seed_block_size must be >= 1, got {self.seed_block_size}"
+            )
+        if self.lid_kernel not in ("reference", "fused", "numba"):
+            raise ValidationError(
+                f"lid_kernel must be 'reference', 'fused' or 'numba', "
+                f"got {self.lid_kernel!r}"
             )

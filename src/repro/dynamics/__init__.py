@@ -13,6 +13,12 @@ over the simplex (paper Eq. 3).  This package provides three solvers:
 
 from repro.dynamics.iid import IIDResult, iid_dynamics, infectivity
 from repro.dynamics.lid import LIDState, lid_dynamics
+from repro.dynamics.lid_kernel import (
+    LID_KERNELS,
+    available_lid_kernels,
+    kernel_info,
+    resolve_lid_kernel,
+)
 from repro.dynamics.replicator import ReplicatorResult, replicator_dynamics
 from repro.dynamics.simplex import (
     barycenter,
@@ -28,6 +34,10 @@ __all__ = [
     "infectivity",
     "LIDState",
     "lid_dynamics",
+    "LID_KERNELS",
+    "available_lid_kernels",
+    "kernel_info",
+    "resolve_lid_kernel",
     "ReplicatorResult",
     "replicator_dynamics",
     "barycenter",

@@ -16,7 +16,10 @@ matrix: it maintains
   instead of aborting the run.
 
 Per iteration: O(|beta|) arithmetic plus at most one new column of kernel
-evaluations — exactly the paper's claimed cost.
+evaluations — exactly the paper's claimed cost.  The iteration loop
+itself runs on one of the interchangeable backends of
+:mod:`repro.dynamics.lid_kernel` (reference / fused run-until-miss /
+optional numba), all bit-identical.
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ import numpy as np
 
 from repro.affinity.cache import ColumnBlockCache
 from repro.affinity.oracle import AffinityOracle
-from repro.dynamics.iid import invasion_share
+from repro.dynamics.lid_kernel import resolve_lid_kernel
 from repro.exceptions import ValidationError
 from repro.utils.validation import check_index_array
 
@@ -201,6 +204,7 @@ def lid_dynamics(
     *,
     max_iter: int = 1000,
     tol: float = 1e-7,
+    kernel: str = "fused",
 ) -> tuple[int, bool]:
     """Run LID iterations (paper Alg. 1) on *state* in place.
 
@@ -208,59 +212,18 @@ def lid_dynamics(
     every vertex of the local range (``gamma_beta(x) = empty``, Theorem 1)
     up to *tol*, or until *max_iter* — the paper's constant ``T``.
 
-    The inner update is pure vector arithmetic on preallocated buffers;
-    the only kernel work per iteration is (at most) one column fetch
-    through the LRU cache.
+    The inner loop runs on one of the interchangeable backends of
+    :mod:`repro.dynamics.lid_kernel` — ``"reference"`` (the historical
+    per-period loop), ``"fused"`` (run-until-miss single-pass NumPy over
+    the cache's resident block, the default) or ``"numba"`` (optional
+    compiled step, falling back to ``"fused"`` when unavailable).  All
+    backends produce bit-identical iterates, iteration counts, work
+    accounting, and cache recency order; per period the only kernel work
+    is (at most) one column fetch through the LRU cache.
 
     Returns
     -------
     (iterations, converged)
     """
-    x = state.x
-    g = state.g
-    converged = False
-    iterations = 0
-    scores = np.empty_like(g)
-    neg = np.empty_like(g)
-    for iterations in range(1, max_iter + 1):
-        density = float(x @ g)
-        # Select by Eq. 6/8: strongest infective vertex or weakest support
-        # vertex, whichever has the larger |pi(s_i - x, x)|; the payoff
-        # margin is pay_i = g_i - density.
-        np.subtract(g, density, out=scores)
-        np.negative(scores, out=neg)
-        neg[x <= 0.0] = 0.0
-        np.maximum(scores, neg, out=scores)
-        pos = int(np.argmax(scores))
-        if scores[pos] <= tol:
-            converged = True
-            iterations -= 1
-            break
-        col = state.column(int(state.beta[pos]))
-        pay_i = float(g[pos]) - density
-        quad_i = -2.0 * float(g[pos]) + density  # pi(s_i - x), Eq. 11
-        if pay_i > 0.0:
-            # Infection with the pure vertex (Eq. 13/14 first case).
-            eps = invasion_share(pay_i, quad_i)
-            x *= 1.0 - eps
-            x[pos] += eps
-            g *= 1.0 - eps
-            g += eps * col
-        else:
-            # Immunization with the co-vertex (Eq. 12, Eq. 13/14 second
-            # case); mu = x_i / (x_i - 1) < 0.
-            xi = float(x[pos])
-            mu = xi / (xi - 1.0)
-            eps = invasion_share(mu * pay_i, mu * mu * quad_i)
-            x *= 1.0 - eps * mu
-            x[pos] = (1.0 - eps) * xi
-            g += eps * mu * (col - g)
-        # Roundoff hygiene: x and g are linear in the same scale factor.
-        np.maximum(x, 0.0, out=x)
-        total = float(x.sum())
-        if abs(total - 1.0) > 1e-9 and total > 0.0:
-            x /= total
-            g /= total
-    state.x = x
-    state.g = g
-    return iterations, converged
+    runner, _ = resolve_lid_kernel(kernel)
+    return runner(state, max_iter, tol)

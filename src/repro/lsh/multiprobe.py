@@ -19,6 +19,24 @@ The bucket key of a perturbed code vector is computed incrementally:
 :class:`~repro.lsh.index.LSHIndex` fingerprints code vectors with a
 linear map ``key = sum_j code_j * mixer_j (mod 2^64)``, so perturbing
 coordinate ``j`` by ±1 shifts the key by ``±mixer_j`` — no re-hashing.
+
+The querier does **not** run the heap per (query, table).  In sorted-
+position space the validity rule is query-independent: when the ``2
+mu`` single-coordinate scores are sorted ascending, the opposite
+perturbation of the coordinate at sorted position ``p`` always sits at
+position ``2 mu - 1 - p`` (``x^2`` and ``(1-x)^2`` order oppositely in
+``x``, so rank counts mirror).  That makes the whole enumeration
+hoistable: :func:`probe_candidate_sets` precomputes, once per
+``(2 mu, n_probes)`` family, every sorted-position set that can appear
+among the ``n_probes`` cheapest valid sets for *any* score vector (the
+sets whose dominance ideal holds fewer than ``n_probes`` valid sets),
+and each query then just scores those candidates against its own sorted
+coordinates — a few vectorized gathers per (batch, table) instead of a
+Python heap per (query, table).  The per-query result is identical to
+the heap enumeration except under exactly-tied perturbation scores
+(coordinates whose fractional parts coincide bit-for-bit — probability
+zero for real-valued projections), where the adjacent-bucket tie may
+resolve differently.
 """
 
 from __future__ import annotations
@@ -31,9 +49,14 @@ from repro.exceptions import ValidationError
 from repro.lsh.index import LSHIndex
 from repro.utils.validation import check_index_array
 
-__all__ = ["MultiProbeQuerier", "perturbation_sets"]
+__all__ = ["MultiProbeQuerier", "perturbation_sets", "probe_candidate_sets"]
 
 Perturbation = tuple[int, int]  # (coordinate, delta in {-1, +1})
+
+# Above this probe count the query-independent candidate enumeration is
+# not precomputed (its dominance counting grows with n_probes^2) and the
+# querier falls back to the exact per-query heap.
+_VECTOR_PROBE_CAP = 128
 
 
 def perturbation_sets(
@@ -123,6 +146,101 @@ def perturbation_sets(
     return out
 
 
+def _dominated_at_most(
+    t: tuple[int, ...], two_mu: int, limit: int
+) -> int:
+    """Count valid sets dominated by *t*, capped at *limit*.
+
+    ``u`` is dominated by ``t`` when every ascending score vector makes
+    ``u`` at most as expensive: ``len(u) <= len(t)`` and ``u_i <=
+    t[i + len(t) - len(u)]``.  Validity means no sorted position appears
+    together with its mirror ``2 mu - 1 - p``.  The count includes *t*
+    itself when *t* is valid; the search bails out once *limit* is
+    exceeded, which keeps candidate generation O(n_probes) per probe.
+    """
+    length = len(t)
+    total = 0
+    for sub in range(1, length + 1):
+        bounds = t[length - sub :]
+        stack = [(0, 0, frozenset())]
+        while stack:
+            if total > limit:
+                return total
+            i, lo, used = stack.pop()
+            if i == len(bounds):
+                total += 1
+                continue
+            for q in range(lo, bounds[i] + 1):
+                if two_mu - 1 - q in used or q in used:
+                    continue
+                stack.append((i + 1, q + 1, used | {q}))
+    return total
+
+
+def probe_candidate_sets(two_mu: int, n_probes: int) -> list[tuple[int, ...]]:
+    """All sorted-position sets that can rank among the cheapest *n_probes*.
+
+    Returns every valid (mirror-free) strictly-increasing tuple of
+    sorted positions over ``[0, two_mu)`` whose strict dominance ideal
+    contains fewer than *n_probes* valid sets — the query-independent
+    superset of the heap enumeration's first *n_probes* outputs over all
+    possible score vectors.  Tuples are returned in lexicographic order
+    (the heap's tie order), ready to be cost-scored per query.
+    """
+    if two_mu <= 0:
+        raise ValidationError(f"two_mu must be positive, got {two_mu}")
+    if n_probes < 0:
+        raise ValidationError(f"n_probes must be >= 0, got {n_probes}")
+    if n_probes == 0:
+        return []
+    out: list[tuple[int, ...]] = []
+    start = (0,)
+    frontier = [start]
+    seen = {start}
+    while frontier:
+        t = frontier.pop()
+        dominated = _dominated_at_most(t, two_mu, n_probes)
+        valid = not any(two_mu - 1 - p in t for p in t)
+        strict = dominated - (1 if valid else 0)
+        if strict >= n_probes:
+            # Dominance counts only grow along shift/expand: prune.
+            continue
+        if valid:
+            out.append(t)
+        m = t[-1]
+        if m + 1 < two_mu:
+            for successor in (t[:-1] + (m + 1,), t + (m + 1,)):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+    out.sort()
+    return out
+
+
+class _ProbePlan:
+    """Precomputed vectorized enumeration for one ``(2 mu, n_probes)``.
+
+    Holds the candidate sorted-position sets as one padded index matrix
+    (pad column = ``2 mu``, which maps to a zero score and a zero key
+    offset), so a query batch scores every candidate with one gather +
+    sum and picks its ``n_probes`` cheapest with one stable argsort.
+    """
+
+    __slots__ = ("n_candidates", "n_probes", "positions", "two_mu")
+
+    def __init__(self, two_mu: int, n_probes: int):
+        candidates = probe_candidate_sets(two_mu, n_probes)
+        self.two_mu = int(two_mu)
+        self.n_probes = int(n_probes)
+        self.n_candidates = len(candidates)
+        width = max((len(t) for t in candidates), default=1)
+        self.positions = np.full(
+            (len(candidates), width), two_mu, dtype=np.intp
+        )
+        for row, t in enumerate(candidates):
+            self.positions[row, : len(t)] = t
+
+
 class MultiProbeQuerier:
     """Probe an existing :class:`LSHIndex` in multiple buckets per table.
 
@@ -152,8 +270,19 @@ class MultiProbeQuerier:
             raise ValidationError(f"n_probes must be >= 0, got {n_probes}")
         self.index = index
         self.n_probes = int(n_probes)
+        self._plan: _ProbePlan | None = None
 
     # ------------------------------------------------------------------
+    def _probe_plan(self, mu: int) -> _ProbePlan | None:
+        """The (cached) vectorized enumeration, or None for the heap path."""
+        if self.n_probes == 0 or self.n_probes > _VECTOR_PROBE_CAP:
+            return None
+        plan = self._plan
+        if plan is None or plan.two_mu != 2 * mu:
+            plan = _ProbePlan(2 * mu, self.n_probes)
+            self._plan = plan
+        return plan
+
     def _probe_keys_with_ids(
         self, table, points: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -161,7 +290,10 @@ class MultiProbeQuerier:
 
         One projection pass hashes the whole batch; the perturbed keys
         of every point are derived incrementally from its base key
-        (``key ± mixer_j`` per perturbed coordinate).  Returns the flat
+        (``key ± mixer_j`` per perturbed coordinate), with the
+        perturbation sets picked by scoring the precomputed candidate
+        family against each query's sorted coordinates (see the module
+        docstring) — no per-query Python enumeration.  Returns the flat
         uint64 key array of all probes of all points plus the aligned
         point-row index of every probe (which query each key belongs
         to — what the grouped serve-time shortlist needs).
@@ -172,11 +304,54 @@ class MultiProbeQuerier:
         with np.errstate(over="ignore"):
             base_keys = (codes.astype(np.int64).astype(np.uint64)
                          * table.mixer[None, :]).sum(axis=1, dtype=np.uint64)
+        q, mu = fractions.shape
+        plan = self._probe_plan(mu)
+        if plan is None:
+            return self._probe_keys_heap(table, fractions, base_keys)
+        if plan.n_candidates == 0:
+            return (
+                base_keys.copy(),
+                np.arange(q, dtype=np.int64),
+            )
+        # Per-query scores of all 2 mu single perturbations: columns
+        # [0, mu) are delta = -1 (cost x^2), [mu, 2 mu) are delta = +1.
+        scores = np.concatenate([fractions**2, (1.0 - fractions) ** 2], axis=1)
+        order = np.argsort(scores, axis=1, kind="stable")
+        ranked = np.take_along_axis(scores, order, axis=1)
+        ranked = np.concatenate([ranked, np.zeros((q, 1))], axis=1)
+        costs = ranked[:, plan.positions].sum(axis=2)
+        take = min(plan.n_probes, plan.n_candidates)
+        chosen = np.argsort(costs, axis=1, kind="stable")[:, :take]
+        # Signed key offsets aligned with the score columns, plus the
+        # zero pad slot; gathering through `order` puts them in each
+        # query's sorted-position space.
+        mixers = table.mixer.astype(np.uint64)
+        signed = np.concatenate(
+            [np.uint64(0) - mixers, mixers, np.zeros(1, dtype=np.uint64)]
+        )
+        pad = np.full((q, 1), 2 * mu, dtype=order.dtype)
+        offsets = signed[np.concatenate([order, pad], axis=1)]
+        candidate_offsets = offsets[:, plan.positions].sum(
+            axis=2, dtype=np.uint64
+        )
+        picked = np.take_along_axis(candidate_offsets, chosen, axis=1)
+        with np.errstate(over="ignore"):
+            keys = base_keys[:, None] + picked
+        keys = np.concatenate([base_keys[:, None], keys], axis=1)
+        owners = np.repeat(
+            np.arange(q, dtype=np.int64), keys.shape[1]
+        )
+        return keys.ravel(), owners
+
+    def _probe_keys_heap(
+        self, table, fractions: np.ndarray, base_keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact per-query heap enumeration (n_probes above the cap)."""
         mixers = table.mixer.astype(np.uint64)
         keys: list[int] = []
         owners: list[int] = []
         with np.errstate(over="ignore"):
-            for row in range(points.shape[0]):
+            for row in range(fractions.shape[0]):
                 base = base_keys[row]
                 keys.append(int(base))
                 owners.append(row)

@@ -176,10 +176,11 @@ class ClusterAssigner:
             clusters; ``"multiprobe"`` additionally probes the
             ``n_probes`` cheapest neighbouring buckets per table
             (Lv et al. 2007), recovering borderline-infective queries
-            whose collisions all miss the plain shortlist (little
-            extra scoring work, but probe enumeration is per-query
-            Python — a recall mode, not a hot path, at paper-scale
-            table counts); ``"all"`` scores every query against
+            whose collisions all miss the plain shortlist; probe
+            enumeration is precomputed per hash family and scored
+            vectorized per batch (see :mod:`repro.lsh.multiprobe`),
+            so the mode serves hot paths at paper-scale table counts
+            too; ``"all"`` scores every query against
             every cluster — the exact reference mode (O(q * n) work)
             the equivalence tests compare against.
 

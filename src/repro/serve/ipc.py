@@ -1,0 +1,81 @@
+"""Out-of-band pickle transport for the shard-worker pipes (PEP 574).
+
+Shard workers and the router exchange query blocks and partial-verdict
+arrays over ``multiprocessing`` pipes.  The stock ``Connection.send``
+pickles with the default protocol, which embeds every NumPy buffer
+*inside* the pickle stream — one full copy on the way in, and a second
+copy on the way out when the unpickler rebuilds each array from the
+embedded bytes.  At serving batch sizes that per-micro-batch copy tax
+is what eats the multi-worker speedup on small batches (ROADMAP item).
+
+This module frames messages with ``pickle.dumps(..., protocol=5)`` and
+an out-of-band ``buffer_callback``: the pickle stream carries only the
+object skeleton, the raw array buffers ride behind it in the same pipe
+message, and :func:`recv_message` rebuilds every array as a **zero-copy
+view** into the single received blob (``pickle.loads(...,
+buffers=...)``).  Received arrays are therefore read-only; both sides
+of the shard protocol only read what they receive (the router merges
+into freshly allocated outputs, the worker scores the query block
+without mutating it).
+
+Wire format of one pipe message (all little-endian)::
+
+    [u32 frame_count] [u64 size] * frame_count [frame bytes...]
+
+where frame 0 is the pickle stream and frames 1.. are the out-of-band
+buffers in callback order.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+__all__ = ["recv_message", "send_message"]
+
+_COUNT = struct.Struct("<I")
+_SIZE = struct.Struct("<Q")
+
+
+def send_message(conn, obj) -> None:
+    """Send *obj* over *conn* with out-of-band buffer framing.
+
+    Any picklable object is accepted; contiguous NumPy arrays anywhere
+    inside it travel as raw frames instead of pickle opcodes
+    (non-contiguous arrays transparently fall back to in-band pickling,
+    as defined by NumPy's protocol-5 reducer).
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    payload = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    raws = [b.raw() for b in buffers]
+    sizes = [len(payload)]
+    sizes.extend(r.nbytes for r in raws)
+    parts = [_COUNT.pack(len(sizes))]
+    parts.extend(_SIZE.pack(s) for s in sizes)
+    parts.append(payload)
+    parts.extend(raws)
+    conn.send_bytes(b"".join(parts))
+
+
+def recv_message(conn):
+    """Receive one :func:`send_message` frame and rebuild the object.
+
+    Arrays reconstructed from out-of-band frames are read-only views
+    into the received message blob (no copy); they stay valid for the
+    lifetime of the returned object, which holds the blob alive.
+    """
+    view = memoryview(conn.recv_bytes())
+    (count,) = _COUNT.unpack_from(view, 0)
+    offset = _COUNT.size
+    sizes = []
+    for _ in range(count):
+        (size,) = _SIZE.unpack_from(view, offset)
+        sizes.append(size)
+        offset += _SIZE.size
+    payload = view[offset : offset + sizes[0]]
+    offset += sizes[0]
+    buffers = []
+    for size in sizes[1:]:
+        buffers.append(view[offset : offset + size])
+        offset += size
+    return pickle.loads(payload, buffers=buffers)

@@ -19,7 +19,10 @@ Each worker is a separate OS process that loads **only its shard**, with
 neither the router process nor any worker ever holds a full-matrix copy
 (the router holds no arrays at all; it reads ``plan.json`` and worker
 handshakes).  Requests and partial verdicts travel over
-``multiprocessing`` pipes.
+``multiprocessing`` pipes with the out-of-band pickle framing of
+:mod:`repro.serve.ipc` — query and verdict arrays ride as raw buffers
+and are rebuilt as zero-copy views on the receiving side, cutting the
+per-micro-batch copy cost of the stock in-band pickling.
 
 Guarantees, pinned by ``tests/test_serve_sharded.py``:
 
@@ -55,6 +58,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError, WorkerError
 from repro.serve.assigner import Assignment, ClusterAssigner
+from repro.serve.ipc import recv_message, send_message
 from repro.serve.plan import ShardPlan
 from repro.serve.router import BatchingRouter
 from repro.serve.service import _ServingCounters
@@ -111,14 +115,14 @@ def _worker_main(shard_dir: str, conn, mmap: bool) -> None:
         sorted_densities = densities[label_order]
     except BaseException as exc:  # noqa: BLE001 - reported over the pipe
         try:
-            conn.send(("failed", f"{type(exc).__name__}: {exc}"))
+            send_message(conn, ("failed", f"{type(exc).__name__}: {exc}"))
         finally:
             conn.close()
         return
-    conn.send(("ready", _describe_payload(shard_dir, snapshot)))
+    send_message(conn, ("ready", _describe_payload(shard_dir, snapshot)))
     while True:
         try:
-            message = conn.recv()
+            message = recv_message(conn)
         except (EOFError, OSError):
             break
         command = message[0]
@@ -136,7 +140,8 @@ def _worker_main(shard_dir: str, conn, mmap: bool) -> None:
                         sorted_labels, result.labels[hit]
                     )
                     density[hit] = sorted_densities[positions]
-                conn.send(
+                send_message(
+                    conn,
                     (
                         "ok",
                         seq,
@@ -147,14 +152,16 @@ def _worker_main(shard_dir: str, conn, mmap: bool) -> None:
                             "n_candidates": result.n_candidates,
                             "entries": result.entries_computed,
                         },
-                    )
+                    ),
                 )
             elif command == "describe":
-                conn.send(("ok", seq, _describe_payload(shard_dir, snapshot)))
+                send_message(
+                    conn, ("ok", seq, _describe_payload(shard_dir, snapshot))
+                )
             else:
-                conn.send(("error", seq, f"unknown command {command!r}"))
+                send_message(conn, ("error", seq, f"unknown command {command!r}"))
         except Exception as exc:  # noqa: BLE001 - reported, worker stays up
-            conn.send(("error", seq, f"{type(exc).__name__}: {exc}"))
+            send_message(conn, ("error", seq, f"{type(exc).__name__}: {exc}"))
     conn.close()
 
 
@@ -208,7 +215,7 @@ class ShardWorker:
                     f"shard worker {shard_id} did not come up within "
                     f"{start_timeout:.0f}s"
                 )
-            status, payload = self._conn.recv()
+            status, payload = recv_message(self._conn)
         except WorkerError:
             self._terminate()
             raise
@@ -239,7 +246,7 @@ class ShardWorker:
             )
         self._seq += 1
         try:
-            self._conn.send((command, self._seq) + payload)
+            send_message(self._conn, (command, self._seq) + payload)
         except (BrokenPipeError, OSError) as exc:
             self._dead = True
             raise WorkerError(
@@ -257,7 +264,7 @@ class ShardWorker:
                     f"shard worker {self.shard_id} timed out after "
                     f"{timeout:.0f}s"
                 )
-            status, got_seq, payload = self._conn.recv()
+            status, got_seq, payload = recv_message(self._conn)
         except WorkerError:
             raise
         except (EOFError, OSError) as exc:
@@ -296,7 +303,7 @@ class ShardWorker:
         """
         if self.process.is_alive():
             try:
-                self._conn.send(("stop",))
+                send_message(self._conn, ("stop",))
             except (BrokenPipeError, OSError):
                 pass
             self.process.join(timeout)

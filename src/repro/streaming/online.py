@@ -204,7 +204,12 @@ class StreamingALID:
         oracle = engine.oracle
         g = oracle.block(members, members) @ weights
         state = LIDState(oracle, members.copy(), weights.copy(), g)
-        lid_dynamics(state, max_iter=cfg.max_lid_iterations, tol=cfg.tol)
+        lid_dynamics(
+            state,
+            max_iter=cfg.max_lid_iterations,
+            tol=cfg.tol,
+            kernel=cfg.lid_kernel,
+        )
         state.restrict_to_support()
         new_members = state.support_global(cfg.support_tol)
         positions = state.support_positions(cfg.support_tol)
@@ -312,7 +317,12 @@ class StreamingALID:
         x = np.concatenate([cluster.weights, np.zeros(joiners.size)])
         g = oracle.block(beta, cluster.members) @ cluster.weights
         state = LIDState(oracle, beta, x, g)
-        lid_dynamics(state, max_iter=cfg.max_lid_iterations, tol=cfg.tol)
+        lid_dynamics(
+            state,
+            max_iter=cfg.max_lid_iterations,
+            tol=cfg.tol,
+            kernel=cfg.lid_kernel,
+        )
         state.restrict_to_support()
         members = state.support_global(cfg.support_tol)
         positions = state.support_positions(cfg.support_tol)

@@ -170,3 +170,80 @@ class TestBenchServeScript:
         assert (
             current["entries_computed"] == committed["entries_computed"]
         )
+
+
+class TestKernelLaneGates:
+    """The lid_kernel lane's zero-tolerance backend gates."""
+
+    def test_entries_identical_false_fails(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(
+            tmp_path / "cur.json",
+            {
+                "alid_tiny": {"entries_computed": 1000},
+                "lid_kernel_tiny": {
+                    "entries_computed": 500,
+                    "entries_identical": False,
+                },
+            },
+        )
+        result = _run_gate(current, baseline)
+        assert result.returncode == 1
+        assert "across kernel backends" in result.stderr
+
+    def test_entries_identical_true_passes(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(
+            tmp_path / "cur.json",
+            {
+                "alid_tiny": {"entries_computed": 1000},
+                "lid_kernel_tiny": {
+                    "entries_computed": 500,
+                    "entries_identical": True,
+                    "fused_speedup": 1.5,
+                },
+            },
+        )
+        assert _run_gate(current, baseline).returncode == 0
+
+    def test_fused_speedup_below_floor_fails(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(
+            tmp_path / "cur.json",
+            {
+                "alid_tiny": {"entries_computed": 1000},
+                "lid_kernel_tiny": {
+                    "entries_identical": True,
+                    "fused_speedup": 0.7,
+                },
+            },
+        )
+        result = _run_gate(current, baseline)
+        assert result.returncode == 1
+        assert "fused_speedup" in result.stderr
+
+    def test_fused_speedup_floor_is_configurable(self, tmp_path):
+        baseline = _write_report(tmp_path / "base.json", BASE)
+        current = _write_report(
+            tmp_path / "cur.json",
+            {
+                "alid_tiny": {"entries_computed": 1000},
+                "lid_kernel_tiny": {
+                    "entries_identical": True,
+                    "fused_speedup": 0.7,
+                },
+            },
+        )
+        assert _run_gate(
+            current, baseline, "--min-speedup", "0.5"
+        ).returncode == 0
+
+    def test_committed_baseline_covers_kernel_lane(self):
+        baseline = json.loads(
+            (_SCRIPT.parent / "results" / "BENCH_hotpath_baseline.json")
+            .read_text()
+        )
+        lane = baseline["workloads"]["lid_kernel_tiny"]
+        assert lane["entries_identical"] is True
+        assert set(lane["backends"]) == {"reference", "fused", "numba"}
+        assert lane["fused_speedup"] >= 1.5

@@ -208,3 +208,82 @@ class TestQueryPointsGrouped:
         _, index = small_index
         with pytest.raises(ValidationError):
             MultiProbeQuerier(index).query_points_grouped(np.zeros((2, 3)))
+
+
+class TestVectorizedEnumeration:
+    """The hoisted candidate enumeration behind the batch probe path."""
+
+    def test_candidate_sets_validate_inputs(self):
+        from repro.lsh.multiprobe import probe_candidate_sets
+
+        with pytest.raises(ValidationError):
+            probe_candidate_sets(0, 4)
+        with pytest.raises(ValidationError):
+            probe_candidate_sets(8, -1)
+        assert probe_candidate_sets(8, 0) == []
+
+    def test_candidate_sets_cover_heap_output(self):
+        """Every heap-enumerated set appears in the candidate family."""
+        from repro.lsh.multiprobe import probe_candidate_sets
+
+        rng = np.random.default_rng(0)
+        for n_probes in (1, 4, 9):
+            candidates = set(probe_candidate_sets(12, n_probes))
+            for _ in range(20):
+                fractions = rng.uniform(0.001, 0.999, size=6)
+                scores = np.concatenate(
+                    [fractions**2, (1.0 - fractions) ** 2]
+                )
+                order = np.argsort(scores, kind="stable")
+                rank_of = np.empty(12, dtype=np.intp)
+                rank_of[order] = np.arange(12)
+                for sets in perturbation_sets(fractions, n_probes):
+                    positions = tuple(
+                        sorted(
+                            int(rank_of[c if d < 0 else c + 6])
+                            for c, d in sets
+                        )
+                    )
+                    assert positions in candidates
+
+    def test_partner_positions_mirror(self):
+        """Sorted-rank mirror symmetry, the hoist's validity premise."""
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            fractions = rng.uniform(0.0, 1.0, size=9)
+            scores = np.concatenate([fractions**2, (1.0 - fractions) ** 2])
+            order = np.argsort(scores, kind="stable")
+            rank_of = np.empty(18, dtype=np.intp)
+            rank_of[order] = np.arange(18)
+            for c in range(9):
+                assert rank_of[c] + rank_of[c + 9] == 17
+
+    @pytest.mark.parametrize("n_probes", [1, 3, 8, 20])
+    def test_batch_keys_match_heap_enumeration(self, small_index, n_probes):
+        data, index = small_index
+        rng = np.random.default_rng(7)
+        points = data[rng.choice(data.shape[0], size=25, replace=False)]
+        points = points + rng.normal(scale=0.2, size=points.shape)
+        fast = MultiProbeQuerier(index, n_probes=n_probes)
+        slow = MultiProbeQuerier(index, n_probes=n_probes)
+        slow._probe_plan = lambda mu: None  # force the per-query heap
+        for table in index._tables:
+            k_fast, o_fast = fast._probe_keys_with_ids(table, points)
+            k_slow, o_slow = slow._probe_keys_with_ids(table, points)
+            np.testing.assert_array_equal(k_fast, k_slow)
+            np.testing.assert_array_equal(o_fast, o_slow)
+
+    def test_heap_fallback_above_cap(self, small_index):
+        from repro.lsh import multiprobe as mp
+
+        _, index = small_index
+        querier = MultiProbeQuerier(
+            index, n_probes=mp._VECTOR_PROBE_CAP + 1
+        )
+        assert querier._probe_plan(10) is None
+
+    def test_plan_cached_per_family(self, small_index):
+        _, index = small_index
+        querier = MultiProbeQuerier(index, n_probes=4)
+        plan = querier._probe_plan(10)
+        assert querier._probe_plan(10) is plan

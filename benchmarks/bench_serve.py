@@ -11,13 +11,20 @@ split into 2 shards (:class:`~repro.serve.plan.ShardPlanner`) and the
 same query sweep is served by a 2-process
 :class:`~repro.serve.sharded.ShardedClusterService`; its summed
 serve-side ``entries_computed`` is provably equal to the single-process
-number, so the same 10% CI gate pins the sharded path too.  Writes a
-machine-readable ``BENCH_serve.json``:
+number, so the same 10% CI gate pins the sharded path too.  The
+``tiny`` workload additionally runs an **ingest lane**: the same points
+arrive as a live stream through
+:class:`~repro.serve.ingest.IngestService` (sync re-peel), publishing a
+base snapshot plus one :class:`~repro.serve.snapshot.SnapshotDelta` per
+batch, each hot-applied to a running service — measuring absorb
+throughput, delta size against a full snapshot of the same state, and
+delta hot-reload latency.  Writes a machine-readable
+``BENCH_serve.json``:
 
 .. code-block:: json
 
     {
-      "schema_version": 1,
+      "schema_version": 3,
       "workloads": {
         "serve_full": {
           "queries_per_second": 123456.0,
@@ -64,9 +71,11 @@ from repro.datasets.synthetic import make_synthetic_mixture  # noqa: E402
 from repro.serve import (  # noqa: E402
     ClusterService,
     DetectionSnapshot,
+    IngestService,
     ShardPlanner,
     ShardedClusterService,
 )
+from repro.streaming import StreamingALID  # noqa: E402
 
 # Fixed workloads; sizes/seeds must never change silently (the CI gate
 # compares `entries_computed` against the committed baseline, which is
@@ -82,6 +91,11 @@ _BATCH = 1024
 # set and this many worker processes (the acceptance lane is `full`).
 SHARDED_WORKLOADS = ("full",)
 _SHARD_WORKERS = 2
+# Ingest lane: the same workload arrives as a live stream instead; the
+# lane measures absorb throughput, delta size vs a full snapshot, and
+# delta hot-reload latency through ClusterService.apply_delta.
+INGEST_WORKLOADS = ("tiny",)
+_INGEST_BATCH = 150
 
 
 def _make_data(size_key: str) -> np.ndarray:
@@ -205,6 +219,89 @@ def bench_serve_sharded(
     }
 
 
+def _dir_bytes(path: pathlib.Path) -> int:
+    return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
+
+
+def bench_ingest(size_key: str, scratch: pathlib.Path) -> dict:
+    """Stream the workload through the ingest tier, publishing a delta chain.
+
+    The first batch anchors the chain (``publish_base``); every later
+    batch publishes a :class:`~repro.serve.snapshot.SnapshotDelta`,
+    which is then hot-applied to a live
+    :class:`~repro.serve.service.ClusterService`.  ``entries_computed``
+    — total affinity work over the whole stream — is deterministic for
+    the fixed seed and gated against the committed baseline; sizes and
+    wall clocks are informational.
+    """
+    data = _make_data(size_key)
+    n = data.shape[0]
+    chain_root = scratch / f"chain_{size_key}"
+    chain_root.mkdir(parents=True, exist_ok=True)
+
+    service = IngestService(
+        StreamingALID(ALIDConfig(seed=_SEED)), repeel="sync"
+    )
+    serving = None
+    delta_bytes: list[int] = []
+    reload_walls: list[float] = []
+    absorbed = 0
+    ingest_wall = 0.0
+    try:
+        for number, lo in enumerate(range(0, n, _INGEST_BATCH)):
+            ingest_start = time.perf_counter()
+            report = service.ingest(data[lo : lo + _INGEST_BATCH])
+            ingest_wall += time.perf_counter() - ingest_start
+            absorbed += report.absorbed
+            if number == 0:
+                service.publish_base(chain_root / "base")
+                serving = ClusterService(chain_root / "base")
+            else:
+                delta_dir = chain_root / f"delta_{number - 1:04d}"
+                service.publish_delta(delta_dir)
+                delta_bytes.append(_dir_bytes(delta_dir))
+                reload_start = time.perf_counter()
+                serving.apply_delta(delta_dir)
+                reload_walls.append(time.perf_counter() - reload_start)
+        # Reference point: a full snapshot of the final state, the
+        # artifact each delta is an increment of.
+        full_dir = scratch / f"chain_full_{size_key}"
+        service.stream.to_snapshot().save(full_dir)
+        full_bytes = _dir_bytes(full_dir)
+        stats = service.stats()
+        entries = int(
+            service.stream.result().counters.entries_computed
+        )
+    finally:
+        if serving is not None:
+            serving.close()
+        service.close()
+    ingest_wall = max(ingest_wall, 1e-9)
+    return {
+        "n": int(n),
+        "dim": int(data.shape[1]),
+        "batch_size": _INGEST_BATCH,
+        "n_batches": number + 1,
+        "n_deltas": len(delta_bytes),
+        "n_clusters": int(stats["n_clusters"]),
+        "absorbed": int(absorbed),
+        "ingest_wall_seconds": round(ingest_wall, 4),
+        "points_per_second": round(n / ingest_wall, 1),
+        "entries_computed": entries,
+        "base_mb": round(_dir_bytes(chain_root / "base") / 1e6, 3),
+        "full_snapshot_mb": round(full_bytes / 1e6, 3),
+        "delta_mb_mean": round(
+            sum(delta_bytes) / max(len(delta_bytes), 1) / 1e6, 3
+        ),
+        "delta_to_full_ratio": round(
+            sum(delta_bytes) / max(len(delta_bytes), 1) / full_bytes, 4
+        ),
+        "delta_reload_ms_mean": round(
+            1e3 * sum(reload_walls) / max(len(reload_walls), 1), 2
+        ),
+    }
+
+
 def run(workload_keys: list[str], scratch: pathlib.Path) -> dict:
     workloads: dict[str, dict] = {}
     for key in workload_keys:
@@ -220,8 +317,11 @@ def run(workload_keys: list[str], scratch: pathlib.Path) -> dict:
             workloads[f"serve_{key}_sharded"] = bench_serve_sharded(
                 key, snapshot_dir, data, scratch
             )
+        if key in INGEST_WORKLOADS:
+            print(f"[bench_serve] ingest_{key} ...", flush=True)
+            workloads[f"ingest_{key}"] = bench_ingest(key, scratch)
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "python": platform.python_version(),
         "numpy": np.__version__,
         "workloads": workloads,

@@ -8,13 +8,16 @@ The serve-time story in four steps:
    (data matrix, LSH hash state, kernel, every cluster's converged
    strategy — with checksums, so corrupt artifacts never load);
 3. reload the snapshot as a *fresh process* would — nothing from the
-   fitting objects is reused, only the bytes on disk;
+   fitting objects is reused, only the bytes on disk.  Both backends
+   open through one call, :func:`repro.serve.connect`: it returns a
+   :class:`~repro.serve.client.ClusterHandle` whose
+   ``assign``/``stats``/``close`` surface is identical either way;
 4. answer "which dominant cluster does this item belong to?" for a
-   query batch through :class:`~repro.serve.service.ClusterService`,
-   using the same Theorem 1 infectivity test streaming absorb applies;
-5. shard the same snapshot across two worker processes
-   (:class:`~repro.serve.sharded.ShardedClusterService`) and check the
-   answers are byte-identical to the single-process service.
+   query batch, using the same Theorem 1 infectivity test streaming
+   absorb applies;
+5. re-open the same snapshot with ``workers=2`` — connect() shards it
+   on the fly across two worker processes — and check the answers are
+   byte-identical to the single-process handle.
 
 Run:  python examples/serving_quickstart.py
 """
@@ -24,11 +27,7 @@ import tempfile
 import numpy as np
 
 from repro import ALID, ALIDConfig, make_synthetic_mixture
-from repro.serve import (
-    ClusterService,
-    DetectionSnapshot,
-    ShardedClusterService,
-)
+from repro.serve import DetectionSnapshot, connect
 
 
 def main() -> None:
@@ -49,7 +48,7 @@ def main() -> None:
 
         # --- 3. reload as a fresh process would ----------------------
         del detector, result  # nothing below touches the fitting objects
-        service = ClusterService(path, mmap=True)
+        service = connect(path, mmap=True)
         stats = service.stats()
         print(
             f"reloaded: {stats['n_clusters']} clusters over "
@@ -82,9 +81,7 @@ def main() -> None:
 
         # --- 5. shard across worker processes ------------------------
         queries = np.vstack([near, far])
-        with ShardedClusterService.from_snapshot(
-            path, f"{scratch}/shards", n_shards=2
-        ) as sharded:
+        with connect(path, workers=2) as sharded:
             shard_answer = sharded.assign(queries)
             stats = sharded.stats()
             print(
@@ -95,6 +92,7 @@ def main() -> None:
                 f"identical work: "
                 f"{shard_answer.entries_computed == assignment.entries_computed}"
             )
+        service.close()
 
 
 if __name__ == "__main__":

@@ -3,19 +3,31 @@
 
 The paper closes with: "we will further extend ALID towards the online
 version to efficiently process streaming data sources."  This example
-runs that extension: news articles arrive day by day; existing events
-absorb their follow-up coverage, brand-new events are discovered the
-moment enough similar articles have accumulated, and background noise
-never forms a cluster.  At the end, the oldest day's articles *expire*
-(retirement): events losing coverage re-converge over their surviving
-articles and events losing dominance dissolve.
+runs that extension end to end, *including the serving side*:
+
+* news articles arrive day by day through the live-corpus ingest tier
+  (:class:`~repro.serve.ingest.IngestService`): existing events absorb
+  their follow-up coverage, dirtied collision regions are re-peeled so
+  brand-new events emerge the moment enough similar articles have
+  accumulated, and background noise never forms a cluster;
+* after day 1 a **base snapshot** is published and a serving handle
+  opens over it (:func:`repro.serve.connect`); every following day
+  publishes an **incremental delta** — appended rows, LSH insert state
+  and replaced clusters only — which the handle hot-applies without
+  ever reloading the full corpus;
+* at the end, the oldest day's articles *expire* (retirement): events
+  losing coverage re-converge over their surviving articles and events
+  losing dominance dissolve.
 
 Run:  python examples/streaming_events.py
 """
 
+import tempfile
+
 import numpy as np
 
-from repro import ALIDConfig, make_nart
+from repro import ALIDConfig, average_f1, make_nart
+from repro.serve import IngestService, connect
 from repro.streaming import StreamingALID
 
 
@@ -26,27 +38,50 @@ def main() -> None:
     n_days = 6
     day_slices = np.array_split(order, n_days)
 
-    stream = StreamingALID(ALIDConfig(delta=300, seed=0))
+    ingest = IngestService(
+        StreamingALID(ALIDConfig(delta=300, seed=0)), repeel="sync"
+    )
     print(
         f"streaming {corpus.n} articles over {n_days} 'days'; "
         f"{corpus.n_true_clusters} hot events hide in the stream\n"
     )
-    for day, indices in enumerate(day_slices, start=1):
-        snapshot = stream.partial_fit(corpus.data[indices])
-        sizes = sorted((c.size for c in snapshot.clusters), reverse=True)
-        print(
-            f"day {day}: +{len(indices):4d} articles -> "
-            f"{snapshot.n_clusters:2d} live events "
-            f"(sizes: {sizes[:6]}{'...' if len(sizes) > 6 else ''})"
-        )
+    with tempfile.TemporaryDirectory(prefix="alid_chain_") as scratch:
+        serving = None
+        probe = corpus.data[order[:32]]
+        for day, indices in enumerate(day_slices, start=1):
+            report = ingest.ingest(corpus.data[indices])
+            print(
+                f"day {day}: +{len(indices):4d} articles "
+                f"({report.absorbed:3d} absorbed into live events) -> "
+                f"{report.n_clusters:2d} live events"
+            )
+            if day == 1:
+                # Publish the chain anchor and open the serving front.
+                ingest.publish_base(f"{scratch}/base")
+                serving = connect(f"{scratch}/base")
+            else:
+                # Publish what changed; the serving handle hot-applies
+                # it without reloading the unchanged clusters.
+                delta = ingest.publish_delta(f"{scratch}/day{day}")
+                serving.apply_delta(f"{scratch}/day{day}")
+                print(
+                    f"        delta day{day}: +{delta.n_appended} rows, "
+                    f"{delta.n_upserted} event(s) refreshed/new; "
+                    f"serving now answers over "
+                    f"{serving.stats()['n_clusters']} events"
+                )
+            answered = serving.assign(probe)
+            print(
+                f"        probe: {int(answered.assigned_mask.sum())}/32 "
+                f"early articles recognised by the live service"
+            )
+        serving.close()
 
-    final = stream.result()
+    final = ingest.stream.result()
     # Evaluate against ground truth (indices were permuted on arrival).
     truth_streamed = [
         np.flatnonzero(np.isin(order, t)) for t in corpus.truth_clusters()
     ]
-    from repro import average_f1
-
     avg = average_f1(final.member_lists(), truth_streamed)
     print(f"\nfinal AVG-F against ground truth: {avg:.3f}")
     print(
@@ -57,12 +92,13 @@ def main() -> None:
     )
 
     # --- expiry: day 1's articles age out of the stream ----------------
-    expired = stream.retire(np.arange(day_slices[0].size))
+    expired = ingest.stream.retire(np.arange(day_slices[0].size))
     print(
         f"\nafter retiring day 1 ({day_slices[0].size} articles): "
         f"{expired.n_clusters} live events remain "
         f"({expired.metadata['retired']} articles tombstoned)"
     )
+    ingest.close()
 
 
 if __name__ == "__main__":

@@ -17,9 +17,13 @@ Public API highlights
 * evaluation (AVG-F, accounting, growth orders, external indices) in
   :mod:`repro.eval`; Appendix B's convergence model in
   :mod:`repro.analysis`; ASCII figure rendering in :mod:`repro.viz`;
-* serving: persistent detection snapshots and batch cluster assignment
+* serving: persistent detection snapshots, incremental snapshot deltas
+  and batch cluster assignment
   (:class:`~repro.serve.snapshot.DetectionSnapshot`,
-  :class:`~repro.serve.service.ClusterService`) in :mod:`repro.serve`.
+  :class:`~repro.serve.snapshot.SnapshotDelta`,
+  :func:`~repro.serve.client.connect`) in :mod:`repro.serve`, with
+  streaming ingest (:class:`~repro.streaming.online.StreamingALID`,
+  :class:`~repro.serve.ingest.IngestService`) feeding it live.
 
 Quickstart
 ----------
@@ -58,7 +62,12 @@ from repro.datasets import (
 from repro.ann import KDTree, SpillTree
 from repro.eval import average_f1, f1_score, loglog_slope
 from repro.lsh import LSHIndex, MultiProbeQuerier
-from repro.serve import ClusterService, DetectionSnapshot
+from repro.serve import (
+    ClusterService,
+    DetectionSnapshot,
+    SnapshotDelta,
+    connect,
+)
 from repro.streaming import StreamingALID
 
 __version__ = "1.0.0"
@@ -87,7 +96,9 @@ __all__ = [
     "f1_score",
     "loglog_slope",
     "ClusterService",
+    "connect",
     "DetectionSnapshot",
+    "SnapshotDelta",
     "KDTree",
     "LSHIndex",
     "MultiProbeQuerier",

@@ -21,7 +21,14 @@ Commands
     Load a snapshot and assign a batch of query points to its dominant
     clusters (the serve-time workload).  With ``--workers N`` the
     snapshot is sharded on the fly and served by N worker processes
-    (identical assignments, see :mod:`repro.serve.sharded`).
+    (identical assignments, see :mod:`repro.serve.sharded`).  Both
+    paths go through :func:`repro.serve.connect`.
+``ingest``
+    Stream a dataset batch-by-batch through the live-corpus ingest
+    tier (:mod:`repro.serve.ingest`): absorb each batch, re-peel the
+    dirtied collision regions, and publish a base snapshot plus one
+    incremental delta per subsequent batch — the artifact chain a
+    serving process hot-applies with ``ClusterHandle.apply_delta``.
 
 Examples
 --------
@@ -33,6 +40,7 @@ Examples
     python -m repro snapshot --input nart.npz --out nart_snapshot
     python -m repro shard --snapshot nart_snapshot --out nart_shards --shards 4
     python -m repro assign --snapshot nart_snapshot --queries nart.npz --workers 2
+    python -m repro ingest --input nart.npz --out nart_chain --batch-size 500
 """
 
 from __future__ import annotations
@@ -197,6 +205,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="candidate-cluster shortlist mode")
     assign.add_argument("--out", default=None,
                         help="save per-query labels/scores .npz here")
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a dataset into a live corpus, publishing deltas",
+    )
+    ingest.add_argument("--input", required=True,
+                        help="dataset .npz whose items arrive in batches")
+    ingest.add_argument("--out", required=True,
+                        help="chain directory: base/ plus delta_NNNN/ "
+                             "subdirectories")
+    ingest.add_argument("--batch-size", type=int, default=200,
+                        help="arriving items per ingest batch (default 200)")
+    ingest.add_argument("--delta", type=int, default=800)
+    ingest.add_argument("--density-threshold", type=float, default=0.75)
+    ingest.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -406,12 +429,11 @@ def _cmd_shard(args) -> int:
 def _cmd_assign(args) -> int:
     import contextlib
     import pathlib
-    import tempfile
     import time
 
     import numpy as np
 
-    from repro.serve import ClusterService, ShardedClusterService
+    from repro.serve import connect
 
     queries = load_dataset(args.queries).data
     with contextlib.ExitStack() as stack:
@@ -424,23 +446,19 @@ def _cmd_assign(args) -> int:
                     f"note: {args.snapshot} is a shard plan; serving with "
                     f"its planned shard count, --workers ignored"
                 )
-            service = stack.enter_context(
-                ShardedClusterService(args.snapshot, mmap=True)
-            )
+            service = stack.enter_context(connect(args.snapshot))
             served_by = f"{service.n_shards} shard worker(s)"
         elif args.workers > 1:
-            # Shard the snapshot on the fly into a scratch plan.
-            scratch = stack.enter_context(
-                tempfile.TemporaryDirectory(prefix="repro_shards_")
-            )
+            # connect() shards the snapshot on the fly into a managed
+            # scratch plan (removed again when the handle closes).
             service = stack.enter_context(
-                ShardedClusterService.from_snapshot(
-                    args.snapshot, scratch, n_shards=args.workers
-                )
+                connect(args.snapshot, workers=args.workers)
             )
             served_by = f"{service.n_shards} shard worker(s)"
         else:
-            service = ClusterService(args.snapshot, mmap=args.mmap)
+            service = stack.enter_context(
+                connect(args.snapshot, mmap=args.mmap)
+            )
             served_by = "1 process"
         start = time.perf_counter()
         assignment = service.assign(queries, shortlist=args.shortlist)
@@ -472,6 +490,69 @@ def _cmd_assign(args) -> int:
     return 0
 
 
+def _dir_bytes(path) -> int:
+    """Total payload bytes of an artifact directory (recursive)."""
+    return sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
+
+
+def _cmd_ingest(args) -> int:
+    import pathlib
+
+    from repro.serve import IngestService
+    from repro.streaming import StreamingALID
+
+    if args.batch_size < 1:
+        raise ValidationError(
+            f"--batch-size must be >= 1, got {args.batch_size}"
+        )
+    dataset = load_dataset(args.input)
+    out = pathlib.Path(args.out)
+    config = ALIDConfig(
+        delta=args.delta,
+        density_threshold=args.density_threshold,
+        seed=args.seed,
+    )
+    step = args.batch_size
+    published = []
+    # Synchronous re-peel: the CLI is a batch tool, so the published
+    # chain must be deterministic for a given input and seed.
+    with IngestService(StreamingALID(config), repeel="sync") as service:
+        for number, lo in enumerate(range(0, dataset.n, step)):
+            report = service.ingest(dataset.data[lo:lo + step])
+            print(
+                f"batch {number:3d}: {report.n_points:5d} points, "
+                f"{report.absorbed:5d} absorbed, "
+                f"{report.dirty_marked:5d} re-peeled, "
+                f"{report.n_clusters:3d} cluster(s), "
+                f"{report.entries_computed:,} affinity entries"
+            )
+            if number == 0:
+                snapshot = service.publish_base(out / "base")
+                published.append(
+                    f"  base: {snapshot.n_clusters} cluster(s), "
+                    f"{snapshot.n_items} items, "
+                    f"{_dir_bytes(out / 'base'):,} bytes"
+                )
+            else:
+                name = f"delta_{number - 1:04d}"
+                delta = service.publish_delta(out / name)
+                published.append(
+                    f"  {name}: +{delta.n_appended} rows, "
+                    f"-{delta.n_removed}/+{delta.n_upserted} cluster(s), "
+                    f"{_dir_bytes(out / name):,} bytes"
+                )
+        stats = service.stats()
+    print(f"wrote chain {out}: base + {len(published) - 1} delta(s)")
+    for line in published:
+        print(line)
+    print(
+        f"final corpus: {stats['n_items']} items, "
+        f"{stats['n_clusters']} cluster(s), chain tip "
+        f"{str(stats['chain_tip'])[:12]}..."
+    )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "detect": _cmd_detect,
@@ -480,6 +561,7 @@ _COMMANDS = {
     "snapshot": _cmd_snapshot,
     "shard": _cmd_shard,
     "assign": _cmd_assign,
+    "ingest": _cmd_ingest,
 }
 
 

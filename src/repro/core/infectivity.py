@@ -33,6 +33,7 @@ __all__ = [
     "item_payoffs",
     "point_payoffs",
     "infective_mask",
+    "max_item_payoffs",
 ]
 
 
@@ -94,6 +95,34 @@ def point_payoffs(
     return cluster_payoffs(
         oracle.point_block(points, members), weights, density
     )
+
+
+def max_item_payoffs(
+    oracle: AffinityOracle, items: np.ndarray, clusters
+) -> np.ndarray:
+    """Best payoff margin of each indexed item over a set of clusters.
+
+    One counted :func:`item_payoffs` block per cluster, reduced with a
+    running maximum — the bulk form of "is this item infective against
+    *any* current cluster?".  The ingest tier
+    (:class:`~repro.serve.ingest.IngestService`) uses it to classify
+    items that absorption left behind: a near-miss margin just under the
+    tolerance is pool noise, a margin above it means the re-converged
+    strategy ejected the item and its collision component needs a
+    re-peel.  An empty cluster list yields ``-inf`` margins.
+    """
+    items = np.asarray(items)
+    best = np.full(items.shape[0], -np.inf)
+    for cluster in clusters:
+        pay = item_payoffs(
+            oracle,
+            items,
+            cluster.members,
+            cluster.weights,
+            cluster.density,
+        )
+        np.maximum(best, pay, out=best)
+    return best
 
 
 def infective_mask(payoffs: np.ndarray, tol: float) -> np.ndarray:

@@ -614,6 +614,27 @@ class LSHIndex:
             "active": self._active.copy(),
         }
 
+    def export_keys(self, start: int = 0) -> np.ndarray:
+        """Per-table bucket keys of items ``start..n`` as an ``(l, m)`` array.
+
+        The incremental slice of :meth:`export_state`'s ``item_keys``:
+        after a batch of :meth:`insert` calls, ``export_keys(old_n)``
+        is exactly the insert state those batches added — what a
+        :class:`~repro.serve.snapshot.SnapshotDelta` persists so a
+        parent snapshot's tables extend to the appended rows without
+        re-hashing.  Keys are position-stable: inserting never rewrites
+        an existing item's key, so the slice taken at publish time
+        matches what a later full :meth:`export_state` reports for the
+        same columns.
+        """
+        if not 0 <= start <= self.n:
+            raise ValidationError(
+                f"start must be in [0, {self.n}], got {start}"
+            )
+        return np.stack(
+            [t.item_keys[start:].copy() for t in self._tables]
+        )
+
     @classmethod
     def from_state(
         cls,

@@ -33,10 +33,19 @@ package is that separation made concrete for the reproduction:
 * :mod:`repro.serve.router` — :class:`BatchingRouter`, micro-batching
   scatter/gather with the densest-wins merge that makes sharded
   assignments byte-identical to the single-process path.
+* :mod:`repro.serve.ingest` — :class:`IngestService`, the live-corpus
+  write path: absorb arriving batches into a
+  :class:`~repro.streaming.online.StreamingALID`, re-peel dirtied
+  collision regions in the background, and publish
+  :class:`SnapshotDelta` artifacts recording exactly what changed.
+* :mod:`repro.serve.client` — :func:`connect`, the unified entry point:
+  one call returns a running service of either backend behind the
+  :class:`ClusterHandle` protocol
+  (``assign``/``apply_delta``/``reload``/``stats``/``close``).
 
 Exposed on the command line as ``repro snapshot`` / ``repro shard`` /
-``repro assign [--workers N]``.  See ``docs/serving.md`` for the
-artifact formats and semantics.
+``repro assign [--workers N]`` / ``repro ingest``.  See
+``docs/serving.md`` for the artifact formats and semantics.
 """
 
 from repro.serve.assigner import (
@@ -44,23 +53,40 @@ from repro.serve.assigner import (
     Assignment,
     ClusterAssigner,
 )
-from repro.serve.plan import ShardPlan, ShardPlanner, ShardSpec
+from repro.serve.client import ClusterHandle, connect
+from repro.serve.ingest import IngestReport, IngestService
+from repro.serve.plan import (
+    ShardPlan,
+    ShardPlanner,
+    ShardSpec,
+    replan_for_delta,
+)
 from repro.serve.router import BatchingRouter, merge_partials
 from repro.serve.service import ClusterService
 from repro.serve.sharded import ShardedClusterService, ShardWorker
 from repro.serve.snapshot import (
+    DELTA_FORMAT,
+    DELTA_SCHEMA_VERSION,
     SCHEMA_VERSION,
     SNAPSHOT_FORMAT,
     DetectionSnapshot,
+    SnapshotDelta,
 )
 
 __all__ = [
     "Assignment",
     "BatchingRouter",
     "ClusterAssigner",
+    "ClusterHandle",
     "ClusterService",
+    "connect",
+    "DELTA_FORMAT",
+    "DELTA_SCHEMA_VERSION",
     "DetectionSnapshot",
+    "IngestReport",
+    "IngestService",
     "merge_partials",
+    "replan_for_delta",
     "SCHEMA_VERSION",
     "SHORTLIST_MODES",
     "SNAPSHOT_FORMAT",
@@ -69,4 +95,5 @@ __all__ = [
     "ShardSpec",
     "ShardWorker",
     "ShardedClusterService",
+    "SnapshotDelta",
 ]

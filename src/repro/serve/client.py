@@ -1,0 +1,182 @@
+"""connect(): one serving client API over both service backends.
+
+The serve tier grew two fronts with the same verbs — the in-process
+:class:`~repro.serve.service.ClusterService` and the multi-process
+:class:`~repro.serve.sharded.ShardedClusterService` — each constructed
+differently (snapshot directory vs shard-plan directory vs in-memory
+snapshot, with or without a planning step).  :func:`connect` collapses
+the construction story to one call::
+
+    handle = repro.serve.connect(source)             # single-process
+    handle = repro.serve.connect(source, workers=4)  # sharded pool
+
+and both return objects satisfying the :class:`ClusterHandle` protocol:
+``assign`` / ``apply_delta`` / ``reload`` / ``stats`` / ``close`` (plus
+context-manager use).  The two backends already agree on the ``assign``
+signature and the two-scope ``stats`` schema, so code written against
+the handle runs unchanged on either.
+
+What *source* may be:
+
+* a **snapshot directory** — served in-process (``workers=None``/1) or
+  sharded on the fly (``workers>=2``; the shard set lands in a managed
+  scratch directory that :meth:`ClusterHandle.close` removes);
+* a **shard-plan directory** (contains ``plan.json``) — always the
+  sharded backend, one worker per planned shard (``workers`` must be
+  omitted or match the plan);
+* an in-memory :class:`~repro.serve.snapshot.DetectionSnapshot` —
+  served directly, or planned into the scratch directory when sharded.
+
+Delta support comes for free: ``connect`` wires the parent snapshot
+through to the sharded backend, so
+:meth:`~repro.serve.sharded.ShardedClusterService.apply_delta` performs
+its partial (touched-shards-only) reload on handles of either kind.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import shutil
+import tempfile
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.serve.assigner import Assignment
+from repro.serve.plan import PLAN_NAME, ShardPlan, ShardPlanner
+from repro.serve.service import ClusterService
+from repro.serve.sharded import ShardedClusterService
+from repro.serve.snapshot import DetectionSnapshot
+
+__all__ = ["ClusterHandle", "connect"]
+
+
+@runtime_checkable
+class ClusterHandle(Protocol):
+    """The unified serving surface both backends satisfy.
+
+    ``isinstance(obj, ClusterHandle)`` checks structurally (runtime
+    protocol): any object with these methods qualifies — which is
+    exactly the contract :func:`connect` promises, no matter which
+    backend it picked.
+    """
+
+    def assign(
+        self, queries: np.ndarray, *, shortlist: str = "lsh"
+    ) -> Assignment:
+        """Assign a query batch against the currently served state."""
+        ...  # pragma: no cover - protocol signature
+
+    def apply_delta(self, source, *, mmap: bool = False):
+        """Hot-apply an incremental snapshot delta."""
+        ...  # pragma: no cover - protocol signature
+
+    def reload(self, source) -> None:
+        """Atomic hot-swap to a newer full artifact."""
+        ...  # pragma: no cover - protocol signature
+
+    def stats(self) -> dict:
+        """Two-scope serving statistics (lifetime + per-snapshot)."""
+        ...  # pragma: no cover - protocol signature
+
+    def close(self) -> None:
+        """Release the served state; idempotent."""
+        ...  # pragma: no cover - protocol signature
+
+
+class _ScratchShardedService(ShardedClusterService):
+    """Sharded service over a connect-managed scratch shard directory.
+
+    Identical to its base in every serving behavior; :meth:`close`
+    additionally removes the scratch directory ``connect`` planned the
+    shards into (the caller never sees or owns that path).
+    """
+
+    _scratch: pathlib.Path | None = None
+
+    def close(self) -> None:
+        """Stop the pool, then remove the managed scratch directory."""
+        super().close()
+        scratch, self._scratch = self._scratch, None
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
+def connect(
+    source,
+    *,
+    workers: int | None = None,
+    mmap: bool = False,
+    **kwargs,
+) -> ClusterHandle:
+    """Open a serving handle over *source*, picking the right backend.
+
+    Parameters
+    ----------
+    source:
+        Snapshot directory, shard-plan directory (``plan.json``
+        present), or in-memory
+        :class:`~repro.serve.snapshot.DetectionSnapshot`.
+    workers:
+        ``None`` or ``1`` serves in-process; ``>= 2`` serves from that
+        many shard worker processes.  For a shard-plan *source* the pool
+        size is the plan's — pass ``workers`` only if it matches.
+    mmap:
+        Map array files read-only instead of copying (single-process
+        backend; shard workers always mmap their shards).
+    **kwargs:
+        Passed through to the sharded backend (``max_batch``,
+        ``on_worker_error``, ``start_timeout``, ``strategy``;
+        ``parent_source`` for a shard-plan *source* that should accept
+        deltas — snapshot sources wire it automatically).
+
+    Returns
+    -------
+    ClusterHandle
+        A running service; ``with connect(...) as handle:`` closes it
+        on exit.
+
+    Raises
+    ------
+    ValidationError
+        Unusable *workers* value, or worker/plan mismatch.
+    SnapshotError
+        Corrupt or missing artifacts (from the backend loaders).
+    """
+    if workers is not None and workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    if isinstance(source, (str, pathlib.Path)):
+        root = pathlib.Path(source)
+        if (root / PLAN_NAME).is_file():
+            plan = ShardPlan.load(root)
+            if workers is not None and workers != plan.n_shards:
+                raise ValidationError(
+                    f"source {root} is a {plan.n_shards}-shard plan; "
+                    f"workers={workers} cannot resize it — re-plan the "
+                    f"snapshot or drop the workers argument"
+                )
+            kwargs.pop("strategy", None)
+            return ShardedClusterService(root, **kwargs)
+    if workers is None or workers == 1:
+        if kwargs:
+            raise ValidationError(
+                f"unknown single-process options: {sorted(kwargs)}"
+            )
+        return ClusterService(source, mmap=mmap)
+    strategy = kwargs.pop("strategy", "balanced")
+    scratch = pathlib.Path(
+        tempfile.mkdtemp(prefix="repro-connect-shards-")
+    )
+    try:
+        ShardPlanner(n_shards=workers, strategy=strategy).plan(
+            source, scratch
+        )
+        service = _ScratchShardedService(
+            scratch, parent_source=source, **kwargs
+        )
+    except BaseException:
+        shutil.rmtree(scratch, ignore_errors=True)
+        raise
+    service._scratch = scratch
+    return service

@@ -1,0 +1,430 @@
+"""IngestService: streaming ingest wired into the serve tier.
+
+The live-corpus half of the serving story (the paper's §6 future work
+meets its §4.6 server database): a :class:`~repro.streaming.online.
+StreamingALID` absorbs arriving point batches on the write path, and
+what changed is published as incremental
+:class:`~repro.serve.snapshot.SnapshotDelta` artifacts the serving
+fronts (:class:`~repro.serve.service.ClusterService`,
+:class:`~repro.serve.sharded.ShardedClusterService`) hot-apply — reload
+cost scales with the churn, not with the corpus.
+
+Lifecycle of one batch::
+
+    ingest(points)
+      |-- StreamingALID.partial_fit(discover=False)
+      |     absorb: arriving items infective against an existing
+      |     cluster (the shared Theorem 1 criterion of
+      |     repro.core.infectivity) trigger that cluster's LID
+      |     re-convergence; everything else stays in the pool
+      |-- dirty-mark: items absorption left behind dirty their whole
+      |     LSH collision component (the reachability unit of a seeded
+      |     Alg. 2 run), queued for re-peeling
+      '-- background re-peel: a worker thread re-runs discovery over
+            the dirty regions only — new dominant clusters grow off the
+            ingest path, the way Shi et al.'s parallel correlation
+            clustering re-clusters affected subgraphs, not the graph
+
+    publish_base(dir)    a full DetectionSnapshot; the chain anchor
+    publish_delta(dir)   appended rows + LSH insert state + replaced/
+                         retired clusters since the last publish
+
+Publishing diffs the stream's cluster list against what was last
+published: a cluster whose support, weights, density or seed changed is
+*replaced* (its label lands in ``removed_labels`` and the refreshed
+cluster in the upserts), a vanished label is retired, a new label is a
+plain upsert.  Applying the delta chain is therefore exact: the
+resulting snapshot holds byte-identical rows, bucket keys and cluster
+strategies to a full snapshot written from the same stream state
+(pinned by ``tests/test_serve_delta.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import numpy as np
+
+from repro.core.infectivity import max_item_payoffs
+from repro.core.results import Cluster
+from repro.exceptions import ValidationError
+from repro.serve.snapshot import DetectionSnapshot, SnapshotDelta
+from repro.streaming.online import StreamingALID
+from repro.utils.timing import timed
+
+__all__ = ["IngestReport", "IngestService", "REPEEL_MODES"]
+
+REPEEL_MODES = ("background", "sync", "manual")
+
+
+@dataclasses.dataclass
+class IngestReport:
+    """Outcome of one :meth:`IngestService.ingest` call.
+
+    Attributes
+    ----------
+    n_points:
+        Points in the batch.
+    absorbed:
+        Points that joined an existing dominant cluster on the ingest
+        path (Theorem 1 infective, survived the re-convergence).
+    still_infective:
+        Unabsorbed points whose best payoff margin still exceeds the
+        tolerance — absorption *failed* for them (the re-converged
+        strategy ejected them), the strongest dirty signal.
+    dirty_marked:
+        Pool items whose collision components were marked dirty by this
+        batch (the re-peel workload it queued).
+    pending:
+        Dirty items still awaiting a re-peel after this call (zero in
+        ``"sync"`` mode).
+    n_clusters:
+        Dominant clusters after the ingest step.
+    entries_computed:
+        Affinity entries the absorb + dirty classification cost.
+    wall_seconds:
+        Wall-clock time of the synchronous part of the call.
+    """
+
+    n_points: int
+    absorbed: int
+    still_infective: int
+    dirty_marked: int
+    pending: int
+    n_clusters: int
+    entries_computed: int
+    wall_seconds: float
+
+
+def _same_cluster(a: Cluster, b: Cluster) -> bool:
+    """Whether two clusters carry an identical converged strategy."""
+    return (
+        a.label == b.label
+        and a.seed == b.seed
+        and a.density == b.density
+        and np.array_equal(a.members, b.members)
+        and np.array_equal(a.weights, b.weights)
+    )
+
+
+class IngestService:
+    """Accept point batches, maintain a live corpus, publish deltas.
+
+    Parameters
+    ----------
+    stream:
+        The :class:`~repro.streaming.online.StreamingALID` holding the
+        live corpus.  May be freshly constructed (the first batch
+        bootstraps it) or already fitted.
+    repeel:
+        ``"background"`` (default) re-peels dirty collision regions on
+        a worker thread, off the ingest path; ``"sync"`` re-peels
+        inside :meth:`ingest` before it returns (deterministic, used by
+        tests and the CLI); ``"manual"`` only queues — call
+        :meth:`repeel_now` yourself.
+
+    All stream access is serialized under one lock, so ingest, re-peel
+    and publishing never interleave mid-mutation; :meth:`flush` waits
+    for the background queue to drain before a deterministic publish.
+
+    Example
+    -------
+    >>> from repro import ALIDConfig, make_synthetic_mixture
+    >>> from repro.serve.ingest import IngestService
+    >>> from repro.streaming import StreamingALID
+    >>> ds = make_synthetic_mixture(n=400, regime="bounded", bound=200,
+    ...                             n_clusters=5, dim=20, seed=0)
+    >>> svc = IngestService(StreamingALID(ALIDConfig(delta=100, seed=0)),
+    ...                     repeel="sync")
+    >>> report = svc.ingest(ds.data[:200])
+    >>> report.n_points
+    200
+    >>> svc.close()
+    """
+
+    def __init__(self, stream: StreamingALID, *, repeel: str = "background"):
+        if repeel not in REPEEL_MODES:
+            raise ValidationError(
+                f"repeel must be one of {REPEEL_MODES}, got {repeel!r}"
+            )
+        self._stream = stream
+        self._repeel_mode = repeel
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._dirty: set[int] = set()
+        self._repeeling = False
+        self._closed = False
+        # Publishing bookkeeping: the delta chain tip and the state it
+        # covers.  None until publish_base() anchors the chain.
+        self._published_sha: str | None = None
+        self._published_n = 0
+        self._published_clusters: dict[int, Cluster] = {}
+        self._sequence = 0
+        # Lifetime counters for stats().
+        self._ingested = 0
+        self._absorbed = 0
+        self._repeel_runs = 0
+        self._repeel_discoveries = 0
+        self._wake = threading.Event()
+        self._thread: threading.Thread | None = None
+        if repeel == "background":
+            self._thread = threading.Thread(
+                target=self._repeel_loop,
+                name="repro-ingest-repeel",
+                daemon=True,
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    @property
+    def stream(self) -> StreamingALID:
+        """The underlying live stream (shared, lock before mutating)."""
+        return self._stream
+
+    @property
+    def pending(self) -> int:
+        """Dirty items currently awaiting a re-peel."""
+        with self._lock:
+            return len(self._dirty)
+
+    # ------------------------------------------------------------------
+    def ingest(self, points: np.ndarray) -> IngestReport:
+        """Absorb one batch; mark failed absorptions' regions dirty.
+
+        The synchronous part runs only the absorb step
+        (``partial_fit(discover=False)``): arrivals that are infective
+        against an existing cluster join it through that cluster's LID
+        re-convergence.  Everything left unassigned dirties its whole
+        LSH collision component, and the dirty set is re-peeled
+        according to the service's ``repeel`` mode.
+        """
+        if self._closed:
+            raise ValidationError("ingest service is closed")
+        with timed() as clock:
+            with self._lock:
+                stream = self._stream
+                before_entries = stream.result().counters.entries_computed
+                n_before = stream.n_items
+                stream.partial_fit(points, discover=False)
+                new = np.arange(n_before, stream.n_items, dtype=np.intp)
+                leftover = new[~stream.assigned_mask[new]]
+                absorbed = int(new.size - leftover.size)
+                still_infective = 0
+                dirty_marked = 0
+                if leftover.size:
+                    # Absorption failed for these arrivals; classify how
+                    # (near-miss noise vs ejected-though-infective) and
+                    # dirty their reachable collision regions.
+                    margins = max_item_payoffs(
+                        stream._make_oracle(), leftover, stream.clusters
+                    )
+                    still_infective = int(
+                        (margins > stream.config.tol).sum()
+                    )
+                    components = stream.collision_components()
+                    hit = np.unique(components[leftover])
+                    hit = hit[hit >= 0]
+                    if hit.size:
+                        region = np.flatnonzero(
+                            np.isin(components, hit)
+                        )
+                    else:
+                        region = leftover
+                    fresh = set(int(i) for i in region) - self._dirty
+                    dirty_marked = len(fresh)
+                    self._dirty.update(fresh)
+                after_entries = stream.result().counters.entries_computed
+                self._ingested += int(new.size)
+                self._absorbed += absorbed
+                n_clusters = stream.n_clusters
+            if self._repeel_mode == "sync":
+                self.repeel_now()
+                n_clusters = self._stream.n_clusters
+            elif self._repeel_mode == "background" and dirty_marked:
+                self._wake.set()
+            pending = self.pending
+        return IngestReport(
+            n_points=int(new.size),
+            absorbed=absorbed,
+            still_infective=still_infective,
+            dirty_marked=dirty_marked,
+            pending=pending,
+            n_clusters=n_clusters,
+            entries_computed=int(after_entries - before_entries),
+            wall_seconds=clock[0],
+        )
+
+    # ------------------------------------------------------------------
+    # re-peeling
+    # ------------------------------------------------------------------
+    def repeel_now(self) -> int:
+        """Re-peel every currently dirty region; return clusters grown."""
+        with self._lock:
+            grown = self._repeel_locked()
+            self._idle.notify_all()
+        return grown
+
+    def _repeel_locked(self) -> int:
+        """Drain the dirty set through targeted discovery (lock held)."""
+        if not self._dirty:
+            return 0
+        dirty = np.fromiter(self._dirty, dtype=np.intp, count=len(self._dirty))
+        self._dirty.clear()
+        before = self._stream.n_clusters
+        self._repeeling = True
+        try:
+            self._stream.discover(np.sort(dirty))
+        finally:
+            self._repeeling = False
+        grown = self._stream.n_clusters - before
+        self._repeel_runs += 1
+        self._repeel_discoveries += grown
+        return grown
+
+    def _repeel_loop(self) -> None:
+        while True:
+            self._wake.wait()
+            self._wake.clear()
+            if self._closed:
+                return
+            with self._lock:
+                self._repeel_locked()
+                self._idle.notify_all()
+
+    def flush(self, timeout: float | None = None) -> bool:
+        """Wait until no dirty work is queued or running; True on drain."""
+        if self._repeel_mode == "background":
+            self._wake.set()
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: not self._dirty and not self._repeeling,
+                timeout=timeout,
+            )
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish_base(self, path) -> DetectionSnapshot:
+        """Write the full current state; (re-)anchor the delta chain.
+
+        Returns the saved :class:`DetectionSnapshot`; subsequent
+        :meth:`publish_delta` calls record changes against it (and then
+        against each other) starting at sequence 0.
+        """
+        with self._lock:
+            snapshot = self._stream.to_snapshot(
+                meta={"published_by": "IngestService"}
+            )
+            snapshot.save(path)
+            self._published_sha = snapshot.manifest_sha256
+            self._published_n = snapshot.n_items
+            self._published_clusters = {
+                int(c.label): c for c in snapshot.clusters
+            }
+            self._sequence = 0
+        return snapshot
+
+    def publish_delta(self, path) -> SnapshotDelta:
+        """Write what changed since the last publish as a delta.
+
+        Appended rows ride with their per-table LSH bucket keys (the
+        parent's tables extend without re-hashing); clusters whose
+        strategy changed are replaced, vanished labels retired, new
+        labels upserted.  An idle corpus publishes a valid empty delta.
+
+        Raises
+        ------
+        ValidationError
+            When no base snapshot was published yet (a chain needs its
+            anchor), or the stream shrank (never happens through this
+            service's own API).
+        """
+        with self._lock:
+            if self._published_sha is None:
+                raise ValidationError(
+                    "no base snapshot published; call publish_base() "
+                    "before publishing deltas"
+                )
+            stream = self._stream
+            n_now = stream.n_items
+            if n_now < self._published_n:
+                raise ValidationError(
+                    f"stream shrank below the published state "
+                    f"({n_now} < {self._published_n})"
+                )
+            appended = np.ascontiguousarray(
+                np.asarray(stream.data)[self._published_n:],
+                dtype=np.float64,
+            )
+            appended_keys = stream.export_appended_keys(self._published_n)
+            current = {int(c.label): c for c in stream.clusters}
+            removed = [
+                label
+                for label in self._published_clusters
+                if label not in current
+                or not _same_cluster(
+                    self._published_clusters[label], current[label]
+                )
+            ]
+            upserts = [
+                cluster
+                for label, cluster in current.items()
+                if label not in self._published_clusters
+                or not _same_cluster(
+                    self._published_clusters[label], cluster
+                )
+            ]
+            delta = SnapshotDelta(
+                parent_sha256=self._published_sha,
+                parent_n_items=self._published_n,
+                sequence=self._sequence,
+                appended_data=appended,
+                appended_item_keys=appended_keys,
+                removed_labels=np.asarray(sorted(removed), dtype=np.int64),
+                clusters=sorted(upserts, key=lambda c: int(c.label)),
+                meta={
+                    "published_by": "IngestService",
+                    "stream_batches": stream._batches,
+                },
+            )
+            delta.save(path)
+            self._published_sha = delta.manifest_sha256
+            self._published_n = n_now
+            self._published_clusters = current
+            self._sequence += 1
+        return delta
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Ingest-side counters (lifetime scope)."""
+        with self._lock:
+            return {
+                "n_items": self._stream.n_items,
+                "n_clusters": self._stream.n_clusters,
+                "ingested": self._ingested,
+                "absorbed": self._absorbed,
+                "pending": len(self._dirty),
+                "repeel_runs": self._repeel_runs,
+                "repeel_discoveries": self._repeel_discoveries,
+                "published_sequence": self._sequence,
+                "published_n_items": self._published_n,
+                "chain_tip": self._published_sha,
+            }
+
+    def close(self) -> None:
+        """Stop the background re-peel thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "IngestService":
+        """Context-manager entry (the service is already running)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: stop the re-peel thread."""
+        self.close()

@@ -78,6 +78,7 @@ __all__ = [
     "ShardPlan",
     "ShardPlanner",
     "ShardSpec",
+    "replan_for_delta",
     "PLAN_NAME",
     "PLAN_SCHEMA_VERSION",
     "SHARD_PLAN_FORMAT",
@@ -361,10 +362,12 @@ class ShardPlanner:
         """
         if isinstance(source, DetectionSnapshot):
             snapshot = source
-            parent_sha: str | None = None
         else:
             snapshot = DetectionSnapshot.load(source, mmap=True)
-            parent_sha = _sha256_of(pathlib.Path(source) / MANIFEST_NAME)
+        # The manifest SHA doubles as the delta-chain anchor: a snapshot
+        # loaded from (or ever saved to) disk carries it, and
+        # ShardedClusterService.apply_delta verifies chains against it.
+        parent_sha = snapshot.manifest_sha256
         if snapshot.n_clusters == 0:
             raise ValidationError(
                 "snapshot holds no dominant clusters; there is nothing "
@@ -502,3 +505,107 @@ class ShardPlanner:
             manifest_sha256=_sha256_of(shard_dir / MANIFEST_NAME),
             items_sha256=_sha256_of(items_path),
         )
+
+
+def replan_for_delta(
+    plan: ShardPlan,
+    snapshot: DetectionSnapshot,
+    removed_labels,
+    upserted_labels,
+) -> "tuple[ShardPlan, list[int]] | None":
+    """Rewrite only the shards a delta touched; keep the rest on disk.
+
+    *snapshot* is the **post-delta** full snapshot
+    (:meth:`~repro.serve.snapshot.SnapshotDelta.apply` output) and
+    *removed_labels* / *upserted_labels* are the delta's change set.
+    Shard ownership follows the current *plan*: a removed or replaced
+    label touches the shard that owns it; a brand-new label lands on the
+    lightest already-touched shard (by recorded rows, ties to the lower
+    shard id), or the lightest shard overall when the delta only adds
+    clusters.  Untouched shard directories are not rewritten — their
+    spec entries (checksums included) carry over verbatim, which is what
+    lets :meth:`~repro.serve.sharded.ShardedClusterService.apply_delta`
+    keep those workers' processes running.
+
+    ``plan.json`` is removed first and the updated plan written last, so
+    an interrupted rewrite reads as a clean missing-plan state, and
+    replaced shard files go through the snapshot writer's
+    write-to-temp + rename — a worker still mmap-serving the old shard
+    keeps its inodes.
+
+    Returns
+    -------
+    tuple[ShardPlan, list[int]] | None
+        The saved updated plan and the sorted touched shard ids —
+        or ``None`` when some touched shard would end up with zero
+        clusters, in which case the caller must fall back to a full
+        re-plan (an empty shard is not a servable artifact).
+    """
+    label_to_shard = {
+        int(label): spec.shard_id
+        for spec in plan.shards
+        for label in spec.labels
+    }
+    removed = {int(label) for label in removed_labels}
+    upserted = {int(label) for label in upserted_labels}
+    unknown = removed - set(label_to_shard)
+    if unknown:
+        raise ValidationError(
+            f"delta removes labels {sorted(unknown)} that no shard in "
+            f"{plan.root} owns — the plan does not match the delta's "
+            f"parent snapshot"
+        )
+    # Survivors keep their shard (and their within-shard order);
+    # replaced labels (removed + re-upserted) come back to the shard
+    # that owned them.
+    new_sets = {
+        spec.shard_id: [
+            int(label) for label in spec.labels if int(label) not in removed
+        ]
+        for spec in plan.shards
+    }
+    touched = {
+        label_to_shard[label]
+        for label in removed | (upserted & set(label_to_shard))
+    }
+    for label in sorted(upserted & set(label_to_shard)):
+        if label in removed:
+            new_sets[label_to_shard[label]].append(label)
+    fresh = sorted(upserted - set(label_to_shard))
+    if fresh:
+        candidates = sorted(touched) or [s.shard_id for s in plan.shards]
+        target = min(
+            candidates, key=lambda sid: (plan.shards[sid].n_items, sid)
+        )
+        touched.add(target)
+        new_sets[target].extend(fresh)
+    if any(not new_sets[sid] for sid in touched):
+        return None
+    label_to_row = {
+        int(c.label): row for row, c in enumerate(snapshot.clusters)
+    }
+    strategy = plan.strategy if plan.strategy in STRATEGIES else "balanced"
+    planner = ShardPlanner(n_shards=len(plan.shards), strategy=strategy)
+    (plan.root / PLAN_NAME).unlink(missing_ok=True)
+    specs = list(plan.shards)
+    for sid in sorted(touched):
+        rows = [label_to_row[label] for label in new_sets[sid]]
+        specs[sid] = planner._write_shard(
+            snapshot,
+            snapshot.manifest_sha256,
+            plan.root,
+            sid,
+            rows,
+            len(plan.shards),
+        )
+    new_plan = ShardPlan(
+        root=plan.root,
+        parent_manifest_sha256=snapshot.manifest_sha256,
+        parent_n_items=snapshot.n_items,
+        parent_n_clusters=snapshot.n_clusters,
+        parent_dim=snapshot.dim,
+        strategy=plan.strategy,
+        shards=specs,
+    )
+    new_plan.save()
+    return new_plan, sorted(touched)

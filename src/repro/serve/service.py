@@ -35,8 +35,9 @@ import threading
 
 import numpy as np
 
+from repro.exceptions import ValidationError
 from repro.serve.assigner import Assignment, ClusterAssigner
-from repro.serve.snapshot import DetectionSnapshot
+from repro.serve.snapshot import DetectionSnapshot, SnapshotDelta
 
 __all__ = ["ClusterService"]
 
@@ -165,6 +166,7 @@ class ClusterService:
         self._lock = threading.Lock()
         self._counters = _ServingCounters()
         self._source = None
+        self._closed = False
         self._snapshot: DetectionSnapshot | None = None
         self._assigner: ClusterAssigner | None = None
         self._install(source, mmap)
@@ -207,6 +209,8 @@ class ClusterService:
         :meth:`reload` never switches snapshots mid-batch.
         """
         assigner = self._assigner
+        if assigner is None:
+            raise ValidationError("service is closed")
         result = assigner.assign(queries, shortlist=shortlist)
         with self._lock:
             self._counters.record_batch(
@@ -227,9 +231,57 @@ class ClusterService:
         on unchanged while the per-snapshot counters of :meth:`stats`
         restart at zero for the new artifact.
         """
+        if self._closed:
+            raise ValidationError("service is closed")
         self._install(source, mmap)
         with self._lock:
             self._counters.record_reload()
+
+    def apply_delta(self, source, *, mmap: bool = False) -> None:
+        """Hot-apply an incremental :class:`SnapshotDelta`.
+
+        *source* is a delta directory path or a loaded
+        :class:`~repro.serve.snapshot.SnapshotDelta`.  The delta is
+        loaded, checksum-verified and applied to the **currently
+        served** snapshot entirely off to the side —
+        :meth:`SnapshotDelta.apply` refuses a delta whose recorded
+        parent manifest SHA does not match the serving snapshot's, so
+        chains cannot be applied out of order — and the result swaps in
+        through the same atomic path as :meth:`reload`.  Any
+        :class:`~repro.exceptions.SnapshotError` propagates with the
+        old snapshot still serving; a successful apply counts as a
+        reload in :meth:`stats` (snapshot-scope counters restart).
+        """
+        if self._closed:
+            raise ValidationError("service is closed")
+        if isinstance(source, SnapshotDelta):
+            delta = source
+        else:
+            delta = SnapshotDelta.load(source, mmap=mmap)
+        self._install(delta.apply(self._snapshot), mmap)
+        with self._lock:
+            self._counters.record_reload()
+
+    def close(self) -> None:
+        """Release the snapshot; later :meth:`assign` calls raise.
+
+        Idempotent.  Mirrors
+        :meth:`~repro.serve.sharded.ShardedClusterService.close` so the
+        unified :func:`~repro.serve.client.connect` handle can always
+        be closed regardless of backend.
+        """
+        with self._lock:
+            self._closed = True
+            self._snapshot = None
+            self._assigner = None
+
+    def __enter__(self) -> "ClusterService":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: release the snapshot."""
+        self.close()
 
     def stats(self) -> dict:
         """Serving statistics at lifetime and per-snapshot scope.
@@ -242,10 +294,15 @@ class ClusterService:
         exact under concurrent :meth:`assign` calls.
         """
         with self._lock:
+            snapshot = self._snapshot
             return {
                 "source": self._source,
-                "n_items": self._snapshot.n_items,
-                "n_clusters": len(self._snapshot.clusters),
-                **self._counters.lifetime_dict(),
-                "snapshot": self._counters.snapshot_dict(),
+                "n_items": 0 if snapshot is None else snapshot.n_items,
+                "n_clusters": (
+                    0 if snapshot is None else len(snapshot.clusters)
+                ),
+                **self._counters.lifetime_dict(with_degraded=True),
+                "snapshot": self._counters.snapshot_dict(
+                    with_degraded=True
+                ),
             }

@@ -53,16 +53,17 @@ import multiprocessing
 import os
 import pathlib
 import threading
+import warnings
 
 import numpy as np
 
-from repro.exceptions import ValidationError, WorkerError
+from repro.exceptions import SnapshotError, ValidationError, WorkerError
 from repro.serve.assigner import Assignment, ClusterAssigner
 from repro.serve.ipc import recv_message, send_message
-from repro.serve.plan import ShardPlan
+from repro.serve.plan import ShardPlan, ShardPlanner, replan_for_delta
 from repro.serve.router import BatchingRouter
 from repro.serve.service import _ServingCounters
-from repro.serve.snapshot import DetectionSnapshot
+from repro.serve.snapshot import DetectionSnapshot, SnapshotDelta
 
 __all__ = ["ShardWorker", "ShardedClusterService"]
 
@@ -336,6 +337,13 @@ class ShardedClusterService:
         :class:`~repro.serve.router.BatchingRouter`).
     on_worker_error:
         ``"raise"`` (default) or ``"skip"`` — the degraded-mode policy.
+    parent_source:
+        The plan's parent snapshot (a directory path or loaded
+        :class:`DetectionSnapshot`), required only for
+        :meth:`apply_delta` — partial re-planning needs the full
+        corpus, which no single shard holds.  Loaded ``mmap=True`` when
+        given as a path.  :func:`repro.serve.client.connect` wires this
+        automatically.
 
     Example
     -------
@@ -354,6 +362,7 @@ class ShardedClusterService:
         max_batch: int = 1024,
         on_worker_error: str = "raise",
         start_timeout: float = 120.0,
+        parent_source=None,
     ):
         # Reject bad knobs before any worker is forked (the router would
         # only catch them after the whole pool came up).
@@ -375,6 +384,12 @@ class ShardedClusterService:
         self._plan: ShardPlan | None = None
         self._workers: list[ShardWorker] = []
         self._router: BatchingRouter | None = None
+        if parent_source is None or isinstance(
+            parent_source, DetectionSnapshot
+        ):
+            self._full: DetectionSnapshot | None = parent_source
+        else:
+            self._full = DetectionSnapshot.load(parent_source, mmap=True)
         plan, workers, router = self._spawn(root)
         self._plan, self._workers, self._router = plan, workers, router
 
@@ -391,16 +406,22 @@ class ShardedClusterService:
     ) -> "ShardedClusterService":
         """Plan *snapshot_source* into *shard_root*, then serve it.
 
-        Convenience for the CLI's ``repro assign --workers N`` path:
-        one call takes a fitted snapshot (directory or in-memory) to a
-        running worker pool.
+        .. deprecated::
+            Use :func:`repro.serve.connect` with ``workers=n_shards``
+            instead — it returns the same running pool behind the
+            unified :class:`~repro.serve.client.ClusterHandle` protocol
+            and manages the scratch shard directory for you.
         """
-        from repro.serve.plan import ShardPlanner
-
+        warnings.warn(
+            "ShardedClusterService.from_snapshot is deprecated; use "
+            "repro.serve.connect(source, workers=n_shards) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         ShardPlanner(n_shards=n_shards, strategy=strategy).plan(
             snapshot_source, shard_root
         )
-        return cls(shard_root, **kwargs)
+        return cls(shard_root, parent_source=snapshot_source, **kwargs)
 
     def _spawn(
         self, root
@@ -507,6 +528,137 @@ class ShardedClusterService:
             old_router.wait_idle()
         for worker in old_workers:
             worker.stop()
+
+    def apply_delta(self, source, *, mmap: bool = False) -> list[int]:
+        """Hot-apply a :class:`SnapshotDelta` with a partial reload.
+
+        The delta is verified against (and applied to) the tracked
+        parent snapshot — the service must have been built with
+        ``parent_source`` (or via :func:`repro.serve.connect`).  Only
+        the shards whose clusters the delta removed or replaced are
+        rewritten on disk and respawned; every untouched worker keeps
+        its process (same pid, pinned by ``tests/test_serve_delta.py``)
+        and never re-reads its shard.  A brand-new cluster lands on the
+        lightest touched shard (or the lightest shard overall for a
+        pure-addition delta).  When a touched shard would end up
+        empty — an unservable artifact — the whole shard set is
+        re-planned and reloaded instead.
+
+        Returns the sorted shard ids that were respawned (empty for a
+        pure-append delta, which only advances the plan's recorded
+        parent).  On any failure — chain mismatch, corrupt delta,
+        worker that cannot load — the old pool keeps serving untouched.
+
+        Counts as one reload in :meth:`stats`, exactly like
+        :meth:`reload`.
+        """
+        if self._full is None:
+            raise ValidationError(
+                "this service does not track its parent snapshot; "
+                "construct it with parent_source= (or through "
+                "repro.serve.connect) to apply deltas"
+            )
+        if isinstance(source, SnapshotDelta):
+            delta = source
+        else:
+            delta = SnapshotDelta.load(source, mmap=mmap)
+        with self._lock:
+            plan = self._plan
+            if self._router is None or plan is None:
+                raise WorkerError(
+                    "service is closed; no shard workers are running"
+                )
+        if (
+            plan.parent_manifest_sha256 is not None
+            and self._full.manifest_sha256 != plan.parent_manifest_sha256
+        ):
+            raise SnapshotError(
+                "tracked parent snapshot does not match the serving "
+                "plan's recorded parent "
+                f"({str(self._full.manifest_sha256)[:12]}... vs "
+                f"{plan.parent_manifest_sha256[:12]}...)"
+            )
+        new_full = delta.apply(self._full)
+        replanned = replan_for_delta(
+            plan,
+            new_full,
+            delta.removed_labels,
+            [c.label for c in delta.clusters],
+        )
+        if replanned is None:
+            # A touched shard emptied out: fall back to a full re-plan
+            # of the same root (same shard count and strategy), served
+            # through the ordinary whole-pool reload.
+            strategy = (
+                plan.strategy
+                if plan.strategy in ("balanced", "contiguous")
+                else "balanced"
+            )
+            ShardPlanner(
+                n_shards=plan.n_shards, strategy=strategy
+            ).plan(new_full, plan.root)
+            self.reload(plan.root)
+            self._full = new_full
+            return [spec.shard_id for spec in self._plan.shards]
+        new_plan, touched = replanned
+        fresh: list[ShardWorker] = []
+        try:
+            for shard_id in touched:
+                fresh.append(
+                    ShardWorker(
+                        new_plan.shard_dir(shard_id),
+                        shard_id,
+                        mmap=self._mmap,
+                        start_timeout=self._start_timeout,
+                    )
+                )
+        except Exception:
+            for worker in fresh:
+                worker.stop()
+            raise
+        by_shard = {worker.shard_id: worker for worker in fresh}
+        with self._lock:
+            if self._router is None:
+                for worker in fresh:
+                    worker.stop()
+                raise WorkerError(
+                    "service was closed while the delta was being applied"
+                )
+            old_router = self._router
+            # Untouched workers move to the new router, whose pipe lock
+            # is its own — drain the old router first (new retains need
+            # this service lock, so none can start) so two routers never
+            # interleave requests on a shared worker's pipe.
+            old_router.wait_idle()
+            replaced = [
+                worker
+                for worker in self._workers
+                if worker.shard_id in by_shard
+            ]
+            workers = sorted(
+                [
+                    worker
+                    for worker in self._workers
+                    if worker.shard_id not in by_shard
+                ]
+                + fresh,
+                key=lambda worker: worker.shard_id,
+            )
+            router = BatchingRouter(
+                workers,
+                max_batch=self._max_batch,
+                on_worker_error=self._on_worker_error,
+            )
+            self._plan, self._workers, self._router = (
+                new_plan,
+                workers,
+                router,
+            )
+            self._full = new_full
+            self._counters.record_reload()
+        for worker in replaced:
+            worker.stop()
+        return touched
 
     def describe_shards(self) -> list[dict]:
         """Live facts from every worker that still answers.

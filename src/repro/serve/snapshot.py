@@ -34,6 +34,22 @@ Design rules:
 * **The manifest is written last**, so a directory with a readable
   manifest is a complete snapshot; interrupted saves are detected as
   missing-manifest errors, never as silent partial state.
+
+Incremental deltas
+------------------
+:class:`SnapshotDelta` is the *incremental* sibling of the full
+snapshot: a checksummed, versioned directory recording only what one
+ingest round changed against a parent artifact — appended data rows,
+their per-table LSH bucket keys (the insert state of
+:meth:`repro.lsh.index.LSHIndex.insert`), retired/replaced cluster
+labels, and the replacement/new clusters.  Deltas chain: each records
+the SHA-256 of the manifest of the artifact it applies on top of (the
+base snapshot's for the first delta, the previous delta's afterwards),
+so a serving process can refuse out-of-order or foreign deltas before
+touching any state.  The same all-or-nothing load rules apply — every
+array is size- and checksum-verified, and :meth:`SnapshotDelta.apply`
+validates parentage and shape before building the new in-memory
+snapshot, so a failed application leaves the serving snapshot untouched.
 """
 
 from __future__ import annotations
@@ -52,10 +68,19 @@ from repro.core.results import Cluster, pack_clusters, unpack_clusters
 from repro.exceptions import SnapshotError, ValidationError
 from repro.lsh.index import LSHIndex
 
-__all__ = ["DetectionSnapshot", "SCHEMA_VERSION", "SNAPSHOT_FORMAT"]
+__all__ = [
+    "DetectionSnapshot",
+    "SnapshotDelta",
+    "SCHEMA_VERSION",
+    "SNAPSHOT_FORMAT",
+    "DELTA_SCHEMA_VERSION",
+    "DELTA_FORMAT",
+]
 
 SCHEMA_VERSION = 1
 SNAPSHOT_FORMAT = "repro-alid-detection-snapshot"
+DELTA_SCHEMA_VERSION = 1
+DELTA_FORMAT = "repro-alid-snapshot-delta"
 MANIFEST_NAME = "manifest.json"
 ARRAY_DIR = "arrays"
 
@@ -77,6 +102,15 @@ _CLUSTER_ARRAYS = (
     "cluster_seeds",
 )
 _REQUIRED_ARRAYS = ("data",) + _INDEX_ARRAYS + _CLUSTER_ARRAYS
+
+# Every array a complete delta must carry: the appended rows and their
+# per-table LSH insert state, the retired/replaced labels, and the
+# upserted clusters in the same pack_clusters() layout snapshots use.
+_DELTA_ARRAYS = (
+    "appended_data",
+    "appended_item_keys",
+    "removed_labels",
+) + _CLUSTER_ARRAYS
 
 _HASH_CHUNK = 1 << 20
 
@@ -116,6 +150,109 @@ def _sha256_of(path: pathlib.Path) -> str:
     return digest.hexdigest()
 
 
+def _write_array(array_dir: pathlib.Path, name: str, array) -> dict:
+    """Write one ``.npy`` (write-to-temp + rename) and return its manifest entry.
+
+    Never truncates an existing ``.npy`` in place: an artifact loaded
+    with ``mmap=True`` from this very directory keeps reading its (now
+    anonymous) old inode, and a crash mid-write leaves the previous
+    array file intact.
+    """
+    file_path = array_dir / f"{name}.npy"
+    tmp_path = array_dir / f"{name}.tmp.npy"  # np.save keeps .npy
+    np.save(tmp_path, array)
+    tmp_path.replace(file_path)
+    return {
+        "file": f"{ARRAY_DIR}/{name}.npy",
+        "sha256": _sha256_of(file_path),
+        "bytes": file_path.stat().st_size,
+        "shape": list(np.asarray(array).shape),
+        "dtype": str(np.asarray(array).dtype),
+    }
+
+
+def _load_verified_array(
+    path: pathlib.Path, name: str, entry, *, mmap: bool
+) -> np.ndarray:
+    """Existence-, size- and checksum-verify one array entry, then load it.
+
+    Shared by snapshot and delta loads so the two artifact kinds cannot
+    drift on integrity rules.  Raises :class:`SnapshotError` on any
+    mismatch; verification streams the file, so even ``mmap=True``
+    loads never hold a full copy in memory.
+    """
+    if not isinstance(entry, dict) or "file" not in entry:
+        raise SnapshotError(
+            f"{path}: manifest has no array entry for {name!r}"
+        )
+    file_path = path / entry["file"]
+    if not file_path.is_file():
+        raise SnapshotError(
+            f"{path}: array file {entry['file']} is missing"
+        )
+    expected_bytes = entry.get("bytes")
+    actual_bytes = file_path.stat().st_size
+    if expected_bytes is not None and actual_bytes != expected_bytes:
+        raise SnapshotError(
+            f"{path}: array file {entry['file']} is truncated or "
+            f"padded ({actual_bytes} bytes, manifest says "
+            f"{expected_bytes})"
+        )
+    digest = _sha256_of(file_path)
+    if digest != entry.get("sha256"):
+        raise SnapshotError(
+            f"{path}: checksum mismatch for {entry['file']} "
+            f"(file {digest[:12]}..., manifest "
+            f"{str(entry.get('sha256'))[:12]}...)"
+        )
+    try:
+        return np.load(
+            file_path,
+            mmap_mode="r" if mmap else None,
+            allow_pickle=False,
+        )
+    except ValueError as exc:
+        raise SnapshotError(
+            f"{path}: array file {entry['file']} is not a valid "
+            f".npy payload: {exc}"
+        ) from exc
+
+
+def _read_manifest(
+    path: pathlib.Path, *, fmt: str, max_version: int, kind: str
+) -> dict:
+    """Read + validate a manifest's format/version envelope, or raise."""
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise SnapshotError(
+            f"{path} is not a {kind} directory: no {MANIFEST_NAME} "
+            f"(an interrupted save never writes one)"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(
+            f"{manifest_path} is not readable JSON: {exc}"
+        ) from exc
+    if manifest.get("format") != fmt:
+        raise SnapshotError(
+            f"{path}: manifest format {manifest.get('format')!r} is not "
+            f"{fmt!r}"
+        )
+    version = manifest.get("schema_version")
+    if not isinstance(version, int) or version < 1:
+        raise SnapshotError(
+            f"{path}: invalid schema_version {version!r}"
+        )
+    if version > max_version:
+        raise SnapshotError(
+            f"{path}: {kind} schema_version {version} is newer than "
+            f"this library understands (max {max_version}); upgrade "
+            f"the library instead of serving corrupt state"
+        )
+    return manifest
+
+
 @dataclasses.dataclass
 class DetectionSnapshot:
     """A fitted detection, ready to persist or serve.
@@ -139,6 +276,11 @@ class DetectionSnapshot:
         density, label, seed).
     meta:
         Free-form provenance (method name, fit counters, ...).
+    manifest_sha256:
+        SHA-256 of the snapshot's ``manifest.json``, set by
+        :meth:`save` and :meth:`load`; ``None`` for in-memory snapshots
+        that were never persisted.  This is the identity a
+        :class:`SnapshotDelta` chain anchors to.
     """
 
     data: np.ndarray
@@ -148,6 +290,9 @@ class DetectionSnapshot:
     index_arrays: dict[str, np.ndarray]
     clusters: list[Cluster]
     meta: dict = dataclasses.field(default_factory=dict)
+    manifest_sha256: str | None = dataclasses.field(
+        default=None, compare=False
+    )
 
     # ------------------------------------------------------------------
     # construction
@@ -262,26 +407,10 @@ class DetectionSnapshot:
         arrays.update(self.index_arrays)
         packed = pack_clusters(self.clusters)
         arrays.update({f"cluster_{k}": v for k, v in packed.items()})
-        manifest_arrays: dict[str, dict] = {}
-        for name in _REQUIRED_ARRAYS:
-            file_path = array_dir / f"{name}.npy"
-            # Write-to-temp + rename: never truncate an existing .npy in
-            # place.  A snapshot loaded with mmap=True from this very
-            # directory keeps reading its (now anonymous) old inode, so
-            # re-saving an artifact over itself is safe, and a crash
-            # mid-write leaves the previous array files intact (with
-            # the manifest already removed above, the directory reads
-            # as a clean missing-manifest state).
-            tmp_path = array_dir / f"{name}.tmp.npy"  # np.save keeps .npy
-            np.save(tmp_path, arrays[name])
-            tmp_path.replace(file_path)
-            manifest_arrays[name] = {
-                "file": f"{ARRAY_DIR}/{name}.npy",
-                "sha256": _sha256_of(file_path),
-                "bytes": file_path.stat().st_size,
-                "shape": list(np.asarray(arrays[name]).shape),
-                "dtype": str(np.asarray(arrays[name]).dtype),
-            }
+        manifest_arrays = {
+            name: _write_array(array_dir, name, arrays[name])
+            for name in _REQUIRED_ARRAYS
+        }
         manifest = {
             "format": SNAPSHOT_FORMAT,
             "schema_version": SCHEMA_VERSION,
@@ -307,6 +436,7 @@ class DetectionSnapshot:
         tmp = path / (MANIFEST_NAME + ".tmp")
         tmp.write_text(payload + "\n")
         tmp.replace(path / MANIFEST_NAME)
+        self.manifest_sha256 = _sha256_of(path / MANIFEST_NAME)
         return path
 
     @classmethod
@@ -334,73 +464,19 @@ class DetectionSnapshot:
             file, truncated file, or checksum mismatch.
         """
         path = pathlib.Path(path)
-        manifest_path = path / MANIFEST_NAME
-        if not manifest_path.is_file():
-            raise SnapshotError(
-                f"{path} is not a snapshot directory: no {MANIFEST_NAME} "
-                f"(an interrupted save never writes one)"
-            )
-        try:
-            manifest = json.loads(manifest_path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise SnapshotError(
-                f"{manifest_path} is not readable JSON: {exc}"
-            ) from exc
-        if manifest.get("format") != SNAPSHOT_FORMAT:
-            raise SnapshotError(
-                f"{path}: manifest format {manifest.get('format')!r} is not "
-                f"{SNAPSHOT_FORMAT!r}"
-            )
-        version = manifest.get("schema_version")
-        if not isinstance(version, int) or version < 1:
-            raise SnapshotError(
-                f"{path}: invalid schema_version {version!r}"
-            )
-        if version > SCHEMA_VERSION:
-            raise SnapshotError(
-                f"{path}: snapshot schema_version {version} is newer than "
-                f"this library understands (max {SCHEMA_VERSION}); upgrade "
-                f"the library instead of serving corrupt state"
-            )
+        manifest = _read_manifest(
+            path,
+            fmt=SNAPSHOT_FORMAT,
+            max_version=SCHEMA_VERSION,
+            kind="snapshot",
+        )
         entries = manifest.get("arrays", {})
-        arrays: dict[str, np.ndarray] = {}
-        for name in _REQUIRED_ARRAYS:
-            entry = entries.get(name)
-            if not isinstance(entry, dict) or "file" not in entry:
-                raise SnapshotError(
-                    f"{path}: manifest has no array entry for {name!r}"
-                )
-            file_path = path / entry["file"]
-            if not file_path.is_file():
-                raise SnapshotError(
-                    f"{path}: array file {entry['file']} is missing"
-                )
-            expected_bytes = entry.get("bytes")
-            actual_bytes = file_path.stat().st_size
-            if expected_bytes is not None and actual_bytes != expected_bytes:
-                raise SnapshotError(
-                    f"{path}: array file {entry['file']} is truncated or "
-                    f"padded ({actual_bytes} bytes, manifest says "
-                    f"{expected_bytes})"
-                )
-            digest = _sha256_of(file_path)
-            if digest != entry.get("sha256"):
-                raise SnapshotError(
-                    f"{path}: checksum mismatch for {entry['file']} "
-                    f"(file {digest[:12]}..., manifest "
-                    f"{str(entry.get('sha256'))[:12]}...)"
-                )
-            try:
-                arrays[name] = np.load(
-                    file_path,
-                    mmap_mode="r" if mmap else None,
-                    allow_pickle=False,
-                )
-            except ValueError as exc:
-                raise SnapshotError(
-                    f"{path}: array file {entry['file']} is not a valid "
-                    f".npy payload: {exc}"
-                ) from exc
+        arrays: dict[str, np.ndarray] = {
+            name: _load_verified_array(
+                path, name, entries.get(name), mmap=mmap
+            )
+            for name in _REQUIRED_ARRAYS
+        }
         try:
             config = ALIDConfig(**manifest["config"])
             kernel = LaplacianKernel(
@@ -432,4 +508,337 @@ class DetectionSnapshot:
             index_arrays={name: arrays[name] for name in _INDEX_ARRAYS},
             clusters=clusters,
             meta=dict(manifest.get("meta", {})),
+            manifest_sha256=_sha256_of(path / MANIFEST_NAME),
+        )
+
+
+@dataclasses.dataclass
+class SnapshotDelta:
+    """One ingest round's changes against a parent snapshot artifact.
+
+    A delta is the incremental publish unit of the live-corpus pipeline
+    (:class:`~repro.serve.ingest.IngestService`): instead of rewriting a
+    full :class:`DetectionSnapshot` after every batch, only the appended
+    rows, their per-table LSH bucket keys, and the retired/replaced
+    clusters are persisted.  Its size scales with what changed, not with
+    the corpus.
+
+    Deltas form a chain anchored at a *saved* base snapshot:
+    ``parent_sha256`` is the SHA-256 of the manifest of the artifact the
+    delta applies on top of — the base snapshot's manifest for
+    ``sequence == 0``, the previous delta's manifest afterwards.
+    :meth:`apply` verifies that chain plus every shape before building
+    anything, so an out-of-order, foreign, or corrupt delta never
+    touches the serving snapshot.
+
+    Attributes
+    ----------
+    parent_sha256:
+        Manifest SHA-256 of the immediate parent artifact.
+    parent_n_items:
+        Item count of the state this delta applies to (base items plus
+        all previously appended rows).
+    sequence:
+        0-based position in the delta chain.
+    appended_data:
+        New data rows ``(m, d)``; ``m`` may be zero (a pure
+        cluster-churn delta).
+    appended_item_keys:
+        Per-table LSH bucket keys of the appended rows ``(l, m)`` — the
+        exported insert state of
+        :meth:`repro.lsh.index.LSHIndex.insert`, so the parent's tables
+        extend without re-hashing.
+    removed_labels:
+        Labels of parent clusters that retired or were replaced.
+    clusters:
+        Upserted clusters (replacements and brand-new ones), member
+        indices global into the post-append matrix.
+    meta:
+        Free-form provenance (ingest counters, ...).
+    manifest_sha256:
+        SHA-256 of this delta's own manifest, set by :meth:`save` /
+        :meth:`load`; the next delta in the chain records it as its
+        ``parent_sha256``.
+    """
+
+    parent_sha256: str
+    parent_n_items: int
+    sequence: int
+    appended_data: np.ndarray
+    appended_item_keys: np.ndarray
+    removed_labels: np.ndarray
+    clusters: list[Cluster]
+    meta: dict = dataclasses.field(default_factory=dict)
+    manifest_sha256: str | None = dataclasses.field(
+        default=None, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_appended(self) -> int:
+        """Number of appended data rows."""
+        return int(np.asarray(self.appended_data).shape[0])
+
+    @property
+    def n_removed(self) -> int:
+        """Number of retired/replaced parent cluster labels."""
+        return int(np.asarray(self.removed_labels).size)
+
+    @property
+    def n_upserted(self) -> int:
+        """Number of upserted (replacement or new) clusters."""
+        return len(self.clusters)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> pathlib.Path:
+        """Write the delta directory and return its resolved path.
+
+        Same discipline as :meth:`DetectionSnapshot.save`: any previous
+        manifest is removed first, arrays are written via temp + rename,
+        the manifest last — a readable manifest certifies a complete
+        delta, and interrupted saves read as missing-manifest errors.
+        """
+        path = pathlib.Path(path)
+        array_dir = path / ARRAY_DIR
+        array_dir.mkdir(parents=True, exist_ok=True)
+        (path / MANIFEST_NAME).unlink(missing_ok=True)
+        arrays: dict[str, np.ndarray] = {
+            "appended_data": np.ascontiguousarray(
+                self.appended_data, dtype=np.float64
+            ),
+            "appended_item_keys": np.ascontiguousarray(
+                self.appended_item_keys, dtype=np.uint64
+            ),
+            "removed_labels": np.asarray(
+                self.removed_labels, dtype=np.int64
+            ),
+        }
+        packed = pack_clusters(self.clusters)
+        arrays.update({f"cluster_{k}": v for k, v in packed.items()})
+        manifest_arrays = {
+            name: _write_array(array_dir, name, arrays[name])
+            for name in _DELTA_ARRAYS
+        }
+        manifest = {
+            "format": DELTA_FORMAT,
+            "schema_version": DELTA_SCHEMA_VERSION,
+            "parent": {
+                "sha256": self.parent_sha256,
+                "n_items": int(self.parent_n_items),
+                "sequence": int(self.sequence),
+            },
+            "counts": {
+                "n_appended": self.n_appended,
+                "n_removed": self.n_removed,
+                "n_upserted": self.n_upserted,
+            },
+            "meta": self.meta,
+            "arrays": manifest_arrays,
+        }
+        try:
+            payload = json.dumps(
+                manifest, indent=2, sort_keys=True, default=_json_default
+            )
+        except TypeError as exc:
+            raise SnapshotError(
+                f"delta meta cannot be persisted: {exc}"
+            ) from exc
+        tmp = path / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(payload + "\n")
+        tmp.replace(path / MANIFEST_NAME)
+        self.manifest_sha256 = _sha256_of(path / MANIFEST_NAME)
+        return path
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = False) -> "SnapshotDelta":
+        """Load and validate a delta directory, all-or-nothing.
+
+        Every array file is existence-, size- and checksum-verified
+        before anything is constructed, exactly like
+        :meth:`DetectionSnapshot.load`.
+
+        Raises
+        ------
+        SnapshotError
+            Missing/unreadable manifest, wrong format, schema version
+            newer than :data:`DELTA_SCHEMA_VERSION`, malformed parent
+            section, missing array entry or file, truncated file, or
+            checksum mismatch.
+        """
+        path = pathlib.Path(path)
+        manifest = _read_manifest(
+            path,
+            fmt=DELTA_FORMAT,
+            max_version=DELTA_SCHEMA_VERSION,
+            kind="delta",
+        )
+        parent = manifest.get("parent")
+        if (
+            not isinstance(parent, dict)
+            or not isinstance(parent.get("sha256"), str)
+            or not isinstance(parent.get("n_items"), int)
+            or not isinstance(parent.get("sequence"), int)
+        ):
+            raise SnapshotError(
+                f"{path}: delta manifest parent section is invalid: "
+                f"{parent!r}"
+            )
+        entries = manifest.get("arrays", {})
+        arrays: dict[str, np.ndarray] = {
+            name: _load_verified_array(
+                path, name, entries.get(name), mmap=mmap
+            )
+            for name in _DELTA_ARRAYS
+        }
+        appended = arrays["appended_data"]
+        if appended.ndim != 2:
+            raise SnapshotError(
+                f"{path}: appended_data must be 2-D, got shape "
+                f"{appended.shape}"
+            )
+        keys = arrays["appended_item_keys"]
+        if keys.ndim != 2 or keys.shape[1] != appended.shape[0]:
+            raise SnapshotError(
+                f"{path}: appended_item_keys shape {keys.shape} does not "
+                f"cover {appended.shape[0]} appended row(s)"
+            )
+        try:
+            clusters = unpack_clusters(
+                {
+                    key[len("cluster_"):]: arrays[key]
+                    for key in _CLUSTER_ARRAYS
+                },
+                n_items=int(parent["n_items"]) + int(appended.shape[0]),
+            )
+        except ValidationError as exc:
+            raise SnapshotError(
+                f"{path}: delta cluster arrays are inconsistent: {exc}"
+            ) from exc
+        return cls(
+            parent_sha256=parent["sha256"],
+            parent_n_items=int(parent["n_items"]),
+            sequence=int(parent["sequence"]),
+            appended_data=appended,
+            appended_item_keys=keys,
+            removed_labels=arrays["removed_labels"],
+            clusters=clusters,
+            meta=dict(manifest.get("meta", {})),
+            manifest_sha256=_sha256_of(path / MANIFEST_NAME),
+        )
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply(self, snapshot: DetectionSnapshot) -> DetectionSnapshot:
+        """Build the post-delta snapshot, or raise without side effects.
+
+        Pure function: *snapshot* is never mutated, so a failing
+        application (wrong parent, shape mismatch, label conflict)
+        leaves the caller's serving state untouched.  The result carries
+        this delta's :attr:`manifest_sha256` as its own identity, which
+        is what lets the next delta in the chain verify against the
+        in-memory state without a full snapshot ever being rewritten.
+
+        Raises
+        ------
+        SnapshotError
+            Parent mismatch (the snapshot's manifest SHA is not this
+            delta's ``parent_sha256``, or the snapshot was never
+            persisted and has none), item-count/dim/table mismatch, a
+            removed label the parent does not hold, or an upserted label
+            that would duplicate a surviving parent cluster.
+        """
+        if snapshot.manifest_sha256 is None:
+            raise SnapshotError(
+                "cannot verify delta parentage: the serving snapshot has "
+                "no manifest checksum (it was never saved); publish a "
+                "base snapshot before applying deltas"
+            )
+        if snapshot.manifest_sha256 != self.parent_sha256:
+            raise SnapshotError(
+                f"delta (sequence {self.sequence}) does not apply to this "
+                f"snapshot: parent {self.parent_sha256[:12]}..., serving "
+                f"{snapshot.manifest_sha256[:12]}... — deltas must be "
+                f"applied in chain order against their own base"
+            )
+        if snapshot.n_items != self.parent_n_items:
+            raise SnapshotError(
+                f"delta expects a parent with {self.parent_n_items} "
+                f"item(s), snapshot has {snapshot.n_items}"
+            )
+        m = self.n_appended
+        appended = np.asarray(self.appended_data, dtype=np.float64)
+        if m and appended.shape[1] != snapshot.dim:
+            raise SnapshotError(
+                f"delta appends dim-{appended.shape[1]} rows to a "
+                f"dim-{snapshot.dim} snapshot"
+            )
+        old_keys = np.asarray(snapshot.index_arrays["item_keys"])
+        new_keys_part = np.asarray(self.appended_item_keys, dtype=np.uint64)
+        if new_keys_part.shape[0] != old_keys.shape[0]:
+            raise SnapshotError(
+                f"delta carries keys for {new_keys_part.shape[0]} LSH "
+                f"table(s), snapshot has {old_keys.shape[0]}"
+            )
+        removed = {int(label) for label in np.asarray(self.removed_labels)}
+        parent_labels = {int(c.label) for c in snapshot.clusters}
+        missing = removed - parent_labels
+        if missing:
+            raise SnapshotError(
+                f"delta removes label(s) {sorted(missing)} the parent "
+                f"snapshot does not hold"
+            )
+        surviving_labels = parent_labels - removed
+        conflicts = sorted(
+            int(c.label)
+            for c in self.clusters
+            if int(c.label) in surviving_labels
+        )
+        if conflicts:
+            raise SnapshotError(
+                f"delta upserts label(s) {conflicts} that still exist in "
+                f"the parent snapshot (replacements must also appear in "
+                f"removed_labels)"
+            )
+        n_total = snapshot.n_items + m
+        for cluster in self.clusters:
+            if cluster.size and int(cluster.members.max()) >= n_total:
+                raise SnapshotError(
+                    f"delta cluster {cluster.label} references item "
+                    f"{int(cluster.members.max())} beyond the "
+                    f"{n_total}-item post-append matrix"
+                )
+        old_data = np.asarray(snapshot.data)
+        index_arrays = dict(snapshot.index_arrays)
+        if m:
+            data = np.vstack([old_data, appended])
+            index_arrays["item_keys"] = np.hstack(
+                [old_keys, new_keys_part]
+            )
+            index_arrays["active"] = np.concatenate(
+                [
+                    np.asarray(snapshot.index_arrays["active"], dtype=bool),
+                    np.ones(m, dtype=bool),
+                ]
+            )
+        else:
+            data = old_data
+        clusters = [
+            c for c in snapshot.clusters if int(c.label) not in removed
+        ]
+        clusters.extend(self.clusters)
+        meta = dict(snapshot.meta)
+        meta.update(self.meta)
+        meta["delta_sequence"] = int(self.sequence)
+        return DetectionSnapshot(
+            data=data,
+            config=snapshot.config,
+            kernel=snapshot.kernel,
+            lsh_r=snapshot.lsh_r,
+            index_arrays=index_arrays,
+            clusters=clusters,
+            meta=meta,
+            manifest_sha256=self.manifest_sha256,
         )

@@ -97,9 +97,52 @@ class StreamingALID:
         """Current number of dominant clusters."""
         return len(self._clusters)
 
+    @property
+    def clusters(self) -> list[Cluster]:
+        """The current dominant clusters (a copy of the list)."""
+        return list(self._clusters)
+
+    @property
+    def data(self) -> np.ndarray:
+        """Read-only view of the stream's data matrix (tombstones included)."""
+        if self._data is None:
+            return np.zeros((0, 0))
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def assigned_mask(self) -> np.ndarray:
+        """Read-only mask of items currently in some dominant cluster."""
+        view = self._assigned.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def retired_mask(self) -> np.ndarray:
+        """Read-only mask of items retired (tombstoned) from the stream."""
+        view = self._retired.view()
+        view.flags.writeable = False
+        return view
+
     # ------------------------------------------------------------------
-    def partial_fit(self, batch: np.ndarray) -> DetectionResult:
-        """Ingest one batch and return the updated detection snapshot."""
+    def partial_fit(
+        self, batch: np.ndarray, *, discover: bool = True
+    ) -> DetectionResult:
+        """Ingest one batch and return the updated detection snapshot.
+
+        Parameters
+        ----------
+        batch:
+            Arriving items, shape ``(m, d)``.
+        discover:
+            When False, only the absorb step runs: arriving items join
+            existing infective clusters, but no new clusters are grown.
+            Items left unassigned stay in the pool for a later
+            :meth:`discover` call — the deferred-discovery mode the
+            ingest tier uses to re-peel dirty regions in the background
+            instead of on the ingest path.
+        """
         batch = check_data_matrix(batch, name="batch")
         with timed() as clock:
             if self._data is None:
@@ -122,8 +165,85 @@ class StreamingALID:
             self._batches += 1
             oracle = self._make_oracle()
             self._absorb(oracle, new_indices)
-            self._discover(oracle, new_indices)
+            if discover:
+                self._discover(oracle, new_indices)
+            else:
+                self._sync_index_mask()
         return self._snapshot(clock[0])
+
+    def discover(self, indices: np.ndarray) -> DetectionResult:
+        """Run discovery seeded from the given unassigned items.
+
+        The targeted form of :meth:`rediscover`: only Alg. 2 runs seeded
+        at *indices* (assigned or retired entries are skipped) are
+        attempted, which is how the ingest tier re-peels one dirty
+        collision region without sweeping the whole pool.
+        """
+        if self._data is None:
+            raise ValidationError("stream has not seen any data yet")
+        from repro.utils.validation import check_index_array
+
+        indices = check_index_array(indices, self.n_items, name="indices")
+        with timed() as clock:
+            pool = indices[
+                ~self._assigned[indices] & ~self._retired[indices]
+            ]
+            if pool.size:
+                oracle = self._make_oracle()
+                self._discover(oracle, pool)
+        return self._snapshot(clock[0])
+
+    def collision_components(self) -> np.ndarray:
+        """Component labels of the unassigned pool's collision graph.
+
+        Delegates to
+        :meth:`repro.lsh.index.LSHIndex.collision_components` with the
+        stream's visibility mask in force (assigned and retired items
+        read -1).  Two pool items share a component exactly when a
+        discovery run seeded at one could reach the other, so a failed
+        absorption dirties precisely its component — the re-peel unit of
+        the ingest tier.
+        """
+        if self._data is None:
+            raise ValidationError("stream has not seen any data yet")
+        self._sync_index_mask()
+        return self._index.collision_components()
+
+    def export_appended_keys(self, start: int) -> np.ndarray:
+        """Per-table LSH bucket keys of items ``start..n_items`` ``(l, m)``.
+
+        The insert state a :class:`~repro.serve.snapshot.SnapshotDelta`
+        persists: the keys the parent index would assign the appended
+        rows, without re-hashing at apply time.
+        """
+        if self._data is None:
+            raise ValidationError("stream has not seen any data yet")
+        return self._index.export_keys(start)
+
+    def to_snapshot(self, *, meta: dict | None = None):
+        """Capture the full current state as a serve-time snapshot.
+
+        The streaming twin of
+        :meth:`repro.serve.snapshot.DetectionSnapshot.from_result`: data
+        matrix, LSH insert state, calibrated kernel and the current
+        dominant clusters, ready to save or serve.  This is the *base*
+        artifact a delta chain anchors to.
+        """
+        from repro.serve.snapshot import DetectionSnapshot
+
+        if self._data is None:
+            raise ValidationError("stream has not seen any data yet")
+        oracle = self._make_oracle()
+        engine = self._make_engine(oracle)
+        base_meta = {
+            "method": "StreamingALID",
+            "batches": self._batches,
+            "retired": self.n_retired,
+        }
+        base_meta.update(meta or {})
+        return DetectionSnapshot.from_engine(
+            engine, list(self._clusters), meta=base_meta
+        )
 
     def result(self) -> DetectionResult:
         """Current detection snapshot without ingesting anything."""

@@ -5,7 +5,8 @@ Three checks, all deterministic and dependency-free, run by the CI docs
 lane (and by ``tests/test_docs.py`` so the gate itself stays tested):
 
 1. **Docstring presence** on the public API: every module under the
-   public packages (``src/repro/{core,dynamics,lsh,affinity,parallel}``)
+   public packages
+   (``src/repro/{core,dynamics,lsh,affinity,parallel,serve,streaming}``)
    must carry a module docstring, and every public class, function, and
    method in them a non-empty docstring.  This mirrors ruff's
    D100/D101/D102/D103/D419 selection (which the CI lane also runs);
@@ -30,7 +31,15 @@ import re
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-PUBLIC_PACKAGES = ("core", "dynamics", "lsh", "affinity", "parallel", "serve")
+PUBLIC_PACKAGES = (
+    "core",
+    "dynamics",
+    "lsh",
+    "affinity",
+    "parallel",
+    "serve",
+    "streaming",
+)
 DOC_FILES = ("README.md", "docs")
 PAPER_MAP = REPO_ROOT / "docs" / "paper_map.md"
 

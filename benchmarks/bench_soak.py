@@ -1,0 +1,429 @@
+#!/usr/bin/env python
+"""Soak benchmark: sustained open-loop traffic through the async front-end.
+
+Fits ALID on the deterministic synthetic mixture of ``bench_serve.py``,
+shards the snapshot, and drives a **fixed, seeded open-loop arrival
+schedule** (exponential inter-arrivals; arrivals fire on schedule
+regardless of completions) through the full traffic stack:
+:class:`~repro.serve.frontend.AsyncFrontend` (SLO-adaptive
+micro-batching) → :class:`~repro.serve.admission.AdmissionController`
+(bounded queue, per-client fairness) →
+:class:`~repro.serve.sharded.ShardedClusterService` (skip policy) with
+a :class:`~repro.serve.supervisor.ShardSupervisor` healing crashes.
+
+Three lanes per profile:
+
+- ``soak_<p>`` — clean soak.  Gated: ``entries_computed`` (10% rule —
+  deterministic: every query is scored against every shard's resident
+  clusters regardless of batching), ``throughput_qps`` (may not fall
+  more than 10% below baseline; open-loop and under-loaded by
+  construction, so throughput tracks the offered schedule, not the
+  machine), and the zero-tolerance booleans ``accounting_exact``,
+  ``assignments_identical`` and ``slo_met``.
+- ``soak_<p>_faulted`` — same schedule with one shard worker SIGKILLed
+  mid-run; the supervisor respawns it from the on-disk shard artifact
+  while surviving shards serve degraded.  Gated: ``throughput_qps``,
+  ``accounting_exact``, ``healed_ok`` (the worker came back), and
+  ``assignments_identical`` — here a **post-heal sweep**: assignments
+  byte-identical (labels *and* scores) to the single-process
+  :class:`~repro.serve.service.ClusterService` reference.
+  ``entries_computed`` is reported but not baselined: the degraded
+  window's width (and thus the work skipped on the dead shard) depends
+  on heal timing.
+- ``soak_<p>_overload`` — a single burst far past a deliberately tiny
+  admission bound.  Gated: ``accounting_exact``,
+  ``rejections_observed`` and ``retry_after_ok`` (every rejection
+  carried a positive back-off hint).
+
+Latency is **SLO-gated, not baseline-gated**: ``slo_met`` (p99 ≤ the
+lane's SLO) is a zero-tolerance boolean, while the p50/p99 numbers
+themselves are informational — single-digit-millisecond percentiles
+are machine noise under the 10% rule, the SLO bound is not.
+
+Writes a machine-readable ``BENCH_soak.json`` (see
+``docs/benchmarks.md`` for the field reference), gated in CI by
+``check_hotpath_regression.py`` against the committed
+``benchmarks/results/BENCH_soak_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_soak.py \
+        --profiles tiny --output BENCH_soak.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import platform
+import signal
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.alid import ALID  # noqa: E402
+from repro.core.config import ALIDConfig  # noqa: E402
+from repro.datasets.synthetic import make_synthetic_mixture  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AsyncFrontend,
+    ClusterService,
+    DetectionSnapshot,
+    ShardPlanner,
+    ShardSupervisor,
+    ShardedClusterService,
+    run_open_loop,
+)
+
+# Corpora are shared with bench_serve.py (same sizes, same seed) so the
+# fitted state matches lane-for-lane; the arrival schedules are fixed
+# and seeded — changing any knob silently would invalidate the
+# committed baseline.
+CORPUS_SIZES = {
+    "tiny": dict(n=600, dim=16, n_clusters=6),
+    "full": dict(n=5000, dim=32, n_clusters=10),
+}
+_SEED = 7
+_SHARD_WORKERS = 2
+_SUPERVISOR_INTERVAL = 0.05
+
+# Per-profile traffic shape.  Offered load is kept well under serving
+# capacity so the clean lane is rejection-free (deterministic entries)
+# and throughput tracks the schedule, not the machine.
+PROFILES = {
+    "tiny": dict(
+        rate=150.0, duration=2.5, rows=16, clients=4,
+        slo_ms=150.0, max_queued=4096, overload_requests=120,
+        overload_queue=128,
+    ),
+    "full": dict(
+        rate=200.0, duration=6.0, rows=32, clients=8,
+        slo_ms=250.0, max_queued=16384, overload_requests=400,
+        overload_queue=512,
+    ),
+}
+# The SLOs are deliberately loose multiples of the p99s observed on a
+# development machine (~15-30 ms tiny): `slo_met` is a zero-tolerance
+# CI gate, so the bound must hold on the slowest runner, not the
+# fastest.  Tightening an SLO is a baseline-style decision — re-measure
+# first.
+#: When the faulted lane kills its victim, as a fraction of `duration`.
+_KILL_FRACTION = 0.4
+_SWEEP_BATCH = 1024
+
+
+def _make_data(profile: str) -> np.ndarray:
+    spec = CORPUS_SIZES[profile]
+    dataset = make_synthetic_mixture(
+        n=spec["n"],
+        regime="bounded",
+        bound=spec["n"] // 2,
+        n_clusters=spec["n_clusters"],
+        dim=spec["dim"],
+        seed=_SEED,
+    )
+    return dataset.data
+
+
+def _schedule(profile: str) -> tuple[list[float], list[str]]:
+    """The profile's fixed open-loop schedule: arrival offsets + clients."""
+    spec = PROFILES[profile]
+    rng = np.random.default_rng(_SEED)
+    arrivals: list[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / spec["rate"]))
+        if t >= spec["duration"]:
+            break
+        arrivals.append(t)
+    clients = [f"client-{i % spec['clients']}" for i in range(len(arrivals))]
+    return arrivals, clients
+
+
+def _requests(data: np.ndarray, rows: int, count: int) -> list[np.ndarray]:
+    """`count` query blocks of `rows` rows each, cycling the corpus."""
+    n = data.shape[0]
+    return [
+        data[np.arange(i * rows, (i + 1) * rows) % n] for i in range(count)
+    ]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(values), q)) if values else 0.0
+
+
+async def _replay(
+    service,
+    requests,
+    arrivals,
+    clients,
+    *,
+    slo_ms: float,
+    max_queued: int,
+    kill_at: float | None,
+):
+    """One open-loop replay; returns (records, frontend stats, wall)."""
+    async with AsyncFrontend(
+        service, slo_ms=slo_ms, max_queued_rows=max_queued
+    ) as frontend:
+        kill_task = None
+        if kill_at is not None:
+
+            async def _kill():
+                await asyncio.sleep(kill_at)
+                victim = service._workers[0]
+                os.kill(victim.process.pid, signal.SIGKILL)
+
+            kill_task = asyncio.ensure_future(_kill())
+        start = time.perf_counter()
+        try:
+            records = await run_open_loop(
+                frontend, requests, arrivals, clients=clients
+            )
+        finally:
+            if kill_task is not None and not kill_task.done():
+                kill_task.cancel()
+        wall = max(time.perf_counter() - start, 1e-9)
+        return records, frontend.stats(), wall
+
+
+def _accounting(records, fe_stats) -> tuple[dict, bool]:
+    """Request accounting + the exactness boolean the gate pins."""
+    ok = [r for r in records if r["status"] == "ok"]
+    rejected = [r for r in records if r["status"] == "rejected"]
+    errors = [r for r in records if r["status"] == "error"]
+    admission = fe_stats["admission"]
+    exact = (
+        len(records) == len(ok) + len(rejected) + len(errors)
+        and admission["offered_requests"]
+        == admission["admitted_requests"] + admission["rejected_requests"]
+        and admission["rejected_requests"] == len(rejected)
+        and admission["queued_requests"] == 0
+    )
+    entry = {
+        "offered_requests": len(records),
+        "completed_requests": len(ok),
+        "rejected_requests": len(rejected),
+        "error_requests": len(errors),
+        "rejection_rate": round(
+            len(rejected) / max(len(records), 1), 4
+        ),
+        "accounting_exact": bool(exact),
+    }
+    return entry, bool(exact)
+
+
+def soak_lane(
+    profile: str,
+    data: np.ndarray,
+    shard_root: pathlib.Path,
+    reference: ClusterService,
+    *,
+    faulted: bool,
+) -> dict:
+    """Run one soak lane (clean or faulted) and assemble its report entry."""
+    spec = PROFILES[profile]
+    arrivals, clients = _schedule(profile)
+    requests = _requests(data, spec["rows"], len(arrivals))
+    kill_at = spec["duration"] * _KILL_FRACTION if faulted else None
+
+    with ShardedClusterService(
+        shard_root, on_worker_error="skip"
+    ) as service:
+        with ShardSupervisor(service, interval=_SUPERVISOR_INTERVAL):
+            records, fe_stats, wall = asyncio.run(
+                _replay(
+                    service,
+                    requests,
+                    arrivals,
+                    clients,
+                    slo_ms=spec["slo_ms"],
+                    max_queued=spec["max_queued"],
+                    kill_at=kill_at,
+                )
+            )
+            # Let a heal that landed after the last reply settle before
+            # reading the pool state.
+            if faulted:
+                deadline = time.perf_counter() + 30.0
+                while (
+                    service.dead_shard_ids()
+                    and time.perf_counter() < deadline
+                ):
+                    time.sleep(_SUPERVISOR_INTERVAL)
+        stats = service.stats()
+
+        ok = [r for r in records if r["status"] == "ok"]
+        latencies = [r["reply"].latency_ms for r in ok]
+        rows_ok = sum(r["n_rows"] for r in ok)
+        entry, _ = _accounting(records, fe_stats)
+
+        # Per-request identity vs the single-process reference.  Labels
+        # are invariant under micro-batch composition, so on a healthy
+        # pool every request must match; requests served inside a
+        # degraded window legitimately differ (the dead shard's
+        # clusters are unreachable) and are only counted.
+        mismatches = 0
+        for i, record in enumerate(records):
+            if record["status"] != "ok":
+                continue
+            ref = reference.assign(requests[i])
+            if not np.array_equal(record["reply"].labels, ref.labels):
+                mismatches += 1
+
+        # Post-heal sweep straight through the pool: byte-identical
+        # labels AND scores against the reference, same blocks.
+        sweep_identical = True
+        for lo in range(0, data.shape[0], _SWEEP_BATCH):
+            block = data[lo : lo + _SWEEP_BATCH]
+            got = service.assign(block)
+            ref = reference.assign(block)
+            if not (
+                np.array_equal(got.labels, ref.labels)
+                and np.array_equal(got.scores, ref.scores)
+            ):
+                sweep_identical = False
+
+    identical = sweep_identical and (faulted or mismatches == 0)
+    p99 = _percentile(latencies, 99)
+    entry.update(
+        {
+            "rows_per_request": spec["rows"],
+            "n_clients": spec["clients"],
+            "offered_rate_rps": spec["rate"],
+            "schedule_seconds": spec["duration"],
+            "wall_seconds": round(wall, 4),
+            "slo_ms": spec["slo_ms"],
+            "latency_p50_ms": round(_percentile(latencies, 50), 3),
+            "latency_p99_ms": round(p99, 3),
+            "slo_violations": int(fe_stats["slo_violations"]),
+            "slo_met": bool(p99 <= spec["slo_ms"]),
+            "throughput_qps": round(rows_ok / wall, 1),
+            "micro_batches": int(fe_stats["batches"]),
+            "mean_batch_rows": round(fe_stats["mean_batch_rows"], 2),
+            "max_batch_rows_seen": int(fe_stats["max_batch_rows_seen"]),
+            "entries_computed": int(stats["entries_computed"]),
+            "degraded_batches": int(stats["degraded_batches"]),
+            "respawns": int(stats["respawns"]),
+            "healed_shards": int(stats["healed_shards"]),
+            "request_label_mismatches": int(mismatches),
+            "assignments_identical": bool(identical),
+        }
+    )
+    if faulted:
+        entry["healed_ok"] = bool(
+            stats["respawns"] >= 1 and not stats["dead_shards"]
+        )
+    return entry
+
+
+def overload_lane(
+    profile: str, data: np.ndarray, shard_root: pathlib.Path
+) -> dict:
+    """Burst far past a tiny admission bound; accounting must stay exact."""
+    spec = PROFILES[profile]
+    count = spec["overload_requests"]
+    requests = _requests(data, spec["rows"], count)
+    arrivals = [0.0] * count
+    clients = [f"client-{i % spec['clients']}" for i in range(count)]
+    with ShardedClusterService(
+        shard_root, on_worker_error="skip"
+    ) as service:
+        records, fe_stats, wall = asyncio.run(
+            _replay(
+                service,
+                requests,
+                arrivals,
+                clients,
+                slo_ms=spec["slo_ms"],
+                max_queued=spec["overload_queue"],
+                kill_at=None,
+            )
+        )
+    rejected = [r for r in records if r["status"] == "rejected"]
+    entry, _ = _accounting(records, fe_stats)
+    entry.update(
+        {
+            "rows_per_request": spec["rows"],
+            "burst_rows": count * spec["rows"],
+            "max_queued_rows": spec["overload_queue"],
+            "wall_seconds": round(wall, 4),
+            "rejections_observed": bool(rejected),
+            "retry_after_ok": bool(rejected)
+            and all(
+                r.get("retry_after") is not None and r["retry_after"] > 0.0
+                for r in rejected
+            ),
+        }
+    )
+    return entry
+
+
+def run(profile_keys: list[str], scratch: pathlib.Path) -> dict:
+    workloads: dict[str, dict] = {}
+    for profile in profile_keys:
+        print(f"[bench_soak] fitting {profile} corpus ...", flush=True)
+        data = _make_data(profile)
+        detector = ALID(ALIDConfig(seed=_SEED))
+        result = detector.fit(data)
+        snapshot_dir = scratch / f"snapshot_{profile}"
+        DetectionSnapshot.from_result(detector, result).save(snapshot_dir)
+        shard_root = scratch / f"shards_{profile}"
+        ShardPlanner(n_shards=_SHARD_WORKERS).plan(snapshot_dir, shard_root)
+        with ClusterService(snapshot_dir) as reference:
+            print(f"[bench_soak] soak_{profile} ...", flush=True)
+            workloads[f"soak_{profile}"] = soak_lane(
+                profile, data, shard_root, reference, faulted=False
+            )
+            print(f"[bench_soak] soak_{profile}_faulted ...", flush=True)
+            workloads[f"soak_{profile}_faulted"] = soak_lane(
+                profile, data, shard_root, reference, faulted=True
+            )
+        print(f"[bench_soak] soak_{profile}_overload ...", flush=True)
+        workloads[f"soak_{profile}_overload"] = overload_lane(
+            profile, data, shard_root
+        )
+    return {
+        "schema_version": 1,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "workloads": workloads,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--profiles",
+        nargs="+",
+        choices=sorted(PROFILES),
+        default=["tiny"],
+        help="traffic profiles to run (default: tiny; `full` is the "
+        "slow soak)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path("BENCH_soak.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="bench_soak_") as scratch:
+        report = run(args.profiles, pathlib.Path(scratch))
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"[bench_soak] wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

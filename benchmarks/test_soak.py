@@ -1,0 +1,49 @@
+"""Full-profile soak: sustained load, one SIGKILL, SLO + identity gates.
+
+The slow counterpart of the CI soak lane (which runs the ``tiny``
+profile of ``bench_soak.py`` on every push): six seconds of open-loop
+traffic through the async front-end over a sharded pool, one shard
+worker SIGKILLed mid-run and healed by the supervisor, plus the
+overload burst.  Marked ``slow``/``bench`` by ``benchmarks/conftest.py``
+so only the on-demand benchmark lane pays for it.
+"""
+
+import json
+
+import bench_soak
+
+
+def test_full_soak_profile(tmp_path, results_dir):
+    report = bench_soak.run(["full"], tmp_path)
+    (results_dir / "BENCH_soak_full.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    workloads = report["workloads"]
+    clean = workloads["soak_full"]
+    faulted = workloads["soak_full_faulted"]
+    overload = workloads["soak_full_overload"]
+
+    # Clean lane: every request accounted for, every reply identical to
+    # the single-process reference, p99 inside the lane's SLO.
+    assert clean["accounting_exact"]
+    assert clean["assignments_identical"]
+    assert clean["request_label_mismatches"] == 0
+    assert clean["slo_met"], (
+        f"p99 {clean['latency_p99_ms']}ms over {clean['slo_ms']}ms SLO"
+    )
+    assert clean["respawns"] == 0
+
+    # Faulted lane: the kill happened, the supervisor healed it, and the
+    # post-heal sweep is byte-identical to a never-crashed service.
+    assert faulted["respawns"] >= 1
+    assert faulted["healed_ok"]
+    assert faulted["accounting_exact"]
+    assert faulted["assignments_identical"]
+    assert faulted["slo_met"]
+
+    # Overload burst: the bounded queue rejected (with usable back-off
+    # hints) rather than queueing without bound, and accounting stayed
+    # exact through the rejections.
+    assert overload["rejections_observed"]
+    assert overload["retry_after_ok"]
+    assert overload["accounting_exact"]

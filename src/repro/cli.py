@@ -23,6 +23,13 @@ Commands
     snapshot is sharded on the fly and served by N worker processes
     (identical assignments, see :mod:`repro.serve.sharded`).  Both
     paths go through :func:`repro.serve.connect`.
+``serve``
+    Drive a deterministic open-loop traffic replay through the asyncio
+    front-end (:mod:`repro.serve.frontend`): admission-controlled
+    ingress, SLO-adaptive micro-batching, and — when sharded — a
+    :class:`~repro.serve.supervisor.ShardSupervisor` healing crashed
+    workers (``--kill-shard`` injects the crash).  Prints p50/p99
+    latency, throughput, rejection accounting, and heal counters.
 ``ingest``
     Stream a dataset batch-by-batch through the live-corpus ingest
     tier (:mod:`repro.serve.ingest`): absorb each batch, re-peel the
@@ -40,6 +47,7 @@ Examples
     python -m repro snapshot --input nart.npz --out nart_snapshot
     python -m repro shard --snapshot nart_snapshot --out nart_shards --shards 4
     python -m repro assign --snapshot nart_snapshot --queries nart.npz --workers 2
+    python -m repro serve --snapshot nart_snapshot --queries nart.npz --workers 2 --kill-shard 1.5
     python -m repro ingest --input nart.npz --out nart_chain --batch-size 500
 """
 
@@ -205,6 +213,45 @@ def build_parser() -> argparse.ArgumentParser:
                         help="candidate-cluster shortlist mode")
     assign.add_argument("--out", default=None,
                         help="save per-query labels/scores .npz here")
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive open-loop traffic through the async front-end",
+    )
+    serve.add_argument("--snapshot", required=True,
+                       help="snapshot directory (or shard plan directory "
+                            "with a plan.json)")
+    serve.add_argument("--queries", required=True,
+                       help="dataset .npz whose items feed the traffic")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serve through N shard worker processes "
+                            "(default 1: single-process service)")
+    serve.add_argument("--mmap", action="store_true",
+                       help="memory-map snapshot arrays (single-process)")
+    serve.add_argument("--rate", type=float, default=200.0,
+                       help="mean request arrival rate, requests/s")
+    serve.add_argument("--duration", type=float, default=3.0,
+                       help="length of the arrival schedule, seconds")
+    serve.add_argument("--request-rows", type=int, default=16,
+                       help="query rows per request")
+    serve.add_argument("--clients", type=int, default=4,
+                       help="simulated clients cycling round-robin")
+    serve.add_argument("--slo-ms", type=float, default=50.0,
+                       help="latency SLO driving the adaptive batch cap")
+    serve.add_argument("--max-batch", type=int, default=1024,
+                       help="hard micro-batch row ceiling")
+    serve.add_argument("--max-queued", type=int, default=4096,
+                       help="admission bound, rows")
+    serve.add_argument("--shortlist", choices=("lsh", "multiprobe", "all"),
+                       default="lsh",
+                       help="candidate-cluster shortlist mode")
+    serve.add_argument("--kill-shard", type=float, default=None,
+                       metavar="SECONDS",
+                       help="SIGKILL one shard worker this far into the "
+                            "replay (sharded only) to exercise "
+                            "supervision and self-healing")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed of the arrival schedule")
 
     ingest = sub.add_parser(
         "ingest",
@@ -490,6 +537,162 @@ def _cmd_assign(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import contextlib
+    import os
+    import pathlib
+    import signal
+
+    import numpy as np
+
+    from repro.serve import (
+        AsyncFrontend,
+        ShardSupervisor,
+        ShardedClusterService,
+        connect,
+        run_open_loop,
+    )
+
+    if args.rate <= 0.0:
+        raise ValidationError(f"--rate must be > 0, got {args.rate}")
+    if args.duration <= 0.0:
+        raise ValidationError(
+            f"--duration must be > 0, got {args.duration}"
+        )
+    if args.request_rows < 1:
+        raise ValidationError(
+            f"--request-rows must be >= 1, got {args.request_rows}"
+        )
+    if args.clients < 1:
+        raise ValidationError(f"--clients must be >= 1, got {args.clients}")
+    data = load_dataset(args.queries).data
+
+    # Deterministic open-loop schedule: exponential inter-arrivals at
+    # the requested mean rate, requests cycling through the dataset.
+    rng = np.random.default_rng(args.seed)
+    arrivals = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / args.rate))
+        if t >= args.duration:
+            break
+        arrivals.append(t)
+    if not arrivals:
+        raise ValidationError(
+            "the arrival schedule is empty; raise --rate or --duration"
+        )
+    rows = args.request_rows
+    requests = [
+        data[np.arange(i * rows, (i + 1) * rows) % data.shape[0]]
+        for i in range(len(arrivals))
+    ]
+    clients = [f"client-{i % args.clients}" for i in range(len(arrivals))]
+
+    with contextlib.ExitStack() as stack:
+        # Sharded pools serve degraded around a dead worker ("skip")
+        # while the supervisor heals it — the traffic front must not
+        # fail whole batches for one lost shard.
+        if (pathlib.Path(args.snapshot) / "plan.json").is_file():
+            service = stack.enter_context(
+                connect(args.snapshot, on_worker_error="skip")
+            )
+        elif args.workers > 1:
+            service = stack.enter_context(
+                connect(
+                    args.snapshot,
+                    workers=args.workers,
+                    on_worker_error="skip",
+                )
+            )
+        else:
+            service = stack.enter_context(
+                connect(args.snapshot, mmap=args.mmap)
+            )
+        sharded = isinstance(service, ShardedClusterService) or hasattr(
+            service, "heal"
+        )
+        if sharded:
+            stack.enter_context(
+                ShardSupervisor(service, interval=0.1)
+            )
+        elif args.kill_shard is not None:
+            raise ValidationError(
+                "--kill-shard needs a sharded service; pass --workers N "
+                "or a shard plan directory"
+            )
+
+        async def _drive():
+            async with AsyncFrontend(
+                service,
+                slo_ms=args.slo_ms,
+                max_batch_rows=args.max_batch,
+                max_queued_rows=args.max_queued,
+                shortlist=args.shortlist,
+            ) as frontend:
+                kill_task = None
+                if args.kill_shard is not None:
+
+                    async def _kill():
+                        await asyncio.sleep(args.kill_shard)
+                        victim = service._workers[0]
+                        print(
+                            f"[fault] SIGKILL shard "
+                            f"{victim.shard_id} (pid {victim.process.pid})"
+                        )
+                        os.kill(victim.process.pid, signal.SIGKILL)
+
+                    kill_task = asyncio.ensure_future(_kill())
+                try:
+                    records = await run_open_loop(
+                        frontend, requests, arrivals, clients=clients
+                    )
+                finally:
+                    if kill_task is not None and not kill_task.done():
+                        kill_task.cancel()
+                return records, frontend.stats()
+
+        records, fe_stats = asyncio.run(_drive())
+        service_stats = service.stats()
+
+    ok = [r for r in records if r["status"] == "ok"]
+    rejected = [r for r in records if r["status"] == "rejected"]
+    errors = [r for r in records if r["status"] == "error"]
+    latencies = np.asarray([r["reply"].latency_ms for r in ok])
+    print(
+        f"offered {len(records)} requests over {args.duration:.1f}s "
+        f"({args.rate:.0f} req/s x {rows} rows): "
+        f"{len(ok)} ok, {len(rejected)} rejected, {len(errors)} errors"
+    )
+    if latencies.size:
+        done_rows = sum(r["n_rows"] for r in ok)
+        print(
+            f"latency p50 {np.percentile(latencies, 50):.2f} ms, "
+            f"p99 {np.percentile(latencies, 99):.2f} ms "
+            f"(SLO {args.slo_ms:.0f} ms, "
+            f"{fe_stats['slo_violations']} violations); "
+            f"throughput {done_rows / args.duration:,.0f} rows/s in "
+            f"{fe_stats['batches']} micro-batches "
+            f"(mean {fe_stats['mean_batch_rows']:.1f} rows)"
+        )
+    admission = fe_stats["admission"]
+    print(
+        f"admission: {admission['admitted_requests']} admitted, "
+        f"{admission['rejected_requests']} rejected, peak queue "
+        f"{admission['peak_queued_rows']} rows "
+        f"(bound {admission['max_queued_rows']})"
+    )
+    if "dead_shards" in service_stats:
+        print(
+            f"pool: {service_stats['n_shards']} shard(s), "
+            f"dead now {service_stats['dead_shards']}, "
+            f"{service_stats['respawns']} respawn(s), "
+            f"{service_stats['healed_shards']} healed shard(s), "
+            f"{service_stats['degraded_batches']} degraded batch(es)"
+        )
+    return 0 if not errors else 1
+
+
 def _dir_bytes(path) -> int:
     """Total payload bytes of an artifact directory (recursive)."""
     return sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
@@ -561,6 +764,7 @@ _COMMANDS = {
     "snapshot": _cmd_snapshot,
     "shard": _cmd_shard,
     "assign": _cmd_assign,
+    "serve": _cmd_serve,
     "ingest": _cmd_ingest,
 }
 

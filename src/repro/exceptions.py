@@ -61,6 +61,28 @@ class WorkerError(ReproError, RuntimeError):
     """
 
 
+class AdmissionError(ReproError, RuntimeError):
+    """A serving request was rejected by the admission controller.
+
+    Raised by :mod:`repro.serve.admission` when accepting a request
+    would grow the bounded ingress queue past its configured capacity
+    (globally or for one client).  Rejecting at the door with a retry
+    hint keeps queueing delay bounded under overload instead of letting
+    latency grow without limit.
+
+    Attributes:
+        retry_after: Suggested client back-off in seconds before
+            retrying, estimated from the current queue depth and the
+            observed drain rate.  ``None`` when no estimate is
+            available (e.g. the front-end is shutting down).
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        """Store the ``retry_after`` back-off hint alongside the message."""
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class SnapshotError(ValidationError):
     """A persisted detection snapshot failed validation on load.
 

@@ -42,10 +42,23 @@ package is that separation made concrete for the reproduction:
   one call returns a running service of either backend behind the
   :class:`ClusterHandle` protocol
   (``assign``/``apply_delta``/``reload``/``stats``/``close``).
+* :mod:`repro.serve.frontend` — :class:`AsyncFrontend`, the
+  traffic-facing asyncio front: admission-controlled ingress,
+  SLO-adaptive micro-batching over any :class:`ClusterHandle`, and
+  :func:`run_open_loop`, the open-loop replay driver behind the soak
+  lane and ``repro serve``.
+* :mod:`repro.serve.admission` — :class:`AdmissionController`, the
+  bounded ingress queue with per-client fair dequeue and
+  reject-with-``retry_after``
+  (:class:`~repro.exceptions.AdmissionError`).
+* :mod:`repro.serve.supervisor` — :class:`ShardSupervisor`, the
+  self-healing loop: watches a sharded pool's worker liveness and
+  respawns crashed workers from their still-valid shard artifacts via
+  :meth:`ShardedClusterService.heal`.
 
 Exposed on the command line as ``repro snapshot`` / ``repro shard`` /
-``repro assign [--workers N]`` / ``repro ingest``.  See
-``docs/serving.md`` for the artifact formats and semantics.
+``repro assign [--workers N]`` / ``repro ingest`` / ``repro serve``.
+See ``docs/serving.md`` for the artifact formats and semantics.
 """
 
 from repro.serve.assigner import (
@@ -53,7 +66,9 @@ from repro.serve.assigner import (
     Assignment,
     ClusterAssigner,
 )
+from repro.serve.admission import AdmissionController
 from repro.serve.client import ClusterHandle, connect
+from repro.serve.frontend import AsyncFrontend, FrontendReply, run_open_loop
 from repro.serve.ingest import IngestReport, IngestService
 from repro.serve.plan import (
     ShardPlan,
@@ -72,9 +87,12 @@ from repro.serve.snapshot import (
     DetectionSnapshot,
     SnapshotDelta,
 )
+from repro.serve.supervisor import ShardSupervisor
 
 __all__ = [
+    "AdmissionController",
     "Assignment",
+    "AsyncFrontend",
     "BatchingRouter",
     "ClusterAssigner",
     "ClusterHandle",
@@ -83,16 +101,19 @@ __all__ = [
     "DELTA_FORMAT",
     "DELTA_SCHEMA_VERSION",
     "DetectionSnapshot",
+    "FrontendReply",
     "IngestReport",
     "IngestService",
     "merge_partials",
     "replan_for_delta",
+    "run_open_loop",
     "SCHEMA_VERSION",
     "SHORTLIST_MODES",
     "SNAPSHOT_FORMAT",
     "ShardPlan",
     "ShardPlanner",
     "ShardSpec",
+    "ShardSupervisor",
     "ShardWorker",
     "ShardedClusterService",
     "SnapshotDelta",

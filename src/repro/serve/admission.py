@@ -1,0 +1,255 @@
+"""Bounded-queue admission control with per-client fair dequeue.
+
+The serving front-end (:mod:`repro.serve.frontend`) must not buffer
+traffic without limit: under sustained overload an unbounded queue turns
+every request's latency into the backlog's drain time.  The
+:class:`AdmissionController` enforces a hard cap on queued work measured
+in *rows* (query vectors), rejects excess arrivals with a
+``retry_after`` hint (:class:`~repro.exceptions.AdmissionError`), and
+hands batches to the dispatcher through a round-robin **fair dequeue**
+so one chatty client cannot starve the others.
+
+The controller is a passive, thread-safe data structure: it never
+spawns threads or touches the event loop.  Producers call
+:meth:`AdmissionController.offer`; the single dispatcher drains with
+:meth:`AdmissionController.drain` and reports observed service speed
+back via :meth:`AdmissionController.note_drained`, which feeds the
+``retry_after`` estimate.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from ..exceptions import AdmissionError, ValidationError
+
+__all__ = ["AdmissionController"]
+
+#: Floor/ceiling for the ``retry_after`` hint (seconds).  The hint is a
+#: back-off suggestion, not a reservation; clamping keeps it sane when
+#: the drain-rate estimate is cold or the queue is nearly empty.
+_RETRY_AFTER_MIN = 0.001
+_RETRY_AFTER_MAX = 30.0
+
+#: Smoothing factor for the exponentially-weighted drain rate.
+_RATE_ALPHA = 0.3
+
+
+class AdmissionController:
+    """Bounded ingress queue with round-robin fairness across clients.
+
+    Work is measured in rows because service cost is proportional to
+    rows, not requests: one 1024-row request occupies the executor as
+    long as 64 16-row requests.  Bounds:
+
+    - ``max_queued_rows`` — global cap across every client; an arrival
+      that would push the total past this is rejected.
+    - ``max_client_rows`` — optional per-client cap (defaults to the
+      global cap), so a single client cannot fill the whole queue even
+      when the global budget has room.
+
+    :meth:`drain` interleaves clients round-robin, taking whole requests
+    (a request is never split) until the row budget is spent.  The
+    round-robin cursor persists across calls, so service order is fair
+    over time, not just within one batch.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queued_rows: int = 4096,
+        max_client_rows: int | None = None,
+    ):
+        """Validate queue bounds and start with an empty queue."""
+        if max_queued_rows < 1:
+            raise ValidationError(
+                f"max_queued_rows must be >= 1, got {max_queued_rows}"
+            )
+        if max_client_rows is None:
+            max_client_rows = max_queued_rows
+        if max_client_rows < 1:
+            raise ValidationError(
+                f"max_client_rows must be >= 1, got {max_client_rows}"
+            )
+        self.max_queued_rows = int(max_queued_rows)
+        self.max_client_rows = int(max_client_rows)
+        self._lock = threading.Lock()
+        # client -> FIFO of (item, n_rows); insertion order doubles as
+        # the round-robin ring (dicts preserve it).
+        self._queues: dict[str, deque[tuple[Any, int]]] = {}
+        self._client_rows: dict[str, int] = {}
+        self._queued_rows = 0
+        self._queued_requests = 0
+        # Round-robin resume point: the client to serve first next drain.
+        self._cursor: str | None = None
+        # Lifetime accounting (exact: offered == admitted + rejected).
+        self._offered_requests = 0
+        self._admitted_requests = 0
+        self._admitted_rows = 0
+        self._rejected_requests = 0
+        self._rejected_rows = 0
+        self._peak_queued_rows = 0
+        # EWMA of observed drain speed, rows/second; feeds retry_after.
+        self._drain_rate = 0.0
+
+    # ------------------------------------------------------------------
+    # producer side
+
+    def offer(self, client: str, item: Any, n_rows: int) -> None:
+        """Enqueue ``item`` for ``client`` or raise :class:`AdmissionError`.
+
+        ``n_rows`` must be positive and no larger than the per-client
+        cap (a request that can never fit is rejected outright rather
+        than waiting forever).
+        """
+        if n_rows < 1:
+            raise ValidationError(f"n_rows must be >= 1, got {n_rows}")
+        with self._lock:
+            self._offered_requests += 1
+            client_rows = self._client_rows.get(client, 0)
+            if (
+                self._queued_rows + n_rows > self.max_queued_rows
+                or client_rows + n_rows > self.max_client_rows
+            ):
+                self._rejected_requests += 1
+                self._rejected_rows += n_rows
+                retry_after = self._retry_after_locked(n_rows)
+                scope = (
+                    "client"
+                    if client_rows + n_rows > self.max_client_rows
+                    else "queue"
+                )
+                raise AdmissionError(
+                    f"admission rejected {n_rows} rows for client "
+                    f"{client!r}: {scope} capacity exhausted "
+                    f"({self._queued_rows}/{self.max_queued_rows} rows "
+                    "queued)",
+                    retry_after=retry_after,
+                )
+            queue = self._queues.get(client)
+            if queue is None:
+                queue = self._queues[client] = deque()
+            queue.append((item, n_rows))
+            self._client_rows[client] = client_rows + n_rows
+            self._queued_rows += n_rows
+            self._queued_requests += 1
+            self._admitted_requests += 1
+            self._admitted_rows += n_rows
+            if self._queued_rows > self._peak_queued_rows:
+                self._peak_queued_rows = self._queued_rows
+
+    # ------------------------------------------------------------------
+    # dispatcher side
+
+    def drain(self, max_rows: int) -> list[tuple[str, Any, int]]:
+        """Dequeue up to ``max_rows`` rows, fairly across clients.
+
+        Cycles clients round-robin starting after the last client served
+        by the previous drain, taking one whole request per client per
+        pass.  Always takes at least one request when the queue is
+        non-empty (so an oversized request cannot wedge the queue), and
+        otherwise stops before exceeding the budget.  Returns a list of
+        ``(client, item, n_rows)`` in dispatch order; empty when idle.
+        """
+        if max_rows < 1:
+            raise ValidationError(f"max_rows must be >= 1, got {max_rows}")
+        out: list[tuple[str, Any, int]] = []
+        with self._lock:
+            taken = 0
+            while self._queued_requests:
+                ring = [c for c, q in self._queues.items() if q]
+                if self._cursor in ring:
+                    start = ring.index(self._cursor)
+                    ring = ring[start:] + ring[:start]
+                progressed = False
+                for client in ring:
+                    queue = self._queues[client]
+                    if not queue:
+                        continue
+                    n_rows = queue[0][1]
+                    if out and taken + n_rows > max_rows:
+                        continue
+                    item, n_rows = queue.popleft()
+                    self._client_rows[client] -= n_rows
+                    if not queue:
+                        del self._queues[client]
+                        del self._client_rows[client]
+                    self._queued_rows -= n_rows
+                    self._queued_requests -= 1
+                    taken += n_rows
+                    out.append((client, item, n_rows))
+                    progressed = True
+                    # Resume the next drain *after* this client.
+                    self._cursor = self._next_after(client)
+                    if taken >= max_rows:
+                        return out
+                if not progressed:
+                    break
+        return out
+
+    def _next_after(self, client: str) -> str | None:
+        """Return the client after ``client`` in the current ring."""
+        ring = list(self._queues)
+        if not ring:
+            return None
+        if client not in ring:
+            return ring[0]
+        return ring[(ring.index(client) + 1) % len(ring)]
+
+    def note_drained(self, n_rows: int, seconds: float) -> None:
+        """Fold one completed batch into the drain-rate estimate."""
+        if n_rows < 1 or seconds <= 0.0:
+            return
+        rate = n_rows / seconds
+        with self._lock:
+            if self._drain_rate <= 0.0:
+                self._drain_rate = rate
+            else:
+                self._drain_rate += _RATE_ALPHA * (rate - self._drain_rate)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def _retry_after_locked(self, n_rows: int) -> float:
+        """Estimate seconds until ``n_rows`` could plausibly be admitted."""
+        if self._drain_rate <= 0.0:
+            return _RETRY_AFTER_MAX if self._queued_rows else _RETRY_AFTER_MIN
+        backlog = self._queued_rows + n_rows
+        estimate = backlog / self._drain_rate
+        return float(min(max(estimate, _RETRY_AFTER_MIN), _RETRY_AFTER_MAX))
+
+    @property
+    def queued_rows(self) -> int:
+        """Rows currently queued across all clients."""
+        with self._lock:
+            return self._queued_rows
+
+    @property
+    def queued_requests(self) -> int:
+        """Requests currently queued across all clients."""
+        with self._lock:
+            return self._queued_requests
+
+    def stats(self) -> dict:
+        """Return queue bounds, current depth, and lifetime accounting.
+
+        ``offered_requests == admitted_requests + rejected_requests``
+        holds exactly at every instant — the soak lane gates on it.
+        """
+        with self._lock:
+            return {
+                "max_queued_rows": self.max_queued_rows,
+                "max_client_rows": self.max_client_rows,
+                "queued_rows": self._queued_rows,
+                "queued_requests": self._queued_requests,
+                "queued_clients": len(self._queues),
+                "peak_queued_rows": self._peak_queued_rows,
+                "offered_requests": self._offered_requests,
+                "admitted_requests": self._admitted_requests,
+                "admitted_rows": self._admitted_rows,
+                "rejected_requests": self._rejected_requests,
+                "rejected_rows": self._rejected_rows,
+                "drain_rate_rows_per_s": self._drain_rate,
+            }

@@ -61,23 +61,29 @@ class _ServingCounters:
         "entries",
         "degraded",
         "reloads",
+        "respawns",
+        "healed",
         "snap_batches",
         "snap_queries",
         "snap_assigned",
         "snap_entries",
         "snap_degraded",
+        "snap_respawns",
+        "snap_healed",
     )
 
     def __init__(self) -> None:
         self.reloads = 0
         self.batches = self.queries = self.assigned = self.entries = 0
         self.degraded = 0
+        self.respawns = self.healed = 0
         self._reset_snapshot_scope()
 
     def _reset_snapshot_scope(self) -> None:
         self.snap_batches = self.snap_queries = 0
         self.snap_assigned = self.snap_entries = 0
         self.snap_degraded = 0
+        self.snap_respawns = self.snap_healed = 0
 
     def record_batch(
         self,
@@ -105,6 +111,19 @@ class _ServingCounters:
         self.reloads += 1
         self._reset_snapshot_scope()
 
+    def record_heal(self, n_workers: int, n_shards: int) -> None:
+        """Account one successful heal at both scopes.
+
+        ``n_workers`` counts replacement worker processes spawned;
+        ``n_shards`` counts shards returned to the serving pool (equal
+        today — one worker per shard — but kept distinct so a future
+        split-shard planner can heal partially).
+        """
+        self.respawns += int(n_workers)
+        self.healed += int(n_shards)
+        self.snap_respawns += int(n_workers)
+        self.snap_healed += int(n_shards)
+
     def lifetime_dict(self, *, with_degraded: bool = False) -> dict:
         """The top-level (lifetime) stats fields."""
         out = {
@@ -117,6 +136,8 @@ class _ServingCounters:
         }
         if with_degraded:
             out["degraded_batches"] = self.degraded
+            out["respawns"] = self.respawns
+            out["healed_shards"] = self.healed
         return out
 
     def snapshot_dict(self, *, with_degraded: bool = False) -> dict:
@@ -134,6 +155,8 @@ class _ServingCounters:
         }
         if with_degraded:
             out["degraded_batches"] = self.snap_degraded
+            out["respawns"] = self.snap_respawns
+            out["healed_shards"] = self.snap_healed
         return out
 
 

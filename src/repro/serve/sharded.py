@@ -41,6 +41,12 @@ Guarantees, pinned by ``tests/test_serve_sharded.py``:
   shards keep answering and the degradation is surfaced in
   :meth:`ShardedClusterService.stats`.  The default policy raises
   :class:`~repro.exceptions.WorkerError` instead.
+* **Self-healing** — :meth:`ShardedClusterService.heal` respawns dead
+  workers from their still-valid on-disk shard artifacts (checksums
+  re-verified on load) and swaps them in behind a drained router;
+  post-heal assignments are byte-identical to a never-crashed pool.
+  :class:`~repro.serve.supervisor.ShardSupervisor` automates the
+  watch-and-heal loop; ``tests/test_serve_faults.py`` pins both.
 
 Stats follow the same two-scope semantics as the single-process
 service: top-level counters are lifetime, the ``"snapshot"`` block
@@ -659,6 +665,113 @@ class ShardedClusterService:
         for worker in replaced:
             worker.stop()
         return touched
+
+    def dead_shard_ids(self) -> list[int]:
+        """Sorted shard ids whose worker is currently dead.
+
+        Cheap (no worker round-trip — liveness is the parent-side
+        ``alive`` flag), so supervisors can poll it at a tight interval.
+        Raises :class:`WorkerError` on a closed service, like every
+        other serving call.
+        """
+        with self._lock:
+            if self._router is None:
+                raise WorkerError(
+                    "service is closed; no shard workers are running"
+                )
+            return sorted(
+                w.shard_id for w in self._workers if not w.alive
+            )
+
+    def heal(self) -> list[int]:
+        """Respawn every dead shard worker from its on-disk artifact.
+
+        The self-healing half of degraded serving: a crashed (or
+        timed-out, or desynced) worker's shard snapshot is still intact
+        on disk — worker processes only ever *read* their shard, so a
+        SIGKILL cannot tear it — and :class:`ShardWorker` re-verifies
+        the checksums on load, so a respawn serves exactly the bytes
+        the dead worker served.  Replacements are spawned and
+        handshaken entirely off to the side (a failure — e.g. a
+        corrupted artifact — propagates with the surviving pool still
+        serving degraded), then swapped in behind a drained router,
+        exactly like :meth:`apply_delta`'s partial reload.
+
+        Returns the sorted shard ids that were healed (empty when every
+        worker is alive).  Unlike a reload, a heal does **not** reset
+        the per-snapshot stats scope — the served snapshot did not
+        change — but it does advance the ``respawns`` and
+        ``healed_shards`` counters at both scopes.
+        """
+        with self._lock:
+            plan = self._plan
+            if self._router is None or plan is None:
+                raise WorkerError(
+                    "service is closed; no shard workers are running"
+                )
+            dead_ids = sorted(
+                w.shard_id for w in self._workers if not w.alive
+            )
+        if not dead_ids:
+            return []
+        fresh: list[ShardWorker] = []
+        try:
+            for shard_id in dead_ids:
+                fresh.append(
+                    ShardWorker(
+                        plan.shard_dir(shard_id),
+                        shard_id,
+                        mmap=self._mmap,
+                        start_timeout=self._start_timeout,
+                    )
+                )
+        except Exception:
+            for worker in fresh:
+                worker.stop()
+            raise
+        by_shard = {worker.shard_id: worker for worker in fresh}
+        with self._lock:
+            if self._router is None:
+                for worker in fresh:
+                    worker.stop()
+                raise WorkerError(
+                    "service was closed while healing"
+                )
+            if self._plan is not plan:
+                # A reload/apply_delta raced us and already installed a
+                # fully fresh pool; our replacements would serve a stale
+                # plan.  Discard them — the heal is moot.
+                for worker in fresh:
+                    worker.stop()
+                return []
+            old_router = self._router
+            # Same pipe-discipline as apply_delta: drain the old router
+            # before surviving workers move to the new one.
+            old_router.wait_idle()
+            replaced = [
+                worker
+                for worker in self._workers
+                if worker.shard_id in by_shard
+            ]
+            workers = sorted(
+                [
+                    worker
+                    for worker in self._workers
+                    if worker.shard_id not in by_shard
+                ]
+                + fresh,
+                key=lambda worker: worker.shard_id,
+            )
+            router = BatchingRouter(
+                workers,
+                max_batch=self._max_batch,
+                on_worker_error=self._on_worker_error,
+            )
+            self._workers, self._router = workers, router
+            self._counters.record_heal(len(fresh), len(fresh))
+        for worker in replaced:
+            worker.stop()
+        return dead_ids
 
     def describe_shards(self) -> list[dict]:
         """Live facts from every worker that still answers.

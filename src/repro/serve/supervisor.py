@@ -1,0 +1,191 @@
+"""ShardSupervisor: watch a sharded pool and heal dead workers.
+
+:class:`~repro.serve.sharded.ShardedClusterService` survives worker
+crashes in degraded mode (``on_worker_error="skip"``) and can repair
+itself on demand via :meth:`~repro.serve.sharded.ShardedClusterService.heal`;
+the :class:`ShardSupervisor` closes the loop by doing the watching.  A
+background thread polls :meth:`dead_shard_ids` at a fixed interval and
+triggers a heal whenever the pool has holes, so a SIGKILLed worker is
+back within roughly ``interval`` plus one worker startup — no operator
+action, no reload, no snapshot change.
+
+Failure discipline: a heal that raises (e.g. the shard artifact was
+damaged *after* the crash) is recorded — last error string, consecutive
+failure count — and retried on the next poll with exponential back-off,
+while the pool keeps serving degraded.  The supervisor never takes the
+service down; the worst it does is log failure in its stats.
+
+Determinism for tests: :meth:`ShardSupervisor.poll_now` runs one
+synchronous poll/heal cycle on the caller's thread, so fault-injection
+tests do not need to sleep until the background thread gets around to
+it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..exceptions import ValidationError
+
+__all__ = ["ShardSupervisor"]
+
+#: Cap on the exponential retry back-off, in units of poll intervals.
+_MAX_BACKOFF_POLLS = 64
+
+
+class ShardSupervisor:
+    """Background watcher that heals a sharded service's dead workers.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.serve.sharded.ShardedClusterService` to
+        watch.  Any object with ``dead_shard_ids()`` and ``heal()`` is
+        accepted (duck-typed so tests can instrument either call).
+    interval:
+        Seconds between liveness polls of the background thread.
+    on_heal:
+        Optional callback invoked as ``on_heal(shard_ids)`` after every
+        successful heal (from the supervisor thread — keep it cheap).
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`
+    explicitly.  Stopping the supervisor never touches the service.
+    """
+
+    def __init__(self, service, *, interval: float = 0.25, on_heal=None):
+        """Validate the poll interval and the service's heal surface."""
+        if interval <= 0.0:
+            raise ValidationError(
+                f"interval must be > 0, got {interval}"
+            )
+        for required in ("dead_shard_ids", "heal"):
+            if not callable(getattr(service, required, None)):
+                raise ValidationError(
+                    "service does not expose a callable "
+                    f"{required}(); ShardSupervisor needs a "
+                    "ShardedClusterService-like object"
+                )
+        self._service = service
+        self.interval = float(interval)
+        self._on_heal = on_heal
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._polls = 0
+        self._heals = 0
+        self._healed_shards = 0
+        self._heal_failures = 0
+        self._consecutive_failures = 0
+        self._last_error: str | None = None
+        self._backoff_remaining = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def running(self) -> bool:
+        """Whether the background watcher thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def start(self) -> "ShardSupervisor":
+        """Start the background watcher (idempotent); returns ``self``."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._watch,
+                name="repro-shard-supervisor",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the watcher thread and join it (idempotent)."""
+        self._stop_event.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+
+    def __enter__(self) -> "ShardSupervisor":
+        """Start watching on context entry."""
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Stop watching on context exit."""
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # the watch loop
+
+    def _watch(self) -> None:
+        """Poll until stopped; heal (with back-off) when holes appear."""
+        while not self._stop_event.wait(self.interval):
+            with self._lock:
+                if self._backoff_remaining > 0:
+                    self._backoff_remaining -= 1
+                    continue
+            try:
+                self.poll_now()
+            except Exception:  # pragma: no cover - service closed mid-stop
+                # A racing close() makes every service call raise; the
+                # owner is tearing things down, so just stop watching.
+                return
+
+    def poll_now(self) -> list[int]:
+        """Run one poll/heal cycle synchronously; returns healed ids.
+
+        A heal failure (corrupt artifact, spawn failure) is absorbed
+        into the supervisor's failure stats and schedules exponential
+        back-off for the background loop; the caller gets an empty
+        list, the degraded pool keeps serving, and the next cycle
+        retries.  Only errors from the *poll* (e.g. a closed service)
+        propagate.
+        """
+        with self._lock:
+            self._polls += 1
+        if not self._service.dead_shard_ids():
+            return []
+        try:
+            healed = self._service.heal()
+        except Exception as exc:  # noqa: BLE001 - surfaced in stats
+            with self._lock:
+                self._heal_failures += 1
+                self._consecutive_failures += 1
+                self._last_error = f"{type(exc).__name__}: {exc}"
+                self._backoff_remaining = min(
+                    2 ** min(self._consecutive_failures, 16),
+                    _MAX_BACKOFF_POLLS,
+                )
+            return []
+        with self._lock:
+            self._consecutive_failures = 0
+            self._backoff_remaining = 0
+            if healed:
+                self._heals += 1
+                self._healed_shards += len(healed)
+                self._last_error = None
+        if healed and self._on_heal is not None:
+            self._on_heal(list(healed))
+        return list(healed)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def stats(self) -> dict:
+        """Supervisor counters: polls, heals, failures, back-off state."""
+        with self._lock:
+            return {
+                "running": self.running,
+                "interval": self.interval,
+                "polls": self._polls,
+                "heals": self._heals,
+                "healed_shards": self._healed_shards,
+                "heal_failures": self._heal_failures,
+                "consecutive_failures": self._consecutive_failures,
+                "backoff_polls_remaining": self._backoff_remaining,
+                "last_error": self._last_error,
+            }

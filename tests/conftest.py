@@ -1,6 +1,16 @@
-"""Shared fixtures: small deterministic datasets and oracles."""
+"""Shared fixtures: small deterministic datasets and oracles.
+
+Also carries the per-test timeout fallback: CI installs pytest-timeout
+(see the `test` extra) and runs the fast lane with ``--timeout=120``,
+but a bare local checkout may not have the plugin — the hooks below
+apply the same default through ``signal.setitimer`` so a hung worker
+pipe or supervisor deadlock fails the test instead of wedging the run.
+``@pytest.mark.timeout(N)`` overrides the default either way.
+"""
 
 from __future__ import annotations
+
+import signal
 
 import numpy as np
 import pytest
@@ -8,6 +18,49 @@ import pytest
 from repro.affinity.kernel import LaplacianKernel
 from repro.affinity.oracle import AffinityOracle
 from repro.datasets.synthetic import make_synthetic_mixture
+
+_FALLBACK_TIMEOUT_SECONDS = 120.0
+
+
+def _timeout_fallback_active(config) -> bool:
+    """Whether the SIGALRM fallback should police test runtime.
+
+    Defers entirely to pytest-timeout when it is installed, and only
+    works where POSIX interval timers exist (everywhere CI runs).
+    """
+    if config.pluginmanager.hasplugin("timeout"):
+        return False
+    return hasattr(signal, "setitimer") and hasattr(signal, "SIGALRM")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Arm a per-test alarm when pytest-timeout is unavailable."""
+    if not _timeout_fallback_active(item.config):
+        yield
+        return
+    marker = item.get_closest_marker("timeout")
+    seconds = _FALLBACK_TIMEOUT_SECONDS
+    if marker is not None and marker.args:
+        seconds = float(marker.args[0])
+    if seconds <= 0:
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"test exceeded the {seconds:.0f}s fallback timeout "
+            "(SIGALRM; install pytest-timeout for stack dumps)",
+            pytrace=False,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -6,6 +6,7 @@ freshly written full snapshot, partial shard reloads that keep untouched
 worker processes alive, and the unified serving client API.
 """
 
+import contextlib
 import json
 
 import numpy as np
@@ -65,7 +66,15 @@ def chain(tmp_path_factory):
     first = np.setdiff1d(np.arange(data.shape[0]), held_back)
 
     root = tmp_path_factory.mktemp("chain")
-    service = IngestService(StreamingALID(_stream_config()), repeel="sync")
+    # closing() guard: the worker-backed service must be torn down even
+    # when one of the sanity asserts below fails before the yield.
+    with contextlib.closing(
+        IngestService(StreamingALID(_stream_config()), repeel="sync")
+    ) as service:
+        yield from _build_chain(service, root, data, first, held_back, fifth)
+
+
+def _build_chain(service, root, data, first, held_back, fifth):
     service.ingest(data[first])
     base = service.publish_base(root / "base")
     assert base.n_clusters >= 3
@@ -87,7 +96,6 @@ def chain(tmp_path_factory):
         "delta2": delta2,
         "queries": np.vstack([data, fifth]),
     }
-    service.close()
 
 
 def _clusters_identical(got, want):
@@ -394,18 +402,19 @@ class TestShardedDelta:
 
 class TestConnect:
     def test_both_backends_satisfy_the_protocol(self, chain):
-        single = connect(chain["root"] / "base")
-        sharded = connect(chain["root"] / "base", workers=2)
-        try:
+        # ExitStack so the first handle is closed even if constructing
+        # the second one raises.
+        with contextlib.ExitStack() as stack:
+            single = stack.enter_context(connect(chain["root"] / "base"))
+            sharded = stack.enter_context(
+                connect(chain["root"] / "base", workers=2)
+            )
             assert isinstance(single, ClusterHandle)
             assert isinstance(sharded, ClusterHandle)
             a = single.assign(chain["queries"][:25])
             b = sharded.assign(chain["queries"][:25])
             assert np.array_equal(a.labels, b.labels)
             assert a.entries_computed == b.entries_computed
-        finally:
-            single.close()
-            sharded.close()
 
     def test_deltas_flow_through_both_handles(self, chain):
         with connect(chain["root"] / "base") as single, connect(

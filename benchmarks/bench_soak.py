@@ -34,6 +34,20 @@ Three lanes per profile:
   admission bound.  Gated: ``accounting_exact``,
   ``rejections_observed`` and ``retry_after_ok`` (every rejection
   carried a positive back-off hint).
+- ``soak_<p>_telemetry`` — the clean schedule replayed twice on the
+  same pool layout: bare, then with the full observability stack wired
+  (shared :class:`~repro.obs.metrics.MetricsRegistry` +
+  :class:`~repro.obs.trace.TraceRecorder` through both the sharded
+  service and the front-end).  Gated: ``telemetry_shrink`` (the
+  instrumented replay may not deliver more than 3% less throughput
+  than the bare one — both runs share one machine and one schedule, so
+  the ratio is noise-resistant where absolute wall clock is not) and
+  the zero-tolerance booleans ``trace_spans_balanced`` (every span the
+  recorder opened was closed), ``latency_histogram_exact`` (the merged
+  ``frontend_latency_ms`` histogram is bucket-for-bucket identical —
+  p50/p95/p99 included — to a histogram rebuilt from the per-request
+  latencies the replies reported) and ``span_breakdown_exact`` (each
+  reply's queued + service span milliseconds sum to its latency).
 
 Latency is **SLO-gated, not baseline-gated**: ``slo_met`` (p99 ≤ the
 lane's SLO) is a zero-tolerance boolean, while the p50/p99 numbers
@@ -72,6 +86,11 @@ import numpy as np  # noqa: E402
 from repro.core.alid import ALID  # noqa: E402
 from repro.core.config import ALIDConfig  # noqa: E402
 from repro.datasets.synthetic import make_synthetic_mixture  # noqa: E402
+from repro.obs.metrics import (  # noqa: E402
+    MetricsRegistry,
+    default_latency_bounds_ms,
+)
+from repro.obs.trace import TraceRecorder  # noqa: E402
 from repro.serve import (  # noqa: E402
     AsyncFrontend,
     ClusterService,
@@ -168,10 +187,16 @@ async def _replay(
     slo_ms: float,
     max_queued: int,
     kill_at: float | None,
+    registry: MetricsRegistry | None = None,
+    tracer: TraceRecorder | None = None,
 ):
     """One open-loop replay; returns (records, frontend stats, wall)."""
     async with AsyncFrontend(
-        service, slo_ms=slo_ms, max_queued_rows=max_queued
+        service,
+        slo_ms=slo_ms,
+        max_queued_rows=max_queued,
+        registry=registry,
+        tracer=tracer,
     ) as frontend:
         kill_task = None
         if kill_at is not None:
@@ -366,6 +391,103 @@ def overload_lane(
     return entry
 
 
+def telemetry_lane(
+    profile: str, data: np.ndarray, shard_root: pathlib.Path
+) -> dict:
+    """Replay the clean schedule bare, then fully instrumented.
+
+    The two replays share one machine, one schedule and one shard
+    layout, so the throughput ratio isolates the observability
+    overhead; the exactness booleans pin the telemetry's correctness
+    claims (see the module docstring) on real cross-process traffic.
+    """
+    spec = PROFILES[profile]
+    arrivals, clients = _schedule(profile)
+    requests = _requests(data, spec["rows"], len(arrivals))
+
+    def _one(registry=None, tracer=None):
+        with ShardedClusterService(
+            shard_root,
+            on_worker_error="skip",
+            registry=registry,
+            tracer=tracer,
+        ) as service:
+            return asyncio.run(
+                _replay(
+                    service,
+                    requests,
+                    arrivals,
+                    clients,
+                    slo_ms=spec["slo_ms"],
+                    max_queued=spec["max_queued"],
+                    kill_at=None,
+                    registry=registry,
+                    tracer=tracer,
+                )
+            )
+
+    bare_records, _, bare_wall = _one()
+    registry = MetricsRegistry()
+    tracer = TraceRecorder()
+    records, fe_stats, wall = _one(registry=registry, tracer=tracer)
+
+    bare_rows = sum(
+        r["n_rows"] for r in bare_records if r["status"] == "ok"
+    )
+    ok = [r for r in records if r["status"] == "ok"]
+    rows_ok = sum(r["n_rows"] for r in ok)
+    qps_bare = bare_rows / bare_wall
+    qps_telemetry = rows_ok / wall
+    shrink = max(0.0, 1.0 - qps_telemetry / max(qps_bare, 1e-9))
+
+    # The merged front-end histogram (worker deltas included) must be
+    # the bucket-level image of the latencies the replies themselves
+    # reported — same bounds, same counts, hence same percentiles.
+    hist = registry.get("frontend_latency_ms")
+    reference = MetricsRegistry().histogram(
+        "reference_ms", bounds=default_latency_bounds_ms()
+    )
+    for record in ok:
+        reference.observe(record["reply"].latency_ms)
+    histogram_exact = (
+        hist.bucket_counts() == reference.bucket_counts()
+        and hist.percentiles() == reference.percentiles()
+    )
+
+    span_exact = all(
+        record["reply"].span is not None
+        and abs(
+            record["reply"].span["queued_ms"]
+            + record["reply"].span["service_ms"]
+            - record["reply"].latency_ms
+        )
+        <= 1e-9
+        for record in ok
+    )
+
+    percentiles = hist.percentiles()
+    entry, _ = _accounting(records, fe_stats)
+    entry.update(
+        {
+            "rows_per_request": spec["rows"],
+            "wall_seconds": round(wall, 4),
+            "bare_wall_seconds": round(bare_wall, 4),
+            "throughput_qps": round(qps_telemetry, 1),
+            "bare_throughput_qps": round(qps_bare, 1),
+            "telemetry_shrink": round(shrink, 4),
+            "trace_spans_balanced": bool(tracer.balanced),
+            "trace_request_spans": len(tracer.spans("request")),
+            "trace_total_spans": len(tracer),
+            "latency_histogram_exact": bool(histogram_exact),
+            "span_breakdown_exact": bool(span_exact),
+            "histogram_p50_ms": round(percentiles["p50"], 3),
+            "histogram_p95_ms": round(percentiles["p95"], 3),
+            "histogram_p99_ms": round(percentiles["p99"], 3),
+        }
+    )
+    return entry
+
+
 def run(profile_keys: list[str], scratch: pathlib.Path) -> dict:
     workloads: dict[str, dict] = {}
     for profile in profile_keys:
@@ -388,6 +510,10 @@ def run(profile_keys: list[str], scratch: pathlib.Path) -> dict:
             )
         print(f"[bench_soak] soak_{profile}_overload ...", flush=True)
         workloads[f"soak_{profile}_overload"] = overload_lane(
+            profile, data, shard_root
+        )
+        print(f"[bench_soak] soak_{profile}_telemetry ...", flush=True)
+        workloads[f"soak_{profile}_telemetry"] = telemetry_lane(
             profile, data, shard_root
         )
     return {

@@ -29,7 +29,12 @@ work accounting regresses:
   ``--min-speedup`` (default 0.9, i.e. the fused backend may not be
   more than 10% slower than the reference it replaces; wall clock is
   same-machine relative here, so the usual noise argument does not
-  apply).
+  apply);
+* a workload reporting ``telemetry_shrink`` (the fractional throughput
+  lost by the instrumented replay of ``bench_soak.py``'s telemetry
+  lane relative to the bare replay in the same run) fails above
+  ``--max-telemetry-shrink`` (default 0.03 — observability must stay
+  within 3% of free; same-machine relative, so gateable).
 
 Wall-clock numbers are reported for context but never gated — CI
 machines are too noisy for that.  (Soak latency percentiles are wall
@@ -68,6 +73,18 @@ BOOLEAN_KEYS = {
     "healed_ok": "the pool did not heal after the injected worker kill",
     "rejections_observed": "the overload burst produced no rejections",
     "retry_after_ok": "rejections lacked positive retry_after hints",
+    "trace_spans_balanced": (
+        "the trace recorder left spans open (a code path returned "
+        "without closing its bracket)"
+    ),
+    "latency_histogram_exact": (
+        "the merged latency histogram diverged from the per-request "
+        "latencies the replies reported"
+    ),
+    "span_breakdown_exact": (
+        "reply span breakdowns (queued + service) did not sum to the "
+        "reported latency"
+    ),
 }
 INFO_KEYS = (
     "entries_stored_peak",
@@ -78,6 +95,8 @@ INFO_KEYS = (
     "rejection_rate",
     "degraded_batches",
     "respawns",
+    "telemetry_shrink",
+    "trace_total_spans",
 )
 
 
@@ -115,6 +134,13 @@ def main(argv: list[str] | None = None) -> int:
         default=0.9,
         help="floor for reported fused_speedup ratios (default 0.9)",
     )
+    parser.add_argument(
+        "--max-telemetry-shrink",
+        type=float,
+        default=0.03,
+        help="ceiling for reported telemetry_shrink fractions "
+        "(default 0.03)",
+    )
     args = parser.parse_args(argv)
     current = load(args.current)["workloads"]
     baseline = load(args.baseline)["workloads"]
@@ -136,6 +162,18 @@ def main(argv: list[str] | None = None) -> int:
                 failures.append(
                     f"{name}: fused_speedup {speedup} below "
                     f"{args.min_speedup}"
+                )
+        shrink = cur.get("telemetry_shrink")
+        if shrink is not None:
+            status = "FAIL" if shrink > args.max_telemetry_shrink else "ok"
+            print(
+                f"[check_hotpath] {status:4s} {name}.telemetry_shrink: "
+                f"{shrink} (ceiling {args.max_telemetry_shrink})"
+            )
+            if shrink > args.max_telemetry_shrink:
+                failures.append(
+                    f"{name}: telemetry_shrink {shrink} above "
+                    f"{args.max_telemetry_shrink}"
                 )
     for name in sorted(baseline):
         base = baseline[name]

@@ -17,17 +17,27 @@ The serve-time story in four steps:
    absorb applies;
 5. re-open the same snapshot with ``workers=2`` — connect() shards it
    on the fly across two worker processes — and check the answers are
-   byte-identical to the single-process handle.
+   byte-identical to the single-process handle;
+6. watch it run: drive async requests through the front door with the
+   telemetry subsystem wired (one
+   :class:`~repro.obs.metrics.MetricsRegistry` shared by the front-end
+   and the shard workers, plus a
+   :class:`~repro.obs.trace.TraceRecorder`), scrape the Prometheus
+   page, and dump a Chrome trace of the whole replay
+   (see ``docs/observability.md``).
 
 Run:  python examples/serving_quickstart.py
 """
 
+import asyncio
 import tempfile
 
 import numpy as np
 
 from repro import ALID, ALIDConfig, make_synthetic_mixture
-from repro.serve import DetectionSnapshot, connect
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+from repro.serve import AsyncFrontend, DetectionSnapshot, connect
 
 
 def main() -> None:
@@ -93,6 +103,49 @@ def main() -> None:
                 f"{shard_answer.entries_computed == assignment.entries_computed}"
             )
         service.close()
+
+        # --- 6. telemetry: metrics scrape + request trace ------------
+        registry = MetricsRegistry()
+        tracer = TraceRecorder()
+        with connect(
+            path, workers=2, registry=registry, tracer=tracer
+        ) as handle:
+
+            async def drive() -> str:
+                async with AsyncFrontend(
+                    handle,
+                    slo_ms=200.0,
+                    registry=registry,
+                    tracer=tracer,
+                ) as frontend:
+                    for i in range(8):
+                        await frontend.assign(
+                            queries[i * 10 : (i + 1) * 10],
+                            client=f"client-{i % 2}",
+                        )
+                    return await frontend.metrics()
+
+            page = asyncio.run(drive())
+        latency = registry.get("frontend_latency_ms")
+        print(
+            f"telemetry: {latency.count} requests observed, "
+            f"p99 latency {latency.percentiles()['p99']:.1f} ms"
+        )
+        sample = [
+            line
+            for line in page.splitlines()
+            if line.startswith(
+                ("frontend_requests_completed_total", "serve_queries_total")
+            )
+        ]
+        print("scrape sample: " + " | ".join(sample))
+        trace_path = f"{scratch}/trace.jsonl"
+        n_events = tracer.export_jsonl(trace_path)
+        print(
+            f"trace: {n_events} events -> trace.jsonl "
+            f"(spans balanced: {tracer.balanced}); open in "
+            f"chrome://tracing or ui.perfetto.dev"
+        )
 
 
 if __name__ == "__main__":

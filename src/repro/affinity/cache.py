@@ -70,6 +70,12 @@ class ColumnBlockCache:
                 f"max_columns must be >= 1 or None, got {max_columns}"
             )
         self.max_columns = max_columns
+        # Telemetry tallies (plain ints — zero overhead when nobody
+        # reads them).  The fit-phase profiler drains them per cluster
+        # at :meth:`~repro.dynamics.lid.LIDState.release` time.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
         # Buffer rows are cache slots; _buf[slot] is column j over `rows`.
         self._buf = np.empty((0, self.rows.size), dtype=np.float64)
         self._slot_of: dict[int, int] = {}
@@ -151,11 +157,14 @@ class ColumnBlockCache:
         """
         use = self._use
         slot_of = self._slot_of
+        hits = 0
         for j in js:
             j = int(j)
             if j in slot_of:
+                hits += 1
                 use.pop(j, None)
                 use[j] = None
+        self.hits += hits
 
     # ------------------------------------------------------------------
     # lookup / fetch
@@ -187,6 +196,7 @@ class ColumnBlockCache:
             self.ensure(np.asarray([j], dtype=np.intp))
             slot = self._slot_of[j]
         else:
+            self.hits += 1
             self._touch(j)
         return self._buf[slot, : self.n_rows]
 
@@ -202,6 +212,8 @@ class ColumnBlockCache:
         """
         js = np.asarray(js, dtype=np.intp)
         missing = [int(j) for j in js if int(j) not in self._slot_of]
+        self.misses += len(missing)
+        self.hits += int(js.size) - len(missing)
         if missing:
             # dict.fromkeys: dedup while preserving order.
             missing = list(dict.fromkeys(missing))
@@ -363,6 +375,7 @@ class ColumnBlockCache:
         slot = self._slot_of.pop(j)
         self._use.pop(j, None)
         self._free.append(slot)
+        self.evictions += 1
         self.oracle.release_stored(self.n_rows)
 
     def release_all(self) -> None:

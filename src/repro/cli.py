@@ -36,6 +36,19 @@ Commands
     dirtied collision regions, and publish a base snapshot plus one
     incremental delta per subsequent batch — the artifact chain a
     serving process hot-applies with ``ClusterHandle.apply_delta``.
+``stats``
+    Serve a query batch against a snapshot with a shared
+    :class:`~repro.obs.metrics.MetricsRegistry` wired through the
+    backend (worker-process histogram deltas included) and print the
+    Prometheus-style text exposition — the same output
+    :meth:`~repro.serve.frontend.AsyncFrontend.metrics` scrapes.
+``trace``
+    Replay open-loop traffic (the ``serve`` schedule) with a
+    :class:`~repro.obs.trace.TraceRecorder` attached to the front-end
+    and the service, then export the spans — admission queueing,
+    micro-batches, scatter / per-shard assign / merge, supervisor
+    heals — as Chrome ``chrome://tracing`` / Perfetto-loadable
+    trace-event JSONL.
 
 Examples
 --------
@@ -49,6 +62,8 @@ Examples
     python -m repro assign --snapshot nart_snapshot --queries nart.npz --workers 2
     python -m repro serve --snapshot nart_snapshot --queries nart.npz --workers 2 --kill-shard 1.5
     python -m repro ingest --input nart.npz --out nart_chain --batch-size 500
+    python -m repro stats --snapshot nart_snapshot --queries nart.npz --workers 2
+    python -m repro trace --snapshot nart_snapshot --queries nart.npz --out spans.jsonl
 """
 
 from __future__ import annotations
@@ -115,6 +130,44 @@ METHODS = (
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
+def _add_traffic_args(parser) -> None:
+    """The open-loop replay knobs shared by ``serve`` and ``trace``."""
+    parser.add_argument("--snapshot", required=True,
+                        help="snapshot directory (or shard plan directory "
+                             "with a plan.json)")
+    parser.add_argument("--queries", required=True,
+                        help="dataset .npz whose items feed the traffic")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="serve through N shard worker processes "
+                             "(default 1: single-process service)")
+    parser.add_argument("--mmap", action="store_true",
+                        help="memory-map snapshot arrays (single-process)")
+    parser.add_argument("--rate", type=float, default=200.0,
+                        help="mean request arrival rate, requests/s")
+    parser.add_argument("--duration", type=float, default=3.0,
+                        help="length of the arrival schedule, seconds")
+    parser.add_argument("--request-rows", type=int, default=16,
+                        help="query rows per request")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="simulated clients cycling round-robin")
+    parser.add_argument("--slo-ms", type=float, default=50.0,
+                        help="latency SLO driving the adaptive batch cap")
+    parser.add_argument("--max-batch", type=int, default=1024,
+                        help="hard micro-batch row ceiling")
+    parser.add_argument("--max-queued", type=int, default=4096,
+                        help="admission bound, rows")
+    parser.add_argument("--shortlist", choices=("lsh", "multiprobe", "all"),
+                        default="lsh",
+                        help="candidate-cluster shortlist mode")
+    parser.add_argument("--kill-shard", type=float, default=None,
+                        metavar="SECONDS",
+                        help="SIGKILL one shard worker this far into the "
+                             "replay (sharded only) to exercise "
+                             "supervision and self-healing")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed of the arrival schedule")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -154,6 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("reference", "fused", "numba"),
                      help="LID inner-loop backend (bit-identical; "
                           "'numba' falls back to 'fused' without numba)")
+    det.add_argument("--profile", action="store_true",
+                     help="run the fit under the phase profiler and "
+                          "print per-phase wall/work keyed to the "
+                          "paper's algorithms (ALID/PALID only)")
 
     cmp_cmd = sub.add_parser("compare", help="run several methods")
     cmp_cmd.add_argument("--input", required=True)
@@ -218,40 +275,37 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="drive open-loop traffic through the async front-end",
     )
-    serve.add_argument("--snapshot", required=True,
+    _add_traffic_args(serve)
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay traffic with request tracing and export the spans",
+    )
+    _add_traffic_args(trace)
+    trace.add_argument("--out", required=True,
+                       help="write Chrome trace-event JSONL here "
+                            "(loadable by chrome://tracing / Perfetto)")
+
+    stats = sub.add_parser(
+        "stats",
+        help="serve a query batch and print the metrics exposition",
+    )
+    stats.add_argument("--snapshot", required=True,
                        help="snapshot directory (or shard plan directory "
                             "with a plan.json)")
-    serve.add_argument("--queries", required=True,
-                       help="dataset .npz whose items feed the traffic")
-    serve.add_argument("--workers", type=int, default=1,
+    stats.add_argument("--queries", required=True,
+                       help="dataset .npz whose items are the queries")
+    stats.add_argument("--workers", type=int, default=1,
                        help="serve through N shard worker processes "
                             "(default 1: single-process service)")
-    serve.add_argument("--mmap", action="store_true",
+    stats.add_argument("--mmap", action="store_true",
                        help="memory-map snapshot arrays (single-process)")
-    serve.add_argument("--rate", type=float, default=200.0,
-                       help="mean request arrival rate, requests/s")
-    serve.add_argument("--duration", type=float, default=3.0,
-                       help="length of the arrival schedule, seconds")
-    serve.add_argument("--request-rows", type=int, default=16,
-                       help="query rows per request")
-    serve.add_argument("--clients", type=int, default=4,
-                       help="simulated clients cycling round-robin")
-    serve.add_argument("--slo-ms", type=float, default=50.0,
-                       help="latency SLO driving the adaptive batch cap")
-    serve.add_argument("--max-batch", type=int, default=1024,
-                       help="hard micro-batch row ceiling")
-    serve.add_argument("--max-queued", type=int, default=4096,
-                       help="admission bound, rows")
-    serve.add_argument("--shortlist", choices=("lsh", "multiprobe", "all"),
+    stats.add_argument("--batches", type=int, default=8,
+                       help="split the queries into this many assign "
+                            "batches (populates the latency histograms)")
+    stats.add_argument("--shortlist", choices=("lsh", "multiprobe", "all"),
                        default="lsh",
                        help="candidate-cluster shortlist mode")
-    serve.add_argument("--kill-shard", type=float, default=None,
-                       metavar="SECONDS",
-                       help="SIGKILL one shard worker this far into the "
-                            "replay (sharded only) to exercise "
-                            "supervision and self-healing")
-    serve.add_argument("--seed", type=int, default=0,
-                       help="seed of the arrival schedule")
 
     ingest = sub.add_parser(
         "ingest",
@@ -386,8 +440,25 @@ def _evaluate_line(result, dataset: Dataset) -> str:
 def _cmd_detect(args) -> int:
     dataset = load_dataset(args.input)
     method = _build_method(args.method, dataset, args)
-    result = method.fit(dataset.data)
-    print(_evaluate_line(result, dataset))
+    if getattr(args, "profile", False):
+        from repro.obs.phases import PHASES, PhaseProfiler
+
+        profiler = PhaseProfiler()
+        with profiler:
+            result = method.fit(dataset.data)
+        print(_evaluate_line(result, dataset))
+        summary = profiler.summary()
+        for phase, record in sorted(summary.items()):
+            wall = record.get("wall_seconds", 0.0)
+            print(
+                f"  phase {phase:10s} calls={record.get('calls', 0):6d}  "
+                f"wall={wall:8.3f}s  "
+                f"entries={record.get('entries', 0):>12,}  "
+                f"({PHASES.get(phase, '?')})"
+            )
+    else:
+        result = method.fit(dataset.data)
+        print(_evaluate_line(result, dataset))
     if args.out:
         path = save_detection(result, args.out)
         print(f"saved detection to {path}")
@@ -537,22 +608,10 @@ def _cmd_assign(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
-    import asyncio
-    import contextlib
-    import os
-    import pathlib
-    import signal
-
+def _traffic_schedule(args, data):
+    """Deterministic open-loop schedule: exponential inter-arrivals at
+    the requested mean rate, requests cycling through the dataset."""
     import numpy as np
-
-    from repro.serve import (
-        AsyncFrontend,
-        ShardSupervisor,
-        ShardedClusterService,
-        connect,
-        run_open_loop,
-    )
 
     if args.rate <= 0.0:
         raise ValidationError(f"--rate must be > 0, got {args.rate}")
@@ -566,10 +625,6 @@ def _cmd_serve(args) -> int:
         )
     if args.clients < 1:
         raise ValidationError(f"--clients must be >= 1, got {args.clients}")
-    data = load_dataset(args.queries).data
-
-    # Deterministic open-loop schedule: exponential inter-arrivals at
-    # the requested mean rate, requests cycling through the dataset.
     rng = np.random.default_rng(args.seed)
     arrivals = []
     t = 0.0
@@ -588,71 +643,105 @@ def _cmd_serve(args) -> int:
         for i in range(len(arrivals))
     ]
     clients = [f"client-{i % args.clients}" for i in range(len(arrivals))]
+    return arrivals, requests, clients
 
-    with contextlib.ExitStack() as stack:
-        # Sharded pools serve degraded around a dead worker ("skip")
-        # while the supervisor heals it — the traffic front must not
-        # fail whole batches for one lost shard.
-        if (pathlib.Path(args.snapshot) / "plan.json").is_file():
-            service = stack.enter_context(
-                connect(args.snapshot, on_worker_error="skip")
-            )
-        elif args.workers > 1:
-            service = stack.enter_context(
-                connect(
-                    args.snapshot,
-                    workers=args.workers,
-                    on_worker_error="skip",
-                )
-            )
-        else:
-            service = stack.enter_context(
-                connect(args.snapshot, mmap=args.mmap)
-            )
-        sharded = isinstance(service, ShardedClusterService) or hasattr(
-            service, "heal"
+
+def _connect_traffic_service(stack, args, **hooks):
+    """Open the serving backend for a traffic replay (plus supervisor).
+
+    Sharded pools serve degraded around a dead worker ("skip") while a
+    :class:`~repro.serve.ShardSupervisor` heals it — the traffic front
+    must not fail whole batches for one lost shard.  ``hooks`` forwards
+    ``registry`` / ``tracer`` to the backend.
+    """
+    import pathlib
+
+    from repro.serve import ShardSupervisor, connect
+
+    if (pathlib.Path(args.snapshot) / "plan.json").is_file():
+        service = stack.enter_context(
+            connect(args.snapshot, on_worker_error="skip", **hooks)
         )
-        if sharded:
-            stack.enter_context(
-                ShardSupervisor(service, interval=0.1)
+    elif args.workers > 1:
+        service = stack.enter_context(
+            connect(
+                args.snapshot,
+                workers=args.workers,
+                on_worker_error="skip",
+                **hooks,
             )
-        elif args.kill_shard is not None:
-            raise ValidationError(
-                "--kill-shard needs a sharded service; pass --workers N "
-                "or a shard plan directory"
-            )
+        )
+    else:
+        service = stack.enter_context(
+            connect(args.snapshot, mmap=args.mmap, **hooks)
+        )
+    if hasattr(service, "heal"):
+        stack.enter_context(ShardSupervisor(service, interval=0.1))
+    elif args.kill_shard is not None:
+        raise ValidationError(
+            "--kill-shard needs a sharded service; pass --workers N "
+            "or a shard plan directory"
+        )
+    return service
 
-        async def _drive():
-            async with AsyncFrontend(
-                service,
-                slo_ms=args.slo_ms,
-                max_batch_rows=args.max_batch,
-                max_queued_rows=args.max_queued,
-                shortlist=args.shortlist,
-            ) as frontend:
-                kill_task = None
-                if args.kill_shard is not None:
 
-                    async def _kill():
-                        await asyncio.sleep(args.kill_shard)
-                        victim = service._workers[0]
-                        print(
-                            f"[fault] SIGKILL shard "
-                            f"{victim.shard_id} (pid {victim.process.pid})"
-                        )
-                        os.kill(victim.process.pid, signal.SIGKILL)
+def _drive_open_loop(service, args, arrivals, requests, clients,
+                     registry=None, tracer=None):
+    """Run the replay through an :class:`AsyncFrontend`; returns
+    ``(records, frontend_stats)``."""
+    import asyncio
+    import os
+    import signal
 
-                    kill_task = asyncio.ensure_future(_kill())
-                try:
-                    records = await run_open_loop(
-                        frontend, requests, arrivals, clients=clients
+    from repro.serve import AsyncFrontend, run_open_loop
+
+    async def _drive():
+        async with AsyncFrontend(
+            service,
+            slo_ms=args.slo_ms,
+            max_batch_rows=args.max_batch,
+            max_queued_rows=args.max_queued,
+            shortlist=args.shortlist,
+            registry=registry,
+            tracer=tracer,
+        ) as frontend:
+            kill_task = None
+            if args.kill_shard is not None:
+
+                async def _kill():
+                    await asyncio.sleep(args.kill_shard)
+                    victim = service._workers[0]
+                    print(
+                        f"[fault] SIGKILL shard "
+                        f"{victim.shard_id} (pid {victim.process.pid})"
                     )
-                finally:
-                    if kill_task is not None and not kill_task.done():
-                        kill_task.cancel()
-                return records, frontend.stats()
+                    os.kill(victim.process.pid, signal.SIGKILL)
 
-        records, fe_stats = asyncio.run(_drive())
+                kill_task = asyncio.ensure_future(_kill())
+            try:
+                records = await run_open_loop(
+                    frontend, requests, arrivals, clients=clients
+                )
+            finally:
+                if kill_task is not None and not kill_task.done():
+                    kill_task.cancel()
+            return records, frontend.stats()
+
+    return asyncio.run(_drive())
+
+
+def _cmd_serve(args) -> int:
+    import contextlib
+
+    import numpy as np
+
+    data = load_dataset(args.queries).data
+    arrivals, requests, clients = _traffic_schedule(args, data)
+    with contextlib.ExitStack() as stack:
+        service = _connect_traffic_service(stack, args)
+        records, fe_stats = _drive_open_loop(
+            service, args, arrivals, requests, clients
+        )
         service_stats = service.stats()
 
     ok = [r for r in records if r["status"] == "ok"]
@@ -661,7 +750,7 @@ def _cmd_serve(args) -> int:
     latencies = np.asarray([r["reply"].latency_ms for r in ok])
     print(
         f"offered {len(records)} requests over {args.duration:.1f}s "
-        f"({args.rate:.0f} req/s x {rows} rows): "
+        f"({args.rate:.0f} req/s x {args.request_rows} rows): "
         f"{len(ok)} ok, {len(rejected)} rejected, {len(errors)} errors"
     )
     if latencies.size:
@@ -691,6 +780,79 @@ def _cmd_serve(args) -> int:
             f"{service_stats['degraded_batches']} degraded batch(es)"
         )
     return 0 if not errors else 1
+
+
+def _cmd_trace(args) -> int:
+    import contextlib
+    from collections import Counter
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import TraceRecorder
+
+    data = load_dataset(args.queries).data
+    arrivals, requests, clients = _traffic_schedule(args, data)
+    tracer = TraceRecorder()
+    registry = MetricsRegistry()
+    with contextlib.ExitStack() as stack:
+        service = _connect_traffic_service(
+            stack, args, registry=registry, tracer=tracer
+        )
+        records, fe_stats = _drive_open_loop(
+            service, args, arrivals, requests, clients,
+            registry=registry, tracer=tracer,
+        )
+    ok = sum(1 for r in records if r["status"] == "ok")
+    n_events = tracer.export_jsonl(args.out)
+    names = Counter(
+        event["name"] for event in tracer.events() if event["ph"] == "X"
+    )
+    print(
+        f"replayed {len(records)} requests ({ok} ok); "
+        f"wrote {n_events} trace event(s) to {args.out} "
+        f"(spans opened {tracer.opened}, closed {tracer.closed}, "
+        f"dropped {tracer.dropped}, "
+        f"balanced {'yes' if tracer.balanced else 'NO'})"
+    )
+    for name, count in sorted(names.items()):
+        print(f"  {name:12s} {count:6d}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    import contextlib
+    import pathlib
+
+    import numpy as np
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve import connect
+
+    if args.batches < 1:
+        raise ValidationError(
+            f"--batches must be >= 1, got {args.batches}"
+        )
+    registry = MetricsRegistry()
+    queries = load_dataset(args.queries).data
+    with contextlib.ExitStack() as stack:
+        if (pathlib.Path(args.snapshot) / "plan.json").is_file():
+            service = stack.enter_context(
+                connect(args.snapshot, registry=registry)
+            )
+        elif args.workers > 1:
+            service = stack.enter_context(
+                connect(args.snapshot, workers=args.workers,
+                        registry=registry)
+            )
+        else:
+            service = stack.enter_context(
+                connect(args.snapshot, mmap=args.mmap, registry=registry)
+            )
+        n_batches = max(1, min(args.batches, queries.shape[0]))
+        for block in np.array_split(queries, n_batches):
+            if block.shape[0]:
+                service.assign(block, shortlist=args.shortlist)
+    print(registry.render_text(), end="")
+    return 0
 
 
 def _dir_bytes(path) -> int:
@@ -766,6 +928,8 @@ _COMMANDS = {
     "assign": _cmd_assign,
     "serve": _cmd_serve,
     "ingest": _cmd_ingest,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
 }
 
 

@@ -33,6 +33,7 @@ round's detections are identical — same clusters, same order, same
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,6 +48,7 @@ from repro.core.roi import estimate_roi, roi_radius
 from repro.dynamics.lid import LIDState, lid_dynamics
 from repro.exceptions import EmptyDatasetError
 from repro.lsh.index import LSHIndex
+from repro.obs import phases
 from repro.utils.timing import timed
 from repro.utils.validation import check_data_matrix
 
@@ -757,8 +759,20 @@ class ALID:
             stats["seed_rounds"] += 1
             stats["lid_runs"] += 1
             stats["max_cohort"] = max(stats["max_cohort"], 1)
+            prof = phases.active()
+            t0 = time.perf_counter() if prof is not None else 0.0
+            before = engine.oracle.counters.entries_computed
             detection = engine.detect_from_seed(seed)
             self._emit_detection(engine, all_clusters, seed, detection, stats)
+            if prof is not None:
+                prof.record(
+                    "seed_round",
+                    wall=time.perf_counter() - t0,
+                    entries=(
+                        engine.oracle.counters.entries_computed - before
+                    ),
+                    seeds=1,
+                )
 
     def _peel_batched(
         self,
@@ -789,6 +803,9 @@ class ALID:
             if block.size == 0:
                 break
             stats["seed_rounds"] += 1
+            prof = phases.active()
+            t0 = time.perf_counter() if prof is not None else 0.0
+            entries_before = engine.oracle.counters.entries_computed
             colliding = index.colliding_mask()
             components: np.ndarray | None = None
             claimed: set[int] = set()
@@ -852,3 +869,13 @@ class ALID:
                         break
                     stats["lid_runs"] += 1
                     detection = engine.detect_from_seed(seed)
+            if prof is not None:
+                prof.record(
+                    "seed_round",
+                    wall=time.perf_counter() - t0,
+                    entries=(
+                        engine.oracle.counters.entries_computed
+                        - entries_before
+                    ),
+                    seeds=len(plan),
+                )

@@ -10,12 +10,14 @@ centre ``D`` (Fig. 4(b)).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.affinity.oracle import AffinityOracle
 from repro.lsh.index import LSHIndex
+from repro.obs import phases
 from repro.utils.validation import check_index_array
 
 __all__ = ["CIVSResult", "civs_retrieve"]
@@ -84,6 +86,40 @@ def civs_retrieve(
     CIVSResult
         Candidates sorted by distance to the centre, nearest first.
     """
+    prof = phases.active()
+    if prof is None:
+        return _civs_retrieve(
+            index, oracle, support, center, radius, delta,
+            exclude=exclude, candidates=candidates,
+        )
+    t0 = time.perf_counter()
+    before = oracle.counters.entries_computed
+    result = _civs_retrieve(
+        index, oracle, support, center, radius, delta,
+        exclude=exclude, candidates=candidates,
+    )
+    prof.record(
+        "civs",
+        wall=time.perf_counter() - t0,
+        entries=oracle.counters.entries_computed - before,
+        candidates=result.n_candidates,
+        retrieved=int(result.psi.size),
+    )
+    return result
+
+
+def _civs_retrieve(
+    index: LSHIndex,
+    oracle: AffinityOracle,
+    support: np.ndarray,
+    center: np.ndarray,
+    radius: float,
+    delta: int,
+    *,
+    exclude: np.ndarray | None = None,
+    candidates: np.ndarray | None = None,
+) -> CIVSResult:
+    """The unprofiled CIVS body (see :func:`civs_retrieve`)."""
     support = check_index_array(support, index.n, name="support")
     if candidates is None:
         candidates = index.query_items(support)

@@ -24,12 +24,15 @@ optional numba), all bit-identical.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.affinity.cache import ColumnBlockCache
 from repro.affinity.oracle import AffinityOracle
 from repro.dynamics.lid_kernel import resolve_lid_kernel
 from repro.exceptions import ValidationError
+from repro.obs import phases
 from repro.utils.validation import check_index_array
 
 __all__ = ["LIDState", "lid_dynamics"]
@@ -129,7 +132,24 @@ class LIDState:
         self._cache.ensure(np.asarray(js_global, dtype=np.intp))
 
     def release(self) -> None:
-        """Free all cached columns (cluster peeled)."""
+        """Free all cached columns (cluster peeled).
+
+        When a :class:`~repro.obs.phases.PhaseProfiler` is active, the
+        cache's lifetime hit/miss/eviction tallies are drained into the
+        ``cache`` phase (paper §4.5's release discipline is the natural
+        flush point — the cache dies with the peeled cluster).
+        """
+        prof = phases.active()
+        if prof is not None:
+            cache = self._cache
+            prof.record(
+                "cache",
+                entries=cache.cached_entries(),
+                hits=cache.hits,
+                misses=cache.misses,
+                evictions=cache.evictions,
+            )
+            cache.hits = cache.misses = cache.evictions = 0
         self._cache.release_all()
 
     # ------------------------------------------------------------------
@@ -175,6 +195,9 @@ class LIDState:
         psi = psi[np.isin(psi, self.beta, invert=True)]
         if psi.size == 0:
             return
+        prof = phases.active()
+        t0 = time.perf_counter() if prof is not None else 0.0
+        before = self.oracle.counters.entries_computed
         alpha_pos = self.support_positions()
         alpha = self.beta[alpha_pos]
         if alpha.size > 0:
@@ -186,6 +209,13 @@ class LIDState:
         self.beta = np.concatenate([self.beta, psi])
         self.x = np.concatenate([self.x, np.zeros(psi.size)])
         self.g = np.concatenate([self.g, g_psi])
+        if prof is not None:
+            prof.record(
+                "extend",
+                wall=time.perf_counter() - t0,
+                entries=self.oracle.counters.entries_computed - before,
+                vertices=int(psi.size),
+            )
 
     # ------------------------------------------------------------------
     # consistency check (used by tests)
@@ -226,4 +256,16 @@ def lid_dynamics(
     (iterations, converged)
     """
     runner, _ = resolve_lid_kernel(kernel)
-    return runner(state, max_iter, tol)
+    prof = phases.active()
+    if prof is None:
+        return runner(state, max_iter, tol)
+    t0 = time.perf_counter()
+    before = state.oracle.counters.entries_computed
+    iterations, converged = runner(state, max_iter, tol)
+    prof.record(
+        "lid",
+        wall=time.perf_counter() - t0,
+        entries=state.oracle.counters.entries_computed - before,
+        iterations=int(iterations),
+    )
+    return iterations, converged

@@ -1,0 +1,48 @@
+"""Unified telemetry: metrics registry, request tracing, fit profiling.
+
+The observability subsystem behind the serving stack's ``stats()``
+surfaces and the ``repro stats`` / ``repro trace`` CLI commands
+(``docs/observability.md`` is the narrative reference):
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with typed
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` metrics,
+  cross-process merge (shard workers ship registry deltas over the
+  pickle-5 pipe framing; the parent's histograms are the exact
+  bucket-level sum of its workers'), two-scope checkpoint/diff, and
+  Prometheus-style text exposition.
+* :mod:`repro.obs.trace` — :class:`TraceRecorder` / :class:`Span`:
+  deterministic request-lifecycle spans (queued → dispatched →
+  scatter → per-shard assign → merge → reply, plus ingest publishes
+  and supervisor heals) exported as Chrome trace-event JSONL.
+* :mod:`repro.obs.phases` — :class:`PhaseProfiler`: per-phase wall +
+  entries accounting of the fit tier, keyed to the paper's sections
+  (Alg. 1 LID runs, Alg. 2 seed rounds and CIVS gathers, Eq. 17
+  extends, §4.5 cache traffic).
+
+Everything is stdlib-only and cheap enough to leave on: the soak
+bench gates full telemetry at under 3% throughput shrink.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_bounds_ms,
+    render_merged,
+)
+from repro.obs.phases import PHASES, PhaseProfiler
+from repro.obs.trace import Span, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PHASES",
+    "PhaseProfiler",
+    "Span",
+    "TraceRecorder",
+    "default_latency_bounds_ms",
+    "render_merged",
+]

@@ -1,0 +1,635 @@
+"""Typed metrics registry: counters, gauges, mergeable histograms.
+
+The metrics half of :mod:`repro.obs` (see ``docs/observability.md``).
+A :class:`MetricsRegistry` owns named, labelled metrics of three types:
+
+* :class:`Counter` — monotone totals (requests served, entries
+  computed).  Merging across processes **adds**.
+* :class:`Gauge` — last-written level (queue depth, EWMA drain rate).
+  Merging **overwrites** with the incoming value.
+* :class:`Histogram` — fixed-bucket distribution with log-spaced
+  latency buckets by default (:func:`default_latency_bounds_ms`) and
+  deterministic p50/p95/p99 interpolation.  Merging adds the bucket
+  counts element-wise, so a parent registry fed worker deltas holds the
+  **exact** bucket-level sum of what the workers observed — the
+  property ``tests/test_serve_telemetry.py`` pins through the pickle-5
+  pipe framing of :mod:`repro.serve.ipc`.
+
+Cross-process protocol: a producer-side registry periodically calls
+:meth:`MetricsRegistry.flush_delta` (changes since the previous flush,
+as plain picklable dicts) and ships the delta; the consumer calls
+:meth:`MetricsRegistry.merge`.  Because deltas are differences of
+monotone state, a consumer that merges every delta it receives holds
+totals that never go backwards — even when a producer dies and its
+replacement starts from a fresh registry (the mid-run heal case).
+
+Two-scope stats support: :meth:`MetricsRegistry.checkpoint` captures
+counter values and :meth:`MetricsRegistry.since` reads the diff, which
+is how the serve tier derives its per-snapshot stats scope from the
+same counters that back the lifetime scope.
+
+Everything is stdlib-only and thread-safe (one lock per registry,
+shared by its metrics); recording on a hot path costs one uncontended
+lock acquire plus integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_latency_bounds_ms",
+    "render_merged",
+]
+
+
+def default_latency_bounds_ms() -> tuple[float, ...]:
+    """Log-spaced histogram bucket bounds in milliseconds.
+
+    Four buckets per decade from 10 microseconds to 100 seconds
+    (inclusive upper bounds; one implicit overflow bucket above).  The
+    ~1.78x bucket width keeps p50/p95/p99 interpolation error well
+    under the run-to-run noise of any wall-clock latency, while 29
+    buckets stay cheap to ship in per-batch worker deltas.
+    """
+    return tuple(round(10.0 ** (exp / 4.0), 6) for exp in range(-8, 21))
+
+
+def _label_key(labels: dict) -> tuple:
+    """Canonical hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_value(value) -> str:
+    """Exposition-format a sample value (ints without a trailing .0)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _format_labels(labels: dict, extra: dict | None = None) -> str:
+    """Render a ``{k="v",...}`` label block ('' when empty)."""
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    parts = []
+    for key, value in sorted(merged.items()):
+        escaped = (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+        )
+        parts.append(f'{key}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+class Counter:
+    """A monotone counter; create via :meth:`MetricsRegistry.counter`."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "labels", "_lock", "_value", "_flushed")
+
+    def __init__(self, name: str, help: str, labels: dict, lock) -> None:
+        """Bind the counter to its registry lock; starts at zero."""
+        self.name = name
+        self.help = help
+        self.labels = dict(labels)
+        self._lock = lock
+        self._value = 0
+        self._flushed = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be >= 0: counters never go backwards)."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        """Current total."""
+        with self._lock:
+            return self._value
+
+    def _state(self) -> dict:
+        return {
+            "type": self.kind,
+            "name": self.name,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "value": self._value,
+        }
+
+    def _delta_state(self) -> dict | None:
+        delta = self._value - self._flushed
+        if not delta:
+            return None
+        self._flushed = self._value
+        state = self._state()
+        state["value"] = delta
+        return state
+
+    def _merge(self, state: dict) -> None:
+        self._value += state["value"]
+
+    def _render(self, lines: list[str]) -> None:
+        lines.append(
+            f"{self.name}{_format_labels(self.labels)} "
+            f"{_format_value(self._value)}"
+        )
+
+
+class Gauge:
+    """A settable level; create via :meth:`MetricsRegistry.gauge`."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "labels", "_lock", "_value", "_flushed")
+
+    def __init__(self, name: str, help: str, labels: dict, lock) -> None:
+        """Bind the gauge to its registry lock; starts at zero."""
+        self.name = name
+        self.help = help
+        self.labels = dict(labels)
+        self._lock = lock
+        self._value = 0.0
+        self._flushed: float | None = None
+
+    def set(self, value: int | float) -> None:
+        """Overwrite the current level."""
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self):
+        """Current level."""
+        with self._lock:
+            return self._value
+
+    def _state(self) -> dict:
+        return {
+            "type": self.kind,
+            "name": self.name,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "value": self._value,
+        }
+
+    def _delta_state(self) -> dict | None:
+        if self._flushed is not None and self._value == self._flushed:
+            return None
+        self._flushed = self._value
+        return self._state()
+
+    def _merge(self, state: dict) -> None:
+        self._value = state["value"]
+
+    def _render(self, lines: list[str]) -> None:
+        lines.append(
+            f"{self.name}{_format_labels(self.labels)} "
+            f"{_format_value(self._value)}"
+        )
+
+
+class Histogram:
+    """A fixed-bucket histogram; create via :meth:`MetricsRegistry.histogram`.
+
+    Buckets are defined by strictly increasing inclusive upper bounds
+    plus one implicit overflow bucket.  Observations update bucket
+    counts, the running sum, and the observed min/max (the min/max make
+    edge-quantile interpolation exact at the distribution's ends).
+    """
+
+    kind = "histogram"
+
+    __slots__ = (
+        "name",
+        "help",
+        "labels",
+        "bounds",
+        "_lock",
+        "_counts",
+        "_sum",
+        "_min",
+        "_max",
+        "_flushed_counts",
+        "_flushed_sum",
+    )
+
+    def __init__(
+        self, name: str, help: str, labels: dict, lock, bounds
+    ) -> None:
+        """Validate ``bounds`` (strictly increasing) and start empty."""
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ValidationError(
+                f"histogram {name} bounds must be non-empty and strictly "
+                f"increasing, got {bounds!r}"
+            )
+        self.name = name
+        self.help = help
+        self.labels = dict(labels)
+        self.bounds = bounds
+        self._lock = lock
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._flushed_counts = [0] * (len(bounds) + 1)
+        self._flushed_sum = 0.0
+
+    def observe(self, value: int | float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded (including merged ones)."""
+        with self._lock:
+            return sum(self._counts)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observed values."""
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> tuple[int, ...]:
+        """Per-bucket counts (last entry is the overflow bucket)."""
+        with self._lock:
+            return tuple(self._counts)
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile ``q`` in [0, 1] (0.0 when empty).
+
+        Deterministic linear interpolation within the containing
+        bucket, with the observed min/max clamping the first and last
+        buckets — so merged histograms report the same p50/p95/p99 as a
+        single-process histogram fed the identical observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = sum(self._counts)
+            if total == 0 or self._min is None or self._max is None:
+                return 0.0
+            target = q * total
+            cumulative = 0.0
+            for index, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= target:
+                    lo = (
+                        self.bounds[index - 1]
+                        if index > 0
+                        else 0.0
+                    )
+                    hi = (
+                        self.bounds[index]
+                        if index < len(self.bounds)
+                        else self._max
+                    )
+                    lo = max(lo, self._min)
+                    hi = min(hi, self._max)
+                    if hi < lo:  # single-point bucket at the edge
+                        hi = lo
+                    fraction = (
+                        max(target - cumulative, 0.0) / bucket_count
+                    )
+                    return lo + fraction * (hi - lo)
+                cumulative += bucket_count
+            return self._max  # pragma: no cover - unreachable
+
+    def percentiles(self) -> dict:
+        """The conventional latency summary: p50/p95/p99."""
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def _state(self) -> dict:
+        return {
+            "type": self.kind,
+            "name": self.name,
+            "help": self.help,
+            "labels": dict(self.labels),
+            "bounds": list(self.bounds),
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def _delta_state(self) -> dict | None:
+        if self._counts == self._flushed_counts:
+            return None
+        state = self._state()
+        state["counts"] = [
+            c - f for c, f in zip(self._counts, self._flushed_counts)
+        ]
+        state["sum"] = self._sum - self._flushed_sum
+        self._flushed_counts = list(self._counts)
+        self._flushed_sum = self._sum
+        return state
+
+    def _merge(self, state: dict) -> None:
+        if tuple(float(b) for b in state["bounds"]) != self.bounds:
+            raise ValidationError(
+                f"histogram {self.name} bucket bounds differ; refusing "
+                "to merge incompatible distributions"
+            )
+        for index, bucket_count in enumerate(state["counts"]):
+            self._counts[index] += bucket_count
+        self._sum += state["sum"]
+        for key, pick in (("min", min), ("max", max)):
+            incoming = state.get(key)
+            if incoming is None:
+                continue
+            mine = self._min if key == "min" else self._max
+            merged = incoming if mine is None else pick(mine, incoming)
+            if key == "min":
+                self._min = merged
+            else:
+                self._max = merged
+
+    def _render(self, lines: list[str]) -> None:
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self._counts):
+            cumulative += bucket_count
+            le = _format_labels(self.labels, {"le": _format_value(bound)})
+            lines.append(f"{self.name}_bucket{le} {cumulative}")
+        cumulative += self._counts[-1]
+        inf = _format_labels(self.labels, {"le": "+Inf"})
+        lines.append(f"{self.name}_bucket{inf} {cumulative}")
+        plain = _format_labels(self.labels)
+        lines.append(f"{self.name}_sum{plain} {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count{plain} {cumulative}")
+
+
+class MetricsRegistry:
+    """A component's named metrics, mergeable and text-exposable.
+
+    Parameters
+    ----------
+    component:
+        Optional component label automatically attached to every metric
+        registered here (e.g. ``"frontend"``, ``"shard_worker"``), so
+        merged expositions keep per-component attribution.
+
+    Registration is get-or-create: asking for an existing
+    ``(name, labels)`` pair returns the same object, and asking with a
+    conflicting type (or histogram bounds) raises
+    :class:`~repro.exceptions.ValidationError`.
+    """
+
+    def __init__(self, component: str | None = None):
+        """Start empty; one lock serializes all mutation."""
+        self.component = component
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _labels(self, labels: dict) -> dict:
+        if self.component is not None and "component" not in labels:
+            labels = {"component": self.component, **labels}
+        return labels
+
+    def _register(self, factory, name: str, labels: dict, kind: str):
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValidationError(
+                        f"metric {name} already registered as "
+                        f"{existing.kind}, not {kind}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[key] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        """Get or create a :class:`Counter`."""
+        labels = self._labels(labels)
+        return self._register(
+            lambda: Counter(name, help, labels, self._lock),
+            name,
+            labels,
+            Counter.kind,
+        )
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        labels = self._labels(labels)
+        return self._register(
+            lambda: Gauge(name, help, labels, self._lock),
+            name,
+            labels,
+            Gauge.kind,
+        )
+
+    def histogram(
+        self, name: str, help: str = "", *, bounds=None, **labels
+    ) -> Histogram:
+        """Get or create a :class:`Histogram`.
+
+        ``bounds`` defaults to :func:`default_latency_bounds_ms`; an
+        existing histogram's bounds must match or registration fails.
+        """
+        labels = self._labels(labels)
+        bounds = (
+            default_latency_bounds_ms() if bounds is None else tuple(bounds)
+        )
+        metric = self._register(
+            lambda: Histogram(name, help, labels, self._lock, bounds),
+            name,
+            labels,
+            Histogram.kind,
+        )
+        if metric.bounds != tuple(float(b) for b in bounds):
+            raise ValidationError(
+                f"histogram {name} already registered with different "
+                "bucket bounds"
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str, **labels):
+        """The metric registered under ``(name, labels)``, or ``None``."""
+        key = (name, _label_key(self._labels(labels)))
+        with self._lock:
+            return self._metrics.get(key)
+
+    def metrics(self) -> list:
+        """Every registered metric, sorted by name then labels."""
+        with self._lock:
+            return [
+                self._metrics[key] for key in sorted(self._metrics)
+            ]
+
+    # ------------------------------------------------------------------
+    # cross-process state
+    # ------------------------------------------------------------------
+    def collect(self) -> list[dict]:
+        """Full state as plain picklable dicts (for merge/inspection)."""
+        out = []
+        for metric in self.metrics():
+            with self._lock:
+                out.append(metric._state())
+        return out
+
+    def flush_delta(self) -> list[dict]:
+        """Changes since the previous flush, advancing the flush mark.
+
+        Returns only metrics that changed (empty list when idle), so a
+        per-batch delta piggybacked on a worker reply stays small.
+        """
+        out = []
+        for metric in self.metrics():
+            with self._lock:
+                state = metric._delta_state()
+            if state is not None:
+                out.append(state)
+        return out
+
+    def merge(self, states: list[dict]) -> None:
+        """Fold collected/flushed ``states`` into this registry.
+
+        Counters add, histograms add bucket-wise (bounds must match),
+        gauges take the incoming value.  Metrics unseen here are
+        created with the incoming name/labels/help verbatim (the
+        ``component`` auto-label is *not* applied: merged state keeps
+        its producer's attribution).
+        """
+        for state in states:
+            kind = state["type"]
+            name = state["name"]
+            labels = state.get("labels", {})
+            key = (name, _label_key(labels))
+            with self._lock:
+                metric = self._metrics.get(key)
+                if metric is None:
+                    if kind == Counter.kind:
+                        metric = Counter(
+                            name, state.get("help", ""), labels, self._lock
+                        )
+                    elif kind == Gauge.kind:
+                        metric = Gauge(
+                            name, state.get("help", ""), labels, self._lock
+                        )
+                    elif kind == Histogram.kind:
+                        metric = Histogram(
+                            name,
+                            state.get("help", ""),
+                            labels,
+                            self._lock,
+                            state["bounds"],
+                        )
+                    else:
+                        raise ValidationError(
+                            f"unknown metric type {kind!r} in merge"
+                        )
+                    self._metrics[key] = metric
+                elif metric.kind != kind:
+                    raise ValidationError(
+                        f"metric {name} is a {metric.kind} here but a "
+                        f"{kind} in the incoming state"
+                    )
+                metric._merge(state)
+
+    # ------------------------------------------------------------------
+    # two-scope support
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Capture current counter values (the snapshot-scope anchor)."""
+        out = {}
+        with self._lock:
+            for key, metric in self._metrics.items():
+                if metric.kind == Counter.kind:
+                    out[key] = metric._value
+        return out
+
+    def since(self, checkpoint: dict) -> dict:
+        """Counter growth since ``checkpoint``, keyed by metric name.
+
+        Counters created after the checkpoint diff against zero.  Used
+        by the serve tier's per-snapshot stats scope.
+        """
+        out = {}
+        with self._lock:
+            for key, metric in self._metrics.items():
+                if metric.kind == Counter.kind:
+                    out[key[0]] = metric._value - checkpoint.get(key, 0)
+        return out
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        """Prometheus-style text exposition of every metric.
+
+        ``# HELP``/``# TYPE`` headers are emitted once per metric name;
+        histograms expand to cumulative ``_bucket{le=...}`` samples
+        plus ``_sum``/``_count``.
+        """
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+        for metric in self.metrics():
+            with self._lock:
+                if metric.name not in seen_headers:
+                    seen_headers.add(metric.name)
+                    if metric.help:
+                        lines.append(f"# HELP {metric.name} {metric.help}")
+                    lines.append(f"# TYPE {metric.name} {metric.kind}")
+                metric._render(lines)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_merged(registries) -> str:
+    """One exposition over several registries (deduplicated by identity).
+
+    Used by :meth:`repro.serve.frontend.AsyncFrontend.metrics` to serve
+    its own registry plus the backing handle's in a single scrape.
+    """
+    merged = MetricsRegistry()
+    seen: set[int] = set()
+    for registry in registries:
+        if registry is None or id(registry) in seen:
+            continue
+        seen.add(id(registry))
+        merged.merge(registry.collect())
+    return merged.render_text()

@@ -1,0 +1,290 @@
+"""Request tracing: lightweight spans, Chrome trace-event export.
+
+The tracing half of :mod:`repro.obs` (see ``docs/observability.md``).
+A :class:`TraceRecorder` collects :class:`Span` records — name, lane
+(``tid``), monotonic start time and duration, a ``trace_id`` tying the
+span to the request (or batch, or heal) it belongs to, and free-form
+attributes.  Producers either bracket live work
+(:meth:`TraceRecorder.begin` / :meth:`Span.end`) or record a completed
+interval after the fact (:meth:`TraceRecorder.record`, used where the
+timestamps were already taken for metrics).
+
+Determinism: span identity comes from the caller's sequence numbers
+(the frontend ties request spans to its admission sequence, the router
+ties scatter/merge spans to its block counter), never from wall-clock
+or randomness — two replays of the same schedule produce the same span
+names, ids and parentage, only the durations differ.
+
+Balance accounting: the recorder counts spans opened and closed;
+:attr:`TraceRecorder.balanced` is the zero-tolerance
+``trace_spans_balanced`` boolean the soak lane gates on — a span left
+open means a code path returned without closing its bracket (lost
+timing, leaked context).
+
+Export is Chrome trace-event JSONL (one complete ``"ph": "X"`` event
+per line plus thread-name metadata), loadable in ``chrome://tracing``
+or Perfetto for flamegraph viewing: :meth:`TraceRecorder.export_jsonl`
+backs the ``repro trace`` CLI.
+
+The recorder is thread-safe and bounded (``max_spans``); when full it
+drops new spans (counted in ``dropped``) rather than growing without
+limit — tracing must never become the memory leak it is meant to find.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import threading
+from collections import deque
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "TID_REQUEST",
+    "TID_BATCH",
+    "TID_ROUTER",
+    "TID_SUPERVISOR",
+    "TID_INGEST",
+    "TID_SHARD_BASE",
+]
+
+#: Logical lanes (Chrome trace "threads") spans are grouped under.
+TID_REQUEST = 1
+TID_BATCH = 2
+TID_ROUTER = 3
+TID_SUPERVISOR = 4
+TID_INGEST = 5
+#: Per-shard lanes start here: shard ``k`` renders on ``TID_SHARD_BASE + k``.
+TID_SHARD_BASE = 10
+
+_TID_NAMES = {
+    TID_REQUEST: "requests",
+    TID_BATCH: "batches",
+    TID_ROUTER: "router",
+    TID_SUPERVISOR: "supervisor",
+    TID_INGEST: "ingest",
+}
+
+
+class Span:
+    """One traced interval; obtained from :meth:`TraceRecorder.begin`."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "tid",
+        "start",
+        "duration",
+        "attrs",
+        "_recorder",
+    )
+
+    def __init__(self, name, trace_id, tid, start, attrs, recorder):
+        """Open the span at ``start`` (recorder clock); duration unset."""
+        self.name = name
+        self.trace_id = trace_id
+        self.tid = tid
+        self.start = start
+        self.duration: float | None = None
+        self.attrs = attrs
+        self._recorder = recorder
+
+    def end(self, **attrs) -> float:
+        """Close the span now; returns its duration in seconds.
+
+        Extra ``attrs`` merge into the span's attributes.  Idempotent:
+        a second call only re-merges attributes.
+        """
+        recorder = self._recorder
+        if self.duration is None and recorder is not None:
+            self.duration = max(recorder.now() - self.start, 0.0)
+            self._recorder = None
+            if attrs:
+                self.attrs = {**self.attrs, **attrs}
+            recorder._close(self)
+        elif attrs:
+            self.attrs = {**self.attrs, **attrs}
+        return 0.0 if self.duration is None else self.duration
+
+    def __enter__(self) -> "Span":
+        """Context-manager entry: the span is already open."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the span on context exit (error flagged in attrs)."""
+        if exc_type is not None:
+            self.end(error=exc_type.__name__)
+        else:
+            self.end()
+
+
+class TraceRecorder:
+    """Thread-safe, bounded collector of spans.
+
+    Parameters
+    ----------
+    max_spans:
+        Retention cap; spans recorded past it are dropped and counted
+        in :attr:`dropped` (balance accounting still sees them).
+    clock:
+        Monotonic time source.  Defaults to :func:`time.monotonic`,
+        which is also what asyncio's ``loop.time()`` reads — so
+        frontend timestamps taken off the event loop land on the same
+        axis as spans recorded here.
+    """
+
+    def __init__(self, *, max_spans: int = 200_000, clock=time.monotonic):
+        """Capture the epoch; spans render relative to it."""
+        if max_spans < 1:
+            raise ValidationError(
+                f"max_spans must be >= 1, got {max_spans}"
+            )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque()
+        self.max_spans = int(max_spans)
+        self.epoch = clock()
+        self._opened = 0
+        self._closed = 0
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """Current time on the recorder's clock."""
+        return self._clock()
+
+    def begin(
+        self, name: str, *, trace_id=None, tid: int = TID_REQUEST, **attrs
+    ) -> Span:
+        """Open a span now; close it with :meth:`Span.end`."""
+        with self._lock:
+            self._opened += 1
+        return Span(name, trace_id, tid, self.now(), attrs, self)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        trace_id=None,
+        tid: int = TID_REQUEST,
+        **attrs,
+    ) -> None:
+        """Record an already-completed interval (recorder-clock times)."""
+        span = Span(name, trace_id, tid, start, attrs, None)
+        span.duration = max(end - start, 0.0)
+        with self._lock:
+            self._opened += 1
+            self._closed += 1
+            if len(self._spans) >= self.max_spans:
+                self._dropped += 1
+            else:
+                self._spans.append(span)
+
+    def _close(self, span: Span) -> None:
+        with self._lock:
+            self._closed += 1
+            if len(self._spans) >= self.max_spans:
+                self._dropped += 1
+            else:
+                self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    @property
+    def opened(self) -> int:
+        """Spans opened (begin + record) over the recorder's life."""
+        with self._lock:
+            return self._opened
+
+    @property
+    def closed(self) -> int:
+        """Spans closed over the recorder's life."""
+        with self._lock:
+            return self._closed
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded because the retention cap was reached."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def balanced(self) -> bool:
+        """Whether every opened span has been closed."""
+        with self._lock:
+            return self._opened == self._closed
+
+    def __len__(self) -> int:
+        """Spans currently retained."""
+        with self._lock:
+            return len(self._spans)
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        """Retained spans in completion order (optionally one name)."""
+        with self._lock:
+            out = list(self._spans)
+        if name is not None:
+            out = [span for span in out if span.name == name]
+        return out
+
+    def clear(self) -> None:
+        """Drop retained spans (balance counters keep their history)."""
+        with self._lock:
+            self._spans.clear()
+
+    # ------------------------------------------------------------------
+    def events(self) -> list[dict]:
+        """Chrome trace events: thread metadata + one ``X`` per span."""
+        out: list[dict] = []
+        tids = set()
+        for span in self.spans():
+            tids.add(span.tid)
+            args = dict(span.attrs)
+            if span.trace_id is not None:
+                args["trace_id"] = span.trace_id
+            out.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": span.tid,
+                    "ts": round((span.start - self.epoch) * 1e6, 3),
+                    "dur": round((span.duration or 0.0) * 1e6, 3),
+                    "args": args,
+                }
+            )
+        meta = []
+        for tid in sorted(tids):
+            tid_name = _TID_NAMES.get(tid)
+            if tid_name is None and tid >= TID_SHARD_BASE:
+                tid_name = f"shard-{tid - TID_SHARD_BASE}"
+            if tid_name is not None:
+                meta.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 0,
+                        "tid": tid,
+                        "args": {"name": tid_name},
+                    }
+                )
+        return meta + out
+
+    def export_jsonl(self, path) -> int:
+        """Write one Chrome trace event per line; returns event count.
+
+        The produced file loads in Perfetto / ``chrome://tracing``
+        after wrapping in a JSON array — tooling that accepts JSONL
+        (newline-delimited events) reads it directly.
+        """
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event, sort_keys=True))
+                fh.write("\n")
+        return len(events)

@@ -24,6 +24,7 @@ from collections import deque
 from typing import Any
 
 from ..exceptions import AdmissionError, ValidationError
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["AdmissionController"]
 
@@ -61,8 +62,16 @@ class AdmissionController:
         *,
         max_queued_rows: int = 4096,
         max_client_rows: int | None = None,
+        registry: MetricsRegistry | None = None,
     ):
-        """Validate queue bounds and start with an empty queue."""
+        """Validate queue bounds and start with an empty queue.
+
+        ``registry`` optionally supplies the
+        :class:`~repro.obs.metrics.MetricsRegistry` the lifetime
+        accounting counters and the backlog / drain-rate gauges live
+        in; a private ``component="admission"`` registry is created
+        when omitted and exposed as :attr:`registry` either way.
+        """
         if max_queued_rows < 1:
             raise ValidationError(
                 f"max_queued_rows must be >= 1, got {max_queued_rows}"
@@ -84,12 +93,46 @@ class AdmissionController:
         self._queued_requests = 0
         # Round-robin resume point: the client to serve first next drain.
         self._cursor: str | None = None
-        # Lifetime accounting (exact: offered == admitted + rejected).
-        self._offered_requests = 0
-        self._admitted_requests = 0
-        self._admitted_rows = 0
-        self._rejected_requests = 0
-        self._rejected_rows = 0
+        # Lifetime accounting lives in registry counters (exact:
+        # offered == admitted + rejected); queue state stays in plain
+        # ints for the dequeue logic and is mirrored into gauges.
+        self.registry = (
+            MetricsRegistry(component="admission")
+            if registry is None
+            else registry
+        )
+        reg = self.registry
+        self._m_offered = reg.counter(
+            "admission_offered_requests_total", "Requests offered"
+        )
+        self._m_admitted = reg.counter(
+            "admission_admitted_requests_total", "Requests admitted"
+        )
+        self._m_admitted_rows = reg.counter(
+            "admission_admitted_rows_total", "Rows admitted"
+        )
+        self._m_rejected = reg.counter(
+            "admission_rejected_requests_total", "Requests rejected"
+        )
+        self._m_rejected_rows = reg.counter(
+            "admission_rejected_rows_total", "Rows rejected"
+        )
+        self._g_queued_rows = reg.gauge(
+            "admission_queued_rows", "Rows currently queued (backlog)"
+        )
+        self._g_queued_requests = reg.gauge(
+            "admission_queued_requests", "Requests currently queued"
+        )
+        self._g_queued_clients = reg.gauge(
+            "admission_queued_clients", "Clients with queued work"
+        )
+        self._g_peak_queued_rows = reg.gauge(
+            "admission_peak_queued_rows", "High-water mark of queued rows"
+        )
+        self._g_drain_rate = reg.gauge(
+            "admission_drain_rate_rows_per_s",
+            "EWMA of observed drain speed (rows/s); feeds retry_after",
+        )
         self._peak_queued_rows = 0
         # EWMA of observed drain speed, rows/second; feeds retry_after.
         self._drain_rate = 0.0
@@ -107,14 +150,14 @@ class AdmissionController:
         if n_rows < 1:
             raise ValidationError(f"n_rows must be >= 1, got {n_rows}")
         with self._lock:
-            self._offered_requests += 1
+            self._m_offered.inc()
             client_rows = self._client_rows.get(client, 0)
             if (
                 self._queued_rows + n_rows > self.max_queued_rows
                 or client_rows + n_rows > self.max_client_rows
             ):
-                self._rejected_requests += 1
-                self._rejected_rows += n_rows
+                self._m_rejected.inc()
+                self._m_rejected_rows.inc(n_rows)
                 retry_after = self._retry_after_locked(n_rows)
                 scope = (
                     "client"
@@ -135,10 +178,12 @@ class AdmissionController:
             self._client_rows[client] = client_rows + n_rows
             self._queued_rows += n_rows
             self._queued_requests += 1
-            self._admitted_requests += 1
-            self._admitted_rows += n_rows
+            self._m_admitted.inc()
+            self._m_admitted_rows.inc(n_rows)
             if self._queued_rows > self._peak_queued_rows:
                 self._peak_queued_rows = self._queued_rows
+                self._g_peak_queued_rows.set(self._peak_queued_rows)
+            self._sync_backlog_gauges_locked()
 
     # ------------------------------------------------------------------
     # dispatcher side
@@ -184,10 +229,19 @@ class AdmissionController:
                     # Resume the next drain *after* this client.
                     self._cursor = self._next_after(client)
                     if taken >= max_rows:
+                        self._sync_backlog_gauges_locked()
                         return out
                 if not progressed:
                     break
+            if out:
+                self._sync_backlog_gauges_locked()
         return out
+
+    def _sync_backlog_gauges_locked(self) -> None:
+        """Mirror the current queue depth into the backlog gauges."""
+        self._g_queued_rows.set(self._queued_rows)
+        self._g_queued_requests.set(self._queued_requests)
+        self._g_queued_clients.set(len(self._queues))
 
     def _next_after(self, client: str) -> str | None:
         """Return the client after ``client`` in the current ring."""
@@ -208,6 +262,7 @@ class AdmissionController:
                 self._drain_rate = rate
             else:
                 self._drain_rate += _RATE_ALPHA * (rate - self._drain_rate)
+            self._g_drain_rate.set(self._drain_rate)
 
     # ------------------------------------------------------------------
     # introspection
@@ -237,6 +292,8 @@ class AdmissionController:
 
         ``offered_requests == admitted_requests + rejected_requests``
         holds exactly at every instant — the soak lane gates on it.
+        The lifetime fields read the registry counters (same numbers a
+        metrics scrape sees); queue depth reads the live queue state.
         """
         with self._lock:
             return {
@@ -246,10 +303,10 @@ class AdmissionController:
                 "queued_requests": self._queued_requests,
                 "queued_clients": len(self._queues),
                 "peak_queued_rows": self._peak_queued_rows,
-                "offered_requests": self._offered_requests,
-                "admitted_requests": self._admitted_requests,
-                "admitted_rows": self._admitted_rows,
-                "rejected_requests": self._rejected_requests,
-                "rejected_rows": self._rejected_rows,
+                "offered_requests": self._m_offered.value,
+                "admitted_requests": self._m_admitted.value,
+                "admitted_rows": self._m_admitted_rows.value,
+                "rejected_requests": self._m_rejected.value,
+                "rejected_rows": self._m_rejected_rows.value,
                 "drain_rate_rows_per_s": self._drain_rate,
             }

@@ -130,6 +130,8 @@ def connect(
         ``on_worker_error``, ``start_timeout``, ``strategy``;
         ``parent_source`` for a shard-plan *source* that should accept
         deltas — snapshot sources wire it automatically).
+        ``registry`` / ``tracer`` (the :mod:`repro.obs` hooks) are
+        accepted by **both** backends.
 
     Returns
     -------
@@ -159,11 +161,16 @@ def connect(
             kwargs.pop("strategy", None)
             return ShardedClusterService(root, **kwargs)
     if workers is None or workers == 1:
+        single_kwargs = {
+            key: kwargs.pop(key)
+            for key in ("registry", "tracer")
+            if key in kwargs
+        }
         if kwargs:
             raise ValidationError(
                 f"unknown single-process options: {sorted(kwargs)}"
             )
-        return ClusterService(source, mmap=mmap)
+        return ClusterService(source, mmap=mmap, **single_kwargs)
     strategy = kwargs.pop("strategy", "balanced")
     scratch = pathlib.Path(
         tempfile.mkdtemp(prefix="repro-connect-shards-")

@@ -39,6 +39,12 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..exceptions import AdmissionError, ValidationError
+from ..obs.metrics import (
+    MetricsRegistry,
+    default_latency_bounds_ms,
+    render_merged,
+)
+from ..obs.trace import TID_BATCH, TID_REQUEST
 from .admission import AdmissionController
 from .assigner import SHORTLIST_MODES
 
@@ -67,6 +73,12 @@ class FrontendReply:
         service_ms: Executor time of the micro-batch (shared by every
             request in it).
         latency_ms: End-to-end time from admission to completion.
+        span: Per-request lifecycle breakdown — ``trace_id`` (the
+            deterministic ``req-<seq>`` id the front-end's trace spans
+            carry), ``queued_ms`` and ``service_ms``.  The two phases
+            sum to ``latency_ms`` exactly (same clock, shared
+            endpoints), which the soak lane gates as
+            ``span_breakdown_exact``.
     """
 
     labels: np.ndarray
@@ -76,6 +88,7 @@ class FrontendReply:
     queued_ms: float
     service_ms: float
     latency_ms: float
+    span: dict | None = None
 
     @property
     def n_queries(self) -> int:
@@ -86,12 +99,13 @@ class FrontendReply:
 class _Pending:
     """One admitted request waiting for (or riding in) a micro-batch."""
 
-    __slots__ = ("queries", "future", "t_enqueue")
+    __slots__ = ("queries", "future", "t_enqueue", "trace_id")
 
-    def __init__(self, queries, future, t_enqueue):
+    def __init__(self, queries, future, t_enqueue, trace_id):
         self.queries = queries
         self.future = future
         self.t_enqueue = t_enqueue
+        self.trace_id = trace_id
 
 
 class AsyncFrontend:
@@ -115,6 +129,19 @@ class AsyncFrontend:
             one bounded at ``max_queued_rows``.
         max_queued_rows: Bound for the default controller (ignored when
             ``admission`` is given).
+        registry: Optional :class:`~repro.obs.metrics.MetricsRegistry`
+            for the front-end's counters and per-request latency
+            histograms; a private ``component="frontend"`` registry is
+            created when omitted and exposed as :attr:`metrics_registry`
+            either way.  :meth:`metrics` renders it merged with the
+            admission controller's and the backing handle's.
+        tracer: Optional :class:`~repro.obs.trace.TraceRecorder`; when
+            set, every request records ``queued`` and ``request`` spans
+            (deterministic ``req-<seq>`` trace ids from the admission
+            sequence) and every micro-batch a ``batch`` span, all on
+            the loop's clock — pass the *same* recorder to a sharded
+            backing service and its scatter / shard / merge spans land
+            on the same time axis.
     """
 
     def __init__(
@@ -127,6 +154,8 @@ class AsyncFrontend:
         shortlist: str = "lsh",
         admission: AdmissionController | None = None,
         max_queued_rows: int = 4096,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
     ):
         """Validate knobs; the dispatcher starts lazily on first use."""
         if slo_ms <= 0.0:
@@ -151,7 +180,7 @@ class AsyncFrontend:
         self.min_batch_rows = int(min_batch_rows)
         self._shortlist = shortlist
         self._admission = admission or AdmissionController(
-            max_queued_rows=max_queued_rows
+            max_queued_rows=max_queued_rows, registry=registry
         )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._pool: ThreadPoolExecutor | None = None
@@ -160,13 +189,55 @@ class AsyncFrontend:
         self._closed = False
         self._stats_lock = threading.Lock()
         self._ewma_ms_per_row = 0.0
-        self._requests_completed = 0
-        self._requests_failed = 0
-        self._rows_completed = 0
-        self._batches = 0
-        self._batched_rows = 0
         self._max_batch_seen = 0
-        self._slo_violations = 0
+        self._request_seq = 0
+        self._batch_seq = 0
+        self.tracer = tracer
+        self.metrics_registry = (
+            MetricsRegistry(component="frontend")
+            if registry is None
+            else registry
+        )
+        reg = self.metrics_registry
+        self._m_requests = reg.counter(
+            "frontend_requests_completed_total", "Requests completed"
+        )
+        self._m_failed = reg.counter(
+            "frontend_requests_failed_total", "Requests failed in serving"
+        )
+        self._m_rows = reg.counter(
+            "frontend_rows_completed_total", "Query rows completed"
+        )
+        self._m_batches = reg.counter(
+            "frontend_batches_total", "Micro-batches dispatched"
+        )
+        self._m_batched_rows = reg.counter(
+            "frontend_batched_rows_total", "Rows across all micro-batches"
+        )
+        self._m_violations = reg.counter(
+            "frontend_slo_violations_total",
+            "Requests whose end-to-end latency exceeded the SLO",
+        )
+        self._g_ewma = reg.gauge(
+            "frontend_ewma_ms_per_row",
+            "EWMA per-row service time driving the adaptive batch cap",
+        )
+        bounds = default_latency_bounds_ms()
+        self._h_latency = reg.histogram(
+            "frontend_latency_ms",
+            "End-to-end request latency (admission to completion, ms)",
+            bounds=bounds,
+        )
+        self._h_queued = reg.histogram(
+            "frontend_queued_ms",
+            "Request queueing delay (admission to dispatch, ms)",
+            bounds=bounds,
+        )
+        self._h_service = reg.histogram(
+            "frontend_service_ms",
+            "Micro-batch executor time (ms, one observation per batch)",
+            bounds=bounds,
+        )
 
     @property
     def admission(self) -> AdmissionController:
@@ -243,7 +314,12 @@ class AsyncFrontend:
             )
         loop = self._loop
         assert loop is not None
-        item = _Pending(block, loop.create_future(), loop.time())
+        with self._stats_lock:
+            self._request_seq += 1
+            seq = self._request_seq
+        item = _Pending(
+            block, loop.create_future(), loop.time(), f"req-{seq}"
+        )
         self._admission.offer(client, item, int(block.shape[0]))
         self._wake.set()
         return await item.future
@@ -286,9 +362,19 @@ class AsyncFrontend:
                 partial(self._handle.assign, big, shortlist=self._shortlist),
             )
         except Exception as exc:
-            with self._stats_lock:
-                self._requests_failed += len(items)
+            t_done = loop.time()
+            self._m_failed.inc(len(items))
+            tracer = self.tracer
             for item in items:
+                if tracer is not None:
+                    tracer.record(
+                        "request",
+                        item.t_enqueue,
+                        t_done,
+                        trace_id=item.trace_id,
+                        tid=TID_REQUEST,
+                        error=type(exc).__name__,
+                    )
                 if not item.future.done():
                     item.future.set_exception(exc)
             return
@@ -298,8 +384,24 @@ class AsyncFrontend:
         per_row = service_ms / rows
         violations = 0
         offset = 0
+        tracer = self.tracer
+        with self._stats_lock:
+            self._batch_seq += 1
+            batch_seq = self._batch_seq
+        if tracer is not None:
+            tracer.record(
+                "batch",
+                t_start,
+                t_done,
+                trace_id=f"batch-{batch_seq}",
+                tid=TID_BATCH,
+                rows=rows,
+                requests=len(items),
+            )
+        self._h_service.observe(service_ms)
         for item in items:
             n = int(item.queries.shape[0])
+            queued_ms = (t_start - item.t_enqueue) * 1e3
             latency_ms = (t_done - item.t_enqueue) * 1e3
             reply = FrontendReply(
                 labels=np.array(assignment.labels[offset : offset + n]),
@@ -308,15 +410,48 @@ class AsyncFrontend:
                     assignment.n_candidates[offset : offset + n]
                 ),
                 batch_rows=rows,
-                queued_ms=(t_start - item.t_enqueue) * 1e3,
+                queued_ms=queued_ms,
                 service_ms=service_ms,
                 latency_ms=latency_ms,
+                # queued + service == latency exactly: the three share
+                # the same clock readings (t_enqueue, t_start, t_done).
+                span={
+                    "trace_id": item.trace_id,
+                    "batch": f"batch-{batch_seq}",
+                    "queued_ms": queued_ms,
+                    "service_ms": service_ms,
+                },
             )
             offset += n
+            self._h_queued.observe(queued_ms)
+            self._h_latency.observe(latency_ms)
+            if tracer is not None:
+                tracer.record(
+                    "queued",
+                    item.t_enqueue,
+                    t_start,
+                    trace_id=item.trace_id,
+                    tid=TID_REQUEST,
+                )
+                tracer.record(
+                    "request",
+                    item.t_enqueue,
+                    t_done,
+                    trace_id=item.trace_id,
+                    tid=TID_REQUEST,
+                    rows=n,
+                    batch=f"batch-{batch_seq}",
+                )
             if latency_ms > self.slo_ms:
                 violations += 1
             if not item.future.done():
                 item.future.set_result(reply)
+        self._m_batches.inc()
+        self._m_batched_rows.inc(rows)
+        self._m_requests.inc(len(items))
+        self._m_rows.inc(rows)
+        if violations:
+            self._m_violations.inc(violations)
         with self._stats_lock:
             if self._ewma_ms_per_row <= 0.0:
                 self._ewma_ms_per_row = per_row
@@ -324,38 +459,65 @@ class AsyncFrontend:
                 self._ewma_ms_per_row += _EWMA_ALPHA * (
                     per_row - self._ewma_ms_per_row
                 )
-            self._batches += 1
-            self._batched_rows += rows
             self._max_batch_seen = max(self._max_batch_seen, rows)
-            self._requests_completed += len(items)
-            self._rows_completed += rows
-            self._slo_violations += violations
+            ewma = self._ewma_ms_per_row
+        self._g_ewma.set(ewma)
 
     # ------------------------------------------------------------------
     # introspection
 
     def stats(self) -> dict:
-        """Return front-end counters plus the nested admission stats."""
+        """Return front-end counters plus the nested admission stats.
+
+        The counters read the same registry metrics a :meth:`metrics`
+        scrape renders — stats and exposition can never disagree.
+        """
+        batches = self._m_batches.value
+        batched_rows = self._m_batched_rows.value
         with self._stats_lock:
-            batches = self._batches
-            out = {
-                "slo_ms": self.slo_ms,
-                "shortlist": self._shortlist,
-                "max_batch_rows": self.max_batch_rows,
-                "min_batch_rows": self.min_batch_rows,
-                "requests_completed": self._requests_completed,
-                "requests_failed": self._requests_failed,
-                "rows_completed": self._rows_completed,
-                "batches": batches,
-                "mean_batch_rows": (
-                    self._batched_rows / batches if batches else 0.0
-                ),
-                "max_batch_rows_seen": self._max_batch_seen,
-                "ewma_ms_per_row": self._ewma_ms_per_row,
-                "slo_violations": self._slo_violations,
-            }
+            ewma = self._ewma_ms_per_row
+            max_seen = self._max_batch_seen
+        out = {
+            "slo_ms": self.slo_ms,
+            "shortlist": self._shortlist,
+            "max_batch_rows": self.max_batch_rows,
+            "min_batch_rows": self.min_batch_rows,
+            "requests_completed": self._m_requests.value,
+            "requests_failed": self._m_failed.value,
+            "rows_completed": self._m_rows.value,
+            "batches": batches,
+            "mean_batch_rows": (
+                batched_rows / batches if batches else 0.0
+            ),
+            "max_batch_rows_seen": max_seen,
+            "ewma_ms_per_row": ewma,
+            "slo_violations": self._m_violations.value,
+        }
         out["admission"] = self._admission.stats()
         return out
+
+    async def metrics(self) -> str:
+        """One Prometheus-style exposition across the serving stack.
+
+        Merges the front-end's registry with the admission controller's
+        and the backing handle's (when it exposes one) via
+        :func:`~repro.obs.metrics.render_merged` — a single scrape sees
+        request latencies, queue backlog, serving counters and the
+        per-shard histograms the workers shipped up.  Runs on the
+        executor so a scrape never blocks the event loop on the
+        registry locks.
+        """
+        self._ensure_started()
+        loop = self._loop
+        assert loop is not None and self._pool is not None
+        registries = [
+            self.metrics_registry,
+            getattr(self._admission, "registry", None),
+            getattr(self._handle, "metrics_registry", None),
+        ]
+        return await loop.run_in_executor(
+            self._pool, partial(render_merged, registries)
+        )
 
 
 async def run_open_loop(

@@ -49,6 +49,8 @@ import numpy as np
 from repro.core.infectivity import max_item_payoffs
 from repro.core.results import Cluster
 from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TID_INGEST
 from repro.serve.snapshot import DetectionSnapshot, SnapshotDelta
 from repro.streaming.online import StreamingALID
 from repro.utils.timing import timed
@@ -123,6 +125,14 @@ class IngestService:
         inside :meth:`ingest` before it returns (deterministic, used by
         tests and the CLI); ``"manual"`` only queues — call
         :meth:`repeel_now` yourself.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` for the
+        ingest counters; a private ``component="ingest"`` registry is
+        created when omitted (exposed as :attr:`metrics_registry`).
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; when set,
+        every :meth:`ingest` batch and every publish records a span on
+        the ingest lane.
 
     All stream access is serialized under one lock, so ingest, re-peel
     and publishing never interleave mid-mutation; :meth:`flush` waits
@@ -143,12 +153,43 @@ class IngestService:
     >>> svc.close()
     """
 
-    def __init__(self, stream: StreamingALID, *, repeel: str = "background"):
+    def __init__(
+        self,
+        stream: StreamingALID,
+        *,
+        repeel: str = "background",
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+    ):
         if repeel not in REPEEL_MODES:
             raise ValidationError(
                 f"repeel must be one of {REPEEL_MODES}, got {repeel!r}"
             )
         self._stream = stream
+        self.metrics_registry = (
+            MetricsRegistry(component="ingest")
+            if registry is None
+            else registry
+        )
+        self.tracer = tracer
+        reg = self.metrics_registry
+        self._m_ingested = reg.counter(
+            "ingest_points_total", "Points ingested"
+        )
+        self._m_absorbed = reg.counter(
+            "ingest_absorbed_total",
+            "Points absorbed into existing clusters on the ingest path",
+        )
+        self._m_repeel_runs = reg.counter(
+            "ingest_repeel_runs_total", "Targeted re-peel runs"
+        )
+        self._m_repeel_discoveries = reg.counter(
+            "ingest_repeel_discoveries_total",
+            "Clusters grown by re-peel runs",
+        )
+        self._m_publishes = reg.counter(
+            "ingest_publishes_total", "Base + delta publishes"
+        )
         self._repeel_mode = repeel
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -161,11 +202,8 @@ class IngestService:
         self._published_n = 0
         self._published_clusters: dict[int, Cluster] = {}
         self._sequence = 0
-        # Lifetime counters for stats().
-        self._ingested = 0
-        self._absorbed = 0
-        self._repeel_runs = 0
-        self._repeel_discoveries = 0
+        # Deterministic trace ids: ingest batches and publish rounds.
+        self._ingest_seq = 0
         self._wake = threading.Event()
         self._thread: threading.Thread | None = None
         if repeel == "background":
@@ -201,6 +239,8 @@ class IngestService:
         """
         if self._closed:
             raise ValidationError("ingest service is closed")
+        tracer = self.tracer
+        t_trace = tracer.now() if tracer is not None else 0.0
         with timed() as clock:
             with self._lock:
                 stream = self._stream
@@ -235,8 +275,8 @@ class IngestService:
                     dirty_marked = len(fresh)
                     self._dirty.update(fresh)
                 after_entries = stream.result().counters.entries_computed
-                self._ingested += int(new.size)
-                self._absorbed += absorbed
+                self._m_ingested.inc(int(new.size))
+                self._m_absorbed.inc(absorbed)
                 n_clusters = stream.n_clusters
             if self._repeel_mode == "sync":
                 self.repeel_now()
@@ -244,6 +284,18 @@ class IngestService:
             elif self._repeel_mode == "background" and dirty_marked:
                 self._wake.set()
             pending = self.pending
+        if tracer is not None:
+            self._ingest_seq += 1
+            tracer.record(
+                "ingest",
+                t_trace,
+                tracer.now(),
+                trace_id=f"ing-{self._ingest_seq}",
+                tid=TID_INGEST,
+                points=int(new.size),
+                absorbed=absorbed,
+                dirty_marked=dirty_marked,
+            )
         return IngestReport(
             n_points=int(new.size),
             absorbed=absorbed,
@@ -278,8 +330,8 @@ class IngestService:
         finally:
             self._repeeling = False
         grown = self._stream.n_clusters - before
-        self._repeel_runs += 1
-        self._repeel_discoveries += grown
+        self._m_repeel_runs.inc()
+        self._m_repeel_discoveries.inc(grown)
         return grown
 
     def _repeel_loop(self) -> None:
@@ -312,6 +364,8 @@ class IngestService:
         :meth:`publish_delta` calls record changes against it (and then
         against each other) starting at sequence 0.
         """
+        tracer = self.tracer
+        t_trace = tracer.now() if tracer is not None else 0.0
         with self._lock:
             snapshot = self._stream.to_snapshot(
                 meta={"published_by": "IngestService"}
@@ -323,6 +377,16 @@ class IngestService:
                 int(c.label): c for c in snapshot.clusters
             }
             self._sequence = 0
+        self._m_publishes.inc()
+        if tracer is not None:
+            tracer.record(
+                "publish_base",
+                t_trace,
+                tracer.now(),
+                trace_id="pub-base",
+                tid=TID_INGEST,
+                n_items=snapshot.n_items,
+            )
         return snapshot
 
     def publish_delta(self, path) -> SnapshotDelta:
@@ -340,6 +404,8 @@ class IngestService:
             anchor), or the stream shrank (never happens through this
             service's own API).
         """
+        tracer = self.tracer
+        t_trace = tracer.now() if tracer is not None else 0.0
         with self._lock:
             if self._published_sha is None:
                 raise ValidationError(
@@ -393,20 +459,33 @@ class IngestService:
             self._published_n = n_now
             self._published_clusters = current
             self._sequence += 1
+            sequence = self._sequence
+        self._m_publishes.inc()
+        if tracer is not None:
+            tracer.record(
+                "publish_delta",
+                t_trace,
+                tracer.now(),
+                trace_id=f"pub-{sequence - 1}",
+                tid=TID_INGEST,
+                appended=int(appended.shape[0]),
+                removed=len(removed),
+                upserts=len(upserts),
+            )
         return delta
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Ingest-side counters (lifetime scope)."""
+        """Ingest-side counters (lifetime scope, registry-backed)."""
         with self._lock:
             return {
                 "n_items": self._stream.n_items,
                 "n_clusters": self._stream.n_clusters,
-                "ingested": self._ingested,
-                "absorbed": self._absorbed,
+                "ingested": self._m_ingested.value,
+                "absorbed": self._m_absorbed.value,
                 "pending": len(self._dirty),
-                "repeel_runs": self._repeel_runs,
-                "repeel_discoveries": self._repeel_discoveries,
+                "repeel_runs": self._m_repeel_runs.value,
+                "repeel_discoveries": self._m_repeel_discoveries.value,
                 "published_sequence": self._sequence,
                 "published_n_items": self._published_n,
                 "chain_tip": self._published_sha,

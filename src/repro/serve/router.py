@@ -37,6 +37,7 @@ import threading
 import numpy as np
 
 from repro.exceptions import ValidationError, WorkerError
+from repro.obs.trace import TID_ROUTER, TID_SHARD_BASE
 from repro.serve.assigner import SHORTLIST_MODES, Assignment
 
 __all__ = ["BatchingRouter", "merge_partials"]
@@ -120,6 +121,20 @@ class BatchingRouter:
         ``"raise"`` (default) turns any dead or erroring worker into a
         :class:`~repro.exceptions.WorkerError`; ``"skip"`` serves from
         the surviving shards and records the degradation.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` the
+        per-batch metric deltas piggybacked on worker replies are
+        merged into.  Because every reply carries the delta for exactly
+        the work it answered, the merged histograms here are the exact
+        bucket-level sum of the workers' — including across a mid-run
+        heal, where a replacement worker's fresh registry simply starts
+        contributing deltas from zero.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder`; when set,
+        each micro-batch records a ``scatter`` span and a ``merge``
+        span on the router lane plus one ``shard_assign`` span per
+        responding shard on its own lane (submit-to-collect on the
+        router's clock), all tied by a deterministic trace id.
     """
 
     def __init__(
@@ -128,6 +143,8 @@ class BatchingRouter:
         *,
         max_batch: int = 1024,
         on_worker_error: str = "raise",
+        registry=None,
+        tracer=None,
     ):
         if not workers:
             raise ValidationError("router needs at least one shard worker")
@@ -143,6 +160,9 @@ class BatchingRouter:
         self.workers = list(workers)
         self.max_batch = int(max_batch)
         self.on_worker_error = on_worker_error
+        self.registry = registry
+        self.tracer = tracer
+        self._block_seq = 0
         self.dim = int(self.workers[0].info["dim"])
         # Worker pipes carry one request/response stream each; every
         # pipe interaction (routing and :meth:`describe_workers`) is
@@ -191,6 +211,7 @@ class BatchingRouter:
         with self._route_lock:
             for lo in range(0, q, self.max_batch):
                 block = queries[lo : lo + self.max_batch]
+                self._block_seq += 1
                 merged, used = self._route_block(block, shortlist, failed)
                 micro_batches += 1
                 shards_used = (
@@ -280,6 +301,8 @@ class BatchingRouter:
         it would desync the next request.
         """
         fresh_failures: list[str] = []
+        tracer = self.tracer
+        trace_id = f"blk-{self._block_seq}"
 
         def fail(worker, message: str) -> None:
             failed[worker.shard_id] = message
@@ -287,6 +310,7 @@ class BatchingRouter:
                 f"shard worker {worker.shard_id} failed: {message}"
             )
 
+        t_scatter = tracer.now() if tracer is not None else 0.0
         pending = []
         for worker in self.workers:
             if worker.shard_id in failed:
@@ -300,12 +324,39 @@ class BatchingRouter:
                 fail(worker, str(exc))
                 continue
             pending.append((worker, seq))
+        if tracer is not None:
+            tracer.record(
+                "scatter",
+                t_scatter,
+                tracer.now(),
+                trace_id=trace_id,
+                tid=TID_ROUTER,
+                rows=int(block.shape[0]),
+                shards=len(pending),
+            )
         partials = []
         for worker, seq in pending:
             try:
-                partials.append(worker.collect(seq))
+                partial = worker.collect(seq)
             except WorkerError as exc:
                 fail(worker, str(exc))
+                continue
+            if tracer is not None:
+                tracer.record(
+                    "shard_assign",
+                    t_scatter,
+                    tracer.now(),
+                    trace_id=trace_id,
+                    tid=TID_SHARD_BASE + int(worker.shard_id),
+                    shard=int(worker.shard_id),
+                )
+            # Workers piggyback their metric deltas on every reply;
+            # merging here (not in merge_partials) keeps the verdict
+            # merge purely mathematical.
+            delta = partial.pop("metrics", None)
+            if delta and self.registry is not None:
+                self.registry.merge(delta)
+            partials.append(partial)
         if fresh_failures and self.on_worker_error == "raise":
             raise WorkerError(
                 "; ".join(fresh_failures)
@@ -316,4 +367,16 @@ class BatchingRouter:
                 "no shard worker answered the batch; every shard is dead "
                 f"({len(self.workers)} worker(s), failures: {failed})"
             )
-        return merge_partials(partials, block.shape[0]), len(partials)
+        if tracer is None:
+            return merge_partials(partials, block.shape[0]), len(partials)
+        t_merge = tracer.now()
+        merged = merge_partials(partials, block.shape[0])
+        tracer.record(
+            "merge",
+            t_merge,
+            tracer.now(),
+            trace_id=trace_id,
+            tid=TID_ROUTER,
+            shards=len(partials),
+        )
+        return merged, len(partials)

@@ -32,58 +32,103 @@ from __future__ import annotations
 
 import pathlib
 import threading
+import time
 
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.obs.metrics import MetricsRegistry, default_latency_bounds_ms
+from repro.obs.trace import TID_ROUTER
 from repro.serve.assigner import Assignment, ClusterAssigner
 from repro.serve.snapshot import DetectionSnapshot, SnapshotDelta
 
-__all__ = ["ClusterService"]
+__all__ = ["ClusterService", "SERVING_STATS_SCHEMA"]
+
+#: The single declaration both stats scopes (and both service fronts)
+#: derive from: ``(stats key, backing metric, help, flags)``.  Flags:
+#: ``"derived"`` — computed from other fields (no backing counter);
+#: ``"lifetime"`` — present only at the top-level (lifetime) scope;
+#: ``"degraded"`` — emitted only when the caller asks for the degraded
+#: fields (both fronts do, so the schemas cannot drift; the
+#: single-process service simply never advances them).  The parity test
+#: in ``tests/test_serve_faults.py`` checks the *rendered* dicts; this
+#: table is why the check can't silently rot.
+SERVING_STATS_SCHEMA = (
+    ("batches", "serve_batches_total", "Query batches served", ""),
+    ("queries", "serve_queries_total", "Query rows served", ""),
+    (
+        "assigned",
+        "serve_assigned_total",
+        "Query rows assigned to a dominant cluster",
+        "",
+    ),
+    ("coverage", None, "assigned / queries (derived)", "derived"),
+    (
+        "reloads",
+        "serve_reloads_total",
+        "Successful hot reloads (full or delta)",
+        "lifetime",
+    ),
+    (
+        "entries_computed",
+        "serve_entries_computed_total",
+        "Serve-side affinity entries computed",
+        "",
+    ),
+    (
+        "degraded_batches",
+        "serve_degraded_batches_total",
+        "Batches served with at least one shard missing",
+        "degraded",
+    ),
+    (
+        "respawns",
+        "serve_respawns_total",
+        "Replacement shard workers spawned by heals",
+        "degraded",
+    ),
+    (
+        "healed_shards",
+        "serve_healed_shards_total",
+        "Shards returned to the pool by heals",
+        "degraded",
+    ),
+)
 
 
 class _ServingCounters:
     """Two-scope serving counters shared by both service fronts.
 
-    Lifetime counters span the service's whole life; the snapshot scope
-    resets on every successful hot reload.  Instances are not
-    thread-safe on their own — both services mutate them under their
-    service lock — which is exactly why the bookkeeping lives in one
-    place: :class:`ClusterService` and
-    :class:`~repro.serve.sharded.ShardedClusterService` must never
-    drift on the documented stats semantics.
+    Backed by :class:`~repro.obs.metrics.MetricsRegistry` counters —
+    the lifetime scope reads the counters directly, the snapshot scope
+    is the diff against a checkpoint taken at the last successful hot
+    reload (a heal advances counters but never moves the checkpoint:
+    the served snapshot did not change).  Both scopes render from
+    :data:`SERVING_STATS_SCHEMA`, so :class:`ClusterService` and
+    :class:`~repro.serve.sharded.ShardedClusterService` cannot drift on
+    the documented stats semantics.
+
+    Instances are not thread-safe on their own — both services mutate
+    them under their service lock (the metric objects add their own
+    registry lock, which keeps concurrent scrapes consistent).
     """
 
-    __slots__ = (
-        "batches",
-        "queries",
-        "assigned",
-        "entries",
-        "degraded",
-        "reloads",
-        "respawns",
-        "healed",
-        "snap_batches",
-        "snap_queries",
-        "snap_assigned",
-        "snap_entries",
-        "snap_degraded",
-        "snap_respawns",
-        "snap_healed",
-    )
+    __slots__ = ("registry", "_counters", "_snapshot_base")
 
-    def __init__(self) -> None:
-        self.reloads = 0
-        self.batches = self.queries = self.assigned = self.entries = 0
-        self.degraded = 0
-        self.respawns = self.healed = 0
-        self._reset_snapshot_scope()
-
-    def _reset_snapshot_scope(self) -> None:
-        self.snap_batches = self.snap_queries = 0
-        self.snap_assigned = self.snap_entries = 0
-        self.snap_degraded = 0
-        self.snap_respawns = self.snap_healed = 0
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = (
+            MetricsRegistry(component="serve")
+            if registry is None
+            else registry
+        )
+        self._counters = {
+            key: self.registry.counter(metric, help)
+            for key, metric, help, _flags in SERVING_STATS_SCHEMA
+            if metric is not None
+        }
+        self._snapshot_base = {
+            key: counter.value for key, counter in self._counters.items()
+        }
 
     def record_batch(
         self,
@@ -93,71 +138,65 @@ class _ServingCounters:
         *,
         degraded: bool = False,
     ) -> None:
-        """Account one served batch at both scopes."""
-        self.batches += 1
-        self.queries += int(n_queries)
-        self.assigned += int(assigned)
-        self.entries += int(entries)
-        self.snap_batches += 1
-        self.snap_queries += int(n_queries)
-        self.snap_assigned += int(assigned)
-        self.snap_entries += int(entries)
+        """Account one served batch (both scopes read the same counters)."""
+        self._counters["batches"].inc()
+        self._counters["queries"].inc(int(n_queries))
+        self._counters["assigned"].inc(int(assigned))
+        self._counters["entries_computed"].inc(int(entries))
         if degraded:
-            self.degraded += 1
-            self.snap_degraded += 1
+            self._counters["degraded_batches"].inc()
 
     def record_reload(self) -> None:
         """Account a successful hot reload: snapshot scope starts over."""
-        self.reloads += 1
-        self._reset_snapshot_scope()
+        self._counters["reloads"].inc()
+        self._snapshot_base = {
+            key: counter.value for key, counter in self._counters.items()
+        }
 
     def record_heal(self, n_workers: int, n_shards: int) -> None:
-        """Account one successful heal at both scopes.
+        """Account one successful heal (checkpoint stays put).
 
         ``n_workers`` counts replacement worker processes spawned;
         ``n_shards`` counts shards returned to the serving pool (equal
         today — one worker per shard — but kept distinct so a future
         split-shard planner can heal partially).
         """
-        self.respawns += int(n_workers)
-        self.healed += int(n_shards)
-        self.snap_respawns += int(n_workers)
-        self.snap_healed += int(n_shards)
+        self._counters["respawns"].inc(int(n_workers))
+        self._counters["healed_shards"].inc(int(n_shards))
+
+    def _render(self, snapshot_scope: bool, with_degraded: bool) -> dict:
+        """Render one scope from :data:`SERVING_STATS_SCHEMA`."""
+        values = {
+            key: (
+                counter.value - self._snapshot_base.get(key, 0)
+                if snapshot_scope
+                else counter.value
+            )
+            for key, counter in self._counters.items()
+        }
+        out: dict = {}
+        for key, metric, _help, flags in SERVING_STATS_SCHEMA:
+            if flags == "lifetime" and snapshot_scope:
+                continue
+            if flags == "degraded" and not with_degraded:
+                continue
+            if flags == "derived":
+                out[key] = (
+                    values["assigned"] / values["queries"]
+                    if values["queries"]
+                    else 0.0
+                )
+            else:
+                out[key] = values[key]
+        return out
 
     def lifetime_dict(self, *, with_degraded: bool = False) -> dict:
         """The top-level (lifetime) stats fields."""
-        out = {
-            "batches": self.batches,
-            "queries": self.queries,
-            "assigned": self.assigned,
-            "coverage": self.assigned / self.queries if self.queries else 0.0,
-            "reloads": self.reloads,
-            "entries_computed": self.entries,
-        }
-        if with_degraded:
-            out["degraded_batches"] = self.degraded
-            out["respawns"] = self.respawns
-            out["healed_shards"] = self.healed
-        return out
+        return self._render(False, with_degraded)
 
     def snapshot_dict(self, *, with_degraded: bool = False) -> dict:
         """The nested per-snapshot stats block."""
-        out = {
-            "batches": self.snap_batches,
-            "queries": self.snap_queries,
-            "assigned": self.snap_assigned,
-            "coverage": (
-                self.snap_assigned / self.snap_queries
-                if self.snap_queries
-                else 0.0
-            ),
-            "entries_computed": self.snap_entries,
-        }
-        if with_degraded:
-            out["degraded_batches"] = self.snap_degraded
-            out["respawns"] = self.snap_respawns
-            out["healed_shards"] = self.snap_healed
-        return out
+        return self._render(True, with_degraded)
 
 
 class ClusterService:
@@ -172,6 +211,16 @@ class ClusterService:
         When *source* is a path, map the array files read-only instead
         of copying them into memory (identical results, smaller
         residency).
+    registry:
+        An optional :class:`~repro.obs.metrics.MetricsRegistry` to
+        record serving metrics into (counters behind :meth:`stats` plus
+        a ``serve_assign_ms`` latency histogram); a private
+        ``component="serve"`` registry is created when omitted and
+        exposed as :attr:`metrics_registry` either way.
+    tracer:
+        An optional :class:`~repro.obs.trace.TraceRecorder`; when set,
+        every :meth:`assign` records an ``assign`` span on the router
+        lane with a deterministic ``svc-<seq>`` trace id.
 
     Example
     -------
@@ -185,9 +234,24 @@ class ClusterService:
     8
     """
 
-    def __init__(self, source, *, mmap: bool = False):
+    def __init__(
+        self,
+        source,
+        *,
+        mmap: bool = False,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+    ):
         self._lock = threading.Lock()
-        self._counters = _ServingCounters()
+        self._counters = _ServingCounters(registry)
+        self.metrics_registry = self._counters.registry
+        self.tracer = tracer
+        self._assign_ms = self.metrics_registry.histogram(
+            "serve_assign_ms",
+            "Single-service batch assign latency (ms)",
+            bounds=default_latency_bounds_ms(),
+        )
+        self._assign_seq = 0
         self._source = None
         self._closed = False
         self._snapshot: DetectionSnapshot | None = None
@@ -234,12 +298,26 @@ class ClusterService:
         assigner = self._assigner
         if assigner is None:
             raise ValidationError("service is closed")
+        t_start = time.monotonic()
         result = assigner.assign(queries, shortlist=shortlist)
+        t_done = time.monotonic()
         with self._lock:
             self._counters.record_batch(
                 result.n_queries,
                 int(result.assigned_mask.sum()),
                 int(result.entries_computed),
+            )
+            self._assign_seq += 1
+            seq = self._assign_seq
+        self._assign_ms.observe((t_done - t_start) * 1e3)
+        if self.tracer is not None:
+            self.tracer.record(
+                "assign",
+                t_start,
+                t_done,
+                trace_id=f"svc-{seq}",
+                tid=TID_ROUTER,
+                rows=int(result.n_queries),
             )
         return result
 

@@ -59,11 +59,14 @@ import multiprocessing
 import os
 import pathlib
 import threading
+import time
 import warnings
 
 import numpy as np
 
 from repro.exceptions import SnapshotError, ValidationError, WorkerError
+from repro.obs.metrics import MetricsRegistry, default_latency_bounds_ms
+from repro.obs.trace import TID_SUPERVISOR
 from repro.serve.assigner import Assignment, ClusterAssigner
 from repro.serve.ipc import recv_message, send_message
 from repro.serve.plan import ShardPlan, ShardPlanner, replan_for_delta
@@ -107,6 +110,15 @@ def _worker_main(shard_dir: str, conn, mmap: bool) -> None:
     :class:`ClusterAssigner` over it, then answers requests until the
     pipe closes or a ``stop`` arrives.  Every failure is reported over
     the pipe — the worker never dies silently while the pipe is open.
+
+    Telemetry: the worker keeps its own
+    :class:`~repro.obs.metrics.MetricsRegistry` and piggybacks a
+    ``"metrics"`` delta (:meth:`~repro.obs.metrics.MetricsRegistry.flush_delta`)
+    on **every** assign reply — the delta rides the same pickle-5
+    framing as the verdict arrays, so the parent's merged histograms
+    are the exact bucket-level sum of what the workers observed, and a
+    healed worker's fresh registry simply resumes the delta stream from
+    zero (parent totals stay monotone).
     """
     try:
         snapshot = DetectionSnapshot.load(shard_dir, mmap=mmap)
@@ -120,6 +132,29 @@ def _worker_main(shard_dir: str, conn, mmap: bool) -> None:
         label_order = np.argsort(labels, kind="stable")
         sorted_labels = labels[label_order]
         sorted_densities = densities[label_order]
+        registry = MetricsRegistry(component="shard_worker")
+        shard_label = str(snapshot.meta.get("shard_id"))
+        m_assign_ms = registry.histogram(
+            "shard_assign_ms",
+            "Per-shard local assign latency (ms)",
+            bounds=default_latency_bounds_ms(),
+            shard=shard_label,
+        )
+        m_batches = registry.counter(
+            "shard_batches_total",
+            "Query batches answered by this shard",
+            shard=shard_label,
+        )
+        m_queries = registry.counter(
+            "shard_queries_total",
+            "Query rows answered by this shard",
+            shard=shard_label,
+        )
+        m_entries = registry.counter(
+            "shard_entries_total",
+            "Affinity entries computed by this shard",
+            shard=shard_label,
+        )
     except BaseException as exc:  # noqa: BLE001 - reported over the pipe
         try:
             send_message(conn, ("failed", f"{type(exc).__name__}: {exc}"))
@@ -139,6 +174,7 @@ def _worker_main(shard_dir: str, conn, mmap: bool) -> None:
         try:
             if command == "assign":
                 queries, shortlist = message[2], message[3]
+                t_start = time.perf_counter()
                 result = assigner.assign(queries, shortlist=shortlist)
                 density = np.full(result.labels.size, -np.inf)
                 hit = result.labels >= 0
@@ -147,6 +183,12 @@ def _worker_main(shard_dir: str, conn, mmap: bool) -> None:
                         sorted_labels, result.labels[hit]
                     )
                     density[hit] = sorted_densities[positions]
+                m_assign_ms.observe(
+                    (time.perf_counter() - t_start) * 1e3
+                )
+                m_batches.inc()
+                m_queries.inc(int(result.labels.size))
+                m_entries.inc(int(result.entries_computed))
                 send_message(
                     conn,
                     (
@@ -158,6 +200,7 @@ def _worker_main(shard_dir: str, conn, mmap: bool) -> None:
                             "density": density,
                             "n_candidates": result.n_candidates,
                             "entries": result.entries_computed,
+                            "metrics": registry.flush_delta(),
                         },
                     ),
                 )
@@ -350,6 +393,17 @@ class ShardedClusterService:
         corpus, which no single shard holds.  Loaded ``mmap=True`` when
         given as a path.  :func:`repro.serve.client.connect` wires this
         automatically.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` for the
+        serving counters, the per-shard metric deltas the workers
+        piggyback on their replies, and everything else the pool
+        records; a private ``component="serve"`` registry is created
+        when omitted and exposed as :attr:`metrics_registry` either
+        way.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder` handed to
+        every router the service builds (scatter / per-shard assign /
+        merge spans) and used for ``heal`` spans.
 
     Example
     -------
@@ -369,6 +423,8 @@ class ShardedClusterService:
         on_worker_error: str = "raise",
         start_timeout: float = 120.0,
         parent_source=None,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
     ):
         # Reject bad knobs before any worker is forked (the router would
         # only catch them after the whole pool came up).
@@ -386,7 +442,10 @@ class ShardedClusterService:
         self._max_batch = int(max_batch)
         self._on_worker_error = on_worker_error
         self._start_timeout = float(start_timeout)
-        self._counters = _ServingCounters()
+        self._counters = _ServingCounters(registry)
+        self.metrics_registry = self._counters.registry
+        self.tracer = tracer
+        self._heal_seq = 0
         self._plan: ShardPlan | None = None
         self._workers: list[ShardWorker] = []
         self._router: BatchingRouter | None = None
@@ -453,6 +512,8 @@ class ShardedClusterService:
             workers,
             max_batch=self._max_batch,
             on_worker_error=self._on_worker_error,
+            registry=self.metrics_registry,
+            tracer=self.tracer,
         )
         return plan, workers, router
 
@@ -654,6 +715,8 @@ class ShardedClusterService:
                 workers,
                 max_batch=self._max_batch,
                 on_worker_error=self._on_worker_error,
+                registry=self.metrics_registry,
+                tracer=self.tracer,
             )
             self._plan, self._workers, self._router = (
                 new_plan,
@@ -714,6 +777,18 @@ class ShardedClusterService:
             )
         if not dead_ids:
             return []
+        tracer = self.tracer
+        heal_span = None
+        if tracer is not None:
+            with self._lock:
+                self._heal_seq += 1
+                heal_seq = self._heal_seq
+            heal_span = tracer.begin(
+                "heal",
+                trace_id=f"heal-{heal_seq}",
+                tid=TID_SUPERVISOR,
+                shards=list(dead_ids),
+            )
         fresh: list[ShardWorker] = []
         try:
             for shard_id in dead_ids:
@@ -728,12 +803,16 @@ class ShardedClusterService:
         except Exception:
             for worker in fresh:
                 worker.stop()
+            if heal_span is not None:
+                heal_span.end(error="respawn_failed")
             raise
         by_shard = {worker.shard_id: worker for worker in fresh}
         with self._lock:
             if self._router is None:
                 for worker in fresh:
                     worker.stop()
+                if heal_span is not None:
+                    heal_span.end(error="service_closed")
                 raise WorkerError(
                     "service was closed while healing"
                 )
@@ -743,6 +822,8 @@ class ShardedClusterService:
                 # plan.  Discard them — the heal is moot.
                 for worker in fresh:
                     worker.stop()
+                if heal_span is not None:
+                    heal_span.end(outcome="superseded")
                 return []
             old_router = self._router
             # Same pipe-discipline as apply_delta: drain the old router
@@ -766,11 +847,15 @@ class ShardedClusterService:
                 workers,
                 max_batch=self._max_batch,
                 on_worker_error=self._on_worker_error,
+                registry=self.metrics_registry,
+                tracer=self.tracer,
             )
             self._workers, self._router = workers, router
             self._counters.record_heal(len(fresh), len(fresh))
         for worker in replaced:
             worker.stop()
+        if heal_span is not None:
+            heal_span.end(healed=len(fresh))
         return dead_ids
 
     def describe_shards(self) -> list[dict]:

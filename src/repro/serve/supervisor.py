@@ -26,6 +26,7 @@ from __future__ import annotations
 import threading
 
 from ..exceptions import ValidationError
+from ..obs.metrics import MetricsRegistry
 
 __all__ = ["ShardSupervisor"]
 
@@ -47,12 +48,25 @@ class ShardSupervisor:
     on_heal:
         Optional callback invoked as ``on_heal(shard_ids)`` after every
         successful heal (from the supervisor thread — keep it cheap).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` the
+        poll/heal counters live in.  Defaults to the watched service's
+        ``metrics_registry`` when it has one (so one scrape covers the
+        whole pool, with these metrics labelled
+        ``component="supervisor"``), else a private registry.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`
     explicitly.  Stopping the supervisor never touches the service.
     """
 
-    def __init__(self, service, *, interval: float = 0.25, on_heal=None):
+    def __init__(
+        self,
+        service,
+        *,
+        interval: float = 0.25,
+        on_heal=None,
+        registry: MetricsRegistry | None = None,
+    ):
         """Validate the poll interval and the service's heal surface."""
         if interval <= 0.0:
             raise ValidationError(
@@ -71,13 +85,41 @@ class ShardSupervisor:
         self._stop_event = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
-        self._polls = 0
-        self._heals = 0
-        self._healed_shards = 0
-        self._heal_failures = 0
-        self._consecutive_failures = 0
+        if registry is None:
+            registry = getattr(service, "metrics_registry", None)
+        if registry is None:
+            registry = MetricsRegistry(component="supervisor")
+        self.registry = registry
+        component = {"component": "supervisor"}
+        self._m_polls = registry.counter(
+            "supervisor_polls_total", "Liveness polls run", **component
+        )
+        self._m_heals = registry.counter(
+            "supervisor_heals_total", "Successful heal cycles", **component
+        )
+        self._m_healed_shards = registry.counter(
+            "supervisor_healed_shards_total",
+            "Shards healed across all cycles",
+            **component,
+        )
+        self._m_heal_failures = registry.counter(
+            "supervisor_heal_failures_total",
+            "Heal attempts that raised",
+            **component,
+        )
+        self._g_consecutive = registry.gauge(
+            "supervisor_consecutive_failures",
+            "Heal failures since the last success",
+            **component,
+        )
+        self._g_backoff = registry.gauge(
+            "supervisor_backoff_polls_remaining",
+            "Polls the watcher will skip before retrying a heal",
+            **component,
+        )
         self._last_error: str | None = None
         self._backoff_remaining = 0
+        self._consecutive_failures = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -145,29 +187,33 @@ class ShardSupervisor:
         retries.  Only errors from the *poll* (e.g. a closed service)
         propagate.
         """
-        with self._lock:
-            self._polls += 1
+        self._m_polls.inc()
         if not self._service.dead_shard_ids():
             return []
         try:
             healed = self._service.heal()
         except Exception as exc:  # noqa: BLE001 - surfaced in stats
+            self._m_heal_failures.inc()
             with self._lock:
-                self._heal_failures += 1
                 self._consecutive_failures += 1
                 self._last_error = f"{type(exc).__name__}: {exc}"
                 self._backoff_remaining = min(
                     2 ** min(self._consecutive_failures, 16),
                     _MAX_BACKOFF_POLLS,
                 )
+                self._g_consecutive.set(self._consecutive_failures)
+                self._g_backoff.set(self._backoff_remaining)
             return []
         with self._lock:
             self._consecutive_failures = 0
             self._backoff_remaining = 0
+            self._g_consecutive.set(0)
+            self._g_backoff.set(0)
             if healed:
-                self._heals += 1
-                self._healed_shards += len(healed)
                 self._last_error = None
+        if healed:
+            self._m_heals.inc()
+            self._m_healed_shards.inc(len(healed))
         if healed and self._on_heal is not None:
             self._on_heal(list(healed))
         return list(healed)
@@ -176,15 +222,19 @@ class ShardSupervisor:
     # introspection
 
     def stats(self) -> dict:
-        """Supervisor counters: polls, heals, failures, back-off state."""
+        """Supervisor counters: polls, heals, failures, back-off state.
+
+        Counter fields read the backing registry metrics — the same
+        numbers a metrics scrape of the watched service renders.
+        """
         with self._lock:
             return {
                 "running": self.running,
                 "interval": self.interval,
-                "polls": self._polls,
-                "heals": self._heals,
-                "healed_shards": self._healed_shards,
-                "heal_failures": self._heal_failures,
+                "polls": self._m_polls.value,
+                "heals": self._m_heals.value,
+                "healed_shards": self._m_healed_shards.value,
+                "heal_failures": self._m_heal_failures.value,
                 "consecutive_failures": self._consecutive_failures,
                 "backoff_polls_remaining": self._backoff_remaining,
                 "last_error": self._last_error,

@@ -88,6 +88,8 @@ class TestServingQuickstartRuns:
         assert "snapshot written to" in out
         assert "reloaded:" in out
         assert "far-away queries rejected as noise: 20/20" in out
+        assert "telemetry: 8 requests observed" in out
+        assert "spans balanced: True" in out
 
 
 class TestImagePipelineRuns:

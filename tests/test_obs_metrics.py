@@ -1,0 +1,208 @@
+"""Tests for the metrics registry (repro.obs.metrics).
+
+The load-bearing contract: histograms merged across registries (the
+shard-worker delta path) are the exact bucket-level sum of their
+inputs, so p50/p95/p99 computed on the merged histogram equal the
+quantiles a single-process histogram fed the identical observations
+would report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    default_latency_bounds_ms,
+    render_merged,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "Requests")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total")
+        b = reg.counter("hits_total")
+        assert a is b
+
+    def test_label_variants_are_distinct(self):
+        reg = MetricsRegistry()
+        a = reg.counter("batches_total", shard="0")
+        b = reg.counter("batches_total", shard="1")
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0
+        assert reg.get("batches_total", shard="0").value == 3
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            reg.counter("n_total").inc(-1)
+
+    def test_component_label_injected(self):
+        reg = MetricsRegistry(component="worker")
+        c = reg.counter("jobs_total")
+        assert c.labels["component"] == "worker"
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("queue_depth")
+        g.set(7)
+        g.set(3)
+        assert g.value == 3
+
+    def test_merge_overwrites(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(10)
+        b.gauge("depth").set(2)
+        a.merge(b.collect())
+        assert a.get("depth").value == 2
+
+
+class TestHistogram:
+    def test_count_sum_and_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_ms", bounds=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(555.5)
+        assert h.bucket_counts() == (1, 1, 1, 1)
+
+    def test_default_bounds_are_log_spaced(self):
+        bounds = default_latency_bounds_ms()
+        assert bounds[0] == pytest.approx(0.01)
+        assert bounds == tuple(sorted(bounds))
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(10 ** 0.25, rel=1e-4) for r in ratios)
+
+    def test_single_value_quantiles_are_exact(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_ms", bounds=default_latency_bounds_ms())
+        for _ in range(10):
+            h.observe(3.7)
+        p = h.percentiles()
+        assert p["p50"] == pytest.approx(3.7)
+        assert p["p99"] == pytest.approx(3.7)
+
+    def test_quantiles_monotone(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_ms", bounds=default_latency_bounds_ms())
+        rng = np.random.default_rng(7)
+        for v in rng.lognormal(1.0, 0.8, size=500):
+            h.observe(float(v))
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_merged_histogram_is_bucket_exact(self):
+        """Split one observation stream across two registries; the merge
+        must equal the single-registry histogram bucket for bucket."""
+        bounds = default_latency_bounds_ms()
+        whole = MetricsRegistry()
+        h_whole = whole.histogram("lat_ms", bounds=bounds)
+        parts = [MetricsRegistry() for _ in range(3)]
+        part_hists = [p.histogram("lat_ms", bounds=bounds) for p in parts]
+        rng = np.random.default_rng(11)
+        for i, v in enumerate(rng.lognormal(0.5, 1.0, size=300)):
+            h_whole.observe(float(v))
+            part_hists[i % 3].observe(float(v))
+        merged = MetricsRegistry()
+        for p in parts:
+            merged.merge(p.collect())
+        h_merged = merged.get("lat_ms")
+        assert h_merged.bucket_counts() == h_whole.bucket_counts()
+        assert h_merged.total == pytest.approx(h_whole.total)
+        assert h_merged.percentiles() == pytest.approx(
+            h_whole.percentiles()
+        )
+
+    def test_merge_refuses_mismatched_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat_ms", bounds=(1.0, 2.0))
+        b.histogram("lat_ms", bounds=(1.0, 3.0))
+        b.get("lat_ms").observe(1.5)
+        with pytest.raises(ValidationError):
+            a.merge(b.collect())
+
+
+class TestDeltaFlush:
+    def test_flush_only_ships_changes(self):
+        reg = MetricsRegistry()
+        a = reg.counter("a_total")
+        reg.counter("b_total")
+        a.inc(2)
+        delta = reg.flush_delta()
+        assert [s["name"] for s in delta] == ["a_total"]
+        assert reg.flush_delta() == []
+
+    def test_deltas_reassemble_the_full_state(self):
+        src, dst = MetricsRegistry(), MetricsRegistry()
+        c = src.counter("work_total")
+        h = src.histogram("lat_ms", bounds=(1.0, 10.0))
+        for round_values in ((0.5, 2.0), (20.0,), (3.0, 0.1)):
+            for v in round_values:
+                h.observe(v)
+            c.inc(len(round_values))
+            dst.merge(src.flush_delta())
+        assert dst.get("work_total").value == 5
+        assert dst.get("lat_ms").bucket_counts() == h.bucket_counts()
+        assert dst.get("lat_ms").total == pytest.approx(h.total)
+
+    def test_merge_creates_unseen_metrics(self):
+        src = MetricsRegistry(component="shard_worker")
+        src.counter("shard_batches_total", shard="3").inc(5)
+        dst = MetricsRegistry()
+        dst.merge(src.collect())
+        m = dst.get(
+            "shard_batches_total", component="shard_worker", shard="3"
+        )
+        assert m.value == 5
+
+
+class TestTwoScope:
+    def test_since_diffs_against_checkpoint(self):
+        reg = MetricsRegistry()
+        c = reg.counter("queries_total")
+        c.inc(10)
+        mark = reg.checkpoint()
+        c.inc(4)
+        assert reg.since(mark)["queries_total"] == 4
+
+    def test_counter_created_after_checkpoint_diffs_from_zero(self):
+        reg = MetricsRegistry()
+        mark = reg.checkpoint()
+        reg.counter("late_total").inc(3)
+        assert reg.since(mark)["late_total"] == 3
+
+
+class TestRenderText:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "Requests served").inc(2)
+        h = reg.histogram("lat_ms", "Latency", bounds=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        text = reg.render_text()
+        assert "# HELP requests_total Requests served" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 2" in text
+        assert 'lat_ms_bucket{le="1"} 1' in text
+        assert 'lat_ms_bucket{le="10"} 2' in text
+        assert 'lat_ms_bucket{le="+Inf"} 2' in text
+        assert "lat_ms_count 2" in text
+
+    def test_render_merged_dedups_by_identity(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total").inc(3)
+        text = render_merged([reg, reg, None])
+        assert "hits_total 3" in text

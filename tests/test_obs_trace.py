@@ -1,0 +1,137 @@
+"""Tests for the request tracer (repro.obs.trace).
+
+Span balance (``opened == closed``) is the structural invariant the
+soak lane gates on: an unbalanced recorder means some code path
+returned without closing its bracket.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    TID_REQUEST,
+    TID_ROUTER,
+    TID_SHARD_BASE,
+    Span,
+    TraceRecorder,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return TraceRecorder(clock=clock)
+
+
+class TestSpans:
+    def test_begin_end_duration(self, tracer, clock):
+        span = tracer.begin("assign", trace_id="req-1")
+        clock.t = 0.25
+        duration = span.end(rows=16)
+        assert duration == pytest.approx(0.25)
+        assert tracer.opened == 1
+        assert tracer.closed == 1
+        assert tracer.balanced
+
+    def test_record_is_atomic(self, tracer):
+        tracer.record("ingest", 1.0, 2.5, trace_id="ing-0", points=10)
+        assert tracer.balanced
+        (span,) = tracer.spans("ingest")
+        assert span.duration == pytest.approx(1.5)
+        assert span.attrs["points"] == 10
+
+    def test_unclosed_span_breaks_balance(self, tracer):
+        tracer.begin("assign")
+        assert tracer.opened == 1
+        assert tracer.closed == 0
+        assert not tracer.balanced
+
+    def test_double_end_counts_once(self, tracer, clock):
+        span = tracer.begin("assign")
+        clock.t = 1.0
+        span.end()
+        span.end()
+        assert tracer.closed == 1
+
+    def test_context_manager_closes(self, tracer, clock):
+        with tracer.begin("batch"):
+            clock.t = 2.0
+        assert tracer.balanced
+        (span,) = tracer.spans("batch")
+        assert span.duration == pytest.approx(2.0)
+
+    def test_max_spans_drops_but_keeps_counts(self, clock):
+        tracer = TraceRecorder(max_spans=2, clock=clock)
+        for i in range(5):
+            tracer.record("q", 0.0, 1.0, trace_id=f"req-{i}")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert tracer.opened == 5
+        assert tracer.balanced
+
+
+class TestExport:
+    def test_events_are_chrome_trace_shaped(self, tracer, clock):
+        tracer.record(
+            "scatter", 0.0, 0.010, trace_id="blk-1", tid=TID_ROUTER, rows=64
+        )
+        tracer.record(
+            "shard_assign", 0.0, 0.008, trace_id="blk-1",
+            tid=TID_SHARD_BASE + 1,
+        )
+        events = tracer.events()
+        spans = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in spans} == {"scatter", "shard_assign"}
+        scatter = next(e for e in spans if e["name"] == "scatter")
+        assert scatter["dur"] == pytest.approx(10_000)  # microseconds
+        assert scatter["args"]["trace_id"] == "blk-1"
+        assert scatter["args"]["rows"] == 64
+        names = {m["args"]["name"] for m in metas}
+        assert "router" in names
+        assert "shard-1" in names
+
+    def test_export_jsonl_round_trips(self, tracer, tmp_path):
+        tracer.record("request", 0.0, 0.002, trace_id="req-7",
+                      tid=TID_REQUEST)
+        out = tmp_path / "spans.jsonl"
+        n = tracer.export_jsonl(out)
+        lines = out.read_text().splitlines()
+        assert len(lines) == n
+        parsed = [json.loads(line) for line in lines]
+        assert any(
+            e.get("args", {}).get("trace_id") == "req-7" for e in parsed
+        )
+
+    def test_span_timestamps_on_recorder_axis(self, tracer, clock):
+        clock.t = 5.0
+        span = tracer.begin("assign")
+        clock.t = 5.5
+        span.end()
+        (event,) = [e for e in tracer.events() if e["ph"] == "X"]
+        # ts is relative to the recorder epoch, in microseconds.
+        assert event["ts"] >= 0
+        assert event["dur"] == pytest.approx(500_000)
+
+    def test_spans_filter_by_name(self, tracer):
+        tracer.record("a", 0.0, 1.0)
+        tracer.record("b", 0.0, 1.0)
+        tracer.record("a", 1.0, 2.0)
+        assert len(tracer.spans("a")) == 2
+        assert len(tracer.spans("b")) == 1
+
+    def test_span_is_exported_type(self, tracer):
+        assert isinstance(tracer.begin("x"), Span)

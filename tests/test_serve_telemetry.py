@@ -1,0 +1,287 @@
+"""End-to-end telemetry across the serve tier (the obs subsystem wired).
+
+Pinned contracts:
+
+* shard-worker registry deltas piggybacked on assign replies through
+  ``serve/ipc.py`` reassemble **bucket-exactly** in the parent registry
+  — no loss, no double count — including across a mid-run SIGKILL +
+  heal (lifetime counters stay monotone; the fresh worker's deltas
+  start from zero and keep adding);
+* the committed ``stats()`` schemas and the registry are two views of
+  one set of counters — they can never disagree;
+* the front-end latency histogram is the exact bucket-level image of
+  the per-request latencies its replies report, and each reply's span
+  breakdown (queued + service) sums exactly to its latency.
+"""
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro.core.alid import ALID
+from repro.core.config import ALIDConfig
+from repro.datasets.synthetic import make_synthetic_mixture
+from repro.obs.metrics import MetricsRegistry, default_latency_bounds_ms
+from repro.obs.trace import TraceRecorder
+from repro.serve import (
+    AsyncFrontend,
+    ClusterService,
+    DetectionSnapshot,
+    ShardPlanner,
+    ShardedClusterService,
+    connect,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    dataset = make_synthetic_mixture(
+        n=300, regime="bounded", bound=150, n_clusters=4, dim=12, seed=5
+    )
+    detector = ALID(ALIDConfig(delta=200, seed=5))
+    result = detector.fit(dataset.data)
+    assert result.n_clusters >= 2
+    return dataset, detector, result
+
+
+@pytest.fixture(scope="module")
+def snapshot_dir(fitted, tmp_path_factory):
+    _, detector, result = fitted
+    return DetectionSnapshot.from_result(detector, result).save(
+        tmp_path_factory.mktemp("telemetry") / "snap"
+    )
+
+
+@pytest.fixture(scope="module")
+def shard_root(snapshot_dir, tmp_path_factory):
+    root = tmp_path_factory.mktemp("telemetry") / "shards"
+    ShardPlanner(n_shards=2).plan(snapshot_dir, root)
+    return root
+
+
+@pytest.fixture
+def queries(fitted):
+    dataset, _, _ = fitted
+    return dataset.data[:64]
+
+
+def _kill_worker(service, index=0):
+    worker = service._workers[index]
+    os.kill(worker.process.pid, signal.SIGKILL)
+    worker.process.join(timeout=10)
+    assert not worker.alive
+    return worker.shard_id
+
+
+class TestCrossProcessMerge:
+    def test_worker_deltas_reassemble_exactly(self, shard_root, queries):
+        registry = MetricsRegistry()
+        with ShardedClusterService(shard_root, registry=registry) as svc:
+            n_batches = 5
+            for _ in range(n_batches):
+                svc.assign(queries)
+            for shard in ("0", "1"):
+                batches = registry.get(
+                    "shard_batches_total",
+                    component="shard_worker",
+                    shard=shard,
+                )
+                assert batches.value == n_batches
+                hist = registry.get(
+                    "shard_assign_ms",
+                    component="shard_worker",
+                    shard=shard,
+                )
+                # One observation per worker batch: the histogram is
+                # the exact sum of every shipped delta.
+                assert hist.count == n_batches
+                assert sum(hist.bucket_counts()) == n_batches
+                q = registry.get(
+                    "shard_queries_total",
+                    component="shard_worker",
+                    shard=shard,
+                )
+                assert q.value == n_batches * queries.shape[0]
+
+    def test_worker_entries_sum_to_service_total(
+        self, shard_root, queries
+    ):
+        registry = MetricsRegistry()
+        with ShardedClusterService(shard_root, registry=registry) as svc:
+            svc.assign(queries)
+            stats = svc.stats()
+        worker_entries = sum(
+            m.value
+            for m in registry.metrics()
+            if m.name == "shard_entries_total"
+        )
+        assert worker_entries == stats["entries_computed"]
+
+    def test_heal_keeps_lifetime_monotone(self, shard_root, queries):
+        """A healed worker's registry restarts at zero; its deltas keep
+        adding to the already-merged totals, so the parent's view never
+        goes backwards and post-heal increments are exact."""
+        registry = MetricsRegistry()
+        with ShardedClusterService(
+            shard_root, on_worker_error="skip", registry=registry
+        ) as svc:
+            for _ in range(3):
+                svc.assign(queries)
+            victim = _kill_worker(svc)
+            label = str(victim)
+            svc.assign(queries)  # degraded: victim contributes nothing
+            before = registry.get(
+                "shard_batches_total",
+                component="shard_worker",
+                shard=label,
+            ).value
+            hist_before = registry.get(
+                "shard_assign_ms",
+                component="shard_worker",
+                shard=label,
+            ).count
+            assert svc.heal() == [victim]
+            n_after = 4
+            for _ in range(n_after):
+                svc.assign(queries)
+            after = registry.get(
+                "shard_batches_total",
+                component="shard_worker",
+                shard=label,
+            ).value
+            hist_after = registry.get(
+                "shard_assign_ms",
+                component="shard_worker",
+                shard=label,
+            ).count
+        assert before == 3
+        assert after == before + n_after
+        assert hist_after == hist_before + n_after
+
+    def test_connect_forwards_registry_to_both_backends(
+        self, snapshot_dir, queries
+    ):
+        for kwargs in ({}, {"workers": 2}):
+            registry = MetricsRegistry()
+            with connect(
+                snapshot_dir, registry=registry, **kwargs
+            ) as handle:
+                handle.assign(queries)
+            assert registry.get("serve_queries_total").value == (
+                queries.shape[0]
+            )
+
+
+class TestSchemaBacking:
+    def test_single_service_stats_mirror_registry(
+        self, snapshot_dir, queries
+    ):
+        registry = MetricsRegistry()
+        with ClusterService(snapshot_dir, registry=registry) as svc:
+            svc.assign(queries)
+            svc.assign(queries)
+            stats = svc.stats()
+        assert stats["batches"] == (
+            registry.get("serve_batches_total").value
+        )
+        assert stats["queries"] == (
+            registry.get("serve_queries_total").value
+        )
+        assert stats["entries_computed"] == (
+            registry.get("serve_entries_computed_total").value
+        )
+        hist = registry.get("serve_assign_ms")
+        assert hist.count == 2
+
+    def test_sharded_stats_mirror_registry(self, shard_root, queries):
+        registry = MetricsRegistry()
+        with ShardedClusterService(shard_root, registry=registry) as svc:
+            svc.assign(queries)
+            stats = svc.stats()
+        assert stats["batches"] == (
+            registry.get("serve_batches_total").value
+        )
+        assert stats["degraded_batches"] == (
+            registry.get("serve_degraded_batches_total").value
+        )
+
+
+class TestFrontendHistograms:
+    def _run_traffic(self, service, n_requests, queries, tracer=None):
+        async def drive():
+            async with AsyncFrontend(
+                service, slo_ms=200.0, tracer=tracer
+            ) as frontend:
+                replies = await asyncio.gather(
+                    *[
+                        frontend.assign(
+                            queries[: 8 + (i % 3)],
+                            client=f"c{i % 2}",
+                        )
+                        for i in range(n_requests)
+                    ]
+                )
+                return replies, frontend
+
+        return asyncio.run(drive())
+
+    def test_latency_histogram_is_bucket_exact(
+        self, snapshot_dir, queries
+    ):
+        with ClusterService(snapshot_dir) as svc:
+            replies, frontend = self._run_traffic(svc, 12, queries)
+            hist = frontend.metrics_registry.get("frontend_latency_ms")
+            observed = hist.bucket_counts()
+        reference = MetricsRegistry().histogram(
+            "ref_ms", bounds=default_latency_bounds_ms()
+        )
+        for reply in replies:
+            reference.observe(reply.latency_ms)
+        assert observed == reference.bucket_counts()
+        assert sum(observed) == len(replies)
+
+    def test_span_breakdown_sums_to_latency_exactly(
+        self, snapshot_dir, queries
+    ):
+        with ClusterService(snapshot_dir) as svc:
+            replies, _ = self._run_traffic(svc, 10, queries)
+        for reply in replies:
+            span = reply.span
+            assert span is not None
+            assert span["trace_id"].startswith("req-")
+            assert span["batch"].startswith("batch-")
+            assert span["queued_ms"] + span["service_ms"] == (
+                pytest.approx(reply.latency_ms, abs=1e-9)
+            )
+
+    def test_tracer_spans_balanced_after_traffic(
+        self, snapshot_dir, queries
+    ):
+        tracer = TraceRecorder()
+        with ClusterService(snapshot_dir, tracer=tracer) as svc:
+            replies, _ = self._run_traffic(
+                svc, 8, queries, tracer=tracer
+            )
+        assert len(replies) == 8
+        assert tracer.balanced
+        assert len(tracer.spans("request")) == 8
+        assert len(tracer.spans("batch")) >= 1
+
+    def test_metrics_scrape_covers_all_components(
+        self, shard_root, queries
+    ):
+        registry = MetricsRegistry()
+        with ShardedClusterService(shard_root, registry=registry) as svc:
+
+            async def drive():
+                async with AsyncFrontend(svc, slo_ms=200.0) as frontend:
+                    await frontend.assign(queries, client="c0")
+                    return await frontend.metrics()
+
+            text = asyncio.run(drive())
+        assert "frontend_latency_ms_bucket" in text
+        assert "admission_admitted_requests_total" in text
+        assert "serve_batches_total" in text
+        assert 'shard_assign_ms_count{component="shard_worker"' in text

@@ -85,6 +85,10 @@ BOOLEAN_KEYS = {
         "reply span breakdowns (queued + service) did not sum to the "
         "reported latency"
     ),
+    "cells_deterministic": (
+        "arena cell results must be identical across back-to-back runs"
+    ),
+    "no_crashed_cells": "arena cells crashed or violated their limits",
 }
 INFO_KEYS = (
     "entries_stored_peak",

@@ -1,0 +1,313 @@
+"""Ground-truth-free per-cluster quality metrics.
+
+Four deterministic scores per detected cluster, computed without any
+ground truth (the serving operator's view — truth is a luxury of
+synthetic workloads):
+
+* **silhouette** — mean silhouette coefficient of the cluster's members
+  (Rousseeuw 1987): cohesion against the nearest other cluster, in
+  ``[-1, 1]``.  A singleton cluster and a single-cluster detection both
+  score 0 (the coefficient is undefined there; sklearn's convention).
+* **conductance** — the cluster's cut weight over the smaller side's
+  volume on the Laplacian-kernel affinity graph (paper Eq. 1 with
+  ``a_ii = 0``), in ``[0, 1]``; low conductance = a well-separated
+  dominant cluster, the §3 infectivity intuition made measurable.
+* **coverage** — fraction of the corpus the cluster holds.  Dominant
+  clusters cover only part of the data (the paper's reason for AVG-F
+  over NMI), so coverage is reported per cluster, not assumed to sum
+  to 1.
+* **stability** — mean best-F1 of the cluster against seed-perturbed
+  refits (the clubmark-style resampling check): a cluster that
+  dissolves when only the seed schedule changes is an artifact, not a
+  dominant cluster.
+
+All scores are deterministic for a fixed dataset and seed — stability
+derives its refit seeds arithmetically and every sampled quantity runs
+through :mod:`repro.utils.rng`.  When ground truth *is* available the
+arena additionally reports the paper's AVG-F via
+:func:`repro.eval.metrics.average_f1`; that metric lives in
+:mod:`repro.eval`, not here, because it is truth-bound.
+
+Overlapping detections (methods whose shortlists share members) are
+scored per cluster independently — each score only reads the cluster's
+own member set against the rest, so overlap cannot double-count or
+crash any metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.affinity.kernel import (
+    LaplacianKernel,
+    pairwise_distances,
+    suggest_scaling_factor,
+)
+from repro.eval.metrics import match_clusters
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "QUALITY_METRICS",
+    "annotate_snapshot",
+    "conductance_scores",
+    "coverage_scores",
+    "score_clusters",
+    "silhouette_scores",
+    "stability_scores",
+]
+
+#: Every metric :func:`score_clusters` can emit, in reporting order.
+QUALITY_METRICS = ("silhouette", "conductance", "coverage", "stability")
+
+#: Row-block size for the O(n^2) degree computation of
+#: :func:`conductance_scores` (bounds transient memory, not work).
+_DEGREE_BLOCK_ROWS = 1024
+
+
+def _member_arrays(clusters) -> list[np.ndarray]:
+    """Member index arrays of *clusters* (Cluster objects or arrays)."""
+    return [
+        np.asarray(getattr(c, "members", c)).ravel().astype(np.intp)
+        for c in clusters
+    ]
+
+
+def _labels_of(clusters) -> list[int]:
+    """Cluster labels (falling back to positions for plain arrays)."""
+    return [
+        int(getattr(c, "label", position))
+        for position, c in enumerate(clusters)
+    ]
+
+
+def silhouette_scores(data: np.ndarray, clusters) -> dict[int, float]:
+    """Mean silhouette coefficient per cluster, keyed by cluster label.
+
+    For member ``i`` of cluster ``C``: ``a`` is the mean distance to the
+    other members of ``C``, ``b`` the smallest mean distance to the
+    members of any other cluster, and the coefficient is
+    ``(b - a) / max(a, b)``.  Degenerate cases follow the usual
+    convention and score 0: singleton clusters (``a`` undefined), a
+    single-cluster detection (``b`` undefined), and coincident points
+    (``a == b == 0``).  Overlap is handled exactly — a member shared
+    with another cluster is excluded from that cluster's mean when it
+    is scored against it.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    members = _member_arrays(clusters)
+    labels = _labels_of(clusters)
+    out: dict[int, float] = {}
+    for ci, mine in enumerate(members):
+        label = labels[ci]
+        m = mine.size
+        if m <= 1 or len(members) == 1:
+            out[label] = 0.0
+            continue
+        own = pairwise_distances(data[mine])
+        a = own.sum(axis=1) / (m - 1)
+        b = np.full(m, np.inf)
+        for cj, theirs in enumerate(members):
+            if cj == ci or theirs.size == 0:
+                continue
+            block = pairwise_distances(data[mine], data[theirs])
+            # A shared member's zero self-distance contributes nothing
+            # to the row sum, so excluding it is a count correction.
+            counts = theirs.size - np.isin(mine, theirs).astype(np.intp)
+            valid = counts > 0
+            means = np.full(m, np.inf)
+            means[valid] = block.sum(axis=1)[valid] / counts[valid]
+            b = np.minimum(b, means)
+        coeff = np.zeros(m)
+        finite = np.isfinite(b)
+        denom = np.maximum(a, b, where=finite, out=np.ones(m))
+        ok = finite & (denom > 0)
+        coeff[ok] = (b[ok] - a[ok]) / denom[ok]
+        out[label] = float(coeff.mean())
+    return out
+
+
+def conductance_scores(
+    data: np.ndarray, clusters, kernel: LaplacianKernel
+) -> dict[int, float]:
+    """Affinity-graph conductance per cluster, keyed by cluster label.
+
+    On the complete graph weighted by the paper's kernel (Eq. 1,
+    ``a_ii = 0``): ``cut(S) / min(vol(S), vol(V \\ S))`` for each
+    cluster's member set ``S``.  0 would be a perfectly separated
+    cluster; a random subset sits near 1.  A zero-volume side (all
+    affinities underflow) scores 0 by convention.  Degrees are computed
+    in row blocks, so transient memory stays ``O(block * n)`` even
+    though the work is the full ``O(n^2)`` — this is an offline
+    annotation pass, not a serve-path operation.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    degrees = np.empty(n, dtype=np.float64)
+    for lo in range(0, n, _DEGREE_BLOCK_ROWS):
+        hi = min(lo + _DEGREE_BLOCK_ROWS, n)
+        block = kernel.block(data[lo:hi], data)
+        # Zero the a_ii entries of this block's rows (Eq. 1).
+        block[np.arange(hi - lo), np.arange(lo, hi)] = 0.0
+        degrees[lo:hi] = block.sum(axis=1)
+    total_volume = float(degrees.sum())
+    out: dict[int, float] = {}
+    labels = _labels_of(clusters)
+    for label, mine in zip(labels, _member_arrays(clusters)):
+        volume = float(degrees[mine].sum())
+        internal = float(
+            kernel.block(data[mine], data[mine], zero_diagonal=True).sum()
+        )
+        cut = max(volume - internal, 0.0)
+        denom = min(volume, total_volume - volume)
+        out[label] = float(cut / denom) if denom > 0 else 0.0
+    return out
+
+
+def coverage_scores(clusters, n_items: int) -> dict[int, float]:
+    """Fraction of the corpus each cluster holds, keyed by label."""
+    if n_items <= 0:
+        raise ValidationError(f"n_items must be >= 1, got {n_items}")
+    return {
+        label: float(mine.size) / float(n_items)
+        for label, mine in zip(_labels_of(clusters), _member_arrays(clusters))
+    }
+
+
+def stability_scores(
+    clusters, refit, *, seed: int = 0, n_refits: int = 3
+) -> dict[int, float]:
+    """Mean best-F1 of each cluster against seed-perturbed refits.
+
+    ``refit(perturbed_seed)`` must return the member lists of a fresh
+    detection run at that seed; the perturbed seeds are
+    ``seed + 1 .. seed + n_refits``, so the score is deterministic for
+    a fixed base seed.  Each original cluster's score is its best F1
+    match (:func:`repro.eval.metrics.match_clusters`, the paper's §5
+    protocol with the roles of truth and detection swapped) averaged
+    over the refits; a refit that detects nothing contributes 0 —
+    a method whose clusters vanish under reseeding *is* unstable.
+    """
+    if n_refits < 1:
+        raise ValidationError(f"n_refits must be >= 1, got {n_refits}")
+    members = _member_arrays(clusters)
+    labels = _labels_of(clusters)
+    if not members:
+        return {}
+    if any(mine.size == 0 for mine in members):
+        raise ValidationError("cannot score an empty cluster for stability")
+    totals = np.zeros(len(members))
+    for round_index in range(n_refits):
+        detected = list(refit(int(seed) + round_index + 1))
+        if not detected:
+            continue
+        matches = match_clusters(detected, members)
+        totals += np.asarray([f1 for _, f1 in matches])
+    return {
+        label: float(total / n_refits)
+        for label, total in zip(labels, totals)
+    }
+
+
+def score_clusters(
+    data: np.ndarray,
+    clusters,
+    *,
+    kernel: LaplacianKernel | None = None,
+    refit=None,
+    seed: int = 0,
+    n_refits: int = 3,
+) -> dict[int, dict[str, float]]:
+    """All quality metrics for every cluster: ``{label: {metric: score}}``.
+
+    Parameters
+    ----------
+    data:
+        The data matrix the clusters were detected over.
+    clusters:
+        :class:`~repro.core.results.Cluster` objects (or raw member
+        index arrays, which are labeled by position).  Empty input
+        (an all-noise detection) returns ``{}``.
+    kernel:
+        Laplacian kernel for the conductance graph; auto-selected via
+        :func:`~repro.affinity.kernel.suggest_scaling_factor` at *seed*
+        when omitted — the same deterministic default ALID and every
+        affinity baseline share.
+    refit:
+        Optional ``refit(perturbed_seed) -> member lists`` callable;
+        when given, a ``stability`` score is included (see
+        :func:`stability_scores`), otherwise that metric is omitted.
+    seed / n_refits:
+        Determinism anchor for kernel auto-selection and the refit
+        seeds, and the number of perturbed refits.
+    """
+    members = _member_arrays(clusters)
+    if not members:
+        return {}
+    data = np.asarray(data, dtype=np.float64)
+    if kernel is None:
+        kernel = LaplacianKernel(
+            k=suggest_scaling_factor(data, seed=seed)
+        )
+    silhouette = silhouette_scores(data, clusters)
+    conductance = conductance_scores(data, clusters, kernel)
+    coverage = coverage_scores(clusters, data.shape[0])
+    stability = (
+        stability_scores(clusters, refit, seed=seed, n_refits=n_refits)
+        if refit is not None
+        else None
+    )
+    out: dict[int, dict[str, float]] = {}
+    for label in _labels_of(clusters):
+        scores = {
+            "silhouette": silhouette[label],
+            "conductance": conductance[label],
+            "coverage": coverage[label],
+        }
+        if stability is not None:
+            scores["stability"] = stability[label]
+        out[label] = scores
+    return out
+
+
+def annotate_snapshot(snapshot, *, seed: int = 0, stability_refits: int = 0):
+    """Fill a snapshot's ``quality`` block in place and return it.
+
+    Scores every persisted cluster of a
+    :class:`~repro.serve.snapshot.DetectionSnapshot` with the
+    snapshot's own calibrated kernel (so conductance reads the exact
+    affinity graph the detection ran on).  With ``stability_refits >
+    0``, the snapshot's :class:`~repro.core.config.ALIDConfig` is refit
+    on the snapshot data at perturbed seeds — an offline pass whose
+    cost is ``stability_refits`` full fits.
+
+    Annotation never changes assignments: the quality block is inert
+    manifest metadata, and the serving assigner does not read it.  Note
+    that re-``save``-ing an annotated snapshot rewrites its manifest,
+    so its ``manifest_sha256`` changes — any
+    :class:`~repro.serve.snapshot.SnapshotDelta` chain anchored to the
+    unannotated manifest must be re-published against the new one.
+    """
+    refit = None
+    if stability_refits > 0:
+        import dataclasses
+
+        from repro.core.alid import ALID
+
+        base_config = snapshot.config
+        fit_data = np.asarray(snapshot.data)
+
+        def refit(perturbed_seed: int):
+            config = dataclasses.replace(
+                base_config, seed=int(perturbed_seed)
+            )
+            return ALID(config).fit(fit_data).member_lists()
+
+    snapshot.quality = score_clusters(
+        np.asarray(snapshot.data),
+        snapshot.clusters,
+        kernel=snapshot.kernel,
+        refit=refit,
+        seed=seed,
+        n_refits=max(stability_refits, 1),
+    )
+    return snapshot

@@ -1,0 +1,584 @@
+"""The arena harness: sandboxed (detector × dataset × seed) cells.
+
+Clubmark's discipline applied to this repo: every registered method
+runs on every dataset under the *same* wall-clock and address-space
+limits, each cell in its own forked subprocess so a hung or
+memory-hungry baseline can neither stall the sweep nor distort another
+cell's peak-RSS reading.  Results come back over the
+:mod:`repro.serve.ipc` pipe framing; a cell that exceeds its limits
+becomes a ``TIMEOUT``/``OOM`` row instead of a crash, and the sweep
+always completes.
+
+Each cell records wall time, peak RSS (``getrusage``), the affinity
+oracle's ``entries_computed``, the ground-truth-free quality metrics of
+:mod:`repro.arena.quality`, and — when the dataset carries truth — the
+paper's AVG-F.  Inside the cell the ``seed_round`` phase entries of the
+:class:`~repro.obs.phases.PhaseProfiler` are checked against the
+oracle's final ``entries_computed``; a mismatch marks the cell
+``ACCOUNTING_MISMATCH`` rather than reporting silently bad work
+numbers (the same invariant ``repro detect --profile`` relies on).
+
+The :class:`ArenaReport` artifact is deterministic: re-running the same
+matrix at the same seeds yields cells with identical fingerprints
+(timings excluded — those are environment noise, and the CI lane gates
+on the fingerprint, not the clock).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import resource
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arena.quality import QUALITY_METRICS, score_clusters
+from repro.arena.registry import (
+    DEFAULT_DETECTORS,
+    ArenaDataset,
+    DetectorSpec,
+    default_registry,
+    resolve_detectors,
+)
+from repro.eval.metrics import average_f1
+from repro.exceptions import ValidationError
+from repro.obs.phases import PhaseProfiler
+from repro.serve.ipc import recv_message, send_message
+from repro.serve.sharded import _mp_context
+from repro.viz.ascii import render_leaderboard
+
+__all__ = [
+    "CELL_STATUSES",
+    "ArenaReport",
+    "ArenaRunner",
+    "CellLimits",
+    "CellResult",
+]
+
+#: Every terminal state an arena cell can reach.
+CELL_STATUSES = ("OK", "TIMEOUT", "OOM", "ERROR", "ACCOUNTING_MISMATCH")
+
+REPORT_FORMAT = "repro-arena-report"
+REPORT_SCHEMA_VERSION = 1
+
+_MB = 2**20
+
+
+@dataclass(frozen=True)
+class CellLimits:
+    """Uniform per-cell resource limits.
+
+    Attributes
+    ----------
+    wall_seconds:
+        Wall-clock budget; an overrunning cell is killed and reported
+        as ``TIMEOUT``.
+    rss_mb:
+        Optional address-space budget **beyond the interpreter's
+        baseline at cell start** (headroom semantics): the child reads
+        its current VmSize and sets ``RLIMIT_AS`` to ``current +
+        rss_mb``, so the number bounds what the *fit* may allocate, not
+        the absolute process size.  ``None`` leaves memory unlimited.
+    """
+
+    wall_seconds: float = 120.0
+    rss_mb: float | None = None
+
+    def __post_init__(self) -> None:
+        """Validate the budgets."""
+        if self.wall_seconds <= 0:
+            raise ValidationError(
+                f"wall_seconds must be > 0, got {self.wall_seconds}"
+            )
+        if self.rss_mb is not None and self.rss_mb <= 0:
+            raise ValidationError(
+                f"rss_mb must be > 0 when set, got {self.rss_mb}"
+            )
+
+
+@dataclass
+class CellResult:
+    """Outcome of one (detector × dataset × seed) cell."""
+
+    detector: str
+    dataset: str
+    seed: int
+    status: str
+    wall_seconds: float = 0.0
+    peak_rss_mb: float = 0.0
+    entries_computed: int | None = None
+    n_clusters: int = 0
+    coverage: float = 0.0
+    avg_f1: float | None = None
+    quality: dict[str, float] | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "detector": self.detector,
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "status": self.status,
+            "wall_seconds": self.wall_seconds,
+            "peak_rss_mb": self.peak_rss_mb,
+            "entries_computed": self.entries_computed,
+            "n_clusters": self.n_clusters,
+            "coverage": self.coverage,
+            "avg_f1": self.avg_f1,
+            "quality": self.quality,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CellResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+def _limit_address_space(rss_mb: float) -> None:
+    """Cap this process's address space at current VmSize + *rss_mb*.
+
+    ``RLIMIT_AS`` is the only memory rlimit Linux enforces reliably
+    (``RLIMIT_RSS`` is a no-op), so the budget is expressed as address
+    space.  Anchoring it to the current VmSize makes the number mean
+    "what the fit may allocate" independent of interpreter baseline.
+    """
+    page_size = resource.getpagesize()
+    statm = pathlib.Path("/proc/self/statm").read_text().split()
+    current = int(statm[0]) * page_size
+    limit = current + int(rss_mb * _MB)
+    resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+
+
+def _cell_main(
+    conn,
+    spec: DetectorSpec,
+    dataset: ArenaDataset,
+    seed: int,
+    rss_mb: float | None,
+    with_quality: bool,
+) -> None:
+    """Child-process body: fit, measure, score, send one payload."""
+    payload: dict = {"status": "ERROR", "error": "cell produced no result"}
+    try:
+        if rss_mb is not None:
+            _limit_address_space(rss_mb)
+        detector = spec.build(int(seed), int(dataset.n_clusters_hint))
+        profiler = PhaseProfiler()
+        start = time.perf_counter()
+        with profiler:
+            result = detector.fit(np.asarray(dataset.data))
+        wall = time.perf_counter() - start
+        payload = {
+            "status": "OK",
+            "wall_seconds": wall,
+            "entries_computed": (
+                None
+                if result.counters is None
+                else int(result.counters.entries_computed)
+            ),
+            "n_clusters": int(result.n_clusters),
+            "coverage": float(result.coverage()),
+            "avg_f1": None,
+            "quality": None,
+            "error": None,
+        }
+        seed_round = profiler.summary().get("seed_round")
+        if seed_round is not None and result.counters is not None:
+            recorded = int(seed_round.get("entries", 0))
+            actual = int(result.counters.entries_computed)
+            if recorded != actual:
+                payload["status"] = "ACCOUNTING_MISMATCH"
+                payload["error"] = (
+                    f"seed_round phase entries ({recorded}) != "
+                    f"oracle entries_computed ({actual})"
+                )
+        if dataset.truth:
+            payload["avg_f1"] = (
+                average_f1(result.member_lists(), list(dataset.truth))
+                if result.clusters
+                else 0.0
+            )
+        if with_quality and result.clusters:
+            scores = score_clusters(
+                dataset.data, result.clusters, seed=int(seed)
+            )
+            payload["quality"] = {
+                metric: float(
+                    np.mean([s[metric] for s in scores.values()])
+                )
+                for metric in QUALITY_METRICS
+                if all(metric in s for s in scores.values())
+            }
+    except MemoryError:
+        payload = {
+            "status": "OOM",
+            "error": f"fit exceeded the {rss_mb} MB address-space budget",
+        }
+    except Exception as exc:  # noqa: BLE001 - cell isolation boundary
+        payload = {
+            "status": "ERROR",
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    try:
+        payload["peak_rss_mb"] = (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+        )
+        send_message(conn, payload)
+    except Exception:  # pragma: no cover - pipe gone or send OOMs
+        pass
+    finally:
+        conn.close()
+
+
+def _run_cell(
+    spec: DetectorSpec,
+    dataset: ArenaDataset,
+    seed: int,
+    limits: CellLimits,
+    with_quality: bool,
+) -> CellResult:
+    """Run one cell in a subprocess and classify the outcome."""
+    ctx = _mp_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_cell_main,
+        args=(
+            child_conn,
+            spec,
+            dataset,
+            seed,
+            limits.rss_mb,
+            with_quality,
+        ),
+        daemon=True,
+    )
+    start = time.perf_counter()
+    process.start()
+    child_conn.close()
+    payload = None
+    try:
+        if parent_conn.poll(limits.wall_seconds):
+            payload = recv_message(parent_conn)
+    except (EOFError, OSError):
+        payload = None
+    wall = time.perf_counter() - start
+    if payload is None and process.is_alive():
+        process.terminate()
+        process.join(5.0)
+        if process.is_alive():  # pragma: no cover - terminate refused
+            process.kill()
+            process.join(5.0)
+        return CellResult(
+            detector=spec.name,
+            dataset=dataset.name,
+            seed=seed,
+            status="TIMEOUT",
+            wall_seconds=wall,
+            error=f"cell exceeded the {limits.wall_seconds}s wall budget",
+        )
+    process.join(5.0)
+    parent_conn.close()
+    if payload is None:
+        # The child died without reporting: under an address-space
+        # limit the allocator can abort before Python raises
+        # MemoryError, so attribute the death to the limit.
+        status = "OOM" if limits.rss_mb is not None else "ERROR"
+        return CellResult(
+            detector=spec.name,
+            dataset=dataset.name,
+            seed=seed,
+            status=status,
+            wall_seconds=wall,
+            error=(
+                "worker died under the address-space limit"
+                if limits.rss_mb is not None
+                else f"worker died (exitcode {process.exitcode})"
+            ),
+        )
+    return CellResult(
+        detector=spec.name,
+        dataset=dataset.name,
+        seed=seed,
+        status=payload["status"],
+        wall_seconds=float(payload.get("wall_seconds", wall)),
+        peak_rss_mb=float(payload.get("peak_rss_mb", 0.0)),
+        entries_computed=payload.get("entries_computed"),
+        n_clusters=int(payload.get("n_clusters", 0)),
+        coverage=float(payload.get("coverage", 0.0)),
+        avg_f1=payload.get("avg_f1"),
+        quality=payload.get("quality"),
+        error=payload.get("error"),
+    )
+
+
+@dataclass
+class ArenaReport:
+    """A completed sweep: cells plus the matrix that produced them."""
+
+    cells: list[CellResult]
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (format-tagged, schema-versioned)."""
+        return {
+            "format": REPORT_FORMAT,
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "meta": self.meta,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def save(self, path) -> None:
+        """Write the report as deterministic JSON."""
+        path = pathlib.Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path) -> "ArenaReport":
+        """Read a report written by :meth:`save`."""
+        payload = json.loads(pathlib.Path(path).read_text())
+        if payload.get("format") != REPORT_FORMAT:
+            raise ValidationError(
+                f"{path} is not an arena report "
+                f"(format={payload.get('format')!r})"
+            )
+        if payload.get("schema_version", 0) > REPORT_SCHEMA_VERSION:
+            raise ValidationError(
+                f"{path} has schema_version "
+                f"{payload['schema_version']}, newer than this build "
+                f"({REPORT_SCHEMA_VERSION})"
+            )
+        return cls(
+            cells=[CellResult.from_dict(c) for c in payload["cells"]],
+            meta=payload.get("meta", {}),
+        )
+
+    # ------------------------------------------------------------------
+    # determinism
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """SHA-256 over every timing-independent cell field.
+
+        Two runs of the same matrix at the same seeds must produce the
+        same fingerprint; wall time, peak RSS, and error text (which
+        may embed timings) are excluded as environment noise.
+        """
+        projection = [
+            {
+                "detector": cell.detector,
+                "dataset": cell.dataset,
+                "seed": cell.seed,
+                "status": cell.status,
+                "entries_computed": cell.entries_computed,
+                "n_clusters": cell.n_clusters,
+                "coverage": round(cell.coverage, 9),
+                "avg_f1": (
+                    None if cell.avg_f1 is None else round(cell.avg_f1, 9)
+                ),
+                "quality": (
+                    None
+                    if cell.quality is None
+                    else {
+                        metric: round(value, 9)
+                        for metric, value in sorted(cell.quality.items())
+                    }
+                ),
+            }
+            for cell in self.cells
+        ]
+        blob = json.dumps(projection, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def leaderboard_rows(self) -> tuple[list[str], list[list[str]]]:
+        """Aggregate OK cells per detector into (headers, rows).
+
+        Rows are sorted by mean AVG-F descending (detectors without
+        truth-bearing cells sink below scored ones, ties broken by
+        name); quality columns (prefixed ``q_``) are means over the OK
+        cells that carry the metric, and metrics no cell carries are
+        omitted entirely (e.g. ``stability``, an annotation-time
+        metric the cells skip).
+        """
+        by_detector: dict[str, list[CellResult]] = {}
+        for cell in self.cells:
+            by_detector.setdefault(cell.detector, []).append(cell)
+
+        def _mean(values: list[float]) -> float | None:
+            return float(np.mean(values)) if values else None
+
+        def _cell_text(value: float | None) -> str:
+            return "-" if value is None else f"{value:.3f}"
+
+        aggregated = []
+        for detector, cells in by_detector.items():
+            ok = [c for c in cells if c.status == "OK"]
+            avg_f1 = _mean([c.avg_f1 for c in ok if c.avg_f1 is not None])
+            entries = sum(
+                c.entries_computed
+                for c in ok
+                if c.entries_computed is not None
+            )
+            quality = {
+                metric: _mean(
+                    [
+                        c.quality[metric]
+                        for c in ok
+                        if c.quality is not None and metric in c.quality
+                    ]
+                )
+                for metric in QUALITY_METRICS
+            }
+            aggregated.append(
+                {
+                    "detector": detector,
+                    "ok": len(ok),
+                    "total": len(cells),
+                    "avg_f1": avg_f1,
+                    "coverage": _mean([c.coverage for c in ok]),
+                    "quality": quality,
+                    "entries": entries,
+                    "wall": _mean([c.wall_seconds for c in ok]),
+                }
+            )
+        aggregated.sort(
+            key=lambda row: (
+                -(row["avg_f1"] if row["avg_f1"] is not None else -1.0),
+                row["detector"],
+            )
+        )
+        carried = [
+            metric
+            for metric in QUALITY_METRICS
+            if any(row["quality"][metric] is not None for row in aggregated)
+        ]
+        headers = (
+            ["detector", "cells", "avg_f1", "coverage"]
+            + [f"q_{metric}" for metric in carried]
+            + ["entries", "wall_s"]
+        )
+        rows = [
+            [
+                row["detector"],
+                f"{row['ok']}/{row['total']}",
+                _cell_text(row["avg_f1"]),
+                _cell_text(row["coverage"]),
+                *(_cell_text(row["quality"][m]) for m in carried),
+                str(row["entries"]),
+                "-" if row["wall"] is None else f"{row['wall']:.2f}",
+            ]
+            for row in aggregated
+        ]
+        return headers, rows
+
+    def leaderboard(self, *, title: str = "arena leaderboard") -> str:
+        """The ASCII leaderboard (``viz.ascii.render_leaderboard``)."""
+        headers, rows = self.leaderboard_rows()
+        return render_leaderboard(headers, rows, title=title)
+
+
+class ArenaRunner:
+    """Execute a detector × dataset × seed matrix under uniform limits.
+
+    Parameters
+    ----------
+    registry:
+        Detector registry (:func:`~repro.arena.registry.default_registry`
+        when omitted).
+    limits:
+        Per-cell :class:`CellLimits` (defaults apply when omitted).
+    with_quality:
+        Compute the per-cluster quality metrics inside each cell
+        (adds an O(n²) scoring pass per cell; disable for pure
+        wall/work sweeps).
+    """
+
+    def __init__(
+        self,
+        registry: dict[str, DetectorSpec] | None = None,
+        *,
+        limits: CellLimits | None = None,
+        with_quality: bool = True,
+    ):
+        """Bind the registry and limits."""
+        self.registry = (
+            default_registry() if registry is None else dict(registry)
+        )
+        self.limits = CellLimits() if limits is None else limits
+        self.with_quality = bool(with_quality)
+
+    def run(
+        self,
+        datasets: list[ArenaDataset],
+        detectors=None,
+        seeds=(0,),
+        *,
+        progress=None,
+    ) -> ArenaReport:
+        """Run every cell of the matrix, in deterministic order.
+
+        Parameters
+        ----------
+        datasets:
+            The datasets to sweep (at least one).
+        detectors:
+            Registry names to run
+            (:data:`~repro.arena.registry.DEFAULT_DETECTORS` when
+            omitted); unknown names raise
+            :class:`~repro.exceptions.ValidationError` before any cell
+            starts.
+        seeds:
+            Seeds per (detector, dataset) pair.
+        progress:
+            Optional callable invoked with each finished
+            :class:`CellResult` (the CLI's live ticker).
+        """
+        if not datasets:
+            raise ValidationError("arena needs at least one dataset")
+        if not seeds:
+            raise ValidationError("arena needs at least one seed")
+        names = sorted(set(d.name for d in datasets))
+        if len(names) != len(datasets):
+            raise ValidationError(
+                "dataset names must be unique within one arena run"
+            )
+        specs = resolve_detectors(
+            self.registry,
+            list(detectors) if detectors is not None else DEFAULT_DETECTORS,
+        )
+        cells = []
+        for spec in specs:
+            for dataset in datasets:
+                for seed in seeds:
+                    cell = _run_cell(
+                        spec,
+                        dataset,
+                        int(seed),
+                        self.limits,
+                        self.with_quality,
+                    )
+                    cells.append(cell)
+                    if progress is not None:
+                        progress(cell)
+        meta = {
+            "detectors": [spec.name for spec in specs],
+            "datasets": names,
+            "seeds": [int(seed) for seed in seeds],
+            "limits": {
+                "wall_seconds": self.limits.wall_seconds,
+                "rss_mb": self.limits.rss_mb,
+            },
+            "with_quality": self.with_quality,
+        }
+        return ArenaReport(cells=cells, meta=meta)

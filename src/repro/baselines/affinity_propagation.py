@@ -16,6 +16,7 @@ import numpy as np
 from repro.baselines.common import KernelParams, prepare_affinity
 from repro.core.results import Cluster, DetectionResult
 from repro.exceptions import EmptyDatasetError, ValidationError
+from repro.utils.rng import as_generator
 from repro.utils.timing import timed
 
 __all__ = ["AffinityPropagation"]
@@ -44,6 +45,8 @@ class AffinityPropagation:
         Kernel/LSH parameters shared with the other methods.
     """
 
+    #: Registry name (arena `Detector` protocol).
+    name = "AP"
     def __init__(
         self,
         *,
@@ -115,7 +118,7 @@ class AffinityPropagation:
         )
         np.fill_diagonal(s_matrix, preference)
         # Tiny deterministic jitter breaks exemplar ties (standard trick).
-        rng = np.random.default_rng(self.kernel.seed)
+        rng = as_generator(self.kernel.seed)
         s_matrix += 1e-12 * rng.standard_normal((n, n)) * (
             np.abs(s_matrix).max() + 1e-12
         )

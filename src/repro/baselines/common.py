@@ -9,6 +9,7 @@ are charged on the same oracle ALID uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 from scipy import sparse as sp
@@ -20,7 +21,40 @@ from repro.exceptions import ValidationError
 from repro.lsh.index import LSHIndex
 from repro.utils.validation import check_data_matrix
 
-__all__ = ["AffinitySetup", "KernelParams", "prepare_affinity", "submatrix"]
+__all__ = [
+    "AffinitySetup",
+    "Detector",
+    "KernelParams",
+    "prepare_affinity",
+    "submatrix",
+]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.results import DetectionResult
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """What the arena registry requires of every detection method.
+
+    Every baseline in this package, plus :class:`~repro.core.alid.ALID`
+    and :class:`~repro.parallel.palid.PALID`, satisfies this protocol
+    structurally — no per-module shims: a ``name`` (the method tag the
+    leaderboard prints) and a ``fit`` returning a
+    :class:`~repro.core.results.DetectionResult`, whose ``labels()`` /
+    ``member_lists()`` give the detected clusters and whose
+    ``counters`` (``None`` for methods that never touch an affinity
+    oracle, e.g. k-means) carry the work accounting the arena charges
+    per cell.
+    """
+
+    #: Method tag (e.g. ``"ALID"``, ``"DS"``); matches the
+    #: ``DetectionResult.method`` the fit reports.
+    name: str
+
+    def fit(self, data, **kwargs) -> "DetectionResult":
+        """Detect clusters in ``data`` and return the result."""
+        ...
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,8 @@ class DominantSets:
         Kernel/LSH parameters (defaults match ALID's auto-selection).
     """
 
+    #: Registry name (arena `Detector` protocol).
+    name = "DS"
     def __init__(
         self,
         *,

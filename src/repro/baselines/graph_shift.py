@@ -64,6 +64,8 @@ class GraphShift:
         Kernel/LSH parameters (defaults match ALID's auto-selection).
     """
 
+    #: Registry name (arena `Detector` protocol).
+    name = "GS"
     def __init__(
         self,
         *,

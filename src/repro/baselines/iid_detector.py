@@ -39,6 +39,8 @@ class IIDDetector:
         Kernel/LSH parameters (defaults match ALID's auto-selection).
     """
 
+    #: Registry name (arena `Detector` protocol).
+    name = "IID"
     def __init__(
         self,
         *,

@@ -59,6 +59,8 @@ class KMeans:
         RNG seed.
     """
 
+    #: Registry name (arena `Detector` protocol).
+    name = "KM"
     def __init__(
         self,
         n_clusters: int,

@@ -15,6 +15,7 @@ import numpy as np
 from repro.affinity.kernel import pairwise_distances
 from repro.core.results import Cluster, DetectionResult
 from repro.exceptions import EmptyDatasetError, ValidationError
+from repro.utils.rng import as_generator
 from repro.utils.timing import timed
 from repro.utils.validation import check_data_matrix
 
@@ -28,7 +29,7 @@ def estimate_bandwidth(
     data = check_data_matrix(data)
     if not 0.0 < quantile <= 1.0:
         raise ValidationError(f"quantile must be in (0, 1], got {quantile}")
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     n = data.shape[0]
     sample = data
     if n > sample_size:
@@ -58,6 +59,8 @@ class MeanShift:
         density 0 (they are typically noise artifacts).
     """
 
+    #: Registry name (arena `Detector` protocol).
+    name = "MS"
     def __init__(
         self,
         *,

@@ -51,6 +51,8 @@ class SEA:
         Kernel/LSH parameters shared with the other methods.
     """
 
+    #: Registry name (arena `Detector` protocol).
+    name = "SEA"
     def __init__(
         self,
         *,

@@ -62,6 +62,11 @@ class SpectralClustering:
         self.kernel = kernel or KernelParams()
         self.seed = seed
 
+    @property
+    def name(self) -> str:
+        """Registry name of this configuration (arena `Detector` protocol)."""
+        return "SC-FL" if self.mode == "full" else "SC-NYS"
+
     # ------------------------------------------------------------------
     def _embed_full(self, oracle: AffinityOracle) -> np.ndarray:
         n = oracle.n

@@ -49,6 +49,15 @@ Commands
     micro-batches, scatter / per-shard assign / merge, supervisor
     heals — as Chrome ``chrome://tracing`` / Perfetto-loadable
     trace-event JSONL.
+``arena``
+    Run the quality arena (:mod:`repro.arena`): every requested
+    detector on every dataset, each cell in a subprocess under uniform
+    wall/RSS limits, then print the deterministic ASCII leaderboard
+    (and optionally save the JSON report).
+``quality``
+    Annotate a saved snapshot with per-cluster quality scores
+    (:func:`repro.arena.quality.annotate_snapshot`) and print them;
+    the annotated snapshot serves with quality gauges in ``stats``.
 
 Examples
 --------
@@ -64,6 +73,8 @@ Examples
     python -m repro ingest --input nart.npz --out nart_chain --batch-size 500
     python -m repro stats --snapshot nart_snapshot --queries nart.npz --workers 2
     python -m repro trace --snapshot nart_snapshot --queries nart.npz --out spans.jsonl
+    python -m repro arena --detectors alid-fused iid km --wall-limit 60
+    python -m repro quality --snapshot nart_snapshot --stability-refits 2
 """
 
 from __future__ import annotations
@@ -321,6 +332,48 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--delta", type=int, default=800)
     ingest.add_argument("--density-threshold", type=float, default=0.75)
     ingest.add_argument("--seed", type=int, default=0)
+
+    arena = sub.add_parser(
+        "arena",
+        help="run detectors head-to-head under uniform limits",
+    )
+    arena.add_argument("--input", nargs="*", default=[],
+                       help="dataset .npz path(s); the built-in tiny "
+                            "synthetic pair when omitted")
+    arena.add_argument("--detectors", nargs="+", default=None,
+                       help="registry names (default: ALID + four "
+                            "baselines; see repro.arena.registry)")
+    arena.add_argument("--seeds", nargs="+", type=int, default=[0],
+                       help="one cell per (detector, dataset, seed)")
+    arena.add_argument("--wall-limit", type=float, default=120.0,
+                       help="per-cell wall-clock budget, seconds")
+    arena.add_argument("--rss-mb", type=float, default=None,
+                       help="per-cell allocation budget beyond the "
+                            "interpreter baseline, MB (default: "
+                            "unlimited)")
+    arena.add_argument("--delta", type=int, default=400,
+                       help="ALID delta for the registry's alid-* specs")
+    arena.add_argument("--density-threshold", type=float, default=0.75)
+    arena.add_argument("--no-quality", action="store_true",
+                       help="skip the per-cluster quality metrics "
+                            "(pure wall/work sweep)")
+    arena.add_argument("--out", default=None,
+                       help="save the JSON ArenaReport here")
+
+    quality = sub.add_parser(
+        "quality",
+        help="annotate a snapshot with per-cluster quality scores",
+    )
+    quality.add_argument("--snapshot", required=True,
+                         help="snapshot directory to annotate")
+    quality.add_argument("--out", default=None,
+                         help="write the annotated snapshot here "
+                              "(default: rewrite in place)")
+    quality.add_argument("--stability-refits", type=int, default=0,
+                         help="seed-perturbed refits for the stability "
+                              "score (0 = skip stability; each refit "
+                              "costs one full fit)")
+    quality.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -918,6 +971,92 @@ def _cmd_ingest(args) -> int:
     return 0
 
 
+def _cmd_arena(args) -> int:
+    from repro.arena import ArenaDataset, ArenaRunner, CellLimits
+    from repro.arena.registry import default_registry, tiny_datasets
+
+    if args.input:
+        datasets = [
+            ArenaDataset.from_dataset(load_dataset(path))
+            for path in args.input
+        ]
+    else:
+        datasets = tiny_datasets()
+    runner = ArenaRunner(
+        default_registry(
+            delta=args.delta,
+            density_threshold=args.density_threshold,
+        ),
+        limits=CellLimits(
+            wall_seconds=args.wall_limit, rss_mb=args.rss_mb
+        ),
+        with_quality=not args.no_quality,
+    )
+    report = runner.run(datasets, detectors=args.detectors,
+                        seeds=args.seeds)
+    print(report.leaderboard())
+    by_status: dict[str, int] = {}
+    for cell in report.cells:
+        by_status[cell.status] = by_status.get(cell.status, 0) + 1
+    summary = ", ".join(
+        f"{status}={count}" for status, count in sorted(by_status.items())
+    )
+    print(f"{len(report.cells)} cell(s): {summary}")
+    for cell in report.cells:
+        if cell.status != "OK":
+            print(
+                f"  {cell.status}: {cell.detector} x {cell.dataset} "
+                f"seed {cell.seed}: {cell.error}"
+            )
+    print(f"report fingerprint: {report.fingerprint()[:16]}")
+    if args.out is not None:
+        report.save(args.out)
+        print(f"report written to {args.out}")
+    return 0
+
+
+def _cmd_quality(args) -> int:
+    from repro.arena.quality import QUALITY_METRICS, annotate_snapshot
+    from repro.serve import DetectionSnapshot
+    from repro.viz.ascii import render_leaderboard
+
+    if args.stability_refits < 0:
+        raise ValidationError(
+            f"--stability-refits must be >= 0, got {args.stability_refits}"
+        )
+    snapshot = DetectionSnapshot.load(args.snapshot)
+    annotate_snapshot(
+        snapshot,
+        seed=args.seed,
+        stability_refits=args.stability_refits,
+    )
+    carried = [
+        metric
+        for metric in QUALITY_METRICS
+        if all(metric in s for s in snapshot.quality.values())
+    ]
+    rows = [
+        [str(label)] + [f"{snapshot.quality[label][m]:.3f}" for m in carried]
+        for label in sorted(snapshot.quality)
+    ]
+    print(
+        render_leaderboard(
+            ["cluster"] + carried,
+            rows,
+            title=f"quality of {args.snapshot} "
+                  f"({len(snapshot.quality)} cluster(s))",
+        )
+    )
+    out = args.out if args.out is not None else args.snapshot
+    snapshot.save(out)
+    print(f"quality-annotated snapshot written to {out}")
+    print(
+        "note: the manifest sha changed — re-anchor any delta chain "
+        "published against the unannotated artifact"
+    )
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "detect": _cmd_detect,
@@ -930,6 +1069,8 @@ _COMMANDS = {
     "ingest": _cmd_ingest,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "arena": _cmd_arena,
+    "quality": _cmd_quality,
 }
 
 

@@ -583,6 +583,8 @@ class ALID:
     True
     """
 
+    #: Registry name (arena `Detector` protocol).
+    name = "ALID"
     def __init__(self, config: ALIDConfig | None = None):
         self.config = config or ALIDConfig()
         self.engine_: ALIDEngine | None = None

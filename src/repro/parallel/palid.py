@@ -127,6 +127,8 @@ class PALID:
     (the speedup experiment only needs wall-clock time).
     """
 
+    #: Registry name (arena `Detector` protocol).
+    name = "PALID"
     def __init__(
         self,
         config: ALIDConfig | None = None,

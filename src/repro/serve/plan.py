@@ -464,6 +464,18 @@ class ShardPlanner:
             )
             for c in clusters
         ]
+        # Each shard keeps the quality scores of exactly its clusters
+        # (scores are per-label facts, indifferent to the member remap),
+        # so a sharded pool can re-export the parent's gauges.
+        quality = (
+            None
+            if snapshot.quality is None
+            else {
+                int(c.label): dict(snapshot.quality[int(c.label)])
+                for c in clusters
+                if int(c.label) in snapshot.quality
+            }
+        )
         arrays = snapshot.index_arrays
         shard = DetectionSnapshot(
             data=np.ascontiguousarray(np.asarray(snapshot.data)[items]),
@@ -488,6 +500,7 @@ class ShardPlanner:
                 "parent_n_items": snapshot.n_items,
                 "cluster_labels": [int(c.label) for c in clusters],
             },
+            quality=quality,
         )
         dir_name = f"shard_{shard_id:03d}"
         shard_dir = root / dir_name

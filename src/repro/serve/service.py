@@ -50,9 +50,12 @@ __all__ = ["ClusterService", "SERVING_STATS_SCHEMA"]
 #: ``"lifetime"`` — present only at the top-level (lifetime) scope;
 #: ``"degraded"`` — emitted only when the caller asks for the degraded
 #: fields (both fronts do, so the schemas cannot drift; the
-#: single-process service simply never advances them).  The parity test
-#: in ``tests/test_serve_faults.py`` checks the *rendered* dicts; this
-#: table is why the check can't silently rot.
+#: single-process service simply never advances them);
+#: ``"gauge"`` — current-state value backed by a registry gauge (set at
+#: install/reload, identical in both scopes — gauges describe the
+#: served snapshot, not an accumulation since some point).  The parity
+#: test in ``tests/test_serve_faults.py`` checks the *rendered* dicts;
+#: this table is why the check can't silently rot.
 SERVING_STATS_SCHEMA = (
     ("batches", "serve_batches_total", "Query batches served", ""),
     ("queries", "serve_queries_total", "Query rows served", ""),
@@ -74,6 +77,12 @@ SERVING_STATS_SCHEMA = (
         "serve_entries_computed_total",
         "Serve-side affinity entries computed",
         "",
+    ),
+    (
+        "quality_clusters",
+        "serve_quality_clusters",
+        "Clusters carrying quality annotations in the served snapshot",
+        "gauge",
     ),
     (
         "degraded_batches",
@@ -113,7 +122,13 @@ class _ServingCounters:
     registry lock, which keeps concurrent scrapes consistent).
     """
 
-    __slots__ = ("registry", "_counters", "_snapshot_base")
+    __slots__ = (
+        "registry",
+        "_counters",
+        "_gauges",
+        "_snapshot_base",
+        "_quality_labels",
+    )
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.registry = (
@@ -123,12 +138,18 @@ class _ServingCounters:
         )
         self._counters = {
             key: self.registry.counter(metric, help)
-            for key, metric, help, _flags in SERVING_STATS_SCHEMA
-            if metric is not None
+            for key, metric, help, flags in SERVING_STATS_SCHEMA
+            if metric is not None and flags != "gauge"
+        }
+        self._gauges = {
+            key: self.registry.gauge(metric, help)
+            for key, metric, help, flags in SERVING_STATS_SCHEMA
+            if flags == "gauge"
         }
         self._snapshot_base = {
             key: counter.value for key, counter in self._counters.items()
         }
+        self._quality_labels: set[tuple[int, str]] = set()
 
     def record_batch(
         self,
@@ -152,6 +173,38 @@ class _ServingCounters:
         self._snapshot_base = {
             key: counter.value for key, counter in self._counters.items()
         }
+
+    def set_quality(
+        self, quality: dict[int, dict[str, float]] | None
+    ) -> None:
+        """Export the served snapshot's quality block as gauges.
+
+        One ``serve_cluster_quality{cluster=..., metric=...}`` gauge
+        per (cluster, metric) pair, plus the schema-level
+        ``serve_quality_clusters`` count.  Gauges of (cluster, metric)
+        pairs from a previously served snapshot that are absent from
+        *quality* are reset to 0 — a reload to an unannotated snapshot
+        must not keep scraping stale per-cluster scores.
+        """
+        fresh: set[tuple[int, str]] = set()
+        for label, scores in (quality or {}).items():
+            for metric, score in scores.items():
+                self.registry.gauge(
+                    "serve_cluster_quality",
+                    "Per-cluster quality score of the served snapshot",
+                    cluster=str(int(label)),
+                    metric=str(metric),
+                ).set(float(score))
+                fresh.add((int(label), str(metric)))
+        for label, metric in self._quality_labels - fresh:
+            self.registry.gauge(
+                "serve_cluster_quality",
+                "Per-cluster quality score of the served snapshot",
+                cluster=str(label),
+                metric=metric,
+            ).set(0.0)
+        self._quality_labels = fresh
+        self._gauges["quality_clusters"].set(len(quality or {}))
 
     def record_heal(self, n_workers: int, n_shards: int) -> None:
         """Account one successful heal (checkpoint stays put).
@@ -180,7 +233,9 @@ class _ServingCounters:
                 continue
             if flags == "degraded" and not with_degraded:
                 continue
-            if flags == "derived":
+            if flags == "gauge":
+                out[key] = self._gauges[key].value
+            elif flags == "derived":
                 out[key] = (
                     values["assigned"] / values["queries"]
                     if values["queries"]
@@ -275,6 +330,7 @@ class ClusterService:
             self._snapshot = snapshot
             self._assigner = assigner
             self._source = described
+            self._counters.set_quality(snapshot.quality)
 
     # ------------------------------------------------------------------
     @property

@@ -99,6 +99,14 @@ def _describe_payload(shard_dir: str, snapshot: DetectionSnapshot) -> dict:
         "shard_id": snapshot.meta.get("shard_id"),
         "data_type": type(data).__name__,
         "data_filename": None if filename is None else str(filename),
+        "quality": (
+            None
+            if snapshot.quality is None
+            else {
+                int(label): dict(scores)
+                for label, scores in snapshot.quality.items()
+            }
+        ),
     }
 
 
@@ -457,8 +465,32 @@ class ShardedClusterService:
             self._full = DetectionSnapshot.load(parent_source, mmap=True)
         plan, workers, router = self._spawn(root)
         self._plan, self._workers, self._router = plan, workers, router
+        self._counters.set_quality(self._merged_quality(workers))
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _merged_quality(
+        workers: list["ShardWorker"],
+    ) -> dict[int, dict[str, float]] | None:
+        """Union of the per-shard quality blocks (labels are global).
+
+        ``None`` when no shard carries annotations — the planner only
+        writes a shard-level quality block when the parent snapshot had
+        one, so an unannotated parent yields unannotated shards and the
+        gauges stay absent rather than zero-filled.
+        """
+        merged: dict[int, dict[str, float]] = {}
+        annotated = False
+        for worker in workers:
+            block = worker.info.get("quality")
+            if block is None:
+                continue
+            annotated = True
+            merged.update(
+                {int(label): dict(s) for label, s in block.items()}
+            )
+        return merged if annotated else None
+
     @classmethod
     def from_snapshot(
         cls,
@@ -587,6 +619,7 @@ class ShardedClusterService:
             old_router = self._router
             self._plan, self._workers, self._router = plan, workers, router
             self._counters.record_reload()
+            self._counters.set_quality(self._merged_quality(workers))
         # In-flight batches retained the old router; let them drain
         # before their workers are stopped (a batch mid-collect must
         # not see its worker die under it).  Each request is bounded by
@@ -725,6 +758,7 @@ class ShardedClusterService:
             )
             self._full = new_full
             self._counters.record_reload()
+            self._counters.set_quality(self._merged_quality(workers))
         for worker in replaced:
             worker.stop()
         return touched

@@ -77,7 +77,9 @@ __all__ = [
     "DELTA_FORMAT",
 ]
 
-SCHEMA_VERSION = 1
+# v2 added the optional per-cluster ``quality`` manifest block
+# (``repro.arena.quality``); v1 snapshots load fine with quality=None.
+SCHEMA_VERSION = 2
 SNAPSHOT_FORMAT = "repro-alid-detection-snapshot"
 DELTA_SCHEMA_VERSION = 1
 DELTA_FORMAT = "repro-alid-snapshot-delta"
@@ -276,6 +278,12 @@ class DetectionSnapshot:
         density, label, seed).
     meta:
         Free-form provenance (method name, fit counters, ...).
+    quality:
+        Optional per-cluster quality scores
+        ``{label: {metric: score}}`` as produced by
+        :func:`repro.arena.quality.annotate_snapshot`; ``None`` for
+        unannotated snapshots (including every pre-v2 artifact).
+        Inert for assignment — serving only exports it as gauges.
     manifest_sha256:
         SHA-256 of the snapshot's ``manifest.json``, set by
         :meth:`save` and :meth:`load`; ``None`` for in-memory snapshots
@@ -290,6 +298,7 @@ class DetectionSnapshot:
     index_arrays: dict[str, np.ndarray]
     clusters: list[Cluster]
     meta: dict = dataclasses.field(default_factory=dict)
+    quality: dict[int, dict[str, float]] | None = None
     manifest_sha256: str | None = dataclasses.field(
         default=None, compare=False
     )
@@ -425,6 +434,14 @@ class DetectionSnapshot:
             "meta": self.meta,
             "arrays": manifest_arrays,
         }
+        if self.quality is not None:
+            manifest["quality"] = {
+                str(int(label)): {
+                    str(metric): float(score)
+                    for metric, score in scores.items()
+                }
+                for label, scores in self.quality.items()
+            }
         try:
             payload = json.dumps(
                 manifest, indent=2, sort_keys=True, default=_json_default
@@ -500,6 +517,18 @@ class DetectionSnapshot:
             raise SnapshotError(
                 f"{path}: cluster arrays are inconsistent: {exc}"
             ) from exc
+        quality_block = manifest.get("quality")
+        quality = (
+            None
+            if quality_block is None
+            else {
+                int(label): {
+                    str(metric): float(score)
+                    for metric, score in scores.items()
+                }
+                for label, scores in quality_block.items()
+            }
+        )
         return cls(
             data=arrays["data"],
             config=config,
@@ -508,6 +537,7 @@ class DetectionSnapshot:
             index_arrays={name: arrays[name] for name in _INDEX_ARRAYS},
             clusters=clusters,
             meta=dict(manifest.get("meta", {})),
+            quality=quality,
             manifest_sha256=_sha256_of(path / MANIFEST_NAME),
         )
 
@@ -832,6 +862,20 @@ class SnapshotDelta:
         meta = dict(snapshot.meta)
         meta.update(self.meta)
         meta["delta_sequence"] = int(self.sequence)
+        # Quality scores are fit-time facts: removed clusters lose
+        # theirs, and upserted clusters arrive unannotated (their
+        # scores would describe the pre-ingest geometry) — a served
+        # delta therefore *invalidates* the touched clusters' gauges
+        # until the next annotation pass.
+        quality = (
+            None
+            if snapshot.quality is None
+            else {
+                int(label): dict(scores)
+                for label, scores in snapshot.quality.items()
+                if int(label) not in removed
+            }
+        )
         return DetectionSnapshot(
             data=data,
             config=snapshot.config,
@@ -840,5 +884,6 @@ class SnapshotDelta:
             index_arrays=index_arrays,
             clusters=clusters,
             meta=meta,
+            quality=quality,
             manifest_sha256=self.manifest_sha256,
         )

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 
-__all__ = ["render_chart", "render_table_chart"]
+__all__ = ["render_chart", "render_leaderboard", "render_table_chart"]
 
 _MARKERS = "ox+*#@%&"
 
@@ -153,6 +153,65 @@ def render_chart(
         for i, (name, _, _) in enumerate(cleaned)
     )
     lines.append(" " * (margin + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_leaderboard(
+    headers: list[str],
+    rows: list[list],
+    *,
+    title: str = "",
+) -> str:
+    """Render a fixed-width ASCII table (arena leaderboards, quality).
+
+    The first column is left-aligned (names), every other column is
+    right-aligned (numbers); cells are stringified as given, so callers
+    control numeric formatting.  Rows shorter than the header are
+    padded with empty cells.
+
+    Parameters
+    ----------
+    headers:
+        Column titles; fixes the column count.
+    rows:
+        One list of cell values per table row.
+    title:
+        Optional line printed above the table.
+    """
+    if not headers:
+        raise ValidationError("leaderboard needs at least one column")
+    cells = [
+        [str(value) for value in row] + [""] * (len(headers) - len(row))
+        for row in rows
+    ]
+    for row in cells:
+        if len(row) > len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but only "
+                f"{len(headers)} columns are declared"
+            )
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells))
+        if cells
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+
+    def _line(row: list[str]) -> str:
+        parts = [
+            row[col].ljust(widths[col])
+            if col == 0
+            else row[col].rjust(widths[col])
+            for col in range(len(headers))
+        ]
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_line(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(_line(row) for row in cells)
     return "\n".join(lines)
 
 

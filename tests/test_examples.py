@@ -36,6 +36,7 @@ class TestExamplesImportable:
             "social_hubs",
             "image_pipeline",
             "serving_quickstart",
+            "arena_quickstart",
         ],
     )
     def test_has_main(self, name):
@@ -90,6 +91,17 @@ class TestServingQuickstartRuns:
         assert "far-away queries rejected as noise: 20/20" in out
         assert "telemetry: 8 requests observed" in out
         assert "spans balanced: True" in out
+
+
+class TestArenaQuickstartRuns:
+    def test_full_run(self, capsys):
+        module = _load_module("arena_quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "alid-fused" in out
+        assert "statuses: OK" in out
+        assert "quality-annotated snapshot written to" in out
+        assert "quality gauges exported: 6" in out
 
 
 class TestImagePipelineRuns:

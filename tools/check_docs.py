@@ -6,7 +6,7 @@ lane (and by ``tests/test_docs.py`` so the gate itself stays tested):
 
 1. **Docstring presence** on the public API: every module under the
    public packages
-   (``src/repro/{core,dynamics,lsh,affinity,parallel,serve,streaming,obs}``)
+   (``src/repro/{core,dynamics,lsh,affinity,parallel,serve,streaming,obs,arena}``)
    must carry a module docstring, and every public class, function, and
    method in them a non-empty docstring.  This mirrors ruff's
    D100/D101/D102/D103/D419 selection (which the CI lane also runs);
@@ -40,6 +40,7 @@ PUBLIC_PACKAGES = (
     "serve",
     "streaming",
     "obs",
+    "arena",
 )
 DOC_FILES = ("README.md", "docs")
 PAPER_MAP = REPO_ROOT / "docs" / "paper_map.md"

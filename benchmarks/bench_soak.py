@@ -48,6 +48,22 @@ Three lanes per profile:
   p50/p95/p99 included — to a histogram rebuilt from the per-request
   latencies the replies reported) and ``span_breakdown_exact`` (each
   reply's queued + service span milliseconds sum to its latency).
+- ``churn_<p>`` — the durable write path: the corpus streamed through
+  a WAL-journaled :class:`~repro.serve.ingest.IngestService` as N
+  publish rounds (base + one delta per round, one round retiring rows
+  mid-run), then the chain compacted and the journal crash-recovered
+  with an injected torn tail.  Gated: ``entries_computed`` (the 10%
+  rule — ingest work is seeded and deterministic), ``throughput_qps``
+  (the committed floor is deliberately loose — churn ingest is
+  CPU-bound, so the floor plays the role the loose SLOs play for
+  latency), and the zero-tolerance booleans
+  ``assignments_identical`` (chain tip serves byte-identically to the
+  live stream), ``compaction_identical`` (the folded base serves
+  byte-identically to the chain tip and compaction is deterministic),
+  ``recovery_identical`` (replaying the journal reproduces the stream
+  byte-for-byte, ``entries_computed`` included) and
+  ``wal_tail_truncated_ok`` (recovery truncated exactly the injected
+  torn bytes and left a clean journal).
 
 Latency is **SLO-gated, not baseline-gated**: ``slo_met`` (p99 ≤ the
 lane's SLO) is a zero-tolerance boolean, while the p50/p99 numbers
@@ -73,6 +89,7 @@ import json
 import os
 import pathlib
 import platform
+import shutil
 import signal
 import sys
 import time
@@ -95,11 +112,17 @@ from repro.serve import (  # noqa: E402
     AsyncFrontend,
     ClusterService,
     DetectionSnapshot,
+    IngestService,
     ShardPlanner,
     ShardSupervisor,
     ShardedClusterService,
+    WriteAheadLog,
+    compact_chain,
+    load_chain_tip,
     run_open_loop,
+    verify_wal,
 )
+from repro.streaming import StreamingALID  # noqa: E402
 
 # Corpora are shared with bench_serve.py (same sizes, same seed) so the
 # fitted state matches lane-for-lane; the arrival schedules are fixed
@@ -136,6 +159,16 @@ PROFILES = {
 #: When the faulted lane kills its victim, as a fraction of `duration`.
 _KILL_FRACTION = 0.4
 _SWEEP_BATCH = 1024
+
+# Churn lane shape: publish-round batch size, the streaming delta, and
+# how many of the oldest rows one mid-run round retires.
+_CHURN = {
+    "tiny": dict(batch=150, delta=100, retire_rows=24),
+    "full": dict(batch=1000, delta=400, retire_rows=200),
+}
+#: Garbage appended to the journal copy before the recovery check (the
+#: torn tail a crash mid-append would leave).
+_TORN_TAIL = b"\x40\x00\x00\x00torn mid-append by bench_soak"
 
 
 def _make_data(profile: str) -> np.ndarray:
@@ -488,6 +521,135 @@ def telemetry_lane(
     return entry
 
 
+def churn_lane(
+    profile: str, data: np.ndarray, scratch: pathlib.Path
+) -> dict:
+    """Durable write path: WAL'd publish rounds, compaction, recovery.
+
+    Streams the corpus through a journaled
+    :class:`~repro.serve.ingest.IngestService` (base + one delta per
+    batch, one mid-run retirement round), then pins the lifecycle
+    claims: the chain tip serves like the live stream, compaction is
+    deterministic and byte-identical, and crash recovery from a
+    torn-tailed copy of the journal reproduces the stream exactly.
+    """
+    spec = _CHURN[profile]
+    chain_dir = scratch / f"churn_{profile}"
+    chain_dir.mkdir()
+    wal_path = chain_dir / "ingest.wal"
+    config = ALIDConfig(
+        delta=spec["delta"], density_threshold=0.6, seed=_SEED
+    )
+    queries = data[::3]
+
+    publishes = 0
+    start = time.perf_counter()
+    with IngestService(
+        StreamingALID(config),
+        repeel="sync",
+        wal=WriteAheadLog(wal_path),
+    ) as service:
+        for number, lo in enumerate(
+            range(0, data.shape[0], spec["batch"])
+        ):
+            service.ingest(data[lo : lo + spec["batch"]])
+            if number == 0:
+                service.publish_base(chain_dir / "base")
+            else:
+                seq = service.stats()["published_sequence"]
+                service.publish_delta(chain_dir / f"delta_{seq:04d}")
+            publishes += 1
+            if number == 1:
+                # Retirement round: tombstone the oldest rows and ship
+                # them as a delta (no base republish).
+                service.retire(
+                    np.arange(spec["retire_rows"], dtype=np.int64)
+                )
+                seq = service.stats()["published_sequence"]
+                service.publish_delta(chain_dir / f"delta_{seq:04d}")
+                publishes += 1
+        wall = max(time.perf_counter() - start, 1e-9)
+        stats = service.stats()
+        entries = int(service.stream.result().counters.entries_computed)
+        live = service.stream.to_snapshot()
+
+        # Chain-tip identity: base + deltas must serve byte-identically
+        # (labels AND scores) to the stream that published them.
+        with ClusterService(live) as live_service:
+            want = live_service.assign(queries)
+        with ClusterService(load_chain_tip(chain_dir)) as tip_service:
+            got = tip_service.assign(queries)
+        assignments_identical = bool(
+            np.array_equal(got.labels, want.labels)
+            and np.array_equal(got.scores, want.scores)
+        )
+
+        # Compaction: folding the chain into a fresh base must be
+        # deterministic (same manifest SHA twice) and serve the same
+        # bytes as the tip it replaced.
+        compacted = compact_chain(
+            chain_dir, scratch / f"churn_{profile}_compact_a"
+        )
+        again = compact_chain(
+            chain_dir, scratch / f"churn_{profile}_compact_b"
+        )
+        with ClusterService(
+            scratch / f"churn_{profile}_compact_a"
+        ) as folded:
+            fold = folded.assign(queries)
+        compaction_identical = bool(
+            compacted.manifest_sha256 == again.manifest_sha256
+            and np.array_equal(fold.labels, want.labels)
+            and np.array_equal(fold.scores, want.scores)
+        )
+
+        # Crash recovery: replay a torn-tailed copy of the journal and
+        # demand the rebuilt stream is byte-identical — same
+        # assignments, same deterministic work counter.
+        torn_wal = scratch / f"churn_{profile}_recovery.wal"
+        shutil.copy(wal_path, torn_wal)
+        with open(torn_wal, "ab") as handle:
+            handle.write(_TORN_TAIL)
+        with IngestService.recover(torn_wal, chain_dir) as recovered:
+            info = dict(recovered.recovery_info)
+            recovered_entries = int(
+                recovered.stream.result().counters.entries_computed
+            )
+            with ClusterService(
+                recovered.stream.to_snapshot()
+            ) as recovered_service:
+                replayed = recovered_service.assign(queries)
+        recovery_identical = bool(
+            recovered_entries == entries
+            and info["publishes_restored"] == publishes
+            and np.array_equal(replayed.labels, want.labels)
+            and np.array_equal(replayed.scores, want.scores)
+        )
+        wal_tail_truncated_ok = bool(
+            info["torn_bytes_truncated"] == len(_TORN_TAIL)
+            and verify_wal(torn_wal)["torn_bytes"] == 0
+        )
+
+    return {
+        "batch_rows": spec["batch"],
+        "publish_rounds": publishes,
+        "rows_ingested": int(data.shape[0]),
+        "rows_retired": spec["retire_rows"],
+        "chain_deltas": publishes - 1,
+        "wal_records": int(stats["wal_records"]),
+        "wall_seconds": round(wall, 4),
+        "throughput_qps": round(data.shape[0] / wall, 1),
+        "entries_computed": entries,
+        "records_replayed": int(info["records_replayed"]),
+        "torn_bytes_truncated": int(info["torn_bytes_truncated"]),
+        "publishes_restored": int(info["publishes_restored"]),
+        "assignments_identical": assignments_identical,
+        "compaction_identical": compaction_identical,
+        "recovery_identical": recovery_identical,
+        "wal_tail_truncated_ok": wal_tail_truncated_ok,
+    }
+
+
 def run(profile_keys: list[str], scratch: pathlib.Path) -> dict:
     workloads: dict[str, dict] = {}
     for profile in profile_keys:
@@ -516,6 +678,8 @@ def run(profile_keys: list[str], scratch: pathlib.Path) -> dict:
         workloads[f"soak_{profile}_telemetry"] = telemetry_lane(
             profile, data, shard_root
         )
+        print(f"[bench_soak] churn_{profile} ...", flush=True)
+        workloads[f"churn_{profile}"] = churn_lane(profile, data, scratch)
     return {
         "schema_version": 1,
         "python": platform.python_version(),

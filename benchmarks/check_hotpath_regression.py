@@ -15,10 +15,13 @@ work accounting regresses:
 * a workload reporting any of the zero-tolerance booleans
   (``entries_identical``, ``accounting_exact``,
   ``assignments_identical``, ``slo_met``, ``healed_ok``,
-  ``rejections_observed``, ``retry_after_ok``) as ``false`` fails
-  outright — bit-equivalence, exact request accounting, byte-identical
-  assignments after a heal, an honoured latency SLO, and a healed pool
-  are correctness claims, not performance numbers;
+  ``rejections_observed``, ``retry_after_ok``,
+  ``recovery_identical``, ``compaction_identical``,
+  ``wal_tail_truncated_ok``) as ``false`` fails outright —
+  bit-equivalence, exact request accounting, byte-identical
+  assignments after a heal, an honoured latency SLO, a healed pool,
+  and a crash-recoverable durable ingest chain are correctness
+  claims, not performance numbers;
 * a baseline ``throughput_qps`` (the soak lanes of
   ``bench_soak.py``) may not *fall* more than ``--tolerance`` below
   its committed value — soak traffic is open-loop and deliberately
@@ -89,6 +92,16 @@ BOOLEAN_KEYS = {
         "arena cell results must be identical across back-to-back runs"
     ),
     "no_crashed_cells": "arena cells crashed or violated their limits",
+    "recovery_identical": (
+        "journal replay must rebuild the stream byte-identically"
+    ),
+    "compaction_identical": (
+        "the compacted chain must serve byte-identically to the tip "
+        "it folded"
+    ),
+    "wal_tail_truncated_ok": (
+        "recovery must truncate exactly the journal's torn tail"
+    ),
 }
 INFO_KEYS = (
     "entries_stored_peak",

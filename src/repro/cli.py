@@ -36,6 +36,19 @@ Commands
     dirtied collision regions, and publish a base snapshot plus one
     incremental delta per subsequent batch — the artifact chain a
     serving process hot-applies with ``ClusterHandle.apply_delta``.
+    With ``--wal`` every mutation is journaled write-ahead to
+    ``<out>/ingest.wal``; re-running the command after a crash
+    recovers the committed prefix (torn tail truncated, state
+    replayed byte-identically) and continues the run.
+``compact``
+    Fold a chain directory (``base`` + ``delta_NNNN``) into one fresh
+    base snapshot (:func:`repro.serve.compact.compact_chain`) serving
+    byte-identical assignments to the chain tip.
+``verify``
+    Audit artifacts offline (:mod:`repro.serve.verify`): snapshot and
+    delta checksums, delta parent-SHA links, WAL record CRCs, and
+    journal/chain publish-marker agreement — exit 0 with a summary
+    line per artifact, or exit 2 with a one-line diagnosis.
 ``stats``
     Serve a query batch against a snapshot with a shared
     :class:`~repro.obs.metrics.MetricsRegistry` wired through the
@@ -70,7 +83,9 @@ Examples
     python -m repro shard --snapshot nart_snapshot --out nart_shards --shards 4
     python -m repro assign --snapshot nart_snapshot --queries nart.npz --workers 2
     python -m repro serve --snapshot nart_snapshot --queries nart.npz --workers 2 --kill-shard 1.5
-    python -m repro ingest --input nart.npz --out nart_chain --batch-size 500
+    python -m repro ingest --input nart.npz --out nart_chain --batch-size 500 --wal
+    python -m repro compact --chain nart_chain --out nart_base2
+    python -m repro verify nart_chain nart_snapshot
     python -m repro stats --snapshot nart_snapshot --queries nart.npz --workers 2
     python -m repro trace --snapshot nart_snapshot --queries nart.npz --out spans.jsonl
     python -m repro arena --detectors alid-fused iid km --wall-limit 60
@@ -332,6 +347,34 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--delta", type=int, default=800)
     ingest.add_argument("--density-threshold", type=float, default=0.75)
     ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--wal", action="store_true",
+                        help="journal every mutation to <out>/ingest.wal "
+                             "and recover a crashed run on restart")
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold a delta chain into a fresh base snapshot",
+    )
+    compact.add_argument("--chain", required=True,
+                         help="chain directory (base/ + delta_NNNN/)")
+    compact.add_argument("--out", required=True,
+                         help="where to write the compacted snapshot "
+                              "(must not be the chain's own base/)")
+    compact.add_argument("--mmap", action="store_true",
+                         help="memory-map the chain's arrays while "
+                              "folding")
+
+    verify = sub.add_parser(
+        "verify",
+        help="audit snapshot/delta/chain/WAL artifacts offline",
+    )
+    verify.add_argument("paths", nargs="+",
+                        help="artifact path(s): snapshot or delta "
+                             "directories, chain directories, or "
+                             ".wal journal files")
+    verify.add_argument("--allow-torn-tail", action="store_true",
+                        help="report a journal's torn tail instead of "
+                             "failing on it (recovery can truncate it)")
 
     arena = sub.add_parser(
         "arena",
@@ -931,11 +974,31 @@ def _cmd_ingest(args) -> int:
         seed=args.seed,
     )
     step = args.batch_size
-    published = []
+    wal_path = out / "ingest.wal"
     # Synchronous re-peel: the CLI is a batch tool, so the published
     # chain must be deterministic for a given input and seed.
-    with IngestService(StreamingALID(config), repeel="sync") as service:
-        for number, lo in enumerate(range(0, dataset.n, step)):
+    if args.wal and wal_path.is_file():
+        # A journal from a previous (possibly crashed) run: truncate
+        # its torn tail, replay the committed prefix, continue.
+        service = IngestService.recover(wal_path, out)
+        info = service.recovery_info
+        print(
+            f"recovered {wal_path}: {info['records_replayed']} "
+            f"record(s) replayed, {info['torn_bytes_truncated']} torn "
+            f"byte(s) truncated, {info['publishes_restored']} "
+            f"publish(es) restored"
+        )
+    else:
+        service = IngestService(
+            StreamingALID(config),
+            repeel="sync",
+            wal=wal_path if args.wal else None,
+        )
+    published = []
+    with service:
+        start = service.stream.n_items
+        for lo in range(start, dataset.n, step):
+            number = lo // step
             report = service.ingest(dataset.data[lo:lo + step])
             print(
                 f"batch {number:3d}: {report.n_points:5d} points, "
@@ -944,7 +1007,7 @@ def _cmd_ingest(args) -> int:
                 f"{report.n_clusters:3d} cluster(s), "
                 f"{report.entries_computed:,} affinity entries"
             )
-            if number == 0:
+            if service.stats()["chain_tip"] is None:
                 snapshot = service.publish_base(out / "base")
                 published.append(
                     f"  base: {snapshot.n_clusters} cluster(s), "
@@ -952,7 +1015,9 @@ def _cmd_ingest(args) -> int:
                     f"{_dir_bytes(out / 'base'):,} bytes"
                 )
             else:
-                name = f"delta_{number - 1:04d}"
+                name = (
+                    f"delta_{service.stats()['published_sequence']:04d}"
+                )
                 delta = service.publish_delta(out / name)
                 published.append(
                     f"  {name}: +{delta.n_appended} rows, "
@@ -960,7 +1025,7 @@ def _cmd_ingest(args) -> int:
                     f"{_dir_bytes(out / name):,} bytes"
                 )
         stats = service.stats()
-    print(f"wrote chain {out}: base + {len(published) - 1} delta(s)")
+    print(f"wrote chain {out}: {len(published)} publish(es)")
     for line in published:
         print(line)
     print(
@@ -968,6 +1033,78 @@ def _cmd_ingest(args) -> int:
         f"{stats['n_clusters']} cluster(s), chain tip "
         f"{str(stats['chain_tip'])[:12]}..."
     )
+    return 0
+
+
+def _cmd_compact(args) -> int:
+    import pathlib
+
+    from repro.serve import chain_artifacts, compact_chain
+
+    _, deltas = chain_artifacts(args.chain)
+    snapshot = compact_chain(args.chain, args.out, mmap=args.mmap)
+    out = pathlib.Path(args.out)
+    print(
+        f"compacted {args.chain}: base + {len(deltas)} delta(s) -> "
+        f"{out} ({_dir_bytes(out):,} bytes)"
+    )
+    print(
+        f"  {snapshot.n_items} items, {snapshot.n_clusters} "
+        f"cluster(s), folded tip {snapshot.meta['compacted_from'][:12]}"
+        f"..., manifest {snapshot.manifest_sha256[:12]}..."
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.serve import verify_artifact
+
+    for path in args.paths:
+        report = verify_artifact(
+            path, allow_torn_tail=args.allow_torn_tail
+        )
+        kind = report["kind"]
+        if kind == "chain":
+            wal = report["wal"]
+            journal = (
+                "no journal"
+                if wal is None
+                else f"journal {wal['n_records']} record(s)"
+                + (
+                    f" ({wal['torn_bytes']} torn byte(s))"
+                    if wal["torn_bytes"]
+                    else ""
+                )
+            )
+            print(
+                f"{path}: chain ok — base + "
+                f"{len(report['deltas'])} delta(s), tip "
+                f"{report['tip_sha256'][:12]}..., {journal}"
+            )
+        elif kind == "snapshot":
+            print(
+                f"{path}: snapshot ok — {report['n_items']} items, "
+                f"{report['n_clusters']} cluster(s), manifest "
+                f"{report['manifest_sha256'][:12]}..."
+            )
+        elif kind == "delta":
+            print(
+                f"{path}: delta ok — sequence {report['sequence']}, "
+                f"+{report['n_appended']} rows, "
+                f"-{report['n_removed']}/+{report['n_upserted']} "
+                f"cluster(s), {report['n_retired_rows']} retired "
+                f"row(s), parent {report['parent_sha256'][:12]}..."
+            )
+        else:
+            torn = (
+                f", {report['torn_bytes']} torn byte(s)"
+                if report["torn_bytes"]
+                else ""
+            )
+            print(
+                f"{path}: wal ok — {report['n_records']} record(s), "
+                f"{report['committed_bytes']:,} committed bytes{torn}"
+            )
     return 0
 
 
@@ -1067,6 +1204,8 @@ _COMMANDS = {
     "assign": _cmd_assign,
     "serve": _cmd_serve,
     "ingest": _cmd_ingest,
+    "compact": _cmd_compact,
+    "verify": _cmd_verify,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "arena": _cmd_arena,

@@ -92,3 +92,16 @@ class SnapshotError(ValidationError):
     library understands.  Loading never returns partially-restored
     state — it either round-trips bit-identically or raises this error.
     """
+
+
+class WALError(SnapshotError):
+    """A write-ahead log failed validation.
+
+    Raised by :mod:`repro.serve.wal` for damage that replay cannot
+    work around: a missing or foreign file header, a record framed
+    larger than the journal's limit, or (in strict readers like
+    ``repro verify``) a torn tail.  A torn *tail* alone is the
+    expected signature of a crash mid-append — recovery truncates it
+    and replays the committed prefix — so the lenient readers report
+    it instead of raising.
+    """

@@ -55,9 +55,20 @@ package is that separation made concrete for the reproduction:
   self-healing loop: watches a sharded pool's worker liveness and
   respawns crashed workers from their still-valid shard artifacts via
   :meth:`ShardedClusterService.heal`.
+* :mod:`repro.serve.wal` — :class:`WriteAheadLog`, the append-only
+  CRC-per-record journal the ingest tier writes ahead of every
+  mutation; :meth:`IngestService.recover` replays its committed
+  prefix after a crash.
+* :mod:`repro.serve.compact` — :func:`compact_chain`, folding a
+  base + delta chain into a fresh base snapshot serving byte-identical
+  assignments to the chain tip.
+* :mod:`repro.serve.verify` — :func:`verify_artifact` and friends,
+  the offline checksum / parent-link / journal audit behind
+  ``repro verify``.
 
 Exposed on the command line as ``repro snapshot`` / ``repro shard`` /
-``repro assign [--workers N]`` / ``repro ingest`` / ``repro serve``.
+``repro assign [--workers N]`` / ``repro ingest [--wal]`` /
+``repro serve`` / ``repro compact`` / ``repro verify``.
 See ``docs/serving.md`` for the artifact formats and semantics.
 """
 
@@ -68,6 +79,7 @@ from repro.serve.assigner import (
 )
 from repro.serve.admission import AdmissionController
 from repro.serve.client import ClusterHandle, connect
+from repro.serve.compact import chain_artifacts, compact_chain, load_chain_tip
 from repro.serve.frontend import AsyncFrontend, FrontendReply, run_open_loop
 from repro.serve.ingest import IngestReport, IngestService
 from repro.serve.plan import (
@@ -88,15 +100,25 @@ from repro.serve.snapshot import (
     SnapshotDelta,
 )
 from repro.serve.supervisor import ShardSupervisor
+from repro.serve.verify import (
+    verify_artifact,
+    verify_chain,
+    verify_delta,
+    verify_snapshot,
+    verify_wal,
+)
+from repro.serve.wal import WALRecord, WriteAheadLog, read_records
 
 __all__ = [
     "AdmissionController",
     "Assignment",
     "AsyncFrontend",
     "BatchingRouter",
+    "chain_artifacts",
     "ClusterAssigner",
     "ClusterHandle",
     "ClusterService",
+    "compact_chain",
     "connect",
     "DELTA_FORMAT",
     "DELTA_SCHEMA_VERSION",
@@ -104,7 +126,9 @@ __all__ = [
     "FrontendReply",
     "IngestReport",
     "IngestService",
+    "load_chain_tip",
     "merge_partials",
+    "read_records",
     "replan_for_delta",
     "run_open_loop",
     "SCHEMA_VERSION",
@@ -117,4 +141,11 @@ __all__ = [
     "ShardWorker",
     "ShardedClusterService",
     "SnapshotDelta",
+    "verify_artifact",
+    "verify_chain",
+    "verify_delta",
+    "verify_snapshot",
+    "verify_wal",
+    "WALRecord",
+    "WriteAheadLog",
 ]

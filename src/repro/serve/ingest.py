@@ -27,33 +27,57 @@ Lifecycle of one batch::
 
     publish_base(dir)    a full DetectionSnapshot; the chain anchor
     publish_delta(dir)   appended rows + LSH insert state + replaced/
-                         retired clusters since the last publish
+                         retired clusters + tombstoned rows since the
+                         last publish
 
 Publishing diffs the stream's cluster list against what was last
 published: a cluster whose support, weights, density or seed changed is
 *replaced* (its label lands in ``removed_labels`` and the refreshed
 cluster in the upserts), a vanished label is retired, a new label is a
-plain upsert.  Applying the delta chain is therefore exact: the
-resulting snapshot holds byte-identical rows, bucket keys and cluster
-strategies to a full snapshot written from the same stream state
-(pinned by ``tests/test_serve_delta.py``).
+plain upsert.  Rows tombstoned through :meth:`IngestService.retire`
+ride as the delta's ``retired_rows`` (schema v2), so expiring items or
+whole clusters no longer forces republishing a base.  Applying the
+delta chain is therefore exact: the resulting snapshot holds
+byte-identical rows, bucket keys and cluster strategies to a full
+snapshot written from the same stream state (pinned by
+``tests/test_serve_delta.py``).
+
+Durability
+----------
+With a :class:`~repro.serve.wal.WriteAheadLog` attached (``wal=``),
+every ingest batch and retirement is journaled **before** the stream
+mutates and every publish commits a marker **after** its artifact
+saved.  :meth:`IngestService.recover` rebuilds a crashed service by
+truncating the journal's torn tail and replaying the committed prefix
+through a fresh stream — byte-identical clusters, LSH state and
+``entries_computed`` accounting to a run that never crashed (pinned by
+``tests/test_serve_durability.py``).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import pathlib
 import threading
 
 import numpy as np
 
+from repro.core.config import ALIDConfig
 from repro.core.infectivity import max_item_payoffs
-from repro.core.results import Cluster
-from repro.exceptions import ValidationError
+from repro.core.results import Cluster, DetectionResult
+from repro.exceptions import ValidationError, WALError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TID_INGEST
-from repro.serve.snapshot import DetectionSnapshot, SnapshotDelta
+from repro.serve.snapshot import (
+    MANIFEST_NAME,
+    DetectionSnapshot,
+    SnapshotDelta,
+    _sha256_of,
+)
+from repro.serve.wal import WALRecord, WriteAheadLog
 from repro.streaming.online import StreamingALID
 from repro.utils.timing import timed
+from repro.utils.validation import check_data_matrix, check_index_array
 
 __all__ = ["IngestReport", "IngestService", "REPEEL_MODES"]
 
@@ -133,6 +157,14 @@ class IngestService:
         Optional :class:`~repro.obs.trace.TraceRecorder`; when set,
         every :meth:`ingest` batch and every publish records a span on
         the ingest lane.
+    wal:
+        Optional :class:`~repro.serve.wal.WriteAheadLog` (or a path to
+        create one at) journaling every mutation write-ahead.  Only an
+        *empty* journal may be attached to an *empty* stream — a
+        journal that already holds records belongs to a previous
+        incarnation and must go through :meth:`recover` instead, and a
+        pre-populated stream would leave the journal blind to the
+        state it is supposed to replay.
 
     All stream access is serialized under one lock, so ingest, re-peel
     and publishing never interleave mid-mutation; :meth:`flush` waits
@@ -160,6 +192,7 @@ class IngestService:
         repeel: str = "background",
         registry: MetricsRegistry | None = None,
         tracer=None,
+        wal: WriteAheadLog | str | pathlib.Path | None = None,
     ):
         if repeel not in REPEEL_MODES:
             raise ValidationError(
@@ -180,6 +213,9 @@ class IngestService:
             "ingest_absorbed_total",
             "Points absorbed into existing clusters on the ingest path",
         )
+        self._m_retired = reg.counter(
+            "ingest_retired_total", "Rows tombstoned via retire()"
+        )
         self._m_repeel_runs = reg.counter(
             "ingest_repeel_runs_total", "Targeted re-peel runs"
         )
@@ -189,6 +225,14 @@ class IngestService:
         )
         self._m_publishes = reg.counter(
             "ingest_publishes_total", "Base + delta publishes"
+        )
+        self._m_wal_records = reg.counter(
+            "ingest_wal_records_total",
+            "Records journaled to the write-ahead log",
+        )
+        self._m_recoveries = reg.counter(
+            "ingest_recoveries_total",
+            "Crash recoveries replayed from the write-ahead log",
         )
         self._repeel_mode = repeel
         self._lock = threading.Lock()
@@ -201,18 +245,61 @@ class IngestService:
         self._published_sha: str | None = None
         self._published_n = 0
         self._published_clusters: dict[int, Cluster] = {}
+        self._published_retired = np.zeros(0, dtype=np.int64)
         self._sequence = 0
         # Deterministic trace ids: ingest batches and publish rounds.
         self._ingest_seq = 0
+        # Durability: journal attached (or None), and whether the
+        # service is currently replaying that journal — replayed
+        # operations must not re-journal themselves.
+        self._wal: WriteAheadLog | None = None
+        self._replaying = False
+        self.recovery_info: dict | None = None
+        if wal is not None:
+            self._attach_wal(wal)
         self._wake = threading.Event()
         self._thread: threading.Thread | None = None
         if repeel == "background":
-            self._thread = threading.Thread(
-                target=self._repeel_loop,
-                name="repro-ingest-repeel",
-                daemon=True,
+            self._start_repeel_thread()
+
+    def _start_repeel_thread(self) -> None:
+        """Spawn the background re-peel worker (mode switch helper)."""
+        self._thread = threading.Thread(
+            target=self._repeel_loop,
+            name="repro-ingest-repeel",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _attach_wal(self, wal: WriteAheadLog | str | pathlib.Path) -> None:
+        """Adopt an empty journal and write its ``begin`` record."""
+        log = wal if isinstance(wal, WriteAheadLog) else WriteAheadLog(wal)
+        if log.n_records:
+            raise ValidationError(
+                f"{log.path} already holds {log.n_records} record(s); "
+                f"a used journal belongs to a previous incarnation — "
+                f"rebuild it via IngestService.recover() instead"
             )
-            self._thread.start()
+        if self._stream.n_items:
+            raise ValidationError(
+                "cannot attach a fresh WAL to a stream that already "
+                "holds data; the journal must cover every mutation "
+                "from the first batch"
+            )
+        log.append(
+            "begin",
+            meta={"config": dataclasses.asdict(self._stream.config)},
+        )
+        self._m_wal_records.inc()
+        self._wal = log
+
+    def _journal(self, kind: str, *, meta: dict | None = None,
+                 arrays: dict[str, np.ndarray] | None = None) -> None:
+        """Append one record unless no WAL is attached or replaying."""
+        if self._wal is None or self._replaying:
+            return
+        self._wal.append(kind, meta=meta, arrays=arrays)
+        self._m_wal_records.inc()
 
     # ------------------------------------------------------------------
     @property
@@ -244,6 +331,15 @@ class IngestService:
         with timed() as clock:
             with self._lock:
                 stream = self._stream
+                # Validate before journaling: a record that would blow
+                # up the stream would poison every future replay.
+                points = check_data_matrix(points, name="points")
+                if stream.n_items and points.shape[1] != stream.data.shape[1]:
+                    raise ValidationError(
+                        f"batch has dim {points.shape[1]}, stream "
+                        f"expects {stream.data.shape[1]}"
+                    )
+                self._journal("ingest", arrays={"points": points})
                 before_entries = stream.result().counters.entries_computed
                 n_before = stream.n_items
                 stream.partial_fit(points, discover=False)
@@ -306,6 +402,45 @@ class IngestService:
             entries_computed=int(after_entries - before_entries),
             wall_seconds=clock[0],
         )
+
+    # ------------------------------------------------------------------
+    def retire(self, indices: np.ndarray) -> DetectionResult:
+        """Tombstone rows (expiry / deletion); journaled write-ahead.
+
+        Delegates to :meth:`~repro.streaming.online.StreamingALID.
+        retire`: the rows vanish from every future query, clusters
+        losing members re-converge or dissolve.  The next
+        :meth:`publish_delta` ships the tombstones as its
+        ``retired_rows`` plus the cluster churn they caused — no base
+        republish.  Returns the stream's post-retirement detection
+        result.
+        """
+        if self._closed:
+            raise ValidationError("ingest service is closed")
+        tracer = self.tracer
+        t_trace = tracer.now() if tracer is not None else 0.0
+        with self._lock:
+            stream = self._stream
+            if stream.n_items == 0:
+                raise ValidationError("stream has not seen any data yet")
+            indices = check_index_array(
+                indices, stream.n_items, name="indices"
+            )
+            canonical = np.unique(np.asarray(indices, dtype=np.int64))
+            self._journal("retire", arrays={"indices": canonical})
+            result = stream.retire(canonical)
+            self._m_retired.inc(int(canonical.size))
+        if tracer is not None:
+            self._ingest_seq += 1
+            tracer.record(
+                "retire",
+                t_trace,
+                tracer.now(),
+                trace_id=f"ret-{self._ingest_seq}",
+                tid=TID_INGEST,
+                rows=int(canonical.size),
+            )
+        return result
 
     # ------------------------------------------------------------------
     # re-peeling
@@ -376,7 +511,20 @@ class IngestService:
             self._published_clusters = {
                 int(c.label): c for c in snapshot.clusters
             }
+            self._published_retired = np.flatnonzero(
+                self._stream.retired_mask
+            ).astype(np.int64)
             self._sequence = 0
+            # Commit marker: journaled only after the artifact saved,
+            # so a marked publish always exists on disk.
+            self._journal(
+                "publish_base",
+                meta={
+                    "sha256": snapshot.manifest_sha256,
+                    "n_items": snapshot.n_items,
+                    "name": pathlib.Path(path).name,
+                },
+            )
         self._m_publishes.inc()
         if tracer is not None:
             tracer.record(
@@ -441,6 +589,12 @@ class IngestService:
                     self._published_clusters[label], cluster
                 )
             ]
+            retired_now = np.flatnonzero(stream.retired_mask).astype(
+                np.int64
+            )
+            newly_retired = np.setdiff1d(
+                retired_now, self._published_retired
+            )
             delta = SnapshotDelta(
                 parent_sha256=self._published_sha,
                 parent_n_items=self._published_n,
@@ -449,6 +603,7 @@ class IngestService:
                 appended_item_keys=appended_keys,
                 removed_labels=np.asarray(sorted(removed), dtype=np.int64),
                 clusters=sorted(upserts, key=lambda c: int(c.label)),
+                retired_rows=newly_retired,
                 meta={
                     "published_by": "IngestService",
                     "stream_batches": stream._batches,
@@ -458,8 +613,18 @@ class IngestService:
             self._published_sha = delta.manifest_sha256
             self._published_n = n_now
             self._published_clusters = current
+            self._published_retired = retired_now
             self._sequence += 1
             sequence = self._sequence
+            self._journal(
+                "publish_delta",
+                meta={
+                    "sha256": delta.manifest_sha256,
+                    "n_items": n_now,
+                    "sequence": sequence - 1,
+                    "name": pathlib.Path(path).name,
+                },
+            )
         self._m_publishes.inc()
         if tracer is not None:
             tracer.record(
@@ -475,6 +640,168 @@ class IngestService:
         return delta
 
     # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        wal: WriteAheadLog | str | pathlib.Path,
+        chain_dir: str | pathlib.Path | None = None,
+        *,
+        repeel: str = "sync",
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> "IngestService":
+        """Rebuild a service from its journal after a crash.
+
+        Truncates the journal's torn tail (the half-written record a
+        crash mid-append leaves), then replays the committed prefix —
+        every ``ingest`` and ``retire`` record, in order, through a
+        fresh stream built from the ``begin`` record's config.  Replay
+        runs synchronously, so a journal written by a ``"sync"``-mode
+        service recovers **byte-identical** clusters, LSH state and
+        ``entries_computed`` accounting to a run that never crashed.
+
+        Publish markers restore the delta-chain bookkeeping; with
+        *chain_dir* given, each marker's manifest SHA-256 is verified
+        against the named on-disk artifact, so a journal/artifact
+        divergence fails recovery instead of forking the chain.  An
+        artifact directory *without* its marker (a crash between save
+        and marker append) is simply ignored — the next publish
+        overwrites it.
+
+        The recovered service adopts the (now clean) journal for
+        further appends and records what happened in
+        :attr:`recovery_info` (``records_replayed``,
+        ``torn_bytes_truncated``, ``publishes_restored``).
+
+        Raises
+        ------
+        WALError
+            Unreadable journal, no leading ``begin`` record, a replay
+            record the stream rejects, or a publish marker whose
+            artifact is missing or has a different manifest SHA.
+        """
+        if repeel not in REPEEL_MODES:
+            raise ValidationError(
+                f"repeel must be one of {REPEEL_MODES}, got {repeel!r}"
+            )
+        if isinstance(wal, WriteAheadLog):
+            wal.close()
+            wal_path = wal.path
+        else:
+            wal_path = pathlib.Path(wal)
+        torn = WriteAheadLog.truncate_torn_tail(wal_path)
+        log = WriteAheadLog(wal_path)
+        records = log.replay()
+        if not records or records[0].kind != "begin":
+            raise WALError(
+                f"{wal_path}: journal does not start with a begin "
+                f"record; nothing to recover from"
+            )
+        try:
+            config = ALIDConfig(**records[0].meta["config"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WALError(
+                f"{wal_path}: begin record carries an invalid config: "
+                f"{exc}"
+            ) from exc
+        service = cls(
+            StreamingALID(config), repeel="sync", registry=registry
+        )
+        service._m_recoveries.inc()
+        publishes = 0
+        service._replaying = True
+        try:
+            for number, record in enumerate(records[1:], start=1):
+                if record.kind == "ingest":
+                    service.ingest(record.arrays["points"])
+                elif record.kind == "retire":
+                    service.retire(record.arrays["indices"])
+                elif record.kind in ("publish_base", "publish_delta"):
+                    service._restore_publish_marker(record, chain_dir)
+                    publishes += 1
+                else:
+                    raise WALError(
+                        f"{wal_path}: unexpected {record.kind!r} record "
+                        f"at position {number}"
+                    )
+        except ValidationError as exc:
+            if isinstance(exc, WALError):
+                raise
+            raise WALError(
+                f"{wal_path}: replay failed — the journal and the "
+                f"stream disagree: {exc}"
+            ) from exc
+        finally:
+            service._replaying = False
+        service._wal = log
+        service.tracer = tracer
+        service.recovery_info = {
+            "records_replayed": len(records),
+            "torn_bytes_truncated": int(torn),
+            "publishes_restored": publishes,
+        }
+        if repeel != "sync":
+            service._repeel_mode = repeel
+            if repeel == "background":
+                service._start_repeel_thread()
+        return service
+
+    def _restore_publish_marker(
+        self, record: WALRecord, chain_dir
+    ) -> None:
+        """Restore chain bookkeeping from one committed publish marker."""
+        meta = record.meta
+        sha = meta.get("sha256")
+        n_items = meta.get("n_items")
+        if not isinstance(sha, str) or not isinstance(n_items, int):
+            raise WALError(
+                f"malformed {record.kind} marker: {meta!r}"
+            )
+        if n_items != self._stream.n_items:
+            raise WALError(
+                f"{record.kind} marker covers {n_items} item(s) but "
+                f"replay reached {self._stream.n_items} — the journal "
+                f"does not match the run that wrote it"
+            )
+        if chain_dir is not None and meta.get("name"):
+            manifest = (
+                pathlib.Path(chain_dir) / meta["name"] / MANIFEST_NAME
+            )
+            if not manifest.is_file():
+                raise WALError(
+                    f"{record.kind} marker names {meta['name']!r} but "
+                    f"{manifest} does not exist — the committed "
+                    f"artifact vanished"
+                )
+            disk_sha = _sha256_of(manifest)
+            if disk_sha != sha:
+                raise WALError(
+                    f"{record.kind} marker pins "
+                    f"{meta['name']!r} at {sha[:12]}... but the disk "
+                    f"artifact hashes to {disk_sha[:12]}... — the "
+                    f"chain diverged from the journal"
+                )
+        self._published_sha = sha
+        self._published_n = n_items
+        self._published_clusters = {
+            int(c.label): c for c in self._stream.clusters
+        }
+        self._published_retired = np.flatnonzero(
+            self._stream.retired_mask
+        ).astype(np.int64)
+        if record.kind == "publish_base":
+            self._sequence = 0
+        else:
+            self._sequence = int(meta.get("sequence", self._sequence)) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log (None when not journaling)."""
+        return self._wal
+
     def stats(self) -> dict:
         """Ingest-side counters (lifetime scope, registry-backed)."""
         with self._lock:
@@ -483,22 +810,27 @@ class IngestService:
                 "n_clusters": self._stream.n_clusters,
                 "ingested": self._m_ingested.value,
                 "absorbed": self._m_absorbed.value,
+                "retired": self._m_retired.value,
                 "pending": len(self._dirty),
                 "repeel_runs": self._m_repeel_runs.value,
                 "repeel_discoveries": self._m_repeel_discoveries.value,
                 "published_sequence": self._sequence,
                 "published_n_items": self._published_n,
                 "chain_tip": self._published_sha,
+                "wal_records": self._m_wal_records.value,
+                "recoveries": self._m_recoveries.value,
             }
 
     def close(self) -> None:
-        """Stop the background re-peel thread (idempotent)."""
+        """Stop the re-peel thread, close the journal (idempotent)."""
         if self._closed:
             return
         self._closed = True
         self._wake.set()
         if self._thread is not None:
             self._thread.join(timeout=30.0)
+        if self._wal is not None:
+            self._wal.close()
 
     def __enter__(self) -> "IngestService":
         """Context-manager entry (the service is already running)."""

@@ -81,7 +81,10 @@ __all__ = [
 # (``repro.arena.quality``); v1 snapshots load fine with quality=None.
 SCHEMA_VERSION = 2
 SNAPSHOT_FORMAT = "repro-alid-detection-snapshot"
-DELTA_SCHEMA_VERSION = 1
+# Delta v2 added the ``retired_rows`` tombstone array (retirement
+# deltas: expiring items/clusters no longer republishes a base); v1
+# deltas load fine with an empty retirement set.
+DELTA_SCHEMA_VERSION = 2
 DELTA_FORMAT = "repro-alid-snapshot-delta"
 MANIFEST_NAME = "manifest.json"
 ARRAY_DIR = "arrays"
@@ -106,12 +109,19 @@ _CLUSTER_ARRAYS = (
 _REQUIRED_ARRAYS = ("data",) + _INDEX_ARRAYS + _CLUSTER_ARRAYS
 
 # Every array a complete delta must carry: the appended rows and their
-# per-table LSH insert state, the retired/replaced labels, and the
-# upserted clusters in the same pack_clusters() layout snapshots use.
+# per-table LSH insert state, the retired/replaced labels, the
+# tombstoned data rows (v2), and the upserted clusters in the same
+# pack_clusters() layout snapshots use.
+_DELTA_ARRAYS_V1 = (
+    "appended_data",
+    "appended_item_keys",
+    "removed_labels",
+) + _CLUSTER_ARRAYS
 _DELTA_ARRAYS = (
     "appended_data",
     "appended_item_keys",
     "removed_labels",
+    "retired_rows",
 ) + _CLUSTER_ARRAYS
 
 _HASH_CHUNK = 1 << 20
@@ -583,6 +593,13 @@ class SnapshotDelta:
     clusters:
         Upserted clusters (replacements and brand-new ones), member
         indices global into the post-append matrix.
+    retired_rows:
+        Data rows tombstoned since the parent (schema v2), indices
+        global into the post-append matrix.  Retired rows stay in the
+        matrix (index stability) but are marked inactive in the LSH
+        state; the cluster churn a retirement caused (shrunk or
+        dissolved clusters) rides in ``removed_labels`` / ``clusters``
+        like any other churn.  v1 deltas load with an empty set.
     meta:
         Free-form provenance (ingest counters, ...).
     manifest_sha256:
@@ -598,6 +615,9 @@ class SnapshotDelta:
     appended_item_keys: np.ndarray
     removed_labels: np.ndarray
     clusters: list[Cluster]
+    retired_rows: np.ndarray = dataclasses.field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
     meta: dict = dataclasses.field(default_factory=dict)
     manifest_sha256: str | None = dataclasses.field(
         default=None, compare=False
@@ -613,6 +633,11 @@ class SnapshotDelta:
     def n_removed(self) -> int:
         """Number of retired/replaced parent cluster labels."""
         return int(np.asarray(self.removed_labels).size)
+
+    @property
+    def n_retired_rows(self) -> int:
+        """Number of data rows this delta tombstones."""
+        return int(np.asarray(self.retired_rows).size)
 
     @property
     def n_upserted(self) -> int:
@@ -644,6 +669,9 @@ class SnapshotDelta:
             "removed_labels": np.asarray(
                 self.removed_labels, dtype=np.int64
             ),
+            "retired_rows": np.asarray(
+                self.retired_rows, dtype=np.int64
+            ),
         }
         packed = pack_clusters(self.clusters)
         arrays.update({f"cluster_{k}": v for k, v in packed.items()})
@@ -663,6 +691,7 @@ class SnapshotDelta:
                 "n_appended": self.n_appended,
                 "n_removed": self.n_removed,
                 "n_upserted": self.n_upserted,
+                "n_retired_rows": self.n_retired_rows,
             },
             "meta": self.meta,
             "arrays": manifest_arrays,
@@ -716,12 +745,27 @@ class SnapshotDelta:
                 f"{parent!r}"
             )
         entries = manifest.get("arrays", {})
+        # v1 deltas predate retirement: they carry no retired_rows
+        # array and load with an empty tombstone set.
+        names = (
+            _DELTA_ARRAYS_V1
+            if manifest["schema_version"] < 2
+            else _DELTA_ARRAYS
+        )
         arrays: dict[str, np.ndarray] = {
             name: _load_verified_array(
                 path, name, entries.get(name), mmap=mmap
             )
-            for name in _DELTA_ARRAYS
+            for name in names
         }
+        retired_rows = arrays.get(
+            "retired_rows", np.zeros(0, dtype=np.int64)
+        )
+        if np.asarray(retired_rows).ndim != 1:
+            raise SnapshotError(
+                f"{path}: retired_rows must be 1-D, got shape "
+                f"{np.asarray(retired_rows).shape}"
+            )
         appended = arrays["appended_data"]
         if appended.ndim != 2:
             raise SnapshotError(
@@ -754,6 +798,7 @@ class SnapshotDelta:
             appended_item_keys=keys,
             removed_labels=arrays["removed_labels"],
             clusters=clusters,
+            retired_rows=retired_rows,
             meta=dict(manifest.get("meta", {})),
             manifest_sha256=_sha256_of(path / MANIFEST_NAME),
         )
@@ -777,8 +822,10 @@ class SnapshotDelta:
             Parent mismatch (the snapshot's manifest SHA is not this
             delta's ``parent_sha256``, or the snapshot was never
             persisted and has none), item-count/dim/table mismatch, a
-            removed label the parent does not hold, or an upserted label
-            that would duplicate a surviving parent cluster.
+            removed label the parent does not hold, an upserted label
+            that would duplicate a surviving parent cluster, or a
+            retired row outside (or repeated within) the post-append
+            matrix.
         """
         if snapshot.manifest_sha256 is None:
             raise SnapshotError(
@@ -840,6 +887,21 @@ class SnapshotDelta:
                     f"{int(cluster.members.max())} beyond the "
                     f"{n_total}-item post-append matrix"
                 )
+        retired_rows = np.asarray(self.retired_rows, dtype=np.int64)
+        if retired_rows.size:
+            if int(retired_rows.min()) < 0 or (
+                int(retired_rows.max()) >= n_total
+            ):
+                raise SnapshotError(
+                    f"delta retires row(s) outside the {n_total}-item "
+                    f"post-append matrix "
+                    f"(range {int(retired_rows.min())}.."
+                    f"{int(retired_rows.max())})"
+                )
+            if np.unique(retired_rows).size != retired_rows.size:
+                raise SnapshotError(
+                    "delta retires the same row more than once"
+                )
         old_data = np.asarray(snapshot.data)
         index_arrays = dict(snapshot.index_arrays)
         if m:
@@ -855,6 +917,14 @@ class SnapshotDelta:
             )
         else:
             data = old_data
+        if retired_rows.size:
+            # Tombstone the retired rows in the LSH visibility mask.
+            # Copy before writing — apply() must never mutate the
+            # parent snapshot's arrays, even in the m == 0 case where
+            # index_arrays still aliases them.
+            active = np.array(index_arrays["active"], dtype=bool)
+            active[retired_rows] = False
+            index_arrays["active"] = active
         clusters = [
             c for c in snapshot.clusters if int(c.label) not in removed
         ]

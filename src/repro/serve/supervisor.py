@@ -23,6 +23,7 @@ it.
 
 from __future__ import annotations
 
+import random
 import threading
 
 from ..exceptions import ValidationError
@@ -54,6 +55,13 @@ class ShardSupervisor:
         ``metrics_registry`` when it has one (so one scrape covers the
         whole pool, with these metrics labelled
         ``component="supervisor"``), else a private registry.
+    backoff_jitter_seed:
+        Seed for the retry back-off jitter.  Repeated heal failures
+        back off exponentially plus a jittered share of the base, so a
+        fleet of supervisors (give each a distinct seed) does not
+        hammer a struggling artifact store in lockstep — while any
+        *one* supervisor's retry schedule stays fully deterministic
+        and can be pinned by tests.
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`
     explicitly.  Stopping the supervisor never touches the service.
@@ -66,6 +74,7 @@ class ShardSupervisor:
         interval: float = 0.25,
         on_heal=None,
         registry: MetricsRegistry | None = None,
+        backoff_jitter_seed: int = 0,
     ):
         """Validate the poll interval and the service's heal surface."""
         if interval <= 0.0:
@@ -120,6 +129,7 @@ class ShardSupervisor:
         self._last_error: str | None = None
         self._backoff_remaining = 0
         self._consecutive_failures = 0
+        self._backoff_rng = random.Random(backoff_jitter_seed)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -197,9 +207,10 @@ class ShardSupervisor:
             with self._lock:
                 self._consecutive_failures += 1
                 self._last_error = f"{type(exc).__name__}: {exc}"
+                base = 2 ** min(self._consecutive_failures, 16)
+                jitter = self._backoff_rng.randrange(1 + base // 2)
                 self._backoff_remaining = min(
-                    2 ** min(self._consecutive_failures, 16),
-                    _MAX_BACKOFF_POLLS,
+                    base + jitter, _MAX_BACKOFF_POLLS
                 )
                 self._g_consecutive.set(self._consecutive_failures)
                 self._g_backoff.set(self._backoff_remaining)

@@ -1,0 +1,215 @@
+"""Offline artifact audit: snapshots, delta chains, write-ahead logs.
+
+The read-only integrity half of the durability story: everything the
+serving and recovery paths check *implicitly* (array checksums,
+manifest envelopes, delta parent-SHA links, WAL record CRCs, publish
+markers) is checkable here *explicitly*, without standing up a service
+or touching any state.  ``repro verify`` is the CLI face: exit 0 with
+a summary line per artifact, or exit 2 with a one-line diagnosis.
+
+Every checker returns a small report dict on success and raises
+:class:`~repro.exceptions.SnapshotError` (or its
+:class:`~repro.exceptions.WALError` subclass) on the first problem —
+the same errors the serving paths would hit, surfaced before anything
+depends on the artifact.  A torn WAL tail *is* reported as an error
+here: it is recoverable damage (``IngestService.recover`` truncates
+it), but an audit's job is to say the file is damaged.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.exceptions import SnapshotError, WALError
+from repro.serve.compact import BASE_NAME, chain_artifacts
+from repro.serve.snapshot import (
+    DELTA_FORMAT,
+    MANIFEST_NAME,
+    SNAPSHOT_FORMAT,
+    DetectionSnapshot,
+    SnapshotDelta,
+)
+from repro.serve.wal import WAL_MAGIC, read_records
+
+__all__ = [
+    "verify_artifact",
+    "verify_chain",
+    "verify_delta",
+    "verify_snapshot",
+    "verify_wal",
+]
+
+
+def verify_snapshot(path) -> dict:
+    """Audit one snapshot directory; return its summary or raise.
+
+    A full :meth:`~repro.serve.snapshot.DetectionSnapshot.load` —
+    manifest envelope, every array's existence, size and SHA-256 —
+    without keeping the arrays (``mmap`` keeps residency trivial).
+    """
+    snapshot = DetectionSnapshot.load(path, mmap=True)
+    return {
+        "kind": "snapshot",
+        "path": str(path),
+        "n_items": snapshot.n_items,
+        "n_clusters": snapshot.n_clusters,
+        "manifest_sha256": snapshot.manifest_sha256,
+    }
+
+
+def verify_delta(path) -> dict:
+    """Audit one delta directory; return its summary or raise."""
+    delta = SnapshotDelta.load(path, mmap=True)
+    return {
+        "kind": "delta",
+        "path": str(path),
+        "sequence": delta.sequence,
+        "n_appended": delta.n_appended,
+        "n_removed": delta.n_removed,
+        "n_upserted": delta.n_upserted,
+        "n_retired_rows": delta.n_retired_rows,
+        "parent_sha256": delta.parent_sha256,
+        "manifest_sha256": delta.manifest_sha256,
+    }
+
+
+def verify_wal(path, *, allow_torn_tail: bool = False) -> dict:
+    """Audit a write-ahead log; return its summary or raise.
+
+    Checks the header magic and every record's framing and CRC-32.
+    Uncommitted tail bytes (a crash mid-append) raise unless
+    *allow_torn_tail* — an audit reports damage even when recovery
+    could truncate it.
+    """
+    records, committed, total = read_records(path)
+    torn = total - committed
+    if torn and not allow_torn_tail:
+        raise WALError(
+            f"{path}: torn tail — {torn} uncommitted byte(s) after "
+            f"record {len(records)} (recoverable: "
+            f"IngestService.recover() truncates and replays)"
+        )
+    kinds: dict[str, int] = {}
+    for record in records:
+        kinds[record.kind] = kinds.get(record.kind, 0) + 1
+    return {
+        "kind": "wal",
+        "path": str(path),
+        "n_records": len(records),
+        "record_kinds": kinds,
+        "committed_bytes": committed,
+        "torn_bytes": torn,
+    }
+
+
+def verify_chain(path, *, allow_torn_tail: bool = False) -> dict:
+    """Audit a whole chain directory: base, deltas, links, journal.
+
+    Beyond the per-artifact checks, verifies what only the chain as a
+    whole can promise: each delta's ``parent_sha256`` equals the
+    manifest SHA-256 of the artifact before it, sequence numbers are
+    gapless, and — when an ``ingest.wal`` journal rides along — every
+    committed publish marker pins an on-disk artifact with the exact
+    manifest SHA it recorded.
+    """
+    path = pathlib.Path(path)
+    base_path, delta_paths = chain_artifacts(path)
+    base_report = verify_snapshot(base_path)
+    parent_sha = base_report["manifest_sha256"]
+    artifact_shas = {BASE_NAME: parent_sha}
+    delta_reports = []
+    for position, delta_path in enumerate(delta_paths):
+        report = verify_delta(delta_path)
+        if report["sequence"] != position:
+            raise SnapshotError(
+                f"{delta_path}: sequence {report['sequence']} at chain "
+                f"position {position}"
+            )
+        if report["parent_sha256"] != parent_sha:
+            raise SnapshotError(
+                f"{delta_path}: parent link broken — expects "
+                f"{report['parent_sha256'][:12]}..., previous artifact "
+                f"is {str(parent_sha)[:12]}..."
+            )
+        parent_sha = report["manifest_sha256"]
+        artifact_shas[delta_path.name] = parent_sha
+        delta_reports.append(report)
+    wal_report = None
+    wal_path = path / "ingest.wal"
+    if wal_path.is_file():
+        wal_report = verify_wal(
+            wal_path, allow_torn_tail=allow_torn_tail
+        )
+        records, _, _ = read_records(wal_path)
+        for number, record in enumerate(records):
+            if record.kind not in ("publish_base", "publish_delta"):
+                continue
+            name = record.meta.get("name")
+            sha = record.meta.get("sha256")
+            if name not in artifact_shas:
+                raise WALError(
+                    f"{wal_path}: record {number} marks a publish of "
+                    f"{name!r} but the chain holds no such committed "
+                    f"artifact"
+                )
+            if artifact_shas[name] != sha:
+                raise WALError(
+                    f"{wal_path}: record {number} pins {name!r} at "
+                    f"{str(sha)[:12]}... but the artifact hashes to "
+                    f"{artifact_shas[name][:12]}..."
+                )
+    return {
+        "kind": "chain",
+        "path": str(path),
+        "base": base_report,
+        "deltas": delta_reports,
+        "tip_sha256": parent_sha,
+        "wal": wal_report,
+    }
+
+
+def verify_artifact(path, *, allow_torn_tail: bool = False) -> dict:
+    """Audit *path*, whatever artifact kind it is.
+
+    Dispatches on shape: a file starting with the WAL magic is a
+    journal; a directory with a ``base/`` sub-snapshot is a chain; a
+    directory whose manifest declares the snapshot or delta format is
+    that.  Anything else raises with a one-line diagnosis.
+    """
+    path = pathlib.Path(path)
+    if path.is_file():
+        with open(path, "rb") as handle:
+            head = handle.read(len(WAL_MAGIC))
+        if head == WAL_MAGIC:
+            return verify_wal(path, allow_torn_tail=allow_torn_tail)
+        raise SnapshotError(
+            f"{path} is not a known artifact: not a write-ahead log, "
+            f"and artifacts are directories"
+        )
+    if not path.is_dir():
+        raise SnapshotError(f"{path} does not exist")
+    if (path / BASE_NAME / MANIFEST_NAME).is_file() or (
+        (path / BASE_NAME).is_dir()
+        and not (path / MANIFEST_NAME).is_file()
+    ):
+        return verify_chain(path, allow_torn_tail=allow_torn_tail)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise SnapshotError(
+            f"{path} is not a known artifact: no {MANIFEST_NAME} and "
+            f"no {BASE_NAME}/ chain anchor"
+        )
+    try:
+        fmt = json.loads(manifest_path.read_text()).get("format")
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(
+            f"{manifest_path} is not readable JSON: {exc}"
+        ) from exc
+    if fmt == SNAPSHOT_FORMAT:
+        return verify_snapshot(path)
+    if fmt == DELTA_FORMAT:
+        return verify_delta(path)
+    raise SnapshotError(
+        f"{path}: manifest declares unknown format {fmt!r}"
+    )

@@ -1,0 +1,25 @@
+"""Deterministic fault-injection harnesses for durability testing.
+
+The chaos toolbox behind ``tests/test_serve_durability.py`` and the
+CI chaos lane: seams for crashing the write path at exact, repeatable
+points — a torn write-ahead-log append, a dropped fsync, ``ENOSPC``
+mid-frame, a process death between two snapshot array writes — so
+recovery invariants are *proven* under injected faults instead of
+assumed from clean shutdowns.
+
+Everything here is deterministic by construction (explicit operation
+counters, no randomness): the same injector schedule produces the
+same crash at the same byte, which is what lets the durability suite
+sweep "crash at every record boundary" and pin byte-identical
+recovery for each one.
+
+See :class:`repro.testing.faults.FaultInjector`.
+"""
+
+from repro.testing.faults import (
+    FaultInjector,
+    InjectedFault,
+    crash_snapshot_writes,
+)
+
+__all__ = ["FaultInjector", "InjectedFault", "crash_snapshot_writes"]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -156,6 +158,162 @@ class TestInfo:
         code = main(["info", str(out_file), "--kind", "detection"])
         assert code == 0
         assert "ALID" in capsys.readouterr().out
+
+
+class TestDurableIngestCli:
+    """ingest --wal / compact / verify, and clean failure on damage."""
+
+    @pytest.fixture
+    def chain(self, dataset_file, tmp_path, capsys):
+        root = tmp_path / "chain"
+        code = main(
+            [
+                "ingest",
+                "--input", str(dataset_file),
+                "--out", str(root),
+                "--batch-size", "120",
+                "--delta", "100",
+                "--wal",
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return root
+
+    def test_ingest_writes_journal_and_verify_passes(
+        self, chain, capsys
+    ):
+        assert (chain / "ingest.wal").is_file()
+        code = main(["verify", str(chain)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chain ok" in out
+        assert "journal" in out
+
+    def test_ingest_resumes_from_journal(
+        self, dataset_file, chain, capsys
+    ):
+        code = main(
+            [
+                "ingest",
+                "--input", str(dataset_file),
+                "--out", str(chain),
+                "--batch-size", "120",
+                "--delta", "100",
+                "--wal",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "0 publish(es)" in out  # corpus fully ingested already
+
+    def test_ingest_resumes_after_torn_tail(
+        self, dataset_file, chain, capsys
+    ):
+        with open(chain / "ingest.wal", "ab") as handle:
+            handle.write(b"\x40\x00\x00\x00torn mid-append")
+        code = main(
+            [
+                "ingest",
+                "--input", str(dataset_file),
+                "--out", str(chain),
+                "--batch-size", "120",
+                "--delta", "100",
+                "--wal",
+            ]
+        )
+        assert code == 0
+        assert "torn byte(s) truncated" in capsys.readouterr().out
+
+    def test_compact_then_verify_and_assign(
+        self, dataset_file, chain, tmp_path, capsys
+    ):
+        out = tmp_path / "compacted"
+        assert main(
+            ["compact", "--chain", str(chain), "--out", str(out)]
+        ) == 0
+        assert "compacted" in capsys.readouterr().out
+        assert main(["verify", str(out)]) == 0
+        assert "snapshot ok" in capsys.readouterr().out
+        assert main(
+            [
+                "assign",
+                "--snapshot", str(out),
+                "--queries", str(dataset_file),
+            ]
+        ) == 0
+
+    def test_verify_torn_journal_fails_cleanly(self, chain, capsys):
+        with open(chain / "ingest.wal", "ab") as handle:
+            handle.write(b"\x01\x02\x03")
+        code = main(["verify", str(chain)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "torn tail" in err
+        assert main(["verify", str(chain), "--allow-torn-tail"]) == 0
+
+    def test_tampered_snapshot_is_one_line_error(
+        self, dataset_file, chain, capsys
+    ):
+        array = chain / "base" / "arrays" / "data.npy"
+        blob = bytearray(array.read_bytes())
+        blob[-1] ^= 0xFF
+        array.write_bytes(bytes(blob))
+        for argv in (
+            ["verify", str(chain / "base")],
+            ["assign", "--snapshot", str(chain / "base"),
+             "--queries", str(dataset_file)],
+        ):
+            code = main(argv)
+            captured = capsys.readouterr()
+            assert code == 2
+            assert captured.err.startswith("error:")
+            assert "checksum mismatch" in captured.err
+            assert "Traceback" not in captured.err
+
+    def test_truncated_manifest_is_one_line_error(self, chain, capsys):
+        manifest = chain / "delta_0000" / "manifest.json"
+        manifest.write_text(manifest.read_text()[:40])
+        code = main(["verify", str(chain / "delta_0000")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_tampered_journal_resume_is_one_line_error(
+        self, dataset_file, chain, capsys
+    ):
+        # Diverge the chain from its journal: rewrite the base
+        # manifest so the committed publish marker no longer matches.
+        manifest = chain / "base" / "manifest.json"
+        doc = json.loads(manifest.read_text())
+        doc["meta"]["published_by"] = "someone else"
+        manifest.write_text(json.dumps(doc))
+        code = main(
+            [
+                "ingest",
+                "--input", str(dataset_file),
+                "--out", str(chain),
+                "--wal",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "diverged" in captured.err
+
+    def test_compact_refuses_own_base(self, chain, capsys):
+        code = main(
+            [
+                "compact",
+                "--chain", str(chain),
+                "--out", str(chain / "base"),
+            ]
+        )
+        assert code == 2
+        assert "own base" in capsys.readouterr().err
 
 
 class TestNewMethodsAndPipelines:

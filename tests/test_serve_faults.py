@@ -282,6 +282,51 @@ class TestSupervisor:
         with pytest.raises(WorkerError):
             supervisor.poll_now()
 
+    @staticmethod
+    def _failure_schedule(seed, failures):
+        """Drive a supervisor through heal failures; record back-offs."""
+
+        class _AlwaysDead:
+            def dead_shard_ids(self):
+                return [0]
+
+            def heal(self):
+                raise RuntimeError("artifact store down")
+
+        supervisor = ShardSupervisor(
+            _AlwaysDead(), backoff_jitter_seed=seed
+        )
+        schedule = []
+        for _ in range(failures):
+            assert supervisor.poll_now() == []
+            schedule.append(
+                supervisor.stats()["backoff_polls_remaining"]
+            )
+        return schedule
+
+    def test_backoff_jitter_schedule_is_pinned(self):
+        """Seeded jitter: exact, replayable retry schedule per seed."""
+        import random
+
+        schedule = self._failure_schedule(seed=0, failures=8)
+        # The schedule is exactly base + Random(seed) jitter, capped.
+        rng = random.Random(0)
+        want = []
+        for failure in range(1, 9):
+            base = 2 ** min(failure, 16)
+            want.append(min(base + rng.randrange(1 + base // 2), 64))
+        assert schedule == want
+        # Pinned bounds: never below the exponential base, never above
+        # the cap, and the same seed replays the identical schedule.
+        for failure, polls in enumerate(schedule, start=1):
+            assert min(2 ** min(failure, 16), 64) <= polls <= 64
+        assert self._failure_schedule(seed=0, failures=8) == schedule
+
+    def test_backoff_jitter_decorrelates_across_seeds(self):
+        a = self._failure_schedule(seed=1, failures=8)
+        b = self._failure_schedule(seed=2, failures=8)
+        assert a != b  # distinct seeds: no lockstep retry storms
+
 
 class TestFrontendThroughFaults:
     """The whole tentpole stack: front-end + supervisor + SIGKILL."""

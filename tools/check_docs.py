@@ -6,7 +6,7 @@ lane (and by ``tests/test_docs.py`` so the gate itself stays tested):
 
 1. **Docstring presence** on the public API: every module under the
    public packages
-   (``src/repro/{core,dynamics,lsh,affinity,parallel,serve,streaming,obs,arena}``)
+   (``src/repro/{core,dynamics,lsh,affinity,parallel,serve,streaming,obs,arena,testing}``)
    must carry a module docstring, and every public class, function, and
    method in them a non-empty docstring.  This mirrors ruff's
    D100/D101/D102/D103/D419 selection (which the CI lane also runs);
@@ -41,6 +41,7 @@ PUBLIC_PACKAGES = (
     "streaming",
     "obs",
     "arena",
+    "testing",
 )
 DOC_FILES = ("README.md", "docs")
 PAPER_MAP = REPO_ROOT / "docs" / "paper_map.md"
